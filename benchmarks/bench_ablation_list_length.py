@@ -1,0 +1,101 @@
+"""A1 — ablation: bounding the previous-source list (paper Section 4.4).
+
+"Any finite maximum length of the list ... may be imposed."  What does
+the bound buy and cost?
+
+- header bytes: the list adds 4 bytes per tunnel hop, capped at 4*k;
+- overflow traffic: hitting the cap sends a location update to every
+  flushed address;
+- loop handling: a smaller k means loops larger than k are resolved by
+  *contraction* over several passes instead of detection in one
+  (Section 5.3) — more re-tunnels before the episode ends.
+
+Swept over stale-chain delivery (the E2 workload) and the E3 loop.
+"""
+
+from __future__ import annotations
+
+from benchmarks.loop_common import run_loop_experiment
+from repro.baselines.mhrp_scenario import MHRPScenario
+from repro.metrics import Table
+
+
+def run_chain_with_bound(max_list: int, chain: int = 6):
+    """The E2 stale-chain workload under a list bound: the first packet
+    traverses ``chain`` stale forwarding pointers."""
+    scenario = MHRPScenario(n_cells=chain + 1, max_previous_sources=max_list)
+    scenario.move_to_cell(0)
+    scenario.settle()
+    scenario.send_packet()
+    scenario.settle(3.0)
+    for index in range(1, chain + 1):
+        scenario.move_to_cell(index)
+        scenario.settle()
+    updates_before = sum(
+        1 for e in scenario.sim.tracer.select("mhrp.update")
+        if e.detail.get("event") == "sent"
+    )
+    wire_before = dict(scenario._wire.max_bytes)
+    scenario.send_packet()
+    scenario.settle(6.0)
+    delivered = scenario.stats.packets_delivered
+    updates = sum(
+        1 for e in scenario.sim.tracer.select("mhrp.update")
+        if e.detail.get("event") == "sent"
+    ) - updates_before
+    max_header = max(scenario.stats.overhead_bytes[-1:], default=0)
+    # Largest wire size the chained packet reached anywhere.
+    new_max = max(
+        (size for uid, size in scenario._wire.max_bytes.items()
+         if uid not in wire_before),
+        default=0,
+    )
+    return {
+        "delivered": delivered == scenario.stats.packets_sent,
+        "updates": updates,
+        "peak_wire": new_max,
+    }
+
+
+def build_ablation_tables():
+    chain_table = Table(
+        "A1a  6-hop stale chain vs list bound k",
+        ["k", "delivered", "updates sent", "peak packet bytes"],
+    )
+    chain_rows = []
+    for k in (1, 2, 4, 8):
+        row = run_chain_with_bound(k)
+        chain_rows.append((k, row))
+        chain_table.add_row(
+            k, "yes" if row["delivered"] else "NO", row["updates"], row["peak_wire"]
+        )
+
+    loop_table = Table(
+        "A1b  8-agent loop vs list bound k",
+        ["k", "re-tunnels to resolve", "updates sent"],
+    )
+    loop_rows = []
+    for k in (2, 4, 8, 16):
+        run = run_loop_experiment(loop_size=8, max_list=k)
+        loop_rows.append((k, run))
+        loop_table.add_row(k, run.retunnels, run.updates_sent)
+    return chain_table, loop_table, chain_rows, loop_rows
+
+
+def test_ablation_list_length(benchmark, record):
+    chain_table, loop_table, chain_rows, loop_rows = benchmark.pedantic(
+        build_ablation_tables, rounds=1, iterations=1
+    )
+    record("A1_list_length", chain_table, loop_table)
+    # Correctness never depends on the bound: every k delivers.
+    for k, row in chain_rows:
+        assert row["delivered"], f"k={k} failed to deliver"
+    # Smaller bounds cap the header growth...
+    peaks = {k: row["peak_wire"] for k, row in chain_rows}
+    assert peaks[1] <= peaks[8]
+    # ...and every loop resolves under every bound, with the larger
+    # bounds resolving in at most as many re-tunnels.
+    by_k = {k: run.retunnels for k, run in loop_rows}
+    assert by_k[16] <= by_k[2]
+    for k, run in loop_rows:
+        assert run.retunnels <= 24

@@ -1,0 +1,96 @@
+"""E2 — cache consistency convergence (paper Sections 5.1, 6.3).
+
+Claim: when a mobile host moves, every cache agent that a packet
+consults is corrected *by that packet* — the previous-source list names
+exactly the stale agents, and the correct foreign agent (or the home
+agent) sends each one a location update.  So a single packet through a
+chain of k stale caches fixes all k, and the second packet takes the
+direct path.
+
+The bench builds chains of k stale cache agents (forwarding pointers
+left by k rapid moves), sends packets, and reports packets-to-
+convergence and how many stale caches one packet repaired.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.mhrp_scenario import MHRPScenario
+from repro.metrics import Table
+
+
+def build_stale_chain(n_moves: int):
+    """Move the host through cells 0..n_moves; every old foreign agent
+    keeps a forwarding pointer to the next, and the correspondent's
+    cache is primed at cell 0 — a chain of n_moves stale caches."""
+    scenario = MHRPScenario(n_cells=n_moves + 1)
+    scenario.move_to_cell(0)
+    scenario.settle()
+    scenario.send_packet()      # primes the correspondent's cache
+    scenario.settle(3.0)
+    for index in range(1, n_moves + 1):
+        scenario.move_to_cell(index)
+        scenario.settle()
+    # Freeze the rate limiters' view: from here only data packets drive
+    # the updates we want to observe.
+    return scenario
+
+
+def packets_until_direct(scenario, direct_hops: int, budget: int = 6) -> tuple:
+    """Send packets until one takes the direct path; returns
+    (packets_needed, hops_series)."""
+    hops = []
+    for i in range(budget):
+        before = len(scenario.stats.hop_counts)
+        scenario.send_packet()
+        scenario.settle(4.0)
+        got = scenario.stats.hop_counts[before:]
+        hops.extend(got)
+        if got and got[-1] <= direct_hops:
+            return i + 1, hops
+    return budget, hops
+
+
+def stale_cache_count(scenario) -> int:
+    """How many caches still point somewhere other than the current FA."""
+    current = scenario.mobile.current_foreign_agent
+    mh = scenario.topo.mobile_home_address
+    stale = 0
+    for roles in scenario.cell_roles:
+        pointer = roles.cache_agent.cache.peek(mh)
+        if pointer is not None and pointer != current:
+            stale += 1
+    sender_cache = scenario.correspondent.cache_agent.cache.peek(mh)
+    if sender_cache is not None and sender_cache != current:
+        stale += 1
+    return stale
+
+
+def build_convergence_table():
+    table = Table(
+        "E2  Convergence after k-move stale-cache chains",
+        ["stale chain length", "stale caches before", "stale after 1 pkt",
+         "packets to direct path", "hops of packet #1"],
+    )
+    results = []
+    for n_moves in (1, 2, 4, 6):
+        scenario = build_stale_chain(n_moves)
+        before = stale_cache_count(scenario)
+        first_before = len(scenario.stats.hop_counts)
+        scenario.send_packet()
+        scenario.settle(5.0)
+        after = stale_cache_count(scenario)
+        first_hops = scenario.stats.hop_counts[first_before]
+        packets, _ = packets_until_direct(scenario, direct_hops=2)
+        table.add_row(n_moves, before, after, 1 + packets, first_hops)
+        results.append((n_moves, before, after, packets))
+    return table, results
+
+
+def test_cache_convergence(benchmark, record):
+    table, results = benchmark.pedantic(build_convergence_table, rounds=1, iterations=1)
+    record("E2_cache_convergence", table)
+    for n_moves, before, after, packets in results:
+        # One packet repairs the whole chain it traversed...
+        assert after == 0, f"chain {n_moves}: {after} stale caches remain"
+        # ...and the direct path is restored within one more packet.
+        assert packets <= 1

@@ -1,0 +1,94 @@
+"""E11 — the full Section 7 comparison under one roaming workload.
+
+One workload (12 probes across 2 handoffs) over all six protocols,
+reporting every Section 7 currency at once: delivery, measured
+overhead, path stretch, control cost, global state, and router
+slow-path load.  T1/E1/E4 each measure one column in isolation; this
+bench is the side-by-side the paper's comparison section narrates.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.columbia import ColumbiaScenario
+from repro.baselines.ibm_lsrr import IBMLSRRScenario
+from repro.baselines.matsushita import MatsushitaScenario
+from repro.baselines.mhrp_scenario import MHRPScenario
+from repro.baselines.sony_vip import SonyVIPScenario
+from repro.baselines.sunshine_postel import SunshinePostelScenario
+from repro.metrics import Table, fmt_float
+
+
+def slow_path_total(scenario) -> int:
+    routers = scenario.topo.all_routers()
+    return sum(r.slow_path_packets for r in routers)
+
+
+def run_workload(scenario, packets_per_stop=4, stops=(0, 1, 0)):
+    for stop in stops:
+        scenario.move_to_cell(stop)
+        scenario.settle()
+        if hasattr(scenario, "prime"):
+            scenario.prime()
+            scenario.settle(3.0)
+        for _ in range(packets_per_stop):
+            scenario.send_packet()
+            scenario.settle(3.0)
+    scenario.snapshot_state()
+    return scenario.stats
+
+
+def build_comparison():
+    table = Table(
+        "E11  Section 7 side-by-side: one roaming workload, six protocols",
+        ["protocol", "delivered", "overhead B", "hops",
+         "control msgs", "global state", "router slow-path"],
+    )
+    rows = {}
+    for label, cls in [
+        ("MHRP", MHRPScenario),
+        ("Sunshine-Postel", SunshinePostelScenario),
+        ("Columbia", ColumbiaScenario),
+        ("Sony-VIP", SonyVIPScenario),
+        ("Matsushita", MatsushitaScenario),
+        ("IBM-LSRR", IBMLSRRScenario),
+    ]:
+        scenario = cls(n_cells=3)
+        stats = run_workload(scenario)
+        slow = slow_path_total(scenario)
+        rows[label] = (stats, slow)
+        table.add_row(
+            label,
+            f"{stats.packets_delivered}/{stats.packets_sent}",
+            fmt_float(stats.mean_overhead, 1),
+            fmt_float(stats.mean_hops, 2),
+            stats.control_messages,
+            stats.global_state,
+            slow,
+        )
+    return table, rows
+
+
+def test_section7_comparison(benchmark, record):
+    table, rows = benchmark.pedantic(build_comparison, rounds=1, iterations=1)
+    record("E11_comparison", table)
+    mhrp, _ = rows["MHRP"]
+    # Everyone delivers under this benign workload...
+    for label, (stats, _) in rows.items():
+        assert stats.delivery_ratio == 1.0, label
+    # ...but MHRP pairs low overhead with the shortest steady path:
+    assert mhrp.mean_overhead <= 12
+    for label in ("Columbia", "Sony-VIP", "Matsushita"):
+        other, _ = rows[label]
+        assert mhrp.mean_overhead < other.mean_overhead or label == "Columbia"
+        assert mhrp.mean_hops <= other.mean_hops
+    # Only Sunshine-Postel carries global state.
+    assert rows["Sunshine-Postel"][0].global_state >= 1
+    assert all(
+        stats.global_state == 0
+        for label, (stats, _) in rows.items()
+        if label != "Sunshine-Postel"
+    )
+    # Only the source-route protocols load the router slow path.
+    assert rows["IBM-LSRR"][1] > 0
+    assert rows["Sunshine-Postel"][1] > 0
+    assert rows["MHRP"][1] == 0

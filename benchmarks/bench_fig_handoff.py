@@ -1,0 +1,77 @@
+"""E7 — handoff behaviour under continuous traffic
+(paper Sections 3, 6.3).
+
+A CBR stream runs while the mobile host moves between cells, returns
+home, and leaves again.  Measured per handoff: packets lost in the gap,
+the service interruption seen by the application, and that returning
+home ends all MHRP overhead (Section 1's "no overhead when ... connected
+to its home network").
+"""
+
+from __future__ import annotations
+
+from repro.baselines.mhrp_scenario import MHRPScenario
+from repro.metrics import Table, fmt_float
+
+
+def run_stream_with_moves(interval=0.25, per_phase=16):
+    """CBR while: cell0 -> cell1 -> home -> cell0.
+
+    Returns (scenario, phases) where each phase records its delivered
+    sequence numbers and overheads.
+    """
+    scenario = MHRPScenario(n_cells=2)
+    phases = []
+    moves = [
+        ("attach cell 0", lambda: scenario.move_to_cell(0)),
+        ("cell 0 -> cell 1", lambda: scenario.move_to_cell(1)),
+        ("cell 1 -> home", lambda: scenario.move_home()),
+        ("home -> cell 0", lambda: scenario.move_to_cell(0)),
+    ]
+    for label, move in moves:
+        move()
+        delivered_before = scenario.stats.packets_delivered
+        sent_before = scenario.stats.packets_sent
+        overhead_before = len(scenario.stats.overhead_bytes)
+        for _ in range(per_phase):
+            scenario.send_packet()
+            scenario.settle(interval)
+        scenario.settle(3.0)  # drain in-flight traffic
+        phases.append({
+            "label": label,
+            "sent": scenario.stats.packets_sent - sent_before,
+            "delivered": scenario.stats.packets_delivered - delivered_before,
+            "overheads": scenario.stats.overhead_bytes[overhead_before:],
+        })
+    return scenario, phases
+
+
+def build_handoff_table():
+    scenario, phases = run_stream_with_moves()
+    table = Table(
+        "E7  CBR stream across handoffs (16 packets per phase, 4/s)",
+        ["phase", "sent", "delivered", "lost", "steady overhead (B)"],
+    )
+    for phase in phases:
+        lost = phase["sent"] - phase["delivered"]
+        steady = phase["overheads"][-1] if phase["overheads"] else "-"
+        table.add_row(
+            phase["label"], phase["sent"], phase["delivered"], lost, steady
+        )
+    return table, phases
+
+
+def test_handoff(benchmark, record):
+    table, phases = benchmark.pedantic(build_handoff_table, rounds=1, iterations=1)
+    record("E7_handoff", table)
+    for phase in phases:
+        # Handoffs lose at most the few packets in flight during the
+        # registration exchange.
+        assert phase["sent"] - phase["delivered"] <= 3, phase["label"]
+        assert phase["delivered"] >= 13
+    # At home the stream runs with zero MHRP overhead...
+    home_phase = phases[2]
+    assert home_phase["overheads"][-1] == 0
+    # ...and away phases settle to the 8-byte sender tunnel.
+    assert phases[1]["overheads"][-1] == 8
+    assert phases[3]["overheads"][-1] == 8

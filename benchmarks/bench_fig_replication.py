@@ -1,0 +1,117 @@
+"""E10 (extension) — replicated home agents (paper Section 2).
+
+"It can replicate the home agent function on several support hosts on
+its own network, although these hosts must cooperate to provide a
+consistent view of the database."  The paper offers no evaluation of
+this option; this bench supplies one: availability of the home-agent
+*service* across a home agent crash, with and without a standby replica.
+
+The workload sends one probe per second to a mobile host that is away
+(uncached correspondent, so every packet needs the home agent); the
+active home agent crashes mid-stream.
+"""
+
+from __future__ import annotations
+
+from repro.core.agent_router import make_agent_router
+from repro.core.mobile_host import MobileHost
+from repro.core.replication import ReplicatedHomeAgentGroup
+from repro.ip import Host, IPNetwork, Router
+from repro.link import LAN, WirelessCell
+from repro.metrics import Table
+from repro.netsim import Simulator
+
+
+def build_env(replicated: bool, seed: int = 13):
+    sim = Simulator(seed=seed)
+    backbone = LAN(sim, "backbone")
+    bb_net = IPNetwork("10.0.0.0/24")
+    net_b = IPNetwork("10.2.0.0/24")
+    lan_b = LAN(sim, "netB")
+    net_d = IPNetwork("10.4.0.0/24")
+    cell = WirelessCell(sim, "netD")
+
+    r2 = Router(sim, "R2")
+    r2.add_interface("bb", bb_net.host(2), bb_net, medium=backbone)
+    r2.add_interface("lan", net_b.host(254), net_b, medium=lan_b)
+    r4 = Router(sim, "R4")
+    r4.add_interface("bb", bb_net.host(4), bb_net, medium=backbone)
+    r4.add_interface("cell", net_d.host(254), net_d, medium=cell)
+    r2.routing_table.add_next_hop(net_d, bb_net.host(4), "bb")
+    r4.routing_table.set_default(bb_net.host(2), "bb")
+    make_agent_router(r4, foreign_iface="cell")
+
+    support_hosts = []
+    count = 2 if replicated else 1
+    for index in range(count):
+        host = Host(sim, f"HA{index + 1}")
+        host.add_interface("eth0", net_b.host(1 + index), net_b, medium=lan_b)
+        host.set_gateway(net_b.host(254))
+        support_hosts.append(host)
+    service = net_b.host(200)
+    if replicated:
+        group = ReplicatedHomeAgentGroup(support_hosts, "eth0", service)
+    else:
+        # A single support host holding the service address directly.
+        from repro.core.home_agent import HomeAgent
+        from repro.core.persistence import MemoryStore
+
+        solo = support_hosts[0]
+        solo.interfaces["eth0"].alias_addresses.add(service)
+        solo.arp["eth0"].announce(service)
+        HomeAgent.attach(solo, "eth0", store=MemoryStore())
+        group = None
+
+    m = MobileHost(sim, "M", home_address=net_b.host(10), home_network=net_b,
+                   home_agent=service, home_gateway=net_b.host(254))
+    s = Host(sim, "S")
+    s.add_interface("bb0", bb_net.host(100), bb_net, medium=backbone)
+    s.set_gateway(bb_net.host(2))
+
+    m.attach(cell)
+    sim.run(until=5.0)
+    return sim, s, m, support_hosts, group
+
+
+def run_availability(replicated: bool):
+    sim, s, m, support_hosts, group = build_env(replicated)
+    replies = []
+    s.on_icmp(0, lambda p, msg: replies.append(msg))
+    sent = 0
+    crash_at = 10
+    for second in range(40):
+        if second == crash_at:
+            support_hosts[0].crash()  # the active home agent dies (stays down)
+        s.ping(m.home_address)
+        sent += 1
+        sim.run(until=sim.now + 1.0)
+    sim.run(until=sim.now + 5.0)
+    return sent, len(replies), group
+
+
+def build_table():
+    table = Table(
+        "E10  Home agent service availability across a crash "
+        "(1 probe/s, uncached sender, crash at t=10)",
+        ["deployment", "delivered", "of sent", "consistent replicas"],
+    )
+    results = {}
+    for replicated in (False, True):
+        sent, delivered, group = run_availability(replicated)
+        label = "2 replicas (Section 2 option)" if replicated else "single home agent"
+        consistent = "yes" if group and group.databases_consistent() else "-"
+        table.add_row(label, delivered, sent, consistent)
+        results[replicated] = (sent, delivered)
+    return table, results
+
+
+def test_replication_availability(benchmark, record):
+    table, results = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    record("E10_replication", table)
+    solo_sent, solo_delivered = results[False]
+    repl_sent, repl_delivered = results[True]
+    # Without replication, everything after the crash is lost.
+    assert solo_delivered <= 11
+    # With a standby, only the takeover window is lost.
+    assert repl_delivered >= repl_sent - 10
+    assert repl_delivered > solo_delivered + 15

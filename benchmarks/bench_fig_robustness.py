@@ -1,0 +1,152 @@
+"""E5 + E6 — robustness (paper Sections 2, 5.2).
+
+E5 — **foreign agent reboot**: the visitor list is volatile, but the
+next packet tunneled to the forgetful agent bounces to the home agent,
+which recognizes it (the "current" agent is on the stale list) and sends
+it a location update; the agent re-adds the visitor and traffic resumes
+— no human, no timer, no re-registration needed.  With the home agent's
+database on disk (Section 2), even a *home agent* reboot is survivable.
+
+E6 — **forwarding pointers while the home agent is down**: Section 2
+says pointers "may be useful in maintaining connectivity to a frequently
+moving mobile host during periods in which that host's home agent may be
+temporarily inaccessible".  The bench partitions the home agent and
+moves the host; with pointers the old agents keep chaining packets to
+it, without them everything must go through the (dead) home agent.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.mhrp_scenario import MHRPScenario
+from repro.metrics import Table
+
+
+def stream(scenario, n, gap=3.0):
+    for _ in range(n):
+        scenario.send_packet()
+        scenario.settle(gap)
+
+
+def run_fa_reboot(adverts_on: bool):
+    """Packets across a foreign-agent crash+reboot; returns (delivered,
+    sent, recoveries)."""
+    scenario = MHRPScenario(n_cells=2)
+    scenario.move_to_cell(0)
+    scenario.settle()
+    stream(scenario, 2)           # includes the cache-priming packet
+    fa_router = scenario.topo.cell_routers[0]
+    fa_role = scenario.cell_roles[0].foreign_agent
+    if not adverts_on:
+        # Remove the advertiser entirely (the reboot hook would restart
+        # it) so only the Section 5.2 data-driven path can recover.
+        fa_role.advertiser.stop()
+        fa_role.advertiser = None
+    fa_router.crash()
+    scenario.settle(2.0)
+    fa_router.reboot()
+    scenario.settle(1.0)
+    stream(scenario, 4)
+    home_recoveries = scenario.home_roles.home_agent.recoveries
+    return scenario.stats, home_recoveries + fa_role.recoveries
+
+
+def run_ha_reboot(durable: bool):
+    """Packets across a home-agent crash+reboot, with and without the
+    Section 2 on-disk database."""
+    scenario = MHRPScenario(n_cells=2, durable_database=durable)
+    scenario.move_to_cell(0)
+    scenario.settle()
+    # NO cache priming: every packet must go through the home agent, so
+    # the reboot is on the critical path.
+    scenario.correspondent.cache_agent.enabled = False
+    stream(scenario, 2)
+    scenario.topo.home_router.crash()
+    scenario.settle(2.0)
+    scenario.topo.home_router.reboot()
+    scenario.settle(1.0)
+    stream(scenario, 4)
+    return scenario.stats
+
+
+def run_ha_partition(pointers: bool, moves=3):
+    """The host keeps moving while its home agent is unreachable."""
+    scenario = MHRPScenario(n_cells=moves + 1)
+    scenario.move_to_cell(0)
+    scenario.settle()
+    stream(scenario, 2)           # correspondent now tunnels directly
+    scenario.topo.home_router.crash()
+    for roles in scenario.cell_roles:
+        roles.foreign_agent.keep_forwarding_pointers = pointers
+    for index in range(1, moves + 1):
+        scenario.move_to_cell(index)
+        scenario.settle(4.0)
+    before = scenario.stats.packets_delivered
+    stream(scenario, 4, gap=4.0)
+    return scenario.stats, scenario.stats.packets_delivered - before
+
+
+def build_tables():
+    e5 = Table(
+        "E5  Delivery across agent reboots",
+        ["failure", "recovery path", "delivered/sent", "recoveries"],
+    )
+    data_stats, data_recoveries = run_fa_reboot(adverts_on=False)
+    e5.add_row(
+        "FA reboot", "data-driven (Section 5.2)",
+        f"{data_stats.packets_delivered}/{data_stats.packets_sent}",
+        data_recoveries,
+    )
+    advert_stats, advert_recoveries = run_fa_reboot(adverts_on=True)
+    e5.add_row(
+        "FA reboot", "advert boot-id re-registration",
+        f"{advert_stats.packets_delivered}/{advert_stats.packets_sent}",
+        advert_recoveries,
+    )
+    durable = run_ha_reboot(durable=True)
+    e5.add_row(
+        "HA reboot", "database on disk (Section 2)",
+        f"{durable.packets_delivered}/{durable.packets_sent}", "-",
+    )
+    volatile = run_ha_reboot(durable=False)
+    e5.add_row(
+        "HA reboot", "database in RAM only",
+        f"{volatile.packets_delivered}/{volatile.packets_sent}", "-",
+    )
+
+    e6 = Table(
+        "E6  Moving host while the home agent is unreachable",
+        ["forwarding pointers", "delivered after moves", "of sent"],
+    )
+    with_ptr_stats, with_ptr = run_ha_partition(pointers=True)
+    e6.add_row("on", with_ptr, 4)
+    without_ptr_stats, without_ptr = run_ha_partition(pointers=False)
+    e6.add_row("off", without_ptr, 4)
+
+    return e5, e6, {
+        "fa_data": (data_stats, data_recoveries),
+        "fa_advert": (advert_stats, advert_recoveries),
+        "ha_durable": durable,
+        "ha_volatile": volatile,
+        "ptr_on": with_ptr,
+        "ptr_off": without_ptr,
+    }
+
+
+def test_robustness(benchmark, record):
+    e5, e6, results = benchmark.pedantic(build_tables, rounds=1, iterations=1)
+    record("E5_E6_robustness", e5, e6)
+    # E5: both FA recovery paths restore full service; the data-driven
+    # path is exercised at least once.
+    data_stats, data_recoveries = results["fa_data"]
+    assert data_recoveries >= 1
+    assert data_stats.packets_delivered >= data_stats.packets_sent - 1
+    advert_stats, _ = results["fa_advert"]
+    assert advert_stats.packets_delivered >= advert_stats.packets_sent - 1
+    # E5: the durable database keeps delivering after an HA reboot; the
+    # volatile variant loses everything after the crash (the paper's
+    # reason to put the database on disk).
+    assert results["ha_durable"].packets_delivered >= results["ha_durable"].packets_sent - 1
+    assert results["ha_volatile"].packets_delivered < results["ha_volatile"].packets_sent
+    # E6: pointers keep a moving host reachable without its home agent.
+    assert results["ptr_on"] == 4
+    assert results["ptr_off"] == 0

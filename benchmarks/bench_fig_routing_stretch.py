@@ -1,0 +1,80 @@
+"""E1 + A2 — routing stretch: triangle elimination by caching
+(paper Sections 6.1–6.2).
+
+Claim: the *first* packet to an away mobile host detours through the
+home network; the home agent's location update then lets the sender
+tunnel straight to the foreign agent, so every later packet takes the
+direct path.  With caching disabled (A2 ablation) every packet pays the
+triangle forever — caching is purely an optimization, never needed for
+correctness.
+
+Compared against the baselines with no sender-side optimization
+(Columbia in-campus, Matsushita forwarding mode), whose triangle is
+permanent by design.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.columbia import ColumbiaScenario
+from repro.baselines.matsushita import MatsushitaScenario
+from repro.baselines.mhrp_scenario import MHRPScenario
+from repro.metrics import Table
+
+
+def run_sequence(scenario, packets=6, cell=0):
+    scenario.move_to_cell(cell)
+    scenario.settle()
+    for _ in range(packets):
+        scenario.send_packet()
+        scenario.settle(3.0)
+    return scenario.stats
+
+
+def build_stretch_tables():
+    per_packet = Table(
+        "E1  Router hops per packet (packet #1 is the first after the move)",
+        ["protocol", "#1", "#2", "#3", "#4", "#5", "#6"],
+    )
+    results = {}
+    for label, scenario, cell in [
+        ("MHRP (sender caches)", MHRPScenario(n_cells=2, sender_caches=True), 0),
+        ("MHRP (caching off)", MHRPScenario(n_cells=2, sender_caches=False), 0),
+        ("Columbia", ColumbiaScenario(n_cells=2), 1),
+        ("Matsushita fwd-mode", MatsushitaScenario(n_cells=2, autonomous=False), 0),
+    ]:
+        stats = run_sequence(scenario, cell=cell)
+        assert stats.delivery_ratio == 1.0, label
+        results[label] = stats.hop_counts
+        per_packet.add_row(label, *stats.hop_counts)
+
+    summary = Table(
+        "E1/A2  Stretch summary (first packet vs steady state)",
+        ["protocol", "first", "steady", "triangle eliminated?"],
+    )
+    for label, hops in results.items():
+        summary.add_row(
+            label, hops[0], hops[-1], "yes" if hops[-1] < hops[0] else "no"
+        )
+    return per_packet, summary, results
+
+
+def test_routing_stretch(benchmark, record):
+    per_packet, summary, results = benchmark.pedantic(
+        build_stretch_tables, rounds=1, iterations=1
+    )
+    record("E1_routing_stretch", per_packet, summary)
+    caching = results["MHRP (sender caches)"]
+    no_caching = results["MHRP (caching off)"]
+    # The triangle disappears after exactly one packet with caching...
+    assert caching[0] > caching[1]
+    assert all(h == caching[1] for h in caching[1:])
+    # ...and never without it (but correctness is unaffected).
+    assert all(h == no_caching[0] for h in no_caching)
+    # Columbia and Matsushita forwarding mode keep their triangles.
+    assert all(h == results["Columbia"][0] for h in results["Columbia"])
+    assert all(
+        h == results["Matsushita fwd-mode"][0]
+        for h in results["Matsushita fwd-mode"]
+    )
+    # MHRP steady state is the shortest path of the lot.
+    assert caching[-1] <= min(r[-1] for r in results.values())

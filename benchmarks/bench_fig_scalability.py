@@ -1,0 +1,130 @@
+"""E4 — scalability to very large numbers of mobile hosts
+(paper Section 7, last paragraphs).
+
+Claims measured:
+
+1. **No broadcast growth.**  MHRP's control cost for one move is
+   independent of how big the infrastructure is.  Columbia's MSR search
+   multicasts to every MSR; Sony VIP floods every router — both grow
+   linearly with the infrastructure.
+2. **No global database.**  Sunshine–Postel concentrates one entry per
+   mobile host *worldwide* in a single registry, plus a query there per
+   (sender, move); MHRP's state lives at each organization's own home
+   agent, and nothing anywhere else grows with the global host count.
+3. **Per-node state stays small.**  MHRP caches are finite/LRU; the
+   home agent's database is "one entry per own mobile host".
+"""
+
+from __future__ import annotations
+
+from repro.baselines.columbia import ColumbiaScenario
+from repro.baselines.mhrp_scenario import MHRPScenario
+from repro.baselines.sony_vip import SonyVIPScenario
+from repro.baselines.sunshine_postel import SunshinePostelScenario
+from repro.metrics import Table
+from repro.netsim.simulator import Simulator
+from repro.workloads.topology import build_campus
+
+
+def control_cost_of_one_move(scenario_cls, n_cells: int, **kwargs) -> int:
+    """Control messages for: attach at cell 0, one packet, move to
+    cell 1, one packet."""
+    scenario = scenario_cls(n_cells=n_cells, **kwargs)
+    scenario.move_to_cell(0)
+    scenario.settle()
+    if hasattr(scenario, "prime"):
+        scenario.prime()
+        scenario.settle(3.0)
+    scenario.send_packet()
+    scenario.settle(3.0)
+    before = scenario.stats.control_messages
+    scenario.move_to_cell(1)
+    scenario.settle()
+    scenario.send_packet()
+    scenario.settle(3.0)
+    return scenario.stats.control_messages - before
+
+
+def columbia_cold_lookup_cost(n_cells: int) -> int:
+    """Control messages for the first packet to an uncached host: the
+    nearest MSR must multicast its search to every peer MSR."""
+    scenario = ColumbiaScenario(n_cells=n_cells)
+    scenario.move_to_cell(1)       # not the nearest MSR: forces a tunnel
+    scenario.settle()
+    before = scenario.stats.control_messages
+    scenario.send_packet()
+    scenario.settle(4.0)
+    assert scenario.stats.packets_delivered == 1
+    return scenario.stats.control_messages - before
+
+
+def build_broadcast_table():
+    table = Table(
+        "E4a  Control cost of the protocol's location-discovery event "
+        "vs infrastructure size",
+        ["protocol", "event measured", "2 cells", "6 cells", "12 cells", "growth"],
+    )
+    series = {}
+    for label, event, measure in [
+        ("MHRP", "move (registrations+updates)",
+         lambda n: control_cost_of_one_move(MHRPScenario, n_cells=n)),
+        ("Sunshine-Postel", "move (re-query global DB)",
+         lambda n: control_cost_of_one_move(SunshinePostelScenario, n_cells=n)),
+        ("Columbia", "cold lookup (MSR multicast)", columbia_cold_lookup_cost),
+        ("Sony VIP", "move (flood invalidation)",
+         lambda n: control_cost_of_one_move(SonyVIPScenario, n_cells=n)),
+    ]:
+        costs = [measure(n) for n in (2, 6, 12)]
+        series[label] = costs
+        growth = "grows" if costs[2] > costs[0] + 3 else "constant"
+        table.add_row(label, event, *costs, growth)
+    return table, series
+
+
+def build_state_table():
+    """MHRP per-node state with N mobile hosts on one home agent."""
+    table = Table(
+        "E4b  MHRP state with N mobile hosts (one organization)",
+        ["N hosts", "home agent DB", "max FA visitors", "global structures"],
+    )
+    rows = []
+    for n_hosts in (4, 16, 48):
+        topo = build_campus(
+            n_cells=4,
+            n_mobile_hosts=n_hosts,
+            sim=Simulator(seed=5),
+            advertise=True,
+        )
+        sim = topo.sim
+        # Spread the hosts over the cells.
+        for index, host in enumerate(topo.mobile_hosts):
+            host.attach(topo.cells[index % len(topo.cells)])
+        sim.run(until=20.0)
+        db_size = len(topo.home_roles.home_agent.database)
+        max_visitors = max(
+            len(roles.foreign_agent.visitors) for roles in topo.cell_roles
+        )
+        table.add_row(n_hosts, db_size, max_visitors, 0)
+        rows.append((n_hosts, db_size, max_visitors))
+    return table, rows
+
+
+def test_scalability(benchmark, record):
+    def build():
+        return build_broadcast_table(), build_state_table()
+
+    (broadcast_table, series), (state_table, rows) = benchmark.pedantic(
+        build, rounds=1, iterations=1
+    )
+    record("E4_scalability", broadcast_table, state_table)
+    # MHRP's move cost is flat in infrastructure size.
+    mhrp = series["MHRP"]
+    assert max(mhrp) - min(mhrp) <= 2
+    # The broadcast/flooding protocols grow with it.
+    assert series["Columbia"][2] > series["Columbia"][0]
+    assert series["Sony VIP"][2] > series["Sony VIP"][0]
+    # Home agent database holds exactly its own registered hosts; each
+    # foreign agent holds only its current visitors.
+    for n_hosts, db_size, max_visitors in rows:
+        assert db_size == n_hosts
+        assert max_visitors <= -(-n_hosts // 4) + 1  # ~N/4 per cell

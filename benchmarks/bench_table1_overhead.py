@@ -1,0 +1,101 @@
+"""T1 + E9 — per-packet overhead by protocol (paper Section 7).
+
+The paper's comparison, quoted:
+
+==================  ==========================================
+protocol            claimed per-packet overhead
+==================  ==========================================
+MHRP                8 bytes (sender-built) / 12 (agent-built)
+Columbia IPIP/MSR   24 bytes
+Sony VIP            28 bytes
+Matsushita IPTP     40 bytes
+IBM LSRR            8 bytes to + 8 bytes from the mobile host
+MHRP at home        0 bytes ("no overhead when ... connected
+                    to its home network")
+==================  ==========================================
+
+This bench measures every number from **real serialized packets** on
+the simulated wire (never from constants), running the identical UDP
+workload over all six protocol implementations.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.columbia import ColumbiaScenario
+from repro.baselines.ibm_lsrr import IBMLSRRScenario
+from repro.baselines.matsushita import MatsushitaScenario
+from repro.baselines.mhrp_scenario import MHRPScenario
+from repro.baselines.sony_vip import SonyVIPScenario
+from repro.baselines.sunshine_postel import SunshinePostelScenario
+from repro.metrics import Table
+
+
+def run_protocol(scenario, packets=4, cell=0):
+    scenario.move_to_cell(cell)
+    scenario.settle()
+    if hasattr(scenario, "prime"):
+        scenario.prime()
+        scenario.settle(3.0)
+    for _ in range(packets):
+        scenario.send_packet()
+        scenario.settle(3.0)
+    return scenario.stats
+
+
+def build_overhead_table():
+    table = Table(
+        "T1  Per-packet overhead by protocol (bytes, measured on the wire)",
+        ["protocol", "first packet", "steady state", "paper claims"],
+    )
+    rows = []
+
+    mhrp = run_protocol(MHRPScenario(n_cells=2))
+    rows.append(("MHRP (away)", mhrp.overhead_bytes[0],
+                 mhrp.overhead_bytes[-1], "12 / 8"))
+
+    home = MHRPScenario(n_cells=2)
+    home.move_home()
+    home.settle()
+    for _ in range(3):
+        home.send_packet()
+        home.settle(2.0)
+    rows.append(("MHRP (at home)", home.stats.overhead_bytes[0],
+                 home.stats.overhead_bytes[-1], "0"))
+
+    sp = run_protocol(SunshinePostelScenario(n_cells=2))
+    rows.append(("Sunshine-Postel", sp.overhead_bytes[0],
+                 sp.overhead_bytes[-1], "(source route)"))
+
+    # Cell 1: a host parked at the *nearest* MSR needs no tunnel at all,
+    # so the representative (tunneled) case is any other cell.
+    col = run_protocol(ColumbiaScenario(n_cells=2), cell=1)
+    rows.append(("Columbia IPIP", col.overhead_bytes[0],
+                 col.overhead_bytes[-1], "24"))
+
+    vip = run_protocol(SonyVIPScenario(n_cells=2))
+    rows.append(("Sony VIP", vip.overhead_bytes[0],
+                 vip.overhead_bytes[-1], "28"))
+
+    mat = run_protocol(MatsushitaScenario(n_cells=2))
+    rows.append(("Matsushita IPTP", mat.overhead_bytes[0],
+                 mat.overhead_bytes[-1], "40"))
+
+    ibm = run_protocol(IBMLSRRScenario(n_cells=2))
+    rows.append(("IBM LSRR (to MH)", ibm.overhead_bytes[0],
+                 ibm.overhead_bytes[-1], "8 (+8 from MH)"))
+
+    for name, first, steady, claim in rows:
+        table.add_row(name, first, steady, claim)
+    return table, {name: steady for name, first, steady, _ in rows}
+
+
+def test_table1_overhead(benchmark, record):
+    table, steady = benchmark.pedantic(build_overhead_table, rounds=1, iterations=1)
+    record("T1_overhead", table)
+    # The paper's ordering must hold exactly.
+    assert steady["MHRP (away)"] == 8
+    assert steady["MHRP (at home)"] == 0
+    assert steady["Columbia IPIP"] == 24
+    assert steady["Sony VIP"] == 28
+    assert steady["Matsushita IPTP"] == 40
+    assert steady["IBM LSRR (to MH)"] == 8

@@ -1,0 +1,33 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one experiment from DESIGN.md's index and:
+
+- prints its table(s) (visible with ``pytest benchmarks/ -s``),
+- writes them to ``benchmarks/results/<experiment>.txt`` so
+  ``EXPERIMENTS.md`` can quote them,
+- times the experiment body through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def record():
+    """Persist and print a bench's rendered tables."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _record(experiment_id: str, *tables) -> None:
+        text = "\n\n".join(t.render() for t in tables)
+        path = os.path.join(RESULTS_DIR, f"{experiment_id}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print()
+        print(text)
+
+    return _record

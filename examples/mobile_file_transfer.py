@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Transparency demo: a TCP file transfer that survives roaming.
+
+The paper's headline property — "the current location of a mobile host,
+and even the fact that the host is mobile, remains transparent above the
+IP level" — demonstrated with a file download over the library's TCP:
+the connection is opened to M's *home* address and keeps running while M
+hops between two wireless cells and finally returns home.  Neither TCP
+endpoint is told anything about mobility.
+
+Run with::
+
+    python examples/mobile_file_transfer.py
+"""
+
+from __future__ import annotations
+
+from repro import build_figure1
+
+FILE_SIZE = 60_000
+CHUNK = 4_000
+
+
+def main() -> None:
+    topo = build_figure1()
+    sim, s, m = topo.sim, topo.s, topo.m
+
+    m.attach(topo.net_d)
+    sim.run(until=5.0)
+    print(f"M attached at foreign agent {m.current_foreign_agent}")
+
+    # M serves the file; S downloads from M's permanent home address.
+    blob = bytes(i % 251 for i in range(FILE_SIZE))
+    connections = []
+
+    def serve(conn) -> None:
+        connections.append(conn)
+
+        def feed(sent=[0]) -> None:  # noqa: B006 - deliberate cell
+            if sent[0] < FILE_SIZE:
+                conn.send(blob[sent[0]: sent[0] + CHUNK])
+                sent[0] += CHUNK
+                sim.schedule(0.3, feed)
+            else:
+                conn.close()
+
+        conn.on_established = feed
+
+    m.tcp.listen(8080, serve)
+    client = s.tcp.connect(m.home_address, 8080)
+    received = bytearray()
+    progress_marks = []
+    client.on_data = received.extend
+
+    # Roam mid-transfer: two handoffs and a return home.
+    for when, medium, label in [
+        (1.5, topo.net_e, "handoff to R5"),
+        (3.0, topo.net_d, "handoff back to R4"),
+        (4.5, topo.net_b, "return home"),
+    ]:
+        sim.schedule(when, lambda med=medium: m.attach(med))
+        sim.schedule(when, lambda lbl=label: progress_marks.append(
+            (sim.now, lbl, len(received))
+        ))
+
+    sim.run(until=60.0)
+
+    print(f"\nDownloaded {len(received)}/{FILE_SIZE} bytes over "
+          f"{client.segments_sent + connections[0].segments_sent} segments "
+          f"({connections[0].retransmissions} retransmissions)")
+    for when, label, got in progress_marks:
+        print(f"  t={when:5.1f}s  {label:22s} {got:6d} bytes already received")
+    assert bytes(received) == blob, "file corrupted!"
+    print("\nByte-for-byte identical — TCP never noticed the moves.")
+    print(f"M finished the transfer {'at home' if m.at_home else 'away'}; "
+          f"the connection was addressed to {m.home_address} throughout.")
+
+
+if __name__ == "__main__":
+    main()

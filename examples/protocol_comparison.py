@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Protocol comparison: the paper's Section 7 shoot-out, measured.
+
+Runs the identical roaming UDP workload over MHRP and all five prior
+mobile-host protocols, then prints delivery ratio, measured per-packet
+overhead, mean path length, and control cost — the quantities behind
+every comparative claim in Section 7.
+
+Run with::
+
+    python examples/protocol_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines.columbia import ColumbiaScenario
+from repro.baselines.ibm_lsrr import IBMLSRRScenario
+from repro.baselines.matsushita import MatsushitaScenario
+from repro.baselines.mhrp_scenario import MHRPScenario
+from repro.baselines.sony_vip import SonyVIPScenario
+from repro.baselines.sunshine_postel import SunshinePostelScenario
+from repro.metrics import Table, fmt_float
+
+
+def run_workload(scenario, packets_per_stop=4, stops=(0, 1, 0)):
+    """Roam between cells sending a burst at each stop."""
+    for stop in stops:
+        scenario.move_to_cell(stop)
+        scenario.settle()
+        if hasattr(scenario, "prime"):
+            scenario.prime()
+            scenario.settle(3.0)
+        for _ in range(packets_per_stop):
+            scenario.send_packet()
+            scenario.settle(3.0)
+    scenario.snapshot_state()
+    return scenario.stats
+
+
+def main() -> None:
+    protocols = [
+        ("MHRP (this paper)", MHRPScenario, {}),
+        ("Sunshine-Postel '80", SunshinePostelScenario, {}),
+        ("Columbia IPIP '91", ColumbiaScenario, {}),
+        ("Sony VIP '91", SonyVIPScenario, {}),
+        ("Matsushita IPTP '92", MatsushitaScenario, {}),
+        ("IBM LSRR '92", IBMLSRRScenario, {}),
+    ]
+    table = Table(
+        "Identical roaming workload over six mobile-host protocols "
+        "(12 packets, 2 handoffs)",
+        ["protocol", "delivered", "overhead B (mean)", "hops (mean)",
+         "control msgs", "global state"],
+    )
+    for label, cls, kwargs in protocols:
+        scenario = cls(n_cells=3, **kwargs)
+        stats = run_workload(scenario)
+        table.add_row(
+            label,
+            f"{stats.packets_delivered}/{stats.packets_sent}",
+            fmt_float(stats.mean_overhead, 1),
+            fmt_float(stats.mean_hops, 2),
+            stats.control_messages,
+            stats.global_state,
+        )
+    table.print()
+    print(
+        "\nReading guide (paper Section 7):\n"
+        "  - overhead: MHRP 8-12 B vs Columbia 24, VIP 28, Matsushita 40;\n"
+        "    IBM LSRR also ~8 B but pays the router slow path for options.\n"
+        "  - hops: only MHRP (and IBM, via reverse routes) reach the\n"
+        "    2-hop direct path; Columbia/Matsushita hairpin permanently.\n"
+        "  - global state: only Sunshine-Postel needs a worldwide\n"
+        "    database; everything in MHRP is per-organization.\n"
+        "  - IBM's losses after a move last until the mobile host itself\n"
+        "    sends traffic (stale source routes); MHRP recovers with the\n"
+        "    very next packet."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Section 6 walkthrough on the Figure 1 topology.
+
+Runs, narrated, the exact sequence of examples from the paper:
+
+  6.1  the initial packet to a mobile host (triangle via the home agent)
+  6.2  subsequent packets (the sender caches and tunnels directly)
+  6.3  the host moves again (forwarding pointer + cache correction),
+       then returns home (zero registration ends all MHRP overhead)
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import build_figure1
+
+
+def main() -> None:
+    topo = build_figure1()
+    sim, s, m = topo.sim, topo.s, topo.m
+
+    replies = []
+    s.on_icmp(0, lambda packet, message: replies.append(sim.now))
+
+    def ping_and_report(label: str) -> None:
+        sent_at = sim.now
+        count_before = len(replies)
+        s.ping(m.home_address)
+        sim.run(until=sim.now + 5.0)
+        if len(replies) > count_before:
+            rtt_ms = (replies[-1] - sent_at) * 1000
+            print(f"  {label}: reply in {rtt_ms:.1f} ms")
+        else:
+            print(f"  {label}: NO reply")
+        cached = s.cache_agent.cache.peek(m.home_address)
+        print(f"    S's location cache for M: {cached or '(empty)'}")
+
+    print("== The Figure 1 internetwork ==")
+    print(f"  S (stationary sender)     {topo.s.primary_address} on net A")
+    print(f"  M (mobile host)           {m.home_address}, home = net B")
+    print(f"  R2 (home agent)           {topo.home_agent_address}")
+    print(f"  R4, R5 (foreign agents)   {topo.fa4_address}, {topo.fa5_address}")
+
+    print("\n== M starts at home: plain IP, no MHRP anywhere ==")
+    m.attach_home(topo.net_b)
+    sim.run(until=5.0)
+    ping_and_report("ping M at home")
+
+    print("\n== 6.1  M roams to the wireless cell at R4 ==")
+    m.attach(topo.net_d)
+    sim.run(until=sim.now + 5.0)
+    print(f"  home agent database now says: M is at "
+          f"{topo.r2_roles.home_agent.database.foreign_agent_of(m.home_address)}")
+    ping_and_report("first ping (via home agent, 12-byte tunnel)")
+
+    print("\n== 6.2  subsequent packets tunnel directly (8-byte header) ==")
+    ping_and_report("second ping (direct tunnel)")
+    intercepted = topo.r2_roles.home_agent.packets_intercepted
+    print(f"    packets the home agent had to intercept so far: {intercepted}")
+
+    print("\n== 6.3  M moves on to R5; R4 keeps a forwarding pointer ==")
+    m.attach(topo.net_e)
+    sim.run(until=sim.now + 5.0)
+    pointer = topo.r4_roles.cache_agent.cache.peek(m.home_address)
+    print(f"  R4's forwarding pointer for M: {pointer}")
+    ping_and_report("ping with stale cache (chained via R4, then corrected)")
+
+    print("\n== 6.3  M returns home; a zero registration clears everything ==")
+    m.attach_home(topo.net_b)
+    sim.run(until=sim.now + 5.0)
+    ping_and_report("ping after return (stale tunnel, M corrects the sender)")
+    ping_and_report("final ping (plain IP again)")
+
+    tunnels = sim.tracer.count("mhrp.tunnel")
+    updates = sim.tracer.count("mhrp.update")
+    print(f"\nTotals: {tunnels} tunnel events, {updates} location-update events, "
+          f"{sim.events_processed} simulator events.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setuptools shim so editable installs work in offline environments
+where the `wheel` package is unavailable (pip falls back to the legacy
+`setup.py develop` path with --no-use-pep517)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""repro — a full reimplementation of MHRP, the Mobile Host Routing
+Protocol of Johnson (ICDCS 1994), on a from-scratch internetwork
+simulator, together with the five prior mobile-IP protocols the paper
+compares against.
+
+Quick start::
+
+    from repro import build_figure1
+
+    topo = build_figure1()          # the paper's Figure 1 internetwork
+    topo.m.attach(topo.net_d)       # M roams to the wireless cell at R4
+    topo.sim.run(until=5.0)
+    topo.s.ping(topo.m.home_address)  # S reaches M's *home* address
+    topo.sim.run(until=10.0)
+
+Layers (importable subpackages):
+
+- :mod:`repro.netsim`    — deterministic discrete-event engine
+- :mod:`repro.link`      — LANs, point-to-point links, wireless cells
+- :mod:`repro.ip`        — IPv4, ICMP, ARP, routing, forwarding nodes
+- :mod:`repro.transport` — UDP and a simplified reliable TCP
+- :mod:`repro.core`      — MHRP itself (the paper's contribution)
+- :mod:`repro.baselines` — Sunshine–Postel, Columbia, Sony VIP,
+  Matsushita, IBM LSRR
+- :mod:`repro.workloads` — topologies, mobility models, traffic
+- :mod:`repro.metrics`   — measurement and report rendering
+"""
+
+from repro.core import (
+    CacheAgent,
+    ForeignAgent,
+    HomeAgent,
+    MHRPHeader,
+    MobileHost,
+    make_agent_router,
+)
+from repro.ip import Host, IPAddress, IPNetwork, IPPacket, Router
+from repro.link import LAN, PointToPointLink, WirelessCell
+from repro.netsim import Simulator
+from repro.workloads import build_campus, build_figure1
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheAgent",
+    "ForeignAgent",
+    "HomeAgent",
+    "Host",
+    "IPAddress",
+    "IPNetwork",
+    "IPPacket",
+    "LAN",
+    "MHRPHeader",
+    "MobileHost",
+    "PointToPointLink",
+    "Router",
+    "Simulator",
+    "WirelessCell",
+    "build_campus",
+    "build_figure1",
+    "make_agent_router",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""The five prior mobile-host protocols MHRP is compared against
+(paper Section 7), reimplemented from their published descriptions:
+
+- :mod:`.sunshine_postel` — IEN 135 forwarders + a global registry (1980)
+- :mod:`.columbia`        — Ioannidis et al., IPIP tunnels between
+  Mobile Support Routers with campus multicast search (SIGCOMM '91)
+- :mod:`.sony_vip`        — Teraoka et al., two-address Virtual IP with
+  en-route caching and flooding invalidation (SIGCOMM '91 / ICDCS '92)
+- :mod:`.matsushita`      — Wada et al., Packet Forwarding Servers and
+  the IPTP tunnel (1992 draft)
+- :mod:`.ibm_lsrr`        — Perkins & Rekhter, loose-source-route-based
+  mobility (1992/93 drafts)
+
+Every baseline exposes ``build_scenario(...)`` returning a
+:class:`~repro.baselines.interface.Scenario`, so the benchmark harness
+runs the identical workload over MHRP and every competitor.
+"""
+
+from repro.baselines.interface import Scenario, ScenarioStats
+
+__all__ = ["Scenario", "ScenarioStats"]

@@ -1,0 +1,120 @@
+"""The uniform scenario interface every protocol implements.
+
+A scenario is always the same shaped experiment, so results are
+comparable across protocols:
+
+- one **correspondent** host sends UDP packets to one **mobile host**'s
+  permanent (application-visible) address;
+- the mobile host can be moved among ``n_cells`` foreign attachment
+  points, or back home, via :meth:`Scenario.move_to_cell` /
+  :meth:`Scenario.move_home`;
+- :meth:`Scenario.stats` reports what the benches compare: delivery,
+  per-packet byte overhead measured from real serializations, control
+  message counts, and per-node protocol state sizes.
+
+The MHRP scenario lives in :mod:`repro.baselines.mhrp_scenario` so the
+harness treats the paper's protocol and the baselines symmetrically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.ip.address import IPAddress
+from repro.ip.host import Host
+from repro.netsim.simulator import Simulator
+
+
+@dataclass
+class ScenarioStats:
+    """What a scenario run reports for comparison."""
+
+    packets_sent: int = 0
+    packets_delivered: int = 0
+    #: Per-delivered-packet protocol overhead in bytes, measured on the
+    #: wire at the receiver side of the widest tunnel segment.
+    overhead_bytes: List[int] = field(default_factory=list)
+    #: Protocol control messages (registrations, queries, updates,
+    #: floods) — the scalability currency of Section 7.
+    control_messages: int = 0
+    #: Largest per-node protocol state (table entries) observed.
+    max_node_state: int = 0
+    #: Size of any *global* (centralized) structure, 0 if none.
+    global_state: int = 0
+    #: Per-delivered-packet hop counts (media traversals).
+    hop_counts: List[int] = field(default_factory=list)
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.packets_delivered / self.packets_sent if self.packets_sent else 0.0
+
+    @property
+    def mean_overhead(self) -> float:
+        return (
+            sum(self.overhead_bytes) / len(self.overhead_bytes)
+            if self.overhead_bytes
+            else 0.0
+        )
+
+    @property
+    def mean_hops(self) -> float:
+        return sum(self.hop_counts) / len(self.hop_counts) if self.hop_counts else 0.0
+
+
+class Scenario:
+    """One protocol running on one topology, drivable by the harness.
+
+    Concrete scenarios fill in the attributes and override the
+    movement/sending hooks.
+    """
+
+    #: Short protocol label used in bench output tables.
+    protocol_name: str = "?"
+
+    def __init__(self, sim: Simulator, n_cells: int) -> None:
+        self.sim = sim
+        self.n_cells = n_cells
+        self.stats = ScenarioStats()
+
+    # -- workload hooks -------------------------------------------------
+    def move_to_cell(self, index: int) -> None:
+        """Physically move the mobile host to foreign cell ``index``."""
+        raise NotImplementedError
+
+    def move_home(self) -> None:
+        """Move the mobile host back to its home network."""
+        raise NotImplementedError
+
+    def send_packet(self, payload_size: int = 64) -> None:
+        """One application packet, correspondent -> mobile host."""
+        raise NotImplementedError
+
+    def settle(self, duration: float = 5.0) -> None:
+        """Let registrations and control traffic complete."""
+        self.sim.run(until=self.sim.now + duration)
+
+    # -- measurement helpers ---------------------------------------------
+    def note_sent(self) -> None:
+        self.stats.packets_sent += 1
+
+    def note_delivered(self, overhead_bytes: int, hops: Optional[int] = None) -> None:
+        self.stats.packets_delivered += 1
+        self.stats.overhead_bytes.append(overhead_bytes)
+        if hops is not None:
+            self.stats.hop_counts.append(hops)
+
+    def note_control(self, count: int = 1) -> None:
+        self.stats.control_messages += count
+
+
+def count_hops(sim: Simulator, uid: int) -> int:
+    """Router hops taken by the logical packet ``uid``.
+
+    Counts ``ip.forward`` trace events (which carry the uid across all
+    tunneling transforms) plus one for the originating transmission.
+    """
+    forwards = sum(
+        1 for e in sim.tracer.select("ip.forward") if e.detail.get("uid") == uid
+    )
+    return forwards + 1

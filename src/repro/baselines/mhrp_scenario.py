@@ -1,0 +1,89 @@
+"""MHRP running on the comparison star topology.
+
+Not a baseline — this is the paper's protocol packaged behind the same
+:class:`~repro.baselines.interface.Scenario` interface as the five
+competitors, so the benches run one workload over all six.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines.scenario_base import UDPProbeScenario
+from repro.baselines.startopo import StarTopology, build_star
+from repro.core.agent_router import AgentRouter, make_agent_router
+from repro.core.mobile_host import MobileHost, StationaryCorrespondent
+from repro.netsim.simulator import Simulator
+
+
+class MHRPScenario(UDPProbeScenario):
+    """The paper's protocol on the star topology."""
+
+    protocol_name = "MHRP"
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        n_cells: int = 3,
+        seed: int = 7,
+        sender_caches: bool = True,
+        **agent_kwargs,
+    ) -> None:
+        sim = sim or Simulator(seed=seed)
+        super().__init__(sim, n_cells)
+        self.topo: StarTopology = build_star(sim, n_cells)
+        self.home_roles: AgentRouter = make_agent_router(
+            self.topo.home_router, home_iface="lan", **agent_kwargs
+        )
+        self.cell_roles: List[AgentRouter] = [
+            make_agent_router(router, foreign_iface="cell", **agent_kwargs)
+            for router in self.topo.cell_routers
+        ]
+        if sender_caches:
+            correspondent = StationaryCorrespondent(sim, "C")
+        else:
+            from repro.ip.host import Host
+
+            correspondent = Host(sim, "C")
+        correspondent.add_interface(
+            "eth0", self.topo.correspondent_address, self.topo.corr_net,
+            medium=self.topo.corr_lan,
+        )
+        correspondent.set_gateway(self.topo.corr_net.host(254))
+        self.mobile = MobileHost(
+            sim,
+            "M",
+            home_address=self.topo.mobile_home_address,
+            home_network=self.topo.home_net,
+            home_agent=self.topo.home_net.host(254),
+        )
+        self._init_probe(correspondent, self.mobile, self.topo.mobile_home_address)
+        self._control_tracker_base = 0
+        sim.tracer.subscribe(self._count_control)
+
+    # ------------------------------------------------------------------
+    def _count_control(self, entry) -> None:
+        # Registrations and location updates are MHRP's control plane.
+        if entry.category in ("mhrp.register", "mhrp.update") and entry.detail.get(
+            "event"
+        ) in ("send", "sent"):
+            self.note_control()
+
+    # ------------------------------------------------------------------
+    def move_to_cell(self, index: int) -> None:
+        self.mobile.attach(self.topo.cells[index])
+
+    def move_home(self) -> None:
+        self.mobile.attach_home(self.topo.home_lan)
+
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> None:
+        """Record per-node and global protocol state into the stats."""
+        sizes = [len(self.home_roles.home_agent.database)]
+        for roles in self.cell_roles:
+            sizes.append(len(roles.foreign_agent.visitors))
+            sizes.append(len(roles.cache_agent.cache))
+        self.stats.max_node_state = max(
+            self.stats.max_node_state, max(sizes) if sizes else 0
+        )
+        self.stats.global_state = 0  # MHRP has no global structure

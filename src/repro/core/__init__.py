@@ -1,0 +1,56 @@
+"""MHRP — the Mobile Host Routing Protocol (the paper's contribution).
+
+The public surface:
+
+- :class:`~repro.core.header.MHRPHeader` — the in-packet header of
+  Figure 3, byte-accurate.
+- :class:`~repro.core.home_agent.HomeAgent` — location database, ARP
+  interception, tunneling, update fan-out, crash persistence.
+- :class:`~repro.core.foreign_agent.ForeignAgent` — visitor list, local
+  delivery, re-tunneling, state recovery.
+- :class:`~repro.core.cache_agent.CacheAgent` — the location-cache
+  optimization any host or router may run.
+- :class:`~repro.core.mobile_host.MobileHost` — a host that can move.
+- :func:`~repro.core.agent_router.make_agent_router` — convenience for
+  the common "router that is home agent + foreign agent + cache agent"
+  deployment the paper recommends.
+"""
+
+from repro.core.agent_router import AgentRouter, make_agent_router
+from repro.core.cache_agent import CacheAgent, LocationCache, UpdateRateLimiter
+from repro.core.discovery import AgentAdvertiser, AgentDiscovery
+from repro.core.encapsulation import (
+    MHRPPayload,
+    decapsulate,
+    encapsulate,
+    retunnel,
+)
+from repro.core.foreign_agent import ForeignAgent
+from repro.core.header import DEFAULT_MAX_PREVIOUS_SOURCES, MHRPHeader
+from repro.core.home_agent import HomeAgent
+from repro.core.mobile_host import MobileHost
+from repro.core.persistence import JSONFileStore, LocationDatabase
+from repro.core.replication import HomeAgentReplica, ReplicatedHomeAgentGroup
+
+__all__ = [
+    "AgentAdvertiser",
+    "AgentRouter",
+    "make_agent_router",
+    "AgentDiscovery",
+    "CacheAgent",
+    "DEFAULT_MAX_PREVIOUS_SOURCES",
+    "ForeignAgent",
+    "HomeAgent",
+    "HomeAgentReplica",
+    "JSONFileStore",
+    "LocationCache",
+    "LocationDatabase",
+    "MHRPHeader",
+    "MHRPPayload",
+    "MobileHost",
+    "ReplicatedHomeAgentGroup",
+    "UpdateRateLimiter",
+    "decapsulate",
+    "encapsulate",
+    "retunnel",
+]

@@ -1,0 +1,166 @@
+"""Tunneling transforms (paper Sections 4.1, 4.2, 4.4).
+
+MHRP's encapsulation rewrites the packet in place:
+
+- **encapsulate** — performed by the home agent, an en-route cache agent,
+  or the original sender; inserts the MHRP header and redirects the
+  packet to the foreign agent (Section 4.2's three steps).
+- **decapsulate** — performed by the foreign agent (or by the mobile
+  host itself when it is back home); reconstructs the original IP header
+  and removes the MHRP header.
+- **retunnel** — performed by an *old* foreign agent whose visitor no
+  longer lives there (Section 4.4's three steps), forwarding the packet
+  to the newer foreign agent or back to the mobile host's home address.
+
+``retunnel`` implements the bounded-list overflow rule of Section 4.4 and
+reports both the addresses flushed by an overflow (so the caller can send
+them location updates) and loop detection (Section 5.3) — the caller
+decides how to dissolve the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ProtocolError
+from repro.core.header import DEFAULT_MAX_PREVIOUS_SOURCES, MHRPHeader
+from repro.ip.address import IPAddress
+from repro.ip.packet import IPPacket, Payload
+from repro.ip.protocols import MHRP as PROTO_MHRP
+
+
+@dataclass
+class MHRPPayload:
+    """An IP payload wrapped with an MHRP header.
+
+    Models the on-wire layout of Figure 2: the MHRP header sits between
+    the (rewritten) IP header and the untouched transport payload.
+    """
+
+    header: MHRPHeader
+    inner: Payload
+
+    @property
+    def byte_length(self) -> int:
+        return self.header.byte_length + self.inner.byte_length
+
+    def to_bytes(self) -> bytes:
+        return self.header.to_bytes() + self.inner.to_bytes()
+
+    def __repr__(self) -> str:
+        return f"<MHRP {self.header!r} + {self.inner!r}>"
+
+
+@dataclass
+class RetunnelResult:
+    """Outcome of a :func:`retunnel` attempt."""
+
+    #: True when the re-tunneling node's address was already on the
+    #: previous-source list — a forwarding loop (Section 5.3).  The packet
+    #: is left unmodified in this case.
+    loop_detected: bool = False
+    #: Addresses flushed from the list by the Section 4.4 overflow rule;
+    #: the caller must send each a location update.
+    flushed: List[IPAddress] = field(default_factory=list)
+
+
+def encapsulate(
+    packet: IPPacket,
+    foreign_agent: IPAddress,
+    agent_address: Optional[IPAddress] = None,
+) -> IPPacket:
+    """Add an MHRP header to ``packet``, tunneling it to ``foreign_agent``.
+
+    Section 4.2's steps: the original protocol and destination move into
+    the MHRP header; the IP header is redirected to the foreign agent.
+    ``agent_address`` identifies the home agent or cache agent building
+    the header; pass ``None`` when the *original sender* builds it, in
+    which case the previous-source list stays empty (8-byte header) and
+    the IP source address is left alone.
+
+    The packet is modified in place and returned (the uid survives —
+    it is the same logical packet).
+    """
+    if packet.protocol == PROTO_MHRP:
+        raise ProtocolError("packet is already MHRP-encapsulated")
+    previous: List[IPAddress] = []
+    header = MHRPHeader(
+        orig_protocol=packet.protocol,
+        mobile_host=packet.dst,
+        previous_sources=previous,
+    )
+    if agent_address is not None:
+        # Built by someone other than the original sender: the original
+        # IP source moves into the list and is replaced in the IP header.
+        previous.append(packet.src)
+        packet.src = agent_address
+    packet.payload = MHRPPayload(header=header, inner=packet.payload)
+    packet.protocol = PROTO_MHRP
+    packet.dst = IPAddress(foreign_agent)
+    return packet
+
+
+def decapsulate(packet: IPPacket) -> IPPacket:
+    """Reconstruct the original IP packet from a tunneled one.
+
+    Performed by the foreign agent before the last-hop transmission
+    (Section 4.1), or by a mobile host receiving a re-tunneled packet at
+    home (Section 6.3).  The original source is the first list entry, or
+    the current IP source if the sender built the header itself.
+    """
+    payload = packet.payload
+    if packet.protocol != PROTO_MHRP or not isinstance(payload, MHRPPayload):
+        raise ProtocolError(f"not an MHRP packet: {packet!r}")
+    header = payload.header
+    original_sender = header.original_sender
+    if original_sender is not None:
+        packet.src = original_sender
+    packet.dst = header.mobile_host
+    packet.protocol = header.orig_protocol
+    packet.payload = payload.inner
+    return packet
+
+
+def retunnel(
+    packet: IPPacket,
+    new_destination: IPAddress,
+    my_address: IPAddress,
+    max_previous_sources: int = DEFAULT_MAX_PREVIOUS_SOURCES,
+) -> RetunnelResult:
+    """Re-tunnel an MHRP packet that arrived at the wrong agent.
+
+    Section 4.4's steps, performed by an old foreign agent (or the home
+    agent forwarding to the current foreign agent):
+
+    1. append the packet's current IP source to the previous-source list
+       (growing the MHRP header by 4 bytes, bounded by
+       ``max_previous_sources`` with the overflow fan-out rule);
+    2. set the IP source to this node's address (the packet's current IP
+       destination);
+    3. set the IP destination to ``new_destination`` — the newer foreign
+       agent, or the mobile host's home address so the home agent
+       intercepts it.
+
+    Loop detection (Section 5.3) happens *before* any mutation: if
+    ``my_address`` already appears on the list, one full pass around a
+    forwarding loop has completed; the caller dissolves it.
+    """
+    payload = packet.payload
+    if packet.protocol != PROTO_MHRP or not isinstance(payload, MHRPPayload):
+        raise ProtocolError(f"not an MHRP packet: {packet!r}")
+    if max_previous_sources < 1:
+        raise ProtocolError("max_previous_sources must be at least 1")
+    header = payload.header
+    if header.contains_source(my_address):
+        return RetunnelResult(loop_detected=True)
+    result = RetunnelResult()
+    if header.count >= max_previous_sources:
+        # Section 4.4 overflow: report every listed address for updating,
+        # truncate the list, and continue with only the newest entry.
+        result.flushed = list(header.previous_sources)
+        header.previous_sources.clear()
+    header.previous_sources.append(packet.src)
+    packet.src = my_address
+    packet.dst = IPAddress(new_destination)
+    return result

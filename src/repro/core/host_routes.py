@@ -1,0 +1,187 @@
+"""Host-specific routes within a routing domain (paper Section 3, end).
+
+"It may also be possible to support an entire routing domain with one
+(or more) home agents or foreign agents by selectively using
+host-specific IP routes."  Two halves:
+
+- **home side** — when one of the domain's mobile hosts leaves its home
+  network, the home agent advertises a /32 route for that host so every
+  router in the domain forwards the host's traffic toward the agent for
+  interception, without the agent needing to sit on the host's subnet;
+- **foreign side** — when a mobile host connects somewhere inside a
+  foreign domain, a /32 route toward its foreign agent lets any router
+  in that domain deliver arriving packets, so one foreign agent serves
+  the whole domain.
+
+Host routes "would not be propagated outside that routing domain":
+:class:`RoutingDomain` only ever touches the routers it was given.
+
+The IGP flooding a real deployment would use (OSPF/RIP) is abstracted to
+an instantaneous install/withdraw across the domain's routers; each
+router's next hop toward the agent is derived from its existing route to
+the agent's address, which is exactly the state an IGP would converge to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.core.foreign_agent import ForeignAgent
+from repro.core.home_agent import HomeAgent
+from repro.ip.address import IPAddress
+from repro.ip.node import IPNode
+
+#: Route tag so withdrawals only ever remove our own routes.
+HOST_ROUTE_TAG = "mhrp-host-route"
+
+
+class RoutingDomain:
+    """A set of routers forming one interior routing domain.
+
+    Advertisements are *owner-aware*: each /32 remembers which agent
+    advertised it, and a withdrawal by a different agent is a no-op.
+    This matters during a handoff between two agents of the same domain:
+    the connect notification to the new agent installs the new route
+    before the disconnect notification reaches the old agent, and the old
+    agent's withdrawal must not tear the new route down.
+    """
+
+    def __init__(self, name: str, routers: Iterable[IPNode]) -> None:
+        self.name = name
+        self.routers: List[IPNode] = list(routers)
+        self._advertised: Dict[IPAddress, IPAddress] = {}  # host -> via
+
+    @property
+    def advertised_hosts(self) -> Set[IPAddress]:
+        return set(self._advertised)
+
+    @staticmethod
+    def _tag_for(via: IPAddress) -> str:
+        return f"{HOST_ROUTE_TAG}:{via}"
+
+    def advertise_host_route(self, host: IPAddress, via: IPAddress) -> None:
+        """Install a /32 for ``host`` pointing toward ``via`` on every
+        router in the domain (except any that owns ``via`` itself)."""
+        host = IPAddress(host)
+        via = IPAddress(via)
+        for router in self.routers:
+            if router.has_address(via):
+                continue  # the agent delivers locally; no detour route
+            path = router.routing_table.lookup(via)
+            if path is None:
+                continue  # this router cannot reach the agent at all
+            next_hop = path.next_hop if path.next_hop is not None else via
+            router.routing_table.remove_host_route(host)
+            router.routing_table.add_host_route(
+                host, next_hop, path.interface_name, tag=self._tag_for(via)
+            )
+        self._advertised[host] = via
+
+    def withdraw_host_route(
+        self, host: IPAddress, via: IPAddress | None = None
+    ) -> None:
+        """Withdraw the /32 for ``host`` — only if ``via`` (when given)
+        is still the agent that owns the advertisement."""
+        host = IPAddress(host)
+        owner = self._advertised.get(host)
+        if owner is None:
+            return
+        if via is not None and IPAddress(via) != owner:
+            return  # a newer advertisement owns this route now
+        tag = self._tag_for(owner)
+        for router in self.routers:
+            route = router.routing_table.lookup(host)
+            if route is not None and route.is_host_route and route.tag == tag:
+                router.routing_table.remove_host_route(host)
+        del self._advertised[host]
+
+    def withdraw_all(self) -> None:
+        for host in list(self._advertised):
+            self.withdraw_host_route(host)
+
+
+class DomainHomeAgentBinding:
+    """Wires a home agent to its domain (the home side above).
+
+    While a mobile host is away, every domain router carries a /32 for it
+    toward the home agent.  The routes are advertised "only while the
+    mobile host was disconnected from its home network" — registration of
+    the zero address withdraws them.
+    """
+
+    def __init__(self, home_agent: HomeAgent, domain: RoutingDomain) -> None:
+        self.home_agent = home_agent
+        self.domain = domain
+        home_agent.location_listeners.append(self._on_location_changed)
+        # Pick up any hosts already away at binding time.
+        for mobile_host in home_agent.database.away_hosts():
+            self.domain.advertise_host_route(mobile_host, home_agent.address)
+
+    def _on_location_changed(self, mobile_host: IPAddress, foreign_agent: IPAddress) -> None:
+        if foreign_agent.is_zero:
+            self.domain.withdraw_host_route(mobile_host, via=self.home_agent.address)
+        else:
+            self.domain.advertise_host_route(mobile_host, self.home_agent.address)
+
+
+class RIPDomainHomeAgentBinding:
+    """The dynamic (IGP-driven) home side of the Section 3 variant.
+
+    Instead of installing /32s on every domain router instantaneously,
+    the home agent *originates* the host route into its own RIP speaker;
+    the IGP floods it through the domain with real convergence dynamics
+    (triggered updates, poisoning on withdrawal).
+    """
+
+    def __init__(self, home_agent: HomeAgent, rip_service) -> None:
+        self.home_agent = home_agent
+        self.rip = rip_service
+        home_agent.location_listeners.append(self._on_location_changed)
+        for mobile_host in home_agent.database.away_hosts():
+            self.rip.originate_host(mobile_host)
+
+    def _on_location_changed(self, mobile_host: IPAddress, foreign_agent: IPAddress) -> None:
+        if foreign_agent.is_zero:
+            self.rip.withdraw_host(mobile_host)
+        else:
+            self.rip.originate_host(mobile_host)
+
+
+class RIPDomainForeignAgentBinding:
+    """The dynamic foreign side: the foreign agent originates a /32 for
+    each visitor into the domain IGP while the visit lasts."""
+
+    def __init__(self, foreign_agent: ForeignAgent, rip_service) -> None:
+        self.foreign_agent = foreign_agent
+        self.rip = rip_service
+        foreign_agent.visitor_listeners.append(self._on_visitor_changed)
+        for mobile_host in foreign_agent.visitors:
+            self.rip.originate_host(mobile_host)
+
+    def _on_visitor_changed(self, mobile_host: IPAddress, present: bool) -> None:
+        if present:
+            self.rip.originate_host(mobile_host)
+        else:
+            self.rip.withdraw_host(mobile_host)
+
+
+class DomainForeignAgentBinding:
+    """Wires a foreign agent to its domain (the foreign side above).
+
+    While a mobile host visits, every domain router carries a /32 for it
+    toward the foreign agent, advertised "only while the mobile host was
+    connected to this foreign network".
+    """
+
+    def __init__(self, foreign_agent: ForeignAgent, domain: RoutingDomain) -> None:
+        self.foreign_agent = foreign_agent
+        self.domain = domain
+        foreign_agent.visitor_listeners.append(self._on_visitor_changed)
+        for mobile_host in foreign_agent.visitors:
+            self.domain.advertise_host_route(mobile_host, foreign_agent.address)
+
+    def _on_visitor_changed(self, mobile_host: IPAddress, present: bool) -> None:
+        if present:
+            self.domain.advertise_host_route(mobile_host, self.foreign_agent.address)
+        else:
+            self.domain.withdraw_host_route(mobile_host, via=self.foreign_agent.address)

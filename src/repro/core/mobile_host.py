@@ -1,0 +1,409 @@
+"""The mobile host (paper Sections 1–3, 6).
+
+A mobile host is an ordinary :class:`~repro.ip.host.Host` plus a thin
+network-level module — the paper requires "no changes to mobile hosts
+above the network level", and indeed the transport stacks and
+applications on this class are exactly the ones stationary hosts use.
+
+The host always uses its permanent *home* address.  Movement is modelled
+as re-attaching its interface to a different medium; the host then hears
+an agent advertisement and runs the Section 3 notification sequence:
+
+1. notify the **new foreign agent** (connect),
+2. notify the **home agent** (register the new foreign agent — or the
+   zero address when the host is back home),
+3. notify the **old foreign agent** (disconnect, carrying the new
+   foreign agent's address so it may keep a forwarding pointer).
+
+Returning home additionally broadcasts a gratuitous ARP to reclaim the
+home address from the home agent (Section 2).
+
+Two optional behaviours from the paper are implemented:
+
+- **own foreign agent** (Section 2): when a foreign network has no
+  foreign agent, the host can use a temporary address there purely as a
+  tunnel endpoint while applications keep using the home address;
+- **sender-side caching**: the host runs a cache agent for its own
+  traffic to other mobile hosts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.cache_agent import CacheAgent, UpdateRateLimiter, send_location_update
+from repro.core.discovery import AgentAdvertisementInfo, AgentDiscovery
+from repro.core.encapsulation import MHRPPayload, decapsulate
+from repro.core.home_agent import DISCONNECTED_ADDRESS
+from repro.core.registration import (
+    FA_CONNECT,
+    FA_DISCONNECT,
+    HA_REGISTER,
+    RegistrationMessage,
+    ReliableRegistrar,
+    next_seq,
+)
+from repro.errors import ProtocolError
+from repro.ip.address import IPAddress, IPNetwork
+from repro.ip.host import Host
+from repro.ip.packet import IPPacket
+from repro.ip.protocols import MHRP as PROTO_MHRP
+from repro.link.interface import NetworkInterface
+from repro.link.medium import Medium
+from repro.netsim.simulator import Simulator
+
+# Connection states.
+AT_HOME = "AT_HOME"
+AWAY = "AWAY"
+AWAY_SELF_AGENT = "AWAY_SELF_AGENT"
+DISCONNECTED = "DISCONNECTED"
+
+
+class MobileHost(Host):
+    """A host that may move between networks at any time.
+
+    Args:
+        sim: owning simulator.
+        name: node name.
+        home_address: the permanent address (used everywhere, always).
+        home_network: the home IP network.
+        home_agent: the home agent's address on the home network.
+        home_gateway: the default router to use while at home; defaults
+            to the home agent's address (the common co-located case) —
+            pass the real router when the home agent is a separate
+            support host (Section 2).
+        use_sender_cache: run a cache agent for this host's own sends.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        home_address: IPAddress | str,
+        home_network: IPNetwork | str,
+        home_agent: IPAddress | str,
+        home_gateway: IPAddress | str | None = None,
+        use_sender_cache: bool = True,
+    ) -> None:
+        super().__init__(sim, name)
+        self.home_address = IPAddress(home_address)
+        self.home_network = (
+            home_network if isinstance(home_network, IPNetwork) else IPNetwork(home_network)
+        )
+        self.home_agent = IPAddress(home_agent)
+        self.home_gateway = IPAddress(home_gateway if home_gateway is not None else home_agent)
+        self.iface: NetworkInterface = self.add_interface(
+            "wifi0", self.home_address, self.home_network
+        )
+        self.state = DISCONNECTED
+        self.current_foreign_agent: Optional[IPAddress] = None
+        self.temp_address: Optional[IPAddress] = None
+        self._fa_boot_ids: dict[IPAddress, int] = {}
+        self._registering_with: Optional[IPAddress] = None
+        self.limiter = UpdateRateLimiter()
+        self.registrar = ReliableRegistrar(self)
+        self.discovery = AgentDiscovery(self, self._on_agent_heard)
+        self.cache_agent: Optional[CacheAgent] = (
+            CacheAgent(self) if use_sender_cache else None
+        )
+        from repro.core.icmp_handling import TunnelErrorHandler
+
+        self.error_handler = TunnelErrorHandler.attach(self, cache_agent=self.cache_agent)
+        self.register_protocol(PROTO_MHRP, self._on_mhrp_packet)
+        # Advertisement-lifetime watchdog (Section 3's implicit-move
+        # detection turned inward): while away, if the serving foreign
+        # agent falls silent past its advertised lifetime, solicit; past
+        # twice the lifetime, consider the connection gone.
+        self._last_fa_heard = 0.0
+        self._fa_lifetime = 0.0
+        self._watchdog = sim.timer(self._check_agent_silence, label=f"mh-watchdog-{name}")
+        # Stats for the benches.
+        self.moves = 0
+        self.registrations = 0
+        self.silence_disconnects = 0
+
+    # ------------------------------------------------------------------
+    # Movement API (driven by mobility models or directly by tests)
+    # ------------------------------------------------------------------
+    @property
+    def at_home(self) -> bool:
+        return self.state == AT_HOME
+
+    def attach(self, medium: Medium, solicit: bool = True) -> None:
+        """Physically attach to a network (implicitly leaving the old one).
+
+        Registration happens when an agent advertisement is heard; pass
+        ``solicit=True`` (the default) to ask for one immediately rather
+        than waiting out the advertisement period (Section 3 allows both).
+        """
+        self.moves += 1
+        self.iface.attach_to(medium)
+        if solicit:
+            self.discovery.solicit("wifi0")
+
+    def attach_home(self, medium: Medium, solicit: bool = True) -> None:
+        """Attach directly to the home network."""
+        self.attach(medium, solicit=solicit)
+
+    def disconnect(self) -> None:
+        """Planned disconnection (Section 3): notify the home agent first,
+        then the old foreign agent, then detach."""
+        old_fa = self.current_foreign_agent
+        if self.state != AT_HOME:
+            self._register_with_home_agent(DISCONNECTED_ADDRESS)
+        if old_fa is not None:
+            self._notify_old_foreign_agent(old_fa, new_agent=IPAddress.zero())
+        self.current_foreign_agent = None
+        self.temp_address = None
+        self.state = DISCONNECTED
+        self._watchdog.cancel()
+        self.iface.detach()
+
+    def connect_as_own_foreign_agent(
+        self,
+        medium: Medium,
+        temp_address: IPAddress | str,
+        gateway: IPAddress | str,
+    ) -> None:
+        """Attach to a foreign network with no foreign agent (Section 2).
+
+        ``temp_address`` is used *only* as the tunnel endpoint registered
+        with the home agent; applications continue to see the home
+        address.  ``gateway`` is the foreign network's ordinary router.
+        """
+        old_fa = self.current_foreign_agent
+        self.moves += 1
+        self.iface.attach_to(medium)
+        temp = IPAddress(temp_address)
+        self.iface.alias_addresses = {temp}
+        self.temp_address = temp
+        self.state = AWAY_SELF_AGENT
+        self.current_foreign_agent = temp
+        self._set_away_routing(IPAddress(gateway))
+        self._register_with_home_agent(temp)
+        if old_fa is not None and old_fa != temp:
+            self._notify_old_foreign_agent(old_fa, new_agent=temp)
+
+    # ------------------------------------------------------------------
+    # Routing while away vs at home
+    # ------------------------------------------------------------------
+    def _set_away_routing(self, gateway: IPAddress) -> None:
+        """Route everything via the foreign agent (or foreign gateway).
+
+        The connected route for the home network must be withdrawn: the
+        home prefix is *not* on-link while visiting a foreign network,
+        and leaving the route in place would ARP for home-network
+        addresses (the home agent included) on the foreign medium.
+        """
+        self.routing_table.remove(self.home_network)
+        self.set_gateway(gateway)
+
+    def _set_home_routing(self) -> None:
+        self.routing_table.add_connected(self.home_network, "wifi0")
+        self.set_gateway(self.home_gateway)
+
+    # ------------------------------------------------------------------
+    # Agent discovery reactions (Section 3)
+    # ------------------------------------------------------------------
+    def _on_agent_heard(self, info: AgentAdvertisementInfo) -> None:
+        if info.agent == self.home_agent:
+            # Hearing our own home agent on-link means we are on the home
+            # network, whichever role bits this particular advertisement
+            # carries (a combined router advertises both roles and may
+            # emit them in separate messages).
+            self._heard_home_agent(info)
+            return
+        if info.is_foreign_agent:
+            self._heard_foreign_agent(info)
+
+    def _heard_home_agent(self, info: AgentAdvertisementInfo) -> None:
+        """We are (back) on the home network."""
+        if self.state == AT_HOME:
+            return
+        old_fa = self.current_foreign_agent
+        self.state = AT_HOME
+        self._watchdog.cancel()
+        self.current_foreign_agent = None
+        self.temp_address = None
+        self.iface.alias_addresses = set()
+        self._set_home_routing()
+        # Reclaim the home address on the home LAN (Section 2): other
+        # hosts' ARP caches still bind it to the home agent.
+        self.arp["wifi0"].announce(self.home_address)
+        # "The mobile host registers a special foreign agent address of
+        # zero with its home agent when reconnecting to its home network."
+        self._register_with_home_agent(IPAddress.zero())
+        if old_fa is not None:
+            # Section 6.3: the old foreign agent deletes the visitor and
+            # does NOT create a forwarding pointer (zero new agent).
+            self._notify_old_foreign_agent(old_fa, new_agent=IPAddress.zero())
+
+    def _heard_foreign_agent(self, info: AgentAdvertisementInfo) -> None:
+        agent = info.agent
+        previous_boot = self._fa_boot_ids.get(agent)
+        self._fa_boot_ids[agent] = info.boot_id
+        if agent == self.current_foreign_agent and self.state == AWAY:
+            self._last_fa_heard = self.sim.now
+            self._fa_lifetime = info.lifetime
+            if previous_boot is not None and previous_boot != info.boot_id:
+                # Our agent rebooted and lost its visitor list
+                # (Section 5.2): re-register proactively.
+                self._connect_to_foreign_agent(agent, rebind_only=True)
+            return
+        if agent == self._registering_with:
+            return  # registration already in flight
+        self._connect_to_foreign_agent(agent)
+
+    # ------------------------------------------------------------------
+    # Registration sequence (Section 3 ordering)
+    # ------------------------------------------------------------------
+    def _connect_to_foreign_agent(self, agent: IPAddress, rebind_only: bool = False) -> None:
+        old_fa = self.current_foreign_agent if not rebind_only else None
+        was_home = self.state == AT_HOME
+        self._registering_with = agent
+        # Route our own traffic via the new agent immediately; the
+        # registration itself (and everything after it) needs this.
+        self._set_away_routing(agent)
+        message = RegistrationMessage(
+            kind=FA_CONNECT,
+            seq=next_seq(),
+            mobile_host=self.home_address,
+            agent=agent,
+            hw_value=self.iface.hw_address.value,
+        )
+
+        def connected(ack: RegistrationMessage) -> None:
+            self._registering_with = None
+            if not ack.ok:
+                return
+            self.state = AWAY
+            self.current_foreign_agent = agent
+            self.temp_address = None
+            self.iface.alias_addresses = set()
+            self.registrations += 1
+            self._last_fa_heard = self.sim.now
+            if self._fa_lifetime <= 0:
+                from repro.core.discovery import DEFAULT_ADVERT_LIFETIME
+
+                self._fa_lifetime = DEFAULT_ADVERT_LIFETIME
+            self._watchdog.start(self._fa_lifetime)
+            # Step 2: the home agent.
+            self._register_with_home_agent(agent)
+            # Step 3: the old foreign agent (unless we came from home or
+            # already disconnected explicitly).
+            if old_fa is not None and old_fa != agent and not was_home:
+                self._notify_old_foreign_agent(old_fa, new_agent=agent)
+
+        def failed() -> None:
+            self._registering_with = None
+
+        self.registrar.send(agent, message, on_ack=connected, on_fail=failed)
+
+    def _register_with_home_agent(self, foreign_agent: IPAddress) -> None:
+        message = RegistrationMessage(
+            kind=HA_REGISTER,
+            seq=next_seq(),
+            mobile_host=self.home_address,
+            agent=foreign_agent,
+        )
+        self.registrar.send(self.home_agent, message)
+
+    def _notify_old_foreign_agent(self, old_fa: IPAddress, new_agent: IPAddress) -> None:
+        message = RegistrationMessage(
+            kind=FA_DISCONNECT,
+            seq=next_seq(),
+            mobile_host=self.home_address,
+            agent=new_agent,
+        )
+        self.registrar.send(old_fa, message)
+
+    # ------------------------------------------------------------------
+    # Foreign agent silence watchdog
+    # ------------------------------------------------------------------
+    def _check_agent_silence(self) -> None:
+        if self.state != AWAY or self._fa_lifetime <= 0:
+            return
+        silent_for = self.sim.now - self._last_fa_heard
+        if silent_for >= 2 * self._fa_lifetime:
+            # The agent is gone (crashed, or we drifted out of range
+            # without hearing anyone new): the connection is dead.
+            self.sim.trace(
+                "mhrp.register", self.name, event="mh-silence-disconnect",
+                agent=str(self.current_foreign_agent),
+            )
+            self.silence_disconnects += 1
+            self.current_foreign_agent = None
+            self.state = DISCONNECTED
+            return
+        if silent_for >= self._fa_lifetime:
+            # Past the advertised lifetime: ask before giving up.
+            self.discovery.solicit("wifi0")
+        self._watchdog.start(self._fa_lifetime / 2)
+
+    # ------------------------------------------------------------------
+    # MHRP packets addressed to this host
+    # ------------------------------------------------------------------
+    def _on_mhrp_packet(self, packet: IPPacket, iface: Optional[NetworkInterface]) -> None:
+        """A tunneled packet reached the host itself.
+
+        Two legitimate cases: the host is at home and a stale chain
+        re-tunneled the packet to the home address (Section 6.3), or the
+        host is its own foreign agent and this is a normal tunnel
+        delivery (Section 2).  Either way the host updates the stale
+        caches recorded in the packet and delivers the payload to itself.
+        """
+        payload = packet.payload
+        if not isinstance(payload, MHRPPayload):
+            return
+        header = payload.header
+        if header.mobile_host != self.home_address:
+            return  # tunneled to us by mistake; nothing useful to do
+        if self.state == AT_HOME or self.state == DISCONNECTED:
+            # Section 6.3: "indicating that it is currently connected to
+            # its home network and that S's cache entry ... should be
+            # deleted" — the zero foreign agent means exactly that.
+            location = IPAddress.zero()
+        elif self.state == AWAY_SELF_AGENT and self.temp_address is not None:
+            location = self.temp_address
+        elif self.current_foreign_agent is not None:
+            location = self.current_foreign_agent
+        else:
+            location = IPAddress.zero()
+        stale = list(header.previous_sources) + [packet.src]
+        for address in stale:
+            send_location_update(
+                self, address, self.home_address, location, self.limiter
+            )
+        decapsulate(packet)
+        self.sim.trace(
+            "mhrp.tunnel",
+            self.name,
+            event="mh-self-deliver",
+            uid=packet.uid,
+        )
+        self.packet_received(packet, iface)
+
+    def __repr__(self) -> str:
+        where = {
+            AT_HOME: "home",
+            AWAY: f"away via {self.current_foreign_agent}",
+            AWAY_SELF_AGENT: f"away self-agent {self.temp_address}",
+            DISCONNECTED: "disconnected",
+        }[self.state]
+        return f"<MobileHost {self.name} {self.home_address} ({where})>"
+
+
+class StationaryCorrespondent(Host):
+    """A stationary host that *does* implement MHRP sender-side caching.
+
+    The paper expects most Internet hosts to eventually run a cache agent
+    for their own traffic (Section 2); this class is that deployment.
+    Plain :class:`~repro.ip.host.Host` remains the never-modified host.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        super().__init__(sim, name)
+        self.cache_agent = CacheAgent(self)
+        from repro.core.icmp_handling import TunnelErrorHandler
+
+        self.error_handler = TunnelErrorHandler.attach(self, cache_agent=self.cache_agent)

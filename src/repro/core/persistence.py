@@ -1,0 +1,141 @@
+"""The home agent's location database and its durable storage.
+
+Section 2: the database "may be maintained in the memory of the home
+agent, but for reliability, should also be recorded on disk to survive
+any crashes and subsequent reboots of the home agent."
+
+:class:`LocationDatabase` is the in-memory map; give it a
+:class:`JSONFileStore` (or any object with ``save``/``load``) to make it
+durable.  The E5/E6 robustness benches crash and reboot home agents and
+rely on exactly this recovery path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Optional, Protocol
+
+from repro.ip.address import IPAddress
+
+
+class LocationStore(Protocol):
+    """Durable storage for the location database."""
+
+    def save(self, entries: Dict[str, str]) -> None:
+        """Persist the full database state."""
+        ...
+
+    def load(self) -> Dict[str, str]:
+        """Recover the last persisted state (empty if none)."""
+        ...
+
+
+class JSONFileStore:
+    """Stores the database as JSON, written atomically (write + rename)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def save(self, entries: Dict[str, str]) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".locdb-")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entries, handle)
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+    def load(self) -> Dict[str, str]:
+        if not os.path.exists(self.path):
+            return {}
+        with open(self.path) as handle:
+            return json.load(handle)
+
+
+class MemoryStore:
+    """A store that survives simulated reboots but not process exit.
+
+    The simulation's default: a crashed home agent loses its RAM but this
+    object plays the role of its disk.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, str] = {}
+
+    def save(self, entries: Dict[str, str]) -> None:
+        self._entries = dict(entries)
+
+    def load(self) -> Dict[str, str]:
+        return dict(self._entries)
+
+
+class LocationDatabase:
+    """Maps each of this home network's mobile hosts to its foreign agent.
+
+    A mobile host registered with the zero address is *at home*
+    (Section 3).  A host absent from the database has never registered
+    and is treated as an ordinary stationary host.
+    """
+
+    def __init__(self, store: Optional[LocationStore] = None) -> None:
+        self._entries: Dict[IPAddress, IPAddress] = {}
+        self._store = store
+        if store is not None:
+            self._entries = {
+                IPAddress(mh): IPAddress(fa) for mh, fa in store.load().items()
+            }
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, mobile_host: IPAddress) -> bool:
+        return mobile_host in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def foreign_agent_of(self, mobile_host: IPAddress) -> Optional[IPAddress]:
+        """Current foreign agent, the zero address if at home, or ``None``
+        if this is not one of our mobile hosts."""
+        return self._entries.get(mobile_host)
+
+    def is_away(self, mobile_host: IPAddress) -> bool:
+        fa = self._entries.get(mobile_host)
+        return fa is not None and not fa.is_zero
+
+    def away_hosts(self) -> Dict[IPAddress, IPAddress]:
+        """All currently-away hosts and their foreign agents."""
+        return {mh: fa for mh, fa in self._entries.items() if not fa.is_zero}
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def record(self, mobile_host: IPAddress, foreign_agent: IPAddress) -> None:
+        """Record a registration (zero foreign agent = returned home)."""
+        self._entries[IPAddress(mobile_host)] = IPAddress(foreign_agent)
+        self._persist()
+
+    def remove(self, mobile_host: IPAddress) -> None:
+        self._entries.pop(mobile_host, None)
+        self._persist()
+
+    def _persist(self) -> None:
+        if self._store is not None:
+            self._store.save({str(mh): str(fa) for mh, fa in self._entries.items()})
+
+    def reload(self) -> None:
+        """Recover state from the durable store (used after a reboot)."""
+        if self._store is not None:
+            self._entries = {
+                IPAddress(mh): IPAddress(fa)
+                for mh, fa in self._store.load().items()
+            }
+
+    def clear_memory(self) -> None:
+        """Simulate losing RAM contents (crash without disk recovery)."""
+        self._entries.clear()

@@ -1,0 +1,218 @@
+"""Registration control messages (paper Section 3).
+
+The paper specifies *what* must be notified and in which order — new
+foreign agent first, then the home agent, then the old foreign agent —
+but not a message format; this module supplies a minimal one:
+
+- ``FA_CONNECT``    mobile host → new foreign agent
+- ``FA_DISCONNECT`` mobile host → old foreign agent (carries the new
+  foreign agent's address so the old one may cache a forwarding pointer,
+  Section 2; zero when the host went home, Section 6.3)
+- ``HA_REGISTER``   mobile host → home agent (zero foreign agent = home)
+- ``ACK``           agent → mobile host
+
+Registrations cross wireless links and possibly half the internetwork,
+so they are retransmitted until acknowledged (:class:`ReliableRegistrar`).
+
+All control traffic rides IP protocol :data:`~repro.ip.protocols.MOBILE_CONTROL`;
+a per-node :class:`ControlDispatcher` demultiplexes by message kind so a
+single router can host a home agent and a foreign agent at once.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.errors import RegistrationError
+from repro.ip.address import IPAddress
+from repro.ip.node import IPNode
+from repro.ip.packet import IPPacket
+from repro.ip.protocols import MOBILE_CONTROL
+
+# Message kinds.
+FA_CONNECT = "fa-connect"
+FA_DISCONNECT = "fa-disconnect"
+HA_REGISTER = "ha-register"
+ACK = "ack"
+
+#: Retransmission schedule for reliable registrations.
+REG_RETRY_INTERVAL = 1.0
+REG_MAX_RETRIES = 5
+
+_seq_counter = itertools.count(1)
+
+
+@dataclass
+class RegistrationMessage:
+    """One control message.
+
+    ``hw_value`` lets a foreign agent learn the visiting host's hardware
+    address straight from the connect notification (Section 2 offers this
+    as the alternative to ARP for the last hop).
+    """
+
+    kind: str
+    seq: int
+    mobile_host: IPAddress
+    agent: IPAddress = field(default_factory=IPAddress.zero)
+    hw_value: int = 0
+    ok: bool = True
+
+    @property
+    def byte_length(self) -> int:
+        # kind/flags (2) + seq (2) + mobile host (4) + agent (4) + hw (6).
+        return 18
+
+    def to_bytes(self) -> bytes:
+        kind_codes = {FA_CONNECT: 1, FA_DISCONNECT: 2, HA_REGISTER: 3, ACK: 4}
+        out = bytearray()
+        out.append(kind_codes.get(self.kind, 0))
+        out.append(1 if self.ok else 0)
+        out += (self.seq & 0xFFFF).to_bytes(2, "big")
+        out += self.mobile_host.to_bytes()
+        out += self.agent.to_bytes()
+        out += (self.hw_value & ((1 << 48) - 1)).to_bytes(6, "big")
+        return bytes(out)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Reg {self.kind} #{self.seq} mh={self.mobile_host} "
+            f"agent={self.agent} ok={self.ok}>"
+        )
+
+
+def next_seq() -> int:
+    return next(_seq_counter)
+
+
+class ControlDispatcher:
+    """Per-node demultiplexer for :data:`MOBILE_CONTROL` packets."""
+
+    _ATTR = "_mhrp_control_dispatcher"
+
+    def __init__(self, node: IPNode) -> None:
+        self.node = node
+        self._handlers: Dict[str, Callable[[IPPacket, RegistrationMessage], None]] = {}
+        self._ack_waiters: Dict[int, Callable[[RegistrationMessage], None]] = {}
+        node.register_protocol(MOBILE_CONTROL, self._handle)
+
+    @classmethod
+    def for_node(cls, node: IPNode) -> "ControlDispatcher":
+        """The node's dispatcher, created on first use."""
+        dispatcher = getattr(node, cls._ATTR, None)
+        if dispatcher is None:
+            dispatcher = cls(node)
+            setattr(node, cls._ATTR, dispatcher)
+        return dispatcher
+
+    def on(self, kind: str, handler: Callable[[IPPacket, RegistrationMessage], None]) -> None:
+        if kind in self._handlers:
+            raise RegistrationError(
+                f"{self.node.name}: control kind {kind!r} already handled"
+            )
+        self._handlers[kind] = handler
+
+    def expect_ack(self, seq: int, callback: Callable[[RegistrationMessage], None]) -> None:
+        self._ack_waiters[seq] = callback
+
+    def cancel_ack(self, seq: int) -> None:
+        self._ack_waiters.pop(seq, None)
+
+    def _handle(self, packet: IPPacket, iface: object) -> None:
+        message = packet.payload
+        if not isinstance(message, RegistrationMessage):
+            return
+        if message.kind == ACK:
+            waiter = self._ack_waiters.pop(message.seq, None)
+            if waiter is not None:
+                waiter(message)
+            return
+        handler = self._handlers.get(message.kind)
+        if handler is not None:
+            handler(packet, message)
+
+    def send_ack(
+        self,
+        to: IPAddress,
+        request: RegistrationMessage,
+        agent: Optional[IPAddress] = None,
+        ok: bool = True,
+    ) -> None:
+        """Acknowledge ``request`` back to ``to``."""
+        ack = RegistrationMessage(
+            kind=ACK,
+            seq=request.seq,
+            mobile_host=request.mobile_host,
+            agent=agent if agent is not None else IPAddress.zero(),
+            ok=ok,
+        )
+        self.node.send(IPPacket(
+            src=self.node.primary_address,
+            dst=to,
+            protocol=MOBILE_CONTROL,
+            payload=ack,
+        ))
+
+
+class ReliableRegistrar:
+    """Retransmits one registration until acknowledged or given up."""
+
+    def __init__(self, node: IPNode) -> None:
+        self.node = node
+        self.dispatcher = ControlDispatcher.for_node(node)
+
+    def send(
+        self,
+        destination: IPAddress,
+        message: RegistrationMessage,
+        on_ack: Optional[Callable[[RegistrationMessage], None]] = None,
+        on_fail: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Send ``message`` to ``destination`` reliably."""
+        sim = self.node.sim
+        attempts = {"n": 0}
+        timer = sim.timer(lambda: retry(), label=f"reg-retry-{message.seq}")
+
+        def transmit() -> None:
+            self.node.sim.trace(
+                "mhrp.register",
+                self.node.name,
+                event="send",
+                kind=message.kind,
+                to=str(destination),
+                attempt=attempts["n"],
+            )
+            self.node.send(IPPacket(
+                src=self.node.primary_address,
+                dst=destination,
+                protocol=MOBILE_CONTROL,
+                payload=message,
+            ))
+
+        def retry() -> None:
+            attempts["n"] += 1
+            if attempts["n"] > REG_MAX_RETRIES:
+                self.dispatcher.cancel_ack(message.seq)
+                self.node.sim.trace(
+                    "mhrp.register",
+                    self.node.name,
+                    event="gave-up",
+                    kind=message.kind,
+                    to=str(destination),
+                )
+                if on_fail is not None:
+                    on_fail()
+                return
+            transmit()
+            timer.start(REG_RETRY_INTERVAL)
+
+        def acked(ack: RegistrationMessage) -> None:
+            timer.cancel()
+            if on_ack is not None:
+                on_ack(ack)
+
+        self.dispatcher.expect_ack(message.seq, acked)
+        transmit()
+        timer.start(REG_RETRY_INTERVAL)

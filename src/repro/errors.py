@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without also catching programming errors
+such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """An inconsistency was detected inside the discrete-event engine."""
+
+
+class AddressError(ReproError):
+    """An IP address or network string/value could not be interpreted."""
+
+
+class PacketError(ReproError):
+    """A packet could not be built, serialized, or parsed."""
+
+
+class RoutingError(ReproError):
+    """No route exists, or a routing table operation was invalid."""
+
+
+class LinkError(ReproError):
+    """A link-layer operation failed (e.g. interface not attached)."""
+
+
+class TransportError(ReproError):
+    """A transport-layer (UDP/TCP) operation failed."""
+
+
+class ProtocolError(ReproError):
+    """A mobility-protocol operation (MHRP or a baseline) failed."""
+
+
+class RegistrationError(ProtocolError):
+    """A mobile host registration (connect/disconnect) was rejected."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured inconsistently."""

@@ -1,0 +1,33 @@
+"""The internet checksum (RFC 1071).
+
+Used by the IP header, ICMP messages, and the MHRP header (Figure 3 of the
+paper includes an "MHRP Header Checksum" field).
+"""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """One's-complement sum of 16-bit words, per RFC 1071.
+
+    Odd-length input is padded with a zero byte.  Returns the 16-bit
+    checksum value to be stored in a header (i.e. already complemented).
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    # Fold carries.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True if ``data`` (including its embedded checksum field) verifies.
+
+    A block whose stored checksum is correct sums to 0xFFFF before the
+    final complement, i.e. :func:`internet_checksum` over it returns 0.
+    """
+    return internet_checksum(data) == 0

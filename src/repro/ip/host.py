@@ -1,0 +1,72 @@
+"""End hosts."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ip.address import IPAddress
+from repro.ip.icmp import EchoMessage
+from repro.ip.node import IPNode
+from repro.netsim.simulator import Simulator
+
+
+class Host(IPNode):
+    """A non-forwarding end host.
+
+    Stationary hosts in the reproduced topologies are plain ``Host``
+    instances with no MHRP code at all — the paper requires "no changes
+    to non-mobile hosts", and several tests assert MHRP delivers to and
+    from exactly this class.  Transport stacks (:mod:`repro.transport`)
+    are created lazily on first use of :attr:`udp` / :attr:`tcp`.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        super().__init__(sim, name, forwarding=False)
+        self._udp = None
+        self._tcp = None
+        self._echo_seq = 0
+
+    # ------------------------------------------------------------------
+    # Convenience configuration
+    # ------------------------------------------------------------------
+    def set_gateway(self, gateway: IPAddress, iface_name: Optional[str] = None) -> None:
+        """Install a default route via ``gateway``."""
+        name = iface_name or self.primary_interface.name
+        self.routing_table.set_default(IPAddress(gateway), name)
+
+    # ------------------------------------------------------------------
+    # Transport stacks
+    # ------------------------------------------------------------------
+    @property
+    def udp(self):
+        """This host's UDP stack (created on first access)."""
+        if self._udp is None:
+            from repro.transport.udp import UDPStack
+
+            self._udp = UDPStack(self)
+        return self._udp
+
+    @property
+    def tcp(self):
+        """This host's TCP stack (created on first access)."""
+        if self._tcp is None:
+            from repro.transport.tcp import TCPStack
+
+            self._tcp = TCPStack(self)
+        return self._tcp
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def ping(self, dst: IPAddress, data: bytes = b"") -> int:
+        """Send one ICMP echo request; returns the sequence number used.
+
+        Replies arrive through the node's ICMP listener registry
+        (``on_icmp(TYPE_ECHO_REPLY, ...)``).
+        """
+        self._echo_seq += 1
+        request = EchoMessage.request(
+            identifier=id(self) & 0xFFFF, sequence=self._echo_seq, data=data
+        )
+        self.send_icmp(IPAddress(dst), request)
+        return self._echo_seq

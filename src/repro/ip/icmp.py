@@ -1,0 +1,255 @@
+"""ICMP messages (RFC 792), router discovery (RFC 1256), and the paper's
+new **location update** message type (Section 4.3).
+
+The paper defines the location update as a new ICMP type "due to its
+similarity with the existing ICMP redirect message type, and also to aid
+in backwards compatibility": hosts that do not implement MHRP silently
+discard unknown ICMP types (RFC 1122), which the node layer honours.
+
+Error messages quote the offending packet.  Section 4.5 leans on the
+quoting rules, so both variants are modelled: a full-packet quote, or the
+minimal "IP header + 8 bytes" quote — a cache agent can only reverse the
+tunnel transforms if the quote covers the whole MHRP header plus 8 bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ip.address import IPAddress
+from repro.ip.packet import IPPacket
+
+# Message types.
+TYPE_ECHO_REPLY = 0
+TYPE_DEST_UNREACHABLE = 3
+TYPE_REDIRECT = 5
+TYPE_ECHO_REQUEST = 8
+TYPE_ROUTER_ADVERTISEMENT = 9
+TYPE_ROUTER_SOLICITATION = 10
+TYPE_TIME_EXCEEDED = 11
+#: The paper's new ICMP type for MHRP location updates.
+TYPE_LOCATION_UPDATE = 40
+
+# Destination-unreachable codes.
+CODE_NET_UNREACHABLE = 0
+CODE_HOST_UNREACHABLE = 1
+CODE_PROTOCOL_UNREACHABLE = 2
+CODE_PORT_UNREACHABLE = 3
+CODE_FRAG_NEEDED = 4  # "fragmentation needed and DF set"
+
+_ICMP_HEADER_LEN = 8
+
+
+@dataclass
+class ICMPMessage:
+    """Base class; concrete subclasses below define their bodies."""
+
+    icmp_type: int = 0
+    code: int = 0
+
+    @property
+    def is_error(self) -> bool:
+        return self.icmp_type in (TYPE_DEST_UNREACHABLE, TYPE_TIME_EXCEEDED)
+
+    @property
+    def byte_length(self) -> int:
+        return _ICMP_HEADER_LEN
+
+    def to_bytes(self) -> bytes:
+        return bytes([self.icmp_type, self.code]) + b"\x00" * (_ICMP_HEADER_LEN - 2)
+
+
+@dataclass
+class EchoMessage(ICMPMessage):
+    """Echo request/reply with identifier, sequence, and optional data."""
+
+    identifier: int = 0
+    sequence: int = 0
+    data: bytes = b""
+
+    @property
+    def byte_length(self) -> int:
+        return _ICMP_HEADER_LEN + len(self.data)
+
+    def to_bytes(self) -> bytes:
+        head = bytearray(_ICMP_HEADER_LEN)
+        head[0], head[1] = self.icmp_type, self.code
+        head[4:6] = (self.identifier & 0xFFFF).to_bytes(2, "big")
+        head[6:8] = (self.sequence & 0xFFFF).to_bytes(2, "big")
+        return bytes(head) + self.data
+
+    @classmethod
+    def request(cls, identifier: int, sequence: int, data: bytes = b"") -> "EchoMessage":
+        return cls(icmp_type=TYPE_ECHO_REQUEST, identifier=identifier, sequence=sequence, data=data)
+
+    @classmethod
+    def reply_to(cls, request: "EchoMessage") -> "EchoMessage":
+        return cls(
+            icmp_type=TYPE_ECHO_REPLY,
+            identifier=request.identifier,
+            sequence=request.sequence,
+            data=request.data,
+        )
+
+
+@dataclass
+class ICMPError(ICMPMessage):
+    """Destination-unreachable / time-exceeded, quoting the bad packet.
+
+    ``quote_full`` selects between quoting the entire original packet and
+    the RFC 792 minimum (IP header + 8 bytes beyond it).  Section 4.5 of
+    the paper distinguishes exactly these cases.
+    """
+
+    quoted: Optional[IPPacket] = None
+    quote_full: bool = False
+    #: Upper bound on quoted bytes, set by the generating node so the
+    #: error message itself fits its outgoing MTU (RFC 1812 caps error
+    #: messages rather than fragmenting them).  ``None`` = unlimited.
+    max_quote: Optional[int] = None
+
+    @property
+    def quoted_bytes(self) -> int:
+        """How many bytes of the original packet the quote carries."""
+        if self.quoted is None:
+            return 0
+        if self.quote_full:
+            size = self.quoted.total_length
+        else:
+            beyond_header = min(8, self.quoted.payload.byte_length)
+            size = self.quoted.header_length + beyond_header
+        if self.max_quote is not None:
+            size = min(size, max(self.max_quote, 0))
+        return size
+
+    def quote_covers_mhrp(self, mhrp_header_length: int) -> bool:
+        """Whether the quote includes the whole MHRP header plus 8 bytes.
+
+        Per Section 4.5, this is the condition under which a cache agent
+        can reverse its transforms and forward the error onward; with a
+        shorter quote "little can be done ... beyond deleting its cache
+        entry".
+        """
+        if self.quoted is None:
+            return False
+        needed = self.quoted.header_length + mhrp_header_length + 8
+        return self.quoted_bytes >= min(needed, self.quoted.total_length)
+
+    @property
+    def byte_length(self) -> int:
+        return _ICMP_HEADER_LEN + self.quoted_bytes
+
+    def to_bytes(self) -> bytes:
+        head = bytearray(_ICMP_HEADER_LEN)
+        head[0], head[1] = self.icmp_type, self.code
+        quote = self.quoted.to_bytes()[: self.quoted_bytes] if self.quoted else b""
+        return bytes(head) + quote
+
+    @classmethod
+    def unreachable(
+        cls, quoted: IPPacket, code: int = CODE_HOST_UNREACHABLE, quote_full: bool = False
+    ) -> "ICMPError":
+        return cls(
+            icmp_type=TYPE_DEST_UNREACHABLE,
+            code=code,
+            quoted=quoted.copy(),
+            quote_full=quote_full,
+        )
+
+    @classmethod
+    def time_exceeded(cls, quoted: IPPacket, quote_full: bool = False) -> "ICMPError":
+        return cls(icmp_type=TYPE_TIME_EXCEEDED, quoted=quoted.copy(), quote_full=quote_full)
+
+
+@dataclass
+class LocationUpdate(ICMPMessage):
+    """The paper's new ICMP message (Section 4.3).
+
+    Reports that packets for ``mobile_host`` should be tunneled to
+    ``foreign_agent``.  A zero ``foreign_agent`` means the host is at home
+    and the recipient should *delete* its cache entry (Section 6.3); a
+    ``purge`` update is used for loop dissolution (Section 5.3), which
+    also deletes the entry.
+    """
+
+    mobile_host: IPAddress = field(default_factory=IPAddress.zero)
+    foreign_agent: IPAddress = field(default_factory=IPAddress.zero)
+    purge: bool = False
+
+    def __post_init__(self) -> None:
+        self.icmp_type = TYPE_LOCATION_UPDATE
+
+    @property
+    def clears_entry(self) -> bool:
+        """True when the recipient should drop its cache entry."""
+        return self.purge or self.foreign_agent.is_zero
+
+    @property
+    def byte_length(self) -> int:
+        # type/code/checksum/unused (8) + mobile host (4) + foreign agent (4).
+        return _ICMP_HEADER_LEN + 8
+
+    def to_bytes(self) -> bytes:
+        head = bytearray(_ICMP_HEADER_LEN)
+        head[0], head[1] = self.icmp_type, 1 if self.purge else 0
+        return bytes(head) + self.mobile_host.to_bytes() + self.foreign_agent.to_bytes()
+
+    def __repr__(self) -> str:
+        if self.purge:
+            return f"<LocationUpdate PURGE {self.mobile_host}>"
+        return f"<LocationUpdate {self.mobile_host} at {self.foreign_agent}>"
+
+
+@dataclass
+class RouterAdvertisement(ICMPMessage):
+    """RFC 1256 router advertisement, extended with the MHRP agent bits.
+
+    The paper's agent discovery (Section 3) is "similar to the Internet's
+    ICMP router discovery protocol"; the advertisement carries whether the
+    sender is willing to act as a home agent and/or foreign agent.
+    """
+
+    router_address: IPAddress = field(default_factory=IPAddress.zero)
+    lifetime: float = 30.0
+    is_home_agent: bool = False
+    is_foreign_agent: bool = False
+
+    def __post_init__(self) -> None:
+        self.icmp_type = TYPE_ROUTER_ADVERTISEMENT
+
+    @property
+    def byte_length(self) -> int:
+        # header (8) + one address entry (8) + agent-bits extension (4).
+        return _ICMP_HEADER_LEN + 12
+
+    def to_bytes(self) -> bytes:
+        head = bytearray(_ICMP_HEADER_LEN)
+        head[0] = self.icmp_type
+        head[4] = 1  # num addrs
+        head[5] = 2  # addr entry size (words): address + preference
+        head[6:8] = int(self.lifetime).to_bytes(2, "big")
+        preference = 0
+        flags = (1 if self.is_home_agent else 0) | (2 if self.is_foreign_agent else 0)
+        return (
+            bytes(head)
+            + self.router_address.to_bytes()
+            + preference.to_bytes(4, "big")
+            + flags.to_bytes(4, "big")
+        )
+
+    def __repr__(self) -> str:
+        roles = []
+        if self.is_home_agent:
+            roles.append("HA")
+        if self.is_foreign_agent:
+            roles.append("FA")
+        return f"<AgentAdvert {self.router_address} [{'/'.join(roles) or 'router'}]>"
+
+
+@dataclass
+class RouterSolicitation(ICMPMessage):
+    """RFC 1256 solicitation; mobile hosts multicast one to find agents."""
+
+    def __post_init__(self) -> None:
+        self.icmp_type = TYPE_ROUTER_SOLICITATION

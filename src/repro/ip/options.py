@@ -1,0 +1,138 @@
+"""IP options.
+
+Only the options the reproduced protocols need are implemented: End of
+Option List, No-Operation (for padding), and Loose Source and Record Route
+(LSRR), which the IBM baseline (Perkins & Rekhter) builds on.  Options
+serialize byte-accurately so packet sizes in the overhead benchmarks come
+from real encodings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.errors import PacketError
+from repro.ip.address import IPAddress
+
+#: Option type octets (copy flag | class | number), per RFC 791.
+OPT_END = 0
+OPT_NOP = 1
+OPT_LSRR = 0x83  # copied flag set, class 0, number 3
+
+
+@dataclass(frozen=True)
+class IPOption:
+    """A generic single-byte or TLV option."""
+
+    kind: int
+    data: bytes = b""
+
+    def to_bytes(self) -> bytes:
+        if self.kind in (OPT_END, OPT_NOP):
+            return bytes([self.kind])
+        return bytes([self.kind, len(self.data) + 2]) + self.data
+
+    @property
+    def byte_length(self) -> int:
+        return len(self.to_bytes())
+
+
+@dataclass
+class LSRROption:
+    """Loose Source and Record Route (RFC 791, section 3.1).
+
+    ``route`` holds the remaining/recorded route addresses; ``pointer`` is
+    the RFC's octet offset into the option (minimum 4).  When
+    ``pointer > length`` the source route is exhausted and the recorded
+    route is complete.
+
+    The IBM baseline relies on two behaviours the paper calls out:
+
+    - routers on the listed route consume their entry and record their own
+      address in its place (:meth:`advance`), and
+    - receivers are *supposed to* reverse the recorded route for replies
+      (:meth:`reversed_route`) — and many 1994 implementations got this
+      wrong, which the baseline can emulate via its ``broken_fraction``.
+    """
+
+    route: List[IPAddress] = field(default_factory=list)
+    pointer: int = 4
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every listed hop has been consumed."""
+        return self.pointer > self.length
+
+    @property
+    def length(self) -> int:
+        """Total option length in bytes: type + len + pointer + 4*n."""
+        return 3 + 4 * len(self.route)
+
+    @property
+    def byte_length(self) -> int:
+        return self.length
+
+    @property
+    def next_hop_index(self) -> int:
+        """Index into ``route`` of the next source-route hop."""
+        return (self.pointer - 4) // 4
+
+    def next_hop(self) -> IPAddress:
+        """The next address in the source route."""
+        if self.exhausted:
+            raise PacketError("LSRR source route exhausted")
+        return self.route[self.next_hop_index]
+
+    def advance(self, recorded: IPAddress) -> IPAddress:
+        """Consume the next hop, recording ``recorded`` in its slot.
+
+        Returns the consumed (next-hop) address.  This mirrors RFC 791:
+        the router replaces the source-route entry with its own address
+        and advances the pointer by 4.
+        """
+        hop = self.next_hop()
+        self.route[self.next_hop_index] = recorded
+        self.pointer += 4
+        return hop
+
+    def reversed_route(self) -> List[IPAddress]:
+        """The recorded route, reversed, for use in a reply's LSRR."""
+        return list(reversed(self.route))
+
+    def copy(self) -> "LSRROption":
+        return LSRROption(route=list(self.route), pointer=self.pointer)
+
+    def to_bytes(self) -> bytes:
+        out = bytearray([OPT_LSRR, self.length, self.pointer])
+        for addr in self.route:
+            out += addr.to_bytes()
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LSRROption":
+        if len(data) < 3 or data[0] != OPT_LSRR:
+            raise PacketError("not an LSRR option")
+        length, pointer = data[1], data[2]
+        if length != len(data) or (length - 3) % 4:
+            raise PacketError(f"malformed LSRR option (length={length})")
+        route = [
+            IPAddress.from_bytes(data[i : i + 4]) for i in range(3, length, 4)
+        ]
+        return cls(route=route, pointer=pointer)
+
+
+def options_byte_length(options: Sequence[object]) -> int:
+    """Total serialized size of an option list, padded to a 4-byte boundary."""
+    raw = sum(opt.byte_length for opt in options)  # type: ignore[attr-defined]
+    return (raw + 3) & ~3
+
+
+def serialize_options(options: Sequence[object]) -> bytes:
+    """Serialize options and pad with EOL/zero bytes to a 4-byte boundary."""
+    out = bytearray()
+    for opt in options:
+        out += opt.to_bytes()  # type: ignore[attr-defined]
+    while len(out) % 4:
+        out.append(OPT_END)
+    return bytes(out)

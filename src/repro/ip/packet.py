@@ -1,0 +1,176 @@
+"""Byte-accurate IPv4 packets.
+
+Packets are Python objects while in flight (fast to route and inspect in
+tests), but every packet and payload can serialize itself to the exact
+byte layout of the wire format, so the paper's per-packet overhead numbers
+(Section 7) are measured from real encodings rather than asserted.
+
+A payload is anything implementing the small :class:`Payload` protocol:
+``byte_length`` and ``to_bytes()``.  Transport segments, ICMP messages,
+and MHRP-encapsulated payloads all implement it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, runtime_checkable
+
+from repro.errors import PacketError
+from repro.ip.address import IPAddress
+from repro.ip.checksum import internet_checksum
+from repro.ip.options import LSRROption, options_byte_length, serialize_options
+from repro.ip.protocols import protocol_name
+
+#: Default initial time-to-live, matching 1990s BSD practice.
+DEFAULT_TTL = 64
+
+#: Fixed IPv4 header size without options.
+BASE_HEADER_LEN = 20
+
+_packet_ids = itertools.count(1)
+
+
+@runtime_checkable
+class Payload(Protocol):
+    """Anything that can ride inside an IP packet."""
+
+    @property
+    def byte_length(self) -> int:
+        """Serialized size in bytes."""
+        ...
+
+    def to_bytes(self) -> bytes:
+        """Exact wire encoding."""
+        ...
+
+
+@dataclass(frozen=True)
+class RawPayload:
+    """Opaque application bytes.
+
+    For workloads that only care about sizes, construct with
+    ``RawPayload.of_size(n)`` which synthesizes deterministic filler.
+    """
+
+    data: bytes = b""
+
+    @classmethod
+    def of_size(cls, size: int) -> "RawPayload":
+        if size < 0:
+            raise PacketError(f"payload size cannot be negative: {size}")
+        return cls(bytes(itertools.islice(itertools.cycle(b"mhrp"), size)))
+
+    @property
+    def byte_length(self) -> int:
+        return len(self.data)
+
+    def to_bytes(self) -> bytes:
+        return self.data
+
+
+@dataclass
+class IPPacket:
+    """An IPv4 packet.
+
+    Only the fields the reproduced protocols read or rewrite are modelled
+    as attributes; the remaining header fields (version, IHL, total
+    length, header checksum) are derived during serialization.
+
+    ``uid`` identifies the *original* packet across tunneling transforms:
+    MHRP rewrites headers in place rather than nesting packets, so the uid
+    survives every tunnel hop and lets the metrics layer follow one
+    logical packet end to end.
+    """
+
+    src: IPAddress
+    dst: IPAddress
+    protocol: int
+    payload: Payload = field(default_factory=RawPayload)
+    ttl: int = DEFAULT_TTL
+    tos: int = 0
+    identification: int = 0
+    options: List[object] = field(default_factory=list)
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        self.src = IPAddress(self.src)
+        self.dst = IPAddress(self.dst)
+        if not 0 <= self.protocol <= 255:
+            raise PacketError(f"protocol number out of range: {self.protocol}")
+        if not 0 <= self.ttl <= 255:
+            raise PacketError(f"TTL out of range: {self.ttl}")
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def header_length(self) -> int:
+        """IP header size in bytes, including padded options."""
+        return BASE_HEADER_LEN + options_byte_length(self.options)
+
+    @property
+    def total_length(self) -> int:
+        """Full packet size in bytes."""
+        return self.header_length + self.payload.byte_length
+
+    @property
+    def has_options(self) -> bool:
+        return bool(self.options)
+
+    def find_lsrr(self) -> Optional[LSRROption]:
+        """The packet's LSRR option, if present."""
+        for opt in self.options:
+            if isinstance(opt, LSRROption):
+                return opt
+        return None
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize to the exact IPv4 wire format."""
+        ihl_words = self.header_length // 4
+        if ihl_words > 15:
+            raise PacketError("options too long for IHL field")
+        header = bytearray(BASE_HEADER_LEN)
+        header[0] = (4 << 4) | ihl_words
+        header[1] = self.tos
+        header[2:4] = self.total_length.to_bytes(2, "big")
+        header[4:6] = (self.identification & 0xFFFF).to_bytes(2, "big")
+        header[6:8] = b"\x00\x00"  # flags + fragment offset (unfragmented)
+        header[8] = self.ttl
+        header[9] = self.protocol
+        # bytes 10-11: checksum, filled below
+        header[12:16] = self.src.to_bytes()
+        header[16:20] = self.dst.to_bytes()
+        full_header = bytes(header) + serialize_options(self.options)
+        csum = internet_checksum(full_header)
+        full_header = (
+            full_header[:10] + csum.to_bytes(2, "big") + full_header[12:]
+        )
+        return full_header + self.payload.to_bytes()
+
+    def copy(self) -> "IPPacket":
+        """A shallow copy sharing the payload but with copied options.
+
+        The copy keeps the same ``uid``: it is the same logical packet
+        (used for retransmission buffers and the ICMP-quoted original).
+        """
+        return IPPacket(
+            src=self.src,
+            dst=self.dst,
+            protocol=self.protocol,
+            payload=self.payload,
+            ttl=self.ttl,
+            tos=self.tos,
+            identification=self.identification,
+            options=[opt.copy() if hasattr(opt, "copy") else opt for opt in self.options],
+            uid=self.uid,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<IPPacket #{self.uid} {self.src}->{self.dst} "
+            f"{protocol_name(self.protocol)} ttl={self.ttl} len={self.total_length}>"
+        )

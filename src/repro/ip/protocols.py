@@ -1,0 +1,43 @@
+"""IP protocol numbers used in the simulation.
+
+Real IANA numbers are used where they exist (ICMP, TCP, UDP, IPIP).  The
+1994 experimental protocols get numbers from the IANA "experimentation"
+range; what matters to the protocols is only that the numbers are distinct
+and that MHRP's original-protocol preservation round-trips.
+"""
+
+from __future__ import annotations
+
+#: Internet Control Message Protocol (RFC 792).
+ICMP = 1
+#: IP-in-IP encapsulation, used by the Columbia baseline (RFC 2003's number).
+IPIP = 4
+#: Transmission Control Protocol.
+TCP = 6
+#: User Datagram Protocol.
+UDP = 17
+#: Sony's Virtual Internet Protocol header (experimental number).
+VIP = 250
+#: Matsushita's Internet Packet Transmission Protocol (experimental number).
+IPTP = 251
+#: The paper's Mobile Host Routing Protocol encapsulation (experimental number).
+MHRP = 252
+#: Registration/control messages for baseline protocols that used bespoke
+#: UDP-like control channels; kept distinct for trace clarity.
+MOBILE_CONTROL = 253
+
+_NAMES = {
+    ICMP: "ICMP",
+    IPIP: "IPIP",
+    TCP: "TCP",
+    UDP: "UDP",
+    VIP: "VIP",
+    IPTP: "IPTP",
+    MHRP: "MHRP",
+    MOBILE_CONTROL: "MOBILE_CONTROL",
+}
+
+
+def protocol_name(number: int) -> str:
+    """Human-readable name for a protocol number (for traces and repr)."""
+    return _NAMES.get(number, f"proto-{number}")

@@ -1,0 +1,352 @@
+"""A RIP-style distance-vector interior routing protocol (RFC 1058).
+
+The MHRP paper assumes "ordinary IP routing" underneath and, in the
+Section 3 routing-domain variant, that host-specific routes "would be
+advertised" within a domain by its interior protocol.  The static
+tables built by the topology helpers model a converged network; this
+module supplies the *protocol* for deployments that want dynamic
+convergence — including the host-route variant propagating /32s through
+a real IGP (see :mod:`repro.core.host_routes`: ``RoutingDomain`` is the
+instantaneous abstraction, ``RIPDomainHomeAgentBinding`` /
+``RIPDomainForeignAgentBinding`` the dynamic one built on this module).
+
+Implemented behaviour (classic RIPv1 semantics, period-scaled for
+simulation):
+
+- periodic full-table broadcasts on every RIP-enabled interface;
+- distance-vector updates with hop-count metric, infinity = 16;
+- **split horizon with poisoned reverse**;
+- route timeout (3 periods) poisons an entry; garbage collection
+  (2 more periods) removes it;
+- **triggered updates** on any metric change, so failures and
+  originations propagate in O(diameter) link delays, not periods;
+- arbitrary prefix lengths, so host routes (/32) propagate like any
+  other (RIPv1 proper had no masks; this is the one modernization).
+
+Learned routes are installed into the node's routing table tagged
+``"rip"``; the service never touches connected, static, or other
+protocols' routes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ip.address import IPAddress, IPNetwork
+from repro.ip.node import IPNode
+from repro.ip.packet import IPPacket
+from repro.ip.protocols import UDP as PROTO_UDP
+from repro.transport.segments import UDPDatagram
+
+#: The RIP UDP port (RFC 1058).
+RIP_PORT = 520
+#: Hop-count infinity.
+INFINITY = 16
+#: Default advertisement period (seconds; RFC value is 30, scaled down
+#: so simulations converge quickly).
+DEFAULT_PERIOD = 5.0
+
+RIP_TAG = "rip"
+
+
+@dataclass(frozen=True)
+class RIPEntry:
+    """One (prefix, metric) pair in an update."""
+
+    network: IPNetwork
+    metric: int
+
+
+@dataclass
+class RIPUpdate:
+    """A RIP response message (byte-accurate: 4 + 20 per entry)."""
+
+    entries: List[RIPEntry] = field(default_factory=list)
+
+    @property
+    def byte_length(self) -> int:
+        return 4 + 20 * len(self.entries)
+
+    def to_bytes(self) -> bytes:
+        out = bytearray([2, 2, 0, 0])  # command=response, version=2
+        for entry in self.entries:
+            chunk = bytearray(20)
+            chunk[0:2] = (2).to_bytes(2, "big")  # AF_INET
+            chunk[4:8] = entry.network.address.to_bytes()
+            chunk[8:12] = entry.network.netmask.to_bytes()
+            chunk[16:20] = entry.metric.to_bytes(4, "big")
+            out += chunk
+        return bytes(out)
+
+    def __repr__(self) -> str:
+        return f"<RIPUpdate {len(self.entries)} routes>"
+
+
+@dataclass
+class _LearnedRoute:
+    network: IPNetwork
+    next_hop: IPAddress
+    iface_name: str
+    metric: int
+    updated_at: float
+    poisoned_at: Optional[float] = None
+
+
+class RIPService:
+    """The RIP speaker on one router.
+
+    Args:
+        node: the router (must have its interfaces configured first).
+        iface_names: interfaces to speak RIP on (default: all).
+        period: advertisement period; timeout and GC scale from it.
+    """
+
+    def __init__(
+        self,
+        node: IPNode,
+        iface_names: Optional[List[str]] = None,
+        period: float = DEFAULT_PERIOD,
+    ) -> None:
+        self.node = node
+        self.iface_names = list(iface_names or node.interfaces.keys())
+        self.period = period
+        self.timeout = 3 * period
+        self.gc_time = 2 * period
+        self.learned: Dict[IPNetwork, _LearnedRoute] = {}
+        #: Prefixes this router originates beyond its connected networks
+        #: (e.g. MHRP host routes), with their metrics.
+        self.originated: Dict[IPNetwork, int] = {}
+        self.updates_sent = 0
+        self.updates_received = 0
+        self.triggered_updates = 0
+        # Routers are IPNode, not Host; tap protocol-17 delivery rather
+        # than requiring a socket stack, keeping the router class untouched.
+        self._install_udp_tap()
+        self._timer = node.sim.timer(self._periodic, label=f"rip-{node.name}")
+        self._sweeper = node.sim.timer(self._sweep, label=f"rip-sweep-{node.name}")
+        self.running = False
+
+    # ------------------------------------------------------------------
+    # Plumbing: receive RIP datagrams without a full socket stack
+    # ------------------------------------------------------------------
+    def _install_udp_tap(self) -> None:
+        node = self.node
+        existing = node._protocol_handlers.get(PROTO_UDP)
+
+        def tap(packet: IPPacket, iface) -> None:
+            payload = packet.payload
+            if (
+                isinstance(payload, UDPDatagram)
+                and payload.dst_port == RIP_PORT
+                and isinstance(getattr(payload, "data", None), RIPUpdate)
+            ):
+                self._on_update(packet, payload.data, iface)
+                return
+            if existing is not None:
+                existing(packet, iface)
+
+        if existing is not None:
+            node._protocol_handlers[PROTO_UDP] = tap
+        else:
+            node.register_protocol(PROTO_UDP, tap)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self._periodic()
+        self._sweeper.start(self.period)
+
+    def stop(self) -> None:
+        self.running = False
+        self._timer.cancel()
+        self._sweeper.cancel()
+
+    # ------------------------------------------------------------------
+    # Origination (used by the MHRP host-route variant)
+    # ------------------------------------------------------------------
+    def originate(self, network: IPNetwork, metric: int = 1) -> None:
+        """Start advertising ``network`` from this router."""
+        self.originated[network] = metric
+        self._trigger()
+
+    def originate_host(self, host: IPAddress, metric: int = 1) -> None:
+        self.originate(IPNetwork(IPAddress(host).value, 32), metric)
+
+    def withdraw(self, network: IPNetwork) -> None:
+        """Stop advertising ``network`` (poisons it once)."""
+        if self.originated.pop(network, None) is not None:
+            self._poison_now(network)
+
+    def withdraw_host(self, host: IPAddress) -> None:
+        self.withdraw(IPNetwork(IPAddress(host).value, 32))
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def _periodic(self) -> None:
+        if not self.running or not self.node.up:
+            return
+        self._broadcast_all()
+        self._timer.start(self.period)
+
+    def _trigger(self) -> None:
+        """Triggered update: advertise immediately on a change."""
+        if self.running and self.node.up:
+            self.triggered_updates += 1
+            self._broadcast_all()
+
+    def _broadcast_all(self) -> None:
+        for iface_name in self.iface_names:
+            entries = self._entries_for(iface_name)
+            if not entries:
+                continue
+            self.updates_sent += 1
+            update = RIPUpdate(entries=entries)
+            datagram = UDPDatagram(src_port=RIP_PORT, dst_port=RIP_PORT, data=update)  # type: ignore[arg-type]
+            self.node.send_broadcast(iface_name, PROTO_UDP, datagram)
+
+    def _entries_for(self, iface_name: str) -> List[RIPEntry]:
+        """Build the update for one interface (split horizon + poison)."""
+        entries: List[RIPEntry] = []
+        # Connected networks.
+        for name, iface in self.node.interfaces.items():
+            entries.append(RIPEntry(network=iface.network, metric=1))
+        # Originated prefixes (host routes etc.).
+        for network, metric in self.originated.items():
+            entries.append(RIPEntry(network=network, metric=metric))
+        # Learned routes: poisoned reverse through their own interface.
+        for route in self.learned.values():
+            if route.iface_name == iface_name:
+                entries.append(RIPEntry(network=route.network, metric=INFINITY))
+            else:
+                entries.append(RIPEntry(network=route.network, metric=route.metric))
+        return entries
+
+    def _poison_now(self, network: IPNetwork) -> None:
+        """One-shot poison advertisement for a withdrawn origination."""
+        for iface_name in self.iface_names:
+            update = RIPUpdate(entries=[RIPEntry(network=network, metric=INFINITY)])
+            datagram = UDPDatagram(src_port=RIP_PORT, dst_port=RIP_PORT, data=update)  # type: ignore[arg-type]
+            self.node.send_broadcast(iface_name, PROTO_UDP, datagram)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def _on_update(self, packet: IPPacket, update: RIPUpdate, iface) -> None:
+        if not self.running or iface is None:
+            return
+        self.updates_received += 1
+        neighbor = packet.src
+        changed = False
+        for entry in update.entries:
+            changed |= self._consider(entry, neighbor, iface.name)
+        if changed:
+            self._trigger()
+
+    def _consider(self, entry: RIPEntry, neighbor: IPAddress, iface_name: str) -> bool:
+        # Never learn our own connected networks or originations.
+        for iface in self.node.interfaces.values():
+            if entry.network == iface.network:
+                return False
+        if entry.network in self.originated:
+            return False
+        metric = min(entry.metric + 1, INFINITY)
+        now = self.node.sim.now
+        current = self.learned.get(entry.network)
+        if current is None:
+            if metric >= INFINITY:
+                return False
+            self._install(entry.network, neighbor, iface_name, metric)
+            return True
+        from_current_hop = (
+            current.next_hop == neighbor and current.iface_name == iface_name
+        )
+        if from_current_hop:
+            current.updated_at = now
+            if metric != current.metric:
+                if metric >= INFINITY:
+                    self._poison(current)
+                else:
+                    current.metric = metric
+                    current.poisoned_at = None
+                    self._sync_table(current)
+                return True
+            return False
+        if metric < current.metric:
+            self._install(entry.network, neighbor, iface_name, metric)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Table maintenance
+    # ------------------------------------------------------------------
+    def _install(
+        self, network: IPNetwork, next_hop: IPAddress, iface_name: str, metric: int
+    ) -> None:
+        route = _LearnedRoute(
+            network=network, next_hop=next_hop, iface_name=iface_name,
+            metric=metric, updated_at=self.node.sim.now,
+        )
+        self.learned[network] = route
+        self._sync_table(route)
+        self.node.sim.trace(
+            "baseline", self.node.name, protocol="rip", event="install",
+            network=str(network), via=str(next_hop), metric=metric,
+        )
+
+    def _sync_table(self, route: _LearnedRoute) -> None:
+        table = self.node.routing_table
+        existing = table.lookup(route.network.address)
+        if (
+            existing is not None
+            and existing.network == route.network
+            and existing.tag != RIP_TAG
+        ):
+            return  # never displace connected/static/other-protocol routes
+        table.remove(route.network)
+        table.add_next_hop(
+            route.network, route.next_hop, route.iface_name,
+            metric=route.metric, tag=RIP_TAG,
+        )
+
+    def _poison(self, route: _LearnedRoute) -> None:
+        route.metric = INFINITY
+        route.poisoned_at = self.node.sim.now
+        table = self.node.routing_table
+        existing = table.lookup(route.network.address)
+        if existing is not None and existing.tag == RIP_TAG and existing.network == route.network:
+            table.remove(route.network)
+        self.node.sim.trace(
+            "baseline", self.node.name, protocol="rip", event="poison",
+            network=str(route.network),
+        )
+
+    def _sweep(self) -> None:
+        if not self.running or not self.node.up:
+            return
+        now = self.node.sim.now
+        changed = False
+        for network in list(self.learned):
+            route = self.learned[network]
+            if route.poisoned_at is not None:
+                if now - route.poisoned_at >= self.gc_time:
+                    del self.learned[network]
+            elif now - route.updated_at >= self.timeout:
+                self._poison(route)
+                changed = True
+        if changed:
+            self._trigger()
+        self._sweeper.start(self.period)
+
+
+def enable_rip(routers: List[IPNode], period: float = DEFAULT_PERIOD) -> List[RIPService]:
+    """Convenience: start RIP on every router and return the services."""
+    services = [RIPService(router, period=period) for router in routers]
+    for service in services:
+        service.start()
+    return services

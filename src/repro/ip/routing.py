@@ -1,0 +1,188 @@
+"""Routing tables with longest-prefix match and host-specific routes.
+
+The table supports exactly what the reproduced protocols need:
+
+- connected routes (deliver on-link via ARP),
+- next-hop routes to remote prefixes,
+- /32 host-specific routes, which MHRP's routing-domain variant
+  (Section 3, last paragraphs) injects and withdraws as mobile hosts move,
+- a default route.
+
+Lookup is longest-prefix-first, so a host route always beats a network
+route which always beats the default — the property the paper's
+host-specific-route mechanism depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.ip.address import IPAddress, IPNetwork
+
+
+@dataclass(frozen=True)
+class Route:
+    """One routing table entry.
+
+    ``next_hop`` of ``None`` marks a connected route: the destination is
+    on-link through ``interface_name`` and should be ARP-resolved
+    directly.
+    """
+
+    network: IPNetwork
+    interface_name: str
+    next_hop: Optional[IPAddress] = None
+    metric: int = 1
+    #: Free-form tag so protocols can withdraw exactly their own routes
+    #: (e.g. "mhrp-host-route").
+    tag: str = ""
+
+    @property
+    def is_connected(self) -> bool:
+        return self.next_hop is None
+
+    @property
+    def is_host_route(self) -> bool:
+        return self.network.prefix_len == 32
+
+    def __str__(self) -> str:
+        via = "connected" if self.is_connected else f"via {self.next_hop}"
+        return f"{self.network} dev {self.interface_name} {via} metric {self.metric}"
+
+
+class RoutingTable:
+    """A longest-prefix-match IPv4 routing table."""
+
+    def __init__(self) -> None:
+        # prefix_len -> {network -> route}; scanned from /32 down so the
+        # longest prefix wins.  Dict-of-dicts keeps withdrawal O(1).
+        self._by_prefix: Dict[int, Dict[IPNetwork, Route]] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, route: Route) -> None:
+        """Install ``route``, replacing any same-prefix route with a higher
+        (worse) metric; an existing better route is kept."""
+        bucket = self._by_prefix.setdefault(route.network.prefix_len, {})
+        existing = bucket.get(route.network)
+        if existing is not None and existing.metric < route.metric:
+            return
+        bucket[route.network] = route
+
+    def add_connected(self, network: IPNetwork, interface_name: str) -> None:
+        self.add(Route(network=network, interface_name=interface_name))
+
+    def add_next_hop(
+        self,
+        network: IPNetwork,
+        next_hop: IPAddress,
+        interface_name: str,
+        metric: int = 1,
+        tag: str = "",
+    ) -> None:
+        self.add(
+            Route(
+                network=network,
+                interface_name=interface_name,
+                next_hop=next_hop,
+                metric=metric,
+                tag=tag,
+            )
+        )
+
+    def add_host_route(
+        self,
+        host: IPAddress,
+        next_hop: Optional[IPAddress],
+        interface_name: str,
+        tag: str = "",
+    ) -> None:
+        """Install a /32 route for one host (paper §3, routing-domain variant)."""
+        network = IPNetwork(host.value, 32)
+        self.add(
+            Route(
+                network=network,
+                interface_name=interface_name,
+                next_hop=next_hop,
+                tag=tag,
+            )
+        )
+
+    def set_default(self, next_hop: IPAddress, interface_name: str) -> None:
+        self.add(
+            Route(
+                network=IPNetwork(0, 0),
+                interface_name=interface_name,
+                next_hop=next_hop,
+            )
+        )
+
+    def remove(self, network: IPNetwork) -> bool:
+        """Withdraw the route for exactly ``network``; returns whether one existed."""
+        bucket = self._by_prefix.get(network.prefix_len)
+        if bucket is None:
+            return False
+        removed = bucket.pop(network, None) is not None
+        if not bucket:
+            del self._by_prefix[network.prefix_len]
+        return removed
+
+    def remove_host_route(self, host: IPAddress) -> bool:
+        return self.remove(IPNetwork(host.value, 32))
+
+    def remove_tagged(self, tag: str) -> int:
+        """Withdraw every route carrying ``tag``; returns the count removed."""
+        removed = 0
+        for prefix_len in list(self._by_prefix):
+            bucket = self._by_prefix[prefix_len]
+            for network in [n for n, r in bucket.items() if r.tag == tag]:
+                del bucket[network]
+                removed += 1
+            if not bucket:
+                del self._by_prefix[prefix_len]
+        return removed
+
+    def clear(self) -> None:
+        self._by_prefix.clear()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, destination: IPAddress) -> Optional[Route]:
+        """Longest-prefix-match lookup; ``None`` if no route covers it."""
+        for prefix_len in sorted(self._by_prefix, reverse=True):
+            bucket = self._by_prefix[prefix_len]
+            masked = destination.value & IPNetwork._mask_for(prefix_len)
+            route = bucket.get(IPNetwork(masked, prefix_len))
+            if route is not None:
+                return route
+        return None
+
+    def require(self, destination: IPAddress) -> Route:
+        """Like :meth:`lookup` but raises :class:`RoutingError` on a miss."""
+        route = self.lookup(destination)
+        if route is None:
+            raise RoutingError(f"no route to {destination}")
+        return route
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def routes(self) -> List[Route]:
+        """All installed routes, longest prefix first."""
+        out: List[Route] = []
+        for prefix_len in sorted(self._by_prefix, reverse=True):
+            out.extend(self._by_prefix[prefix_len].values())
+        return out
+
+    def host_routes(self) -> List[Route]:
+        return [r for r in self.routes() if r.is_host_route]
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._by_prefix.values())
+
+    def __str__(self) -> str:
+        return "\n".join(str(route) for route in self.routes()) or "<empty table>"

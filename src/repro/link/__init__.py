@@ -1,0 +1,23 @@
+"""Link layer: hardware addresses, frames, interfaces, and media.
+
+Media model broadcast domains the way the paper's mechanisms need them:
+ARP only resolves within one medium, home agents intercept packets by
+poisoning ARP caches on their home LAN, and mobile hosts attach to and
+detach from wireless cells as they move.
+"""
+
+from repro.link.frame import ETHERTYPE_ARP, ETHERTYPE_IP, Frame, HWAddress
+from repro.link.interface import NetworkInterface
+from repro.link.medium import LAN, Medium, PointToPointLink, WirelessCell
+
+__all__ = [
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_IP",
+    "Frame",
+    "HWAddress",
+    "LAN",
+    "Medium",
+    "NetworkInterface",
+    "PointToPointLink",
+    "WirelessCell",
+]

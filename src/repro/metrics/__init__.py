@@ -1,0 +1,16 @@
+"""Measurement and reporting utilities for the benchmark harness."""
+
+from repro.metrics.journey import Journey, journey_of, journeys_matching
+from repro.metrics.report import Table, fmt_float
+from repro.metrics.stats import mean, percentile, summarize
+
+__all__ = [
+    "Journey",
+    "Table",
+    "fmt_float",
+    "journey_of",
+    "journeys_matching",
+    "mean",
+    "percentile",
+    "summarize",
+]

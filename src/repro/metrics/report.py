@@ -1,0 +1,59 @@
+"""Plain-text tables for benchmark output.
+
+The benches print the rows/series the paper reports; keeping the
+renderer here means every bench emits the same format and
+``EXPERIMENTS.md`` can quote the output verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def fmt_float(value: float, digits: int = 2) -> str:
+    """Fixed-point with trailing-zero trimming ('3.10' -> '3.1')."""
+    text = f"{value:.{digits}f}"
+    if "." in text:
+        text = text.rstrip("0").rstrip(".")
+    return text or "0"
+
+
+class Table:
+    """A fixed-column plain-text table."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(
+            [fmt_float(c) if isinstance(c, float) else str(c) for c in cells]
+        )
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(row[i]) for row in self.rows))
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+        rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        out = [self.title, rule, line(self.columns), rule]
+        out.extend(line(row) for row in self.rows)
+        out.append(rule)
+        return "\n".join(out)
+
+    def print(self) -> None:
+        print()
+        print(self.render())

@@ -1,0 +1,34 @@
+"""Small statistics helpers (no numpy needed for these)."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (0..100) by nearest-rank; 0.0 if empty."""
+    if not values:
+        return 0.0
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile out of range: {p}")
+    ordered = sorted(values)
+    if p == 0:
+        return ordered[0]
+    rank = max(1, round(p / 100 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean/min/median/p95/max in one dict (all 0.0 if empty)."""
+    return {
+        "mean": mean(values),
+        "min": min(values) if values else 0.0,
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "max": max(values) if values else 0.0,
+    }

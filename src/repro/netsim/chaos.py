@@ -1,0 +1,96 @@
+"""Random fault injection for robustness testing.
+
+:class:`ChaosMonkey` crashes and reboots a set of nodes on exponential
+schedules (mean time between failures / mean time to repair), driving
+the same recovery machinery the targeted robustness tests exercise —
+but under arbitrary interleavings.  Deterministic per simulator seed,
+like everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.netsim.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - layering: netsim must not import ip
+    from repro.ip.node import IPNode
+
+
+@dataclass
+class FaultRecord:
+    node: str
+    crashed_at: float
+    rebooted_at: Optional[float] = None
+
+
+class ChaosMonkey:
+    """Randomly crash and reboot nodes.
+
+    Args:
+        sim: the simulator.
+        nodes: the victims (each crashed/rebooted independently).
+        mtbf: mean time between failures, per node (exponential).
+        mttr: mean time to repair (exponential).
+        start_at / stop_at: the window in which faults are injected
+            (repairs may complete after ``stop_at``; nothing new starts).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: List["IPNode"],
+        mtbf: float,
+        mttr: float,
+        start_at: float = 0.0,
+        stop_at: Optional[float] = None,
+    ) -> None:
+        if mtbf <= 0 or mttr <= 0:
+            raise ValueError("mtbf and mttr must be positive")
+        self.sim = sim
+        self.nodes = list(nodes)
+        self.mtbf = mtbf
+        self.mttr = mttr
+        self.start_at = start_at
+        self.stop_at = stop_at
+        self.faults: List[FaultRecord] = []
+
+    def start(self) -> None:
+        for node in self.nodes:
+            self._schedule_crash(node)
+
+    # ------------------------------------------------------------------
+    def _schedule_crash(self, node: "IPNode") -> None:
+        delay = self.sim.rng.expovariate(1.0 / self.mtbf)
+        when = max(self.sim.now, self.start_at) + delay
+        if self.stop_at is not None and when >= self.stop_at:
+            return
+        self.sim.schedule_at(when, lambda: self._crash(node), label=f"chaos-crash-{node.name}")
+
+    def _crash(self, node: "IPNode") -> None:
+        if not node.up:
+            self._schedule_crash(node)
+            return
+        record = FaultRecord(node=node.name, crashed_at=self.sim.now)
+        self.faults.append(record)
+        self.sim.trace("baseline", node.name, protocol="chaos", event="crash")
+        node.crash()
+        repair = self.sim.rng.expovariate(1.0 / self.mttr)
+        self.sim.schedule(repair, lambda: self._reboot(node, record), label=f"chaos-reboot-{node.name}")
+
+    def _reboot(self, node: "IPNode", record: FaultRecord) -> None:
+        record.rebooted_at = self.sim.now
+        self.sim.trace("baseline", node.name, protocol="chaos", event="reboot")
+        node.reboot()
+        self._schedule_crash(node)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_downtime(self) -> float:
+        """Summed crash-to-reboot time across all completed faults."""
+        return sum(
+            (f.rebooted_at - f.crashed_at)
+            for f in self.faults
+            if f.rebooted_at is not None
+        )

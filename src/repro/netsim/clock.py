@@ -1,0 +1,43 @@
+"""Virtual simulation clock.
+
+The clock is owned by the :class:`~repro.netsim.simulator.Simulator` and
+only ever moves forward.  Components hold a reference to it to timestamp
+their own records (ARP cache entries, location-update rate limiters, ...)
+without being able to advance it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """A monotonically non-decreasing virtual clock, in seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises :class:`SimulationError` if ``when`` is in the past; the
+        event queue guarantees it never is, so a failure here indicates a
+        bug in the engine rather than in user code.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: now={self._now}, requested={when}"
+            )
+        self._now = float(when)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"

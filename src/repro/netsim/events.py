@@ -1,0 +1,111 @@
+"""Event and event-queue primitives.
+
+Events are ordered by ``(time, sequence)`` where ``sequence`` is a global
+insertion counter.  Two events scheduled for the same instant therefore
+fire in the order they were scheduled, which keeps simulations
+deterministic and makes protocol races reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        time: absolute simulation time at which the event fires.
+        sequence: global insertion counter used as a tiebreak.
+        action: zero-argument callable invoked when the event fires.
+        label: optional human-readable description used in traces.
+        cancelled: set via :meth:`cancel`; cancelled events are skipped.
+    """
+
+    time: float
+    sequence: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when popped."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        label = f" {self.label!r}" if self.label else ""
+        return f"<Event t={self.time:.6f} #{self.sequence}{label}{state}>"
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects.
+
+    The queue assigns the insertion sequence number itself so callers can
+    never violate the FIFO-among-ties invariant.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``action`` at absolute time ``time`` and return the event."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time!r}")
+        event = Event(time=time, sequence=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next non-cancelled event, or ``None`` if empty.
+
+        Cancelled events are lazily discarded here rather than removed from
+        the heap at cancel time, keeping :meth:`Event.cancel` O(1).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        self._live = 0
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the fire time of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            self._live = 0
+            return None
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Inform the queue that one pushed event was cancelled.
+
+        Called by the simulator so ``len()`` stays an upper bound that
+        converges to the true count; exactness is restored lazily by
+        :meth:`pop`/:meth:`peek_time`.
+        """
+        if self._live > 0:
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,180 @@
+"""The discrete-event simulator.
+
+A :class:`Simulator` owns the clock, the event queue, a seeded random
+source, and the tracer.  All network components take the simulator in
+their constructor and schedule work through it; nothing in the library
+uses wall-clock time or global random state, so runs are deterministic
+for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.netsim.clock import SimClock
+from repro.netsim.events import Event, EventQueue
+from repro.netsim.trace import Tracer
+
+
+class Timer:
+    """A restartable one-shot timer built on the event queue.
+
+    Protocol code uses timers for retransmission, advertisement periods,
+    cache expiry, etc.  A timer may be restarted or cancelled at any time;
+    the underlying queue events are cancelled lazily.
+    """
+
+    def __init__(self, sim: "Simulator", action: Callable[[], Any], label: str = "") -> None:
+        self._sim = sim
+        self._action = action
+        self._label = label
+        self._event: Optional[Event] = None
+
+    @property
+    def pending(self) -> bool:
+        """Whether the timer is currently armed."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay: float) -> None:
+        """(Re)arm the timer to fire ``delay`` seconds from now."""
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire, label=self._label)
+
+    def cancel(self) -> None:
+        """Disarm the timer if armed."""
+        if self._event is not None and not self._event.cancelled:
+            self._event.cancel()
+            self._sim.queue.note_cancelled()
+        self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._action()
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Args:
+        seed: seed for the simulator-owned :class:`random.Random`.
+        start: initial simulation time.
+
+    Attributes:
+        clock: the virtual clock.
+        queue: the event queue.
+        rng: seeded random source shared by all components.
+        tracer: structured trace collector.
+    """
+
+    def __init__(self, seed: int = 0, start: float = 0.0) -> None:
+        self.clock = SimClock(start)
+        self.queue = EventQueue()
+        self.rng = random.Random(seed)
+        self.tracer = Tracer()
+        self._running = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._processed
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay!r})")
+        return self.queue.push(self.clock.now + delay, action, label=label)
+
+    def schedule_at(self, when: float, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``action`` at absolute time ``when`` (must be >= now)."""
+        if when < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event in the past (now={self.clock.now}, when={when})"
+            )
+        return self.queue.push(when, action, label=label)
+
+    def timer(self, action: Callable[[], Any], label: str = "") -> Timer:
+        """Create an unarmed :class:`Timer` bound to this simulator."""
+        return Timer(self, action, label=label)
+
+    def trace(self, category: str, node: str, **detail: Any) -> None:
+        """Record a trace entry stamped with the current time."""
+        self.tracer.record(self.clock.now, category, node, **detail)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event.  Returns ``False`` when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        self._processed += 1
+        event.action()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have been executed in this call.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        on return even if the queue drained earlier, so periodic processes
+        observe consistent end times.
+
+        Returns the number of events executed by this call.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly from inside an event")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and until > self.clock.now:
+            self.clock.advance_to(until)
+        return executed
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue completely (bounded by ``max_events``).
+
+        Raises :class:`SimulationError` if the bound is hit, which almost
+        always means a protocol is generating unbounded traffic (e.g. a
+        routing loop that nothing is breaking).
+        """
+        executed = self.run(max_events=max_events)
+        if self.queue:
+            raise SimulationError(
+                f"simulation did not go idle within {max_events} events "
+                f"({len(self.queue)} still queued at t={self.now:.6f})"
+            )
+        return executed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self.now:.6f}, pending={len(self.queue)}, "
+            f"processed={self._processed})"
+        )

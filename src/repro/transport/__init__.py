@@ -1,0 +1,20 @@
+"""Transport layer: UDP and a simplified reliable TCP.
+
+These exist so the examples and benches can run *applications* across
+mobile-host handoffs: the paper's whole point is that transport and
+application layers never notice movement, which the integration tests
+verify by running file transfers over TCP while the receiver roams.
+"""
+
+from repro.transport.segments import TCPSegment, UDPDatagram
+from repro.transport.tcp import TCPConnection, TCPStack
+from repro.transport.udp import UDPSocket, UDPStack
+
+__all__ = [
+    "TCPConnection",
+    "TCPSegment",
+    "TCPStack",
+    "UDPDatagram",
+    "UDPSocket",
+    "UDPStack",
+]

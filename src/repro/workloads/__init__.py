@@ -1,0 +1,36 @@
+"""Workloads: topologies, mobility models, and traffic generators.
+
+These drive the examples, the integration tests, and every benchmark.
+:func:`~repro.workloads.topology.build_figure1` reproduces the paper's
+Figure 1 internetwork exactly; the parameterized builders scale the same
+shape up for the scalability experiments.
+"""
+
+from repro.workloads.geo import CellSite, GeoWalker
+from repro.workloads.mobility import (
+    PingPongMobility,
+    RandomWaypointMobility,
+    ScriptedMobility,
+)
+from repro.workloads.topology import (
+    CampusTopology,
+    Figure1Topology,
+    build_campus,
+    build_figure1,
+)
+from repro.workloads.traffic import CBRStream, PoissonStream, RequestResponseClient
+
+__all__ = [
+    "CBRStream",
+    "CampusTopology",
+    "CellSite",
+    "GeoWalker",
+    "Figure1Topology",
+    "PingPongMobility",
+    "PoissonStream",
+    "RandomWaypointMobility",
+    "RequestResponseClient",
+    "ScriptedMobility",
+    "build_campus",
+    "build_figure1",
+]

@@ -1,0 +1,147 @@
+"""Geometric mobility: positions, radio ranges, and range-driven handoff.
+
+The attachment-level models in :mod:`.mobility` teleport hosts between
+media; this module derives attachment from *geometry*: wireless cells
+sit at coordinates with a radio radius, and a host walking the plane
+(classic random-waypoint, with real positions this time) associates
+with whichever cell covers it — strongest (nearest) transceiver first —
+and detaches when it walks out of range.  This reproduces the paper's
+"moved out of range of the transceiver at its old foreign agent ...
+simply by being carried physically too far from it" (Section 3),
+including dead zones where the host is covered by nothing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.mobile_host import MobileHost
+from repro.link.medium import Medium, WirelessCell
+from repro.netsim.simulator import Simulator
+
+Point = Tuple[float, float]
+
+
+def distance(a: Point, b: Point) -> float:
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+@dataclass
+class CellSite:
+    """A wireless cell placed in the plane."""
+
+    cell: WirelessCell
+    position: Point
+    radius: float
+
+    def covers(self, point: Point) -> bool:
+        return distance(self.position, point) <= self.radius
+
+
+class GeoWalker:
+    """A mobile host walking the plane under random waypoints.
+
+    Every ``tick`` seconds the walker advances toward its current
+    waypoint at ``speed`` units/second, picks a new uniform waypoint in
+    the ``bounds`` rectangle on arrival, and (re)associates with the
+    nearest covering cell site.  Out of coverage, the host simply
+    detaches — the protocol's watchdog and re-registration machinery
+    handle the rest.
+    """
+
+    def __init__(
+        self,
+        host: MobileHost,
+        sites: List[CellSite],
+        bounds: Tuple[float, float, float, float],
+        speed: float = 10.0,
+        tick: float = 1.0,
+        start: Optional[Point] = None,
+        home_medium: Optional[Medium] = None,
+        home_position: Optional[Point] = None,
+        home_radius: float = 0.0,
+    ) -> None:
+        if not sites:
+            raise ValueError("need at least one cell site")
+        self.host = host
+        self.sites = list(sites)
+        self.bounds = bounds
+        self.speed = speed
+        self.tick = tick
+        self.home_medium = home_medium
+        self.home_position = home_position
+        self.home_radius = home_radius
+        rng = host.sim.rng
+        self.position: Point = start or self._random_point(rng)
+        self.waypoint: Point = self._random_point(rng)
+        self.current_site: Optional[CellSite] = None
+        self.at_home_area = False
+        self.handoffs = 0
+        self.coverage_gaps = 0
+        self._timer = host.sim.timer(self._step, label=f"geo-{host.name}")
+        self.running = False
+
+    def _random_point(self, rng) -> Point:
+        x0, y0, x1, y1 = self.bounds
+        return (rng.uniform(x0, x1), rng.uniform(y0, y1))
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.running = True
+        self._associate()
+        self._timer.start(self.tick)
+
+    def stop(self) -> None:
+        self.running = False
+        self._timer.cancel()
+
+    # ------------------------------------------------------------------
+    def _step(self) -> None:
+        if not self.running:
+            return
+        self._move()
+        self._associate()
+        self._timer.start(self.tick)
+
+    def _move(self) -> None:
+        remaining = distance(self.position, self.waypoint)
+        step = self.speed * self.tick
+        if remaining <= step:
+            self.position = self.waypoint
+            self.waypoint = self._random_point(self.host.sim.rng)
+            return
+        dx = (self.waypoint[0] - self.position[0]) / remaining
+        dy = (self.waypoint[1] - self.position[1]) / remaining
+        self.position = (self.position[0] + dx * step, self.position[1] + dy * step)
+
+    def _associate(self) -> None:
+        # Home coverage wins if we are inside it.
+        if (
+            self.home_medium is not None
+            and self.home_position is not None
+            and distance(self.position, self.home_position) <= self.home_radius
+        ):
+            if not self.at_home_area:
+                self.at_home_area = True
+                self.current_site = None
+                self.handoffs += 1
+                self.host.attach(self.home_medium)
+            return
+        covering = [site for site in self.sites if site.covers(self.position)]
+        if not covering:
+            if self.current_site is not None or self.at_home_area:
+                # Walked out of everything: implicit disconnection.
+                self.coverage_gaps += 1
+                self.current_site = None
+                self.at_home_area = False
+                self.host.iface.detach()
+            return
+        nearest = min(covering, key=lambda s: distance(s.position, self.position))
+        if nearest is self.current_site and not self.at_home_area:
+            return
+        self.at_home_area = False
+        self.current_site = nearest
+        self.handoffs += 1
+        self.host.attach(nearest.cell)

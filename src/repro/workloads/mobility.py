@@ -1,0 +1,130 @@
+"""Mobility models.
+
+Each model drives one mobile host's movement between media (wireless
+cells, LANs, or its home network).  Movement is physical re-attachment;
+the MHRP registration machinery reacts on its own, exactly as the
+protocol intends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.mobile_host import MobileHost
+from repro.link.medium import Medium
+from repro.netsim.simulator import Simulator
+
+
+@dataclass
+class MoveEvent:
+    """One scripted movement."""
+
+    time: float
+    medium: Medium
+
+
+class ScriptedMobility:
+    """Replay an explicit list of ``(time, medium)`` moves.
+
+    The workhorse for tests and benches that need exact reproducibility.
+    """
+
+    def __init__(
+        self,
+        host: MobileHost,
+        moves: Sequence[Tuple[float, Medium]],
+        solicit: bool = True,
+    ) -> None:
+        self.host = host
+        self.moves = [MoveEvent(time=t, medium=m) for t, m in moves]
+        self.solicit = solicit
+
+    def start(self) -> None:
+        sim = self.host.sim
+        for move in self.moves:
+            sim.schedule_at(
+                move.time,
+                lambda m=move.medium: self.host.attach(m, solicit=self.solicit),
+                label=f"move-{self.host.name}",
+            )
+
+
+class PingPongMobility:
+    """Bounce between two media every ``dwell`` seconds.
+
+    Models the pathological "frequently moving host" of Section 2's
+    forwarding-pointer discussion.
+    """
+
+    def __init__(
+        self,
+        host: MobileHost,
+        media: Sequence[Medium],
+        dwell: float,
+        start_at: float = 0.0,
+        stop_at: Optional[float] = None,
+    ) -> None:
+        if len(media) < 2:
+            raise ValueError("ping-pong needs at least two media")
+        self.host = host
+        self.media = list(media)
+        self.dwell = dwell
+        self.start_at = start_at
+        self.stop_at = stop_at
+        self._index = 0
+        self.moves_made = 0
+
+    def start(self) -> None:
+        self.host.sim.schedule_at(self.start_at, self._hop, label=f"pingpong-{self.host.name}")
+
+    def _hop(self) -> None:
+        if self.stop_at is not None and self.host.sim.now >= self.stop_at:
+            return
+        medium = self.media[self._index % len(self.media)]
+        self._index += 1
+        self.moves_made += 1
+        self.host.attach(medium)
+        self.host.sim.schedule(self.dwell, self._hop, label=f"pingpong-{self.host.name}")
+
+
+class RandomWaypointMobility:
+    """Move to a uniformly random medium after an exponential dwell time.
+
+    The network-level analogue of the classic random-waypoint model:
+    "waypoints" are attachment points rather than coordinates, which is
+    the granularity MHRP observes.
+    """
+
+    def __init__(
+        self,
+        host: MobileHost,
+        media: Sequence[Medium],
+        mean_dwell: float,
+        start_at: float = 0.0,
+        stop_at: Optional[float] = None,
+    ) -> None:
+        if not media:
+            raise ValueError("need at least one medium")
+        self.host = host
+        self.media = list(media)
+        self.mean_dwell = mean_dwell
+        self.start_at = start_at
+        self.stop_at = stop_at
+        self.moves_made = 0
+        self._current: Optional[Medium] = None
+
+    def start(self) -> None:
+        self.host.sim.schedule_at(self.start_at, self._hop, label=f"rwp-{self.host.name}")
+
+    def _hop(self) -> None:
+        sim = self.host.sim
+        if self.stop_at is not None and sim.now >= self.stop_at:
+            return
+        choices = [m for m in self.media if m is not self._current] or self.media
+        medium = sim.rng.choice(choices)
+        self._current = medium
+        self.moves_made += 1
+        self.host.attach(medium)
+        dwell = sim.rng.expovariate(1.0 / self.mean_dwell)
+        sim.schedule(dwell, self._hop, label=f"rwp-{self.host.name}")

@@ -1,0 +1,142 @@
+"""Traffic generators.
+
+All generators run over the real transport layer (UDP) so every packet
+traverses the full protocol path, including tunnels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.ip.address import IPAddress
+from repro.ip.host import Host
+
+
+@dataclass
+class DeliveryLog:
+    """What a receiver observed, for delivery/latency accounting."""
+
+    received: List[Tuple[float, int]] = field(default_factory=list)  # (time, seq)
+
+    @property
+    def count(self) -> int:
+        return len(self.received)
+
+    def sequence_numbers(self) -> List[int]:
+        return [seq for _, seq in self.received]
+
+
+class CBRStream:
+    """A constant-bit-rate UDP stream from one host to another.
+
+    Sequence numbers ride in the payload so the receiver can measure
+    loss and reordering across handoffs.
+    """
+
+    def __init__(
+        self,
+        sender: Host,
+        receiver: Host,
+        dst_address: IPAddress,
+        interval: float,
+        payload_size: int = 64,
+        port: int = 40000,
+        start_at: float = 0.0,
+        count: Optional[int] = None,
+    ) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.dst_address = IPAddress(dst_address)
+        self.interval = interval
+        self.payload_size = max(payload_size, 8)
+        self.port = port
+        self.start_at = start_at
+        self.count = count
+        self.sent = 0
+        self.log = DeliveryLog()
+        self._sock = sender.udp.bind()
+        receiver_sock = receiver.udp.bind(port)
+        receiver_sock.on_receive = self._on_receive
+
+    def start(self) -> None:
+        self.sender.sim.schedule_at(self.start_at, self._tick, label="cbr-send")
+
+    def _tick(self) -> None:
+        if self.count is not None and self.sent >= self.count:
+            return
+        seq = self.sent
+        self.sent += 1
+        payload = seq.to_bytes(8, "big") + b"\x00" * (self.payload_size - 8)
+        self._sock.send_to(payload, self.dst_address, self.port)
+        if self.count is None or self.sent < self.count:
+            self.sender.sim.schedule(self.interval, self._tick, label="cbr-send")
+
+    def _on_receive(self, data: bytes, src: IPAddress, src_port: int) -> None:
+        seq = int.from_bytes(data[:8], "big")
+        self.log.received.append((self.receiver.sim.now, seq))
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.log.count / self.sent if self.sent else 0.0
+
+    def lost_sequences(self) -> List[int]:
+        got = set(self.log.sequence_numbers())
+        return [seq for seq in range(self.sent) if seq not in got]
+
+
+class PoissonStream(CBRStream):
+    """Like :class:`CBRStream` but with exponential inter-send times."""
+
+    def _tick(self) -> None:
+        if self.count is not None and self.sent >= self.count:
+            return
+        seq = self.sent
+        self.sent += 1
+        payload = seq.to_bytes(8, "big") + b"\x00" * (self.payload_size - 8)
+        self._sock.send_to(payload, self.dst_address, self.port)
+        if self.count is None or self.sent < self.count:
+            gap = self.sender.sim.rng.expovariate(1.0 / self.interval)
+            self.sender.sim.schedule(gap, self._tick, label="poisson-send")
+
+
+class RequestResponseClient:
+    """A UDP request/response pair measuring round-trip times.
+
+    The server half echoes requests; the client records RTTs, which the
+    E1 bench uses to show the triangle-route penalty disappearing once
+    a location is cached.
+    """
+
+    def __init__(
+        self,
+        client: Host,
+        server: Host,
+        server_address: IPAddress,
+        port: int = 41000,
+    ) -> None:
+        self.client = client
+        self.server_address = IPAddress(server_address)
+        self.port = port
+        self.rtts: List[float] = []
+        self._pending: dict[int, float] = {}
+        self._next_id = 0
+        self._sock = client.udp.bind()
+        self._sock.on_receive = self._on_reply
+        server_sock = server.udp.bind(port)
+        server_sock.on_receive = (
+            lambda data, src, sport: server_sock.send_to(data, src, sport)
+        )
+
+    def send_request(self, size: int = 64) -> None:
+        request_id = self._next_id
+        self._next_id += 1
+        self._pending[request_id] = self.client.sim.now
+        payload = request_id.to_bytes(8, "big") + b"\x00" * max(size - 8, 0)
+        self._sock.send_to(payload, self.server_address, self.port)
+
+    def _on_reply(self, data: bytes, src: IPAddress, src_port: int) -> None:
+        request_id = int.from_bytes(data[:8], "big")
+        sent_at = self._pending.pop(request_id, None)
+        if sent_at is not None:
+            self.rtts.append(self.client.sim.now - sent_at)

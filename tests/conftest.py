@@ -1,0 +1,50 @@
+"""Shared fixtures.
+
+``figure1`` builds the paper's Figure 1 topology (once the workloads
+package provides it); the simpler fixtures here cover the substrate
+layers directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ip import Host, IPNetwork, Router
+from repro.link import LAN, PointToPointLink
+from repro.netsim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def two_hosts_one_lan(sim):
+    """Two hosts on one LAN: (sim, lan, a, b, network)."""
+    lan = LAN(sim, "lan0", latency=0.001)
+    net = IPNetwork("10.0.0.0/24")
+    a = Host(sim, "A")
+    b = Host(sim, "B")
+    a.add_interface("eth0", net.host(1), net, medium=lan)
+    b.add_interface("eth0", net.host(2), net, medium=lan)
+    return sim, lan, a, b, net
+
+
+@pytest.fixture
+def two_lans_one_router(sim):
+    """A <-> R <-> B across two LANs: (sim, a, r, b, net_a, net_b)."""
+    lan_a = LAN(sim, "lanA", latency=0.001)
+    lan_b = LAN(sim, "lanB", latency=0.001)
+    net_a = IPNetwork("10.1.0.0/24")
+    net_b = IPNetwork("10.2.0.0/24")
+    r = Router(sim, "R")
+    r.add_interface("eth0", net_a.host(254), net_a, medium=lan_a)
+    r.add_interface("eth1", net_b.host(254), net_b, medium=lan_b)
+    a = Host(sim, "A")
+    a.add_interface("eth0", net_a.host(1), net_a, medium=lan_a)
+    a.set_gateway(net_a.host(254))
+    b = Host(sim, "B")
+    b.add_interface("eth0", net_b.host(1), net_b, medium=lan_b)
+    b.set_gateway(net_b.host(254))
+    return sim, a, r, b, net_a, net_b

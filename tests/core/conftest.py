@@ -1,0 +1,23 @@
+"""Fixtures for MHRP core tests: the paper's Figure 1 topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import build_figure1
+
+
+@pytest.fixture
+def figure1():
+    """The Figure 1 internetwork, fully converged, with M still detached."""
+    return build_figure1()
+
+
+@pytest.fixture
+def figure1_m_at_r4(figure1):
+    """Figure 1 with M registered at foreign agent R4 (steady state)."""
+    topo = figure1
+    topo.m.attach(topo.net_d)
+    topo.sim.run(until=5.0)
+    assert topo.m.current_foreign_agent == topo.fa4_address
+    return topo

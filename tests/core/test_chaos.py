@@ -1,0 +1,87 @@
+"""Chaos testing: random foreign-agent crashes under live traffic.
+
+The targeted robustness tests (E5/E6) exercise specific failure
+sequences; here a :class:`ChaosMonkey` generates arbitrary crash/reboot
+interleavings of the foreign agents while hosts roam and traffic flows,
+and the protocol's self-healing must keep the system consistent and
+mostly available.
+"""
+
+import pytest
+
+from repro.netsim import Simulator
+from repro.netsim.chaos import ChaosMonkey
+from repro.workloads import CBRStream, RandomWaypointMobility, build_campus
+
+
+class TestChaosMonkeyUnit:
+    def test_faults_are_injected_and_repaired(self):
+        sim = Simulator(seed=4)
+        from repro.ip import Router, IPNetwork
+        from repro.link import LAN
+
+        lan = LAN(sim, "l")
+        victim = Router(sim, "V")
+        victim.add_interface("eth0", "10.0.0.1", IPNetwork("10.0.0.0/24"), medium=lan)
+        monkey = ChaosMonkey(sim, [victim], mtbf=5.0, mttr=1.0, stop_at=60.0)
+        monkey.start()
+        sim.run(until=100.0)
+        assert monkey.faults
+        assert all(f.rebooted_at is not None for f in monkey.faults)
+        assert monkey.total_downtime > 0
+        assert victim.up  # repaired after the window
+
+    def test_parameters_validated(self):
+        sim = Simulator(seed=4)
+        with pytest.raises(ValueError):
+            ChaosMonkey(sim, [], mtbf=0, mttr=1)
+
+
+@pytest.mark.parametrize("seed", [5, 99])
+def test_campus_survives_fa_chaos(seed):
+    topo = build_campus(
+        n_cells=3, n_mobile_hosts=3, n_correspondents=1,
+        sim=Simulator(seed=seed), advertise=True,
+    )
+    sim = topo.sim
+    sim.tracer.restrict({"mhrp.loop"})
+    correspondent = topo.correspondents[0]
+    streams = []
+    for index, host in enumerate(topo.mobile_hosts):
+        host.attach(topo.cells[index % len(topo.cells)])
+        RandomWaypointMobility(
+            host, topo.cells, mean_dwell=20.0, start_at=5.0 + index, stop_at=150.0
+        ).start()
+        stream = CBRStream(
+            sender=correspondent, receiver=host, dst_address=host.home_address,
+            interval=1.0, port=41000 + index, start_at=8.0,
+        )
+        stream.start()
+        streams.append(stream)
+    monkey = ChaosMonkey(
+        sim, topo.cell_routers, mtbf=40.0, mttr=4.0, start_at=10.0, stop_at=150.0
+    )
+    monkey.start()
+    sim.run(until=220.0)
+
+    # Some chaos actually happened.
+    assert monkey.faults
+    # No routing loops formed despite arbitrary crash interleavings.
+    assert sim.tracer.count("mhrp.loop") == 0
+    # Availability: losses are bounded by the injected downtime windows.
+    total_sent = sum(s.sent for s in streams)
+    total_got = sum(s.log.count for s in streams)
+    assert total_got / total_sent > 0.6
+    # Self-healing: after the chaos window, every host is deliverable.
+    final = []
+    correspondent.on_icmp(0, lambda p, m: final.append(m))
+    for host in topo.mobile_hosts:
+        correspondent.ping(host.home_address)
+    sim.run(until=sim.now + 15.0)
+    assert len(final) == len(topo.mobile_hosts)
+    # And the location database agrees with reality for every host.
+    for host in topo.mobile_hosts:
+        recorded = topo.home_roles.home_agent.database.foreign_agent_of(
+            host.home_address
+        )
+        assert recorded == host.current_foreign_agent

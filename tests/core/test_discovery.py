@@ -1,0 +1,93 @@
+"""Unit tests for agent discovery (Section 3)."""
+
+import pytest
+
+from repro.core.discovery import (
+    AgentAdvertiser,
+    AgentDiscovery,
+    DEFAULT_ADVERT_PERIOD,
+)
+
+
+@pytest.fixture
+def lan_with_agent(two_hosts_one_lan):
+    """Host B advertises as a foreign agent; host A listens."""
+    sim, lan, a, b, net = two_hosts_one_lan
+    advertiser = AgentAdvertiser(
+        b, "eth0", is_home_agent=False, is_foreign_agent=True
+    )
+    heard = []
+    discovery = AgentDiscovery(a, heard.append)
+    return sim, a, b, net, advertiser, discovery, heard
+
+
+class TestAdvertiser:
+    def test_periodic_advertisements(self, lan_with_agent):
+        sim, a, b, net, advertiser, discovery, heard = lan_with_agent
+        advertiser.start()
+        sim.run(until=DEFAULT_ADVERT_PERIOD * 3.5)
+        assert len(heard) >= 3
+        info = heard[0]
+        assert info.agent == net.host(2)
+        assert info.is_foreign_agent
+        assert not info.is_home_agent
+
+    def test_stop_halts_advertising(self, lan_with_agent):
+        sim, a, b, net, advertiser, discovery, heard = lan_with_agent
+        advertiser.start()
+        sim.run(until=1.0)
+        count = len(heard)
+        advertiser.stop()
+        sim.run(until=20.0)
+        assert len(heard) == count
+
+    def test_crashed_node_stops_advertising(self, lan_with_agent):
+        sim, a, b, net, advertiser, discovery, heard = lan_with_agent
+        advertiser.start()
+        sim.run(until=1.0)
+        count = len(heard)
+        b.crash()
+        sim.run(until=20.0)
+        assert len(heard) == count
+
+    def test_boot_id_changes_on_restart(self, lan_with_agent):
+        sim, a, b, net, advertiser, discovery, heard = lan_with_agent
+        advertiser.start()
+        sim.run(until=1.0)
+        old_boot = heard[-1].boot_id
+        advertiser.restart_with_new_boot_id()
+        sim.run(until=2.0)
+        assert heard[-1].boot_id != old_boot
+
+    def test_home_agent_bits(self, two_hosts_one_lan):
+        sim, lan, a, b, net = two_hosts_one_lan
+        advertiser = AgentAdvertiser(b, "eth0", is_home_agent=True, is_foreign_agent=True)
+        heard = []
+        AgentDiscovery(a, heard.append)
+        advertiser.start()
+        sim.run(until=1.0)
+        assert heard[0].is_home_agent
+        assert heard[0].is_foreign_agent
+
+
+class TestSolicitation:
+    def test_solicitation_gets_immediate_answer(self, lan_with_agent):
+        sim, a, b, net, advertiser, discovery, heard = lan_with_agent
+        advertiser.running = True  # answering solicitations requires running
+        discovery.solicit()
+        sim.run(until=0.5)  # far less than the advertisement period
+        assert len(heard) == 1
+
+    def test_solicitation_unanswered_when_stopped(self, lan_with_agent):
+        sim, a, b, net, advertiser, discovery, heard = lan_with_agent
+        discovery.solicit()
+        sim.run(until=0.5)
+        assert heard == []
+
+    def test_last_heard_tracked(self, lan_with_agent):
+        sim, a, b, net, advertiser, discovery, heard = lan_with_agent
+        assert discovery.last_heard is None
+        advertiser.start()
+        sim.run(until=1.0)
+        assert discovery.last_heard is not None
+        assert discovery.last_heard.agent == net.host(2)

@@ -1,0 +1,187 @@
+"""Unit tests for the tunneling transforms (Sections 4.1, 4.2, 4.4)."""
+
+import pytest
+
+from repro.core.encapsulation import (
+    MHRPPayload,
+    decapsulate,
+    encapsulate,
+    retunnel,
+)
+from repro.errors import ProtocolError
+from repro.ip.address import IPAddress
+from repro.ip.packet import IPPacket, RawPayload
+from repro.ip.protocols import MHRP, TCP
+
+S = IPAddress("10.1.0.1")     # original sender
+M = IPAddress("10.2.0.10")    # mobile host (home address)
+HA = IPAddress("10.2.0.254")  # home agent
+FA1 = IPAddress("10.4.0.254")
+FA2 = IPAddress("10.5.0.254")
+
+
+def plain_packet():
+    return IPPacket(src=S, dst=M, protocol=TCP, payload=RawPayload(b"data"), ttl=60)
+
+
+class TestEncapsulate:
+    def test_sender_built(self):
+        """Section 4.2: sender-built header has an empty list and the IP
+        source is untouched; total added overhead is 8 bytes."""
+        packet = plain_packet()
+        before = packet.total_length
+        encapsulate(packet, FA1, agent_address=None)
+        assert packet.protocol == MHRP
+        assert packet.dst == FA1
+        assert packet.src == S
+        header = packet.payload.header
+        assert header.previous_sources == []
+        assert header.orig_protocol == TCP
+        assert header.mobile_host == M
+        assert packet.total_length == before + 8
+
+    def test_agent_built(self):
+        """Section 4.2: agent-built header carries the original source on
+        the list and replaces the IP source; 12 bytes added."""
+        packet = plain_packet()
+        before = packet.total_length
+        encapsulate(packet, FA1, agent_address=HA)
+        assert packet.src == HA
+        assert packet.payload.header.previous_sources == [S]
+        assert packet.total_length == before + 12
+
+    def test_uid_survives(self):
+        packet = plain_packet()
+        uid = packet.uid
+        encapsulate(packet, FA1, agent_address=HA)
+        assert packet.uid == uid
+
+    def test_double_encapsulation_rejected(self):
+        packet = plain_packet()
+        encapsulate(packet, FA1)
+        with pytest.raises(ProtocolError):
+            encapsulate(packet, FA2)
+
+    def test_ttl_not_reset(self):
+        packet = plain_packet()
+        encapsulate(packet, FA1, agent_address=HA)
+        assert packet.ttl == 60
+
+
+class TestDecapsulate:
+    def test_reverses_sender_built(self):
+        packet = plain_packet()
+        encapsulate(packet, FA1, agent_address=None)
+        decapsulate(packet)
+        assert packet.src == S
+        assert packet.dst == M
+        assert packet.protocol == TCP
+        assert packet.payload.to_bytes() == b"data"
+
+    def test_reverses_agent_built(self):
+        packet = plain_packet()
+        encapsulate(packet, FA1, agent_address=HA)
+        decapsulate(packet)
+        assert packet.src == S
+        assert packet.dst == M
+        assert packet.protocol == TCP
+
+    def test_reverses_after_retunnels(self):
+        """The original sender is recoverable after any number of hops."""
+        packet = plain_packet()
+        encapsulate(packet, FA1, agent_address=HA)
+        retunnel(packet, FA2, my_address=FA1)
+        retunnel(packet, M, my_address=FA2)
+        decapsulate(packet)
+        assert packet.src == S
+        assert packet.dst == M
+
+    def test_rejects_plain_packet(self):
+        with pytest.raises(ProtocolError):
+            decapsulate(plain_packet())
+
+
+class TestRetunnel:
+    def tunneled(self):
+        packet = plain_packet()
+        encapsulate(packet, FA1, agent_address=HA)
+        return packet
+
+    def test_appends_source_and_redirects(self):
+        """Section 4.4's three steps."""
+        packet = self.tunneled()
+        result = retunnel(packet, FA2, my_address=FA1)
+        assert not result.loop_detected
+        assert result.flushed == []
+        header = packet.payload.header
+        assert header.previous_sources == [S, HA]  # HA appended
+        assert packet.src == FA1
+        assert packet.dst == FA2
+
+    def test_header_grows_4_bytes_per_hop(self):
+        packet = self.tunneled()
+        before = packet.total_length
+        retunnel(packet, FA2, my_address=FA1)
+        assert packet.total_length == before + 4
+
+    def test_loop_detected_before_mutation(self):
+        """Section 5.3: my own address on the list = one full loop pass."""
+        packet = self.tunneled()
+        retunnel(packet, FA2, my_address=FA1)
+        retunnel(packet, FA1, my_address=FA2)
+        header_before = packet.payload.header.copy()
+        result = retunnel(packet, FA2, my_address=FA1)
+        assert result.loop_detected
+        # Unmodified on loop detection.
+        assert packet.payload.header.previous_sources == header_before.previous_sources
+        assert packet.src == FA2
+
+    def test_overflow_flushes_and_truncates(self):
+        """Section 4.4: at max length the list is reported, emptied, and
+        restarted with the newest entry."""
+        packet = self.tunneled()  # list = [S]
+        agents = [IPAddress(f"10.9.0.{i + 1}") for i in range(4)]
+        # max=2: after two successful appends the third overflows.
+        result = retunnel(packet, agents[0], my_address=FA1, max_previous_sources=2)
+        assert result.flushed == []
+        # list = [S, HA]; next append overflows.
+        result = retunnel(packet, agents[1], my_address=agents[0], max_previous_sources=2)
+        assert result.flushed == [S, HA]
+        header = packet.payload.header
+        assert header.previous_sources == [FA1]  # only the newest entry
+        assert header.byte_length == 12
+
+    def test_max_list_of_one(self):
+        packet = self.tunneled()
+        result = retunnel(packet, FA2, my_address=FA1, max_previous_sources=1)
+        assert result.flushed == [S]
+        assert packet.payload.header.previous_sources == [HA]
+
+    def test_invalid_max_rejected(self):
+        packet = self.tunneled()
+        with pytest.raises(ProtocolError):
+            retunnel(packet, FA2, my_address=FA1, max_previous_sources=0)
+
+    def test_rejects_plain_packet(self):
+        with pytest.raises(ProtocolError):
+            retunnel(plain_packet(), FA2, my_address=FA1)
+
+
+class TestMHRPPayloadSerialization:
+    def test_payload_bytes_are_header_then_inner(self):
+        packet = plain_packet()
+        encapsulate(packet, FA1, agent_address=HA)
+        payload = packet.payload
+        assert isinstance(payload, MHRPPayload)
+        wire = payload.to_bytes()
+        assert wire[: payload.header.byte_length] == payload.header.to_bytes()
+        assert wire[payload.header.byte_length:] == b"data"
+
+    def test_full_packet_serializes(self):
+        """Figure 2: IP header, MHRP header, transport data — and the
+        unmodified transport bytes sit beyond both headers."""
+        packet = plain_packet()
+        encapsulate(packet, FA1, agent_address=HA)
+        wire = packet.to_bytes()
+        assert len(wire) == packet.total_length
+        assert wire[-4:] == b"data"

@@ -1,0 +1,211 @@
+"""Integration tests for the foreign agent over the Figure 1 topology."""
+
+import pytest
+
+from repro.ip.address import IPAddress
+
+
+class TestVisitorList:
+    def test_connect_adds_visitor_with_hw(self, figure1_m_at_r4):
+        topo = figure1_m_at_r4
+        fa = topo.r4_roles.foreign_agent
+        assert fa.is_serving(topo.m.home_address)
+        record = fa.visitors[topo.m.home_address]
+        assert record.hw_value == topo.m.iface.hw_address.value
+        # Section 2: hardware address saved from the connect notification.
+        learned = topo.r4.arp["cell"].lookup(topo.m.home_address)
+        assert learned is not None
+        assert learned.value == record.hw_value
+
+    def test_disconnect_removes_visitor(self, figure1_m_at_r4):
+        topo = figure1_m_at_r4
+        topo.m.attach(topo.net_e)
+        topo.sim.run(until=10.0)
+        assert not topo.r4_roles.foreign_agent.is_serving(topo.m.home_address)
+        assert topo.r5_roles.foreign_agent.is_serving(topo.m.home_address)
+
+    def test_forwarding_pointer_created_on_move(self, figure1_m_at_r4):
+        """Section 2: the old foreign agent may cache the new location."""
+        topo = figure1_m_at_r4
+        topo.m.attach(topo.net_e)
+        topo.sim.run(until=10.0)
+        pointer = topo.r4_roles.cache_agent.cache.peek(topo.m.home_address)
+        assert pointer == topo.fa5_address
+
+    def test_no_forwarding_pointer_on_return_home(self, figure1_m_at_r4):
+        """Section 6.3: 'R4 does not create a forwarding pointer cache
+        entry for M in this case.'"""
+        topo = figure1_m_at_r4
+        topo.m.attach_home(topo.net_b)
+        topo.sim.run(until=10.0)
+        assert topo.r4_roles.cache_agent.cache.peek(topo.m.home_address) is None
+
+    def test_forwarding_pointers_can_be_disabled(self, figure1):
+        """With the option off, the disconnect notification alone must
+        not create a cache entry.  (R4 may still learn the location
+        later through ordinary location updates — e.g. after its own ack
+        to M is intercepted by the home agent — so the node's cache
+        agent is disabled to isolate the registration-time pointer.)"""
+        topo = figure1
+        topo.r4_roles.foreign_agent.keep_forwarding_pointers = False
+        topo.r4_roles.cache_agent.enabled = False
+        topo.m.attach(topo.net_d)
+        topo.sim.run(until=5.0)
+        topo.m.attach(topo.net_e)
+        topo.sim.run(until=10.0)
+        assert topo.r4_roles.cache_agent.cache.peek(topo.m.home_address) is None
+
+
+class TestTunnelDelivery:
+    def test_delivers_to_visitor_over_last_hop(self, figure1_m_at_r4):
+        topo = figure1_m_at_r4
+        replies = []
+        topo.s.on_icmp(0, lambda p, m: replies.append(m))
+        topo.s.ping(topo.m.home_address)
+        topo.sim.run(until=10.0)
+        assert len(replies) == 1
+        assert topo.r4_roles.foreign_agent.delivered_to_visitors >= 1
+
+    def test_retunnels_via_forwarding_pointer(self, figure1_m_at_r4):
+        """Section 6.3: stale tunnel to R4 is forwarded straight to R5."""
+        topo = figure1_m_at_r4
+        sim = topo.sim
+        topo.s.ping(topo.m.home_address)
+        sim.run(until=10.0)
+        home_retunnels_before = topo.r2_roles.home_agent.packets_retunneled
+        topo.m.attach(topo.net_e)
+        sim.run(until=15.0)
+        replies = []
+        topo.s.on_icmp(0, lambda p, m: replies.append(m))
+        topo.s.ping(topo.m.home_address)  # S's cache still says R4
+        sim.run(until=25.0)
+        assert len(replies) == 1
+        assert topo.r4_roles.foreign_agent.retunneled_forward >= 1
+        # The forwarding pointer kept the packet away from the home agent.
+        assert topo.r2_roles.home_agent.packets_retunneled == home_retunnels_before
+
+    def test_retunnels_home_without_pointer(self, figure1_m_at_r4):
+        topo = figure1_m_at_r4
+        sim = topo.sim
+        topo.s.ping(topo.m.home_address)
+        sim.run(until=10.0)
+        topo.m.attach(topo.net_e)
+        sim.run(until=15.0)
+        topo.r4_roles.cache_agent.cache.delete(topo.m.home_address)
+        replies = []
+        topo.s.on_icmp(0, lambda p, m: replies.append(m))
+        topo.s.ping(topo.m.home_address)
+        sim.run(until=25.0)
+        assert len(replies) == 1
+        assert topo.r4_roles.foreign_agent.retunneled_home >= 1
+
+    def test_correct_fa_updates_stale_caches(self, figure1_m_at_r4):
+        """Section 5.1: the delivering foreign agent sends a location
+        update to every address on the previous-source list."""
+        topo = figure1_m_at_r4
+        sim = topo.sim
+        topo.s.ping(topo.m.home_address)
+        sim.run(until=10.0)
+        topo.m.attach(topo.net_e)
+        sim.run(until=15.0)
+        # S's stale cache -> tunnel to R4 -> pointer -> R5 delivers and
+        # updates S directly.
+        topo.s.ping(topo.m.home_address)
+        sim.run(until=25.0)
+        assert topo.s.cache_agent.cache.peek(topo.m.home_address) == topo.fa5_address
+
+
+class TestLocalDeliveryShortcut:
+    def test_local_host_to_visitor_bypasses_home(self, figure1_m_at_r4):
+        """Section 4.3: the foreign agent recognizes packets it routes
+        for locally visiting hosts and transmits them directly."""
+        topo = figure1_m_at_r4
+        sim = topo.sim
+        from repro.ip import Host
+
+        local = Host(sim, "L")
+        local.add_interface(
+            "eth0", topo.net_d_prefix.host(7), topo.net_d_prefix, medium=topo.net_d
+        )
+        local.set_gateway(topo.net_d_prefix.host(254))
+        intercepted_before = topo.r2_roles.home_agent.packets_intercepted
+        replies = []
+        local.on_icmp(0, lambda p, m: replies.append(m))
+        local.ping(topo.m.home_address)
+        sim.run(until=10.0)
+        assert len(replies) == 1
+        # The packet never crossed the internetwork to the home agent.
+        assert topo.r2_roles.home_agent.packets_intercepted == intercepted_before
+
+
+class TestRebootRecovery:
+    def prime(self, topo):
+        """S caches M@R4 so packets keep flowing after the crash."""
+        topo.s.ping(topo.m.home_address)
+        topo.sim.run(until=10.0)
+        assert topo.s.cache_agent.cache.peek(topo.m.home_address) == topo.fa4_address
+
+    def test_reboot_clears_visitor_list(self, figure1_m_at_r4):
+        topo = figure1_m_at_r4
+        topo.r4.crash()
+        topo.r4.reboot()
+        assert not topo.r4_roles.foreign_agent.is_serving(topo.m.home_address)
+
+    def test_data_driven_recovery_via_home_agent(self, figure1_m_at_r4):
+        """Section 5.2: a tunneled packet arriving at the forgetful agent
+        bounces to the home agent, which recognizes the agent as current
+        and sends it an update; the agent re-adds the visitor."""
+        topo = figure1_m_at_r4
+        sim = topo.sim
+        self.prime(topo)
+        # Crash/reboot R4 but suppress the advertisement-driven recovery
+        # so the data-driven path is what we observe.
+        topo.r4_roles.foreign_agent.advertiser.stop()
+        topo.r4.crash()
+        sim.run(until=12.0)
+        topo.r4.reboot()
+        topo.r4_roles.foreign_agent.advertiser.stop()
+        assert not topo.r4_roles.foreign_agent.is_serving(topo.m.home_address)
+        # S tunnels (stale cache): R4 lacks the visitor AND any pointer,
+        # so the packet goes to the home agent, which triggers recovery.
+        topo.s.ping(topo.m.home_address)
+        sim.run(until=20.0)
+        assert topo.r2_roles.home_agent.recoveries >= 1
+        assert topo.r4_roles.foreign_agent.is_serving(topo.m.home_address)
+        # The *next* packet is delivered normally.
+        replies = []
+        topo.s.on_icmp(0, lambda p, m: replies.append(m))
+        topo.s.ping(topo.m.home_address)
+        sim.run(until=30.0)
+        assert len(replies) == 1
+
+    def test_advertisement_driven_recovery(self, figure1_m_at_r4):
+        """The proactive half of Section 5.2: a fresh boot id in the
+        post-reboot advertisements makes the visitor re-register."""
+        topo = figure1_m_at_r4
+        sim = topo.sim
+        topo.r4.crash()
+        sim.run(until=10.0)
+        topo.r4.reboot()
+        sim.run(until=20.0)  # next periodic advertisement carries new boot id
+        assert topo.r4_roles.foreign_agent.is_serving(topo.m.home_address)
+        record = topo.r4_roles.foreign_agent.visitors[topo.m.home_address]
+        assert record.hw_value == topo.m.iface.hw_address.value  # full re-register
+
+    def test_verify_with_query_mode(self, figure1_m_at_r4):
+        """Section 5.2's cautious option: verify presence before
+        re-adding the visitor."""
+        topo = figure1_m_at_r4
+        sim = topo.sim
+        fa = topo.r4_roles.foreign_agent
+        fa.believe_home_agent = False
+        self.prime(topo)
+        fa.advertiser.stop()
+        topo.r4.crash()
+        sim.run(until=12.0)
+        topo.r4.reboot()
+        fa.advertiser.stop()
+        topo.s.ping(topo.m.home_address)
+        sim.run(until=30.0)
+        # M is actually present on net D, so the query succeeds.
+        assert fa.is_serving(topo.m.home_address)

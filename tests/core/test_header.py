@@ -1,0 +1,101 @@
+"""Unit tests for the MHRP header (paper Figure 3)."""
+
+import pytest
+
+from repro.core.header import DEFAULT_MAX_PREVIOUS_SOURCES, MHRPHeader
+from repro.errors import PacketError
+from repro.ip.address import IPAddress
+from repro.ip.checksum import internet_checksum
+from repro.ip.protocols import TCP, UDP
+
+
+def make_header(n_sources=0):
+    return MHRPHeader(
+        orig_protocol=TCP,
+        mobile_host=IPAddress("10.2.0.10"),
+        previous_sources=[IPAddress(f"10.9.0.{i + 1}") for i in range(n_sources)],
+    )
+
+
+class TestSizes:
+    def test_sender_built_header_is_8_bytes(self):
+        """Section 7: 'MHRP normally adds only 8 bytes'."""
+        header = make_header(0)
+        assert header.byte_length == 8
+        assert len(header.to_bytes()) == 8
+
+    def test_agent_built_header_is_12_bytes(self):
+        """Section 4.2: one previous source -> 12 octets."""
+        header = make_header(1)
+        assert header.byte_length == 12
+
+    def test_each_tunnel_hop_adds_4_bytes(self):
+        """Section 4.4: 'the size of the MHRP header ... is increased by
+        4 bytes' per re-tunneling."""
+        for n in range(6):
+            assert make_header(n).byte_length == 8 + 4 * n
+
+
+class TestWireFormat:
+    def test_field_layout(self):
+        header = make_header(2)
+        wire = header.to_bytes()
+        assert wire[0] == TCP          # orig protocol
+        assert wire[1] == 2            # count
+        assert IPAddress.from_bytes(wire[4:8]) == "10.2.0.10"
+        assert IPAddress.from_bytes(wire[8:12]) == "10.9.0.1"
+        assert IPAddress.from_bytes(wire[12:16]) == "10.9.0.2"
+
+    def test_checksum_verifies(self):
+        wire = make_header(3).to_bytes()
+        assert internet_checksum(wire) == 0
+
+    def test_round_trip(self):
+        header = make_header(4)
+        parsed = MHRPHeader.from_bytes(header.to_bytes())
+        assert parsed.orig_protocol == header.orig_protocol
+        assert parsed.mobile_host == header.mobile_host
+        assert parsed.previous_sources == header.previous_sources
+
+    def test_round_trip_empty_list(self):
+        header = make_header(0)
+        parsed = MHRPHeader.from_bytes(header.to_bytes())
+        assert parsed.previous_sources == []
+
+    def test_corruption_detected(self):
+        wire = bytearray(make_header(1).to_bytes())
+        wire[5] ^= 0xFF
+        with pytest.raises(PacketError):
+            MHRPHeader.from_bytes(bytes(wire))
+
+    def test_truncation_detected(self):
+        wire = make_header(2).to_bytes()
+        with pytest.raises(PacketError):
+            MHRPHeader.from_bytes(wire[:10])
+        with pytest.raises(PacketError):
+            MHRPHeader.from_bytes(b"\x06")
+
+
+class TestSemantics:
+    def test_original_sender(self):
+        assert make_header(0).original_sender is None
+        header = make_header(3)
+        assert header.original_sender == "10.9.0.1"
+
+    def test_contains_source(self):
+        header = make_header(2)
+        assert header.contains_source(IPAddress("10.9.0.2"))
+        assert not header.contains_source(IPAddress("10.9.0.3"))
+
+    def test_copy_is_independent(self):
+        header = make_header(1)
+        dup = header.copy()
+        dup.previous_sources.append(IPAddress("1.1.1.1"))
+        assert header.count == 1
+
+    def test_invalid_protocol_rejected(self):
+        with pytest.raises(PacketError):
+            MHRPHeader(orig_protocol=300, mobile_host=IPAddress("1.1.1.1"))
+
+    def test_default_max_list_length_sane(self):
+        assert 1 <= DEFAULT_MAX_PREVIOUS_SOURCES <= 64

@@ -1,0 +1,145 @@
+"""Tests for the routing-domain host-route variant (Section 3, end)."""
+
+import pytest
+
+from repro.core.host_routes import (
+    DomainForeignAgentBinding,
+    DomainHomeAgentBinding,
+    HOST_ROUTE_TAG,
+    RoutingDomain,
+)
+from repro.ip.address import IPAddress
+
+
+@pytest.fixture
+def domains(figure1):
+    """Figure 1 with host-route bindings on both sides.
+
+    Home domain: R1 and R2.  Foreign domain: R3, R4, R5 (network C and
+    its cells).  The domains are disjoint — the paper is explicit that
+    host routes are never propagated outside their own routing domain,
+    and a router in two domains would receive conflicting /32s.
+    """
+    topo = figure1
+    home_domain = RoutingDomain("home", [topo.r1, topo.r2])
+    foreign_domain = RoutingDomain("foreign", [topo.r3, topo.r4, topo.r5])
+    DomainHomeAgentBinding(topo.r2_roles.home_agent, home_domain)
+    DomainForeignAgentBinding(topo.r4_roles.foreign_agent, foreign_domain)
+    DomainForeignAgentBinding(topo.r5_roles.foreign_agent, foreign_domain)
+    return topo, home_domain, foreign_domain
+
+
+class TestRoutingDomain:
+    def test_advertise_installs_tagged_host_routes(self, figure1):
+        topo = figure1
+        domain = RoutingDomain("d", [topo.r1, topo.r3])
+        host = IPAddress("10.2.0.10")
+        domain.advertise_host_route(host, topo.home_agent_address)
+        for router in (topo.r1, topo.r3):
+            route = router.routing_table.lookup(host)
+            assert route.is_host_route
+            assert route.tag.startswith(HOST_ROUTE_TAG)
+        assert host in domain.advertised_hosts
+
+    def test_next_hop_follows_path_to_agent(self, figure1):
+        topo = figure1
+        domain = RoutingDomain("d", [topo.r1])
+        host = IPAddress("10.2.0.10")
+        domain.advertise_host_route(host, topo.home_agent_address)
+        route = topo.r1.routing_table.lookup(host)
+        # R1 reaches the home agent via R2's backbone address.
+        assert route.next_hop == topo.backbone_net.host(2)
+
+    def test_agent_router_itself_skipped(self, figure1):
+        topo = figure1
+        domain = RoutingDomain("d", [topo.r2])
+        host = IPAddress("10.2.0.10")
+        domain.advertise_host_route(host, topo.home_agent_address)
+        route = topo.r2.routing_table.lookup(host)
+        assert not route.tag.startswith(HOST_ROUTE_TAG)  # only connected
+
+    def test_withdraw_removes_only_our_routes(self, figure1):
+        topo = figure1
+        domain = RoutingDomain("d", [topo.r1])
+        host = IPAddress("10.2.0.10")
+        # A pre-existing manual host route must survive our withdraw.
+        other = IPAddress("10.2.0.11")
+        topo.r1.routing_table.add_host_route(
+            other, topo.backbone_net.host(2), "bb", tag="manual"
+        )
+        domain.advertise_host_route(host, topo.home_agent_address)
+        domain.withdraw_host_route(host)
+        domain.withdraw_host_route(other)  # must not touch the manual one
+        assert topo.r1.routing_table.lookup(host).network.prefix_len < 32
+        assert topo.r1.routing_table.lookup(other).is_host_route
+
+    def test_withdraw_all(self, figure1):
+        topo = figure1
+        domain = RoutingDomain("d", [topo.r1])
+        for i in (10, 11, 12):
+            domain.advertise_host_route(
+                IPAddress(f"10.2.0.{i}"), topo.home_agent_address
+            )
+        domain.withdraw_all()
+        assert domain.advertised_hosts == set()
+
+
+class TestBindings:
+    def test_away_registration_advertises_home_side(self, domains):
+        topo, home_domain, foreign_domain = domains
+        topo.m.attach(topo.net_d)
+        topo.sim.run(until=5.0)
+        assert topo.m.home_address in home_domain.advertised_hosts
+        route = topo.r1.routing_table.lookup(topo.m.home_address)
+        assert route.is_host_route
+
+    def test_visitor_advertises_foreign_side(self, domains):
+        topo, home_domain, foreign_domain = domains
+        topo.m.attach(topo.net_d)
+        topo.sim.run(until=5.0)
+        # R3 (in the foreign domain) has a /32 for M toward R4.
+        route = topo.r3.routing_table.lookup(topo.m.home_address)
+        assert route.is_host_route
+        assert route.next_hop == topo.net_c_prefix.host(4)
+
+    def test_return_home_withdraws_both_sides(self, domains):
+        topo, home_domain, foreign_domain = domains
+        topo.m.attach(topo.net_d)
+        topo.sim.run(until=5.0)
+        topo.m.attach_home(topo.net_b)
+        topo.sim.run(until=15.0)
+        assert topo.m.home_address not in home_domain.advertised_hosts
+        assert topo.m.home_address not in foreign_domain.advertised_hosts
+
+    def test_move_between_cells_repoints_foreign_route(self, domains):
+        topo, home_domain, foreign_domain = domains
+        topo.m.attach(topo.net_d)
+        topo.sim.run(until=5.0)
+        topo.m.attach(topo.net_e)
+        topo.sim.run(until=15.0)
+        route = topo.r3.routing_table.lookup(topo.m.home_address)
+        assert route.is_host_route
+        assert route.next_hop == topo.net_c_prefix.host(5)
+
+    def test_local_sender_in_foreign_domain_reaches_visitor_directly(self, domains):
+        """The whole point of the variant: a host on network C (no
+        foreign agent there) reaches the visitor without any tunneling
+        because the /32 steers its packets to R4."""
+        topo, home_domain, foreign_domain = domains
+        sim = topo.sim
+        topo.m.attach(topo.net_d)
+        sim.run(until=5.0)
+        from repro.ip import Host
+
+        local = Host(sim, "LC")
+        local.add_interface(
+            "eth0", topo.net_c_prefix.host(99), topo.net_c_prefix, medium=topo.net_c
+        )
+        local.set_gateway(topo.net_c_prefix.host(254))  # R3
+        intercepted_before = topo.r2_roles.home_agent.packets_intercepted
+        replies = []
+        local.on_icmp(0, lambda p, m: replies.append(m))
+        local.ping(topo.m.home_address)
+        sim.run(until=15.0)
+        assert len(replies) == 1
+        assert topo.r2_roles.home_agent.packets_intercepted == intercepted_before

@@ -1,0 +1,156 @@
+"""Integration tests for Section 4.5: returned ICMP errors travel back
+through the tunnel chain to the original sender."""
+
+import pytest
+
+from repro.ip.address import IPAddress
+from repro.ip.icmp import ICMPError, TYPE_DEST_UNREACHABLE
+from repro.ip.packet import IPPacket, RawPayload
+from repro.ip.protocols import UDP
+
+
+class TestErrorReverseTunneling:
+    def break_path_to_r4(self, topo):
+        """Make the tunnel endpoint unreachable: R3 loses its route to
+        net D, so tunnels to R4's cell address die at R3."""
+        topo.r3.routing_table.remove(topo.net_d_prefix)
+
+    def test_error_reaches_original_sender_with_original_packet(self, figure1_m_at_r4):
+        topo = figure1_m_at_r4
+        sim = topo.sim
+        # Prime S's cache so S itself builds the tunnel (sender-built).
+        topo.s.ping(topo.m.home_address)
+        sim.run(until=10.0)
+        assert topo.s.cache_agent.cache.peek(topo.m.home_address) == topo.fa4_address
+        self.break_path_to_r4(topo)
+        errors = []
+        topo.s.on_icmp_error(lambda p, e: errors.append(e))
+        topo.s.send(IPPacket(
+            src=topo.net_a_prefix.host(1),
+            dst=topo.m.home_address,
+            protocol=UDP,
+            payload=RawPayload(b"payload"),
+        ))
+        sim.run(until=20.0)
+        assert len(errors) >= 1
+        final = errors[-1]
+        assert final.icmp_type == TYPE_DEST_UNREACHABLE
+        # The quoted packet was reversed into its original form.
+        assert final.quoted.protocol == UDP
+        assert final.quoted.dst == topo.m.home_address
+        assert final.quoted.src == topo.net_a_prefix.host(1)
+
+    def test_cache_entry_deleted_on_unreachable(self, figure1_m_at_r4):
+        """Section 4.5: 'the cache agent may also delete its cache entry
+        for this mobile host before resending the ICMP error'."""
+        topo = figure1_m_at_r4
+        sim = topo.sim
+        topo.s.ping(topo.m.home_address)
+        sim.run(until=10.0)
+        self.break_path_to_r4(topo)
+        topo.s.send(IPPacket(
+            src=topo.net_a_prefix.host(1),
+            dst=topo.m.home_address,
+            protocol=UDP,
+        ))
+        sim.run(until=20.0)
+        assert topo.s.cache_agent.cache.peek(topo.m.home_address) is None
+
+    def test_next_packet_takes_home_path_after_error(self, figure1_m_at_r4):
+        """After the cache entry is purged by the error, the next packet
+        routes via the home network again and is re-tunneled from there."""
+        topo = figure1_m_at_r4
+        sim = topo.sim
+        topo.s.ping(topo.m.home_address)
+        sim.run(until=10.0)
+        self.break_path_to_r4(topo)
+        topo.s.send(IPPacket(
+            src=topo.net_a_prefix.host(1), dst=topo.m.home_address, protocol=UDP
+        ))
+        sim.run(until=20.0)
+        # Repair the path; the purged cache forces the home route, which
+        # works again.
+        topo.r3.routing_table.add_next_hop(
+            topo.net_d_prefix, topo.net_c_prefix.host(4), "lan"
+        )
+        replies = []
+        topo.s.on_icmp(0, lambda p, m: replies.append(m))
+        topo.s.ping(topo.m.home_address)
+        sim.run(until=30.0)
+        assert len(replies) == 1
+
+    def test_error_through_agent_built_tunnel(self, figure1_m_at_r4):
+        """The home agent built the tunnel (S has no cache entry): the
+        error must be reversed by the home agent and forwarded to S with
+        the original packet reconstructed."""
+        topo = figure1_m_at_r4
+        sim = topo.sim
+        self.break_path_to_r4(topo)
+        errors = []
+        topo.s.on_icmp_error(lambda p, e: errors.append(e))
+        topo.s.send(IPPacket(
+            src=topo.net_a_prefix.host(1),
+            dst=topo.m.home_address,
+            protocol=UDP,
+            payload=RawPayload(b"x"),
+        ))
+        sim.run(until=20.0)
+        assert len(errors) >= 1
+        final = errors[-1]
+        assert final.quoted.protocol == UDP
+        assert final.quoted.src == topo.net_a_prefix.host(1)
+        assert final.quoted.dst == topo.m.home_address
+
+    def test_minimal_quote_only_deletes_cache(self, figure1_m_at_r4):
+        """Section 4.5: with less than the MHRP header + 8 bytes quoted,
+        the agent can only delete its cache entry."""
+        topo = figure1_m_at_r4
+        sim = topo.sim
+        topo.s.ping(topo.m.home_address)
+        sim.run(until=10.0)
+        # Hand-deliver a minimal-quote error to S about a tunneled packet.
+        from repro.core.encapsulation import encapsulate
+
+        packet = IPPacket(
+            src=topo.net_a_prefix.host(1),
+            dst=topo.m.home_address,
+            protocol=UDP,
+            payload=RawPayload(b"0123456789abcdef"),
+        )
+        encapsulate(packet, topo.fa4_address, agent_address=None)
+        error = ICMPError.unreachable(packet, quote_full=False)
+        # A minimal quote covers the IP header + 8 bytes = exactly the
+        # 8-byte MHRP header and nothing beyond: not enough.
+        assert not error.quote_covers_mhrp(8)
+        handler = topo.s.error_handler
+        reversed_before = handler.errors_reversed
+        from repro.ip.protocols import ICMP
+
+        topo.s.packet_received(
+            IPPacket(src="10.3.0.254", dst=topo.net_a_prefix.host(1),
+                     protocol=ICMP, payload=error),
+            topo.s.interfaces["eth0"],
+        )
+        sim.run(until=20.0)
+        assert handler.errors_reversed == reversed_before
+        assert handler.errors_unparseable >= 1
+        assert topo.s.cache_agent.cache.peek(topo.m.home_address) is None
+
+
+class TestEchoRepliesUnaffected:
+    def test_echo_reply_returns_directly(self, figure1_m_at_r4):
+        """Section 4.5: ICMP *replies* need no special handling — the
+        request is reconstructed before delivery, so M replies straight
+        to S."""
+        topo = figure1_m_at_r4
+        sim = topo.sim
+        replies = []
+        topo.s.on_icmp(0, lambda p, m: replies.append(m))
+        topo.s.ping(topo.m.home_address)
+        sim.run(until=10.0)
+        assert len(replies) == 1
+        # The reply came back without being tunneled (M -> S is plain).
+        reply_deliveries = [
+            e for e in sim.tracer.select("ip.deliver", node="S")
+        ]
+        assert reply_deliveries

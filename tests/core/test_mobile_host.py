@@ -1,0 +1,211 @@
+"""Integration tests for the mobile host over the Figure 1 topology."""
+
+import pytest
+
+from repro.core.mobile_host import AT_HOME, AWAY, AWAY_SELF_AGENT, DISCONNECTED
+from repro.ip.address import IPAddress
+from repro.ip.protocols import MHRP
+
+
+class TestDiscoveryDrivenRegistration:
+    def test_attach_foreign_registers_with_fa_then_ha(self, figure1):
+        topo = figure1
+        topo.m.attach(topo.net_d)
+        topo.sim.run(until=5.0)
+        assert topo.m.state == AWAY
+        assert topo.m.current_foreign_agent == topo.fa4_address
+        assert topo.r4_roles.foreign_agent.is_serving(topo.m.home_address)
+        db = topo.r2_roles.home_agent.database
+        assert db.foreign_agent_of(topo.m.home_address) == topo.fa4_address
+
+    def test_attach_without_solicit_waits_for_advert(self, figure1):
+        topo = figure1
+        topo.m.attach(topo.net_d, solicit=False)
+        topo.sim.run(until=0.5)
+        assert topo.m.state == DISCONNECTED  # no advert heard yet
+        topo.sim.run(until=6.0)  # past the advertisement period
+        assert topo.m.state == AWAY
+
+    def test_attach_home_detected_via_home_agent_advert(self, figure1):
+        topo = figure1
+        topo.m.attach_home(topo.net_b)
+        topo.sim.run(until=5.0)
+        assert topo.m.state == AT_HOME
+        assert topo.m.current_foreign_agent is None
+
+    def test_same_fa_heard_again_is_noop(self, figure1_m_at_r4):
+        topo = figure1_m_at_r4
+        registrations = topo.m.registrations
+        topo.sim.run(until=20.0)  # several more advertisement periods
+        assert topo.m.registrations == registrations
+
+
+class TestSection3Ordering:
+    def test_new_fa_notified_before_home_agent(self, figure1):
+        """Section 3: 'it must first notify its new foreign agent, and
+        then notify its home agent.'"""
+        topo = figure1
+        topo.m.attach(topo.net_d)
+        topo.sim.run(until=5.0)
+        events = [
+            e for e in topo.sim.tracer.select("mhrp.register")
+            if e.detail.get("event") in ("fa-connect", "ha-register")
+        ]
+        kinds = [e.detail["event"] for e in events]
+        assert kinds.index("fa-connect") < kinds.index("ha-register")
+
+    def test_old_fa_notified_after_new_registration(self, figure1_m_at_r4):
+        topo = figure1_m_at_r4
+        topo.m.attach(topo.net_e)
+        topo.sim.run(until=10.0)
+        events = [
+            e.detail.get("event")
+            for e in topo.sim.tracer.select("mhrp.register", node="R4")
+        ]
+        assert "fa-disconnect" in events
+
+
+class TestReturnHome:
+    def test_zero_registration_and_arp_reclaim(self, figure1_m_at_r4):
+        topo = figure1_m_at_r4
+        sim = topo.sim
+        # A neighbour on the home LAN whose ARP cache was poisoned by the
+        # home agent while M was away.
+        from repro.ip import Host
+
+        neighbour = Host(sim, "N")
+        neighbour.add_interface(
+            "eth0", topo.net_b_prefix.host(20), topo.net_b_prefix, medium=topo.net_b
+        )
+        neighbour.set_gateway(topo.net_b_prefix.host(254))
+        neighbour.ping(topo.m.home_address)
+        sim.run(until=10.0)
+        ha_hw = topo.r2.interfaces["lan"].hw_address
+        assert neighbour.arp["eth0"].lookup(topo.m.home_address) == ha_hw
+        # M returns home: gratuitous ARP re-binds the address.
+        topo.m.attach_home(topo.net_b)
+        sim.run(until=20.0)
+        assert topo.m.state == AT_HOME
+        assert (
+            neighbour.arp["eth0"].lookup(topo.m.home_address)
+            == topo.m.iface.hw_address
+        )
+        # And the database records the zero address (Section 3).
+        fa = topo.r2_roles.home_agent.database.foreign_agent_of(topo.m.home_address)
+        assert fa.is_zero
+
+    def test_stale_sender_cache_corrected_by_mobile_host(self, figure1_m_at_r4):
+        """Section 6.3's full return-home sequence: the re-tunneled packet
+        reaches M at home, M answers with a zero location update, and
+        subsequent packets flow without MHRP."""
+        topo = figure1_m_at_r4
+        sim = topo.sim
+        topo.s.ping(topo.m.home_address)
+        sim.run(until=10.0)
+        assert topo.s.cache_agent.cache.peek(topo.m.home_address) == topo.fa4_address
+        topo.m.attach_home(topo.net_b)
+        sim.run(until=20.0)
+        replies = []
+        topo.s.on_icmp(0, lambda p, m: replies.append(m))
+        topo.s.ping(topo.m.home_address)   # stale: tunnels to R4 first
+        sim.run(until=30.0)
+        assert len(replies) == 1
+        assert topo.s.cache_agent.cache.peek(topo.m.home_address) is None
+        tunnels_before = sim.tracer.count("mhrp.tunnel")
+        topo.s.ping(topo.m.home_address)   # now plain IP end to end
+        sim.run(until=40.0)
+        assert len(replies) == 2
+        assert sim.tracer.count("mhrp.tunnel") == tunnels_before
+
+
+class TestMobileHostAsSender:
+    def test_away_host_can_originate_traffic(self, figure1_m_at_r4):
+        topo = figure1_m_at_r4
+        replies = []
+        topo.m.on_icmp(0, lambda p, m: replies.append(m))
+        topo.m.ping(topo.net_a_prefix.host(1))  # ping S from the cell
+        topo.sim.run(until=10.0)
+        assert len(replies) == 1
+
+    def test_udp_application_across_handoff(self, figure1_m_at_r4):
+        """Transport and application survive movement untouched."""
+        topo = figure1_m_at_r4
+        sim = topo.sim
+        server = topo.m.udp.bind(9000)
+        client = topo.s.udp.bind()
+        client.send_to(b"one", topo.m.home_address, 9000)
+        sim.run(until=12.0)
+        topo.m.attach(topo.net_e)
+        sim.run(until=16.0)
+        client.send_to(b"two", topo.m.home_address, 9000)
+        sim.run(until=25.0)
+        payloads = [data for data, _, _ in server.received]
+        assert payloads == [b"one", b"two"]
+
+    def test_tcp_connection_survives_handoff(self, figure1_m_at_r4):
+        """The headline transparency claim: a TCP connection opened while
+        at R4 keeps working after M moves to R5."""
+        topo = figure1_m_at_r4
+        sim = topo.sim
+        accepted = []
+        topo.m.tcp.listen(80, accepted.append)
+        conn = topo.s.tcp.connect(topo.m.home_address, 80)
+        conn.send(b"before-move ")
+        sim.run(until=12.0)
+        assert accepted and accepted[0].established
+        topo.m.attach(topo.net_e)
+        sim.run(until=14.0)
+        conn.send(b"after-move")
+        sim.run(until=40.0)
+        assert bytes(accepted[0].received) == b"before-move after-move"
+
+
+class TestSelfForeignAgent:
+    def test_temporary_address_serves_as_tunnel_endpoint(self, figure1):
+        """Section 2: no foreign agent on the visited network; the host
+        obtains a temporary address used only for tunneling."""
+        topo = figure1
+        sim = topo.sim
+        # Net C has no foreign agent (R3 is a plain router).  M attaches
+        # to net C directly with a temporary address.
+        temp = topo.net_c_prefix.host(77)
+        topo.m.connect_as_own_foreign_agent(
+            topo.net_c, temp_address=temp, gateway=topo.net_c_prefix.host(254)
+        )
+        sim.run(until=5.0)
+        assert topo.m.state == AWAY_SELF_AGENT
+        db = topo.r2_roles.home_agent.database
+        assert db.foreign_agent_of(topo.m.home_address) == temp
+        # S pings M's HOME address; the tunnel ends at the temp address
+        # but the application-visible address never changes.
+        replies = []
+        topo.s.on_icmp(0, lambda p, m: replies.append(m))
+        topo.s.ping(topo.m.home_address)
+        sim.run(until=15.0)
+        assert len(replies) == 1
+        assert topo.s.cache_agent.cache.peek(topo.m.home_address) == temp
+
+    def test_moving_on_from_self_agent_mode(self, figure1):
+        topo = figure1
+        sim = topo.sim
+        temp = topo.net_c_prefix.host(77)
+        topo.m.connect_as_own_foreign_agent(
+            topo.net_c, temp_address=temp, gateway=topo.net_c_prefix.host(254)
+        )
+        sim.run(until=5.0)
+        topo.m.attach(topo.net_d)  # a real foreign agent again
+        sim.run(until=10.0)
+        assert topo.m.state == AWAY
+        assert topo.m.temp_address is None
+        assert topo.m.iface.alias_addresses == set()
+
+
+class TestPlannedDisconnect:
+    def test_disconnect_detaches_and_clears_state(self, figure1_m_at_r4):
+        topo = figure1_m_at_r4
+        topo.m.disconnect()
+        topo.sim.run(until=10.0)
+        assert topo.m.state == DISCONNECTED
+        assert not topo.m.iface.attached
+        # Old foreign agent dropped the visitor.
+        assert not topo.r4_roles.foreign_agent.is_serving(topo.m.home_address)

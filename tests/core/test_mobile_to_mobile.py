@@ -1,0 +1,121 @@
+"""Integration tests: both communication endpoints are mobile.
+
+The paper never restricts either endpoint: "any host may be configured
+to be a mobile host".  These tests put a *second* mobile host on the
+Figure 1 topology (same home network as M) and run traffic between the
+two while both roam — the hardest addressing case, since each side's
+cache agent must track the other's movements.
+"""
+
+import pytest
+
+from repro.core.mobile_host import MobileHost
+from repro.workloads import build_figure1
+
+
+@pytest.fixture
+def two_mobiles():
+    topo = build_figure1()
+    m2 = MobileHost(
+        topo.sim, "M2",
+        home_address=topo.net_b_prefix.host(11),
+        home_network=topo.net_b_prefix,
+        home_agent=topo.net_b_prefix.host(254),
+    )
+    return topo, m2
+
+
+def ping_between(sim, src_host, dst_address, timeout=8.0) -> bool:
+    replies = []
+    handler = lambda p, m: replies.append(m)  # noqa: E731
+    src_host.on_icmp(0, handler)
+    src_host.ping(dst_address)
+    sim.run(until=sim.now + timeout)
+    src_host._icmp_listeners[0].remove(handler)
+    return bool(replies)
+
+
+class TestBothEndpointsMobile:
+    def test_both_away_different_cells(self, two_mobiles):
+        topo, m2 = two_mobiles
+        sim = topo.sim
+        topo.m.attach(topo.net_d)
+        m2.attach(topo.net_e)
+        sim.run(until=5.0)
+        assert ping_between(sim, m2, topo.m.home_address)
+        assert ping_between(sim, topo.m, m2.home_address)
+
+    def test_both_away_same_cell(self, two_mobiles):
+        """Two visitors under one foreign agent talk through it locally."""
+        topo, m2 = two_mobiles
+        sim = topo.sim
+        topo.m.attach(topo.net_d)
+        m2.attach(topo.net_d)
+        sim.run(until=5.0)
+        intercepted_before = topo.r2_roles.home_agent.packets_intercepted
+        assert ping_between(sim, m2, topo.m.home_address)
+        assert ping_between(sim, m2, topo.m.home_address)
+        # Better than caching: M2's packets route to its gateway — the
+        # shared foreign agent — whose local-delivery shortcut (Section
+        # 4.3) hands them straight to M.  No tunnel, no home detour.
+        assert topo.r2_roles.home_agent.packets_intercepted == intercepted_before
+
+    def test_one_home_one_away(self, two_mobiles):
+        topo, m2 = two_mobiles
+        sim = topo.sim
+        topo.m.attach_home(topo.net_b)
+        m2.attach(topo.net_e)
+        sim.run(until=5.0)
+        assert ping_between(sim, topo.m, m2.home_address)
+        assert ping_between(sim, m2, topo.m.home_address)
+
+    def test_mobile_sender_cache_tracks_moving_peer(self, two_mobiles):
+        """M2's own cache agent follows M across a move."""
+        topo, m2 = two_mobiles
+        sim = topo.sim
+        topo.m.attach(topo.net_d)
+        m2.attach(topo.net_e)
+        sim.run(until=5.0)
+        assert ping_between(sim, m2, topo.m.home_address)
+        assert m2.cache_agent.cache.peek(topo.m.home_address) == topo.fa4_address
+        # M moves; M2's stale entry is corrected by its next packet.
+        topo.m.attach(topo.net_e)
+        sim.run(until=sim.now + 5.0)
+        assert ping_between(sim, m2, topo.m.home_address)
+        assert m2.cache_agent.cache.peek(topo.m.home_address) == topo.fa5_address
+
+    def test_udp_between_roaming_mobiles(self, two_mobiles):
+        topo, m2 = two_mobiles
+        sim = topo.sim
+        topo.m.attach(topo.net_d)
+        m2.attach(topo.net_e)
+        sim.run(until=5.0)
+        server = topo.m.udp.bind(6000)
+        client = m2.udp.bind()
+        client.send_to(b"one", topo.m.home_address, 6000)
+        sim.run(until=sim.now + 5.0)
+        # Both move simultaneously (swap cells) mid-conversation.
+        topo.m.attach(topo.net_e)
+        m2.attach(topo.net_d)
+        sim.run(until=sim.now + 5.0)
+        client.send_to(b"two", topo.m.home_address, 6000)
+        sim.run(until=sim.now + 8.0)
+        assert [d for d, _, _ in server.received] == [b"one", b"two"]
+
+    def test_tcp_between_two_mobiles_across_swap(self, two_mobiles):
+        topo, m2 = two_mobiles
+        sim = topo.sim
+        topo.m.attach(topo.net_d)
+        m2.attach(topo.net_e)
+        sim.run(until=5.0)
+        accepted = []
+        topo.m.tcp.listen(7000, accepted.append)
+        conn = m2.tcp.connect(topo.m.home_address, 7000)
+        conn.send(b"hello-")
+        sim.run(until=sim.now + 5.0)
+        topo.m.attach(topo.net_e)
+        m2.attach(topo.net_d)
+        sim.run(until=sim.now + 5.0)
+        conn.send(b"world")
+        sim.run(until=sim.now + 30.0)
+        assert accepted and bytes(accepted[0].received) == b"hello-world"

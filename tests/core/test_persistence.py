@@ -1,0 +1,99 @@
+"""Unit tests for the location database and its durable stores."""
+
+import pytest
+
+from repro.core.persistence import JSONFileStore, LocationDatabase, MemoryStore
+from repro.ip.address import IPAddress
+
+M1 = IPAddress("10.2.0.10")
+M2 = IPAddress("10.2.0.11")
+FA = IPAddress("10.4.0.254")
+
+
+class TestLocationDatabase:
+    def test_record_and_query(self):
+        db = LocationDatabase()
+        db.record(M1, FA)
+        assert M1 in db
+        assert db.foreign_agent_of(M1) == FA
+        assert db.is_away(M1)
+
+    def test_zero_means_home(self):
+        db = LocationDatabase()
+        db.record(M1, IPAddress.zero())
+        assert M1 in db
+        assert not db.is_away(M1)
+
+    def test_unknown_host(self):
+        db = LocationDatabase()
+        assert db.foreign_agent_of(M1) is None
+        assert not db.is_away(M1)
+
+    def test_away_hosts(self):
+        db = LocationDatabase()
+        db.record(M1, FA)
+        db.record(M2, IPAddress.zero())
+        assert db.away_hosts() == {M1: FA}
+
+    def test_remove(self):
+        db = LocationDatabase()
+        db.record(M1, FA)
+        db.remove(M1)
+        assert M1 not in db
+
+    def test_len(self):
+        db = LocationDatabase()
+        db.record(M1, FA)
+        db.record(M2, FA)
+        assert len(db) == 2
+
+
+class TestMemoryStore:
+    def test_survives_clear_and_reload(self):
+        store = MemoryStore()
+        db = LocationDatabase(store)
+        db.record(M1, FA)
+        db.clear_memory()           # simulated crash: RAM gone
+        assert M1 not in db
+        db.reload()                 # reboot: read back from "disk"
+        assert db.foreign_agent_of(M1) == FA
+
+    def test_volatile_without_store(self):
+        db = LocationDatabase()     # no disk
+        db.record(M1, FA)
+        db.clear_memory()
+        db.reload()                 # nothing to reload from
+        assert M1 not in db
+
+
+class TestJSONFileStore:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "locdb.json")
+        store = JSONFileStore(path)
+        db = LocationDatabase(store)
+        db.record(M1, FA)
+        db.record(M2, IPAddress.zero())
+        # A brand-new database over the same file sees everything.
+        recovered = LocationDatabase(JSONFileStore(path))
+        assert recovered.foreign_agent_of(M1) == FA
+        assert recovered.foreign_agent_of(M2) == IPAddress.zero()
+
+    def test_missing_file_is_empty(self, tmp_path):
+        store = JSONFileStore(str(tmp_path / "absent.json"))
+        assert store.load() == {}
+
+    def test_updates_overwrite(self, tmp_path):
+        path = str(tmp_path / "locdb.json")
+        db = LocationDatabase(JSONFileStore(path))
+        db.record(M1, FA)
+        db.record(M1, IPAddress("10.5.0.254"))
+        recovered = LocationDatabase(JSONFileStore(path))
+        assert recovered.foreign_agent_of(M1) == "10.5.0.254"
+
+    def test_remove_persists(self, tmp_path):
+        path = str(tmp_path / "locdb.json")
+        db = LocationDatabase(JSONFileStore(path))
+        db.record(M1, FA)
+        db.remove(M1)
+        recovered = LocationDatabase(JSONFileStore(path))
+        assert M1 not in recovered

@@ -1,0 +1,101 @@
+"""Integration tests for location-update rate limiting (Section 4.3).
+
+"Any host or router that sends location update messages must provide
+some mechanism for limiting the rate at which it sends these messages to
+any single IP address" — protecting hosts that do not implement MHRP
+from a flood of (to them meaningless) ICMP messages.
+"""
+
+import pytest
+
+from repro.ip.packet import IPPacket, RawPayload
+from repro.ip.protocols import UDP
+
+
+def update_count(sim, sender_node, to=None):
+    return sum(
+        1 for e in sim.tracer.select("mhrp.update", node=sender_node)
+        if e.detail.get("event") == "sent"
+        and (to is None or e.detail.get("to") == to)
+    )
+
+
+class TestHomeAgentRateLimit:
+    def test_burst_of_packets_draws_one_update(self, figure1_m_at_r4):
+        """S never caches (plain host behaviour could do this too); the
+        home agent tunnels every packet but updates S only once per
+        rate-limit interval."""
+        topo = figure1_m_at_r4
+        sim = topo.sim
+        topo.s.cache_agent.enabled = False  # S ignores updates: worst case
+        sender = str(topo.net_a_prefix.host(1))
+        for _ in range(10):  # a burst well inside one interval
+            topo.s.send(IPPacket(
+                src=topo.net_a_prefix.host(1), dst=topo.m.home_address,
+                protocol=UDP, payload=RawPayload(b"x"),
+            ))
+        sim.run(until=sim.now + 0.5)
+        assert topo.r2_roles.home_agent.packets_intercepted >= 10
+        assert update_count(sim, "R2", to=sender) == 1
+        assert topo.r2_roles.home_agent.limiter.suppressed >= 9
+
+    def test_updates_resume_after_interval(self, figure1_m_at_r4):
+        topo = figure1_m_at_r4
+        sim = topo.sim
+        topo.s.cache_agent.enabled = False
+        sender = str(topo.net_a_prefix.host(1))
+
+        def burst():
+            for _ in range(3):
+                topo.s.send(IPPacket(
+                    src=topo.net_a_prefix.host(1), dst=topo.m.home_address,
+                    protocol=UDP,
+                ))
+
+        burst()
+        sim.run(until=sim.now + 2.0)   # past the 1 s minimum interval
+        burst()
+        sim.run(until=sim.now + 2.0)
+        assert update_count(sim, "R2", to=sender) == 2
+
+    def test_distinct_senders_limited_independently(self, figure1_m_at_r4):
+        topo = figure1_m_at_r4
+        sim = topo.sim
+        from repro.ip import Host
+
+        other = Host(sim, "S2")
+        other.add_interface(
+            "eth0", topo.net_a_prefix.host(2), topo.net_a_prefix, medium=topo.net_a
+        )
+        other.set_gateway(topo.net_a_prefix.host(254))
+        topo.s.cache_agent.enabled = False
+        for host in (topo.s, other):
+            host.send(IPPacket(
+                src=host.primary_address, dst=topo.m.home_address, protocol=UDP,
+            ))
+        sim.run(until=sim.now + 1.0)
+        assert update_count(sim, "R2", to=str(topo.net_a_prefix.host(1))) == 1
+        assert update_count(sim, "R2", to=str(topo.net_a_prefix.host(2))) == 1
+
+
+class TestNonMHRPHostsUnharmed:
+    def test_plain_host_gets_no_errors_from_updates(self, figure1):
+        """A completely unmodified sender receives location updates,
+        silently discards them (RFC 1122), and communication works."""
+        from repro.workloads import build_figure1
+
+        topo = build_figure1(sender_is_cache_agent=False)
+        sim = topo.sim
+        topo.m.attach(topo.net_d)
+        sim.run(until=5.0)
+        errors = []
+        topo.s.on_icmp_error(lambda p, e: errors.append(e))
+        replies = []
+        topo.s.on_icmp(0, lambda p, m: replies.append(m))
+        for _ in range(3):
+            topo.s.ping(topo.m.home_address)
+            sim.run(until=sim.now + 3.0)
+        assert len(replies) == 3
+        assert errors == []
+        # Every packet kept going via the home agent (no cache at S).
+        assert topo.r2_roles.home_agent.packets_intercepted >= 3

@@ -1,0 +1,183 @@
+"""Tests for replicated home agents (the Section 2 reliability option).
+
+The topology: the Figure 1 internetwork, but R2 is a *plain router* and
+the home-agent role lives on two support hosts HA1/HA2 on the home LAN,
+sharing a service address.
+"""
+
+import pytest
+
+from repro.core.mobile_host import MobileHost
+from repro.core.replication import ReplicatedHomeAgentGroup
+from repro.errors import ConfigurationError
+from repro.ip import Host, IPNetwork, Router
+from repro.link import LAN, WirelessCell
+from repro.netsim import Simulator
+from repro.core.agent_router import make_agent_router
+
+
+@pytest.fixture
+def replicated():
+    """Home LAN with two support-host home agents behind router R2."""
+    sim = Simulator(seed=13)
+    backbone = LAN(sim, "backbone")
+    net_b = IPNetwork("10.2.0.0/24")      # home network
+    lan_b = LAN(sim, "netB")
+    net_d = IPNetwork("10.4.0.0/24")      # foreign cell
+    cell = WirelessCell(sim, "netD")
+    bb_net = IPNetwork("10.0.0.0/24")
+
+    r2 = Router(sim, "R2")
+    r2.add_interface("bb", bb_net.host(2), bb_net, medium=backbone)
+    r2.add_interface("lan", net_b.host(254), net_b, medium=lan_b)
+    r4 = Router(sim, "R4")
+    r4.add_interface("bb", bb_net.host(4), bb_net, medium=backbone)
+    r4.add_interface("cell", net_d.host(254), net_d, medium=cell)
+    r2.routing_table.add_next_hop(net_d, bb_net.host(4), "bb")
+    r4.routing_table.set_default(bb_net.host(2), "bb")
+    fa_roles = make_agent_router(r4, foreign_iface="cell")
+
+    ha1 = Host(sim, "HA1")
+    ha1.add_interface("eth0", net_b.host(1), net_b, medium=lan_b)
+    ha1.set_gateway(net_b.host(254))
+    ha2 = Host(sim, "HA2")
+    ha2.add_interface("eth0", net_b.host(2), net_b, medium=lan_b)
+    ha2.set_gateway(net_b.host(254))
+
+    service = net_b.host(200)
+    group = ReplicatedHomeAgentGroup([ha1, ha2], "eth0", service)
+
+    m = MobileHost(sim, "M", home_address=net_b.host(10),
+                   home_network=net_b, home_agent=service,
+                   home_gateway=net_b.host(254))
+
+    correspondent = Host(sim, "S")
+    correspondent.add_interface("bb0", bb_net.host(100), bb_net, medium=backbone)
+    correspondent.set_gateway(bb_net.host(2))
+
+    return dict(
+        sim=sim, group=group, m=m, s=correspondent, cell=cell,
+        lan_b=lan_b, fa=fa_roles.foreign_agent, ha1=ha1, ha2=ha2,
+        service=service, net_b=net_b,
+    )
+
+
+def ping_ok(env, timeout=6.0) -> bool:
+    sim, s, m = env["sim"], env["s"], env["m"]
+    replies = []
+    handle = lambda p, msg: replies.append(msg)  # noqa: E731
+    s.on_icmp(0, handle)
+    s.ping(m.home_address)
+    sim.run(until=sim.now + timeout)
+    s._icmp_listeners[0].remove(handle)
+    return bool(replies)
+
+
+class TestNormalOperation:
+    def test_registration_through_service_address(self, replicated):
+        env = replicated
+        env["m"].attach(env["cell"])
+        env["sim"].run(until=env["sim"].now + 5.0)
+        active = env["group"].active_replica
+        assert active is not None
+        assert active.rank == 0
+        fa = active.agent.database.foreign_agent_of(env["m"].home_address)
+        assert fa == env["fa"].address
+
+    def test_standby_receives_replicated_state(self, replicated):
+        env = replicated
+        env["m"].attach(env["cell"])
+        env["sim"].run(until=env["sim"].now + 8.0)
+        assert env["group"].databases_consistent()
+        standby = env["group"].replicas[1]
+        assert not standby.active
+        fa = standby.agent.database.foreign_agent_of(env["m"].home_address)
+        assert fa == env["fa"].address
+
+    def test_interception_and_delivery_via_support_host(self, replicated):
+        """The home agent is NOT the router here: interception works via
+        proxy ARP on the home LAN from a plain support host."""
+        env = replicated
+        env["m"].attach(env["cell"])
+        env["sim"].run(until=env["sim"].now + 5.0)
+        assert ping_ok(env)
+        assert env["group"].replicas[0].agent.packets_intercepted >= 1
+
+    def test_needs_at_least_two_hosts(self, replicated):
+        with pytest.raises(ConfigurationError):
+            ReplicatedHomeAgentGroup(
+                [replicated["ha1"]], "eth0", replicated["service"]
+            )
+
+
+class TestFailover:
+    def test_standby_takes_over_after_active_crash(self, replicated):
+        env = replicated
+        sim = env["sim"]
+        env["m"].attach(env["cell"])
+        sim.run(until=sim.now + 8.0)     # replicate the registration
+        env["ha1"].crash()
+        sim.run(until=sim.now + 15.0)    # heartbeats missed -> takeover
+        active = env["group"].active_replica
+        assert active is env["group"].replicas[1]
+        assert active.takeovers == 1
+
+    def test_service_survives_failover(self, replicated):
+        env = replicated
+        sim = env["sim"]
+        env["m"].attach(env["cell"])
+        sim.run(until=sim.now + 8.0)
+        assert ping_ok(env)
+        env["ha1"].crash()
+        sim.run(until=sim.now + 15.0)
+        # Same service address, same mobile host configuration, new box.
+        assert ping_ok(env)
+        assert env["group"].replicas[1].agent.packets_intercepted >= 1
+
+    def test_new_registrations_reach_new_active(self, replicated):
+        env = replicated
+        sim = env["sim"]
+        env["m"].attach(env["cell"])
+        sim.run(until=sim.now + 8.0)
+        env["ha1"].crash()
+        sim.run(until=sim.now + 15.0)
+        # M returns home: the zero registration must land on HA2.
+        env["m"].attach_home(env["lan_b"])
+        sim.run(until=sim.now + 8.0)
+        fa = env["group"].replicas[1].agent.database.foreign_agent_of(
+            env["m"].home_address
+        )
+        assert fa is not None and fa.is_zero
+        assert ping_ok(env)
+
+    def test_rebooted_ex_active_rejoins_as_standby(self, replicated):
+        env = replicated
+        sim = env["sim"]
+        env["m"].attach(env["cell"])
+        sim.run(until=sim.now + 8.0)
+        env["ha1"].crash()
+        sim.run(until=sim.now + 15.0)
+        env["ha1"].reboot()
+        sim.run(until=sim.now + 10.0)
+        # Exactly one active replica, and it is HA2.
+        actives = [r for r in env["group"].replicas if r.active and r.host.up]
+        assert len(actives) == 1
+        assert actives[0] is env["group"].replicas[1]
+        # The rejoined standby refreshed its replica via snapshot.
+        assert env["group"].databases_consistent()
+
+    def test_failback_after_second_failure(self, replicated):
+        """HA2 dies after taking over; the rebooted HA1 takes back."""
+        env = replicated
+        sim = env["sim"]
+        env["m"].attach(env["cell"])
+        sim.run(until=sim.now + 8.0)
+        env["ha1"].crash()
+        sim.run(until=sim.now + 15.0)
+        env["ha1"].reboot()
+        sim.run(until=sim.now + 10.0)
+        env["ha2"].crash()
+        sim.run(until=sim.now + 15.0)
+        active = env["group"].active_replica
+        assert active is env["group"].replicas[0]
+        assert ping_ok(env)

@@ -1,0 +1,106 @@
+"""Integration: the Section 3 host-route variant over a real IGP.
+
+The home agent originates a /32 into RIP when its mobile host leaves;
+the route floods through the domain with genuine distance-vector
+dynamics, and is poisoned away when the host returns.
+"""
+
+import pytest
+
+from repro.core.agent_router import make_agent_router
+from repro.core.host_routes import RIPDomainHomeAgentBinding
+from repro.core.mobile_host import MobileHost
+from repro.ip import Host, IPNetwork, Router
+from repro.ip.rip import RIP_TAG, enable_rip
+from repro.link import LAN, WirelessCell
+from repro.netsim import Simulator
+
+
+@pytest.fixture
+def rip_domain():
+    """Home domain of three routers in a chain, all speaking RIP:
+
+        senders - RS - bb0 - RM - bb1 - R2(HA) - home LAN
+                                          \\- (backbone to) R4 + cell
+    """
+    sim = Simulator(seed=31)
+    bb0, bb1 = LAN(sim, "bb0"), LAN(sim, "bb1")
+    bb0_net, bb1_net = IPNetwork("10.10.0.0/24"), IPNetwork("10.11.0.0/24")
+    sender_lan, sender_net = LAN(sim, "senders"), IPNetwork("10.1.0.0/24")
+    home_lan, home_net = LAN(sim, "home"), IPNetwork("10.2.0.0/24")
+    cell, cell_net = WirelessCell(sim, "cell"), IPNetwork("10.4.0.0/24")
+
+    rs = Router(sim, "RS")
+    rs.add_interface("lan", sender_net.host(254), sender_net, medium=sender_lan)
+    rs.add_interface("bb", bb0_net.host(1), bb0_net, medium=bb0)
+    rm = Router(sim, "RM")
+    rm.add_interface("left", bb0_net.host(2), bb0_net, medium=bb0)
+    rm.add_interface("right", bb1_net.host(1), bb1_net, medium=bb1)
+    r2 = Router(sim, "R2")
+    r2.add_interface("bb", bb1_net.host(2), bb1_net, medium=bb1)
+    r2.add_interface("lan", home_net.host(254), home_net, medium=home_lan)
+    r2.add_interface("cellside", cell_net.host(1), cell_net, medium=None)
+    # The foreign cell hangs directly off R2's third interface for
+    # simplicity (the domain under test is RS-RM-R2).
+    r4 = Router(sim, "R4")
+    r4.add_interface("up", cell_net.host(2), cell_net, medium=None)
+    uplink = LAN(sim, "uplink")
+    r2.interfaces["cellside"].attach_to(uplink)
+    r4.interfaces["up"].attach_to(uplink)
+    fa_net = IPNetwork("10.5.0.0/24")
+    r4.add_interface("cell", fa_net.host(254), fa_net, medium=cell)
+    r4.routing_table.set_default(cell_net.host(1), "up")
+    r2.routing_table.add_next_hop(fa_net, cell_net.host(2), "cellside")
+
+    services = enable_rip([rs, rm, r2], period=1.0)
+    roles = make_agent_router(r2, home_iface="lan")
+    make_agent_router(r4, foreign_iface="cell")
+    RIPDomainHomeAgentBinding(roles.home_agent, services[2])
+
+    s = Host(sim, "S")
+    s.add_interface("eth0", sender_net.host(1), sender_net, medium=sender_lan)
+    s.set_gateway(sender_net.host(254))
+    m = MobileHost(sim, "M", home_address=home_net.host(10),
+                   home_network=home_net, home_agent=home_net.host(254))
+    sim.run(until=8.0)  # let RIP converge on the base topology
+    return dict(sim=sim, rs=rs, rm=rm, r2=r2, s=s, m=m, cell=cell,
+                home_lan=home_lan, services=services, roles=roles,
+                home_net=home_net)
+
+
+class TestRIPHostRoutes:
+    def test_base_convergence(self, rip_domain):
+        env = rip_domain
+        # RS learned the home network through RIP.
+        route = env["rs"].routing_table.lookup(env["home_net"].host(10))
+        assert route is not None and route.tag == RIP_TAG
+
+    def test_departure_floods_host_route(self, rip_domain):
+        env = rip_domain
+        env["m"].attach(env["cell"])
+        env["sim"].run(until=env["sim"].now + 6.0)
+        route = env["rs"].routing_table.lookup(env["m"].home_address)
+        assert route is not None
+        assert route.is_host_route
+        assert route.tag == RIP_TAG
+
+    def test_return_home_withdraws_host_route(self, rip_domain):
+        env = rip_domain
+        sim = env["sim"]
+        env["m"].attach(env["cell"])
+        sim.run(until=sim.now + 6.0)
+        env["m"].attach_home(env["home_lan"])
+        sim.run(until=sim.now + 8.0)
+        route = env["rs"].routing_table.lookup(env["m"].home_address)
+        assert route is None or not route.is_host_route
+
+    def test_traffic_flows_end_to_end(self, rip_domain):
+        env = rip_domain
+        sim = env["sim"]
+        env["m"].attach(env["cell"])
+        sim.run(until=sim.now + 6.0)
+        replies = []
+        env["s"].on_icmp(0, lambda p, msg: replies.append(msg))
+        env["s"].ping(env["m"].home_address)
+        sim.run(until=sim.now + 8.0)
+        assert len(replies) == 1

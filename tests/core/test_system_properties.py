@@ -1,0 +1,124 @@
+"""System-level properties: determinism, lossy wireless, composition."""
+
+import pytest
+
+from repro.core.agent_router import make_agent_router
+from repro.core.cache_agent import CacheAgent
+from repro.core.foreign_agent import ForeignAgent
+from repro.core.home_agent import HomeAgent
+from repro.ip import IPNetwork, Router
+from repro.link import LAN
+from repro.netsim import Simulator
+from repro.workloads import CBRStream, build_figure1
+
+
+class TestDeterminism:
+    @staticmethod
+    def run_once(seed):
+        topo = build_figure1(sim=Simulator(seed=seed))
+        sim = topo.sim
+        topo.m.attach(topo.net_d)
+        sim.run(until=5.0)
+        stream = CBRStream(
+            sender=topo.s, receiver=topo.m, dst_address=topo.m.home_address,
+            interval=0.5, count=10, start_at=6.0,
+        )
+        stream.start()
+        sim.schedule_at(8.0, lambda: topo.m.attach(topo.net_e))
+        sim.run(until=20.0)
+        return (
+            stream.log.received,
+            sim.events_processed,
+            [(e.time, e.category, e.node) for e in sim.tracer.entries],
+        )
+
+    def test_identical_runs_for_identical_seeds(self):
+        assert self.run_once(101) == self.run_once(101)
+
+    def test_different_seeds_diverge(self):
+        # Seeds differ -> advertisement jitter differs -> traces differ.
+        assert self.run_once(101)[2] != self.run_once(202)[2]
+
+
+class TestLossyWireless:
+    def test_registration_and_delivery_through_lossy_cells(self):
+        """Registrations retransmit and delivery continues despite 15%
+        wireless frame loss."""
+        topo = build_figure1(wireless_loss=0.15, sim=Simulator(seed=77))
+        sim = topo.sim
+        topo.m.attach(topo.net_d)
+        sim.run(until=10.0)
+        assert topo.m.current_foreign_agent == topo.fa4_address
+        stream = CBRStream(
+            sender=topo.s, receiver=topo.m, dst_address=topo.m.home_address,
+            interval=0.5, count=40, start_at=11.0,
+        )
+        stream.start()
+        sim.run(until=60.0)
+        assert stream.sent == 40
+        # ~85% of the last hop survives; everything else is lossless.
+        assert stream.delivery_ratio >= 0.7
+
+    def test_handoff_through_lossy_cells(self):
+        topo = build_figure1(wireless_loss=0.1, sim=Simulator(seed=78))
+        sim = topo.sim
+        topo.m.attach(topo.net_d)
+        sim.run(until=10.0)
+        topo.m.attach(topo.net_e)
+        sim.run(until=25.0)
+        assert topo.m.current_foreign_agent == topo.fa5_address
+        db = topo.r2_roles.home_agent.database
+        assert db.foreign_agent_of(topo.m.home_address) == topo.fa5_address
+
+
+class TestRoleComposition:
+    def build_router(self, sim):
+        lan = LAN(sim, "lan")
+        cell = LAN(sim, "cell")
+        net_a = IPNetwork("10.1.0.0/24")
+        net_b = IPNetwork("10.2.0.0/24")
+        router = Router(sim, "R")
+        router.add_interface("lan", net_a.host(254), net_a, medium=lan)
+        router.add_interface("cell", net_b.host(254), net_b, medium=cell)
+        return router
+
+    def test_combined_home_and_foreign_agent(self, sim):
+        """Section 2: one router may be home agent for its network AND
+        foreign agent for visitors at the same time."""
+        router = self.build_router(sim)
+        roles = make_agent_router(router, home_iface="lan", foreign_iface="cell")
+        assert isinstance(roles.home_agent, HomeAgent)
+        assert isinstance(roles.foreign_agent, ForeignAgent)
+        assert isinstance(roles.cache_agent, CacheAgent)
+        # Extension order: FA before HA before cache agent.
+        kinds = [type(e).__name__ for e in router.extensions]
+        assert kinds.index("ForeignAgent") < kinds.index("HomeAgent")
+        assert kinds.index("HomeAgent") < kinds.index("CacheAgent")
+
+    def test_cache_only_router(self, sim):
+        router = self.build_router(sim)
+        roles = make_agent_router(router)
+        assert roles.home_agent is None
+        assert roles.foreign_agent is None
+        assert roles.cache_agent is not None
+
+    def test_cache_disabled(self, sim):
+        router = self.build_router(sim)
+        roles = make_agent_router(router, home_iface="lan", cache=False)
+        assert roles.cache_agent is None
+        assert roles.home_agent is not None
+
+    def test_fa_specific_kwargs_not_passed_to_ha(self, sim):
+        router = self.build_router(sim)
+        roles = make_agent_router(
+            router, home_iface="lan", foreign_iface="cell",
+            keep_forwarding_pointers=False,
+        )
+        assert roles.foreign_agent.keep_forwarding_pointers is False
+
+    def test_bad_iface_names_rejected(self, sim):
+        from repro.errors import RegistrationError
+
+        router = self.build_router(sim)
+        with pytest.raises(RegistrationError):
+            make_agent_router(router, home_iface="nope")

@@ -1,0 +1,69 @@
+"""Tests for the mobile host's foreign-agent-silence watchdog."""
+
+import pytest
+
+from repro.core.mobile_host import AWAY, DISCONNECTED
+from repro.workloads import build_figure1
+
+
+@pytest.fixture
+def away(figure1):
+    topo = figure1
+    topo.m.attach(topo.net_d)
+    topo.sim.run(until=5.0)
+    assert topo.m.state == AWAY
+    return topo
+
+
+class TestSilenceWatchdog:
+    def test_healthy_agent_keeps_connection(self, away):
+        topo = away
+        topo.sim.run(until=60.0)  # many advertisement periods
+        assert topo.m.state == AWAY
+        assert topo.m.silence_disconnects == 0
+
+    def test_silent_dead_agent_is_detected(self, away):
+        """The agent crashes and stays down; the host first solicits,
+        then declares the connection gone after ~2 lifetimes."""
+        topo = away
+        topo.r4.crash()
+        topo.sim.run(until=60.0)
+        assert topo.m.state == DISCONNECTED
+        assert topo.m.silence_disconnects == 1
+        assert topo.m.current_foreign_agent is None
+
+    def test_agent_recovering_before_deadline_keeps_connection(self, away):
+        """A short outage (shorter than the silence deadline) is ridden
+        out — the advertisements resume and nothing is declared dead."""
+        topo = away
+        sim = topo.sim
+        topo.r4.crash()
+        sim.run(until=sim.now + 4.0)      # under 2 * lifetime (12 s)
+        topo.r4.reboot()
+        sim.run(until=60.0)
+        assert topo.m.state == AWAY
+        assert topo.m.silence_disconnects == 0
+
+    def test_reattachment_after_silence_disconnect(self, away):
+        topo = away
+        sim = topo.sim
+        topo.r4.crash()
+        sim.run(until=60.0)
+        assert topo.m.state == DISCONNECTED
+        # The host wanders into R5's cell and service resumes.
+        topo.m.attach(topo.net_e)
+        sim.run(until=70.0)
+        assert topo.m.state == AWAY
+        assert topo.m.current_foreign_agent == topo.fa5_address
+        replies = []
+        topo.s.on_icmp(0, lambda p, m: replies.append(m))
+        topo.s.ping(topo.m.home_address)
+        sim.run(until=80.0)
+        assert len(replies) == 1
+
+    def test_watchdog_quiet_at_home(self, figure1):
+        topo = figure1
+        topo.m.attach_home(topo.net_b)
+        topo.sim.run(until=60.0)
+        assert topo.m.silence_disconnects == 0
+        assert topo.m.at_home

@@ -1,0 +1,156 @@
+"""Unit tests for IP addresses and networks."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.ip.address import IPAddress, IPNetwork
+
+
+class TestIPAddressParsing:
+    def test_parses_dotted_quad(self):
+        assert IPAddress("192.168.1.1").value == 0xC0A80101
+
+    def test_parses_int(self):
+        assert str(IPAddress(0x0A000001)) == "10.0.0.1"
+
+    def test_copy_constructor(self):
+        a = IPAddress("1.2.3.4")
+        assert IPAddress(a) == a
+
+    @pytest.mark.parametrize(
+        "bad", ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3", "-1.0.0.0"]
+    )
+    def test_rejects_malformed_strings(self, bad):
+        with pytest.raises(AddressError):
+            IPAddress(bad)
+
+    @pytest.mark.parametrize("bad", [-1, 2**32])
+    def test_rejects_out_of_range_ints(self, bad):
+        with pytest.raises(AddressError):
+            IPAddress(bad)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(AddressError):
+            IPAddress(1.5)  # type: ignore[arg-type]
+
+
+class TestIPAddressBehaviour:
+    def test_round_trips_through_string(self):
+        for text in ("0.0.0.0", "255.255.255.255", "10.1.2.3"):
+            assert str(IPAddress(text)) == text
+
+    def test_bytes_round_trip(self):
+        a = IPAddress("172.16.5.9")
+        assert IPAddress.from_bytes(a.to_bytes()) == a
+        assert len(a.to_bytes()) == 4
+
+    def test_from_bytes_wrong_length(self):
+        with pytest.raises(AddressError):
+            IPAddress.from_bytes(b"\x01\x02\x03")
+
+    def test_equality_with_string_and_int(self):
+        a = IPAddress("10.0.0.1")
+        assert a == "10.0.0.1"
+        assert a == 0x0A000001
+        assert a != "10.0.0.2"
+
+    def test_ordering(self):
+        assert IPAddress("10.0.0.1") < IPAddress("10.0.0.2")
+        assert sorted([IPAddress("2.0.0.0"), IPAddress("1.0.0.0")])[0] == "1.0.0.0"
+
+    def test_hashable_and_usable_as_dict_key(self):
+        table = {IPAddress("10.0.0.1"): "x"}
+        assert table[IPAddress("10.0.0.1")] == "x"
+
+    def test_immutable(self):
+        a = IPAddress("10.0.0.1")
+        with pytest.raises(AttributeError):
+            a._value = 5  # type: ignore[attr-defined]
+
+    def test_zero_address(self):
+        assert IPAddress.zero().is_zero
+        assert not IPAddress("0.0.0.1").is_zero
+
+
+class TestIPNetwork:
+    def test_parses_cidr(self):
+        net = IPNetwork("192.168.1.0/24")
+        assert net.prefix_len == 24
+        assert str(net.address) == "192.168.1.0"
+
+    def test_separate_prefix_argument(self):
+        net = IPNetwork("10.0.0.0", 8)
+        assert str(net) == "10.0.0.0/8"
+
+    def test_rejects_host_bits_set(self):
+        with pytest.raises(AddressError):
+            IPNetwork("192.168.1.1/24")
+
+    def test_rejects_double_prefix(self):
+        with pytest.raises(AddressError):
+            IPNetwork("10.0.0.0/8", 8)
+
+    @pytest.mark.parametrize("bad", [-1, 33])
+    def test_rejects_bad_prefix_len(self, bad):
+        with pytest.raises(AddressError):
+            IPNetwork("10.0.0.0", bad)
+
+    def test_rejects_malformed_prefix(self):
+        with pytest.raises(AddressError):
+            IPNetwork("10.0.0.0/abc")
+
+    def test_missing_prefix(self):
+        with pytest.raises(AddressError):
+            IPNetwork("10.0.0.0")
+
+    def test_contains(self):
+        net = IPNetwork("10.1.0.0/16")
+        assert net.contains("10.1.255.1")
+        assert "10.1.0.7" in net
+        assert "10.2.0.1" not in net
+
+    def test_zero_prefix_contains_everything(self):
+        net = IPNetwork(0, 0)
+        assert "255.255.255.255" in net
+        assert "0.0.0.0" in net
+
+    def test_slash32_contains_only_itself(self):
+        net = IPNetwork("10.0.0.5/32")
+        assert "10.0.0.5" in net
+        assert "10.0.0.6" not in net
+
+    def test_netmask_and_broadcast(self):
+        net = IPNetwork("192.168.4.0/22")
+        assert str(net.netmask) == "255.255.252.0"
+        assert str(net.broadcast) == "192.168.7.255"
+
+    def test_host_indexing(self):
+        net = IPNetwork("10.0.0.0/24")
+        assert str(net.host(1)) == "10.0.0.1"
+        assert str(net.host(254)) == "10.0.0.254"
+        with pytest.raises(AddressError):
+            net.host(0)
+        with pytest.raises(AddressError):
+            net.host(255)  # broadcast
+
+    def test_hosts_iterator(self):
+        hosts = [str(h) for h in IPNetwork("10.0.0.0/30").hosts()]
+        # /30 covers .0-.3; the iterator skips the network (.0) and
+        # broadcast (.3) endpoints per its range(1, n-1) bounds.
+        assert hosts == ["10.0.0.1", "10.0.0.2", "10.0.0.3"][:2]
+
+    def test_overlaps(self):
+        assert IPNetwork("10.0.0.0/8").overlaps(IPNetwork("10.1.0.0/16"))
+        assert IPNetwork("10.1.0.0/16").overlaps(IPNetwork("10.0.0.0/8"))
+        assert not IPNetwork("10.0.0.0/16").overlaps(IPNetwork("10.1.0.0/16"))
+
+    def test_equality_and_hash(self):
+        assert IPNetwork("10.0.0.0/8") == IPNetwork("10.0.0.0", 8)
+        assert IPNetwork("10.0.0.0/8") == "10.0.0.0/8"
+        assert hash(IPNetwork("10.0.0.0/8")) == hash(IPNetwork("10.0.0.0", 8))
+        assert IPNetwork("10.0.0.0/8") != IPNetwork("10.0.0.0/9")
+
+    def test_immutable(self):
+        net = IPNetwork("10.0.0.0/8")
+        with pytest.raises(AttributeError):
+            net._prefix_len = 9  # type: ignore[attr-defined]

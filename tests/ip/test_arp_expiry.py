@@ -1,0 +1,51 @@
+"""Tests for ARP cache entry expiry."""
+
+import pytest
+
+from repro.ip.arp import ARP_CACHE_TTL
+
+
+class TestARPExpiry:
+    def test_entry_expires_after_ttl(self, two_hosts_one_lan):
+        sim, lan, a, b, net = two_hosts_one_lan
+        a.ping(net.host(2))
+        sim.run_until_idle()
+        arp = a.arp["eth0"]
+        assert arp.lookup(net.host(2)) is not None
+        sim.run(until=sim.now + ARP_CACHE_TTL + 1)
+        assert arp.lookup(net.host(2)) is None
+
+    def test_expired_entry_triggers_fresh_resolution(self, two_hosts_one_lan):
+        sim, lan, a, b, net = two_hosts_one_lan
+        a.ping(net.host(2))
+        sim.run_until_idle()
+        sim.run(until=sim.now + ARP_CACHE_TTL + 1)
+        requests_before = len([
+            e for e in sim.tracer.select("arp", node="A")
+            if e.detail.get("event") == "request"
+        ])
+        replies = []
+        a.on_icmp(0, lambda p, m: replies.append(m))
+        a.ping(net.host(2))
+        sim.run(until=sim.now + 5.0)
+        requests_after = len([
+            e for e in sim.tracer.select("arp", node="A")
+            if e.detail.get("event") == "request"
+        ])
+        assert requests_after == requests_before + 1
+        assert len(replies) == 1
+
+    def test_refresh_extends_lifetime(self, two_hosts_one_lan):
+        sim, lan, a, b, net = two_hosts_one_lan
+        a.ping(net.host(2))
+        sim.run_until_idle()
+        arp = a.arp["eth0"]
+        # Halfway to expiry, B re-ARPs for A (its own cache cleared), and
+        # A refreshes its entry from the broadcast request it overhears.
+        sim.run(until=sim.now + ARP_CACHE_TTL / 2)
+        b.arp["eth0"].cache.clear()
+        b.ping(net.host(1))
+        sim.run(until=sim.now + 2.0)
+        sim.run(until=sim.now + ARP_CACHE_TTL / 2 + 2)
+        # Less than a full TTL since the refresh: still valid.
+        assert arp.lookup(net.host(2)) is not None

@@ -1,0 +1,41 @@
+"""Unit tests for the internet checksum."""
+
+from repro.ip.checksum import internet_checksum, verify_checksum
+
+
+class TestInternetChecksum:
+    def test_rfc1071_example(self):
+        # Example from RFC 1071 section 3: 0001 f203 f4f5 f6f7 -> sum ddf2,
+        # checksum (complement) 220d.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert internet_checksum(data) == 0x220D
+
+    def test_zero_data(self):
+        assert internet_checksum(b"\x00\x00") == 0xFFFF
+
+    def test_all_ones(self):
+        assert internet_checksum(b"\xff\xff") == 0x0000
+
+    def test_odd_length_padding(self):
+        # Odd input is padded with a trailing zero byte.
+        assert internet_checksum(b"\xab") == internet_checksum(b"\xab\x00")
+
+    def test_empty(self):
+        assert internet_checksum(b"") == 0xFFFF
+
+    def test_verify_round_trip(self):
+        data = bytes(range(40))
+        csum = internet_checksum(data)
+        # Insert the checksum into a block with a zeroed checksum slot.
+        block = data[:10] + csum.to_bytes(2, "big") + data[12:]
+        pre = data[:10] + b"\x00\x00" + data[12:]
+        csum2 = internet_checksum(pre)
+        block = pre[:10] + csum2.to_bytes(2, "big") + pre[12:]
+        assert verify_checksum(block)
+
+    def test_corruption_detected(self):
+        pre = bytes(20)
+        csum = internet_checksum(pre)
+        block = bytearray(pre[:10] + csum.to_bytes(2, "big") + pre[12:])
+        block[0] ^= 0x01
+        assert not verify_checksum(bytes(block))

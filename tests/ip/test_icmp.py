@@ -1,0 +1,157 @@
+"""Unit tests for ICMP message formats."""
+
+import pytest
+
+from repro.ip.address import IPAddress
+from repro.ip.icmp import (
+    CODE_NET_UNREACHABLE,
+    EchoMessage,
+    ICMPError,
+    LocationUpdate,
+    RouterAdvertisement,
+    RouterSolicitation,
+    TYPE_DEST_UNREACHABLE,
+    TYPE_ECHO_REPLY,
+    TYPE_ECHO_REQUEST,
+    TYPE_LOCATION_UPDATE,
+    TYPE_ROUTER_ADVERTISEMENT,
+    TYPE_ROUTER_SOLICITATION,
+    TYPE_TIME_EXCEEDED,
+)
+from repro.ip.packet import IPPacket, RawPayload
+from repro.ip.protocols import UDP
+
+
+def sample_packet(payload_bytes=32):
+    return IPPacket(
+        src="10.0.0.1", dst="10.0.0.2", protocol=UDP,
+        payload=RawPayload(bytes(payload_bytes)),
+    )
+
+
+class TestEcho:
+    def test_request_reply_pairing(self):
+        request = EchoMessage.request(identifier=7, sequence=3, data=b"abc")
+        reply = EchoMessage.reply_to(request)
+        assert reply.icmp_type == TYPE_ECHO_REPLY
+        assert reply.identifier == 7
+        assert reply.sequence == 3
+        assert reply.data == b"abc"
+
+    def test_wire_format(self):
+        message = EchoMessage.request(identifier=0x1234, sequence=9, data=b"xy")
+        wire = message.to_bytes()
+        assert wire[0] == TYPE_ECHO_REQUEST
+        assert int.from_bytes(wire[4:6], "big") == 0x1234
+        assert int.from_bytes(wire[6:8], "big") == 9
+        assert wire[8:] == b"xy"
+        assert message.byte_length == 10
+
+
+class TestErrors:
+    def test_minimal_quote_is_header_plus_8(self):
+        packet = sample_packet(payload_bytes=100)
+        error = ICMPError.unreachable(packet)
+        assert error.quoted_bytes == packet.header_length + 8
+        assert error.byte_length == 8 + error.quoted_bytes
+
+    def test_minimal_quote_short_payload(self):
+        packet = sample_packet(payload_bytes=3)
+        error = ICMPError.unreachable(packet)
+        assert error.quoted_bytes == packet.header_length + 3
+
+    def test_full_quote(self):
+        packet = sample_packet(payload_bytes=100)
+        error = ICMPError.unreachable(packet, quote_full=True)
+        assert error.quoted_bytes == packet.total_length
+
+    def test_quote_covers_mhrp_rule(self):
+        """Section 4.5: a cache agent needs the whole MHRP header plus
+        8 bytes beyond it to reverse its transforms."""
+        packet = sample_packet(payload_bytes=100)
+        minimal = ICMPError.unreachable(packet)  # header + 8 bytes
+        assert not minimal.quote_covers_mhrp(12)
+        full = ICMPError.unreachable(packet, quote_full=True)
+        assert full.quote_covers_mhrp(12)
+
+    def test_is_error_classification(self):
+        packet = sample_packet()
+        assert ICMPError.unreachable(packet).is_error
+        assert ICMPError.time_exceeded(packet).is_error
+        assert not EchoMessage.request(1, 1).is_error
+        assert not LocationUpdate().is_error
+
+    def test_quote_is_a_copy(self):
+        packet = sample_packet()
+        error = ICMPError.unreachable(packet)
+        packet.ttl = 1
+        assert error.quoted.ttl != 1
+
+    def test_error_types_and_codes(self):
+        packet = sample_packet()
+        err = ICMPError.unreachable(packet, code=CODE_NET_UNREACHABLE)
+        assert err.icmp_type == TYPE_DEST_UNREACHABLE
+        assert err.code == CODE_NET_UNREACHABLE
+        assert ICMPError.time_exceeded(packet).icmp_type == TYPE_TIME_EXCEEDED
+
+    def test_serialization_includes_quote(self):
+        packet = sample_packet(payload_bytes=16)
+        error = ICMPError.unreachable(packet, quote_full=True)
+        wire = error.to_bytes()
+        assert len(wire) == error.byte_length
+        assert wire[8:] == packet.to_bytes()
+
+
+class TestLocationUpdate:
+    def test_is_16_bytes(self):
+        update = LocationUpdate(
+            mobile_host=IPAddress("10.2.0.10"),
+            foreign_agent=IPAddress("10.4.0.254"),
+        )
+        assert update.byte_length == 16
+        assert len(update.to_bytes()) == 16
+        assert update.icmp_type == TYPE_LOCATION_UPDATE
+
+    def test_wire_addresses(self):
+        update = LocationUpdate(
+            mobile_host=IPAddress("10.2.0.10"),
+            foreign_agent=IPAddress("10.4.0.254"),
+        )
+        wire = update.to_bytes()
+        assert IPAddress.from_bytes(wire[8:12]) == "10.2.0.10"
+        assert IPAddress.from_bytes(wire[12:16]) == "10.4.0.254"
+
+    def test_clears_entry_semantics(self):
+        zero = LocationUpdate(mobile_host=IPAddress("10.2.0.10"))
+        assert zero.clears_entry  # zero foreign agent
+        purge = LocationUpdate(
+            mobile_host=IPAddress("10.2.0.10"),
+            foreign_agent=IPAddress("10.4.0.254"),
+            purge=True,
+        )
+        assert purge.clears_entry
+        normal = LocationUpdate(
+            mobile_host=IPAddress("10.2.0.10"),
+            foreign_agent=IPAddress("10.4.0.254"),
+        )
+        assert not normal.clears_entry
+
+
+class TestRouterDiscovery:
+    def test_advertisement_fields(self):
+        advert = RouterAdvertisement(
+            router_address=IPAddress("10.4.0.254"),
+            is_home_agent=False,
+            is_foreign_agent=True,
+        )
+        assert advert.icmp_type == TYPE_ROUTER_ADVERTISEMENT
+        wire = advert.to_bytes()
+        assert len(wire) == advert.byte_length == 20
+        assert IPAddress.from_bytes(wire[8:12]) == "10.4.0.254"
+        # Bytes 12-15 are the RFC 1256 preference; the MHRP agent bits
+        # ride in the trailing extension word.
+        flags = int.from_bytes(wire[16:20], "big")
+        assert flags == 2  # FA bit only
+
+    def test_solicitation_type(self):
+        assert RouterSolicitation().icmp_type == TYPE_ROUTER_SOLICITATION

@@ -1,0 +1,108 @@
+"""Tests for MTU enforcement and the tunnel-overhead interaction."""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.ip import Host, IPNetwork, Router
+from repro.ip.icmp import CODE_FRAG_NEEDED, TYPE_DEST_UNREACHABLE
+from repro.ip.packet import IPPacket, RawPayload
+from repro.ip.protocols import UDP
+from repro.link import LAN
+from repro.netsim import Simulator
+from repro.workloads import build_figure1
+
+
+class TestBasicMTU:
+    def test_minimum_mtu_enforced(self, sim):
+        with pytest.raises(LinkError):
+            LAN(sim, "tiny", mtu=60)
+
+    def test_fitting_packet_passes(self, sim):
+        lan = LAN(sim, "lan", mtu=100)
+        net = IPNetwork("10.0.0.0/24")
+        a, b = Host(sim, "A"), Host(sim, "B")
+        a.add_interface("eth0", net.host(1), net, medium=lan)
+        b.add_interface("eth0", net.host(2), net, medium=lan)
+        got = []
+        b.register_protocol(UDP, lambda p, i: got.append(p))
+        a.send(IPPacket(src=net.host(1), dst=net.host(2), protocol=UDP,
+                        payload=RawPayload(bytes(80))))  # total 100
+        sim.run_until_idle()
+        assert len(got) == 1
+
+    def test_oversize_packet_draws_frag_needed(self, sim):
+        lan = LAN(sim, "lan", mtu=100)
+        net = IPNetwork("10.0.0.0/24")
+        a, b = Host(sim, "A"), Host(sim, "B")
+        a.add_interface("eth0", net.host(1), net, medium=lan)
+        b.add_interface("eth0", net.host(2), net, medium=lan)
+        errors = []
+        a.on_icmp_error(lambda p, e: errors.append(e))
+        a.send(IPPacket(src=net.host(1), dst=net.host(2), protocol=UDP,
+                        payload=RawPayload(bytes(81))))  # total 101
+        sim.run_until_idle()
+        # Locally generated error: delivered back to A's own listeners...
+        # the error is *sent* to A (the packet source) over the LAN.
+        assert errors
+        assert errors[0].icmp_type == TYPE_DEST_UNREACHABLE
+        assert errors[0].code == CODE_FRAG_NEEDED
+
+    def test_router_enforces_downstream_mtu(self, two_lans_one_router):
+        sim, a, r, b, net_a, net_b = two_lans_one_router
+        # Shrink B's LAN only.
+        b.interfaces["eth0"].medium.mtu = 120
+        r.interfaces["eth1"].medium.mtu = 120
+        errors = []
+        a.on_icmp_error(lambda p, e: errors.append(e))
+        a.send(IPPacket(src=net_a.host(1), dst=net_b.host(1), protocol=UDP,
+                        payload=RawPayload(bytes(150))))
+        sim.run_until_idle()
+        assert errors
+        assert errors[0].code == CODE_FRAG_NEEDED
+
+
+class TestTunnelMTUInteraction:
+    def test_tunnel_overhead_can_push_packet_over_mtu(self):
+        """The classic mobile-IP pitfall: a packet sized exactly to the
+        path MTU fits when M is home but exceeds it inside a tunnel.
+        The error comes back to the sender (reverse-tunneled), naming
+        fragmentation as the cause."""
+        topo = build_figure1(sim=Simulator(seed=5))
+        sim = topo.sim
+        for medium in (topo.backbone, topo.net_a, topo.net_b, topo.net_c,
+                       topo.net_d, topo.net_e):
+            medium.mtu = 200
+        payload = RawPayload(bytes(200 - 20 - 8))  # exactly MTU as plain UDP
+        # At home: fits.
+        topo.m.attach_home(topo.net_b)
+        sim.run(until=5.0)
+        server = topo.m.udp.bind(5000)
+        client = topo.s.udp.bind(40001)
+        client.send_to(payload.data, topo.m.home_address, 5000)
+        sim.run(until=10.0)
+        assert len(server.received) == 1
+        # Away: the 12-byte agent tunnel pushes it to 212 > 200.
+        topo.m.attach(topo.net_d)
+        sim.run(until=15.0)
+        errors = []
+        topo.s.on_icmp_error(lambda p, e: errors.append(e))
+        client.send_to(payload.data, topo.m.home_address, 5000)
+        sim.run(until=25.0)
+        assert len(server.received) == 1  # nothing more arrived
+        assert errors
+        assert errors[-1].code == CODE_FRAG_NEEDED
+
+    def test_smaller_packets_fit_through_tunnel(self):
+        topo = build_figure1(sim=Simulator(seed=5))
+        sim = topo.sim
+        for medium in (topo.backbone, topo.net_a, topo.net_b, topo.net_c,
+                       topo.net_d, topo.net_e):
+            medium.mtu = 200
+        topo.m.attach(topo.net_d)
+        sim.run(until=5.0)
+        server = topo.m.udp.bind(5000)
+        client = topo.s.udp.bind(40001)
+        # Leave 12 bytes of headroom for the agent-built tunnel.
+        client.send_to(bytes(200 - 20 - 8 - 12), topo.m.home_address, 5000)
+        sim.run(until=15.0)
+        assert len(server.received) == 1

@@ -1,0 +1,161 @@
+"""Tests for the RIP-style interior routing protocol."""
+
+import pytest
+
+from repro.ip import Host, IPNetwork, Router
+from repro.ip.packet import IPPacket
+from repro.ip.protocols import UDP
+from repro.ip.rip import INFINITY, RIP_TAG, RIPService, RIPUpdate, RIPEntry, enable_rip
+from repro.link import LAN
+from repro.netsim import Simulator
+
+
+def build_chain(sim, n_routers=3, period=1.0):
+    """R0 - lan0 - R1 - lan1 - R2 ... with stub LANs on each end.
+
+    Returns (routers, services, stub_nets, stub_lans, transit_lans).
+    """
+    transit_lans = [LAN(sim, f"t{i}") for i in range(n_routers - 1)]
+    transit_nets = [IPNetwork(f"10.{100 + i}.0.0/24") for i in range(n_routers - 1)]
+    stub_lans = [LAN(sim, "stubL"), LAN(sim, "stubR")]
+    stub_nets = [IPNetwork("10.1.0.0/24"), IPNetwork("10.2.0.0/24")]
+    routers = []
+    for i in range(n_routers):
+        router = Router(sim, f"R{i}")
+        if i == 0:
+            router.add_interface("stub", stub_nets[0].host(254), stub_nets[0],
+                                 medium=stub_lans[0])
+        if i == n_routers - 1:
+            router.add_interface("stub", stub_nets[1].host(254), stub_nets[1],
+                                 medium=stub_lans[1])
+        if i > 0:
+            router.add_interface("left", transit_nets[i - 1].host(2),
+                                 transit_nets[i - 1], medium=transit_lans[i - 1])
+        if i < n_routers - 1:
+            router.add_interface("right", transit_nets[i].host(1),
+                                 transit_nets[i], medium=transit_lans[i])
+        routers.append(router)
+    services = enable_rip(routers, period=period)
+    return routers, services, stub_nets, stub_lans, transit_lans
+
+
+class TestConvergence:
+    def test_chain_learns_remote_stubs(self, sim):
+        routers, services, stub_nets, *_ = build_chain(sim, n_routers=3)
+        sim.run(until=10.0)
+        # R0 learned the far stub via R1 with metric = hops + 1.
+        route = routers[0].routing_table.lookup(stub_nets[1].host(1))
+        assert route is not None
+        assert route.tag == RIP_TAG
+        assert route.network == stub_nets[1]
+        assert route.metric == 3  # origin 1 -> R2->R1 2 -> R1->R0 3
+        # And symmetrically.
+        back = routers[2].routing_table.lookup(stub_nets[0].host(1))
+        assert back is not None and back.tag == RIP_TAG
+
+    def test_end_to_end_traffic_over_learned_routes(self, sim):
+        routers, services, stub_nets, stub_lans, _ = build_chain(sim, n_routers=3)
+        a = Host(sim, "A")
+        a.add_interface("eth0", stub_nets[0].host(1), stub_nets[0], medium=stub_lans[0])
+        a.set_gateway(stub_nets[0].host(254))
+        b = Host(sim, "B")
+        b.add_interface("eth0", stub_nets[1].host(1), stub_nets[1], medium=stub_lans[1])
+        b.set_gateway(stub_nets[1].host(254))
+        sim.run(until=10.0)
+        replies = []
+        a.on_icmp(0, lambda p, m: replies.append(m))
+        a.ping(stub_nets[1].host(1))
+        sim.run(until=20.0)
+        assert len(replies) == 1
+
+    def test_connected_routes_never_displaced(self, sim):
+        routers, services, stub_nets, *_ = build_chain(sim, n_routers=2)
+        sim.run(until=10.0)
+        route = routers[0].routing_table.lookup(stub_nets[0].host(5))
+        assert route.is_connected  # still the connected route, not RIP
+
+
+class TestFailureHandling:
+    def test_dead_router_routes_time_out(self, sim):
+        routers, services, stub_nets, *_ = build_chain(sim, n_routers=3, period=1.0)
+        sim.run(until=8.0)
+        assert routers[0].routing_table.lookup(stub_nets[1].host(1)) is not None
+        routers[2].crash()
+        services[2].stop()
+        sim.run(until=30.0)  # timeout (3) + gc (2) periods, plus slack
+        route = routers[0].routing_table.lookup(stub_nets[1].host(1))
+        assert route is None
+
+    def test_poisoned_reverse_present_in_updates(self, sim):
+        routers, services, stub_nets, *_ = build_chain(sim, n_routers=3)
+        sim.run(until=10.0)
+        # R1 learned the right stub through its "right" interface, so its
+        # advertisement out of that interface must poison it.
+        entries = services[1]._entries_for("right")
+        poisoned = [
+            e for e in entries
+            if e.network == stub_nets[1] and e.metric == INFINITY
+        ]
+        assert poisoned
+
+
+class TestOrigination:
+    def test_originated_host_route_propagates(self, sim):
+        routers, services, stub_nets, *_ = build_chain(sim, n_routers=3, period=1.0)
+        sim.run(until=8.0)
+        from repro.ip.address import IPAddress
+
+        mobile = IPAddress("10.1.0.10")
+        services[2].originate_host(mobile)   # far router claims the host
+        sim.run(until=12.0)
+        route = routers[0].routing_table.lookup(mobile)
+        assert route is not None
+        assert route.is_host_route
+        assert route.tag == RIP_TAG
+
+    def test_withdraw_poisons_everywhere(self, sim):
+        routers, services, stub_nets, *_ = build_chain(sim, n_routers=3, period=1.0)
+        from repro.ip.address import IPAddress
+
+        mobile = IPAddress("10.1.0.10")
+        sim.run(until=8.0)
+        services[2].originate_host(mobile)
+        sim.run(until=12.0)
+        assert routers[0].routing_table.lookup(mobile).is_host_route
+        services[2].withdraw_host(mobile)
+        sim.run(until=20.0)
+        route = routers[0].routing_table.lookup(mobile)
+        assert route is None or not route.is_host_route
+
+    def test_triggered_updates_beat_the_period(self, sim):
+        """An origination propagates in link-delays, not periods."""
+        routers, services, stub_nets, *_ = build_chain(sim, n_routers=3, period=60.0)
+        sim.run(until=1.0)  # one initial exchange only
+        from repro.ip.address import IPAddress
+
+        mobile = IPAddress("10.1.0.10")
+        t0 = sim.now
+        services[2].originate_host(mobile)
+        sim.run(until=t0 + 2.0)  # far less than the 60 s period
+        assert routers[0].routing_table.lookup(mobile) is not None
+
+
+class TestWireFormat:
+    def test_update_sizes(self):
+        update = RIPUpdate(entries=[
+            RIPEntry(network=IPNetwork("10.0.0.0/8"), metric=1),
+            RIPEntry(network=IPNetwork("10.1.0.10/32"), metric=2),
+        ])
+        assert update.byte_length == 4 + 40
+        wire = update.to_bytes()
+        assert len(wire) == update.byte_length
+        assert wire[0] == 2  # response
+
+    def test_entry_encoding(self):
+        update = RIPUpdate(entries=[RIPEntry(network=IPNetwork("10.1.0.0/24"), metric=7)])
+        wire = update.to_bytes()
+        from repro.ip.address import IPAddress
+
+        assert IPAddress.from_bytes(wire[8:12]) == "10.1.0.0"
+        assert IPAddress.from_bytes(wire[12:16]) == "255.255.255.0"
+        assert int.from_bytes(wire[20:24], "big") == 7

@@ -1,0 +1,107 @@
+"""Unit tests for the routing table."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.ip.address import IPAddress, IPNetwork
+from repro.ip.routing import Route, RoutingTable
+
+
+@pytest.fixture
+def table():
+    t = RoutingTable()
+    t.add_connected(IPNetwork("10.1.0.0/24"), "eth0")
+    t.add_next_hop(IPNetwork("10.2.0.0/24"), IPAddress("10.1.0.254"), "eth0")
+    t.set_default(IPAddress("10.1.0.254"), "eth0")
+    return t
+
+
+class TestLookup:
+    def test_connected_route_wins_for_local(self, table):
+        route = table.lookup(IPAddress("10.1.0.5"))
+        assert route.is_connected
+        assert route.interface_name == "eth0"
+
+    def test_remote_prefix(self, table):
+        route = table.lookup(IPAddress("10.2.0.9"))
+        assert route.next_hop == "10.1.0.254"
+
+    def test_default_route_catches_rest(self, table):
+        route = table.lookup(IPAddress("99.99.99.99"))
+        assert route.network.prefix_len == 0
+
+    def test_no_route_without_default(self):
+        t = RoutingTable()
+        t.add_connected(IPNetwork("10.1.0.0/24"), "eth0")
+        assert t.lookup(IPAddress("8.8.8.8")) is None
+
+    def test_require_raises(self):
+        with pytest.raises(RoutingError):
+            RoutingTable().require(IPAddress("1.2.3.4"))
+
+    def test_host_route_beats_network_route(self, table):
+        table.add_host_route(IPAddress("10.2.0.9"), IPAddress("10.1.0.200"), "eth0")
+        assert table.lookup(IPAddress("10.2.0.9")).next_hop == "10.1.0.200"
+        assert table.lookup(IPAddress("10.2.0.10")).next_hop == "10.1.0.254"
+
+    def test_longer_prefix_wins(self):
+        t = RoutingTable()
+        t.add_next_hop(IPNetwork("10.0.0.0/8"), IPAddress("1.1.1.1"), "e")
+        t.add_next_hop(IPNetwork("10.5.0.0/16"), IPAddress("2.2.2.2"), "e")
+        assert t.lookup(IPAddress("10.5.1.1")).next_hop == "2.2.2.2"
+        assert t.lookup(IPAddress("10.6.1.1")).next_hop == "1.1.1.1"
+
+
+class TestMutation:
+    def test_better_metric_replaces(self):
+        t = RoutingTable()
+        net = IPNetwork("10.0.0.0/8")
+        t.add(Route(network=net, interface_name="e", next_hop=IPAddress("1.1.1.1"), metric=5))
+        t.add(Route(network=net, interface_name="e", next_hop=IPAddress("2.2.2.2"), metric=1))
+        assert t.lookup(IPAddress("10.0.0.1")).next_hop == "2.2.2.2"
+
+    def test_worse_metric_ignored(self):
+        t = RoutingTable()
+        net = IPNetwork("10.0.0.0/8")
+        t.add(Route(network=net, interface_name="e", next_hop=IPAddress("1.1.1.1"), metric=1))
+        t.add(Route(network=net, interface_name="e", next_hop=IPAddress("2.2.2.2"), metric=5))
+        assert t.lookup(IPAddress("10.0.0.1")).next_hop == "1.1.1.1"
+
+    def test_remove(self, table):
+        assert table.remove(IPNetwork("10.2.0.0/24"))
+        assert table.lookup(IPAddress("10.2.0.9")).network.prefix_len == 0
+        assert not table.remove(IPNetwork("10.2.0.0/24"))
+
+    def test_remove_host_route(self, table):
+        host = IPAddress("10.2.0.9")
+        table.add_host_route(host, IPAddress("10.1.0.200"), "eth0")
+        assert table.remove_host_route(host)
+        assert table.lookup(host).next_hop == "10.1.0.254"
+
+    def test_remove_tagged(self, table):
+        table.add_host_route(IPAddress("7.0.0.1"), IPAddress("10.1.0.9"), "eth0", tag="mhrp")
+        table.add_host_route(IPAddress("7.0.0.2"), IPAddress("10.1.0.9"), "eth0", tag="mhrp")
+        table.add_host_route(IPAddress("7.0.0.3"), IPAddress("10.1.0.9"), "eth0", tag="other")
+        assert table.remove_tagged("mhrp") == 2
+        assert table.lookup(IPAddress("7.0.0.3")).is_host_route
+
+    def test_clear_and_len(self, table):
+        assert len(table) == 3
+        table.clear()
+        assert len(table) == 0
+
+
+class TestIntrospection:
+    def test_routes_sorted_longest_first(self, table):
+        table.add_host_route(IPAddress("1.1.1.1"), IPAddress("10.1.0.254"), "eth0")
+        prefixes = [r.network.prefix_len for r in table.routes()]
+        assert prefixes == sorted(prefixes, reverse=True)
+
+    def test_host_routes_filter(self, table):
+        table.add_host_route(IPAddress("1.1.1.1"), IPAddress("10.1.0.254"), "eth0")
+        assert len(table.host_routes()) == 1
+
+    def test_str_contains_routes(self, table):
+        text = str(table)
+        assert "10.1.0.0/24" in text
+        assert "connected" in text

@@ -1,0 +1,64 @@
+"""Unit tests for the metrics helpers."""
+
+import pytest
+
+from repro.metrics import Table, fmt_float, mean, percentile, summarize
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_percentile_basics(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 95) == 95
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 100
+
+    def test_percentile_small(self):
+        assert percentile([7], 50) == 7
+        assert percentile([], 50) == 0.0
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s["mean"] == 2.5
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+        assert s["p50"] == 2.0
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table("T", ["proto", "bytes"])
+        table.add_row("MHRP", 8)
+        table.add_row("Matsushita", 40)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "proto" in lines[2]
+        assert any("MHRP" in line and "8" in line for line in lines)
+        # Columns align: 'bytes' values start at the same offset.
+        data_lines = [l for l in lines if "MHRP" in l or "Matsushita" in l]
+        offsets = {line.index(val) for line, val in zip(data_lines, ["8", "40"])}
+        assert len(offsets) == 1
+
+    def test_row_arity_checked(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_float_formatting(self):
+        assert fmt_float(3.10) == "3.1"
+        assert fmt_float(3.0) == "3"
+        assert fmt_float(0.0) == "0"
+        assert fmt_float(2.555, 2) == "2.56"
+
+    def test_empty_table_renders(self):
+        table = Table("Empty", ["x"])
+        assert "Empty" in table.render()

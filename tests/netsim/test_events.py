@@ -1,0 +1,71 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_empty_queue_is_falsy(self):
+        queue = EventQueue()
+        assert not queue
+        assert len(queue) == 0
+        assert queue.pop() is None
+        assert queue.peek_time() is None
+
+    def test_pop_returns_events_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, lambda: fired.append("late"))
+        queue.push(1.0, lambda: fired.append("early"))
+        queue.push(3.0, lambda: fired.append("latest"))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == ["early", "late", "latest"]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        queue = EventQueue()
+        fired = []
+        for i in range(10):
+            queue.push(1.0, lambda i=i: fired.append(i))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == list(range(10))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.push(1.0, lambda: fired.append("cancelled"))
+        queue.push(2.0, lambda: fired.append("kept"))
+        event.cancel()
+        while (ev := queue.pop()) is not None:
+            ev.action()
+        assert fired == ["kept"]
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        event.cancel()
+        assert queue.peek_time() == 5.0
+
+    def test_clear_empties_queue(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.clear()
+        assert not queue
+        assert queue.pop() is None
+
+    def test_len_counts_live_events(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        queue.pop()
+        assert len(queue) == 1

@@ -1,0 +1,164 @@
+"""Unit tests for the simulator and timers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim import Simulator
+
+
+class TestScheduling:
+    def test_schedule_runs_at_relative_delay(self, sim):
+        fired = []
+        sim.schedule(1.5, lambda: fired.append(sim.now))
+        sim.run_until_idle()
+        assert fired == [1.5]
+
+    def test_schedule_at_absolute_time(self, sim):
+        fired = []
+        sim.schedule_at(2.0, lambda: fired.append(sim.now))
+        sim.run_until_idle()
+        assert fired == [2.0]
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_events_can_schedule_more_events(self, sim):
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, lambda: chain(n + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run_until_idle()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestRun:
+    def test_run_until_stops_at_boundary(self, sim):
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda t=t: fired.append(t))
+        sim.run(until=2.0)
+        assert fired == [1.0, 2.0]
+        assert sim.now == 2.0
+        sim.run_until_idle()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_until_advances_clock_even_when_idle(self, sim):
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_max_events(self, sim):
+        for t in range(5):
+            sim.schedule(float(t), lambda: None)
+        executed = sim.run(max_events=3)
+        assert executed == 3
+        assert len(sim.queue) == 2
+
+    def test_run_until_idle_raises_on_runaway(self, sim):
+        def storm():
+            sim.schedule(0.001, storm)
+
+        sim.schedule(0.0, storm)
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=100)
+
+    def test_determinism_same_seed(self):
+        def sample(seed):
+            s = Simulator(seed=seed)
+            values = []
+            for i in range(10):
+                s.schedule(i * 0.1, lambda: values.append(s.rng.random()))
+            s.run_until_idle()
+            return values
+
+        assert sample(7) == sample(7)
+        assert sample(7) != sample(8)
+
+    def test_events_processed_counter(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run_until_idle()
+        assert sim.events_processed == 2
+
+
+class TestTimer:
+    def test_timer_fires_after_delay(self, sim):
+        fired = []
+        timer = sim.timer(lambda: fired.append(sim.now))
+        timer.start(2.0)
+        assert timer.pending
+        sim.run_until_idle()
+        assert fired == [2.0]
+        assert not timer.pending
+
+    def test_timer_restart_supersedes(self, sim):
+        fired = []
+        timer = sim.timer(lambda: fired.append(sim.now))
+        timer.start(5.0)
+        timer.start(1.0)
+        sim.run_until_idle()
+        assert fired == [1.0]
+
+    def test_timer_cancel(self, sim):
+        fired = []
+        timer = sim.timer(lambda: fired.append(sim.now))
+        timer.start(1.0)
+        timer.cancel()
+        sim.run_until_idle()
+        assert fired == []
+        assert not timer.pending
+
+    def test_timer_can_rearm_from_its_own_action(self, sim):
+        fired = []
+
+        def periodic():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                timer.start(1.0)
+
+        timer = sim.timer(periodic)
+        timer.start(1.0)
+        sim.run_until_idle()
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestTracer:
+    def test_trace_records_time_and_detail(self, sim):
+        sim.schedule(1.0, lambda: sim.trace("test", "node1", value=42))
+        sim.run_until_idle()
+        entries = sim.tracer.select("test")
+        assert len(entries) == 1
+        assert entries[0].time == 1.0
+        assert entries[0].detail["value"] == 42
+
+    def test_trace_restrict_filters_categories(self, sim):
+        sim.tracer.restrict({"keep"})
+        sim.trace("keep", "n")
+        sim.trace("drop", "n")
+        assert sim.tracer.count("keep") == 1
+        assert sim.tracer.count("drop") == 0
+
+    def test_trace_select_by_node(self, sim):
+        sim.trace("cat", "n1")
+        sim.trace("cat", "n2")
+        assert sim.tracer.count("cat", node="n1") == 1
+
+    def test_trace_subscribe(self, sim):
+        seen = []
+        sim.tracer.subscribe(seen.append)
+        sim.trace("cat", "n")
+        assert len(seen) == 1
+
+    def test_trace_disabled(self, sim):
+        sim.tracer.enabled = False
+        sim.trace("cat", "n")
+        assert sim.tracer.count() == 0

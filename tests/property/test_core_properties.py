@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) for MHRP core invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.cache_agent import LocationCache, UpdateRateLimiter
+from repro.core.encapsulation import decapsulate, encapsulate, retunnel
+from repro.core.header import MHRPHeader
+from repro.ip.address import IPAddress
+from repro.ip.packet import IPPacket, RawPayload
+
+addresses = st.integers(min_value=1, max_value=2**32 - 1).map(IPAddress)
+distinct_addresses = st.lists(
+    st.integers(min_value=1, max_value=2**32 - 1),
+    unique=True, min_size=4, max_size=16,
+).map(lambda values: [IPAddress(v) for v in values])
+
+
+class TestHeaderProperties:
+    @given(
+        st.integers(0, 255),
+        addresses,
+        st.lists(addresses, max_size=20),
+    )
+    def test_wire_round_trip(self, proto, mobile_host, sources):
+        header = MHRPHeader(
+            orig_protocol=proto, mobile_host=mobile_host,
+            previous_sources=list(sources),
+        )
+        parsed = MHRPHeader.from_bytes(header.to_bytes())
+        assert parsed.orig_protocol == proto
+        assert parsed.mobile_host == mobile_host
+        assert parsed.previous_sources == list(sources)
+
+    @given(st.lists(addresses, max_size=20))
+    def test_size_is_8_plus_4_per_source(self, sources):
+        header = MHRPHeader(
+            orig_protocol=6, mobile_host=IPAddress(1),
+            previous_sources=list(sources),
+        )
+        assert header.byte_length == 8 + 4 * len(sources)
+        assert len(header.to_bytes()) == header.byte_length
+
+
+class TestTunnelInverseProperties:
+    @staticmethod
+    def drive_chain(packet, encapsulator, agents, max_list=64):
+        """Tunnel the packet as the protocol would: the encapsulator
+        builds the header and sends it to ``agents[0]``; each agent then
+        re-tunnels to the next.  Returns the final holder."""
+        encapsulate(packet, agents[0], agent_address=encapsulator)
+        holder = agents[0]
+        for nxt in agents[1:]:
+            result = retunnel(packet, nxt, my_address=holder,
+                              max_previous_sources=max_list)
+            assert not result.loop_detected
+            holder = nxt
+        return holder
+
+    @given(distinct_addresses, st.binary(max_size=64), st.integers(1, 200))
+    def test_decapsulate_inverts_any_retunnel_chain(self, addrs, data, proto):
+        """Through any chain of distinct agents, decapsulation recovers
+        the original source, destination, protocol, and payload."""
+        sender, mobile, encapsulator, *agents = addrs
+        packet = IPPacket(
+            src=sender, dst=mobile, protocol=proto, payload=RawPayload(data)
+        )
+        self.drive_chain(packet, encapsulator, agents)
+        decapsulate(packet)
+        assert packet.src == sender
+        assert packet.dst == mobile
+        assert packet.protocol == proto
+        assert packet.payload.to_bytes() == data
+
+    @given(distinct_addresses, st.integers(1, 8))
+    def test_list_never_exceeds_bound(self, addrs, max_list):
+        sender, mobile, encapsulator, *agents = addrs
+        packet = IPPacket(src=sender, dst=mobile, protocol=17)
+        encapsulate(packet, agents[0], agent_address=encapsulator)
+        holder = agents[0]
+        for nxt in agents[1:]:
+            retunnel(packet, nxt, my_address=holder,
+                     max_previous_sources=max_list)
+            assert len(packet.payload.header.previous_sources) <= max_list
+            holder = nxt
+
+    @given(distinct_addresses)
+    def test_revisiting_any_listed_agent_is_detected(self, addrs):
+        """Re-tunneling at an agent whose address is already on the list
+        always reports a loop."""
+        sender, mobile, encapsulator, *agents = addrs
+        if len(agents) < 3:
+            return  # agents[0] reaches the list only after two re-tunnels
+        packet = IPPacket(src=sender, dst=mobile, protocol=17)
+        self.drive_chain(packet, encapsulator, agents)
+        # Every agent except the last two holders is on the list; the
+        # packet "returning" to any of them completes a loop.
+        on_list = packet.payload.header.previous_sources
+        assert agents[0] in on_list
+        result = retunnel(packet, mobile, my_address=agents[0],
+                          max_previous_sources=64)
+        assert result.loop_detected
+
+
+class TestLocationCacheProperties:
+    @given(
+        st.integers(1, 8),
+        st.lists(
+            st.tuples(st.integers(1, 30), st.integers(1, 5)),
+            max_size=60,
+        ),
+    )
+    def test_capacity_is_never_exceeded(self, capacity, operations):
+        cache = LocationCache(capacity=capacity)
+        for host, agent in operations:
+            cache.put(IPAddress(host), IPAddress(agent))
+            assert len(cache) <= capacity
+
+    @given(st.lists(st.integers(1, 30), min_size=1, max_size=60))
+    def test_most_recent_insert_always_present(self, hosts):
+        cache = LocationCache(capacity=3)
+        for host in hosts:
+            cache.put(IPAddress(host), IPAddress(99))
+            assert IPAddress(host) in cache
+
+    @given(
+        st.integers(2, 10),
+        st.lists(st.integers(1, 100), min_size=2, max_size=40),
+    )
+    def test_eviction_order_is_lru(self, capacity, hosts):
+        cache = LocationCache(capacity=capacity)
+        model = []  # most-recent last
+        for host in hosts:
+            addr = IPAddress(host)
+            if addr in model:
+                model.remove(addr)
+            model.append(addr)
+            cache.put(addr, IPAddress(1))
+            model = model[-capacity:]
+            assert set(cache.entries()) == set(model)
+
+
+class TestRateLimiterProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 5), st.floats(0, 100)),
+            min_size=1, max_size=60,
+        ),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_no_two_allows_within_interval(self, events, interval):
+        limiter = UpdateRateLimiter(min_interval=interval, capacity=100)
+        last_allowed = {}
+        for host, when in sorted(events, key=lambda e: e[1]):
+            addr = IPAddress(host)
+            if limiter.allow(addr, now=when):
+                previous = last_allowed.get(addr)
+                if previous is not None:
+                    assert when - previous >= interval
+                last_allowed[addr] = when

@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) for the substrate layers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ip.address import IPAddress, IPNetwork
+from repro.ip.checksum import internet_checksum, verify_checksum
+from repro.ip.options import LSRROption
+from repro.ip.packet import IPPacket, RawPayload
+from repro.ip.routing import RoutingTable
+from repro.netsim.events import EventQueue
+
+addresses = st.integers(min_value=0, max_value=2**32 - 1).map(IPAddress)
+prefix_lens = st.integers(min_value=0, max_value=32)
+
+
+class TestAddressProperties:
+    @given(addresses)
+    def test_string_round_trip(self, addr):
+        assert IPAddress(str(addr)) == addr
+
+    @given(addresses)
+    def test_bytes_round_trip(self, addr):
+        assert IPAddress.from_bytes(addr.to_bytes()) == addr
+
+    @given(addresses, prefix_lens)
+    def test_network_contains_its_base_and_broadcast(self, addr, prefix_len):
+        masked = addr.value & IPNetwork._mask_for(prefix_len)
+        net = IPNetwork(masked, prefix_len)
+        assert net.address in net
+        assert net.broadcast in net
+
+    @given(addresses, prefix_lens)
+    def test_containment_equals_mask_equality(self, addr, prefix_len):
+        net = IPNetwork(0, 0) if prefix_len == 0 else IPNetwork(
+            addr.value & IPNetwork._mask_for(prefix_len), prefix_len
+        )
+        for probe in (addr, IPAddress(addr.value ^ 1)):
+            expected = (
+                probe.value & IPNetwork._mask_for(prefix_len)
+            ) == net.address.value
+            assert net.contains(probe) == expected
+
+    @given(addresses, addresses)
+    def test_ordering_matches_integer_ordering(self, a, b):
+        assert (a < b) == (a.value < b.value)
+        assert (a == b) == (a.value == b.value)
+
+
+class TestChecksumProperties:
+    @given(st.binary(min_size=12, max_size=200))
+    def test_inserted_checksum_always_verifies(self, data):
+        # Zero the checksum slot (bytes 10-11), compute, insert, verify.
+        pre = data[:10] + b"\x00\x00" + data[12:]
+        csum = internet_checksum(pre)
+        block = pre[:10] + csum.to_bytes(2, "big") + pre[12:]
+        assert verify_checksum(block)
+
+    @given(st.binary(min_size=12, max_size=64), st.integers(0, 9))
+    def test_single_byte_inversion_detected(self, data, flip):
+        """Fully inverting one data byte always changes the one's-
+        complement sum (the delta 255-2b is never ≡ 0 mod 0xFFFF), so
+        verification must fail."""
+        pre = data[:10] + b"\x00\x00" + data[12:]
+        csum = internet_checksum(pre)
+        block = bytearray(pre[:10] + csum.to_bytes(2, "big") + pre[12:])
+        block[flip] ^= 0xFF
+        assert not verify_checksum(bytes(block))
+
+
+class TestLSRRProperties:
+    @given(st.lists(addresses, min_size=1, max_size=9))
+    def test_wire_round_trip(self, route):
+        opt = LSRROption(route=route)
+        parsed = LSRROption.from_bytes(opt.to_bytes())
+        assert parsed.route == route
+        assert parsed.pointer == opt.pointer
+
+    @given(st.lists(addresses, min_size=1, max_size=9), addresses)
+    def test_full_traversal_records_and_exhausts(self, route, me):
+        opt = LSRROption(route=list(route))
+        consumed = []
+        while not opt.exhausted:
+            consumed.append(opt.advance(recorded=me))
+        assert consumed == route
+        assert opt.route == [me] * len(route)
+
+    @given(st.lists(addresses, min_size=1, max_size=9))
+    def test_reversed_route_is_reversal(self, route):
+        opt = LSRROption(route=list(route))
+        assert opt.reversed_route() == list(reversed(route))
+
+
+class TestPacketProperties:
+    @given(
+        addresses, addresses,
+        st.integers(0, 255),
+        st.integers(1, 255),
+        st.binary(max_size=128),
+    )
+    def test_serialized_length_matches_total_length(self, src, dst, proto, ttl, data):
+        packet = IPPacket(src=src, dst=dst, protocol=proto, ttl=ttl,
+                          payload=RawPayload(data))
+        wire = packet.to_bytes()
+        assert len(wire) == packet.total_length
+        assert verify_checksum(wire[: packet.header_length])
+        assert wire[20:] == data
+
+    @given(addresses, addresses, st.binary(max_size=64))
+    def test_copy_equivalence(self, src, dst, data):
+        packet = IPPacket(src=src, dst=dst, protocol=17, payload=RawPayload(data))
+        assert packet.copy().to_bytes() == packet.to_bytes()
+
+
+class TestRoutingTableProperties:
+    @given(
+        st.lists(
+            st.tuples(addresses, prefix_lens, addresses),
+            min_size=1, max_size=20,
+        ),
+        addresses,
+    )
+    def test_lookup_is_longest_matching_prefix(self, entries, probe):
+        table = RoutingTable()
+        reference = {}
+        for base, prefix_len, next_hop in entries:
+            masked = base.value & IPNetwork._mask_for(prefix_len)
+            net = IPNetwork(masked, prefix_len)
+            table.add_next_hop(net, next_hop, "eth0")
+            reference[net] = next_hop  # same replace-on-equal-metric rule? metric equal -> replaced
+        route = table.lookup(probe)
+        matching = [net for net in reference if probe in net]
+        if not matching:
+            assert route is None
+        else:
+            best = max(net.prefix_len for net in matching)
+            assert route is not None
+            assert route.network.prefix_len == best
+            assert probe in route.network
+
+
+class TestEventQueueProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), max_size=50))
+    def test_pop_order_is_sorted_and_stable(self, times):
+        queue = EventQueue()
+        for index, t in enumerate(times):
+            queue.push(t, lambda: None, label=str(index))
+        popped = []
+        while (event := queue.pop()) is not None:
+            popped.append((event.time, event.sequence))
+        assert popped == sorted(popped)
+        assert len(popped) == len(times)

@@ -1,0 +1,79 @@
+"""Property-based tests for the transport layer under adverse networks."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ip import Host, IPNetwork
+from repro.link import LAN
+from repro.netsim import Simulator
+
+
+def build_pair(seed, loss):
+    sim = Simulator(seed=seed)
+    lan = LAN(sim, "lan", latency=0.002, loss_rate=loss)
+    net = IPNetwork("10.0.0.0/24")
+    a, b = Host(sim, "A"), Host(sim, "B")
+    a.add_interface("eth0", net.host(1), net, medium=lan)
+    b.add_interface("eth0", net.host(2), net, medium=lan)
+    return sim, a, b, net
+
+
+class TestTCPUnderLoss:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        loss=st.floats(min_value=0.0, max_value=0.25),
+        size=st.integers(min_value=1, max_value=9_000),
+    )
+    def test_stream_is_exactly_once_in_order(self, seed, loss, size):
+        """Whatever the loss pattern, TCP delivers the exact byte stream
+        (no loss, duplication, or reordering visible to the app)."""
+        sim, a, b, net = build_pair(seed, loss)
+        blob = bytes(i % 256 for i in range(size))
+        accepted = []
+        b.tcp.listen(80, accepted.append)
+        conn = a.tcp.connect(net.host(2), 80)
+        conn.send(blob)
+        sim.run(until=400.0)
+        assert accepted, "handshake never completed"
+        assert bytes(accepted[0].received) == blob
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10_000), loss=st.floats(0.0, 0.2))
+    def test_bidirectional_integrity(self, seed, loss):
+        sim, a, b, net = build_pair(seed, loss)
+        upload = b"u" * 3000
+        download = b"d" * 3000
+        accepted = []
+
+        def serve(conn):
+            accepted.append(conn)
+            conn.send(download)
+
+        b.tcp.listen(80, serve)
+        client = a.tcp.connect(net.host(2), 80)
+        client.send(upload)
+        sim.run(until=400.0)
+        assert bytes(accepted[0].received) == upload
+        assert bytes(client.received) == download
+
+
+class TestUDPUnderLoss:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000), loss=st.floats(0.0, 0.5))
+    def test_udp_never_duplicates_or_corrupts(self, seed, loss):
+        """UDP may lose datagrams but never invents or corrupts them."""
+        sim, a, b, net = build_pair(seed, loss)
+        server = b.udp.bind(9)
+        client = a.udp.bind()
+        payloads = [bytes([i]) * 10 for i in range(30)]
+        # Pre-resolve ARP so loss statistics apply to data only.
+        a.arp["eth0"].learn(net.host(2), b.interfaces["eth0"].hw_address)
+        for payload in payloads:
+            client.send_to(payload, net.host(2), 9)
+        sim.run_until_idle()
+        received = [data for data, _, _ in server.received]
+        assert len(received) <= len(payloads)
+        for datagram in received:
+            assert datagram in payloads
+        # No duplication: each payload value at most once.
+        assert len(received) == len(set(received))

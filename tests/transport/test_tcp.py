@@ -1,0 +1,165 @@
+"""Unit tests for the simplified TCP."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.transport.segments import FLAG_SYN, TCPSegment
+from repro.transport.tcp import ESTABLISHED, MSS
+
+
+def make_pair(fixture, port=80):
+    sim, lan, a, b, net = fixture
+    accepted = []
+    b.tcp.listen(port, accepted.append)
+    conn = a.tcp.connect(net.host(2), port)
+    return sim, a, b, conn, accepted
+
+
+class TestHandshake:
+    def test_three_way_handshake(self, two_hosts_one_lan):
+        sim, a, b, client, accepted = make_pair(two_hosts_one_lan)
+        sim.run_until_idle()
+        assert client.state == ESTABLISHED
+        assert len(accepted) == 1
+        assert accepted[0].state == ESTABLISHED
+
+    def test_established_callbacks_fire(self, two_hosts_one_lan):
+        sim, a, b, client, accepted = make_pair(two_hosts_one_lan)
+        events = []
+        client.on_established = lambda: events.append("client")
+        sim.run_until_idle()
+        assert "client" in events
+
+    def test_connect_to_non_listening_port_resets(self, two_hosts_one_lan):
+        sim, lan, a, b, net = two_hosts_one_lan
+        _ = b.tcp  # stack exists, nothing listening
+        errors = []
+        conn = a.tcp.connect(net.host(2), 81)
+        conn.on_error = lambda reason: errors.append(reason)
+        sim.run_until_idle()
+        assert conn.closed
+        assert errors and "reset" in errors[0]
+
+    def test_duplicate_listen_rejected(self, two_hosts_one_lan):
+        sim, lan, a, b, net = two_hosts_one_lan
+        b.tcp.listen(80, lambda c: None)
+        with pytest.raises(TransportError):
+            b.tcp.listen(80, lambda c: None)
+
+
+class TestDataTransfer:
+    def test_small_payload(self, two_hosts_one_lan):
+        sim, a, b, client, accepted = make_pair(two_hosts_one_lan)
+        client.send(b"hello world")
+        sim.run_until_idle()
+        assert bytes(accepted[0].received) == b"hello world"
+
+    def test_bidirectional(self, two_hosts_one_lan):
+        sim, a, b, client, accepted = make_pair(two_hosts_one_lan)
+        sim.run_until_idle()
+        server = accepted[0]
+        client.send(b"ping")
+        server.send(b"pong")
+        sim.run_until_idle()
+        assert bytes(server.received) == b"ping"
+        assert bytes(client.received) == b"pong"
+
+    def test_large_transfer_segments_and_reassembles(self, two_hosts_one_lan):
+        sim, a, b, client, accepted = make_pair(two_hosts_one_lan)
+        blob = bytes(range(256)) * 40  # 10240 bytes > several MSS
+        client.send(blob)
+        sim.run_until_idle()
+        assert bytes(accepted[0].received) == blob
+        assert client.segments_sent > len(blob) // MSS
+
+    def test_send_before_established_is_buffered(self, two_hosts_one_lan):
+        sim, a, b, client, accepted = make_pair(two_hosts_one_lan)
+        client.send(b"early data")  # still SYN_SENT
+        sim.run_until_idle()
+        assert bytes(accepted[0].received) == b"early data"
+
+    def test_on_data_callback_streams(self, two_hosts_one_lan):
+        sim, a, b, client, accepted = make_pair(two_hosts_one_lan)
+        chunks = []
+        sim.run_until_idle()
+        accepted[0].on_data = chunks.append
+        client.send(b"abc")
+        sim.run_until_idle()
+        assert b"".join(chunks) == b"abc"
+
+
+class TestLossRecovery:
+    def test_transfer_survives_heavy_loss(self, sim):
+        from repro.ip import Host, IPNetwork
+        from repro.link import LAN
+
+        lan = LAN(sim, "lossy", latency=0.001, loss_rate=0.2)
+        net = IPNetwork("10.0.0.0/24")
+        a, b = Host(sim, "A"), Host(sim, "B")
+        a.add_interface("eth0", net.host(1), net, medium=lan)
+        b.add_interface("eth0", net.host(2), net, medium=lan)
+        accepted = []
+        b.tcp.listen(80, accepted.append)
+        client = a.tcp.connect(net.host(2), 80)
+        blob = b"x" * 8000
+        client.send(blob)
+        sim.run(until=300.0)
+        assert accepted and bytes(accepted[0].received) == blob
+        assert client.retransmissions > 0
+
+    def test_retransmission_limit_gives_up(self, two_hosts_one_lan):
+        sim, lan, a, b, net = two_hosts_one_lan
+        errors = []
+        conn = a.tcp.connect(net.host(99), 80)  # no such host
+        conn.on_error = lambda r: errors.append(r)
+        sim.run(until=600.0)
+        assert conn.closed
+        assert errors
+
+
+class TestClose:
+    def test_graceful_close_both_sides(self, two_hosts_one_lan):
+        sim, a, b, client, accepted = make_pair(two_hosts_one_lan)
+        closed = []
+        client.send(b"bye")
+        sim.run_until_idle()
+        server = accepted[0]
+        server.on_close = lambda: closed.append("server")
+        client.close()
+        sim.run_until_idle()
+        assert "server" in closed
+        server.close()
+        sim.run_until_idle()
+        assert client.closed
+        assert server.closed
+
+    def test_close_flushes_pending_data(self, two_hosts_one_lan):
+        sim, a, b, client, accepted = make_pair(two_hosts_one_lan)
+        client.send(b"final words")
+        client.close()
+        sim.run_until_idle()
+        assert bytes(accepted[0].received) == b"final words"
+
+    def test_send_after_close_rejected(self, two_hosts_one_lan):
+        sim, a, b, client, accepted = make_pair(two_hosts_one_lan)
+        sim.run_until_idle()
+        client.close()
+        sim.run_until_idle()
+        with pytest.raises(TransportError):
+            client.send(b"too late")
+
+
+class TestSegmentFormat:
+    def test_wire_format(self):
+        seg = TCPSegment(src_port=1, dst_port=2, seq=100, ack=200,
+                         flags=FLAG_SYN, data=b"zz")
+        wire = seg.to_bytes()
+        assert seg.byte_length == 22
+        assert int.from_bytes(wire[4:8], "big") == 100
+        assert int.from_bytes(wire[8:12], "big") == 200
+        assert wire[13] == FLAG_SYN
+        assert wire[20:] == b"zz"
+
+    def test_seq_span(self):
+        assert TCPSegment(1, 2, flags=FLAG_SYN).seq_span == 1
+        assert TCPSegment(1, 2, data=b"abc").seq_span == 3

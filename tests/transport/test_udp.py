@@ -1,0 +1,85 @@
+"""Unit tests for UDP."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.transport.segments import UDPDatagram
+
+
+class TestUDPSockets:
+    def test_datagram_round_trip(self, two_hosts_one_lan):
+        sim, lan, a, b, net = two_hosts_one_lan
+        server = b.udp.bind(5000)
+        client = a.udp.bind()
+        client.send_to(b"hello", net.host(2), 5000)
+        sim.run_until_idle()
+        assert len(server.received) == 1
+        data, src, src_port = server.received[0]
+        assert data == b"hello"
+        assert src == net.host(1)
+        assert src_port == client.port
+
+    def test_reply_goes_back(self, two_hosts_one_lan):
+        sim, lan, a, b, net = two_hosts_one_lan
+        server = b.udp.bind(5000)
+        server.on_receive = lambda data, src, port: server.send_to(
+            data.upper(), src, port
+        )
+        client = a.udp.bind()
+        client.send_to(b"ping", net.host(2), 5000)
+        sim.run_until_idle()
+        assert client.received[0][0] == b"PING"
+
+    def test_routed_datagram(self, two_lans_one_router):
+        sim, a, r, b, net_a, net_b = two_lans_one_router
+        server = b.udp.bind(7)
+        a.udp.bind(1234).send_to(b"x", net_b.host(1), 7)
+        sim.run_until_idle()
+        assert len(server.received) == 1
+
+    def test_unbound_port_generates_port_unreachable(self, two_hosts_one_lan):
+        sim, lan, a, b, net = two_hosts_one_lan
+        _ = b.udp  # instantiate the stack with no sockets bound
+        errors = []
+        a.on_icmp_error(lambda p, e: errors.append(e))
+        a.udp.bind().send_to(b"x", net.host(2), 9999)
+        sim.run_until_idle()
+        assert len(errors) == 1
+        from repro.ip.icmp import CODE_PORT_UNREACHABLE
+
+        assert errors[0].code == CODE_PORT_UNREACHABLE
+
+    def test_double_bind_rejected(self, two_hosts_one_lan):
+        sim, lan, a, b, net = two_hosts_one_lan
+        a.udp.bind(5000)
+        with pytest.raises(TransportError):
+            a.udp.bind(5000)
+
+    def test_bad_port_rejected(self, two_hosts_one_lan):
+        sim, lan, a, b, net = two_hosts_one_lan
+        with pytest.raises(TransportError):
+            a.udp.bind(0)
+        with pytest.raises(TransportError):
+            a.udp.bind(70000)
+
+    def test_ephemeral_ports_unique(self, two_hosts_one_lan):
+        sim, lan, a, b, net = two_hosts_one_lan
+        ports = {a.udp.bind().port for _ in range(10)}
+        assert len(ports) == 10
+
+    def test_closed_socket_rejects_send_and_frees_port(self, two_hosts_one_lan):
+        sim, lan, a, b, net = two_hosts_one_lan
+        sock = a.udp.bind(5000)
+        sock.close()
+        with pytest.raises(TransportError):
+            sock.send_to(b"x", net.host(2), 1)
+        a.udp.bind(5000)  # port is free again
+
+    def test_datagram_wire_format(self):
+        d = UDPDatagram(src_port=1234, dst_port=80, data=b"abc")
+        wire = d.to_bytes()
+        assert d.byte_length == 11
+        assert int.from_bytes(wire[0:2], "big") == 1234
+        assert int.from_bytes(wire[2:4], "big") == 80
+        assert int.from_bytes(wire[4:6], "big") == 11
+        assert wire[8:] == b"abc"

@@ -1,0 +1,116 @@
+"""Tests for geometric (range-driven) mobility."""
+
+import pytest
+
+from repro.netsim import Simulator
+from repro.workloads import build_campus
+from repro.workloads.geo import CellSite, GeoWalker, distance
+
+
+@pytest.fixture
+def geo_campus():
+    """Two cells side by side with a gap beyond them.
+
+    Cell 0 covers x in [0, 100] (center 50, r 50); cell 1 covers
+    x in [80, 180] (center 130, r 50); nothing covers x > 180.
+    """
+    topo = build_campus(n_cells=2, n_mobile_hosts=1, advertise=True,
+                        sim=Simulator(seed=17))
+    sites = [
+        CellSite(cell=topo.cells[0], position=(50.0, 0.0), radius=50.0),
+        CellSite(cell=topo.cells[1], position=(130.0, 0.0), radius=50.0),
+    ]
+    return topo, sites
+
+
+def make_walker(topo, sites, **kwargs):
+    defaults = dict(bounds=(0.0, 0.0, 180.0, 0.0), speed=10.0, tick=1.0)
+    defaults.update(kwargs)
+    return GeoWalker(topo.mobile_hosts[0], sites, **defaults)
+
+
+class TestGeometry:
+    def test_distance(self):
+        assert distance((0, 0), (3, 4)) == 5.0
+
+    def test_covers(self, geo_campus):
+        topo, sites = geo_campus
+        assert sites[0].covers((10.0, 0.0))
+        assert not sites[0].covers((120.0, 0.0))
+
+    def test_needs_sites(self, geo_campus):
+        topo, sites = geo_campus
+        with pytest.raises(ValueError):
+            GeoWalker(topo.mobile_hosts[0], [], bounds=(0, 0, 1, 1))
+
+
+class TestWalking:
+    def test_walker_associates_with_covering_cell(self, geo_campus):
+        topo, sites = geo_campus
+        walker = make_walker(topo, sites, start=(10.0, 0.0), speed=0.0)
+        walker.start()
+        topo.sim.run(until=5.0)
+        host = topo.mobile_hosts[0]
+        assert walker.current_site is sites[0]
+        assert host.current_foreign_agent == topo.cell_roles[0].foreign_agent.address
+
+    def test_walk_across_boundary_hands_off(self, geo_campus):
+        """A straight eastward walk crosses from cell 0 into cell 1."""
+        topo, sites = geo_campus
+        sim = topo.sim
+        # Future random waypoints stay in cell 1's exclusive zone, so
+        # after the crossing the walker never wanders back west.
+        walker = make_walker(topo, sites, start=(10.0, 0.0),
+                             bounds=(160.0, 0.0, 175.0, 0.0))
+        walker.waypoint = (175.0, 0.0)
+        walker.start()
+        sim.run(until=40.0)
+        host = topo.mobile_hosts[0]
+        # Ended up in cell 1's exclusive zone.
+        assert walker.current_site is sites[1]
+        assert host.current_foreign_agent == topo.cell_roles[1].foreign_agent.address
+        assert walker.handoffs >= 2
+
+    def test_walking_out_of_coverage_detaches(self, geo_campus):
+        topo, sites = geo_campus
+        sim = topo.sim
+        walker = make_walker(topo, sites, start=(130.0, 0.0),
+                             bounds=(300.0, 0.0, 400.0, 0.0))
+        walker.waypoint = (400.0, 0.0)
+        walker.start()
+        sim.run(until=60.0)
+        assert walker.coverage_gaps >= 1
+        assert not topo.mobile_hosts[0].iface.attached
+
+    def test_traffic_follows_the_walk(self, geo_campus):
+        """Pings land wherever the walker currently is."""
+        topo, sites = geo_campus
+        sim = topo.sim
+        host = topo.mobile_hosts[0]
+        correspondent = topo.correspondents[0]
+        walker = make_walker(topo, sites, start=(10.0, 0.0),
+                             bounds=(160.0, 0.0, 175.0, 0.0))
+        walker.waypoint = (175.0, 0.0)
+        walker.start()
+        replies = []
+        correspondent.on_icmp(0, lambda p, m: replies.append(m))
+        for t in (5.0, 15.0, 30.0):
+            sim.run(until=t)
+            correspondent.ping(host.home_address)
+        sim.run(until=45.0)
+        assert len(replies) == 3
+
+    def test_deterministic_walks(self, ):
+        def run(seed):
+            topo = build_campus(n_cells=2, n_mobile_hosts=1, advertise=True,
+                                sim=Simulator(seed=seed))
+            sites = [
+                CellSite(cell=topo.cells[0], position=(50.0, 0.0), radius=50.0),
+                CellSite(cell=topo.cells[1], position=(130.0, 0.0), radius=50.0),
+            ]
+            walker = make_walker(topo, sites)
+            walker.start()
+            topo.sim.run(until=120.0)
+            return walker.handoffs, walker.position
+
+        assert run(3) == run(3)

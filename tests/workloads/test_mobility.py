@@ -1,0 +1,114 @@
+"""Unit tests for the mobility models."""
+
+import pytest
+
+from repro.workloads import (
+    PingPongMobility,
+    RandomWaypointMobility,
+    ScriptedMobility,
+    build_figure1,
+)
+
+
+@pytest.fixture
+def topo():
+    return build_figure1()
+
+
+class TestScriptedMobility:
+    def test_moves_fire_at_scripted_times(self, topo):
+        moves = [(5.0, topo.net_d), (15.0, topo.net_e), (25.0, topo.net_b)]
+        ScriptedMobility(topo.m, moves).start()
+        sim = topo.sim
+        sim.run(until=10.0)
+        assert topo.m.iface.medium is topo.net_d
+        sim.run(until=20.0)
+        assert topo.m.iface.medium is topo.net_e
+        sim.run(until=30.0)
+        assert topo.m.iface.medium is topo.net_b
+        assert topo.m.at_home
+
+    def test_registration_follows_each_move(self, topo):
+        ScriptedMobility(topo.m, [(1.0, topo.net_d), (10.0, topo.net_e)]).start()
+        topo.sim.run(until=20.0)
+        assert topo.m.current_foreign_agent == topo.fa5_address
+        db = topo.r2_roles.home_agent.database
+        assert db.foreign_agent_of(topo.m.home_address) == topo.fa5_address
+
+
+class TestPingPongMobility:
+    def test_alternates_between_media(self, topo):
+        mover = PingPongMobility(
+            topo.m, [topo.net_d, topo.net_e], dwell=5.0, stop_at=26.0
+        )
+        mover.start()
+        topo.sim.run(until=30.0)
+        # Hops at t=0,5,10,15,20,25 -> 6 moves.
+        assert mover.moves_made == 6
+        assert topo.m.moves == 6
+
+    def test_requires_two_media(self, topo):
+        with pytest.raises(ValueError):
+            PingPongMobility(topo.m, [topo.net_d], dwell=1.0)
+
+    def test_connectivity_is_maintained_throughout(self, topo):
+        mover = PingPongMobility(
+            topo.m, [topo.net_d, topo.net_e], dwell=8.0, stop_at=35.0
+        )
+        mover.start()
+        sim = topo.sim
+        replies = []
+        topo.s.on_icmp(0, lambda p, m: replies.append(m))
+        # Ping between hops (hops at 0/8/16/24/32; pings at 4/12/20/28).
+        for t in (4.0, 12.0, 20.0, 28.0):
+            sim.run(until=t)
+            topo.s.ping(topo.m.home_address)
+        sim.run(until=40.0)
+        assert len(replies) == 4
+
+
+class TestRandomWaypointMobility:
+    def test_moves_happen_and_are_bounded(self, topo):
+        mover = RandomWaypointMobility(
+            topo.m, [topo.net_d, topo.net_e], mean_dwell=5.0, stop_at=60.0
+        )
+        mover.start()
+        topo.sim.run(until=70.0)
+        assert mover.moves_made >= 2
+        assert topo.m.moves == mover.moves_made
+
+    def test_never_revisits_current_medium(self, topo):
+        """With two media the model must alternate, never 'move' in place."""
+        visited = []
+        original_attach = topo.m.attach
+
+        def spy_attach(medium, solicit=True):
+            visited.append(medium)
+            original_attach(medium, solicit=solicit)
+
+        topo.m.attach = spy_attach  # type: ignore[method-assign]
+        mover = RandomWaypointMobility(
+            topo.m, [topo.net_d, topo.net_e], mean_dwell=3.0, stop_at=40.0
+        )
+        mover.start()
+        topo.sim.run(until=50.0)
+        for previous, current in zip(visited, visited[1:]):
+            assert previous is not current
+
+    def test_requires_media(self, topo):
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(topo.m, [], mean_dwell=1.0)
+
+    def test_deterministic_for_seed(self):
+        def run(seed):
+            from repro.netsim import Simulator
+
+            t = build_figure1(sim=Simulator(seed=seed))
+            mover = RandomWaypointMobility(
+                t.m, [t.net_d, t.net_e], mean_dwell=4.0, stop_at=40.0
+            )
+            mover.start()
+            t.sim.run(until=50.0)
+            return mover.moves_made
+
+        assert run(11) == run(11)

@@ -1,0 +1,179 @@
+"""Unit tests for traffic generators and topology builders."""
+
+import pytest
+
+from repro.ip import Host
+from repro.netsim import Simulator
+from repro.workloads import (
+    CBRStream,
+    PoissonStream,
+    RequestResponseClient,
+    build_campus,
+    build_figure1,
+)
+
+
+@pytest.fixture
+def topo():
+    t = build_figure1()
+    t.m.attach(t.net_d)
+    t.sim.run(until=5.0)
+    return t
+
+
+class TestCBRStream:
+    def test_fixed_count_and_delivery(self, topo):
+        stream = CBRStream(
+            sender=topo.s, receiver=topo.m, dst_address=topo.m.home_address,
+            interval=0.5, count=10, start_at=6.0,
+        )
+        stream.start()
+        topo.sim.run(until=20.0)
+        assert stream.sent == 10
+        assert stream.log.count == 10
+        assert stream.delivery_ratio == 1.0
+        assert stream.lost_sequences() == []
+
+    def test_sequence_numbers_in_order_without_loss(self, topo):
+        stream = CBRStream(
+            sender=topo.s, receiver=topo.m, dst_address=topo.m.home_address,
+            interval=0.2, count=8, start_at=6.0,
+        )
+        stream.start()
+        topo.sim.run(until=15.0)
+        assert stream.log.sequence_numbers() == list(range(8))
+
+    def test_loss_detection(self, topo):
+        stream = CBRStream(
+            sender=topo.s, receiver=topo.m, dst_address=topo.m.home_address,
+            interval=0.5, count=6, start_at=6.0,
+        )
+        stream.start()
+        sim = topo.sim
+        sim.run(until=7.2)     # ~3 packets sent
+        topo.m.iface.detach()  # vanish mid-stream
+        sim.run(until=8.4)
+        topo.m.attach(topo.net_d)
+        sim.run(until=20.0)
+        assert stream.sent == 6
+        assert stream.lost_sequences()  # something was lost while detached
+        assert stream.delivery_ratio < 1.0
+
+    def test_minimum_payload_size(self, topo):
+        stream = CBRStream(
+            sender=topo.s, receiver=topo.m, dst_address=topo.m.home_address,
+            interval=0.5, payload_size=1, count=1, start_at=6.0,
+        )
+        stream.start()
+        topo.sim.run(until=10.0)
+        assert stream.log.count == 1  # the 8-byte floor kept the seq intact
+
+
+class TestPoissonStream:
+    def test_delivers_all_with_random_gaps(self, topo):
+        stream = PoissonStream(
+            sender=topo.s, receiver=topo.m, dst_address=topo.m.home_address,
+            interval=0.3, count=10, start_at=6.0,
+        )
+        stream.start()
+        topo.sim.run(until=60.0)
+        assert stream.sent == 10
+        assert stream.log.count == 10
+
+
+class TestRequestResponse:
+    def test_rtts_recorded(self, topo):
+        client = RequestResponseClient(
+            client=topo.s, server=topo.m, server_address=topo.m.home_address
+        )
+        sim = topo.sim
+        for _ in range(3):
+            client.send_request()
+            sim.run(until=sim.now + 3.0)
+        assert len(client.rtts) == 3
+        assert all(rtt > 0 for rtt in client.rtts)
+
+    def test_triangle_vs_direct_rtt(self, topo):
+        """The first request detours via the home agent; later ones
+        tunnel directly and must be no slower."""
+        client = RequestResponseClient(
+            client=topo.s, server=topo.m, server_address=topo.m.home_address
+        )
+        sim = topo.sim
+        for _ in range(3):
+            client.send_request()
+            sim.run(until=sim.now + 3.0)
+        assert client.rtts[0] >= client.rtts[-1]
+
+
+class TestTopologyBuilders:
+    def test_figure1_shape(self):
+        topo = build_figure1()
+        assert topo.home_agent_address == "10.2.0.254"
+        assert topo.fa4_address == "10.4.0.254"
+        assert topo.fa5_address == "10.5.0.254"
+        assert topo.r2_roles.home_agent is not None
+        assert topo.r4_roles.foreign_agent is not None
+        # Backbone routers R1/R3 carry no MHRP roles by default.
+        assert topo.r1_roles is None
+
+    def test_figure1_unmodified_sender_variant(self):
+        topo = build_figure1(sender_is_cache_agent=False)
+        assert not hasattr(topo.s, "cache_agent")
+        # MHRP still delivers to an unmodified sender's traffic.
+        topo.m.attach(topo.net_d)
+        topo.sim.run(until=5.0)
+        replies = []
+        topo.s.on_icmp(0, lambda p, m: replies.append(m))
+        topo.s.ping(topo.m.home_address)
+        topo.sim.run(until=10.0)
+        assert len(replies) == 1
+
+    def test_figure1_r1_cache_agent_variant(self):
+        """Section 6.2: a first-hop router caches for a network of
+        unmodified hosts."""
+        topo = build_figure1(sender_is_cache_agent=False, r1_is_cache_agent=True)
+        sim = topo.sim
+        topo.m.attach(topo.net_d)
+        sim.run(until=5.0)
+        replies = []
+        topo.s.on_icmp(0, lambda p, m: replies.append(m))
+        topo.s.ping(topo.m.home_address)
+        sim.run(until=10.0)
+        # R1 snooped the location update it forwarded toward S...
+        assert topo.r1_roles.cache_agent.cache.peek(topo.m.home_address) is not None
+        intercepted_before = topo.r2_roles.home_agent.packets_intercepted
+        topo.s.ping(topo.m.home_address)
+        sim.run(until=15.0)
+        assert len(replies) == 2
+        # ...and tunneled the second packet itself: no home detour.
+        assert topo.r2_roles.home_agent.packets_intercepted == intercepted_before
+
+    def test_campus_builder_shape(self):
+        topo = build_campus(n_cells=3, n_mobile_hosts=5, n_correspondents=2)
+        assert len(topo.cells) == 3
+        assert len(topo.mobile_hosts) == 5
+        assert len(topo.correspondents) == 2
+        assert len(topo.foreign_agent_addresses()) == 3
+
+    def test_campus_bounds(self):
+        with pytest.raises(ValueError):
+            build_campus(n_cells=0, n_mobile_hosts=1)
+        with pytest.raises(ValueError):
+            build_campus(n_cells=151, n_mobile_hosts=1)
+
+    def test_campus_end_to_end(self):
+        topo = build_campus(n_cells=2, n_mobile_hosts=2, advertise=True,
+                            sim=Simulator(seed=9))
+        sim = topo.sim
+        m0, m1 = topo.mobile_hosts
+        m0.attach(topo.cells[0])
+        m1.attach(topo.cells[1])
+        sim.run(until=5.0)
+        replies = []
+        correspondent = topo.correspondents[0]
+        correspondent.on_icmp(0, lambda p, m: replies.append(m))
+        correspondent.ping(m0.home_address)
+        correspondent.ping(m1.home_address)
+        sim.run(until=15.0)
+        assert len(replies) == 2
