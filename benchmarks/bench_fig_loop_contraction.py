@@ -11,25 +11,25 @@ Claims measured:
 3. relying on the IP TTL alone (what earlier protocols did) burns far
    more traffic inside the loop before the packet dies — the congestion
    argument of Section 7.
+
+A thin wrapper over the ``loop-contraction`` sweep of
+:mod:`repro.harness` — the cells here run at the historical seed 3 so
+the tables match the originally recorded results; ``python -m repro
+sweep loop-contraction`` runs the same grid multi-seed and in parallel.
 """
 
 from __future__ import annotations
 
-from unittest import mock
-
-from benchmarks.loop_common import run_loop_experiment
-from repro.core.header import MHRPHeader
+from repro.harness import run_sweep
+from repro.harness.experiments import LOOP_CONTRACTION
 from repro.metrics import Table
 
-
-def run_ttl_only(loop_size: int, ttl: int = 64):
-    """The Section 7 counterfactual: a broken implementation that never
-    checks the list, so only the TTL ends the loop."""
-    with mock.patch.object(MHRPHeader, "contains_source", lambda self, a: False):
-        return run_loop_experiment(loop_size, max_list=255, ttl=ttl)
+SEED = 3
 
 
 def build_loop_tables():
+    report = run_sweep(LOOP_CONTRACTION.with_seeds([SEED]), jobs=1, store=None)
+
     detection = Table(
         "E3a  Loop detection: re-tunnels before the loop is dissolved",
         ["loop size L", "list bound k", "re-tunnels", "outcome", "bytes in loop"],
@@ -37,21 +37,23 @@ def build_loop_tables():
     runs = []
     for loop_size in (2, 4, 8):
         for max_list in (2, 4, 8, 16):
-            run = run_loop_experiment(loop_size, max_list)
+            run = report.find(
+                seed=SEED, loop_size=loop_size, max_list=max_list, mechanism="list"
+            )
             runs.append(run)
-            if run.detected:
+            m = run.metrics
+            if m["detected"]:
                 outcome = "detected"
-            elif run.escaped_home:
+            elif m["escaped_home"]:
                 outcome = "contracted+home"
-            elif run.retunnels <= 3 * run.loop_size:
+            elif m["retunnels"] <= 3 * loop_size:
                 # The overflow updates re-pointed the loop members until
                 # the packet exited; no formal detection was needed.
                 outcome = "contracted"
             else:
                 outcome = "TTL"
             detection.add_row(
-                run.loop_size, run.max_list, run.retunnels, outcome,
-                run.loop_bytes,
+                loop_size, max_list, m["retunnels"], outcome, m["loop_bytes"]
             )
 
     congestion = Table(
@@ -60,11 +62,21 @@ def build_loop_tables():
     )
     comparisons = []
     for loop_size in (4, 8):
-        detected = run_loop_experiment(loop_size, max_list=16)
-        ttl_only = run_ttl_only(loop_size)
+        detected = report.find(
+            seed=SEED, loop_size=loop_size, max_list=16, mechanism="list"
+        )
+        ttl_only = report.find(
+            seed=SEED, loop_size=loop_size, max_list=16, mechanism="ttl"
+        )
         comparisons.append((detected, ttl_only))
-        congestion.add_row(loop_size, "MHRP list", detected.retunnels, detected.loop_bytes)
-        congestion.add_row(loop_size, "TTL only", ttl_only.retunnels, ttl_only.loop_bytes)
+        congestion.add_row(
+            loop_size, "MHRP list",
+            detected.metrics["retunnels"], detected.metrics["loop_bytes"],
+        )
+        congestion.add_row(
+            loop_size, "TTL only",
+            ttl_only.metrics["retunnels"], ttl_only.metrics["loop_bytes"],
+        )
     return detection, congestion, runs, comparisons
 
 
@@ -74,21 +86,19 @@ def test_loop_contraction(benchmark, record):
     )
     record("E3_loop_contraction", detection, congestion)
     for run in runs:
+        assert run.ok, run.error
+        loop_size, max_list = run.params["loop_size"], run.params["max_list"]
         # Every loop episode is resolved by the list machinery — formal
         # detection, or contraction collapsing the loop (the packet then
         # escapes home or exits at a re-pointed agent).  Never TTL death:
         # the episode is over within ~2 passes, far below TTL decay.
-        resolved = (
-            run.detected or run.escaped_home
-            or run.retunnels <= 3 * run.loop_size
-        )
-        assert resolved, f"loop L={run.loop_size} k={run.max_list} unresolved"
-        if run.max_list >= run.loop_size:
+        assert run.metrics["resolved"], f"loop L={loop_size} k={max_list} unresolved"
+        if max_list >= loop_size:
             # Fits the list: detected within about one pass.
-            assert run.retunnels <= run.loop_size + 1
+            assert run.metrics["retunnels"] <= loop_size + 1
         # Bounded even when the list is smaller than the loop.
-        assert run.retunnels <= 6 * run.loop_size
+        assert run.metrics["retunnels"] <= 6 * loop_size
     for detected, ttl_only in comparisons:
         # Detection ends the episode with far less traffic than TTL decay.
-        assert detected.retunnels < ttl_only.retunnels / 2
-        assert detected.loop_bytes < ttl_only.loop_bytes
+        assert detected.metrics["retunnels"] < ttl_only.metrics["retunnels"] / 2
+        assert detected.metrics["loop_bytes"] < ttl_only.metrics["loop_bytes"]

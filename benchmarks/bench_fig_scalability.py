@@ -13,68 +13,45 @@ Claims measured:
    agent, and nothing anywhere else grows with the global host count.
 3. **Per-node state stays small.**  MHRP caches are finite/LRU; the
    home agent's database is "one entry per own mobile host".
+
+A thin wrapper over the ``scalability`` and ``scalability-state``
+sweeps of :mod:`repro.harness`, pinned to the historical seeds (7 for
+the scenarios, 5 for the state build) so the tables match the
+originally recorded results; ``python -m repro sweep scalability`` runs
+the same grids multi-seed and in parallel.
 """
 
 from __future__ import annotations
 
-from repro.baselines.columbia import ColumbiaScenario
-from repro.baselines.mhrp_scenario import MHRPScenario
-from repro.baselines.sony_vip import SonyVIPScenario
-from repro.baselines.sunshine_postel import SunshinePostelScenario
+from repro.harness import run_sweep
+from repro.harness.experiments import SCALABILITY, SCALABILITY_STATE
 from repro.metrics import Table
-from repro.netsim.simulator import Simulator
-from repro.workloads.topology import build_campus
 
+MOVE_SEED = 7
+STATE_SEED = 5
 
-def control_cost_of_one_move(scenario_cls, n_cells: int, **kwargs) -> int:
-    """Control messages for: attach at cell 0, one packet, move to
-    cell 1, one packet."""
-    scenario = scenario_cls(n_cells=n_cells, **kwargs)
-    scenario.move_to_cell(0)
-    scenario.settle()
-    if hasattr(scenario, "prime"):
-        scenario.prime()
-        scenario.settle(3.0)
-    scenario.send_packet()
-    scenario.settle(3.0)
-    before = scenario.stats.control_messages
-    scenario.move_to_cell(1)
-    scenario.settle()
-    scenario.send_packet()
-    scenario.settle(3.0)
-    return scenario.stats.control_messages - before
-
-
-def columbia_cold_lookup_cost(n_cells: int) -> int:
-    """Control messages for the first packet to an uncached host: the
-    nearest MSR must multicast its search to every peer MSR."""
-    scenario = ColumbiaScenario(n_cells=n_cells)
-    scenario.move_to_cell(1)       # not the nearest MSR: forces a tunnel
-    scenario.settle()
-    before = scenario.stats.control_messages
-    scenario.send_packet()
-    scenario.settle(4.0)
-    assert scenario.stats.packets_delivered == 1
-    return scenario.stats.control_messages - before
+_EVENTS = {
+    "mhrp": ("MHRP", "move (registrations+updates)"),
+    "sunshine-postel": ("Sunshine-Postel", "move (re-query global DB)"),
+    "columbia": ("Columbia", "cold lookup (MSR multicast)"),
+    "sony-vip": ("Sony VIP", "move (flood invalidation)"),
+}
 
 
 def build_broadcast_table():
+    report = run_sweep(SCALABILITY.with_seeds([MOVE_SEED]), jobs=1, store=None)
     table = Table(
         "E4a  Control cost of the protocol's location-discovery event "
         "vs infrastructure size",
         ["protocol", "event measured", "2 cells", "6 cells", "12 cells", "growth"],
     )
     series = {}
-    for label, event, measure in [
-        ("MHRP", "move (registrations+updates)",
-         lambda n: control_cost_of_one_move(MHRPScenario, n_cells=n)),
-        ("Sunshine-Postel", "move (re-query global DB)",
-         lambda n: control_cost_of_one_move(SunshinePostelScenario, n_cells=n)),
-        ("Columbia", "cold lookup (MSR multicast)", columbia_cold_lookup_cost),
-        ("Sony VIP", "move (flood invalidation)",
-         lambda n: control_cost_of_one_move(SonyVIPScenario, n_cells=n)),
-    ]:
-        costs = [measure(n) for n in (2, 6, 12)]
+    for protocol, (label, event) in _EVENTS.items():
+        costs = []
+        for n_cells in (2, 6, 12):
+            run = report.find(seed=MOVE_SEED, protocol=protocol, n_cells=n_cells)
+            assert run.ok, run.error
+            costs.append(run.metrics["control_cost"])
         series[label] = costs
         growth = "grows" if costs[2] > costs[0] + 3 else "constant"
         table.add_row(label, event, *costs, growth)
@@ -83,28 +60,18 @@ def build_broadcast_table():
 
 def build_state_table():
     """MHRP per-node state with N mobile hosts on one home agent."""
+    report = run_sweep(SCALABILITY_STATE.with_seeds([STATE_SEED]), jobs=1, store=None)
     table = Table(
         "E4b  MHRP state with N mobile hosts (one organization)",
         ["N hosts", "home agent DB", "max FA visitors", "global structures"],
     )
     rows = []
     for n_hosts in (4, 16, 48):
-        topo = build_campus(
-            n_cells=4,
-            n_mobile_hosts=n_hosts,
-            sim=Simulator(seed=5),
-            advertise=True,
-        )
-        sim = topo.sim
-        # Spread the hosts over the cells.
-        for index, host in enumerate(topo.mobile_hosts):
-            host.attach(topo.cells[index % len(topo.cells)])
-        sim.run(until=20.0)
-        db_size = len(topo.home_roles.home_agent.database)
-        max_visitors = max(
-            len(roles.foreign_agent.visitors) for roles in topo.cell_roles
-        )
-        table.add_row(n_hosts, db_size, max_visitors, 0)
+        run = report.find(seed=STATE_SEED, n_hosts=n_hosts)
+        assert run.ok, run.error
+        db_size = run.metrics["db_size"]
+        max_visitors = run.metrics["max_visitors"]
+        table.add_row(n_hosts, db_size, max_visitors, run.metrics["global_structures"])
         rows.append((n_hosts, db_size, max_visitors))
     return table, rows
 

@@ -1,99 +1,17 @@
 """Shared machinery for the loop experiments (E3, A1).
 
-Builds a campus whose foreign agents' caches are seeded into a ring —
-the "incorrect implementation could accidentally create a loop of cache
-agents" of Section 5.3 — and injects one tunneled packet into it.
+The implementation moved into the package as
+:mod:`repro.workloads.loops` so the sweep harness's worker processes can
+import it by dotted path; this module re-exports it for the benches.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from repro.workloads.loops import (  # noqa: F401
+    LoopRun,
+    build_loop,
+    inject_and_measure,
+    run_loop_experiment,
+)
 
-from repro.core.encapsulation import encapsulate
-from repro.ip.address import IPAddress
-from repro.ip.packet import IPPacket, RawPayload
-from repro.ip.protocols import UDP
-from repro.netsim.simulator import Simulator
-from repro.workloads.topology import CampusTopology, build_campus
-
-
-@dataclass
-class LoopRun:
-    """What one injected packet experienced."""
-
-    loop_size: int
-    max_list: int
-    retunnels: int        # times the packet was re-tunneled before the end
-    detected: bool        # loop formally detected (address on the list)
-    escaped_home: bool    # contraction collapsed the loop and the packet
-                          # fell back to the tunnel-to-home path
-    loop_bytes: int       # bytes the loop burned on the backbone
-    updates_sent: int     # location updates (overflow + purge) emitted
-
-
-def build_loop(loop_size: int, max_list: int, seed: int = 3) -> CampusTopology:
-    """A campus of ``loop_size`` cells with ring-seeded caches."""
-    topo = build_campus(
-        n_cells=loop_size,
-        n_mobile_hosts=0,
-        n_correspondents=1,
-        sim=Simulator(seed=seed),
-        advertise=False,
-        max_previous_sources=max_list,
-    )
-    phantom = topo.home_prefix.host(77)  # a host that is nowhere
-    for index, roles in enumerate(topo.cell_roles):
-        next_fa = topo.cell_roles[(index + 1) % loop_size].foreign_agent.address
-        roles.cache_agent.learn(phantom, next_fa)
-    return topo
-
-
-def inject_and_measure(
-    topo: CampusTopology, loop_size: int, max_list: int, ttl: int = 64
-) -> LoopRun:
-    sim = topo.sim
-    phantom = topo.home_prefix.host(77)
-    correspondent = topo.correspondents[0]
-    packet = IPPacket(
-        src=correspondent.primary_address,
-        dst=phantom,
-        protocol=UDP,
-        payload=RawPayload(b"loop-probe"),
-        ttl=ttl,
-    )
-    encapsulate(packet, topo.cell_roles[0].foreign_agent.address, agent_address=None)
-    bytes_before = topo.backbone.bytes_transmitted
-    sim.tracer.restrict({"mhrp.tunnel", "mhrp.loop", "mhrp.update", "ip.drop"})
-    correspondent.send(packet)
-    sim.run(until=sim.now + 120.0)
-    retunnels = sum(
-        1
-        for e in sim.tracer.select("mhrp.tunnel")
-        if e.detail.get("event") == "fa-retunnel" and e.detail.get("uid") == packet.uid
-    )
-    detected = any(
-        e.detail.get("uid") == packet.uid for e in sim.tracer.select("mhrp.loop")
-    )
-    escaped_home = any(
-        e.detail.get("uid") == packet.uid and e.detail.get("going_home")
-        for e in sim.tracer.select("mhrp.tunnel")
-        if e.detail.get("event") == "fa-retunnel"
-    )
-    updates = sum(
-        1 for e in sim.tracer.select("mhrp.update") if e.detail.get("event") == "sent"
-    )
-    return LoopRun(
-        loop_size=loop_size,
-        max_list=max_list,
-        retunnels=retunnels,
-        detected=detected,
-        escaped_home=escaped_home,
-        loop_bytes=topo.backbone.bytes_transmitted - bytes_before,
-        updates_sent=updates,
-    )
-
-
-def run_loop_experiment(loop_size: int, max_list: int, ttl: int = 64) -> LoopRun:
-    topo = build_loop(loop_size, max_list)
-    return inject_and_measure(topo, loop_size, max_list, ttl=ttl)
+__all__ = ["LoopRun", "build_loop", "inject_and_measure", "run_loop_experiment"]

@@ -1,18 +1,29 @@
-"""``python -m repro`` — run the bundled demonstrations.
+"""``python -m repro`` — demos and the sweep harness.
 
 ::
 
-    python -m repro                    # list demos
+    python -m repro                    # list commands
     python -m repro quickstart         # the Section 6 walkthrough
     python -m repro comparison         # the Section 7 shoot-out
     python -m repro robustness         # the Section 5 mechanisms
     python -m repro transfer           # TCP across handoffs
     python -m repro campus [hosts] [cells] [seconds]
+    python -m repro sweep <experiment> [--jobs N] [--no-cache]
+                                       [--quick] [--check-baseline]
 """
 
 from __future__ import annotations
 
+import importlib
 import sys
+from pathlib import Path
+
+# The demo modules live in examples/ next to the package source; resolve
+# the repository root once at import so every command sees it (the
+# editable-install layout: <root>/src/repro/__main__.py).
+_REPO_ROOT = str(Path(__file__).resolve().parents[2])
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
 
 _DEMOS = {
     "quickstart": ("examples.quickstart", "the paper's Section 6 walkthrough"),
@@ -22,12 +33,20 @@ _DEMOS = {
     "campus": ("examples.campus_roaming", "many hosts roaming under load"),
 }
 
+_COMMANDS = {
+    "sweep": "run a multi-seed experiment sweep (see `sweep --help`)",
+}
 
-def _usage() -> None:
-    print(__doc__.strip().split("\n")[0])
-    print("\nAvailable demos:")
+
+def _usage(stream=None) -> None:
+    stream = stream if stream is not None else sys.stdout
+    print(__doc__.strip().split("\n")[0], file=stream)
+    print("\nAvailable demos:", file=stream)
     for name, (_, blurb) in _DEMOS.items():
-        print(f"  {name:12s} {blurb}")
+        print(f"  {name:12s} {blurb}", file=stream)
+    print("\nOther commands:", file=stream)
+    for name, blurb in _COMMANDS.items():
+        print(f"  {name:12s} {blurb}", file=stream)
 
 
 def main(argv: list[str]) -> int:
@@ -35,19 +54,15 @@ def main(argv: list[str]) -> int:
         _usage()
         return 0
     name = argv[0]
+    if name == "sweep":
+        from repro.harness.cli import main as sweep_main
+
+        return sweep_main(argv[1:])
     entry = _DEMOS.get(name)
     if entry is None:
-        print(f"unknown demo {name!r}\n")
-        _usage()
+        print(f"unknown command {name!r}\n", file=sys.stderr)
+        _usage(stream=sys.stderr)
         return 2
-    # The examples live next to the package source, importable when the
-    # repository root is on sys.path (the editable-install layout).
-    import importlib
-    import os
-
-    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
-    if repo_root not in sys.path:
-        sys.path.insert(0, repo_root)
     module = importlib.import_module(entry[0])
     if name == "campus":
         args = [int(a) for a in argv[1:3]] + [float(a) for a in argv[3:4]]

@@ -1,0 +1,54 @@
+"""Parallel experiment orchestration.
+
+The paper's evaluation is a pile of multi-seed parameter sweeps over
+deterministic :class:`~repro.netsim.simulator.Simulator` runs — an
+embarrassingly parallel workload.  This package turns each sweep into a
+declarative :class:`ExperimentSpec` (scenario factory × parameter grid ×
+seed range) and provides:
+
+- :mod:`repro.harness.spec` — specs, grid expansion, and a stable
+  content hash per cell;
+- :mod:`repro.harness.runner` — a sharded executor that fans cells out
+  over a process pool (workers rebuild the simulator from the spec, so
+  determinism is preserved) with serial fallback, per-cell timeouts, and
+  crash isolation;
+- :mod:`repro.harness.store` — a JSON-lines result cache keyed by cell
+  hash, so re-running a sweep only executes dirty cells;
+- :mod:`repro.harness.aggregate` — across-seed aggregation feeding
+  :class:`repro.metrics.Table`;
+- :mod:`repro.harness.regress` — baseline comparison with tolerances;
+- :mod:`repro.harness.cli` — ``python -m repro sweep``.
+
+Registered experiments live in :mod:`repro.harness.experiments`.
+"""
+
+from repro.harness.aggregate import AggregateRow, aggregate, summary_table
+from repro.harness.regress import Regression, compare_to_baseline, write_baseline
+from repro.harness.runner import CellResult, SweepReport, run_sweep
+from repro.harness.spec import (
+    Cell,
+    ExperimentSpec,
+    experiment_names,
+    get_experiment,
+    register,
+)
+from repro.harness.store import ResultStore, default_store
+
+__all__ = [
+    "AggregateRow",
+    "Cell",
+    "CellResult",
+    "ExperimentSpec",
+    "Regression",
+    "ResultStore",
+    "SweepReport",
+    "aggregate",
+    "compare_to_baseline",
+    "default_store",
+    "experiment_names",
+    "get_experiment",
+    "register",
+    "run_sweep",
+    "summary_table",
+    "write_baseline",
+]

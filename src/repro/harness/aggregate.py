@@ -1,0 +1,135 @@
+"""Across-seed aggregation of sweep results.
+
+Groups :class:`~repro.harness.runner.CellResult` objects by parameter
+point (everything but the seed), summarizes each numeric metric —
+mean, sample stdev, 95% CI half-width, percentiles — and renders the
+whole sweep as a :class:`repro.metrics.Table`.
+
+Aggregation only looks at *metrics* (never durations or execution
+order), so a sweep's table is byte-identical whether the cells ran
+serially, across 4 processes, or straight out of the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.harness.runner import CellResult, group_key
+from repro.metrics import Table, fmt_float
+from repro.metrics.stats import mean, mean_ci, percentile, stdev
+
+
+@dataclass
+class MetricSummary:
+    """One metric summarized across seeds at one parameter point."""
+
+    n: int
+    mean: float
+    stdev: float
+    ci95: float
+    min: float
+    p50: float
+    p95: float
+    max: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "MetricSummary":
+        _, half = mean_ci(values, 0.95)
+        return cls(
+            n=len(values),
+            mean=mean(values),
+            stdev=stdev(values),
+            ci95=half,
+            min=min(values),
+            p50=percentile(values, 50),
+            p95=percentile(values, 95),
+            max=max(values),
+        )
+
+
+@dataclass
+class AggregateRow:
+    """One parameter point with every metric's across-seed summary."""
+
+    params: Dict[str, object]
+    n_seeds: int
+    metrics: Dict[str, MetricSummary] = field(default_factory=dict)
+
+
+def aggregate(results: Sequence[CellResult]) -> List[AggregateRow]:
+    """Group successful results by parameter point, in first-seen order
+    (spec order when given a :class:`SweepReport`'s results)."""
+    groups: Dict[str, List[CellResult]] = {}
+    order: List[str] = []
+    for result in results:
+        if not result.ok:
+            continue
+        key = group_key(result)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(result)
+
+    rows: List[AggregateRow] = []
+    for key in order:
+        members = groups[key]
+        metric_names: List[str] = []
+        for member in members:
+            for name in member.metrics:
+                if name not in metric_names:
+                    metric_names.append(name)
+        summaries: Dict[str, MetricSummary] = {}
+        for name in metric_names:
+            values = [
+                float(m.metrics[name])
+                for m in members
+                if isinstance(m.metrics.get(name), (int, float, bool))
+            ]
+            if values:
+                summaries[name] = MetricSummary.of(values)
+        rows.append(
+            AggregateRow(
+                params=dict(members[0].params),
+                n_seeds=len(members),
+                metrics=summaries,
+            )
+        )
+    return rows
+
+
+def _fmt_stat(summary: MetricSummary) -> str:
+    text = fmt_float(summary.mean)
+    if summary.n > 1 and summary.ci95 > 0:
+        text += f" ±{fmt_float(summary.ci95)}"
+    return text
+
+
+def summary_table(
+    rows: Sequence[AggregateRow],
+    title: str,
+    metrics: Optional[Sequence[str]] = None,
+) -> Table:
+    """Render aggregate rows as one table: parameter columns, then a
+    ``mean ±ci95`` column per metric."""
+    param_names: List[str] = []
+    metric_names: List[str] = list(metrics) if metrics else []
+    for row in rows:
+        for name in row.params:
+            if name not in param_names:
+                param_names.append(name)
+        if metrics is None:
+            for name in row.metrics:
+                if name not in metric_names:
+                    metric_names.append(name)
+
+    columns = param_names + ["seeds"] + metric_names
+    table = Table(title, columns)
+    for row in rows:
+        cells = [str(row.params.get(name, "-")) for name in param_names]
+        cells.append(str(row.n_seeds))
+        for name in metric_names:
+            summary = row.metrics.get(name)
+            cells.append(_fmt_stat(summary) if summary else "-")
+        table.add_row(*cells)
+    return table

@@ -1,0 +1,156 @@
+"""``python -m repro sweep`` — run a registered experiment sweep.
+
+::
+
+    python -m repro sweep                      # list experiments
+    python -m repro sweep loop-contraction --jobs 4
+    python -m repro sweep scalability --no-cache --quick
+    python -m repro sweep loop-contraction --write-baseline
+    python -m repro sweep loop-contraction --check-baseline
+
+Exit codes: 0 on success, 1 on failed cells or regressions, 2 on usage
+errors (unknown experiment, missing baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness.aggregate import aggregate, summary_table
+from repro.harness.regress import (
+    compare_to_baseline,
+    default_baseline_path,
+    load_baseline,
+    write_baseline,
+)
+from repro.harness.runner import run_sweep
+from repro.harness.spec import experiment_names, get_experiment
+from repro.harness.store import ResultStore, default_store
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description="Run a multi-seed parameter sweep over the simulator.",
+    )
+    parser.add_argument("experiment", nargs="?", help="registered experiment name")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and bypass the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="cache directory (default benchmarks/results/cache/)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="sweep the reduced CI grid instead of the full one",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock budget",
+    )
+    parser.add_argument(
+        "--check-baseline", action="store_true",
+        help="gate the sweep against the stored baseline",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="store this sweep's means as the new baseline",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.05, metavar="FRACTION",
+        help="relative drift allowed by --check-baseline (default 0.05)",
+    )
+    return parser
+
+
+def _list_experiments() -> None:
+    print("Registered experiments:")
+    for name in experiment_names():
+        spec = get_experiment(name)
+        cells = len(spec.cells())
+        print(f"  {name:20s} {spec.description}  ({cells} cells)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if not args.experiment:
+        _list_experiments()
+        return 0
+    try:
+        spec = get_experiment(args.experiment)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    if args.no_cache:
+        store = None
+    elif args.cache_dir:
+        store = ResultStore(args.cache_dir)
+    else:
+        store = default_store()
+
+    report = run_sweep(
+        spec,
+        jobs=args.jobs,
+        store=store,
+        use_cache=not args.no_cache,
+        timeout=args.timeout,
+        quick=args.quick,
+    )
+    rows = aggregate(report.results)
+    n_seeds = max((r.n_seeds for r in rows), default=0)
+    table = summary_table(
+        rows,
+        f"{spec.name} — across-seed aggregates ({n_seeds} seeds/point)",
+    )
+    table.print()
+    print()
+    print(
+        f"{len(report.results)} cells: {report.executed} executed, "
+        f"{report.cached} cached ({report.cache_hit_rate:.0%} hit rate), "
+        f"{len(report.failures)} failed; "
+        f"{report.wall_seconds:.2f}s wall at --jobs {report.jobs}"
+    )
+
+    status = 0
+    for failure in report.failures:
+        settings = " ".join(f"{k}={v}" for k, v in sorted(failure.params.items()))
+        first_line = (failure.error or "?").splitlines()[0]
+        print(f"FAILED [{settings} seed={failure.seed}] {failure.status}: {first_line}")
+        status = 1
+
+    if args.write_baseline:
+        path = write_baseline(spec.name, rows)
+        print(f"baseline written: {path}")
+    if args.check_baseline:
+        path = default_baseline_path(spec.name)
+        if not path.exists():
+            print(
+                f"no baseline at {path}; run with --write-baseline first",
+                file=sys.stderr,
+            )
+            return 2
+        regressions = compare_to_baseline(
+            rows, load_baseline(path),
+            tolerance=args.tolerance, directions=spec.directions,
+        )
+        if regressions:
+            print(f"{len(regressions)} regression(s) vs {path}:")
+            for regression in regressions:
+                print(f"  REGRESSION {regression}")
+            status = 1
+        else:
+            print(f"baseline check passed ({path})")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,192 @@
+"""The built-in experiment catalogue.
+
+Each cell function takes ``seed`` plus grid parameters, builds a fresh
+deterministic :class:`~repro.netsim.simulator.Simulator` world, and
+returns a flat dict of metrics.  They are addressed by dotted path in
+the specs so sweep worker processes can import them directly.
+
+Registered sweeps:
+
+- ``loop-contraction`` — the Section 5.3 loop laboratory (E3): loop
+  size × previous-source list bound, plus the TTL-only counterfactual.
+- ``scalability`` — the Section 7 broadcast argument (E4a): control
+  cost of one location-discovery event vs infrastructure size, per
+  protocol.
+- ``scalability-state`` — the Section 7 state argument (E4b): per-node
+  MHRP state as the mobile-host population grows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.harness.spec import ExperimentSpec, register
+
+
+# ----------------------------------------------------------------------
+# loop-contraction (E3)
+# ----------------------------------------------------------------------
+def loop_contraction_cell(
+    seed: int, loop_size: int, max_list: int, mechanism: str = "list", ttl: int = 64
+) -> Dict[str, object]:
+    """One injected packet around a ring of ``loop_size`` mis-seeded
+    cache agents, with the previous-source list bounded at ``max_list``.
+
+    ``mechanism="ttl"`` is the Section 7 counterfactual: the list check
+    is disabled, so only TTL decay ends the loop.
+    """
+    from unittest import mock
+
+    from repro.core.header import MHRPHeader
+    from repro.workloads.loops import run_loop_experiment
+
+    if mechanism == "ttl":
+        with mock.patch.object(MHRPHeader, "contains_source", lambda self, a: False):
+            run = run_loop_experiment(loop_size, max_list=255, ttl=ttl, seed=seed)
+    elif mechanism == "list":
+        run = run_loop_experiment(loop_size, max_list, ttl=ttl, seed=seed)
+    else:
+        raise ValueError(f"unknown mechanism {mechanism!r}")
+    resolved = run.detected or run.escaped_home or run.retunnels <= 3 * loop_size
+    return {
+        "retunnels": run.retunnels,
+        "detected": int(run.detected),
+        "escaped_home": int(run.escaped_home),
+        "loop_bytes": run.loop_bytes,
+        "updates_sent": run.updates_sent,
+        "resolved": int(resolved),
+    }
+
+
+LOOP_CONTRACTION = register(
+    ExperimentSpec(
+        name="loop-contraction",
+        cell_fn="repro.harness.experiments:loop_contraction_cell",
+        description="E3: loop detection/contraction vs TTL-only (Section 5.3)",
+        grid=[
+            {"loop_size": [2, 4, 8], "max_list": [2, 4, 8, 16], "mechanism": ["list"]},
+            {"loop_size": [4, 8], "max_list": [16], "mechanism": ["ttl"]},
+        ],
+        seeds=(3, 5, 7),
+        quick_grid=[{"loop_size": [2], "max_list": [2, 4], "mechanism": ["list"]}],
+        quick_seeds=(3,),
+        directions={"retunnels": "lower", "loop_bytes": "lower", "resolved": "higher"},
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# scalability (E4)
+# ----------------------------------------------------------------------
+_SCENARIOS = {
+    "mhrp": "repro.baselines.mhrp_scenario:MHRPScenario",
+    "sunshine-postel": "repro.baselines.sunshine_postel:SunshinePostelScenario",
+    "columbia": "repro.baselines.columbia:ColumbiaScenario",
+    "sony-vip": "repro.baselines.sony_vip:SonyVIPScenario",
+}
+
+
+def _scenario_class(protocol: str):
+    from repro.harness.runner import resolve_cell_fn
+
+    try:
+        return resolve_cell_fn(_SCENARIOS[protocol])
+    except KeyError:
+        raise ValueError(f"unknown protocol {protocol!r}") from None
+
+
+def _control_cost_of_one_move(scenario) -> int:
+    """Control messages for: attach at cell 0, one packet, move to
+    cell 1, one packet."""
+    scenario.move_to_cell(0)
+    scenario.settle()
+    if hasattr(scenario, "prime"):
+        scenario.prime()
+        scenario.settle(3.0)
+    scenario.send_packet()
+    scenario.settle(3.0)
+    before = scenario.stats.control_messages
+    scenario.move_to_cell(1)
+    scenario.settle()
+    scenario.send_packet()
+    scenario.settle(3.0)
+    return scenario.stats.control_messages - before
+
+
+def _columbia_cold_lookup_cost(scenario) -> int:
+    """Control messages for the first packet to an uncached host: the
+    nearest MSR must multicast its search to every peer MSR."""
+    scenario.move_to_cell(1)  # not the nearest MSR: forces a tunnel
+    scenario.settle()
+    before = scenario.stats.control_messages
+    scenario.send_packet()
+    scenario.settle(4.0)
+    assert scenario.stats.packets_delivered == 1
+    return scenario.stats.control_messages - before
+
+
+def scalability_move_cell(seed: int, protocol: str, n_cells: int) -> Dict[str, object]:
+    """Control cost of the protocol's location-discovery event on an
+    ``n_cells`` infrastructure (Columbia measures its cold lookup, the
+    others a move — the event Section 7 argues about)."""
+    scenario = _scenario_class(protocol)(n_cells=n_cells, seed=seed)
+    if protocol == "columbia":
+        cost = _columbia_cold_lookup_cost(scenario)
+    else:
+        cost = _control_cost_of_one_move(scenario)
+    return {"control_cost": cost}
+
+
+SCALABILITY = register(
+    ExperimentSpec(
+        name="scalability",
+        cell_fn="repro.harness.experiments:scalability_move_cell",
+        description="E4a: control cost of location discovery vs infrastructure size",
+        grid={
+            "protocol": ["mhrp", "sunshine-postel", "columbia", "sony-vip"],
+            "n_cells": [2, 6, 12],
+        },
+        seeds=(7, 11, 13),
+        quick_grid={"protocol": ["mhrp", "columbia"], "n_cells": [2, 6]},
+        quick_seeds=(7,),
+        directions={"control_cost": "lower"},
+    )
+)
+
+
+def scalability_state_cell(seed: int, n_hosts: int, n_cells: int = 4) -> Dict[str, object]:
+    """MHRP per-node state with ``n_hosts`` mobile hosts spread over
+    ``n_cells`` cells of one organization."""
+    from repro.netsim.simulator import Simulator
+    from repro.workloads.topology import build_campus
+
+    topo = build_campus(
+        n_cells=n_cells,
+        n_mobile_hosts=n_hosts,
+        sim=Simulator(seed=seed),
+        advertise=True,
+    )
+    for index, host in enumerate(topo.mobile_hosts):
+        host.attach(topo.cells[index % len(topo.cells)])
+    topo.sim.run(until=20.0)
+    return {
+        "db_size": len(topo.home_roles.home_agent.database),
+        "max_visitors": max(
+            len(roles.foreign_agent.visitors) for roles in topo.cell_roles
+        ),
+        "global_structures": 0,
+    }
+
+
+SCALABILITY_STATE = register(
+    ExperimentSpec(
+        name="scalability-state",
+        cell_fn="repro.harness.experiments:scalability_state_cell",
+        description="E4b: MHRP per-node state vs mobile-host population",
+        grid={"n_hosts": [4, 16, 48], "n_cells": [4]},
+        seeds=(5, 9, 17),
+        quick_grid={"n_hosts": [4], "n_cells": [4]},
+        quick_seeds=(5,),
+        directions={"db_size": "both", "max_visitors": "lower"},
+    )
+)

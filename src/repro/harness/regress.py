@@ -1,0 +1,133 @@
+"""Regression gating against stored baselines.
+
+A baseline is the across-seed mean of every metric at every parameter
+point of a sweep, stored as JSON under
+``benchmarks/results/baselines/``.  :func:`compare_to_baseline` flags a
+regression when a metric's current mean drifts beyond a relative
+tolerance in the metric's "bad" direction — per-metric directions come
+from the spec (``lower`` = increases are bad, ``higher`` = decreases
+are bad, ``both`` = any drift is bad, the default).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.harness.aggregate import AggregateRow
+from repro.harness.spec import canonical_json
+from repro.harness.store import CACHE_DIR_ENV
+
+
+def default_baseline_path(experiment: str) -> Path:
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override) / "baselines" / f"{experiment}.json"
+    root = Path(__file__).resolve().parents[3]
+    return root / "benchmarks" / "results" / "baselines" / f"{experiment}.json"
+
+
+def baseline_payload(experiment: str, rows: Sequence[AggregateRow]) -> dict:
+    return {
+        "experiment": experiment,
+        "rows": [
+            {
+                "params": row.params,
+                "metrics": {name: s.mean for name, s in row.metrics.items()},
+            }
+            for row in rows
+        ],
+    }
+
+
+def write_baseline(
+    experiment: str,
+    rows: Sequence[AggregateRow],
+    path: Optional[os.PathLike] = None,
+) -> Path:
+    """Persist the sweep's means as the new baseline; returns the path."""
+    target = Path(path) if path is not None else default_baseline_path(experiment)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(baseline_payload(experiment, rows), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
+
+
+def load_baseline(path: os.PathLike) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@dataclass
+class Regression:
+    """One metric that moved beyond tolerance against the baseline."""
+
+    params: Dict[str, object]
+    metric: str
+    baseline: Optional[float]
+    measured: Optional[float]
+    note: str
+
+    def __str__(self) -> str:
+        settings = " ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"[{settings}] {self.metric}: {self.note}"
+
+
+def _drift_note(base: float, now: float, tolerance: float, direction: str) -> Optional[str]:
+    span = max(abs(base), 1e-12)
+    delta = (now - base) / span
+    worse = (
+        delta > tolerance
+        if direction == "lower"
+        else delta < -tolerance
+        if direction == "higher"
+        else abs(delta) > tolerance
+    )
+    if not worse:
+        return None
+    return (
+        f"baseline {base:g} -> measured {now:g} "
+        f"({delta:+.1%}, tolerance ±{tolerance:.0%}, direction={direction})"
+    )
+
+
+def compare_to_baseline(
+    rows: Sequence[AggregateRow],
+    baseline: dict,
+    tolerance: float = 0.05,
+    directions: Optional[Mapping[str, str]] = None,
+) -> List[Regression]:
+    """Every baselined (parameter point, metric) must still be measured
+    and within tolerance.  New parameter points and new metrics are not
+    regressions; *missing* ones are."""
+    directions = directions or {}
+    measured: Dict[str, AggregateRow] = {canonical_json(r.params): r for r in rows}
+    regressions: List[Regression] = []
+    for entry in baseline.get("rows", []):
+        params = entry.get("params", {})
+        key = canonical_json(params)
+        row = measured.get(key)
+        if row is None:
+            regressions.append(
+                Regression(params, "*", None, None, "parameter point missing from sweep")
+            )
+            continue
+        for metric, base in entry.get("metrics", {}).items():
+            summary = row.metrics.get(metric)
+            if summary is None:
+                regressions.append(
+                    Regression(params, metric, base, None, "metric missing from sweep")
+                )
+                continue
+            note = _drift_note(
+                float(base), summary.mean, tolerance, directions.get(metric, "both")
+            )
+            if note is not None:
+                regressions.append(
+                    Regression(params, metric, float(base), summary.mean, note)
+                )
+    return regressions

@@ -1,0 +1,321 @@
+"""The sharded sweep executor.
+
+Cells fan out over a :class:`concurrent.futures.ProcessPoolExecutor`
+(``--jobs N``) or run serially (``jobs<=1`` — also the fallback when a
+pool cannot be created).  Every worker rebuilds its scenario from the
+spec — cell function, parameters, seed — so a parallel sweep produces
+*exactly* the results of a serial one, in a deterministic order, no
+matter how cells land on workers.
+
+Failure containment:
+
+- a cell function that raises records a failed :class:`CellResult`
+  instead of killing the sweep;
+- a cell that overruns the per-cell timeout is recorded as timed out
+  (SIGALRM-based, skipped on platforms without it);
+- failed cells are never cached, so the next run retries them.
+"""
+
+from __future__ import annotations
+
+import importlib
+import signal
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.harness.spec import Cell, ExperimentSpec, canonical_json
+from repro.harness.store import ResultStore
+
+#: Results with these statuses are cacheable / usable for aggregation.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell execution (or cache hit)."""
+
+    experiment: str
+    params: Dict[str, Any]
+    seed: int
+    hash: str
+    status: str
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    duration: float = 0.0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_record(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "params": self.params,
+            "seed": self.seed,
+            "hash": self.hash,
+            "status": self.status,
+            "metrics": self.metrics,
+            "error": self.error,
+            "duration": self.duration,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict, cached: bool = False) -> "CellResult":
+        return cls(
+            experiment=record["experiment"],
+            params=dict(record["params"]),
+            seed=record["seed"],
+            hash=record["hash"],
+            status=record.get("status", STATUS_ERROR),
+            metrics=dict(record.get("metrics") or {}),
+            error=record.get("error"),
+            duration=record.get("duration", 0.0),
+            cached=cached,
+        )
+
+
+@dataclass
+class SweepReport:
+    """Everything a sweep produced, in deterministic (spec) cell order."""
+
+    experiment: str
+    results: List[CellResult]
+    executed: int = 0
+    cached: int = 0
+    wall_seconds: float = 0.0
+    jobs: int = 1
+
+    @property
+    def failures(self) -> List[CellResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = len(self.results)
+        return self.cached / total if total else 0.0
+
+    def find(self, seed: Optional[int] = None, **params: Any) -> CellResult:
+        """The first result matching the given parameter subset."""
+        for result in self.results:
+            if seed is not None and result.seed != seed:
+                continue
+            if all(result.params.get(k) == v for k, v in params.items()):
+                return result
+        raise KeyError(f"no result matching {params!r} seed={seed!r}")
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class _CellTimeout(Exception):
+    pass
+
+
+def resolve_cell_fn(path: str) -> Callable[..., Dict[str, Any]]:
+    """Import ``package.module:function`` (``:`` preferred, last ``.``
+    accepted) and return the callable."""
+    if ":" in path:
+        module_name, attr = path.split(":", 1)
+    else:
+        module_name, attr = path.rsplit(".", 1)
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, attr)
+    except AttributeError:
+        raise ImportError(f"{module_name!r} has no attribute {attr!r}") from None
+
+
+def _check_metrics(metrics: Any) -> Dict[str, Any]:
+    if not isinstance(metrics, dict):
+        raise TypeError(f"cell function returned {type(metrics).__name__}, not dict")
+    for name, value in metrics.items():
+        if not isinstance(value, (str, int, float, bool)) and value is not None:
+            raise TypeError(f"metric {name!r} has non-scalar value {value!r}")
+    return metrics
+
+
+def execute_cell(
+    experiment: str,
+    cell_fn: str,
+    params: Dict[str, Any],
+    seed: int,
+    cell_hash: str,
+    timeout: Optional[float] = None,
+) -> dict:
+    """Run one cell in the current process; never raises.
+
+    Module-level (picklable) so a process pool can ship it to workers.
+    The per-cell timeout uses ``SIGALRM`` where available — inside pool
+    workers the task runs on the process's main thread, so the alarm is
+    deliverable; elsewhere (non-main thread, non-POSIX) it degrades to
+    no timeout rather than failing.
+    """
+    start = time.perf_counter()
+    result = {
+        "experiment": experiment,
+        "params": params,
+        "seed": seed,
+        "hash": cell_hash,
+        "status": STATUS_OK,
+        "metrics": {},
+        "error": None,
+        "duration": 0.0,
+    }
+    alarm_armed = False
+    try:
+        fn = resolve_cell_fn(cell_fn)
+        if timeout and hasattr(signal, "SIGALRM"):
+            def _on_alarm(signum, frame):
+                raise _CellTimeout()
+
+            try:
+                signal.signal(signal.SIGALRM, _on_alarm)
+                signal.setitimer(signal.ITIMER_REAL, timeout)
+                alarm_armed = True
+            except ValueError:  # not the main thread
+                alarm_armed = False
+        result["metrics"] = _check_metrics(fn(seed=seed, **params))
+    except _CellTimeout:
+        result["status"] = STATUS_TIMEOUT
+        result["error"] = f"cell exceeded {timeout}s timeout"
+    except BaseException as exc:  # crash isolation: the sweep survives
+        result["status"] = STATUS_ERROR
+        tail = traceback.format_exc(limit=4)
+        result["error"] = f"{type(exc).__name__}: {exc}\n{tail}"
+    finally:
+        if alarm_armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, signal.SIG_DFL)
+    result["duration"] = time.perf_counter() - start
+    return result
+
+
+def _execute_packed(packed: tuple) -> dict:
+    return execute_cell(*packed)
+
+
+# ----------------------------------------------------------------------
+# Orchestrator side
+# ----------------------------------------------------------------------
+def run_sweep(
+    spec: ExperimentSpec,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    use_cache: bool = True,
+    timeout: Optional[float] = None,
+    quick: bool = False,
+    progress: Optional[Callable[[CellResult], None]] = None,
+) -> SweepReport:
+    """Execute every cell of ``spec`` and return a :class:`SweepReport`.
+
+    Args:
+        jobs: worker processes; ``<=1`` runs serially in-process.
+        store: result cache; ``None`` disables persistence entirely.
+        use_cache: when False, cached results are ignored (but fresh
+            results are still written back to ``store``).
+        timeout: per-cell wall-clock budget in seconds.
+        quick: sweep the spec's reduced CI grid instead of the full one.
+        progress: called with each :class:`CellResult` as it lands
+            (execution order, not deterministic under ``jobs>1``).
+
+    The returned report lists results in spec order regardless of
+    ``jobs``, so aggregation output is byte-identical for any job count.
+    """
+    started = time.perf_counter()
+    cells = spec.cells(quick=quick)
+    cached_records = store.load(spec.name) if store is not None else {}
+
+    results: Dict[str, CellResult] = {}
+    pending: List[Cell] = []
+    for cell in cells:
+        key = cell.content_hash()
+        record = cached_records.get(key) if use_cache else None
+        if record is not None:
+            result = CellResult.from_record(record, cached=True)
+            results[key] = result
+            if progress:
+                progress(result)
+        else:
+            pending.append(cell)
+
+    def _payload(cell: Cell) -> tuple:
+        return (
+            spec.name,
+            cell.cell_fn,
+            cell.params_dict,
+            cell.seed,
+            cell.content_hash(),
+            timeout,
+        )
+
+    def _land(record: dict) -> None:
+        result = CellResult.from_record(record)
+        results[result.hash] = result
+        if progress:
+            progress(result)
+
+    if pending and jobs > 1:
+        try:
+            pool = ProcessPoolExecutor(max_workers=jobs)
+        except (OSError, ValueError):  # no fork/sem support: fall back
+            pool = None
+        if pool is not None:
+            with pool:
+                futures = {
+                    pool.submit(_execute_packed, _payload(cell)): cell
+                    for cell in pending
+                }
+                for future, cell in futures.items():
+                    try:
+                        _land(future.result())
+                    except BaseException as exc:  # worker died hard
+                        _land(
+                            {
+                                "experiment": spec.name,
+                                "params": cell.params_dict,
+                                "seed": cell.seed,
+                                "hash": cell.content_hash(),
+                                "status": STATUS_ERROR,
+                                "metrics": {},
+                                "error": f"worker failure: {exc!r}",
+                                "duration": 0.0,
+                            }
+                        )
+        else:
+            jobs = 1
+    if pending and jobs <= 1:
+        for cell in pending:
+            if cell.content_hash() in results:
+                continue
+            _land(execute_cell(*_payload(cell)))
+
+    if store is not None:
+        merged = dict(cached_records)
+        fresh = False
+        for key, result in results.items():
+            if result.ok and not result.cached:
+                merged[key] = result.to_record()
+                fresh = True
+        if fresh or not use_cache:
+            store.save(spec.name, merged)
+
+    ordered = [results[c.content_hash()] for c in cells]
+    return SweepReport(
+        experiment=spec.name,
+        results=ordered,
+        executed=len(pending),
+        cached=len(cells) - len(pending),
+        wall_seconds=time.perf_counter() - started,
+        jobs=max(jobs, 1),
+    )
+
+
+def group_key(result: CellResult) -> str:
+    """Canonical grouping key: the cell's parameters without the seed."""
+    return canonical_json(result.params)

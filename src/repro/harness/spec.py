@@ -1,0 +1,189 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` names a *cell function* (by dotted path, so
+worker processes can import it), a parameter grid, and a seed range.
+Expanding the spec yields :class:`Cell` objects — one (params, seed)
+point each — with a stable content hash that keys the result cache:
+the hash covers the cell function, the spec version, the parameters,
+and the seed, so bumping ``version`` invalidates every cached result of
+an experiment whose measurement code changed meaning.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+#: Values allowed in parameter grids: JSON scalars, so hashing is stable.
+ParamValue = Union[str, int, float, bool]
+
+#: A grid is one cross product (param -> candidate values); a spec may
+#: hold a union of several, for sweeps that are not a pure cross product
+#: (e.g. the TTL-only counterfactual only runs at one list bound).
+Grid = Mapping[str, Sequence[ParamValue]]
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON used for hashing and grouping keys."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of a sweep: an experiment's cell function at fixed
+    parameters and seed."""
+
+    experiment: str
+    cell_fn: str
+    version: int
+    params: Tuple[Tuple[str, ParamValue], ...]
+    seed: int
+
+    @property
+    def params_dict(self) -> Dict[str, ParamValue]:
+        return dict(self.params)
+
+    @property
+    def label(self) -> str:
+        settings = " ".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.experiment}[{settings} seed={self.seed}]"
+
+    def content_hash(self) -> str:
+        """Stable hex digest identifying this cell's result."""
+        payload = canonical_json(
+            {
+                "experiment": self.experiment,
+                "cell_fn": self.cell_fn,
+                "version": self.version,
+                "params": self.params_dict,
+                "seed": self.seed,
+            }
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+def _validate_grid(grid: Grid) -> None:
+    for name, values in grid.items():
+        if not values:
+            raise ValueError(f"grid parameter {name!r} has no values")
+        for value in values:
+            if not isinstance(value, (str, int, float, bool)):
+                raise TypeError(
+                    f"grid parameter {name!r} has non-scalar value {value!r}"
+                )
+
+
+@dataclass
+class ExperimentSpec:
+    """A named sweep: cell function × parameter grid(s) × seeds.
+
+    Args:
+        name: the sweep's CLI name (e.g. ``loop-contraction``).
+        cell_fn: dotted path ``package.module:function``; the function
+            receives ``seed=<int>`` plus one keyword per grid parameter
+            and returns a flat dict of metrics (numbers/bools).
+        grid: one cross-product grid, or a list of grids whose union is
+            swept (duplicate cells are dropped).
+        seeds: the seeds every grid point runs under.
+        version: bump to invalidate cached results for this experiment.
+        quick_grid / quick_seeds: the reduced shape used by
+            ``--quick`` (CI smoke runs); defaults to the full shape.
+    """
+
+    name: str
+    cell_fn: str
+    grid: Union[Grid, Sequence[Grid]]
+    seeds: Sequence[int]
+    version: int = 1
+    description: str = ""
+    quick_grid: Optional[Union[Grid, Sequence[Grid]]] = None
+    quick_seeds: Optional[Sequence[int]] = None
+    #: Metric -> "lower" | "higher" | "both": which direction of drift
+    #: counts as a regression when gating against a baseline.
+    directions: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for grid in self._as_grids(self.grid):
+            _validate_grid(grid)
+        if self.quick_grid is not None:
+            for grid in self._as_grids(self.quick_grid):
+                _validate_grid(grid)
+        if not self.seeds:
+            raise ValueError(f"experiment {self.name!r} has no seeds")
+
+    @staticmethod
+    def _as_grids(grid: Union[Grid, Sequence[Grid]]) -> List[Grid]:
+        if isinstance(grid, Mapping):
+            return [grid]
+        return list(grid)
+
+    def with_seeds(self, seeds: Sequence[int]) -> "ExperimentSpec":
+        """A copy sweeping the same grid under different seeds."""
+        return replace(self, seeds=tuple(seeds))
+
+    def cells(self, quick: bool = False) -> List[Cell]:
+        """Expand to the deterministic, de-duplicated cell list.
+
+        Order is stable: grids in declaration order, parameters in each
+        grid's declaration order, seeds last (fastest-varying).
+        """
+        grids = self._as_grids(
+            self.quick_grid if quick and self.quick_grid is not None else self.grid
+        )
+        seeds = (
+            self.quick_seeds
+            if quick and self.quick_seeds is not None
+            else self.seeds
+        )
+        out: Dict[str, Cell] = {}
+        for grid in grids:
+            names = list(grid)
+            for combo in itertools.product(*(grid[n] for n in names)):
+                params = tuple(sorted(zip(names, combo)))
+                for seed in seeds:
+                    cell = Cell(
+                        experiment=self.name,
+                        cell_fn=self.cell_fn,
+                        version=self.version,
+                        params=params,
+                        seed=seed,
+                    )
+                    out.setdefault(cell.content_hash(), cell)
+        return list(out.values())
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Register a spec under its name (idempotent; returns the spec)."""
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Look up a registered experiment, loading the built-in catalogue
+    on first use."""
+    _load_builtin()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise KeyError(f"unknown experiment {name!r}; registered: {known}") from None
+
+
+def experiment_names() -> List[str]:
+    _load_builtin()
+    return sorted(_REGISTRY)
+
+
+def _load_builtin() -> None:
+    # Imported lazily: experiments.py pulls in the scenario/workload
+    # layers, which spec-level users (and worker bootstrap) don't need.
+    from repro.harness import experiments  # noqa: F401

@@ -1,0 +1,102 @@
+"""Content-addressed result cache.
+
+One JSON-lines file per experiment under ``benchmarks/results/cache/``,
+each line a completed cell result keyed by the cell's content hash.
+Re-running a sweep loads the file and only executes cells whose hash is
+absent — dirty cells after a grid/seed/version change, or cells that
+failed last time (failures are never cached).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Mapping, Optional
+
+#: Environment override for the cache location (used by CI and tests).
+CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
+
+
+def _default_cache_dir() -> Path:
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    # src/repro/harness/store.py -> repository root, in the editable layout.
+    root = Path(__file__).resolve().parents[3]
+    if (root / "benchmarks").is_dir():
+        return root / "benchmarks" / "results" / "cache"
+    return Path.cwd() / ".repro-sweep-cache"
+
+
+class ResultStore:
+    """JSON-lines store of cell results, keyed by content hash."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else _default_cache_dir()
+
+    def path_for(self, experiment: str) -> Path:
+        return self.root / f"{experiment}.jsonl"
+
+    def load(self, experiment: str) -> Dict[str, dict]:
+        """All cached records for an experiment (hash -> record).
+
+        Corrupt or hash-less lines are skipped, not fatal: the worst
+        outcome of a damaged cache is re-running some cells.
+        """
+        path = self.path_for(experiment)
+        records: Dict[str, dict] = {}
+        if not path.exists():
+            return records
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                key = record.get("hash")
+                if isinstance(key, str):
+                    records[key] = record
+        return records
+
+    def save(self, experiment: str, records: Mapping[str, dict]) -> Path:
+        """Atomically rewrite an experiment's cache file (lines sorted by
+        hash, so the file is reproducible regardless of execution order).
+
+        Key order *within* a record is preserved, not sorted: the metric
+        order a cell function returned must survive the cache round-trip
+        so cached sweeps render byte-identical tables to fresh ones.
+        """
+        path = self.path_for(experiment)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{experiment}.")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for key in sorted(records):
+                    handle.write(json.dumps(records[key]) + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def invalidate(self, experiment: str) -> None:
+        """Drop an experiment's cached results."""
+        try:
+            self.path_for(experiment).unlink()
+        except FileNotFoundError:
+            pass
+
+
+def default_store() -> ResultStore:
+    """The repository-local store under ``benchmarks/results/cache/``."""
+    return ResultStore()

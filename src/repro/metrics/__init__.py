@@ -2,7 +2,7 @@
 
 from repro.metrics.journey import Journey, journey_of, journeys_matching
 from repro.metrics.report import Table, fmt_float
-from repro.metrics.stats import mean, percentile, summarize
+from repro.metrics.stats import mean, mean_ci, percentile, stdev, summarize
 
 __all__ = [
     "Journey",
@@ -11,6 +11,8 @@ __all__ = [
     "journey_of",
     "journeys_matching",
     "mean",
+    "mean_ci",
     "percentile",
+    "stdev",
     "summarize",
 ]

@@ -2,12 +2,66 @@
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+import math
+from typing import Dict, Sequence, Tuple
 
 
 def mean(values: Sequence[float]) -> float:
     """Arithmetic mean; 0.0 for an empty sequence."""
     return sum(values) / len(values) if values else 0.0
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (n-1 denominator); 0.0 for n < 2."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (n - 1))
+
+
+# Two-sided Student-t critical values by degrees of freedom (1..30);
+# beyond 30 the normal quantile is close enough for reporting purposes.
+_T_CRITICAL = {
+    0.90: (
+        6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+        1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+        1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+    ),
+    0.95: (
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+        2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+        2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ),
+    0.99: (
+        63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+        3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+        2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
+    ),
+}
+_Z_CRITICAL = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
+
+
+def mean_ci(
+    values: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float]:
+    """``(mean, half_width)`` of the Student-t confidence interval.
+
+    ``confidence`` must be one of 0.90, 0.95, 0.99 (table-driven — the
+    sweeps only report these).  The half-width is 0.0 for n < 2, where
+    no interval is defined.
+    """
+    if confidence not in _T_CRITICAL:
+        choices = ", ".join(str(c) for c in sorted(_T_CRITICAL))
+        raise ValueError(f"confidence must be one of {choices}, got {confidence}")
+    m = mean(values)
+    n = len(values)
+    if n < 2:
+        return m, 0.0
+    df = n - 1
+    table = _T_CRITICAL[confidence]
+    critical = table[df - 1] if df <= len(table) else _Z_CRITICAL[confidence]
+    return m, critical * stdev(values) / math.sqrt(n)
 
 
 def percentile(values: Sequence[float], p: float) -> float:

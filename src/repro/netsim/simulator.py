@@ -60,6 +60,8 @@ class Simulator:
     Args:
         seed: seed for the simulator-owned :class:`random.Random`.
         start: initial simulation time.
+        trace_max_entries: bound the tracer to a ring buffer of this
+            many entries (``None`` = keep everything, the default).
 
     Attributes:
         clock: the virtual clock.
@@ -68,11 +70,16 @@ class Simulator:
         tracer: structured trace collector.
     """
 
-    def __init__(self, seed: int = 0, start: float = 0.0) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        start: float = 0.0,
+        trace_max_entries: Optional[int] = None,
+    ) -> None:
         self.clock = SimClock(start)
         self.queue = EventQueue()
         self.rng = random.Random(seed)
-        self.tracer = Tracer()
+        self.tracer = Tracer(max_entries=trace_max_entries)
         self._running = False
         self._processed = 0
 

@@ -9,8 +9,9 @@ Categories are free-form strings; the conventional ones are listed in
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Callable, Iterator, MutableSequence, Optional
 
 #: Conventional trace categories emitted by the library.
 CATEGORIES = (
@@ -52,13 +53,42 @@ class Tracer:
     categories to keep memory bounded in large runs::
 
         sim.tracer.restrict({"mhrp.update", "mhrp.loop"})
+
+    For sweeps whose event volume is unbounded (millions of packets),
+    ``max_entries`` turns storage into a ring buffer holding only the
+    newest entries; :attr:`dropped` counts what fell off the front.
+    Listeners still see every entry, so streaming consumers (wire-size
+    trackers, journey builders) are unaffected by the bound.
     """
 
-    def __init__(self) -> None:
-        self.entries: list[TraceEntry] = []
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        self.entries: MutableSequence[TraceEntry] = []
         self.enabled = True
+        self.dropped = 0
+        self._max_entries: Optional[int] = None
         self._allowed: Optional[set[str]] = None
         self._listeners: list[Callable[[TraceEntry], None]] = []
+        if max_entries is not None:
+            self.limit(max_entries)
+
+    @property
+    def max_entries(self) -> Optional[int]:
+        """The ring-buffer bound (``None`` = unbounded list storage)."""
+        return self._max_entries
+
+    def limit(self, max_entries: Optional[int]) -> None:
+        """Switch to ring-buffer mode bounded at ``max_entries`` (or back
+        to unbounded with ``None``), keeping the newest entries."""
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        if max_entries == self._max_entries:
+            return
+        if max_entries is None:
+            self.entries = list(self.entries)
+        else:
+            self.dropped += max(len(self.entries) - max_entries, 0)
+            self.entries = deque(self.entries, maxlen=max_entries)
+        self._max_entries = max_entries
 
     def restrict(self, categories: Optional[set[str]]) -> None:
         """Record only the given categories (``None`` = record everything)."""
@@ -75,6 +105,8 @@ class Tracer:
         if self._allowed is not None and category not in self._allowed:
             return
         entry = TraceEntry(time=time, category=category, node=node, detail=detail)
+        if self._max_entries is not None and len(self.entries) == self._max_entries:
+            self.dropped += 1
         self.entries.append(entry)
         for listener in self._listeners:
             listener(entry)
@@ -97,3 +129,4 @@ class Tracer:
 
     def clear(self) -> None:
         self.entries.clear()
+        self.dropped = 0

@@ -12,6 +12,7 @@ from repro.workloads.mobility import (
     RandomWaypointMobility,
     ScriptedMobility,
 )
+from repro.workloads.loops import LoopRun, build_loop, run_loop_experiment
 from repro.workloads.topology import (
     CampusTopology,
     Figure1Topology,
@@ -26,6 +27,7 @@ __all__ = [
     "CellSite",
     "GeoWalker",
     "Figure1Topology",
+    "LoopRun",
     "PingPongMobility",
     "PoissonStream",
     "RandomWaypointMobility",
@@ -33,4 +35,6 @@ __all__ = [
     "ScriptedMobility",
     "build_campus",
     "build_figure1",
+    "build_loop",
+    "run_loop_experiment",
 ]

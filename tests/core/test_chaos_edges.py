@@ -1,0 +1,107 @@
+"""ChaosMonkey scheduling edges (Section 5's fault model, directly).
+
+The targeted chaos suite drives whole campuses; these tests pin the
+:class:`FaultRecord` bookkeeping at the awkward boundaries — a crash
+landing during another fault's repair window, injections at exactly
+``stop_at``, and repairs that complete after the window closes.
+"""
+
+import pytest
+
+from repro.ip import IPNetwork, Router
+from repro.link import LAN
+from repro.netsim import Simulator
+from repro.netsim.chaos import ChaosMonkey
+
+
+def _victim(sim, name="V"):
+    lan = LAN(sim, f"lan-{name}")
+    router = Router(sim, name)
+    router.add_interface("eth0", "10.0.0.1", IPNetwork("10.0.0.0/24"), medium=lan)
+    return router
+
+
+def _scripted_delays(sim, delays):
+    """Make the monkey's exponential draws deterministic."""
+    queue = iter(delays)
+    sim.rng.expovariate = lambda lambd: next(queue)
+
+
+class TestCrashDuringRepairWindow:
+    def test_crash_on_a_down_node_records_nothing(self):
+        sim = Simulator(seed=1)
+        victim = _victim(sim)
+        monkey = ChaosMonkey(sim, [victim], mtbf=5.0, mttr=1.0)
+        victim.crash()
+        monkey._crash(victim)
+        # No fault recorded for a node already down; the crash is
+        # re-rolled instead, so the pressure continues after repair.
+        assert monkey.faults == []
+        assert len(sim.queue) == 1
+
+    def test_colliding_crash_schedules_leave_one_fault(self):
+        sim = Simulator(seed=1)
+        victim = _victim(sim)
+        # Draw order: crash1 at t=2, colliding crash2 at t=4, 10s repair
+        # (reboot at 12); crash2 fires inside the repair window, finds
+        # the node down, and re-rolls (1000: past stop_at, suppressed),
+        # as does the post-reboot draw.
+        _scripted_delays(sim, [2.0, 4.0, 10.0, 1000.0, 1000.0])
+        monkey = ChaosMonkey(sim, [victim], mtbf=1.0, mttr=1.0, stop_at=100.0)
+        monkey.start()
+        monkey._schedule_crash(victim)  # a second, colliding schedule
+        sim.run(until=100.0)
+        assert len(monkey.faults) == 1
+        fault = monkey.faults[0]
+        assert fault.crashed_at == 2.0
+        assert fault.rebooted_at == 12.0
+        assert victim.up
+
+
+class TestStopAtBoundary:
+    def test_crash_landing_exactly_at_stop_at_is_suppressed(self):
+        sim = Simulator(seed=1)
+        victim = _victim(sim)
+        _scripted_delays(sim, [10.0])
+        monkey = ChaosMonkey(sim, [victim], mtbf=1.0, mttr=1.0, stop_at=10.0)
+        monkey.start()
+        assert len(sim.queue) == 0  # when >= stop_at: nothing injected
+
+    def test_crash_just_inside_the_window_is_injected(self):
+        sim = Simulator(seed=1)
+        victim = _victim(sim)
+        _scripted_delays(sim, [10.0, 1.0, 1000.0])
+        monkey = ChaosMonkey(sim, [victim], mtbf=1.0, mttr=1.0, stop_at=10.5)
+        monkey.start()
+        assert len(sim.queue) == 1
+        sim.run(until=50.0)
+        assert [f.crashed_at for f in monkey.faults] == [10.0]
+
+    def test_repair_completes_after_stop_at(self):
+        sim = Simulator(seed=1)
+        victim = _victim(sim)
+        # Crash at 5, repair takes 20 -> reboot at 25, beyond stop_at=10;
+        # the post-reboot draw (100) lands past stop_at, so chaos ends.
+        _scripted_delays(sim, [5.0, 20.0, 100.0])
+        monkey = ChaosMonkey(sim, [victim], mtbf=1.0, mttr=1.0, stop_at=10.0)
+        monkey.start()
+        sim.run(until=200.0)
+        assert len(monkey.faults) == 1
+        fault = monkey.faults[0]
+        assert fault.crashed_at == 5.0
+        assert fault.rebooted_at == 25.0 > monkey.stop_at
+        assert victim.up
+        assert monkey.total_downtime == pytest.approx(20.0)
+        assert len(sim.queue) == 0  # nothing new after the window
+
+    def test_unrepaired_fault_contributes_no_downtime(self):
+        sim = Simulator(seed=1)
+        victim = _victim(sim)
+        _scripted_delays(sim, [5.0, 1000.0])
+        monkey = ChaosMonkey(sim, [victim], mtbf=1.0, mttr=1.0, stop_at=10.0)
+        monkey.start()
+        sim.run(until=50.0)
+        assert len(monkey.faults) == 1
+        assert monkey.faults[0].rebooted_at is None
+        assert monkey.total_downtime == 0.0
+        assert not victim.up

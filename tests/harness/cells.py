@@ -1,0 +1,26 @@
+"""Tiny cell functions the harness tests sweep (importable by dotted
+path from worker processes)."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+
+def ok_cell(seed: int, x: int, factor: int = 2) -> Dict[str, object]:
+    return {"value": x * factor + seed, "const": 1}
+
+
+def flaky_cell(seed: int, x: int) -> Dict[str, object]:
+    if x == 13:
+        raise RuntimeError("unlucky cell")
+    return {"value": x}
+
+
+def slow_cell(seed: int, delay: float) -> Dict[str, object]:
+    time.sleep(delay)
+    return {"done": 1}
+
+
+def bad_return_cell(seed: int, x: int):
+    return [x]  # not a dict: the runner must flag it, not crash

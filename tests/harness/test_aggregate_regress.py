@@ -1,0 +1,115 @@
+"""Across-seed aggregation and baseline regression gating."""
+
+import pytest
+
+from repro.harness.aggregate import aggregate, summary_table
+from repro.harness.regress import (
+    baseline_payload,
+    compare_to_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.harness.runner import CellResult
+
+
+def _result(x, seed, value, status="ok"):
+    return CellResult(
+        experiment="t",
+        params={"x": x},
+        seed=seed,
+        hash=f"h{x}-{seed}",
+        status=status,
+        metrics={"value": value} if status == "ok" else {},
+    )
+
+
+def _rows():
+    return aggregate(
+        [
+            _result(1, 0, 10.0),
+            _result(1, 1, 12.0),
+            _result(1, 2, 14.0),
+            _result(2, 0, 100.0),
+            _result(2, 1, 100.0),
+            _result(2, 2, 100.0),
+        ]
+    )
+
+
+class TestAggregate:
+    def test_groups_across_seeds(self):
+        rows = _rows()
+        assert [row.params for row in rows] == [{"x": 1}, {"x": 2}]
+        assert rows[0].n_seeds == 3
+        summary = rows[0].metrics["value"]
+        assert summary.mean == 12.0
+        assert summary.min == 10.0 and summary.max == 14.0
+        assert summary.stdev == 2.0
+        assert summary.ci95 == pytest.approx(4.303 * 2.0 / 3**0.5, rel=1e-6)
+
+    def test_failed_cells_excluded(self):
+        rows = aggregate([_result(1, 0, 10.0), _result(1, 1, 0.0, status="error")])
+        assert rows[0].n_seeds == 1
+        assert rows[0].metrics["value"].mean == 10.0
+
+    def test_summary_table_shows_ci_only_when_spread(self):
+        text = summary_table(_rows(), "T").render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert any("12 ±" in line for line in lines)   # spread at x=1
+        row_x2 = next(line for line in lines if line.startswith("2"))
+        assert "±" not in row_x2                        # constant at x=2
+
+    def test_deterministic_render_regardless_of_input_order(self):
+        forward = summary_table(_rows(), "T").render()
+        rows = aggregate(
+            [
+                _result(2, 2, 100.0), _result(2, 1, 100.0), _result(2, 0, 100.0),
+                _result(1, 2, 14.0), _result(1, 1, 12.0), _result(1, 0, 10.0),
+            ]
+        )
+        backward = summary_table(rows, "T").render()
+        # Same per-group statistics; row order follows input group order.
+        assert sorted(forward.splitlines()[4:6]) == sorted(backward.splitlines()[4:6])
+
+
+class TestRegress:
+    def test_roundtrip_and_clean_pass(self, tmp_path):
+        rows = _rows()
+        path = write_baseline("t", rows, tmp_path / "t.json")
+        baseline = load_baseline(path)
+        assert baseline == baseline_payload("t", rows)
+        assert compare_to_baseline(rows, baseline) == []
+
+    def test_flags_drift_beyond_tolerance(self):
+        baseline = baseline_payload("t", _rows())
+        drifted = aggregate([_result(1, s, v) for s, v in enumerate([13, 15, 17])]
+                            + [_result(2, s, 100.0) for s in range(3)])
+        found = compare_to_baseline(drifted, baseline, tolerance=0.05)
+        assert len(found) == 1
+        assert found[0].metric == "value" and found[0].params == {"x": 1}
+        assert "+25.0%" in found[0].note
+        # A generous tolerance accepts the same drift.
+        assert compare_to_baseline(drifted, baseline, tolerance=0.30) == []
+
+    def test_directional_gating(self):
+        baseline = baseline_payload("t", _rows())
+        improved = aggregate([_result(1, s, v) for s, v in enumerate([8, 10, 12])]
+                             + [_result(2, s, 100.0) for s in range(3)])
+        # Mean dropped 12 -> 10: a regression two-sided, fine if lower is better.
+        assert compare_to_baseline(improved, baseline, tolerance=0.05)
+        assert (
+            compare_to_baseline(
+                improved, baseline, tolerance=0.05, directions={"value": "lower"}
+            )
+            == []
+        )
+        assert compare_to_baseline(
+            improved, baseline, tolerance=0.05, directions={"value": "higher"}
+        )
+
+    def test_missing_point_and_metric_flagged(self):
+        baseline = baseline_payload("t", _rows())
+        partial = aggregate([_result(1, s, v) for s, v in enumerate([10, 12, 14])])
+        found = compare_to_baseline(partial, baseline)
+        assert [r.note for r in found] == ["parameter point missing from sweep"]

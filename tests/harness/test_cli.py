@@ -1,0 +1,60 @@
+"""`python -m repro sweep` end to end (on the quick grids)."""
+
+import pytest
+
+from repro.harness.cli import main as sweep_main
+from repro import __main__ as repro_main
+
+
+class TestSweepCLI:
+    def test_lists_experiments_without_args(self, capsys):
+        assert sweep_main([]) == 0
+        out = capsys.readouterr().out
+        assert "loop-contraction" in out and "scalability" in out
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert sweep_main(["no-such-sweep"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_quick_sweep_runs_and_caches(self, tmp_path, capsys):
+        args = ["loop-contraction", "--quick", "--jobs", "2",
+                "--cache-dir", str(tmp_path)]
+        assert sweep_main(args) == 0
+        first = capsys.readouterr().out
+        assert "2 executed, 0 cached" in first
+        assert sweep_main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 2 cached (100% hit rate)" in second
+        # The aggregated tables are identical run to run.
+        assert first.split("\n\n")[0] == second.split("\n\n")[0]
+
+    def test_baseline_gate(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path))
+        base = ["scalability-state", "--quick"]
+        assert sweep_main(base + ["--check-baseline"]) == 2  # nothing stored yet
+        assert sweep_main(base + ["--write-baseline"]) == 0
+        capsys.readouterr()
+        assert sweep_main(base + ["--check-baseline"]) == 0
+        assert "baseline check passed" in capsys.readouterr().out
+
+
+class TestModuleEntry:
+    def test_usage_lists_sweep(self, capsys):
+        assert repro_main.main([]) == 0
+        out = capsys.readouterr().out
+        assert "sweep" in out and "quickstart" in out
+
+    def test_help_matches_usage(self, capsys):
+        assert repro_main.main(["--help"]) == 0
+        assert "sweep" in capsys.readouterr().out
+
+    def test_unknown_command_exits_2_via_stderr(self, capsys):
+        assert repro_main.main(["frobnicate"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "unknown command 'frobnicate'" in captured.err
+        assert "sweep" in captured.err  # usage follows on the same stream
+
+    def test_sweep_dispatches(self, capsys):
+        assert repro_main.main(["sweep"]) == 0
+        assert "Registered experiments" in capsys.readouterr().out

@@ -1,0 +1,139 @@
+"""The sweep executor: determinism, caching, crash isolation, timeouts."""
+
+import pytest
+
+from repro.harness.aggregate import aggregate, summary_table
+from repro.harness.runner import run_sweep
+from repro.harness.spec import ExperimentSpec
+from repro.harness.store import ResultStore
+
+
+def _spec(**overrides):
+    base = dict(
+        name="runner-test",
+        cell_fn="tests.harness.cells:ok_cell",
+        grid={"x": [1, 2, 3], "factor": [2]},
+        seeds=(0, 1),
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestSerial:
+    def test_all_cells_run_in_spec_order(self):
+        report = run_sweep(_spec(), jobs=1)
+        assert report.executed == 6 and report.cached == 0
+        assert all(r.ok for r in report.results)
+        assert [(r.params["x"], r.seed) for r in report.results] == [
+            (1, 0), (1, 1), (2, 0), (2, 1), (3, 0), (3, 1),
+        ]
+        assert report.find(x=2, seed=1).metrics["value"] == 5
+
+    def test_cell_exception_is_isolated(self):
+        spec = _spec(cell_fn="tests.harness.cells:flaky_cell", grid={"x": [12, 13, 14]})
+        report = run_sweep(spec, jobs=1)
+        assert len(report.failures) == 2  # x=13 under both seeds
+        assert all(f.params["x"] == 13 for f in report.failures)
+        assert "unlucky cell" in report.failures[0].error
+        assert report.find(x=12, seed=0).ok
+
+    def test_non_dict_return_is_flagged(self):
+        spec = _spec(cell_fn="tests.harness.cells:bad_return_cell", grid={"x": [1]})
+        report = run_sweep(spec, jobs=1)
+        assert not report.results[0].ok
+        assert "not dict" in report.results[0].error
+
+    def test_timeout_marks_cell(self):
+        spec = _spec(
+            cell_fn="tests.harness.cells:slow_cell",
+            grid={"delay": [0.0, 5.0]},
+            seeds=(0,),
+        )
+        report = run_sweep(spec, jobs=1, timeout=0.3)
+        assert report.find(delay=0.0, seed=0).ok
+        slow = report.find(delay=5.0, seed=0)
+        assert slow.status == "timeout"
+
+
+class TestParallel:
+    def test_matches_serial_byte_for_byte(self):
+        serial = run_sweep(_spec(), jobs=1)
+        fanned = run_sweep(_spec(), jobs=3)
+        render = lambda rep: summary_table(aggregate(rep.results), "t").render()
+        assert render(serial) == render(fanned)
+        assert [r.to_record() for r in serial.results] == [
+            {**r.to_record(), "duration": s.duration}
+            for r, s in zip(fanned.results, serial.results)
+        ]
+
+    def test_failures_survive_fan_out(self):
+        spec = _spec(cell_fn="tests.harness.cells:flaky_cell", grid={"x": [13, 14]})
+        report = run_sweep(spec, jobs=2)
+        assert len(report.failures) == 2
+        assert report.find(x=14, seed=0).ok
+
+
+class TestCaching:
+    def test_second_run_is_fully_cached(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = run_sweep(_spec(), jobs=1, store=store)
+        assert first.executed == 6
+        second = run_sweep(_spec(), jobs=1, store=store)
+        assert second.executed == 0 and second.cached == 6
+        assert second.cache_hit_rate == 1.0
+        assert all(r.cached for r in second.results)
+        # Cached results carry the same metrics.
+        assert [r.metrics for r in second.results] == [r.metrics for r in first.results]
+
+    def test_version_bump_dirties_every_cell(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_sweep(_spec(), jobs=1, store=store)
+        rerun = run_sweep(_spec(version=2), jobs=1, store=store)
+        assert rerun.executed == 6 and rerun.cached == 0
+
+    def test_grid_growth_only_runs_new_cells(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_sweep(_spec(), jobs=1, store=store)
+        grown = run_sweep(_spec(grid={"x": [1, 2, 3, 4], "factor": [2]}), store=store)
+        assert grown.executed == 2 and grown.cached == 6
+
+    def test_failures_are_not_cached(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = _spec(cell_fn="tests.harness.cells:flaky_cell", grid={"x": [13]})
+        run_sweep(spec, jobs=1, store=store)
+        retry = run_sweep(spec, jobs=1, store=store)
+        assert retry.executed == 2 and retry.cached == 0
+
+    def test_use_cache_false_reruns_but_persists(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_sweep(_spec(), jobs=1, store=store)
+        forced = run_sweep(_spec(), jobs=1, store=store, use_cache=False)
+        assert forced.executed == 6 and forced.cached == 0
+        assert run_sweep(_spec(), jobs=1, store=store).cached == 6
+
+
+class TestRegisteredExperiments:
+    """Smoke the real catalogue at its smallest cell."""
+
+    def test_loop_contraction_cell(self):
+        from repro.harness.experiments import loop_contraction_cell
+
+        metrics = loop_contraction_cell(seed=3, loop_size=2, max_list=2)
+        assert metrics["resolved"] == 1
+        assert metrics["retunnels"] >= 1
+        assert metrics["loop_bytes"] > 0
+
+    def test_unknown_mechanism_rejected(self):
+        from repro.harness.experiments import loop_contraction_cell
+
+        with pytest.raises(ValueError):
+            loop_contraction_cell(seed=3, loop_size=2, max_list=2, mechanism="wat")
+
+    def test_catalogue_is_registered(self):
+        from repro.harness.spec import experiment_names, get_experiment
+
+        names = experiment_names()
+        assert {"loop-contraction", "scalability", "scalability-state"} <= set(names)
+        assert get_experiment("loop-contraction").cells(quick=True)
+        with pytest.raises(KeyError):
+            get_experiment("no-such-sweep")

@@ -1,0 +1,95 @@
+"""Unit tests for experiment specs, cell hashing, and the result store."""
+
+import dataclasses
+
+import pytest
+
+from repro.harness.spec import Cell, ExperimentSpec
+from repro.harness.store import ResultStore
+
+
+def _spec(**overrides):
+    base = dict(
+        name="t",
+        cell_fn="tests.harness.cells:ok_cell",
+        grid={"x": [1, 2], "factor": [2]},
+        seeds=(0, 1),
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestSpec:
+    def test_cells_expand_grid_times_seeds(self):
+        cells = _spec().cells()
+        assert len(cells) == 4  # 2 x values × 2 seeds
+        assert [(c.params_dict["x"], c.seed) for c in cells] == [
+            (1, 0), (1, 1), (2, 0), (2, 1),
+        ]
+
+    def test_union_grids_deduplicate(self):
+        spec = _spec(grid=[{"x": [1, 2], "factor": [2]}, {"x": [2, 3], "factor": [2]}])
+        cells = spec.cells()
+        assert [c.params_dict["x"] for c in cells if c.seed == 0] == [1, 2, 3]
+
+    def test_hash_independent_of_param_declaration_order(self):
+        a = _spec(grid={"x": [1], "factor": [2]}).cells()[0]
+        b = _spec(grid={"factor": [2], "x": [1]}).cells()[0]
+        assert a.content_hash() == b.content_hash()
+
+    def test_hash_changes_with_version_params_and_seed(self):
+        cell = _spec().cells()[0]
+        assert cell.content_hash() != _spec(version=2).cells()[0].content_hash()
+        hashes = {c.content_hash() for c in _spec().cells()}
+        assert len(hashes) == 4
+
+    def test_quick_shape(self):
+        spec = _spec(quick_grid={"x": [1], "factor": [2]}, quick_seeds=(0,))
+        assert len(spec.cells(quick=True)) == 1
+        assert len(spec.cells()) == 4
+
+    def test_with_seeds(self):
+        narrowed = _spec().with_seeds([7])
+        assert [c.seed for c in narrowed.cells()] == [7, 7]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _spec(grid={"x": []})
+        with pytest.raises(TypeError):
+            _spec(grid={"x": [[1, 2]]})
+        with pytest.raises(ValueError):
+            _spec(seeds=())
+
+    def test_label(self):
+        cell = Cell("e", "m:f", 1, (("x", 1),), seed=9)
+        assert cell.label == "e[x=1 seed=9]"
+
+
+class TestStore:
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert ResultStore(tmp_path).load("nope") == {}
+
+    def test_roundtrip_sorted_and_atomic(self, tmp_path):
+        store = ResultStore(tmp_path)
+        records = {
+            "bb": {"hash": "bb", "status": "ok"},
+            "aa": {"hash": "aa", "status": "ok"},
+        }
+        path = store.save("exp", records)
+        text = path.read_text()
+        assert text.index('"aa"') < text.index('"bb"')
+        assert store.load("exp") == records
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save("exp", {"aa": {"hash": "aa"}})
+        with open(path, "a") as handle:
+            handle.write("{not json\n\n42\n")
+        assert store.load("exp") == {"aa": {"hash": "aa"}}
+
+    def test_invalidate(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("exp", {"aa": {"hash": "aa"}})
+        store.invalidate("exp")
+        store.invalidate("exp")  # idempotent
+        assert store.load("exp") == {}

@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.metrics import Table, fmt_float, mean, percentile, summarize
+from repro.metrics import (
+    Table,
+    fmt_float,
+    mean,
+    mean_ci,
+    percentile,
+    stdev,
+    summarize,
+)
 
 
 class TestStats:
@@ -24,6 +32,38 @@ class TestStats:
     def test_percentile_range_checked(self):
         with pytest.raises(ValueError):
             percentile([1], 101)
+
+    def test_stdev(self):
+        assert stdev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(
+            2.138, abs=1e-3
+        )
+        assert stdev([5.0, 5.0, 5.0]) == 0.0
+        assert stdev([3.0]) == 0.0  # undefined for n<2: reported as 0
+        assert stdev([]) == 0.0
+
+    def test_mean_ci_small_sample_uses_student_t(self):
+        m, half = mean_ci([10.0, 12.0, 14.0])
+        assert m == 12.0
+        # t(df=2, 95%) = 4.303, s = 2, n = 3.
+        assert half == pytest.approx(4.303 * 2.0 / 3**0.5, rel=1e-6)
+
+    def test_mean_ci_confidence_levels_ordered(self):
+        values = [float(v) for v in range(1, 11)]
+        _, w90 = mean_ci(values, 0.90)
+        _, w95 = mean_ci(values, 0.95)
+        _, w99 = mean_ci(values, 0.99)
+        assert w90 < w95 < w99
+
+    def test_mean_ci_large_sample_falls_back_to_normal(self):
+        values = [float(v % 7) for v in range(100)]
+        m, half = mean_ci(values)
+        assert half == pytest.approx(1.960 * stdev(values) / 10.0, rel=1e-6)
+
+    def test_mean_ci_degenerate_and_validation(self):
+        assert mean_ci([]) == (0.0, 0.0)
+        assert mean_ci([4.0]) == (4.0, 0.0)
+        with pytest.raises(ValueError):
+            mean_ci([1.0, 2.0], confidence=0.5)
 
     def test_summarize(self):
         s = summarize([1.0, 2.0, 3.0, 4.0])

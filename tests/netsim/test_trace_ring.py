@@ -1,0 +1,79 @@
+"""The tracer's bounded (ring-buffer) storage mode."""
+
+import pytest
+
+from repro.netsim.simulator import Simulator
+from repro.netsim.trace import Tracer
+
+
+def _fill(tracer, n, category="ip.send"):
+    for i in range(n):
+        tracer.record(float(i), category, "n", seq=i)
+
+
+class TestRingBuffer:
+    def test_bounded_keeps_newest(self):
+        tracer = Tracer(max_entries=3)
+        _fill(tracer, 5)
+        assert [e.detail["seq"] for e in tracer.entries] == [2, 3, 4]
+        assert tracer.dropped == 2
+        assert tracer.max_entries == 3
+
+    def test_default_is_unbounded(self):
+        tracer = Tracer()
+        _fill(tracer, 5)
+        assert len(tracer.entries) == 5
+        assert tracer.dropped == 0
+        assert tracer.max_entries is None
+
+    def test_limit_switch_trims_to_newest(self):
+        tracer = Tracer()
+        _fill(tracer, 5)
+        tracer.limit(2)
+        assert [e.detail["seq"] for e in tracer.entries] == [3, 4]
+        assert tracer.dropped == 3
+
+    def test_limit_back_to_unbounded(self):
+        tracer = Tracer(max_entries=2)
+        _fill(tracer, 4)
+        tracer.limit(None)
+        _fill(tracer, 3)
+        assert len(tracer.entries) == 5  # 2 kept + 3 new, no more dropping
+        assert tracer.dropped == 2
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(max_entries=0)
+        with pytest.raises(ValueError):
+            Tracer().limit(-1)
+
+    def test_select_and_count_work_on_ring(self):
+        tracer = Tracer(max_entries=4)
+        _fill(tracer, 3, category="ip.send")
+        _fill(tracer, 3, category="ip.drop")
+        assert tracer.count("ip.drop") == 3
+        assert tracer.count("ip.send") == 1  # two fell off the front
+        assert [e.category for e in tracer] == ["ip.send"] + ["ip.drop"] * 3
+
+    def test_listeners_see_every_entry(self):
+        tracer = Tracer(max_entries=1)
+        seen = []
+        tracer.subscribe(seen.append)
+        _fill(tracer, 4)
+        assert len(seen) == 4  # the bound only limits storage
+
+    def test_clear_resets_dropped(self):
+        tracer = Tracer(max_entries=1)
+        _fill(tracer, 3)
+        tracer.clear()
+        assert tracer.dropped == 0
+        assert len(tracer.entries) == 0
+        _fill(tracer, 2)
+        assert tracer.dropped == 1  # still bounded after clear
+
+    def test_simulator_passthrough(self):
+        sim = Simulator(seed=0, trace_max_entries=2)
+        for _ in range(3):
+            sim.trace("ip.send", "n")
+        assert len(sim.tracer.entries) == 2
+        assert sim.tracer.dropped == 1
