@@ -8,6 +8,8 @@
     python -m repro robustness         # the Section 5 mechanisms
     python -m repro transfer           # TCP across handoffs
     python -m repro campus [hosts] [cells] [seconds]
+    python -m repro netstat [seed]     # per-node dataplane counters for
+                                       # the Figure-1 walkthrough
     python -m repro sweep <experiment> [--jobs N] [--no-cache]
                                        [--quick] [--check-baseline]
 """
@@ -34,8 +36,36 @@ _DEMOS = {
 }
 
 _COMMANDS = {
+    "netstat": "per-node/per-stage dataplane counters for a demo scenario",
     "sweep": "run a multi-seed experiment sweep (see `sweep --help`)",
 }
+
+
+def _netstat(argv: list[str]) -> int:
+    """Run the Figure-1 Section 6 walkthrough and print every node's
+    dataplane pipeline counters, grouped by stage."""
+    from repro.metrics.netstat import render_netstat
+    from repro.workloads.topology import build_figure1
+
+    seed = int(argv[0]) if argv else 42
+    topo = build_figure1(seed=seed)
+    sim, s, m = topo.sim, topo.s, topo.m
+    m.attach_home(topo.net_b)
+    sim.run(until=5.0)
+    m.attach(topo.net_d)          # roam: discovery, registration, tunnels
+    sim.run(until=12.0)
+    s.ping(m.home_address)        # via home agent, then direct tunnels
+    sim.run(until=16.0)
+    s.ping(m.home_address)
+    sim.run(until=20.0)
+    m.attach(topo.net_e)          # handoff: the stale cache re-tunnels
+    sim.run(until=28.0)
+    s.ping(m.home_address)
+    sim.run(until=32.0)
+    nodes = [s, topo.r1, topo.r2, topo.r3, topo.r4, topo.r5, m]
+    print(render_netstat(nodes, title=f"figure-1 walkthrough (seed {seed}) — "
+                                      f"dataplane counters at t={sim.now:g}s"))
+    return 0
 
 
 def _usage(stream=None) -> None:
@@ -58,6 +88,8 @@ def main(argv: list[str]) -> int:
         from repro.harness.cli import main as sweep_main
 
         return sweep_main(argv[1:])
+    if name == "netstat":
+        return _netstat(argv[1:])
     entry = _DEMOS.get(name)
     if entry is None:
         print(f"unknown command {name!r}\n", file=sys.stderr)

@@ -24,7 +24,7 @@ from typing import Dict, Optional
 from repro.core.encapsulation import encapsulate
 from repro.ip.address import IPAddress
 from repro.ip.icmp import LocationUpdate, TYPE_LOCATION_UPDATE
-from repro.ip.node import IPNode, NetworkLayerExtension
+from repro.ip.node import IPNode
 from repro.ip.packet import IPPacket
 from repro.ip.protocols import ICMP as PROTO_ICMP
 from repro.ip.protocols import MHRP as PROTO_MHRP
@@ -131,8 +131,11 @@ class UpdateRateLimiter:
         return True
 
 
-class CacheAgent(NetworkLayerExtension):
+class CacheAgent:
     """The cache-agent role, attachable to any host or router.
+
+    Registers itself as ``outbound`` and ``transit`` stage hooks on the
+    node's dataplane:
 
     - On *outbound* packets (this node is the original sender): a cache
       hit builds a sender-style MHRP header (empty previous-source list,
@@ -156,7 +159,9 @@ class CacheAgent(NetworkLayerExtension):
         self.examine_forwarded = examine_forwarded
         self.enabled = enabled
         self.tunnels_built = 0
-        node.add_extension(self)
+        node.extensions.append(self)
+        node.dataplane.register("outbound", self.outbound_hook, name="CacheAgent")
+        node.dataplane.register("transit", self.transit_hook, name="CacheAgent")
         node.on_icmp(TYPE_LOCATION_UPDATE, self._on_location_update)
         # The cache is soft state in RAM: a reboot loses it (consistency
         # is then re-established lazily by the Section 5.1 machinery).
@@ -189,9 +194,9 @@ class CacheAgent(NetworkLayerExtension):
             self.learn(message.mobile_host, message.foreign_agent)
 
     # ------------------------------------------------------------------
-    # Extension hooks
+    # Dataplane stage hooks
     # ------------------------------------------------------------------
-    def handle_outbound(self, packet: IPPacket):
+    def outbound_hook(self, packet: IPPacket):
         if not self.enabled or packet.protocol in (PROTO_MHRP, MOBILE_CONTROL):
             return None
         if packet.protocol == PROTO_ICMP and isinstance(packet.payload, LocationUpdate):
@@ -205,6 +210,7 @@ class CacheAgent(NetworkLayerExtension):
             # MHRP handler is the agents' job, not the cache's.
             return None
         self.tunnels_built += 1
+        self.node.dataplane.counters.diverted += 1
         self.node.sim.trace(
             "mhrp.tunnel",
             self.node.name,
@@ -215,7 +221,7 @@ class CacheAgent(NetworkLayerExtension):
         )
         return encapsulate(packet, foreign_agent, agent_address=None)
 
-    def handle_transit(self, packet: IPPacket, in_iface: NetworkInterface):
+    def transit_hook(self, packet: IPPacket, in_iface: NetworkInterface):
         if not self.enabled:
             return None
         if (
@@ -237,6 +243,7 @@ class CacheAgent(NetworkLayerExtension):
         if foreign_agent is None or self.node.has_address(foreign_agent):
             return None
         self.tunnels_built += 1
+        self.node.dataplane.counters.diverted += 1
         self.node.sim.trace(
             "mhrp.tunnel",
             self.node.name,

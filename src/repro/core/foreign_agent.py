@@ -36,7 +36,7 @@ from repro.core.registration import (
 from repro.errors import RegistrationError
 from repro.ip.address import IPAddress
 from repro.ip.icmp import LocationUpdate, TYPE_LOCATION_UPDATE
-from repro.ip.node import CONSUMED, IPNode, NetworkLayerExtension
+from repro.ip.node import CONSUMED, IPNode
 from repro.ip.packet import IPPacket
 from repro.ip.protocols import MHRP as PROTO_MHRP
 from repro.link.frame import HWAddress
@@ -56,7 +56,7 @@ class VisitorRecord:
     registered_at: float
 
 
-class ForeignAgent(NetworkLayerExtension):
+class ForeignAgent:
     """The foreign-agent role for one local network.
 
     Args:
@@ -116,7 +116,9 @@ class ForeignAgent(NetworkLayerExtension):
     def attach(cls, node: IPNode, local_iface_name: str, **kwargs) -> "ForeignAgent":
         """Create the role and wire it into the node."""
         agent = cls(node, local_iface_name, **kwargs)
-        node.add_extension(agent)
+        node.extensions.append(agent)
+        node.dataplane.register("outbound", agent.outbound_hook, name="ForeignAgent")
+        node.dataplane.register("transit", agent.transit_hook, name="ForeignAgent")
         node.register_protocol(PROTO_MHRP, agent._on_mhrp_packet)
         dispatcher = ControlDispatcher.for_node(node)
         dispatcher.on(FA_CONNECT, agent._on_connect)
@@ -265,6 +267,7 @@ class ForeignAgent(NetworkLayerExtension):
             self.retunneled_home += 1
         else:
             self.retunneled_forward += 1
+        self.node.dataplane.counters.tunneled += 1
         self.node.sim.trace(
             "mhrp.tunnel",
             self.node.name,
@@ -310,12 +313,12 @@ class ForeignAgent(NetworkLayerExtension):
         self.node.forward_injected(packet)
 
     # ------------------------------------------------------------------
-    # Local delivery shortcuts (plain packets to visitors)
+    # Local delivery shortcuts (dataplane stage hooks)
     # ------------------------------------------------------------------
-    def handle_outbound(self, packet: IPPacket):
+    def outbound_hook(self, packet: IPPacket):
         return self._maybe_deliver_plain(packet)
 
-    def handle_transit(self, packet: IPPacket, in_iface: NetworkInterface):
+    def transit_hook(self, packet: IPPacket, in_iface: NetworkInterface):
         return self._maybe_deliver_plain(packet)
 
     def _maybe_deliver_plain(self, packet: IPPacket):
@@ -328,6 +331,7 @@ class ForeignAgent(NetworkLayerExtension):
             return None
         if packet.dst not in self.visitors:
             return None
+        self.node.dataplane.counters.diverted += 1
         self.node.sim.trace(
             "mhrp.tunnel",
             self.node.name,

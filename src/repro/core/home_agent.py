@@ -38,7 +38,7 @@ from repro.core.registration import (
 from repro.errors import RegistrationError
 from repro.ip.address import IPAddress
 from repro.ip.icmp import ICMPError
-from repro.ip.node import CONSUMED, IPNode, NetworkLayerExtension
+from repro.ip.node import CONSUMED, IPNode
 from repro.ip.packet import IPPacket
 from repro.ip.protocols import MHRP as PROTO_MHRP
 from repro.link.interface import NetworkInterface
@@ -51,7 +51,7 @@ from repro.link.interface import NetworkInterface
 DISCONNECTED_ADDRESS = IPAddress("255.255.255.255")
 
 
-class HomeAgent(NetworkLayerExtension):
+class HomeAgent:
     """The home-agent role for one home network.
 
     Args:
@@ -114,7 +114,9 @@ class HomeAgent(NetworkLayerExtension):
             max_previous_sources=max_previous_sources,
             update_limiter=update_limiter,
         )
-        node.add_extension(agent)
+        node.extensions.append(agent)
+        node.dataplane.register("outbound", agent.outbound_hook, name="HomeAgent")
+        node.dataplane.register("transit", agent.transit_hook, name="HomeAgent")
         dispatcher = ControlDispatcher.for_node(node)
         dispatcher.on(HA_REGISTER, agent._on_register)
         agent._dispatcher = dispatcher
@@ -179,12 +181,12 @@ class HomeAgent(NetworkLayerExtension):
         # the address (Section 2); nothing more for us to do.
 
     # ------------------------------------------------------------------
-    # Interception hooks
+    # Interception hooks (dataplane stage hooks)
     # ------------------------------------------------------------------
-    def handle_outbound(self, packet: IPPacket):
+    def outbound_hook(self, packet: IPPacket):
         return self._maybe_intercept(packet)
 
-    def handle_transit(self, packet: IPPacket, in_iface: NetworkInterface):
+    def transit_hook(self, packet: IPPacket, in_iface: NetworkInterface):
         return self._maybe_intercept(packet)
 
     def _maybe_intercept(self, packet: IPPacket):
@@ -208,6 +210,7 @@ class HomeAgent(NetworkLayerExtension):
             self.node._send_error(ICMPError.unreachable(packet))
             return CONSUMED
         self.packets_intercepted += 1
+        self.node.dataplane.counters.tunneled += 1
         original_sender = packet.src
         self.node.sim.trace(
             "mhrp.tunnel",
@@ -294,6 +297,7 @@ class HomeAgent(NetworkLayerExtension):
                 self.node, address, mobile_host, current_fa, self.limiter
             )
         self.packets_retunneled += 1
+        self.node.dataplane.counters.tunneled += 1
         self.node.sim.trace(
             "mhrp.tunnel",
             self.node.name,

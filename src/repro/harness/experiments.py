@@ -14,6 +14,9 @@ Registered sweeps:
   protocol.
 - ``scalability-state`` — the Section 7 state argument (E4b): per-node
   MHRP state as the mobile-host population grows.
+- ``dataplane`` — per-hop pipeline microbench: packets/sec through a
+  line of routers, tracing on and off, plus the deterministic packet
+  accounting the CI baseline gates on.
 """
 
 from __future__ import annotations
@@ -188,5 +191,100 @@ SCALABILITY_STATE = register(
         quick_grid={"n_hosts": [4], "n_cells": [4]},
         quick_seeds=(5,),
         directions={"db_size": "both", "max_visitors": "lower"},
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# dataplane (pipeline microbench)
+# ----------------------------------------------------------------------
+def _build_line(sim, n_routers: int):
+    """A — R0 — R1 — … — R(n-1) — B over zero-ish-latency LANs."""
+    from repro.ip.address import IPNetwork
+    from repro.ip.host import Host
+    from repro.ip.router import Router
+    from repro.link.medium import LAN
+
+    nets = [IPNetwork((10 << 24) | (i << 16), 24) for i in range(n_routers + 1)]
+    lans = [LAN(sim, f"lan{i}", latency=0.0001) for i in range(n_routers + 1)]
+    routers = []
+    for i in range(n_routers):
+        r = Router(sim, f"R{i}")
+        r.add_interface("left", nets[i].host(254), nets[i], medium=lans[i])
+        r.add_interface("right", nets[i + 1].host(253), nets[i + 1], medium=lans[i + 1])
+        routers.append(r)
+    for i, r in enumerate(routers):
+        if i + 1 < n_routers:
+            r.routing_table.add_next_hop(nets[-1], nets[i + 1].host(254), "right")
+        if i > 0:
+            r.routing_table.add_next_hop(nets[0], nets[i].host(253), "left")
+    a = Host(sim, "A")
+    a.add_interface("eth0", nets[0].host(1), nets[0], medium=lans[0])
+    a.set_gateway(nets[0].host(254))
+    b = Host(sim, "B")
+    b.add_interface("eth0", nets[-1].host(1), nets[-1], medium=lans[-1])
+    b.set_gateway(nets[-1].host(253))
+    return a, b, routers
+
+
+def dataplane_cell(
+    seed: int, tracing: bool = False, n_routers: int = 4, n_packets: int = 5000
+) -> Dict[str, object]:
+    """A burst of ``n_packets`` UDP packets across a line of
+    ``n_routers`` routers; measures wall-clock packets/sec through the
+    per-hop pipeline and returns the deterministic packet accounting
+    (``delivered``/``forwarded``/``events``) that the committed baseline
+    gates on — ``pps`` is machine-dependent and deliberately absent from
+    the baseline.
+    """
+    import time
+
+    from repro.ip.packet import IPPacket, RawPayload
+    from repro.ip.protocols import UDP
+    from repro.netsim.simulator import Simulator
+
+    sim = Simulator(seed=seed)
+    sim.tracer.enabled = tracing
+    a, b, routers = _build_line(sim, n_routers)
+    delivered = [0]
+    b.register_protocol(UDP, lambda p, i: delivered.__setitem__(0, delivered[0] + 1))
+    # Warm ARP caches end to end so the timed burst measures forwarding.
+    a.send(IPPacket(src=a.primary_address, dst=b.primary_address, protocol=UDP))
+    sim.run_until_idle()
+    warm = delivered[0]
+    payload = RawPayload(b"x" * 64)
+    src, dst = a.primary_address, b.primary_address
+
+    def burst() -> None:
+        for _ in range(n_packets):
+            a.send(IPPacket(src=src, dst=dst, protocol=UDP, payload=payload))
+
+    sim.schedule(0.0, burst)
+    t0 = time.perf_counter()
+    sim.run_until_idle(max_events=20_000_000)
+    wall = time.perf_counter() - t0
+    return {
+        "pps": n_packets / wall,
+        "delivered": delivered[0] - warm,
+        "forwarded": sum(r.packets_forwarded for r in routers),
+        "events": sim.events_processed,
+    }
+
+
+DATAPLANE = register(
+    ExperimentSpec(
+        name="dataplane",
+        cell_fn="repro.harness.experiments:dataplane_cell",
+        description="per-hop pipeline throughput microbench (tracing on/off)",
+        grid={"tracing": [False, True], "n_routers": [4], "n_packets": [5000]},
+        seeds=(1, 2, 3),
+        quick_grid={"tracing": [False], "n_routers": [4], "n_packets": [5000]},
+        quick_seeds=(1,),
+        directions={
+            "pps": "higher",
+            "delivered": "both",
+            "forwarded": "both",
+            "events": "both",
+        },
     )
 )

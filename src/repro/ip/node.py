@@ -6,14 +6,19 @@ a routing table, a protocol-handler registry, and built-in ICMP handling
 ICMP types — the property MHRP's location update message relies on for
 backwards compatibility).
 
-Mobility protocols plug in through two seams:
+The per-hop packet path itself lives in one place: the node's
+:class:`~repro.ip.dataplane.Dataplane` pipeline
+(ingress → extension hooks → local-delivery → ttl/route → arp-resolve →
+egress).  Mobility protocols plug in through two seams:
 
 - **protocol handlers** receive packets addressed *to* the node, keyed by
   IP protocol number (this is how tunneled MHRP packets reach an agent);
-- **network-layer extensions** (:class:`NetworkLayerExtension`) see
-  locally-originated and transit packets before normal routing, which is
-  how cache agents divert packets into tunnels and how foreign agents
-  short-circuit delivery to visiting mobile hosts.
+- **stage hooks** registered on the dataplane (``outbound`` and
+  ``transit`` stages) see locally-originated and transit packets before
+  normal routing, which is how cache agents divert packets into tunnels
+  and how foreign agents short-circuit delivery to visiting mobile
+  hosts.  The legacy :class:`NetworkLayerExtension` interface is kept as
+  a thin adapter over hook registration (used by the baselines).
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from repro.errors import ConfigurationError, LinkError, RoutingError
 from repro.ip import icmp as icmp_mod
 from repro.ip.address import IPAddress, IPNetwork
 from repro.ip.arp import ARPService
+from repro.ip.dataplane import CONSUMED, LIMITED_BROADCAST, Dataplane
 from repro.ip.icmp import ICMPError, ICMPMessage
 from repro.ip.packet import DEFAULT_TTL, IPPacket
 from repro.ip.protocols import ICMP as PROTO_ICMP
@@ -32,19 +38,25 @@ from repro.link.frame import ETHERTYPE_ARP, ETHERTYPE_IP, Frame, HWAddress
 from repro.link.interface import NetworkInterface
 from repro.netsim.simulator import Simulator
 
-#: Sentinel returned by extension hooks to say "I consumed this packet".
-CONSUMED = object()
-
-#: The IPv4 limited broadcast address.
-LIMITED_BROADCAST = IPAddress("255.255.255.255")
+__all__ = [
+    "CONSUMED",
+    "LIMITED_BROADCAST",
+    "NetworkLayerExtension",
+    "IPNode",
+]
 
 
 class NetworkLayerExtension:
-    """Hook interface for mobility protocols.
+    """Legacy hook interface for mobility protocols.
 
     Hooks return ``None`` to let normal processing continue, a (possibly
     rewritten) :class:`IPPacket` to route instead, or :data:`CONSUMED`
     when they have fully handled the packet.
+
+    New code registers callables on the node's dataplane directly
+    (``node.dataplane.register("outbound" | "transit", fn)``); this class
+    remains as an adapter — :meth:`IPNode.add_extension` registers its
+    two methods as stage hooks.
     """
 
     def handle_outbound(self, packet: IPPacket):  # noqa: ANN201 - tri-state
@@ -73,7 +85,12 @@ class IPNode:
         self.interfaces: Dict[str, NetworkInterface] = {}
         self.arp: Dict[str, ARPService] = {}
         self.routing_table = RoutingTable()
-        self.extensions: List[NetworkLayerExtension] = []
+        #: The per-hop pipeline: stage hooks plus per-stage counters.
+        self.dataplane = Dataplane(self)
+        #: Extension objects installed via :meth:`add_extension` or by the
+        #: ``repro.core`` roles, in attach order (introspection only — the
+        #: dataplane holds the actual hook callables).
+        self.extensions: List[object] = []
         self._protocol_handlers: Dict[
             int, Callable[[IPPacket, Optional[NetworkInterface]], None]
         ] = {PROTO_ICMP: self._handle_icmp_packet}
@@ -90,16 +107,34 @@ class IPNode:
         #: little to reverse an MHRP tunnel (paper Section 4.5); RFC 1812
         #: routers quote as much as fits, which is what we default to.
         self.icmp_quote_full = True
-        # Counters for the metrics layer.
-        self.packets_sent = 0
-        self.packets_forwarded = 0
-        #: Forwarded packets that carried IP options.  Options force a
-        #: router off its optimized "fast path" (every option must be
-        #: examined) — the paper's Section 7 argument against the
-        #: LSRR-based IBM proposals; the E4 bench reports this counter.
-        self.slow_path_packets = 0
-        self.packets_delivered = 0
-        self.packets_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Metrics (views onto the dataplane counters)
+    # ------------------------------------------------------------------
+    @property
+    def packets_sent(self) -> int:
+        """Locally originated packets (dataplane ``originated``)."""
+        return self.dataplane.counters.originated
+
+    @property
+    def packets_forwarded(self) -> int:
+        return self.dataplane.counters.forwarded
+
+    @property
+    def slow_path_packets(self) -> int:
+        """Forwarded packets that carried IP options.  Options force a
+        router off its optimized "fast path" (every option must be
+        examined) — the paper's Section 7 argument against the
+        LSRR-based IBM proposals; the E4 bench reports this counter."""
+        return self.dataplane.counters.slow_path
+
+    @property
+    def packets_delivered(self) -> int:
+        return self.dataplane.counters.delivered
+
+    @property
+    def packets_dropped(self) -> int:
+        return self.dataplane.counters.dropped_total
 
     # ------------------------------------------------------------------
     # Configuration
@@ -174,8 +209,20 @@ class IPNode:
         self._protocol_handlers[protocol] = handler
 
     def add_extension(self, extension: NetworkLayerExtension) -> None:
-        """Install a network-layer extension (consulted in order)."""
+        """Install a network-layer extension (consulted in order).
+
+        Adapter over dataplane hook registration: the extension's
+        ``handle_outbound``/``handle_transit`` methods become the node's
+        next ``outbound``/``transit`` stage hooks.
+        """
         self.extensions.append(extension)
+        label = type(extension).__name__
+        self.dataplane.register(
+            "outbound", extension.handle_outbound, name=f"{label}.handle_outbound"
+        )
+        self.dataplane.register(
+            "transit", extension.handle_transit, name=f"{label}.handle_transit"
+        )
 
     def on_icmp(
         self, icmp_type: int, listener: Callable[[IPPacket, ICMPMessage], None]
@@ -215,19 +262,10 @@ class IPNode:
     # Sending
     # ------------------------------------------------------------------
     def send(self, packet: IPPacket) -> None:
-        """Send a locally-originated packet."""
+        """Send a locally-originated packet (dataplane ``outbound`` stage)."""
         if not self.up:
             return
-        self.packets_sent += 1
-        self.sim.trace("ip.send", self.name, packet=repr(packet), uid=packet.uid)
-        for extension in self.extensions:
-            result = extension.handle_outbound(packet)
-            if result is CONSUMED:
-                return
-            if result is not None:
-                packet = result
-                break
-        self._route(packet, transit=False)
+        self.dataplane.outbound(packet)
 
     def send_broadcast(
         self, iface_name: str, protocol: int, payload: object, ttl: int = 1
@@ -241,7 +279,9 @@ class IPNode:
             payload=payload,  # type: ignore[arg-type]
             ttl=ttl,
         )
-        self.packets_sent += 1
+        counters = self.dataplane.counters
+        counters.originated += 1
+        counters.tx += 1
         iface.send_to(HWAddress.broadcast(), ETHERTYPE_IP, packet)
 
     def send_icmp(
@@ -257,7 +297,7 @@ class IPNode:
         self.send(packet)
 
     def forward_injected(self, packet: IPPacket) -> None:
-        """Re-inject a packet into the forwarding path.
+        """Re-inject a packet into the forwarding path (``ttl/route`` stage).
 
         Used by agents that re-tunnel a packet they received (MHRP's
         Section 4.4): the packet keeps its remaining TTL — re-tunneling
@@ -266,22 +306,20 @@ class IPNode:
         """
         if not self.up:
             return
-        self._forward(packet)
+        self.dataplane.forward(packet)
 
     def transmit_on_link(
         self, iface_name: str, dst_ip: IPAddress, packet: IPPacket
     ) -> None:
-        """Transmit ``packet`` directly on one segment, bypassing routing.
+        """Transmit ``packet`` directly on one segment, bypassing routing
+        (``arp-resolve`` → ``egress``, skipping the route lookup).
 
         Foreign agents use this for the final hop to a visiting mobile
         host, whose home address would otherwise route back toward the
         backbone.
         """
         iface = self.interfaces[iface_name]
-        arp = self.arp[iface_name]
-        hw = arp.resolve(dst_ip, packet)
-        if hw is not None:
-            self._transmit(iface, hw, packet)
+        self.dataplane.arp_resolve(iface, dst_ip, packet)
 
     # ------------------------------------------------------------------
     # Inbound
@@ -295,115 +333,15 @@ class IPNode:
             return
         if frame.ethertype != ETHERTYPE_IP:
             return
-        packet: IPPacket = frame.payload
-        self.packet_received(packet, iface)
+        # Dispatch through the attribute, not the dataplane directly:
+        # scenarios may wrap packet_received per instance to observe
+        # inbound packets (a real stack's IP input routine).
+        self.packet_received(frame.payload, iface)
 
     def packet_received(self, packet: IPPacket, iface: Optional[NetworkInterface]) -> None:
-        """Process an inbound IP packet (exposed separately for tests)."""
-        dst = packet.dst
-        if dst == LIMITED_BROADCAST or (iface is not None and dst == iface.network.broadcast):
-            self._deliver_local(packet, iface)
-            return
-        if self.has_address(dst):
-            lsrr = packet.find_lsrr()
-            if lsrr is not None and not lsrr.exhausted:
-                # RFC 791 loose source routing: consume the next hop,
-                # record our address, and continue processing as if the
-                # packet had just arrived for its new destination — so
-                # network-layer extensions (e.g. a forwarder delivering
-                # to a visiting mobile host) get to see it.
-                next_dst = lsrr.advance(recorded=dst)
-                packet.dst = next_dst
-                self.packet_received(packet, iface)
-                return
-            self._deliver_local(packet, iface)
-            return
-        # Extensions see transit packets even on non-forwarding nodes: a
-        # support host acting as a home agent attracts its mobile hosts'
-        # traffic via proxy ARP and must get the chance to claim it
-        # (Section 2 allows the agent to be "a separate support host").
-        rewritten = False
-        for extension in self.extensions:
-            if iface is None:
-                break
-            result = extension.handle_transit(packet, iface)
-            if result is CONSUMED:
-                return
-            if result is not None:
-                packet = result
-                rewritten = True
-                break
-        if not self.forwarding and not rewritten:
-            self._drop(packet, "not-a-router")
-            return
-        self._forward(packet)
-
-    def _forward(self, packet: IPPacket) -> None:
-        if packet.ttl <= 1:
-            self._drop(packet, "ttl-expired")
-            self._send_error(
-                icmp_mod.ICMPError.time_exceeded(packet, quote_full=self.icmp_quote_full)
-            )
-            return
-        packet.ttl -= 1
-        self.packets_forwarded += 1
-        if packet.has_options:
-            self.slow_path_packets += 1
-        self.sim.trace("ip.forward", self.name, packet=repr(packet), uid=packet.uid)
-        self._route(packet, transit=True)
-
-    # ------------------------------------------------------------------
-    # Routing core
-    # ------------------------------------------------------------------
-    def _route(self, packet: IPPacket, transit: bool) -> None:
-        route = self.routing_table.lookup(packet.dst)
-        if route is None:
-            self._drop(packet, "no-route")
-            if transit:
-                self._send_error(
-                    icmp_mod.ICMPError.unreachable(
-                        packet,
-                        code=icmp_mod.CODE_NET_UNREACHABLE,
-                        quote_full=self.icmp_quote_full,
-                    )
-                )
-            return
-        iface = self.interfaces.get(route.interface_name)
-        if iface is None:
-            raise RoutingError(
-                f"{self.name}: route {route} names unknown interface"
-            )
-        next_hop = route.next_hop if route.next_hop is not None else packet.dst
-        if next_hop == iface.ip_address:
-            # A self-pointing route (e.g. a host route installed for a
-            # returned-home mobile host) means local delivery.
-            self._deliver_local(packet, iface)
-            return
-        arp = self.arp[iface.name]
-        hw = arp.resolve(next_hop, packet)
-        if hw is not None:
-            self._transmit(iface, hw, packet)
-
-    def _transmit(self, iface: NetworkInterface, hw: HWAddress, packet: IPPacket) -> None:
-        """Final transmit step: enforce the outgoing medium's MTU.
-
-        All packets are treated as don't-fragment (the modern PMTU
-        discipline): an oversize packet is dropped and answered with
-        ICMP "fragmentation needed".  Tunneling grows packets, so this
-        is where the tunnel-overhead-vs-MTU interaction bites.
-        """
-        medium = iface.medium
-        if medium is not None and packet.total_length > medium.mtu:
-            self._drop(packet, "mtu-exceeded")
-            self._send_error(
-                icmp_mod.ICMPError.unreachable(
-                    packet,
-                    code=icmp_mod.CODE_FRAG_NEEDED,
-                    quote_full=self.icmp_quote_full,
-                )
-            )
-            return
-        iface.send_to(hw, ETHERTYPE_IP, packet)
+        """Process an inbound IP packet (dataplane ``ingress`` stage;
+        exposed separately for tests)."""
+        self.dataplane.ingress(packet, iface)
 
     def _arp_resolved(
         self,
@@ -413,44 +351,27 @@ class IPNode:
         packets: List[IPPacket],
     ) -> None:
         for packet in packets:
-            self._transmit(iface, hw, packet)
+            self.dataplane.egress(iface, hw, packet)
 
     def _arp_failed(
         self, iface: NetworkInterface, ip: IPAddress, packets: List[IPPacket]
     ) -> None:
         for packet in packets:
-            self._drop(packet, "arp-failed")
+            self.dataplane.drop(packet, "arp-failed")
             if not self.has_address(packet.src):
                 self._send_error(
                     icmp_mod.ICMPError.unreachable(packet, quote_full=self.icmp_quote_full)
                 )
 
     # ------------------------------------------------------------------
-    # Local delivery
+    # ICMP
     # ------------------------------------------------------------------
-    def _deliver_local(self, packet: IPPacket, iface: Optional[NetworkInterface]) -> None:
-        self.packets_delivered += 1
-        self.sim.trace("ip.deliver", self.name, packet=repr(packet), uid=packet.uid)
-        handler = self._protocol_handlers.get(packet.protocol)
-        if handler is None:
-            self._drop(packet, "protocol-unreachable")
-            if not packet.dst == LIMITED_BROADCAST:
-                self._send_error(
-                    icmp_mod.ICMPError.unreachable(
-                        packet,
-                        code=icmp_mod.CODE_PROTOCOL_UNREACHABLE,
-                        quote_full=self.icmp_quote_full,
-                    )
-                )
-            return
-        handler(packet, iface)
-
     def _handle_icmp_packet(
         self, packet: IPPacket, iface: Optional[NetworkInterface]
     ) -> None:
         message = packet.payload
         if not isinstance(message, ICMPMessage):
-            self._drop(packet, "malformed-icmp")
+            self.dataplane.drop(packet, "malformed-icmp")
             return
         if message.icmp_type == icmp_mod.TYPE_ECHO_REQUEST:
             assert isinstance(message, icmp_mod.EchoMessage)
@@ -466,9 +387,6 @@ class IPNode:
         # which is exactly the backwards-compatibility story for the
         # location update message (paper, Section 4.3).
 
-    # ------------------------------------------------------------------
-    # Errors / drops
-    # ------------------------------------------------------------------
     def _send_error(self, error: ICMPError) -> None:
         """Return an ICMP error to the quoted packet's source, applying the
         standard suppression rules (never about ICMP errors, broadcasts,
@@ -482,13 +400,15 @@ class IPNode:
             return
         if quoted.src.is_zero or quoted.src == LIMITED_BROADCAST:
             return
-        self.sim.trace(
-            "icmp.error",
-            self.name,
-            icmp_type=error.icmp_type,
-            code=error.code,
-            about=repr(quoted),
-        )
+        if self.sim.trace_active("icmp.error"):
+            self.sim.trace(
+                "icmp.error",
+                self.name,
+                icmp_type=error.icmp_type,
+                code=error.code,
+                about=repr(quoted),
+            )
+        self.dataplane.counters.icmp_sent += 1
         self.send_icmp(quoted.src, error)
 
     def _quote_cap(self) -> Optional[int]:
@@ -502,10 +422,6 @@ class IPNode:
         ]
         smallest = min(mtus) if mtus else 576
         return min(smallest, 576) - 28
-
-    def _drop(self, packet: IPPacket, reason: str) -> None:
-        self.packets_dropped += 1
-        self.sim.trace("ip.drop", self.name, reason=reason, packet=repr(packet), uid=packet.uid)
 
     def __repr__(self) -> str:
         kind = "router" if self.forwarding else "host"

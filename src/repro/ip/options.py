@@ -10,7 +10,7 @@ from real encodings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Protocol, Sequence, runtime_checkable
 
 from repro.errors import PacketError
 from repro.ip.address import IPAddress
@@ -19,6 +19,25 @@ from repro.ip.address import IPAddress
 OPT_END = 0
 OPT_NOP = 1
 OPT_LSRR = 0x83  # copied flag set, class 0, number 3
+
+
+@runtime_checkable
+class IPOptionLike(Protocol):
+    """Structural type every IP option satisfies.
+
+    :class:`IPOption` (generic TLV) and :class:`LSRROption` both conform;
+    ``IPPacket.options`` is typed against this protocol rather than
+    ``object`` so option lists type-check without casts.
+    """
+
+    @property
+    def byte_length(self) -> int:
+        """Serialized size in bytes."""
+        ...
+
+    def to_bytes(self) -> bytes:
+        """Exact wire encoding."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -122,17 +141,17 @@ class LSRROption:
         return cls(route=route, pointer=pointer)
 
 
-def options_byte_length(options: Sequence[object]) -> int:
+def options_byte_length(options: Sequence[IPOptionLike]) -> int:
     """Total serialized size of an option list, padded to a 4-byte boundary."""
-    raw = sum(opt.byte_length for opt in options)  # type: ignore[attr-defined]
+    raw = sum(opt.byte_length for opt in options)
     return (raw + 3) & ~3
 
 
-def serialize_options(options: Sequence[object]) -> bytes:
+def serialize_options(options: Sequence[IPOptionLike]) -> bytes:
     """Serialize options and pad with EOL/zero bytes to a 4-byte boundary."""
     out = bytearray()
     for opt in options:
-        out += opt.to_bytes()  # type: ignore[attr-defined]
+        out += opt.to_bytes()
     while len(out) % 4:
         out.append(OPT_END)
     return bytes(out)

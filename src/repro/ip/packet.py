@@ -14,12 +14,17 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, runtime_checkable
+from typing import List, Optional, Protocol, Tuple, runtime_checkable
 
 from repro.errors import PacketError
 from repro.ip.address import IPAddress
 from repro.ip.checksum import internet_checksum
-from repro.ip.options import LSRROption, options_byte_length, serialize_options
+from repro.ip.options import (
+    IPOptionLike,
+    LSRROption,
+    options_byte_length,
+    serialize_options,
+)
 from repro.ip.protocols import protocol_name
 
 #: Default initial time-to-live, matching 1990s BSD practice.
@@ -45,7 +50,7 @@ class Payload(Protocol):
         ...
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RawPayload:
     """Opaque application bytes.
 
@@ -69,7 +74,7 @@ class RawPayload:
         return self.data
 
 
-@dataclass
+@dataclass(slots=True)
 class IPPacket:
     """An IPv4 packet.
 
@@ -90,8 +95,14 @@ class IPPacket:
     ttl: int = DEFAULT_TTL
     tos: int = 0
     identification: int = 0
-    options: List[object] = field(default_factory=list)
+    options: List[IPOptionLike] = field(default_factory=list)
     uid: int = field(default_factory=lambda: next(_packet_ids))
+    #: ``(len(options) at scan time, result)`` memo for :meth:`find_lsrr`;
+    #: keyed on the list length so appending an option (the LSRR agents do
+    #: this after a miss) transparently invalidates the memo.
+    _lsrr_cache: Optional[Tuple[int, Optional[LSRROption]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.src = IPAddress(self.src)
@@ -119,11 +130,23 @@ class IPPacket:
         return bool(self.options)
 
     def find_lsrr(self) -> Optional[LSRROption]:
-        """The packet's LSRR option, if present."""
+        """The packet's LSRR option, if present (memoized single scan).
+
+        LSRR forwarders call this at every hop; the scan result is cached
+        against the current option count so repeat lookups on an
+        unmodified list are O(1) while an appended option forces a rescan.
+        """
+        memo = self._lsrr_cache
+        count = len(self.options)
+        if memo is not None and memo[0] == count:
+            return memo[1]
+        found = None
         for opt in self.options:
             if isinstance(opt, LSRROption):
-                return opt
-        return None
+                found = opt
+                break
+        self._lsrr_cache = (count, found)
+        return found
 
     # ------------------------------------------------------------------
     # Serialization

@@ -52,13 +52,36 @@ class Route:
         return f"{self.network} dev {self.interface_name} {via} metric {self.metric}"
 
 
+#: Bound on memoized lookup results; past it the memo is reset wholesale
+#: (workloads touch far fewer distinct destinations than this).
+LOOKUP_CACHE_MAX = 4096
+
+#: Sentinel distinguishing "not memoized" from a memoized miss (None).
+_MISS = object()
+
+
 class RoutingTable:
-    """A longest-prefix-match IPv4 routing table."""
+    """A longest-prefix-match IPv4 routing table.
+
+    Lookups are memoized per destination address: the forwarding engine
+    resolves the same destinations for every packet of a flow, so after
+    the first longest-prefix scan each hop costs one dict probe.  Any
+    mutation invalidates the memo (routes move under mobile hosts
+    constantly — correctness beats retention).
+    """
 
     def __init__(self) -> None:
         # prefix_len -> {network -> route}; scanned from /32 down so the
         # longest prefix wins.  Dict-of-dicts keeps withdrawal O(1).
         self._by_prefix: Dict[int, Dict[IPNetwork, Route]] = {}
+        #: Prefix lengths present, presorted longest-first for lookup.
+        self._prefix_order: List[int] = []
+        #: destination value -> Route | None (memoized misses included).
+        self._lookup_cache: Dict[int, object] = {}
+
+    def _invalidate(self) -> None:
+        self._prefix_order = sorted(self._by_prefix, reverse=True)
+        self._lookup_cache.clear()
 
     # ------------------------------------------------------------------
     # Mutation
@@ -71,6 +94,7 @@ class RoutingTable:
         if existing is not None and existing.metric < route.metric:
             return
         bucket[route.network] = route
+        self._invalidate()
 
     def add_connected(self, network: IPNetwork, interface_name: str) -> None:
         self.add(Route(network=network, interface_name=interface_name))
@@ -128,6 +152,8 @@ class RoutingTable:
         removed = bucket.pop(network, None) is not None
         if not bucket:
             del self._by_prefix[network.prefix_len]
+        if removed:
+            self._invalidate()
         return removed
 
     def remove_host_route(self, host: IPAddress) -> bool:
@@ -143,23 +169,36 @@ class RoutingTable:
                 removed += 1
             if not bucket:
                 del self._by_prefix[prefix_len]
+        if removed:
+            self._invalidate()
         return removed
 
     def clear(self) -> None:
         self._by_prefix.clear()
+        self._invalidate()
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
     def lookup(self, destination: IPAddress) -> Optional[Route]:
         """Longest-prefix-match lookup; ``None`` if no route covers it."""
-        for prefix_len in sorted(self._by_prefix, reverse=True):
+        key = destination.value
+        cache = self._lookup_cache
+        hit = cache.get(key, _MISS)
+        if hit is not _MISS:
+            return hit  # type: ignore[return-value]
+        result: Optional[Route] = None
+        for prefix_len in self._prefix_order:
             bucket = self._by_prefix[prefix_len]
-            masked = destination.value & IPNetwork._mask_for(prefix_len)
+            masked = key & IPNetwork._mask_for(prefix_len)
             route = bucket.get(IPNetwork(masked, prefix_len))
             if route is not None:
-                return route
-        return None
+                result = route
+                break
+        if len(cache) >= LOOKUP_CACHE_MAX:
+            cache.clear()
+        cache[key] = result
+        return result
 
     def require(self, destination: IPAddress) -> Route:
         """Like :meth:`lookup` but raises :class:`RoutingError` on a miss."""

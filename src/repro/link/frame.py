@@ -71,7 +71,7 @@ class HWAddress:
         return f"HWAddress({str(self)!r})"
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """A link-layer frame.
 

@@ -92,14 +92,15 @@ class Medium:
             raise LinkError(f"{sender} transmitting on {self.name} while detached")
         self.frames_transmitted += 1
         self.bytes_transmitted += frame.byte_length
-        self.sim.trace(
-            "link.tx",
-            sender.node_name,
-            medium=self.name,
-            frame=repr(frame.payload),
-            bytes=frame.byte_length,
-            uid=getattr(frame.payload, "uid", None),
-        )
+        if self.sim.trace_active("link.tx"):
+            self.sim.trace(
+                "link.tx",
+                sender.node_name,
+                medium=self.name,
+                frame=repr(frame.payload),
+                bytes=frame.byte_length,
+                uid=getattr(frame.payload, "uid", None),
+            )
         if frame.is_broadcast:
             for iface in list(self._interfaces.values()):
                 if iface is not sender:
@@ -135,9 +136,10 @@ class Medium:
                 "link.drop", target.node_name, medium=self.name, reason="detached"
             )
             return
-        self.sim.trace(
-            "link.rx", target.node_name, medium=self.name, frame=repr(frame.payload)
-        )
+        if self.sim.trace_active("link.rx"):
+            self.sim.trace(
+                "link.rx", target.node_name, medium=self.name, frame=repr(frame.payload)
+            )
         target.receive_frame(frame)
 
     def __repr__(self) -> str:

@@ -1,6 +1,7 @@
 """Measurement and reporting utilities for the benchmark harness."""
 
 from repro.metrics.journey import Journey, journey_of, journeys_matching
+from repro.metrics.netstat import node_counters, render_netstat, stage_rows, totals
 from repro.metrics.report import Table, fmt_float
 from repro.metrics.stats import mean, mean_ci, percentile, stdev, summarize
 
@@ -12,7 +13,11 @@ __all__ = [
     "journeys_matching",
     "mean",
     "mean_ci",
+    "node_counters",
     "percentile",
+    "render_netstat",
+    "stage_rows",
     "stdev",
     "summarize",
+    "totals",
 ]

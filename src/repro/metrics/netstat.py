@@ -1,0 +1,62 @@
+"""Per-node/per-stage dataplane counter reporting (``repro netstat``).
+
+Every :class:`~repro.ip.node.IPNode` carries a
+:class:`~repro.ip.dataplane.DataplaneCounters` on its pipeline; this
+module collects those counters across a topology and renders them the
+way ``netstat -s`` renders a kernel's — one block per node, counters
+grouped by the pipeline stage that increments them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.ip.dataplane import STAGES, DataplaneCounters
+from repro.metrics.report import Table
+
+
+def node_counters(node) -> Dict[str, int]:
+    """Flat counter snapshot for one node (drop reasons expanded)."""
+    return node.dataplane.counters.snapshot()
+
+
+def stage_rows(node) -> List[Tuple[str, str, int]]:
+    """``(stage, counter, value)`` rows for one node, pipeline order,
+    zero counters omitted."""
+    counters: DataplaneCounters = node.dataplane.counters
+    order = {stage: index for index, stage in enumerate(STAGES)}
+    order["hooks"] = order["outbound"]  # hook counters sort with the hook stages
+    order["*"] = len(STAGES)  # cross-stage counters (drops, icmp) last
+    rows: List[Tuple[str, str, int]] = []
+    for name, stage in DataplaneCounters.STAGE_OF.items():
+        if name == "dropped":
+            for reason in sorted(counters.dropped):
+                rows.append((stage, f"dropped[{reason}]", counters.dropped[reason]))
+            continue
+        value = getattr(counters, name)
+        if value:
+            rows.append((stage, name, value))
+    rows.sort(key=lambda row: order.get(row[0], len(STAGES)))
+    return rows
+
+
+def render_netstat(nodes: Iterable, title: str = "dataplane counters") -> str:
+    """One table of per-node, per-stage counters (idle nodes skipped)."""
+    table = Table(title, ["node", "stage", "counter", "count"])
+    empty = True
+    for node in nodes:
+        for stage, counter, value in stage_rows(node):
+            table.add_row(node.name, stage, counter, value)
+            empty = False
+    if empty:
+        return f"{title}\n(no packets processed)"
+    return table.render()
+
+
+def totals(nodes: Iterable) -> Dict[str, int]:
+    """Counter sums across ``nodes`` (same keys as :func:`node_counters`)."""
+    out: Dict[str, int] = {}
+    for node in nodes:
+        for name, value in node_counters(node).items():
+            out[name] = out.get(name, 0) + value
+    return out

@@ -16,7 +16,7 @@ from typing import Any, Callable, Optional
 from repro.errors import SimulationError
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A single scheduled callback.
 
@@ -44,17 +44,41 @@ class Event:
         return f"<Event t={self.time:.6f} #{self.sequence}{label}{state}>"
 
 
+#: Compaction trigger: at least this many cancelled events must be
+#: pending before a compaction is considered at all.
+COMPACT_MIN_CANCELLED = 64
+
+#: ...and cancelled events must make up at least this fraction of the
+#: heap.  Together the two bounds amortize compaction to O(1) per cancel.
+COMPACT_MIN_FRACTION = 0.5
+
+
 class EventQueue:
     """A priority queue of :class:`Event` objects.
 
     The queue assigns the insertion sequence number itself so callers can
     never violate the FIFO-among-ties invariant.
+
+    Cancelled events are discarded lazily on :meth:`pop`, which keeps
+    :meth:`Event.cancel` O(1) — but a long run that keeps restarting
+    :class:`~repro.netsim.simulator.Timer`\\ s far in the future (ARP
+    timeouts, registration retries) would otherwise accumulate cancelled
+    events without bound.  :meth:`note_cancelled` therefore triggers a
+    **compaction** (filter + re-heapify, O(n)) once cancelled events are
+    both numerous (:data:`COMPACT_MIN_CANCELLED`) and a majority of the
+    heap (:data:`COMPACT_MIN_FRACTION`).  Event order is untouched:
+    ordering is the total order ``(time, sequence)``, independent of the
+    heap's internal layout.
     """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._live = 0
+        #: Estimate of cancelled events still sitting in the heap.
+        self._cancelled_pending = 0
+        #: Number of compaction passes run (observability for tests).
+        self.compactions = 0
 
     def __len__(self) -> int:
         return self._live
@@ -80,16 +104,21 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                if self._cancelled_pending > 0:
+                    self._cancelled_pending -= 1
                 continue
             self._live -= 1
             return event
         self._live = 0
+        self._cancelled_pending = 0
         return None
 
     def peek_time(self) -> Optional[float]:
         """Return the fire time of the next live event without removing it."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            if self._cancelled_pending > 0:
+                self._cancelled_pending -= 1
         if not self._heap:
             self._live = 0
             return None
@@ -100,12 +129,39 @@ class EventQueue:
 
         Called by the simulator so ``len()`` stays an upper bound that
         converges to the true count; exactness is restored lazily by
-        :meth:`pop`/:meth:`peek_time`.
+        :meth:`pop`/:meth:`peek_time`.  Also drives the compaction
+        heuristic (see the class docstring).
         """
         if self._live > 0:
             self._live -= 1
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending >= COMPACT_MIN_CANCELLED
+            and self._cancelled_pending >= len(self._heap) * COMPACT_MIN_FRACTION
+        ):
+            self.compact()
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Estimated cancelled events still occupying heap slots."""
+        return self._cancelled_pending
+
+    @property
+    def heap_size(self) -> int:
+        """Physical heap size including not-yet-discarded cancelled events."""
+        return len(self._heap)
+
+    def compact(self) -> None:
+        """Drop every cancelled event from the heap now (O(n))."""
+        if self._cancelled_pending == 0:
+            return
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_pending = 0
+        self.compactions += 1
 
     def clear(self) -> None:
         """Drop every pending event."""
         self._heap.clear()
         self._live = 0
+        self._cancelled_pending = 0

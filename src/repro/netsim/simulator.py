@@ -121,6 +121,14 @@ class Simulator:
         """Record a trace entry stamped with the current time."""
         self.tracer.record(self.clock.now, category, node, **detail)
 
+    def trace_active(self, category: str) -> bool:
+        """Whether a :meth:`trace` call for ``category`` would record.
+
+        Per-packet code paths check this before building trace kwargs so
+        tracing is zero-cost when disabled or restricted away.
+        """
+        return self.tracer.active(category)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------

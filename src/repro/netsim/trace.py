@@ -32,7 +32,7 @@ CATEGORIES = (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEntry:
     """One traced occurrence."""
 
@@ -97,6 +97,26 @@ class Tracer:
     def subscribe(self, listener: Callable[[TraceEntry], None]) -> None:
         """Invoke ``listener`` for every recorded entry (after filtering)."""
         self._listeners.append(listener)
+
+    def active(self, category: str) -> bool:
+        """Whether a :meth:`record` call for ``category`` would store an
+        entry right now.
+
+        Hot-path callers guard with this *before* building the ``detail``
+        kwargs (which usually means ``repr()``-ing a packet or frame), so
+        a disabled or restricted tracer costs nothing per packet::
+
+            if sim.trace_active("ip.forward"):
+                sim.trace("ip.forward", name, packet=repr(packet), ...)
+
+        The condition mirrors :meth:`record` exactly, including listener
+        visibility (listeners only ever see entries that pass the
+        enabled/category filter).
+        """
+        if not self.enabled:
+            return False
+        allowed = self._allowed
+        return allowed is None or category in allowed
 
     def record(self, time: float, category: str, node: str, **detail: Any) -> None:
         """Record one entry if tracing is enabled and the category allowed."""

@@ -1,0 +1,113 @@
+"""Unit tests for the dataplane pipeline's per-stage counters.
+
+The forwarding behaviour itself is covered by test_node_forwarding.py;
+these tests pin the *accounting* contract: which stage increments which
+counter, and under which drop reason packets die.
+"""
+
+import pytest
+
+from repro.ip.dataplane import STAGES, DataplaneCounters
+from repro.ip.packet import IPPacket
+from repro.ip.protocols import UDP
+
+
+class TestFlowCounters:
+    def test_end_to_end_flow_accounting(self, two_lans_one_router):
+        sim, a, r, b, net_a, net_b = two_lans_one_router
+        b.register_protocol(UDP, lambda p, i: None)
+        a.send(IPPacket(src=net_a.host(1), dst=net_b.host(1), protocol=UDP))
+        sim.run_until_idle()
+        # A originated one data packet (plus ARP traffic below IP).
+        assert a.dataplane.counters.originated == 1
+        assert a.dataplane.counters.tx >= 1
+        # The router forwarded it: rx on ingress, forwarded on ttl-route,
+        # tx on egress.
+        assert r.dataplane.counters.rx >= 1
+        assert r.dataplane.counters.forwarded == 1
+        assert r.dataplane.counters.tx >= 1
+        # B delivered it up the stack.
+        assert b.dataplane.counters.rx >= 1
+        assert b.dataplane.counters.delivered == 1
+        assert b.dataplane.counters.dropped_total == 0
+
+    def test_legacy_counter_properties_mirror_dataplane(self, two_lans_one_router):
+        sim, a, r, b, net_a, net_b = two_lans_one_router
+        b.register_protocol(UDP, lambda p, i: None)
+        a.send(IPPacket(src=net_a.host(1), dst=net_b.host(1), protocol=UDP))
+        sim.run_until_idle()
+        assert a.packets_sent == a.dataplane.counters.originated
+        assert r.packets_forwarded == r.dataplane.counters.forwarded
+        assert b.packets_delivered == b.dataplane.counters.delivered
+
+
+class TestDropReasons:
+    def test_ttl_expiry_counts_dropped_and_icmp(self, two_lans_one_router):
+        sim, a, r, b, net_a, net_b = two_lans_one_router
+        a.send(IPPacket(src=net_a.host(1), dst=net_b.host(1), protocol=UDP, ttl=1))
+        sim.run_until_idle()
+        assert r.dataplane.counters.dropped.get("ttl-expired") == 1
+        assert r.dataplane.counters.icmp_sent >= 1
+        assert r.dataplane.counters.forwarded == 0
+
+    def test_no_route_counts_dropped(self, two_lans_one_router):
+        sim, a, r, b, net_a, net_b = two_lans_one_router
+        a.send(IPPacket(src=net_a.host(1), dst="203.0.113.1", protocol=UDP))
+        sim.run_until_idle()
+        assert r.dataplane.counters.dropped.get("no-route") == 1
+
+    def test_host_counts_transit_as_not_a_router(self, two_hosts_one_lan):
+        sim, lan, a, b, net = two_hosts_one_lan
+        packet = IPPacket(src=net.host(1), dst="99.0.0.1", protocol=UDP)
+        b.packet_received(packet, b.interfaces["eth0"])
+        assert b.dataplane.counters.dropped == {"not-a-router": 1}
+        assert b.dataplane.counters.dropped_total == 1
+
+    def test_unknown_protocol_counts_at_local_delivery(self, two_hosts_one_lan):
+        sim, lan, a, b, net = two_hosts_one_lan
+        a.send(IPPacket(src=net.host(1), dst=net.host(2), protocol=123))
+        sim.run_until_idle()
+        assert b.dataplane.counters.dropped.get("protocol-unreachable") == 1
+        # ...and the delivered counter still ticks: the packet reached
+        # local delivery before the protocol lookup failed.
+        assert b.dataplane.counters.delivered == 1
+
+
+class TestCountersObject:
+    def test_snapshot_expands_drop_reasons(self):
+        counters = DataplaneCounters()
+        counters.rx = 3
+        counters.note_drop("ttl-expired")
+        counters.note_drop("ttl-expired")
+        counters.note_drop("no-route")
+        snap = counters.snapshot()
+        assert snap["rx"] == 3
+        assert snap["dropped[ttl-expired]"] == 2
+        assert snap["dropped[no-route]"] == 1
+        assert snap["dropped_total"] == 3
+
+    def test_clear_resets_everything(self):
+        counters = DataplaneCounters()
+        counters.tx = 5
+        counters.note_drop("no-route")
+        counters.clear()
+        assert counters.tx == 0
+        assert counters.dropped == {}
+        assert counters.dropped_total == 0
+
+    def test_every_counter_maps_to_a_known_stage(self):
+        stages = set(STAGES) | {"hooks", "*"}
+        assert set(DataplaneCounters.STAGE_OF.values()) <= stages
+
+
+class TestHookRegistration:
+    def test_unknown_stage_rejected(self, two_hosts_one_lan):
+        sim, lan, a, b, net = two_hosts_one_lan
+        with pytest.raises(ValueError):
+            a.dataplane.register("egress", lambda p: None)
+
+    def test_hook_names_reflect_registration_order(self, two_hosts_one_lan):
+        sim, lan, a, b, net = two_hosts_one_lan
+        a.dataplane.register("outbound", lambda p: None, name="first")
+        a.dataplane.register("outbound", lambda p: None, name="second")
+        assert a.dataplane.hook_names("outbound") == ("first", "second")

@@ -105,3 +105,49 @@ class TestIntrospection:
         text = str(table)
         assert "10.1.0.0/24" in text
         assert "connected" in text
+
+
+class TestLookupCache:
+    """The memoized longest-prefix-match fast path must be invisible:
+    every mutation invalidates it."""
+
+    def test_repeated_lookup_is_cached(self, table):
+        dst = IPAddress("10.2.0.9")
+        first = table.lookup(dst)
+        assert table.lookup(dst) is first
+        assert dst.value in table._lookup_cache
+
+    def test_add_invalidates(self, table):
+        dst = IPAddress("10.2.0.9")
+        assert table.lookup(dst).next_hop == "10.1.0.254"
+        table.add_host_route(dst, IPAddress("10.1.0.7"), "eth0")
+        assert table.lookup(dst).next_hop == "10.1.0.7"
+
+    def test_remove_invalidates(self, table):
+        dst = IPAddress("10.2.0.9")
+        table.add_host_route(dst, IPAddress("10.1.0.7"), "eth0")
+        assert table.lookup(dst).is_host_route
+        table.remove_host_route(dst)
+        assert table.lookup(dst).next_hop == "10.1.0.254"
+
+    def test_remove_tagged_invalidates(self, table):
+        dst = IPAddress("7.0.0.1")
+        table.add_host_route(dst, IPAddress("10.1.0.9"), "eth0", tag="mhrp")
+        assert table.lookup(dst).is_host_route
+        table.remove_tagged("mhrp")
+        assert not table.lookup(dst).is_host_route  # falls to the default
+
+    def test_negative_result_cached_and_invalidated(self):
+        t = RoutingTable()
+        dst = IPAddress("192.0.2.1")
+        assert t.lookup(dst) is None
+        assert t.lookup(dst) is None  # served from the cache
+        t.add_connected(IPNetwork("192.0.2.0/24"), "eth0")
+        assert t.lookup(dst) is not None
+
+    def test_cache_bounded(self, table):
+        from repro.ip.routing import LOOKUP_CACHE_MAX
+
+        for value in range(LOOKUP_CACHE_MAX + 10):
+            table.lookup(IPAddress((172 << 24) | value))
+        assert len(table._lookup_cache) <= LOOKUP_CACHE_MAX

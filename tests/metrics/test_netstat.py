@@ -1,0 +1,47 @@
+"""Tests for the per-node/per-stage counter report (``repro netstat``)."""
+
+from repro.ip.packet import IPPacket
+from repro.ip.protocols import UDP
+from repro.metrics.netstat import node_counters, render_netstat, stage_rows, totals
+
+
+def _run_flow(two_lans_one_router):
+    sim, a, r, b, net_a, net_b = two_lans_one_router
+    b.register_protocol(UDP, lambda p, i: None)
+    a.send(IPPacket(src=net_a.host(1), dst=net_b.host(1), protocol=UDP))
+    sim.run_until_idle()
+    return a, r, b
+
+
+def test_stage_rows_are_pipeline_ordered(two_lans_one_router):
+    a, r, b = _run_flow(two_lans_one_router)
+    rows = stage_rows(r)
+    stages = [stage for stage, _, _ in rows]
+    assert stages == sorted(
+        stages, key=["ingress", "outbound", "hooks", "local-delivery",
+                     "ttl-route", "arp-resolve", "egress", "*"].index
+    )
+    assert ("ttl-route", "forwarded", 1) in rows
+    # Zero counters are omitted.
+    assert all(value > 0 for _, _, value in rows)
+
+
+def test_render_includes_every_active_node(two_lans_one_router):
+    a, r, b = _run_flow(two_lans_one_router)
+    text = render_netstat([a, r, b], title="flow")
+    for node in (a, r, b):
+        assert node.name in text
+    assert "forwarded" in text and "delivered" in text
+
+
+def test_render_empty_topology(two_lans_one_router):
+    sim, a, r, b, net_a, net_b = two_lans_one_router
+    assert "(no packets processed)" in render_netstat([r], title="idle")
+
+
+def test_totals_sum_across_nodes(two_lans_one_router):
+    a, r, b = _run_flow(two_lans_one_router)
+    grand = totals([a, r, b])
+    assert grand["delivered"] == 1
+    assert grand["forwarded"] == 1
+    assert grand["rx"] == sum(node_counters(n)["rx"] for n in (a, r, b))

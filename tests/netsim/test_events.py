@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.netsim.events import EventQueue
+from repro.netsim.events import COMPACT_MIN_CANCELLED, EventQueue
 
 
 class TestEventQueue:
@@ -69,3 +69,77 @@ class TestEventQueue:
         assert len(queue) == 2
         queue.pop()
         assert len(queue) == 1
+
+
+def _cancel(queue, event):
+    """Cancel the way the simulator does: mark + account."""
+    event.cancel()
+    queue.note_cancelled()
+
+
+class TestCompaction:
+    def test_note_cancelled_tracks_pending(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(10)]
+        for event in events[:3]:
+            _cancel(queue, event)
+        assert queue.cancelled_pending == 3
+        assert queue.heap_size == 10  # lazily discarded, still in the heap
+        assert len(queue) == 7
+
+    def test_pop_discard_decrements_pending(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        _cancel(queue, first)
+        assert queue.cancelled_pending == 1
+        event = queue.pop()
+        assert event.time == 2.0
+        assert queue.cancelled_pending == 0
+
+    def test_few_cancellations_do_not_compact(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(16)]
+        for event in events[:8]:  # majority-eligible fraction, tiny count
+            _cancel(queue, event)
+        assert queue.compactions == 0
+        assert queue.heap_size == 16
+
+    def test_majority_of_cancelled_events_triggers_compaction(self):
+        queue = EventQueue()
+        live = [queue.push(1000.0 + i, lambda: None) for i in range(10)]
+        doomed = [
+            queue.push(float(i), lambda: None)
+            for i in range(COMPACT_MIN_CANCELLED)
+        ]
+        for event in doomed:
+            _cancel(queue, event)
+        # The final cancel crossed both thresholds (64 cancelled, a
+        # majority of the 74-entry heap) and compacted in place.
+        assert queue.compactions == 1
+        assert queue.cancelled_pending == 0
+        assert queue.heap_size == len(live)
+        assert len(queue) == len(live)
+
+    def test_order_preserved_across_compaction(self):
+        queue = EventQueue()
+        fired = []
+        keep = []
+        for i in range(2 * COMPACT_MIN_CANCELLED):
+            event = queue.push(float(i), lambda i=i: fired.append(i))
+            if i % 2:
+                keep.append(i)
+            else:
+                _cancel(queue, event)
+        assert queue.compactions >= 1
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == keep
+
+    def test_clear_resets_pending(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        _cancel(queue, event)
+        queue.clear()
+        assert queue.cancelled_pending == 0
+        assert queue.heap_size == 0
