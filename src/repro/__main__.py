@@ -8,8 +8,13 @@
     python -m repro robustness         # the Section 5 mechanisms
     python -m repro transfer           # TCP across handoffs
     python -m repro campus [hosts] [cells] [seconds]
-    python -m repro netstat [seed]     # per-node dataplane counters for
+    python -m repro netstat [seed] [--json] [--all]
+                                       # per-node dataplane counters for
                                        # the Figure-1 walkthrough
+    python -m repro health [scenario] [--json] [--perfetto PATH]
+                                       # protocol-health panel (latency,
+                                       # stretch, blackout percentiles)
+    python -m repro trace [uid]        # follow one packet's journey
     python -m repro sweep <experiment> [--jobs N] [--no-cache]
                                        [--quick] [--check-baseline]
 """
@@ -33,10 +38,13 @@ _DEMOS = {
     "robustness": ("examples.robustness_demo", "crash recovery and loop dissolution"),
     "transfer": ("examples.mobile_file_transfer", "a TCP download across 3 handoffs"),
     "campus": ("examples.campus_roaming", "many hosts roaming under load"),
+    "telemetry": ("examples.protocol_health", "live health panel + Perfetto export"),
 }
 
 _COMMANDS = {
     "netstat": "per-node/per-stage dataplane counters for a demo scenario",
+    "health": "protocol-health telemetry panel (see `health --help`)",
+    "trace": "follow one packet uid through a scenario (see `trace --help`)",
     "sweep": "run a multi-seed experiment sweep (see `sweep --help`)",
 }
 
@@ -44,9 +52,14 @@ _COMMANDS = {
 def _netstat(argv: list[str]) -> int:
     """Run the Figure-1 Section 6 walkthrough and print every node's
     dataplane pipeline counters, grouped by stage."""
-    from repro.metrics.netstat import render_netstat
+    import json
+
+    from repro.metrics.netstat import netstat_json, render_netstat
     from repro.workloads.topology import build_figure1
 
+    as_json = "--json" in argv
+    include_idle = "--all" in argv
+    argv = [a for a in argv if a not in ("--json", "--all")]
     seed = int(argv[0]) if argv else 42
     topo = build_figure1(seed=seed)
     sim, s, m = topo.sim, topo.s, topo.m
@@ -63,8 +76,13 @@ def _netstat(argv: list[str]) -> int:
     s.ping(m.home_address)
     sim.run(until=32.0)
     nodes = [s, topo.r1, topo.r2, topo.r3, topo.r4, topo.r5, m]
+    if as_json:
+        print(json.dumps(netstat_json(nodes, include_idle=include_idle),
+                         indent=2, sort_keys=True))
+        return 0
     print(render_netstat(nodes, title=f"figure-1 walkthrough (seed {seed}) — "
-                                      f"dataplane counters at t={sim.now:g}s"))
+                                      f"dataplane counters at t={sim.now:g}s",
+                         include_idle=include_idle))
     return 0
 
 
@@ -90,6 +108,14 @@ def main(argv: list[str]) -> int:
         return sweep_main(argv[1:])
     if name == "netstat":
         return _netstat(argv[1:])
+    if name == "health":
+        from repro.telemetry.cli import health_main
+
+        return health_main(argv[1:])
+    if name == "trace":
+        from repro.telemetry.cli import trace_main
+
+        return trace_main(argv[1:])
     entry = _DEMOS.get(name)
     if entry is None:
         print(f"unknown command {name!r}\n", file=sys.stderr)

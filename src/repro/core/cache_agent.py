@@ -202,6 +202,9 @@ class CacheAgent:
         if packet.protocol == PROTO_ICMP and isinstance(packet.payload, LocationUpdate):
             return None  # never tunnel the control traffic itself
         foreign_agent = self.cache.get(packet.dst)
+        telemetry = self.node.sim.telemetry
+        if telemetry is not None:
+            telemetry.cache_lookup(self.node.name, foreign_agent is not None)
         if foreign_agent is None:
             return None
         if self.node.has_address(foreign_agent):
@@ -240,6 +243,9 @@ class CacheAgent:
         if packet.protocol == PROTO_ICMP and isinstance(packet.payload, LocationUpdate):
             return None  # the control traffic itself is never tunneled
         foreign_agent = self.cache.get(packet.dst)
+        telemetry = self.node.sim.telemetry
+        if telemetry is not None:
+            telemetry.cache_lookup(self.node.name, foreign_agent is not None)
         if foreign_agent is None or self.node.has_address(foreign_agent):
             return None
         self.tunnels_built += 1

@@ -223,6 +223,12 @@ class ForeignAgent:
             send_location_update(
                 self.node, address, mobile_host, self.address, self.limiter
             )
+        sim = self.node.sim
+        telemetry = sim.telemetry
+        if telemetry is not None:
+            telemetry.tunnel_delivery(
+                sim.now, self.node.name, str(mobile_host), len(previous_sources)
+            )
         decapsulate(packet)
         self.delivered_to_visitors += 1
         self.node.sim.trace(

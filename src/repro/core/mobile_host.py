@@ -137,6 +137,9 @@ class MobileHost(Host):
         than waiting out the advertisement period (Section 3 allows both).
         """
         self.moves += 1
+        telemetry = self.sim.telemetry
+        if telemetry is not None:
+            telemetry.mh_moved(self.sim.now, self.name)
         self.iface.attach_to(medium)
         if solicit:
             self.discovery.solicit("wifi0")
@@ -173,6 +176,9 @@ class MobileHost(Host):
         """
         old_fa = self.current_foreign_agent
         self.moves += 1
+        telemetry = self.sim.telemetry
+        if telemetry is not None:
+            telemetry.mh_moved(self.sim.now, self.name)
         self.iface.attach_to(medium)
         temp = IPAddress(temp_address)
         self.iface.alias_addresses = {temp}
@@ -271,6 +277,7 @@ class MobileHost(Host):
             agent=agent,
             hw_value=self.iface.hw_address.value,
         )
+        registration_started = self.sim.now
 
         def connected(ack: RegistrationMessage) -> None:
             self._registering_with = None
@@ -281,6 +288,12 @@ class MobileHost(Host):
             self.temp_address = None
             self.iface.alias_addresses = set()
             self.registrations += 1
+            telemetry = self.sim.telemetry
+            if telemetry is not None:
+                telemetry.registration_complete(
+                    self.sim.now, self.name, agent,
+                    self.sim.now - registration_started,
+                )
             self._last_fa_heard = self.sim.now
             if self._fa_lifetime <= 0:
                 from repro.core.discovery import DEFAULT_ADVERT_LIFETIME
@@ -373,6 +386,12 @@ class MobileHost(Host):
         for address in stale:
             send_location_update(
                 self, address, self.home_address, location, self.limiter
+            )
+        telemetry = self.sim.telemetry
+        if telemetry is not None:
+            telemetry.tunnel_delivery(
+                self.sim.now, self.name, str(header.mobile_host),
+                len(header.previous_sources),
             )
         decapsulate(packet)
         self.sim.trace(

@@ -13,6 +13,7 @@ serially, across 4 processes, or straight out of the cache.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from fnmatch import fnmatch
 from typing import Dict, List, Optional, Sequence
 
 from repro.harness.runner import CellResult, group_key
@@ -96,6 +97,20 @@ def aggregate(results: Sequence[CellResult]) -> List[AggregateRow]:
             )
         )
     return rows
+
+
+def select_metrics(
+    rows: Sequence[AggregateRow], patterns: Sequence[str]
+) -> List[str]:
+    """Metric names (across all rows, first-seen order) matching any of
+    the shell-style ``patterns`` — e.g. ``["latency_ms_p*", "blackout*"]``
+    to narrow a wide telemetry summary to the columns under study."""
+    names: List[str] = []
+    for row in rows:
+        for name in row.metrics:
+            if name not in names and any(fnmatch(name, p) for p in patterns):
+                names.append(name)
+    return names
 
 
 def _fmt_stat(summary: MetricSummary) -> str:

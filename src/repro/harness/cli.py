@@ -18,7 +18,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.harness.aggregate import aggregate, summary_table
+from repro.harness.aggregate import aggregate, select_metrics, summary_table
 from repro.harness.regress import (
     compare_to_baseline,
     default_baseline_path,
@@ -68,6 +68,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--tolerance", type=float, default=0.05, metavar="FRACTION",
         help="relative drift allowed by --check-baseline (default 0.05)",
     )
+    parser.add_argument(
+        "--metrics", metavar="PATTERNS",
+        help="comma-separated shell-style patterns selecting the metric "
+             "columns to show (e.g. 'latency_ms_p*,blackout*'); default: all",
+    )
     return parser
 
 
@@ -107,9 +112,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     rows = aggregate(report.results)
     n_seeds = max((r.n_seeds for r in rows), default=0)
+    shown = None
+    if args.metrics:
+        patterns = [p.strip() for p in args.metrics.split(",") if p.strip()]
+        shown = select_metrics(rows, patterns)
+        if not shown:
+            print(f"no metrics match {args.metrics!r}", file=sys.stderr)
     table = summary_table(
         rows,
         f"{spec.name} — across-seed aggregates ({n_seeds} seeds/point)",
+        metrics=shown,
     )
     table.print()
     print()

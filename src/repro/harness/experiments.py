@@ -17,6 +17,10 @@ Registered sweeps:
 - ``dataplane`` — per-hop pipeline microbench: packets/sec through a
   line of routers, tracing on and off, plus the deterministic packet
   accounting the CI baseline gates on.
+- ``handoff-telemetry`` — Figure-1 under a continuous ping stream with
+  a :class:`~repro.telemetry.health.ProtocolHealth` hub attached:
+  end-to-end latency / path stretch / handoff blackout / registration
+  latency distributions vs wireless link latency.
 """
 
 from __future__ import annotations
@@ -269,6 +273,66 @@ def dataplane_cell(
         "forwarded": sum(r.packets_forwarded for r in routers),
         "events": sim.events_processed,
     }
+
+
+# ----------------------------------------------------------------------
+# handoff-telemetry (the PR 3 observability sweep)
+# ----------------------------------------------------------------------
+def handoff_telemetry_cell(
+    seed: int,
+    wireless_latency: float = 0.003,
+    ping_interval: float = 0.5,
+    duration: float = 40.0,
+) -> Dict[str, object]:
+    """Figure-1 with a telemetry hub attached and a steady ping stream
+    from the correspondent across two handoffs (B -> D -> E -> D).
+
+    Returns the hub's full flat summary, so the aggregator rolls the
+    latency/stretch/blackout/registration percentiles up across seeds
+    (every value is simulation-time-derived, hence deterministic per
+    seed).
+    """
+    from repro.telemetry.health import ProtocolHealth
+    from repro.workloads.topology import build_figure1
+
+    topo = build_figure1(seed=seed, wireless_latency=wireless_latency)
+    sim, s, m = topo.sim, topo.s, topo.m
+    # Bound trace storage: the hub's listeners see every entry anyway.
+    sim.tracer.limit(10_000)
+    nodes = [s, topo.r1, topo.r2, topo.r3, topo.r4, topo.r5, m]
+    hub = ProtocolHealth(max_completed_journeys=256).attach(sim, nodes=nodes)
+    m.attach_home(topo.net_b)
+    sim.run(until=2.0)
+    m.attach(topo.net_d)
+    sim.schedule_at(15.0, lambda: m.attach(topo.net_e))
+    sim.schedule_at(28.0, lambda: m.attach(topo.net_d))
+    t = 4.0
+    while t < duration - 1.0:
+        sim.schedule_at(t, lambda: s.ping(m.home_address))
+        t += ping_interval
+    sim.run(until=duration)
+    return hub.summary()
+
+
+HANDOFF_TELEMETRY = register(
+    ExperimentSpec(
+        name="handoff-telemetry",
+        cell_fn="repro.harness.experiments:handoff_telemetry_cell",
+        description="handoff latency/stretch/blackout distributions on Figure-1",
+        grid={"wireless_latency": [0.003, 0.01, 0.03]},
+        seeds=(42, 43, 44),
+        quick_grid={"wireless_latency": [0.003]},
+        quick_seeds=(42,),
+        directions={
+            "latency_ms_p95": "lower",
+            "stretch_p95": "lower",
+            "blackout_ms_max": "lower",
+            "registration_ms_p95": "lower",
+            "packets_delivered": "higher",
+            "packets_dropped": "lower",
+        },
+    )
+)
 
 
 DATAPLANE = register(

@@ -226,6 +226,9 @@ class Dataplane:
         self.counters.originated += 1
         if sim.trace_active("ip.send"):
             sim.trace("ip.send", node.name, packet=repr(packet), uid=packet.uid)
+        telemetry = sim.telemetry
+        if telemetry is not None:
+            telemetry.packet_sent(sim.now, node.name, packet)
         for hook in self._outbound_hooks:
             result = hook(packet)
             if result is CONSUMED:
@@ -300,6 +303,9 @@ class Dataplane:
         sim = node.sim
         if sim.trace_active("ip.forward"):
             sim.trace("ip.forward", node.name, packet=repr(packet), uid=packet.uid)
+        telemetry = sim.telemetry
+        if telemetry is not None:
+            telemetry.packet_forwarded(sim.now, node.name, packet)
         self.route(packet, transit=True)
 
     def route(self, packet: IPPacket, transit: bool) -> None:
@@ -379,6 +385,9 @@ class Dataplane:
         self.counters.delivered += 1
         if sim.trace_active("ip.deliver"):
             sim.trace("ip.deliver", node.name, packet=repr(packet), uid=packet.uid)
+        telemetry = sim.telemetry
+        if telemetry is not None:
+            telemetry.packet_delivered(sim.now, node.name, packet)
         handler = node._protocol_handlers.get(packet.protocol)
         if handler is None:
             self.drop(packet, "protocol-unreachable")
@@ -404,3 +413,6 @@ class Dataplane:
             sim.trace(
                 "ip.drop", node.name, reason=reason, packet=repr(packet), uid=packet.uid
             )
+        telemetry = sim.telemetry
+        if telemetry is not None:
+            telemetry.packet_dropped(sim.now, node.name, packet, reason)

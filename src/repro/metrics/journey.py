@@ -1,133 +1,47 @@
 """Per-packet journey reconstruction from the trace.
 
-Because MHRP rewrites packets in place, a logical packet keeps its uid
-across every tunneling transform; the tracer records that uid on every
-forward, delivery, drop, and tunnel event.  :func:`journey_of` stitches
-those into a :class:`Journey` — the sequence of nodes the packet
-visited, the tunnel operations applied to it, and how it ended — which
-tests and benches use to assert on *paths*, not just endpoints.
+The :class:`Journey` / :class:`JourneyStep` model and the incremental
+builder now live in :mod:`repro.telemetry.journeys` (the streaming
+flight recorder).  This module keeps the historical post-hoc API —
+:func:`journey_of` and :func:`journeys_matching` against an
+already-recorded trace — as thin wrappers that build a
+:class:`~repro.telemetry.journeys.JourneyIndex` in **one pass** over
+the entries, instead of the original per-uid full rescan (which made
+``journeys_matching`` O(uids x entries)).
+
+For live use (bounded memory, no end-of-run pass), attach the index
+while the simulation runs::
+
+    index = JourneyIndex(max_completed=4096).attach(sim.tracer)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List
 
 from repro.netsim.simulator import Simulator
-from repro.netsim.trace import TraceEntry
+from repro.telemetry.journeys import Journey, JourneyIndex, JourneyStep
 
-
-@dataclass
-class JourneyStep:
-    """One observed event in a packet's life."""
-
-    time: float
-    node: str
-    kind: str           # "forward" | "deliver" | "drop" | tunnel event name
-    detail: dict = field(default_factory=dict)
-
-
-@dataclass
-class Journey:
-    """Everything the trace knows about one logical packet."""
-
-    uid: int
-    steps: List[JourneyStep] = field(default_factory=list)
-
-    @property
-    def nodes_visited(self) -> List[str]:
-        """Nodes in visit order (consecutive duplicates collapsed)."""
-        out: List[str] = []
-        for step in self.steps:
-            if not out or out[-1] != step.node:
-                out.append(step.node)
-        return out
-
-    @property
-    def hops(self) -> int:
-        """Router hops (forward events) plus the originating hop."""
-        return sum(1 for s in self.steps if s.kind == "forward") + 1
-
-    @property
-    def tunnel_events(self) -> List[JourneyStep]:
-        return [s for s in self.steps if s.kind.startswith("mhrp:")]
-
-    @property
-    def was_tunneled(self) -> bool:
-        return bool(self.tunnel_events)
-
-    @property
-    def dropped(self) -> bool:
-        return any(s.kind == "drop" for s in self.steps)
-
-    @property
-    def drop_reason(self) -> Optional[str]:
-        for step in self.steps:
-            if step.kind == "drop":
-                return step.detail.get("reason")
-        return None
-
-    @property
-    def delivered_at(self) -> Optional[str]:
-        """The last node that locally delivered the packet, if any."""
-        for step in reversed(self.steps):
-            if step.kind == "deliver":
-                return step.node
-        return None
-
-    def detoured_through(self, node: str) -> bool:
-        return node in self.nodes_visited
-
-    def __repr__(self) -> str:
-        path = " -> ".join(self.nodes_visited)
-        end = self.drop_reason or (f"delivered@{self.delivered_at}" if self.delivered_at else "?")
-        return f"<Journey #{self.uid} {path} ({end})>"
-
-
-_KIND_BY_CATEGORY = {
-    "ip.send": "send",
-    "ip.forward": "forward",
-    "ip.deliver": "deliver",
-    "ip.drop": "drop",
-}
+__all__ = ["Journey", "JourneyIndex", "JourneyStep", "journey_of", "journeys_matching"]
 
 
 def journey_of(sim: Simulator, uid: int) -> Journey:
     """Reconstruct the journey of packet ``uid`` from the trace.
 
     The tracer must have recorded the ``ip.*`` and ``mhrp.tunnel``
-    categories (the default unless restricted).
+    categories (the default unless restricted).  Returns an empty
+    journey when the uid never appears, matching the historical
+    behaviour.
     """
-    journey = Journey(uid=uid)
-    for entry in sim.tracer.entries:
-        if entry.detail.get("uid") != uid:
-            continue
-        kind = _KIND_BY_CATEGORY.get(entry.category)
-        if kind is None:
-            if entry.category == "mhrp.tunnel":
-                kind = f"mhrp:{entry.detail.get('event', '?')}"
-            else:
-                continue
-        journey.steps.append(JourneyStep(
-            time=entry.time, node=entry.node, kind=kind, detail=dict(entry.detail)
-        ))
-    journey.steps.sort(key=lambda s: s.time)
-    return journey
+    index = JourneyIndex.from_entries(
+        e for e in sim.tracer.entries if e.detail.get("uid") == uid
+    )
+    return index.journey(uid) or Journey(uid=uid)
 
 
-def journeys_matching(sim: Simulator, predicate) -> List[Journey]:
+def journeys_matching(
+    sim: Simulator, predicate: Callable[[Journey], bool]
+) -> List[Journey]:
     """All journeys whose uid appears in the trace and that satisfy
-    ``predicate(journey)``."""
-    uids = []
-    seen = set()
-    for entry in sim.tracer.entries:
-        uid = entry.detail.get("uid")
-        if uid is not None and uid not in seen:
-            seen.add(uid)
-            uids.append(uid)
-    out = []
-    for uid in uids:
-        journey = journey_of(sim, uid)
-        if predicate(journey):
-            out.append(journey)
-    return out
+    ``predicate(journey)``, in first-seen order (single pass)."""
+    return JourneyIndex.from_entries(sim.tracer.entries).matching(predicate)

@@ -40,17 +40,41 @@ def stage_rows(node) -> List[Tuple[str, str, int]]:
     return rows
 
 
-def render_netstat(nodes: Iterable, title: str = "dataplane counters") -> str:
-    """One table of per-node, per-stage counters (idle nodes skipped)."""
+def render_netstat(
+    nodes: Iterable, title: str = "dataplane counters", include_idle: bool = False
+) -> str:
+    """One table of per-node, per-stage counters.
+
+    Idle nodes (all counters zero) are skipped unless ``include_idle``.
+    """
     table = Table(title, ["node", "stage", "counter", "count"])
     empty = True
     for node in nodes:
-        for stage, counter, value in stage_rows(node):
+        rows = stage_rows(node)
+        if not rows and include_idle:
+            table.add_row(node.name, "-", "(idle)", 0)
+            empty = False
+            continue
+        for stage, counter, value in rows:
             table.add_row(node.name, stage, counter, value)
             empty = False
     if empty:
         return f"{title}\n(no packets processed)"
     return table.render()
+
+
+def netstat_json(nodes: Iterable, include_idle: bool = False) -> Dict[str, Dict[str, int]]:
+    """Machine-readable netstat: node name -> flat counter snapshot.
+
+    Zero counters are omitted per node (so the JSON diffs cleanly);
+    idle nodes appear as empty dicts only with ``include_idle``.
+    """
+    out: Dict[str, Dict[str, int]] = {}
+    for node in nodes:
+        snapshot = {k: v for k, v in node_counters(node).items() if v}
+        if snapshot or include_idle:
+            out[node.name] = snapshot
+    return out
 
 
 def totals(nodes: Iterable) -> Dict[str, int]:

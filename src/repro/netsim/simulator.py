@@ -68,6 +68,9 @@ class Simulator:
         queue: the event queue.
         rng: seeded random source shared by all components.
         tracer: structured trace collector.
+        telemetry: the attached protocol-health hub, or ``None`` (the
+            default).  Hot paths guard notifications with a single
+            is-``None`` check, mirroring :meth:`trace_active`.
     """
 
     def __init__(
@@ -80,6 +83,10 @@ class Simulator:
         self.queue = EventQueue()
         self.rng = random.Random(seed)
         self.tracer = Tracer(max_entries=trace_max_entries)
+        #: A telemetry hub (repro.telemetry.ProtocolHealth) when one is
+        #: attached; None keeps every notification site to one attribute
+        #: load and an is-None test.
+        self.telemetry = None
         self._running = False
         self._processed = 0
 

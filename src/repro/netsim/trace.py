@@ -131,18 +131,42 @@ class Tracer:
         for listener in self._listeners:
             listener(entry)
 
-    def select(self, category: Optional[str] = None, node: Optional[str] = None) -> list[TraceEntry]:
-        """Return entries matching the given category and/or node."""
-        return [
-            e
-            for e in self.entries
-            if (category is None or e.category == category)
-            and (node is None or e.node == node)
-        ]
+    def _matching(
+        self,
+        category: Optional[str],
+        node: Optional[str],
+        where: Optional[Callable[[dict[str, Any]], bool]],
+    ) -> Iterator[TraceEntry]:
+        for e in self.entries:
+            if category is not None and e.category != category:
+                continue
+            if node is not None and e.node != node:
+                continue
+            if where is not None and not where(e.detail):
+                continue
+            yield e
 
-    def count(self, category: Optional[str] = None, node: Optional[str] = None) -> int:
-        """Number of entries matching the filter."""
-        return len(self.select(category, node))
+    def select(
+        self,
+        category: Optional[str] = None,
+        node: Optional[str] = None,
+        where: Optional[Callable[[dict[str, Any]], bool]] = None,
+    ) -> list[TraceEntry]:
+        """Return entries matching the given category and/or node.
+
+        ``where`` optionally filters on the entry's detail dict, e.g.
+        ``tracer.select("mhrp.tunnel", where=lambda d: d.get("uid") == 7)``.
+        """
+        return list(self._matching(category, node, where))
+
+    def count(
+        self,
+        category: Optional[str] = None,
+        node: Optional[str] = None,
+        where: Optional[Callable[[dict[str, Any]], bool]] = None,
+    ) -> int:
+        """Number of entries matching the filter (no list materialized)."""
+        return sum(1 for _ in self._matching(category, node, where))
 
     def __iter__(self) -> Iterator[TraceEntry]:
         return iter(self.entries)

@@ -1,0 +1,164 @@
+"""``python -m repro health`` and ``python -m repro trace``.
+
+``health`` runs a demo scenario with a :class:`ProtocolHealth` hub
+attached and renders the protocol-health panel (p50/p95/p99 latency,
+stretch, blackout, loop dissolution, ...).  ``--json`` emits the flat
+summary dict instead, ``--check`` compares it against a committed
+golden file (the CI smoke test), and ``--perfetto`` / ``--jsonl``
+write the journey-index exports.
+
+``trace`` runs the Figure-1 walkthrough and follows one packet uid
+through the journey index — or lists every journey when no uid is
+given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Tuple
+
+from repro.telemetry.health import ProtocolHealth
+
+SCENARIOS = ("figure1", "loop")
+
+
+def figure1_scenario(seed: int = 42) -> Tuple[object, ProtocolHealth]:
+    """The Section 6 / Figure-1 walkthrough with telemetry attached:
+    home attach, roam to net D, pings, handoff to net E, more pings."""
+    from repro.workloads.topology import build_figure1
+
+    topo = build_figure1(seed=seed)
+    sim, s, m = topo.sim, topo.s, topo.m
+    nodes = [s, topo.r1, topo.r2, topo.r3, topo.r4, topo.r5, m]
+    hub = ProtocolHealth().attach(sim, nodes=nodes)
+    m.attach_home(topo.net_b)
+    sim.run(until=5.0)
+    m.attach(topo.net_d)          # roam: discovery, registration, tunnels
+    sim.run(until=12.0)
+    s.ping(m.home_address)        # via home agent, then direct tunnels
+    sim.run(until=16.0)
+    s.ping(m.home_address)
+    sim.run(until=20.0)
+    m.attach(topo.net_e)          # handoff: the stale cache re-tunnels
+    sim.run(until=28.0)
+    s.ping(m.home_address)
+    sim.run(until=32.0)
+    return sim, hub
+
+
+def loop_scenario(seed: int = 3, loop_size: int = 6, max_list: int = 4) -> Tuple[object, ProtocolHealth]:
+    """The Section 5.3 loop laboratory with telemetry attached: a
+    ring-seeded cache loop, one injected packet, dissolution timed."""
+    from repro.workloads.loops import build_loop, inject_and_measure
+
+    topo = build_loop(loop_size, max_list, seed=seed)
+    hub = ProtocolHealth().attach(
+        topo.sim, nodes=list(topo.routers) if hasattr(topo, "routers") else None
+    )
+    inject_and_measure(topo, loop_size, max_list)
+    return topo.sim, hub
+
+
+def run_scenario(name: str, seed: int) -> Tuple[object, ProtocolHealth]:
+    if name == "figure1":
+        return figure1_scenario(seed=seed)
+    if name == "loop":
+        return loop_scenario(seed=seed)
+    raise ValueError(f"unknown scenario {name!r}; expected one of {SCENARIOS}")
+
+
+def _check_against(summary: dict, golden_path: str) -> int:
+    """Compare ``summary`` to a committed golden dict; 0 iff equal."""
+    with open(golden_path) as handle:
+        golden = json.load(handle)
+    mismatches: List[str] = []
+    for key in sorted(set(golden) | set(summary)):
+        expected, got = golden.get(key), summary.get(key)
+        if expected != got:
+            mismatches.append(f"  {key}: golden={expected!r} run={got!r}")
+    if mismatches:
+        print(f"health summary diverged from {golden_path}:", file=sys.stderr)
+        print("\n".join(mismatches), file=sys.stderr)
+        return 1
+    print(f"health summary matches {golden_path} ({len(golden)} fields)")
+    return 0
+
+
+def health_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro health",
+        description="run a demo scenario and render the protocol-health panel",
+    )
+    parser.add_argument("scenario", nargs="?", default="figure1", choices=SCENARIOS,
+                        help="which scenario to run (default: figure1)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="simulation seed (default: the scenario's own)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the flat summary dict as JSON instead of the panel")
+    parser.add_argument("--check", metavar="GOLDEN",
+                        help="compare the summary against a committed golden JSON; exit 1 on drift")
+    parser.add_argument("--perfetto", metavar="PATH",
+                        help="write a Chrome trace-event / Perfetto file of the run")
+    parser.add_argument("--jsonl", metavar="PATH",
+                        help="write the journey timeline as JSON Lines")
+    args = parser.parse_args(argv)
+
+    seed = args.seed if args.seed is not None else (42 if args.scenario == "figure1" else 3)
+    sim, hub = run_scenario(args.scenario, seed)
+    summary = hub.summary()
+
+    status = 0
+    if args.check:
+        status = _check_against(summary, args.check)
+    if args.perfetto:
+        from repro.telemetry.exporters import export_chrome_trace
+
+        n = export_chrome_trace(hub.index, args.perfetto)
+        print(f"wrote {n} trace events to {args.perfetto} (open in ui.perfetto.dev)",
+              file=sys.stderr)
+    if args.jsonl:
+        from repro.telemetry.exporters import export_jsonl
+
+        n = export_jsonl(hub.index, args.jsonl)
+        print(f"wrote {n} timeline records to {args.jsonl}", file=sys.stderr)
+
+    if args.as_json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    elif not args.check:
+        title = f"{args.scenario} walkthrough (seed {seed}) — t={sim.now:g}s"
+        print(hub.render(title))
+    return status
+
+
+def trace_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="follow one packet uid through the Figure-1 walkthrough",
+    )
+    parser.add_argument("uid", nargs="?", type=int, default=None,
+                        help="packet uid to follow (omit to list all journeys)")
+    parser.add_argument("--scenario", default="figure1", choices=SCENARIOS)
+    parser.add_argument("--seed", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    seed = args.seed if args.seed is not None else (42 if args.scenario == "figure1" else 3)
+    _, hub = run_scenario(args.scenario, seed)
+    index = hub.index
+    if args.uid is None:
+        for journey in index:
+            print(journey)
+        print(f"\n{len(index)} journeys; rerun with a uid to expand one")
+        return 0
+    journey = index.journey(args.uid)
+    if journey is None:
+        known = ", ".join(str(u) for u in index.uids())
+        print(f"no journey for uid {args.uid}; known uids: {known}", file=sys.stderr)
+        return 1
+    print(journey)
+    for step in journey.steps:
+        extra = {k: v for k, v in step.detail.items() if k != "uid"}
+        suffix = f"  {extra}" if extra else ""
+        print(f"  t={step.time:9.6f}  {step.node:12s} {step.kind}{suffix}")
+    return 0

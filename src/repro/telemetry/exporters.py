@@ -1,0 +1,110 @@
+"""Exporters: journey index → JSONL timeline or Chrome trace events.
+
+Two formats, both derived from a :class:`JourneyIndex`:
+
+- **JSONL timeline** (:func:`export_jsonl`): one JSON object per
+  journey step, in time order — trivially grep-able and diff-able.
+- **Chrome trace-event JSON** (:func:`export_chrome_trace`): the
+  format consumed by ``chrome://tracing`` and https://ui.perfetto.dev.
+  Every packet uid becomes a track (a "thread"), every hop or tunnel
+  operation a span on that track, so a Figure-1 run renders as a
+  swim-lane diagram of packets flowing through the topology.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, List, Union
+
+from repro.telemetry.journeys import JourneyIndex
+
+#: Simulated seconds → trace-event microseconds.
+_US = 1_000_000.0
+
+
+def timeline_records(index: JourneyIndex) -> List[Dict[str, object]]:
+    """Flat per-step records for every retained journey, time-ordered.
+
+    Each record carries the packet uid, the step's simulated time, the
+    node it happened at, the step kind (``send`` / ``forward`` /
+    ``deliver`` / ``drop`` / ``mhrp:<event>``), and the raw detail
+    dict minus the redundant uid.
+    """
+    records: List[Dict[str, object]] = []
+    for journey in index:
+        for step in journey.steps:
+            detail = {k: v for k, v in step.detail.items() if k != "uid"}
+            records.append({
+                "uid": journey.uid,
+                "time": step.time,
+                "node": step.node,
+                "kind": step.kind,
+                "detail": detail,
+            })
+    records.sort(key=lambda r: (r["time"], r["uid"]))
+    return records
+
+
+def export_jsonl(index: JourneyIndex, out: Union[str, IO[str]]) -> int:
+    """Write the timeline as JSON Lines; returns the record count."""
+    records = timeline_records(index)
+    if isinstance(out, str):
+        with open(out, "w") as handle:
+            return export_jsonl(index, handle)
+    for record in records:
+        out.write(json.dumps(record, default=str) + "\n")
+    return len(records)
+
+
+def chrome_trace(index: JourneyIndex) -> Dict[str, object]:
+    """Build a Chrome trace-event document from the journey index.
+
+    Layout: one process (``pid`` 1, named for the simulation), one
+    "thread" per packet uid (``tid`` = uid, named ``packet <uid>``
+    with its node path).  Each step becomes a complete ("X") event
+    whose duration runs to the journey's next step — the final step of
+    a journey is rendered as a zero-duration marker.  Times are
+    simulated seconds scaled to microseconds, which Perfetto displays
+    back as seconds.
+    """
+    events: List[Dict[str, object]] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 1,
+        "args": {"name": "repro simulation"},
+    }]
+    for journey in index:
+        path = " -> ".join(journey.nodes_visited)
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": journey.uid,
+            "args": {"name": f"packet {journey.uid} [{path}]"},
+        })
+        steps = journey.steps
+        for i, step in enumerate(steps):
+            end = steps[i + 1].time if i + 1 < len(steps) else step.time
+            args = {k: v for k, v in step.detail.items() if k != "uid"}
+            events.append({
+                "name": f"{step.kind} @ {step.node}",
+                "cat": "tunnel" if step.kind.startswith("mhrp:") else "ip",
+                "ph": "X",
+                "pid": 1,
+                "tid": journey.uid,
+                "ts": step.time * _US,
+                "dur": max(0.0, (end - step.time) * _US),
+                "args": {str(k): str(v) for k, v in args.items()},
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(index: JourneyIndex, out: Union[str, IO[str]]) -> int:
+    """Write the Chrome/Perfetto trace; returns the event count."""
+    document = chrome_trace(index)
+    if isinstance(out, str):
+        with open(out, "w") as handle:
+            json.dump(document, handle)
+    else:
+        json.dump(document, out)
+    return len(document["traceEvents"])

@@ -1,0 +1,245 @@
+"""Metric primitives: counters, gauges, histograms, time series.
+
+Everything here is streaming and bounded: a :class:`Histogram` holds
+log-spaced bucket counts (not samples), a :class:`TimeSeries` holds at
+most ``max_bins`` time bins.  Nothing allocates per observation beyond
+a dict slot the first time a bucket is hit, so the instruments can sit
+behind per-packet hot paths when telemetry is enabled.
+
+The histogram's quantiles are approximate by construction: a value is
+only known to within its bucket, and buckets grow geometrically by
+``growth`` per step, so any reported quantile is within a factor of
+``growth`` of the exact (nearest-rank) percentile the same samples
+would give — the property ``tests/telemetry/test_instruments.py``
+cross-checks against :func:`repro.metrics.stats.percentile`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default bucket growth factor: 2**(1/8) per bucket, i.e. quantiles
+#: are exact to within ~9%.  Eight buckets per octave keeps the bucket
+#: dict small (a few hundred entries across twelve decades).
+DEFAULT_GROWTH = 2.0 ** 0.125
+
+#: Lower edge of bucket 0; everything positive below it lands there.
+DEFAULT_BASE = 1e-9
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.value}>"
+
+
+class Gauge:
+    """A point-in-time value with its observed extremes."""
+
+    __slots__ = ("value", "min", "max", "n")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.n = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.n += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.value} [{self.min}, {self.max}]>"
+
+
+class Histogram:
+    """A log-bucketed histogram of non-negative values.
+
+    Buckets are geometric: bucket ``i`` covers
+    ``[base * growth**i, base * growth**(i+1))``; zero values are
+    counted in a dedicated underflow bucket.  Memory is the number of
+    *distinct* buckets touched, never the number of observations.
+    """
+
+    __slots__ = ("growth", "base", "_log_growth", "_buckets", "zeros",
+                 "count", "total", "min", "max")
+
+    def __init__(self, growth: float = DEFAULT_GROWTH, base: float = DEFAULT_BASE) -> None:
+        if growth <= 1.0:
+            raise ValueError(f"growth must be > 1, got {growth}")
+        if base <= 0.0:
+            raise ValueError(f"base must be positive, got {base}")
+        self.growth = growth
+        self.base = base
+        self._log_growth = math.log(growth)
+        self._buckets: Dict[int, int] = {}
+        self.zeros = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def record(self, value: float) -> None:
+        """Observe one value (must be >= 0)."""
+        if value < 0:
+            raise ValueError(f"histogram values must be non-negative, got {value}")
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.zeros += 1
+            return
+        index = math.floor(math.log(value / self.base) / self._log_growth)
+        if index < 0:
+            index = 0
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def buckets(self) -> List[Tuple[float, float, int]]:
+        """``(low, high, count)`` per non-empty bucket, ascending; the
+        zero bucket (if any) comes first as ``(0.0, 0.0, zeros)``."""
+        out: List[Tuple[float, float, int]] = []
+        if self.zeros:
+            out.append((0.0, 0.0, self.zeros))
+        for index in sorted(self._buckets):
+            low = self.base * self.growth ** index
+            high = self.base * self.growth ** (index + 1)
+            out.append((low, high, self._buckets[index]))
+        return out
+
+    def quantile(self, p: float) -> float:
+        """Approximate ``p``-th percentile (0..100), nearest-rank.
+
+        Mirrors :func:`repro.metrics.stats.percentile` semantics; the
+        result is the geometric midpoint of the bucket holding the
+        target rank, clamped to the observed ``[min, max]`` so the
+        edges are exact.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        if self.count == 0:
+            return 0.0
+        if p == 0:
+            return self.min
+        if p == 100:
+            return self.max
+        rank = max(1, round(p / 100 * self.count))
+        rank = min(rank, self.count)
+        cumulative = self.zeros
+        if rank <= cumulative:
+            return 0.0
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            if rank <= cumulative:
+                low = self.base * self.growth ** index
+                high = self.base * self.growth ** (index + 1)
+                mid = math.sqrt(low * high)
+                return min(max(mid, self.min), self.max)
+        return self.max  # numerical belt-and-braces; unreachable in practice
+
+    def percentiles(self, ps: Sequence[float] = (50, 95, 99)) -> Dict[str, float]:
+        return {f"p{fmt_p(p)}": self.quantile(p) for p in ps}
+
+    def summary(self, scale: float = 1.0) -> Dict[str, float]:
+        """``n/mean/p50/p95/p99/max`` with values multiplied by
+        ``scale`` (e.g. 1000 to report seconds as milliseconds)."""
+        if self.count == 0:
+            return {"n": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+        return {
+            "n": self.count,
+            "mean": self.mean * scale,
+            "p50": self.quantile(50) * scale,
+            "p95": self.quantile(95) * scale,
+            "p99": self.quantile(99) * scale,
+            "max": self.max * scale,
+        }
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.count:
+            return "<Histogram empty>"
+        return (
+            f"<Histogram n={self.count} p50={self.quantile(50):.4g} "
+            f"p95={self.quantile(95):.4g} max={self.max:.4g}>"
+        )
+
+
+def fmt_p(p: float) -> str:
+    """``50 -> '50'``, ``99.9 -> '99_9'`` (metric-name friendly)."""
+    text = f"{p:g}"
+    return text.replace(".", "_")
+
+
+class TimeSeries:
+    """Windowed per-time-bin accumulator (e.g. deliveries per second).
+
+    Observations land in fixed-width bins; when more than ``max_bins``
+    distinct bins exist the oldest is evicted, so memory stays bounded
+    on unbounded runs while the recent window stays exact.
+    """
+
+    __slots__ = ("bin_width", "max_bins", "_bins", "total", "n", "evicted")
+
+    def __init__(self, bin_width: float = 1.0, max_bins: int = 1024) -> None:
+        if bin_width <= 0:
+            raise ValueError(f"bin_width must be positive, got {bin_width}")
+        if max_bins < 1:
+            raise ValueError(f"max_bins must be positive, got {max_bins}")
+        self.bin_width = bin_width
+        self.max_bins = max_bins
+        self._bins: Dict[int, float] = {}
+        self.total = 0.0
+        self.n = 0
+        self.evicted = 0
+
+    def record(self, t: float, value: float = 1.0) -> None:
+        index = math.floor(t / self.bin_width)
+        self._bins[index] = self._bins.get(index, 0.0) + value
+        self.total += value
+        self.n += 1
+        while len(self._bins) > self.max_bins:
+            del self._bins[min(self._bins)]
+            self.evicted += 1
+
+    def bins(self) -> List[Tuple[float, float]]:
+        """``(bin_start_time, accumulated_value)`` in time order."""
+        return [(i * self.bin_width, self._bins[i]) for i in sorted(self._bins)]
+
+    def peak(self) -> float:
+        """The largest single-bin value (0.0 when empty)."""
+        return max(self._bins.values()) if self._bins else 0.0
+
+    def __len__(self) -> int:
+        return len(self._bins)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TimeSeries {len(self._bins)} bins total={self.total:g}>"

@@ -2,7 +2,13 @@
 
 from repro.ip.packet import IPPacket
 from repro.ip.protocols import UDP
-from repro.metrics.netstat import node_counters, render_netstat, stage_rows, totals
+from repro.metrics.netstat import (
+    netstat_json,
+    node_counters,
+    render_netstat,
+    stage_rows,
+    totals,
+)
 
 
 def _run_flow(two_lans_one_router):
@@ -45,3 +51,28 @@ def test_totals_sum_across_nodes(two_lans_one_router):
     assert grand["delivered"] == 1
     assert grand["forwarded"] == 1
     assert grand["rx"] == sum(node_counters(n)["rx"] for n in (a, r, b))
+
+
+def test_netstat_json_omits_zero_counters_and_idle_nodes(two_lans_one_router):
+    import json
+
+    a, r, b = _run_flow(two_lans_one_router)
+    data = netstat_json([a, r, b])
+    assert data[r.name]["forwarded"] == 1
+    assert all(v > 0 for counters in data.values() for v in counters.values())
+    json.dumps(data)  # must be JSON-serializable as-is
+    # An idle node is skipped by default...
+    from repro.ip.host import Host
+
+    sim = two_lans_one_router[0]
+    idle = Host(sim, "idle-host")
+    assert "idle-host" not in netstat_json([a, idle])
+    # ...and appears as an empty dict with include_idle.
+    assert netstat_json([a, idle], include_idle=True)["idle-host"] == {}
+
+
+def test_render_netstat_include_idle_lists_idle_nodes(two_lans_one_router):
+    sim, a, r, b, net_a, net_b = two_lans_one_router
+    text = render_netstat([r], title="idle", include_idle=True)
+    assert r.name in text
+    assert "(idle)" in text

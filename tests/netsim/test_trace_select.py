@@ -1,0 +1,37 @@
+"""Tests for Tracer.select/count filtering (including detail predicates)."""
+
+from repro.netsim.trace import Tracer
+
+
+def _tracer_with_entries() -> Tracer:
+    tracer = Tracer()
+    tracer.record(0.0, "ip.send", "A", uid=1)
+    tracer.record(0.1, "ip.forward", "R", uid=1)
+    tracer.record(0.2, "ip.deliver", "B", uid=1)
+    tracer.record(0.3, "ip.send", "A", uid=2)
+    tracer.record(0.4, "ip.drop", "R", uid=2, reason="ttl-expired")
+    return tracer
+
+
+def test_select_by_category_and_node():
+    tracer = _tracer_with_entries()
+    assert len(tracer.select("ip.send")) == 2
+    assert len(tracer.select(node="R")) == 2
+    assert len(tracer.select("ip.forward", node="R")) == 1
+
+
+def test_select_with_detail_predicate():
+    tracer = _tracer_with_entries()
+    only_uid_2 = tracer.select(where=lambda d: d.get("uid") == 2)
+    assert [e.category for e in only_uid_2] == ["ip.send", "ip.drop"]
+    drops = tracer.select("ip.drop", where=lambda d: d.get("reason") == "ttl-expired")
+    assert len(drops) == 1
+
+
+def test_count_matches_select_without_materializing():
+    tracer = _tracer_with_entries()
+    assert tracer.count() == len(tracer.select()) == 5
+    assert tracer.count("ip.send") == 2
+    assert tracer.count(node="R") == 2
+    assert tracer.count(where=lambda d: d.get("uid") == 1) == 3
+    assert tracer.count("ip.deliver", "B", lambda d: d.get("uid") == 1) == 1

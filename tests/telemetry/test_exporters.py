@@ -1,0 +1,103 @@
+"""Exporters: the Perfetto/Chrome trace must be valid trace-event JSON
+and the JSONL timeline must round-trip."""
+
+import io
+import json
+
+from repro.netsim.trace import TraceEntry
+from repro.telemetry.exporters import (
+    chrome_trace,
+    export_chrome_trace,
+    export_jsonl,
+    timeline_records,
+)
+from repro.telemetry.journeys import JourneyIndex
+
+
+def _entry(t, category, node, **detail):
+    return TraceEntry(time=t, category=category, node=node, detail=detail)
+
+
+def _small_index() -> JourneyIndex:
+    index = JourneyIndex()
+    index.observe(_entry(0.00, "ip.send", "S", uid=1))
+    index.observe(_entry(0.01, "mhrp.tunnel", "S", uid=1, event="sender-encapsulate"))
+    index.observe(_entry(0.02, "ip.forward", "R1", uid=1))
+    index.observe(_entry(0.03, "ip.deliver", "M", uid=1))
+    index.observe(_entry(0.00, "ip.send", "A", uid=2))
+    index.observe(_entry(0.05, "ip.drop", "R2", uid=2, reason="no-route"))
+    return index
+
+
+def test_timeline_records_time_ordered_with_uid():
+    records = timeline_records(_small_index())
+    assert len(records) == 6
+    times = [r["time"] for r in records]
+    assert times == sorted(times)
+    assert {r["uid"] for r in records} == {1, 2}
+    assert all("uid" not in r["detail"] for r in records)
+    drop = [r for r in records if r["kind"] == "drop"][0]
+    assert drop["detail"]["reason"] == "no-route"
+
+
+def test_export_jsonl_round_trips():
+    out = io.StringIO()
+    n = export_jsonl(_small_index(), out)
+    lines = out.getvalue().strip().splitlines()
+    assert n == len(lines) == 6
+    parsed = [json.loads(line) for line in lines]
+    assert parsed == timeline_records(_small_index())
+
+
+def test_chrome_trace_is_valid_trace_event_json():
+    document = chrome_trace(_small_index())
+    # Must survive a strict serialize/parse cycle.
+    document = json.loads(json.dumps(document))
+    events = document["traceEvents"]
+    assert isinstance(events, list) and events
+
+    slices = [e for e in events if e["ph"] == "X"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    assert len(slices) == 6
+    for event in slices:
+        assert event["pid"] == 1
+        assert event["tid"] in (1, 2)           # one track per packet uid
+        assert event["ts"] >= 0
+        assert event["dur"] >= 0
+        assert isinstance(event["name"], str) and "@" in event["name"]
+    # Tunnel ops are categorized separately from plain IP steps.
+    assert any(e["cat"] == "tunnel" for e in slices)
+    # Thread-name metadata gives each packet track a label.
+    names = [e for e in metadata if e["name"] == "thread_name"]
+    assert {e["tid"] for e in names} == {1, 2}
+
+
+def test_chrome_trace_span_durations_run_to_next_step():
+    document = chrome_trace(_small_index())
+    track1 = sorted(
+        (e for e in document["traceEvents"] if e["ph"] == "X" and e["tid"] == 1),
+        key=lambda e: e["ts"],
+    )
+    # send at t=0 lasts until the tunnel op at t=0.01 -> 10_000 us.
+    assert track1[0]["dur"] == 10_000
+    # The final step is a zero-duration marker.
+    assert track1[-1]["dur"] == 0
+
+
+def test_export_chrome_trace_to_file(tmp_path):
+    path = tmp_path / "trace.json"
+    n = export_chrome_trace(_small_index(), str(path))
+    document = json.loads(path.read_text())
+    assert len(document["traceEvents"]) == n
+
+
+def test_figure1_perfetto_export_is_loadable():
+    """The acceptance criterion: a Figure-1 run exports as valid
+    trace-event JSON with every packet as its own track."""
+    from repro.telemetry.cli import figure1_scenario
+
+    _, hub = figure1_scenario(seed=42)
+    document = json.loads(json.dumps(chrome_trace(hub.index)))
+    slices = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    assert len(slices) > 50
+    assert len({e["tid"] for e in slices}) == len(hub.index)

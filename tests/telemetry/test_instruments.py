@@ -1,0 +1,154 @@
+"""Instrument primitives: the histogram's quantiles cross-checked
+against the exact nearest-rank :func:`repro.metrics.stats.percentile`."""
+
+import math
+import random
+
+import pytest
+
+from repro.metrics.stats import percentile
+from repro.telemetry.instruments import (
+    Counter,
+    Gauge,
+    Histogram,
+    TimeSeries,
+    fmt_p,
+)
+
+
+# ----------------------------------------------------------------------
+# Histogram vs exact percentiles
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [1, 7, 42])
+@pytest.mark.parametrize("distribution", ["uniform", "lognormal", "exponential"])
+def test_quantiles_within_bucket_growth_of_exact(seed, distribution):
+    rng = random.Random(seed)
+    samples = {
+        "uniform": lambda: rng.uniform(0.001, 10.0),
+        "lognormal": lambda: rng.lognormvariate(0.0, 2.0),
+        "exponential": lambda: rng.expovariate(3.0),
+    }[distribution]
+    values = [samples() for _ in range(2000)]
+    hist = Histogram()
+    hist.record_many(values)
+    for p in (1, 10, 25, 50, 75, 90, 95, 99, 99.9):
+        exact = percentile(values, p)
+        approx = hist.quantile(p)
+        # A value is known to within its bucket, and buckets grow by
+        # `growth` per step — so the approximation can be off by at
+        # most one bucket's span around the exact value.
+        assert exact / hist.growth <= approx <= exact * hist.growth, (
+            f"p{p}: approx {approx} vs exact {exact} (factor "
+            f"{approx / exact:.4f}, growth {hist.growth:.4f})"
+        )
+
+
+def test_quantile_edges_are_exact():
+    hist = Histogram()
+    values = [0.5, 1.5, 2.5, 9.0]
+    hist.record_many(values)
+    assert hist.quantile(0) == 0.5
+    assert hist.quantile(100) == 9.0  # clamped to observed max
+    assert hist.min == 0.5 and hist.max == 9.0
+
+
+def test_mean_and_count_are_exact():
+    hist = Histogram()
+    hist.record_many([1.0, 2.0, 3.0])
+    assert hist.mean == pytest.approx(2.0)
+    assert hist.count == len(hist) == 3
+
+
+def test_zero_values_get_their_own_bucket():
+    hist = Histogram()
+    hist.record_many([0.0, 0.0, 0.0, 4.0])
+    assert hist.zeros == 3
+    assert hist.quantile(50) == 0.0
+    assert hist.quantile(100) == 4.0
+    low, high, count = hist.buckets()[0]
+    assert (low, high, count) == (0.0, 0.0, 3)
+
+
+def test_negative_values_rejected():
+    hist = Histogram()
+    with pytest.raises(ValueError):
+        hist.record(-1.0)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        Histogram(growth=1.0)
+    with pytest.raises(ValueError):
+        Histogram(base=0.0)
+
+
+def test_summary_scaling():
+    hist = Histogram()
+    hist.record_many([0.001, 0.002, 0.004])
+    summary = hist.summary(scale=1000.0)  # seconds -> milliseconds
+    assert summary["n"] == 3
+    assert summary["mean"] == pytest.approx(7.0 / 3)
+    assert summary["max"] == pytest.approx(4.0)
+    assert Histogram().summary() == {
+        "n": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0
+    }
+
+
+def test_bucket_memory_is_logarithmic():
+    hist = Histogram()
+    rng = random.Random(0)
+    for _ in range(50_000):
+        hist.record(rng.lognormvariate(0.0, 3.0))
+    # Twelve decades at 8 buckets/octave is a few hundred buckets max;
+    # 50k observations must not mean 50k buckets.
+    assert len(hist.buckets()) < 400
+
+
+def test_fmt_p():
+    assert fmt_p(50) == "50"
+    assert fmt_p(99.9) == "99_9"
+
+
+# ----------------------------------------------------------------------
+# Counter / Gauge / TimeSeries
+# ----------------------------------------------------------------------
+def test_counter():
+    c = Counter()
+    c.inc()
+    c.inc(4)
+    assert c.value == int(c) == 5
+
+
+def test_gauge_tracks_extremes():
+    g = Gauge()
+    g.set(3.0)
+    g.set(-1.0)
+    g.set(2.0)
+    assert (g.value, g.min, g.max, g.n) == (2.0, -1.0, 3.0, 3)
+
+
+def test_timeseries_bins_and_peak():
+    ts = TimeSeries(bin_width=1.0)
+    ts.record(0.1)
+    ts.record(0.9)
+    ts.record(2.5, value=3.0)
+    assert ts.bins() == [(0.0, 2.0), (2.0, 3.0)]
+    assert ts.peak() == 3.0
+    assert ts.total == 5.0 and ts.n == 3
+
+
+def test_timeseries_evicts_oldest_bin():
+    ts = TimeSeries(bin_width=1.0, max_bins=3)
+    for t in range(5):
+        ts.record(float(t))
+    assert len(ts) == 3
+    assert ts.evicted == 2
+    assert ts.bins()[0][0] == 2.0  # bins 0 and 1 fell off
+    assert ts.total == 5.0  # totals keep counting what was evicted
+
+
+def test_timeseries_validation():
+    with pytest.raises(ValueError):
+        TimeSeries(bin_width=0.0)
+    with pytest.raises(ValueError):
+        TimeSeries(max_bins=0)
