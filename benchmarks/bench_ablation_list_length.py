@@ -75,7 +75,7 @@ def build_ablation_tables():
         ["k", "re-tunnels to resolve", "updates sent"],
     )
     loop_rows = []
-    for k in (2, 4, 8, 16):
+    for k in (1, 2, 4, 8, 16):
         run = run_loop_experiment(loop_size=8, max_list=k)
         loop_rows.append((k, run))
         loop_table.add_row(k, run.retunnels, run.updates_sent)
@@ -93,9 +93,11 @@ def test_ablation_list_length(benchmark, record):
     # Smaller bounds cap the header growth...
     peaks = {k: row["peak_wire"] for k, row in chain_rows}
     assert peaks[1] <= peaks[8]
-    # ...and every loop resolves under every bound, with the larger
-    # bounds resolving in at most as many re-tunnels.
+    # ...and every loop resolves under every bound — including the
+    # minimum bound k=1, where the list is flushed on every re-tunnel —
+    # with the larger bounds resolving in at most as many re-tunnels.
     by_k = {k: run.retunnels for k, run in loop_rows}
-    assert by_k[16] <= by_k[2]
+    assert by_k[16] <= by_k[2] <= by_k[1]
     for k, run in loop_rows:
+        assert run.resolved, f"k={k} loop never resolved"
         assert run.retunnels <= 24

@@ -17,6 +17,11 @@
     python -m repro trace [uid]        # follow one packet's journey
     python -m repro sweep <experiment> [--jobs N] [--no-cache]
                                        [--quick] [--check-baseline]
+    python -m repro audit <scenario>   # run a scenario (or a fuzz repro
+                                       # JSON) under the invariant auditor
+    python -m repro fuzz [--seeds N] [--shrink] [--quick]
+                                       # fuzz random scenarios; shrink any
+                                       # violation to a minimal repro
 """
 
 from __future__ import annotations
@@ -46,6 +51,8 @@ _COMMANDS = {
     "health": "protocol-health telemetry panel (see `health --help`)",
     "trace": "follow one packet uid through a scenario (see `trace --help`)",
     "sweep": "run a multi-seed experiment sweep (see `sweep --help`)",
+    "audit": "check protocol invariants over a scenario (see `audit --help`)",
+    "fuzz": "fuzz scenarios under the invariant auditor (see `fuzz --help`)",
 }
 
 
@@ -55,27 +62,16 @@ def _netstat(argv: list[str]) -> int:
     import json
 
     from repro.metrics.netstat import netstat_json, render_netstat
-    from repro.workloads.topology import build_figure1
+    from repro.workloads.topology import build_figure1, drive_figure1
 
     as_json = "--json" in argv
     include_idle = "--all" in argv
     argv = [a for a in argv if a not in ("--json", "--all")]
     seed = int(argv[0]) if argv else 42
     topo = build_figure1(seed=seed)
-    sim, s, m = topo.sim, topo.s, topo.m
-    m.attach_home(topo.net_b)
-    sim.run(until=5.0)
-    m.attach(topo.net_d)          # roam: discovery, registration, tunnels
-    sim.run(until=12.0)
-    s.ping(m.home_address)        # via home agent, then direct tunnels
-    sim.run(until=16.0)
-    s.ping(m.home_address)
-    sim.run(until=20.0)
-    m.attach(topo.net_e)          # handoff: the stale cache re-tunnels
-    sim.run(until=28.0)
-    s.ping(m.home_address)
-    sim.run(until=32.0)
-    nodes = [s, topo.r1, topo.r2, topo.r3, topo.r4, topo.r5, m]
+    sim = topo.sim
+    drive_figure1(topo)
+    nodes = [topo.s, topo.r1, topo.r2, topo.r3, topo.r4, topo.r5, topo.m]
     if as_json:
         print(json.dumps(netstat_json(nodes, include_idle=include_idle),
                          indent=2, sort_keys=True))
@@ -116,6 +112,14 @@ def main(argv: list[str]) -> int:
         from repro.telemetry.cli import trace_main
 
         return trace_main(argv[1:])
+    if name == "audit":
+        from repro.invariants.cli import audit_main
+
+        return audit_main(argv[1:])
+    if name == "fuzz":
+        from repro.invariants.cli import fuzz_main
+
+        return fuzz_main(argv[1:])
     entry = _DEMOS.get(name)
     if entry is None:
         print(f"unknown command {name!r}\n", file=sys.stderr)

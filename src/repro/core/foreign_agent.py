@@ -32,6 +32,7 @@ from repro.core.registration import (
     FA_CONNECT,
     FA_DISCONNECT,
     RegistrationMessage,
+    StaleControlFilter,
 )
 from repro.errors import RegistrationError
 from repro.ip.address import IPAddress
@@ -102,6 +103,9 @@ class ForeignAgent:
         #: is added (True) or removed (False); the host-route variant
         #: (Section 3) subscribes here.
         self.visitor_listeners: list = []
+        #: Rejects connect/disconnect notifications older than the
+        #: newest one processed per host (late retransmissions).
+        self.stale_filter = StaleControlFilter()
         self.advertiser: Optional[AgentAdvertiser] = None
         self._dispatcher: Optional[ControlDispatcher] = None
         self._advertise = advertise
@@ -150,6 +154,8 @@ class ForeignAgent:
     # ------------------------------------------------------------------
     def _on_connect(self, packet: IPPacket, message: RegistrationMessage) -> None:
         mobile_host = message.mobile_host
+        if self._ignore_stale(message):
+            return
         self.recent_departures.pop(mobile_host, None)
         self.visitors[mobile_host] = VisitorRecord(
             mobile_host=mobile_host,
@@ -174,6 +180,8 @@ class ForeignAgent:
 
     def _on_disconnect(self, packet: IPPacket, message: RegistrationMessage) -> None:
         mobile_host = message.mobile_host
+        if self._ignore_stale(message):
+            return
         if self.visitors.pop(mobile_host, None) is not None:
             for listener in list(self.visitor_listeners):
                 listener(mobile_host, False)
@@ -197,15 +205,33 @@ class ForeignAgent:
         )
         self._dispatcher.send_ack(mobile_host, message, agent=self.address)
 
+    def _ignore_stale(self, message: RegistrationMessage) -> bool:
+        """Drop a late retransmission of an *older* notification — a
+        delayed ``fa-disconnect`` from move *k* must not de-register the
+        visitor that move *k+1* just connected.  The negative ack stops
+        the sender's retransmit timer without acting on the message."""
+        if not self.stale_filter.is_stale(message):
+            return False
+        self.node.sim.trace(
+            "mhrp.register",
+            self.node.name,
+            event="stale-ignored",
+            kind=message.kind,
+            mobile_host=str(message.mobile_host),
+            seq=message.seq,
+        )
+        self._dispatcher.send_ack(message.mobile_host, message, ok=False)
+        return True
+
     # ------------------------------------------------------------------
     # Tunneled packets addressed to this agent (Sections 4.4, 5.1, 5.3)
     # ------------------------------------------------------------------
     def _on_mhrp_packet(self, packet: IPPacket, iface: Optional[NetworkInterface]) -> None:
         payload = packet.payload
         if not isinstance(payload, MHRPPayload):
-            self.node.sim.trace(
-                "ip.drop", self.node.name, reason="malformed-mhrp", uid=packet.uid
-            )
+            # Route the discard through the dataplane so it is counted
+            # and attributed, not just traced.
+            self.node.dataplane.drop(packet, "malformed-mhrp")
             return
         header = payload.header
         mobile_host = header.mobile_host
@@ -425,6 +451,7 @@ class ForeignAgent:
         # Departure memory is volatile too; after a reboot the Section
         # 5.2 recovery must be able to re-add anyone.
         self.recent_departures.clear()
+        self.stale_filter.reset()
         if self.advertiser is not None:
             # "To speed the state recovery ... broadcast over its local
             # network a query for all mobile hosts to initiate

@@ -110,6 +110,14 @@ class MHRPHeader:
                 f"MHRP header claims {count} sources but only "
                 f"{len(data)} bytes present"
             )
+        if len(data) > needed:
+            # Wire-format strictness: the header is self-delimiting via
+            # the count field, so trailing bytes mean a corrupt count or
+            # a framing bug upstream — never silently ignore them.
+            raise PacketError(
+                f"MHRP header has {len(data) - needed} trailing byte(s) "
+                f"past the {count}-source header"
+            )
         if internet_checksum(data[:needed]) != 0:
             raise PacketError("MHRP header checksum mismatch")
         mobile_host = IPAddress.from_bytes(data[4:8])

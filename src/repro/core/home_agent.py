@@ -34,6 +34,7 @@ from repro.core.registration import (
     ControlDispatcher,
     HA_REGISTER,
     RegistrationMessage,
+    StaleControlFilter,
 )
 from repro.errors import RegistrationError
 from repro.ip.address import IPAddress
@@ -90,6 +91,10 @@ class HomeAgent:
         #: a registration changes the database; the host-route variant
         #: (Section 3) subscribes here.
         self.location_listeners: list = []
+        #: Rejects registrations older than the newest processed per
+        #: host — a delayed ``ha-register`` retransmission must not
+        #: revert the database to a previous foreign agent.
+        self.stale_filter = StaleControlFilter()
         # Stats for the benches.
         self.packets_intercepted = 0
         self.packets_retunneled = 0
@@ -149,6 +154,20 @@ class HomeAgent:
             # Not one of ours: refuse, so a misconfigured host finds out.
             self._dispatcher.send_ack(packet.src, message, ok=False)
             return
+        if self.stale_filter.is_stale(message):
+            # A late retransmission of an older registration: reverting
+            # the database would re-point tunnels at a previous foreign
+            # agent.  Negative-ack so the sender stops retrying.
+            self.node.sim.trace(
+                "mhrp.register",
+                self.node.name,
+                event="stale-ignored",
+                kind=message.kind,
+                mobile_host=str(mobile_host),
+                seq=message.seq,
+            )
+            self._dispatcher.send_ack(mobile_host, message, ok=False)
+            return
         foreign_agent = message.agent
         self.node.sim.trace(
             "mhrp.register",
@@ -204,9 +223,9 @@ class HomeAgent:
         assert foreign_agent is not None  # guarded by is_away above
         if foreign_agent == DISCONNECTED_ADDRESS:
             # Planned disconnection: the host told us it is unreachable.
-            self.node.sim.trace(
-                "ip.drop", self.node.name, reason="mh-disconnected", uid=packet.uid
-            )
+            # Route the discard through the dataplane so the packet gets
+            # a counted, attributed terminal (conservation invariant).
+            self.node.dataplane.drop(packet, "mh-disconnected")
             self.node._send_error(ICMPError.unreachable(packet))
             return CONSUMED
         self.packets_intercepted += 1
@@ -254,6 +273,7 @@ class HomeAgent:
                     self.node, address, mobile_host, IPAddress.zero(),
                     self.limiter, purge=True,
                 )
+            self.node.dataplane.drop(packet, "mh-disconnected")
             self.node._send_error(ICMPError.unreachable(packet))
             return CONSUMED
         if current_fa in stale:
@@ -274,6 +294,7 @@ class HomeAgent:
                 send_location_update(
                     self.node, address, mobile_host, current_fa, self.limiter
                 )
+            self.node.dataplane.drop(packet, "mhrp-recovery")
             return CONSUMED
         for address in stale:
             send_location_update(
@@ -289,8 +310,11 @@ class HomeAgent:
             # A loop that runs through the home agent itself; dissolve it
             # (Section 5.3) and drop the packet.
             self._dissolve_loop(
-                list(header.previous_sources) + [packet.src], mobile_host
+                list(header.previous_sources) + [packet.src],
+                mobile_host,
+                uid=packet.uid,
             )
+            self.node.dataplane.drop(packet, "mhrp-loop-dissolved")
             return CONSUMED
         for address in result.flushed:
             send_location_update(
@@ -308,13 +332,19 @@ class HomeAgent:
         )
         return packet
 
-    def _dissolve_loop(self, members: List[IPAddress], mobile_host: IPAddress) -> None:
+    def _dissolve_loop(
+        self,
+        members: List[IPAddress],
+        mobile_host: IPAddress,
+        uid: Optional[int] = None,
+    ) -> None:
         self.node.sim.trace(
             "mhrp.loop",
             self.node.name,
             event="dissolve",
             mobile_host=str(mobile_host),
             members=[str(a) for a in members],
+            uid=uid,
         )
         for address in members:
             send_location_update(
@@ -326,6 +356,8 @@ class HomeAgent:
     # Reboot recovery (Section 2: database on disk)
     # ------------------------------------------------------------------
     def _on_node_reboot(self) -> None:
+        # Sequence memory is RAM-resident, unlike the database.
+        self.stale_filter.reset()
         if self._store is not None:
             self.database.reload()
         else:

@@ -87,6 +87,43 @@ def next_seq() -> int:
     return next(_seq_counter)
 
 
+class StaleControlFilter:
+    """Per-mobile-host registration sequence high-water mark.
+
+    A mobile host allocates ``seq`` monotonically, so of two control
+    messages from the same host the larger sequence number is always
+    the more recent decision.  Retransmission and agent crashes can
+    deliver them out of order: the ``fa-disconnect`` of move *k* kept
+    alive by :class:`ReliableRegistrar` while the old agent was down
+    can arrive *after* the ``fa-connect`` of move *k+1* — and naively
+    processing it de-registers a perfectly fresh visitor (worse, the
+    bogus departure stamp then suppresses the Section 5.2 recovery for
+    a whole departure-grace window).  Agents consult this filter and
+    ignore — but still acknowledge, so the sender stops retrying —
+    any message strictly older than the newest already processed.
+    """
+
+    def __init__(self) -> None:
+        self._high_water: Dict[IPAddress, int] = {}
+
+    def is_stale(self, message: RegistrationMessage) -> bool:
+        """True iff ``message`` is older than one already processed for
+        the same mobile host; otherwise record it as the newest.
+
+        Equal sequence numbers are *not* stale: they are retransmissions
+        of the message we just processed (the handlers are idempotent).
+        """
+        latest = self._high_water.get(message.mobile_host, 0)
+        if message.seq < latest:
+            return True
+        self._high_water[message.mobile_host] = message.seq
+        return False
+
+    def reset(self) -> None:
+        """Forget everything (the memory is volatile: reboot hook)."""
+        self._high_water.clear()
+
+
 class ControlDispatcher:
     """Per-node demultiplexer for :data:`MOBILE_CONTROL` packets."""
 

@@ -21,6 +21,9 @@ Registered sweeps:
   a :class:`~repro.telemetry.health.ProtocolHealth` hub attached:
   end-to-end latency / path stretch / handoff blackout / registration
   latency distributions vs wireless link latency.
+- ``invariant-fuzz`` — seeded random mobility/fault/traffic scenarios
+  executed under the :mod:`repro.invariants` auditor; ``python -m
+  repro fuzz`` drives it and shrinks violations to minimal repros.
 """
 
 from __future__ import annotations
@@ -331,6 +334,23 @@ HANDOFF_TELEMETRY = register(
             "packets_delivered": "higher",
             "packets_dropped": "lower",
         },
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# invariant-fuzz (the correctness-tooling sweep)
+# ----------------------------------------------------------------------
+INVARIANT_FUZZ = register(
+    ExperimentSpec(
+        name="invariant-fuzz",
+        cell_fn="repro.invariants.fuzz:fuzz_cell",
+        description="seeded random scenarios under the protocol-invariant auditor",
+        grid={"profile": ["default"]},
+        seeds=tuple(range(20)),
+        quick_grid={"profile": ["quick"]},
+        quick_seeds=tuple(range(5)),
+        directions={"violations": "lower"},
     )
 )
 

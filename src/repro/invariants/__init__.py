@@ -1,0 +1,22 @@
+"""Runtime protocol-invariant auditing (the correctness-tooling layer).
+
+The paper's core claims are *invariants*, not numbers: every out-of-date
+cache a packet consults appears on its previous-source list (Section
+5.1), a bounded list still terminates every loop (Sections 4.4/5.3), and
+location updates make stale caches converge lazily.  This package checks
+them continuously:
+
+- :mod:`repro.invariants.rules` — the machine-checkable rule catalogue;
+- :mod:`repro.invariants.auditor` — :class:`InvariantAuditor`, attached
+  to a simulator like ``sim.telemetry`` (is-``None``-guarded, so
+  detached simulations pay one attribute load per notification site);
+- :mod:`repro.invariants.fuzz` — the seeded scenario fuzzer and its
+  greedy minimal-repro shrinker;
+- :mod:`repro.invariants.cli` — ``python -m repro audit`` and
+  ``python -m repro fuzz``.
+"""
+
+from repro.invariants.auditor import InvariantAuditor
+from repro.invariants.rules import RULES, Violation
+
+__all__ = ["InvariantAuditor", "RULES", "Violation"]

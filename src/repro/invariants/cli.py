@@ -1,0 +1,160 @@
+"""``python -m repro audit`` and ``python -m repro fuzz``.
+
+``audit`` runs a named scenario (``figure1``, ``loop``) — or replays a
+fuzz repro artifact by path — with an :class:`InvariantAuditor`
+attached, and exits 1 on any violation.
+
+``fuzz`` fans seeded random scenarios out through the ``repro.harness``
+runner, re-runs every violating seed in-process, greedily shrinks it to
+a minimal schedule, and writes the repro JSON artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.invariants.auditor import InvariantAuditor
+
+DEFAULT_ARTIFACT_DIR = Path("benchmarks/results/fuzz")
+
+AUDIT_SCENARIOS = ("figure1", "loop")
+
+
+def _audit_figure1(seed: int) -> InvariantAuditor:
+    from repro.workloads.topology import build_figure1, drive_figure1
+
+    topo = build_figure1(seed=seed)
+    auditor = InvariantAuditor().attach(topo.sim)
+    drive_figure1(topo)
+    # Periodic agent advertisements keep the queue alive forever, so
+    # drain on the clock: every packet born during the walkthrough gets
+    # ample time to terminate, younger flights are excluded.
+    cutoff = topo.sim.now
+    topo.sim.run(until=cutoff + 10.0)
+    auditor.finalize(ignore_after=cutoff)
+    return auditor
+
+
+def _audit_loop(seed: int, loop_size: int = 6, max_list: int = 4) -> InvariantAuditor:
+    from repro.workloads.loops import build_loop, inject_and_measure
+
+    topo = build_loop(loop_size, max_list, seed=seed)
+    auditor = InvariantAuditor(max_previous_sources=max_list).attach(topo.sim)
+    inject_and_measure(topo, loop_size, max_list)
+    topo.sim.run_until_idle()
+    auditor.finalize()
+    return auditor
+
+
+def audit_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro audit",
+        description="run a scenario under the protocol-invariant auditor",
+    )
+    parser.add_argument(
+        "scenario",
+        help="a named scenario (figure1, loop) or the path of a fuzz repro JSON",
+    )
+    parser.add_argument("--seed", type=int, default=None,
+                        help="simulation seed for named scenarios")
+    args = parser.parse_args(argv)
+
+    if args.scenario == "figure1":
+        auditor = _audit_figure1(args.seed if args.seed is not None else 42)
+    elif args.scenario == "loop":
+        auditor = _audit_loop(args.seed if args.seed is not None else 3)
+    else:
+        from repro.invariants.fuzz import load_scenario, run_scenario
+
+        path = Path(args.scenario)
+        if not path.exists():
+            print(
+                f"unknown scenario {args.scenario!r}: not one of "
+                f"{AUDIT_SCENARIOS} and no such file",
+                file=sys.stderr,
+            )
+            return 2
+        scenario = load_scenario(path)
+        if args.seed is not None:
+            scenario["seed"] = args.seed
+        auditor = run_scenario(scenario)
+
+    print(auditor.render())
+    return 0 if auditor.ok else 1
+
+
+def fuzz_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fuzz",
+        description=(
+            "fuzz random mobility/fault/traffic scenarios under the "
+            "invariant auditor, shrinking any violation to a minimal repro"
+        ),
+    )
+    parser.add_argument("--seeds", type=int, default=25,
+                        help="number of seeds to run (default 25)")
+    parser.add_argument("--start-seed", type=int, default=0,
+                        help="first seed (default 0)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep (default 1)")
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter scenarios (the CI smoke profile)")
+    parser.add_argument("--shrink", action="store_true",
+                        help="greedily shrink violating scenarios to minimal repros")
+    parser.add_argument("--artifact-dir", type=Path, default=DEFAULT_ARTIFACT_DIR,
+                        help=f"where repro JSONs go (default {DEFAULT_ARTIFACT_DIR})")
+    args = parser.parse_args(argv)
+
+    from repro.harness.runner import run_sweep
+    from repro.harness.spec import get_experiment
+    from repro.invariants.fuzz import (
+        make_scenario,
+        run_scenario,
+        shrink_scenario,
+        write_artifact,
+    )
+
+    from dataclasses import replace
+
+    profile = "quick" if args.quick else "default"
+    spec = get_experiment("invariant-fuzz").with_seeds(
+        range(args.start_seed, args.start_seed + args.seeds)
+    )
+    # Pin the grid to the chosen profile; seeds came from --seeds above.
+    spec = replace(spec, grid={"profile": [profile]}, quick_grid=None, quick_seeds=None)
+
+    report = run_sweep(spec, jobs=args.jobs, store=None)
+    bad_seeds: List[int] = []
+    errors = 0
+    for result in report.results:
+        if not result.ok:
+            errors += 1
+            print(f"seed {result.seed}: {result.status}: {result.error}",
+                  file=sys.stderr)
+        elif result.metrics.get("violations", 0):
+            bad_seeds.append(result.seed)
+
+    total = len(report.results)
+    print(
+        f"fuzz: {total} seeds ({profile} profile), "
+        f"{len(bad_seeds)} with violations, {errors} errored"
+    )
+
+    for seed in bad_seeds:
+        scenario = make_scenario(seed, profile)
+        auditor = run_scenario(scenario)
+        rules = {v.rule for v in auditor.violations}
+        print(f"\nseed {seed}: {auditor.total_violations} violation(s) "
+              f"[{', '.join(sorted(rules))}]")
+        minimal = scenario
+        if args.shrink:
+            minimal = shrink_scenario(scenario, rules)
+            auditor = run_scenario(minimal)
+        path = write_artifact(args.artifact_dir, minimal, auditor.violations, scenario)
+        print(auditor.render())
+        print(f"repro written to {path} (replay: python -m repro audit {path})")
+
+    return 1 if bad_seeds or errors else 0

@@ -1,0 +1,352 @@
+"""The seeded scenario fuzzer and its greedy minimal-repro shrinker.
+
+A *scenario* is a plain JSON-serializable dict: a campus topology shape
+plus four event schedules — mobility moves, router crash/reboot faults,
+CBR traffic flows, and cache-convergence probe pairs.  Scenarios are
+generated deterministically from a seed (:func:`make_scenario`),
+executed under an attached :class:`~repro.invariants.InvariantAuditor`
+(:func:`run_scenario`), and fanned out across seeds through the
+``repro.harness`` runner (:func:`fuzz_cell` is the registered
+``invariant-fuzz`` experiment's cell function).
+
+When a seed produces violations, :func:`shrink_scenario` greedily
+deletes schedule entries while the same rule still fires, converging on
+a minimal replayable repro; :func:`write_artifact` saves it (scenario +
+violations) as JSON, and ``python -m repro audit <artifact.json>``
+replays it.
+
+Schedule encodings
+------------------
+
+- move: ``{"t": 5.0, "host": 0, "to": 1}`` — ``to`` is a cell index,
+  ``-1`` for the home network, ``-2`` for a planned disconnect.
+- fault: ``{"t": 12.0, "node": "FR0", "kind": "crash"}`` — nodes are
+  ``HR`` (home router) or ``FR<i>`` (cell routers); every generated
+  crash is paired with a later reboot.
+- flow: ``{"start": 1.0, "src": 0, "host": 0, "interval": 0.5,
+  "count": 40, "port": 40000}`` — CBR/UDP from correspondent ``src`` to
+  a mobile host's home address.
+- probe: ``{"t": 44.0, "src": 0, "host": 0}`` — at ``t`` a warm probe
+  refreshes every stale cache on the path; two seconds later an audited
+  probe must reach the host without a single re-tunnel
+  (``cache-convergence``).  Probes are only generated in the quiet tail
+  of the schedule, after the last move/fault settles.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.invariants.auditor import InvariantAuditor
+
+#: IP protocol number used by convergence probes (MHRP=252 and the
+#: registration control protocol=253 are taken).
+PROBE_PROTOCOL = 254
+
+#: Simulated seconds the run continues past the horizon so every packet
+#: born before it can reach a terminal (ARP retry exhaustion takes ~4s;
+#: nothing else in the stack waits longer).
+DRAIN_SECONDS = 10.0
+
+#: Seconds between a warm probe and its audited twin.
+PROBE_GAP = 2.0
+
+SCENARIO_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Scenario generation
+# ----------------------------------------------------------------------
+def make_scenario(seed: int, profile: str = "default") -> dict:
+    """Deterministically generate one fuzz scenario from ``seed``."""
+    rng = random.Random(("mhrp-fuzz", profile, seed).__repr__())
+    quick = profile == "quick"
+    horizon = 40.0 if quick else 60.0
+    n_cells = rng.randint(2, 3 if quick else 4)
+    n_hosts = rng.randint(1, 2 if quick else 3)
+    # The Section 4.4 bound, including the degenerate minimum of 1.
+    max_prev = rng.choice([1, 2, 4, 8])
+
+    # Moves and faults stay clear of the probe window at the tail.
+    active_end = horizon - 20.0
+    moves: List[dict] = []
+    for host in range(n_hosts):
+        t = rng.uniform(1.0, 4.0)
+        for _ in range(rng.randint(1, 3 if quick else 5)):
+            t += rng.uniform(2.0, 8.0)
+            if t >= active_end:
+                break
+            to = rng.choice(
+                list(range(n_cells)) * 3 + [-1, -2]  # mostly cells
+            )
+            moves.append({"t": round(t, 3), "host": host, "to": to})
+            if to == -2:
+                # Don't strand the host: reconnect before the probes.
+                t += rng.uniform(2.0, 6.0)
+                if t < active_end:
+                    moves.append(
+                        {"t": round(t, 3), "host": host, "to": rng.randrange(n_cells)}
+                    )
+
+    faults: List[dict] = []
+    if rng.random() < 0.6:
+        node = rng.choice([f"FR{i}" for i in range(n_cells)] + ["HR"])
+        down = rng.uniform(5.0, active_end - 8.0)
+        up = down + rng.uniform(2.0, 6.0)
+        faults.append({"t": round(down, 3), "node": node, "kind": "crash"})
+        faults.append({"t": round(up, 3), "node": node, "kind": "reboot"})
+
+    flows: List[dict] = []
+    for i in range(rng.randint(1, 2 if quick else 3)):
+        start = rng.uniform(0.5, 5.0)
+        interval = rng.uniform(0.3, 1.5)
+        count = max(1, int((active_end - start) / interval))
+        flows.append(
+            {
+                "start": round(start, 3),
+                "src": rng.randrange(2),
+                "host": rng.randrange(n_hosts),
+                "interval": round(interval, 3),
+                "count": count,
+                "port": 40000 + i,
+            }
+        )
+
+    # Probe pairs in the quiet tail, spaced 4s so the per-destination
+    # update rate limiter (min interval 1s) never suppresses a refresh.
+    probes: List[dict] = []
+    t = horizon - 12.0
+    for _ in range(rng.randint(1, 2)):
+        probes.append(
+            {"t": round(t, 3), "src": rng.randrange(2), "host": rng.randrange(n_hosts)}
+        )
+        t += 4.0
+
+    return {
+        "version": SCENARIO_VERSION,
+        "seed": seed,
+        "profile": profile,
+        "n_cells": n_cells,
+        "n_hosts": n_hosts,
+        "max_previous_sources": max_prev,
+        "horizon": horizon,
+        "moves": sorted(moves, key=lambda m: m["t"]),
+        "faults": sorted(faults, key=lambda f: f["t"]),
+        "flows": flows,
+        "probes": probes,
+    }
+
+
+# ----------------------------------------------------------------------
+# Scenario execution
+# ----------------------------------------------------------------------
+def run_scenario(scenario: dict) -> InvariantAuditor:
+    """Build, audit, and drain one scenario; returns the auditor with
+    its recorded violations (conservation already finalized)."""
+    from repro.ip.packet import IPPacket, RawPayload
+    from repro.netsim.simulator import Simulator
+    from repro.workloads.topology import build_campus
+    from repro.workloads.traffic import CBRStream
+
+    sim = Simulator(seed=scenario["seed"])
+    topo = build_campus(
+        n_cells=scenario["n_cells"],
+        n_mobile_hosts=scenario["n_hosts"],
+        n_correspondents=2,
+        sim=sim,
+        advertise=True,
+        max_previous_sources=scenario["max_previous_sources"],
+    )
+    auditor = InvariantAuditor(
+        max_previous_sources=scenario["max_previous_sources"]
+    ).attach(sim)
+
+    for mh in topo.mobile_hosts:
+        mh.register_protocol(PROBE_PROTOCOL, lambda packet, iface: None)
+
+    # Everyone starts at home, slightly staggered.
+    for i, mh in enumerate(topo.mobile_hosts):
+        sim.schedule_at(0.2 + 0.1 * i, lambda m=mh: m.attach_home(topo.home_lan))
+
+    def apply_move(host: int, to: int) -> None:
+        mh = topo.mobile_hosts[host % len(topo.mobile_hosts)]
+        if to == -2:
+            if mh.iface.attached:
+                mh.disconnect()
+        elif to == -1:
+            mh.attach_home(topo.home_lan)
+        else:
+            mh.attach(topo.cells[to % len(topo.cells)])
+
+    for move in scenario["moves"]:
+        sim.schedule_at(
+            move["t"], lambda m=move: apply_move(m["host"], m["to"]), label="fuzz-move"
+        )
+
+    fault_nodes = {"HR": topo.home_router}
+    for i, router in enumerate(topo.cell_routers):
+        fault_nodes[f"FR{i}"] = router
+
+    def apply_fault(name: str, kind: str) -> None:
+        node = fault_nodes.get(name)
+        if node is None:
+            return
+        if kind == "crash":
+            node.crash()
+        else:
+            node.reboot()
+
+    for fault in scenario["faults"]:
+        sim.schedule_at(
+            fault["t"],
+            lambda f=fault: apply_fault(f["node"], f["kind"]),
+            label="fuzz-fault",
+        )
+
+    for flow in scenario["flows"]:
+        mh = topo.mobile_hosts[flow["host"] % len(topo.mobile_hosts)]
+        stream = CBRStream(
+            sender=topo.correspondents[flow["src"] % len(topo.correspondents)],
+            receiver=mh,
+            dst_address=mh.home_address,
+            interval=flow["interval"],
+            port=flow["port"],
+            start_at=flow["start"],
+            count=flow["count"],
+        )
+        stream.start()
+
+    def send_probe(src: int, host: int, watched: bool) -> None:
+        sender = topo.correspondents[src % len(topo.correspondents)]
+        mh = topo.mobile_hosts[host % len(topo.mobile_hosts)]
+        packet = IPPacket(
+            src=sender.primary_address,
+            dst=mh.home_address,
+            protocol=PROBE_PROTOCOL,
+            payload=RawPayload(b"convergence-probe"),
+        )
+        if watched:
+            auditor.expect_no_retunnels([packet.uid])
+        sender.send(packet)
+
+    for probe in scenario["probes"]:
+        sim.schedule_at(
+            probe["t"],
+            lambda p=probe: send_probe(p["src"], p["host"], watched=False),
+            label="fuzz-probe-warm",
+        )
+        sim.schedule_at(
+            probe["t"] + PROBE_GAP,
+            lambda p=probe: send_probe(p["src"], p["host"], watched=True),
+            label="fuzz-probe-audited",
+        )
+
+    horizon = scenario["horizon"]
+    sim.run(until=horizon)
+    # Periodic advertisers never let the queue go idle, so drain on the
+    # clock: everything born before the horizon gets DRAIN_SECONDS to
+    # terminate, and younger flights are excluded from conservation.
+    sim.run(until=horizon + DRAIN_SECONDS)
+    auditor.finalize(ignore_after=horizon)
+    return auditor
+
+
+# ----------------------------------------------------------------------
+# Harness cell (the registered `invariant-fuzz` experiment)
+# ----------------------------------------------------------------------
+def fuzz_cell(seed: int, profile: str = "default") -> Dict[str, object]:
+    """One fuzz seed as a harness cell: flat scalar metrics only (the
+    CLI re-runs violating seeds in-process to shrink and save repros)."""
+    auditor = run_scenario(make_scenario(seed, profile))
+    rules = sorted({v.rule for v in auditor.violations})
+    summary = auditor.summary()
+    return {
+        "violations": auditor.total_violations,
+        "violated_rules": ",".join(rules),
+        "packets_tracked": summary["packets_tracked"],
+        "flights": summary["flights"],
+        "hops_checked": summary["hops_checked"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Greedy shrinking
+# ----------------------------------------------------------------------
+def violated_rules(scenario: dict) -> Set[str]:
+    auditor = run_scenario(scenario)
+    return {v.rule for v in auditor.violations}
+
+
+def shrink_scenario(
+    scenario: dict,
+    rules: Optional[Set[str]] = None,
+    max_runs: int = 200,
+) -> dict:
+    """Greedy delta-debugging: drop probes/flows/faults/moves one at a
+    time while at least one of ``rules`` still fires, to a fixpoint.
+
+    ``rules`` defaults to whatever the full scenario violates.  Bounded
+    by ``max_runs`` replays so a pathological scenario cannot hang the
+    CLI; the result is replayable either way.
+    """
+    if rules is None:
+        rules = violated_rules(scenario)
+    if not rules:
+        return scenario
+
+    runs = 0
+
+    def reproduces(candidate: dict) -> bool:
+        nonlocal runs
+        runs += 1
+        return bool(violated_rules(candidate) & rules)
+
+    current = json.loads(json.dumps(scenario))
+    changed = True
+    while changed and runs < max_runs:
+        changed = False
+        for key in ("probes", "flows", "faults", "moves"):
+            index = 0
+            while index < len(current[key]) and runs < max_runs:
+                trial = json.loads(json.dumps(current))
+                del trial[key][index]
+                if reproduces(trial):
+                    current = trial
+                    changed = True
+                else:
+                    index += 1
+    return current
+
+
+# ----------------------------------------------------------------------
+# Repro artifacts
+# ----------------------------------------------------------------------
+def write_artifact(
+    directory: Path, scenario: dict, violations: Sequence, shrunk_from: dict
+) -> Path:
+    """Save a minimal repro as JSON; replay with
+    ``python -m repro audit <path>``."""
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"repro_seed{scenario['seed']}.json"
+    payload = {
+        "scenario": scenario,
+        "violations": [v.to_record() for v in violations],
+        "shrunk_from": {
+            key: len(shrunk_from[key]) for key in ("moves", "faults", "flows", "probes")
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_scenario(path: Path) -> dict:
+    """Load a scenario from a repro artifact (or a bare scenario dict)."""
+    data = json.loads(Path(path).read_text())
+    scenario = data.get("scenario", data)
+    for key in ("seed", "n_cells", "n_hosts", "max_previous_sources", "horizon"):
+        if key not in scenario:
+            raise ValueError(f"{path}: not a fuzz scenario (missing {key!r})")
+    return scenario

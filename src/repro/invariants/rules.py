@@ -1,0 +1,127 @@
+"""The MHRP invariant catalogue.
+
+Each rule is a named, machine-checkable property drawn from the paper;
+the :class:`~repro.invariants.auditor.InvariantAuditor` evaluates them
+continuously against a running simulation and records a
+:class:`Violation` for every breach.
+
+The catalogue (rule ids are stable — regression tests pin them):
+
+==========================  =================================================
+rule id                     property
+==========================  =================================================
+``conservation``            every observed packet reaches a terminal: local
+                            delivery, a dataplane drop with a reason, a lost
+                            frame, or absorption by a crashed node
+``drop-reason``             every dataplane drop names a reason from the
+                            known taxonomy (no anonymous discards)
+``list-bound``              the previous-source list never exceeds the
+                            configured bound (Section 4.4)
+``list-no-duplicates``      no duplicate addresses on the list before any
+                            overflow flush / dissolution shrank it
+                            (Section 5.3's loop-detection precondition)
+``list-first-is-sender``    the first list entry is the packet's original
+                            sender (Section 5.1), same gating
+``wire-roundtrip``          the MHRP header round-trips through its wire
+                            encoding exactly, and the decoder rejects
+                            trailing bytes and truncation
+``wire-checksum``           the decoder rejects a checksum-corrupted header
+``ttl-valid``               TTL stays in (0, 255] on every forwarded hop
+``loop-budget``             re-tunnels per packet are bounded; once a loop
+                            is dissolved the packet takes at most a few
+                            more tunnel hops (geometric contraction's
+                            operational consequence, Section 5.3)
+``cache-convergence``       a probe sent after caches were refreshed by an
+                            identical warm probe is never re-tunneled
+                            (Section 5.1's lazy convergence, made testable)
+==========================  =================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Every reason :meth:`repro.ip.dataplane.Dataplane.drop` is called with
+#: anywhere in the library.  The ``drop-reason`` rule fails on anything
+#: else, so a new discard path must be named here to ship.
+KNOWN_DROP_REASONS = frozenset(
+    {
+        # dataplane pipeline
+        "not-a-router",
+        "ttl-expired",
+        "no-route",
+        "mtu-exceeded",
+        "protocol-unreachable",
+        # node callbacks
+        "arp-failed",
+        "malformed-icmp",
+        # mobility roles
+        "malformed-mhrp",
+        "mh-disconnected",
+        "mhrp-recovery",
+        "mhrp-loop-dissolved",
+    }
+)
+
+#: Hard ceiling on tunnel hops for one packet.  TTL (<= 255) backstops
+#: real loops far below this, so the cap only fires when something
+#: refreshes TTL or re-tunnels without forwarding — both bugs.
+MAX_RETUNNELS_PER_PACKET = 128
+
+#: Tunnel hops allowed *after* a dissolve event for the same packet:
+#: dissolution sends the packet straight home (one hop), where the home
+#: agent re-tunnels at most once to the current agent.
+POST_DISSOLVE_RETUNNEL_BUDGET = 8
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One catalogue entry."""
+
+    id: str
+    section: str
+    summary: str
+
+
+RULES: Dict[str, Rule] = {
+    rule.id: rule
+    for rule in (
+        Rule("conservation", "4.1", "every packet ends delivered, dropped with a reason, or lost on a link"),
+        Rule("drop-reason", "4.1", "every dataplane drop names a known reason"),
+        Rule("list-bound", "4.4", "previous-source list length <= configured bound"),
+        Rule("list-no-duplicates", "5.3", "no duplicate previous sources before a flush/dissolve"),
+        Rule("list-first-is-sender", "5.1", "first previous source is the original sender"),
+        Rule("wire-roundtrip", "4.2", "MHRP header wire encoding round-trips and rejects trailing/truncated bytes"),
+        Rule("wire-checksum", "4.2", "MHRP header decoder rejects checksum corruption"),
+        Rule("ttl-valid", "5.3", "TTL in (0, 255] on every forwarded hop"),
+        Rule("loop-budget", "5.3", "tunnel hops per packet bounded; few hops after a dissolve"),
+        Rule("cache-convergence", "5.1", "refreshed caches never re-tunnel the next packet"),
+    )
+}
+
+
+@dataclass
+class Violation:
+    """One observed invariant breach."""
+
+    rule: str
+    time: float
+    node: str
+    uid: Optional[int] = None
+    message: str = ""
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        where = f" uid={self.uid}" if self.uid is not None else ""
+        return f"[{self.time:10.6f}] {self.rule:<22} {self.node:<12}{where} {self.message}"
+
+    def to_record(self) -> dict:
+        return {
+            "rule": self.rule,
+            "time": self.time,
+            "node": self.node,
+            "uid": self.uid,
+            "message": self.message,
+            "detail": {k: repr(v) for k, v in self.detail.items()},
+        }

@@ -229,6 +229,9 @@ class Dataplane:
         telemetry = sim.telemetry
         if telemetry is not None:
             telemetry.packet_sent(sim.now, node.name, packet)
+        auditor = sim.auditor
+        if auditor is not None:
+            auditor.packet_sent(sim.now, node.name, packet)
         for hook in self._outbound_hooks:
             result = hook(packet)
             if result is CONSUMED:
@@ -306,6 +309,9 @@ class Dataplane:
         telemetry = sim.telemetry
         if telemetry is not None:
             telemetry.packet_forwarded(sim.now, node.name, packet)
+        auditor = sim.auditor
+        if auditor is not None:
+            auditor.packet_forwarded(sim.now, node.name, packet)
         self.route(packet, transit=True)
 
     def route(self, packet: IPPacket, transit: bool) -> None:
@@ -388,6 +394,9 @@ class Dataplane:
         telemetry = sim.telemetry
         if telemetry is not None:
             telemetry.packet_delivered(sim.now, node.name, packet)
+        auditor = sim.auditor
+        if auditor is not None:
+            auditor.packet_delivered(sim.now, node.name, packet)
         handler = node._protocol_handlers.get(packet.protocol)
         if handler is None:
             self.drop(packet, "protocol-unreachable")
@@ -416,3 +425,6 @@ class Dataplane:
         telemetry = sim.telemetry
         if telemetry is not None:
             telemetry.packet_dropped(sim.now, node.name, packet, reason)
+        auditor = sim.auditor
+        if auditor is not None:
+            auditor.packet_dropped(sim.now, node.name, packet, reason)

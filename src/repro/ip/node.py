@@ -327,6 +327,9 @@ class IPNode:
     def frame_received(self, iface: NetworkInterface, frame: Frame) -> None:
         """Entry point from the link layer."""
         if not self.up:
+            auditor = self.sim.auditor
+            if auditor is not None:
+                auditor.frame_absorbed(self.sim.now, self.name, frame.payload)
             return
         if frame.ethertype == ETHERTYPE_ARP:
             self.arp[iface.name].handle(frame)

@@ -79,9 +79,13 @@ class NetworkInterface:
         acknowledgement at a higher layer.
         """
         if not self.up or self.medium is None:
-            self.node.sim.trace(
+            sim = self.node.sim
+            sim.trace(
                 "link.drop", self.node_name, iface=self.name, reason="iface-down"
             )
+            auditor = sim.auditor
+            if auditor is not None:
+                auditor.frame_lost(sim.now, self.node_name, frame.payload, "iface-down")
             return
         self.medium.transmit(self, frame)
 
@@ -92,6 +96,10 @@ class NetworkInterface:
     def receive_frame(self, frame: Frame) -> None:
         """Called by the medium when a frame arrives for this interface."""
         if not self.up:
+            sim = self.node.sim
+            auditor = sim.auditor
+            if auditor is not None:
+                auditor.frame_absorbed(sim.now, self.node_name, frame.payload)
             return
         self.node.frame_received(self, frame)
 

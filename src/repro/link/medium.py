@@ -113,6 +113,11 @@ class Medium:
                 self.sim.trace(
                     "link.drop", sender.node_name, medium=self.name, reason="no-receiver"
                 )
+                auditor = self.sim.auditor
+                if auditor is not None:
+                    auditor.frame_lost(
+                        self.sim.now, sender.node_name, frame.payload, "no-receiver"
+                    )
                 return
             self._schedule_delivery(target, frame)
 
@@ -121,6 +126,11 @@ class Medium:
             self.sim.trace(
                 "link.drop", target.node_name, medium=self.name, reason="loss"
             )
+            auditor = self.sim.auditor
+            if auditor is not None:
+                auditor.frame_lost(
+                    self.sim.now, target.node_name, frame.payload, "loss"
+                )
             return
         self.sim.schedule(
             self.latency,
@@ -135,6 +145,11 @@ class Medium:
             self.sim.trace(
                 "link.drop", target.node_name, medium=self.name, reason="detached"
             )
+            auditor = self.sim.auditor
+            if auditor is not None:
+                auditor.frame_lost(
+                    self.sim.now, target.node_name, frame.payload, "detached"
+                )
             return
         if self.sim.trace_active("link.rx"):
             self.sim.trace(

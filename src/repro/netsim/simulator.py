@@ -71,6 +71,8 @@ class Simulator:
         telemetry: the attached protocol-health hub, or ``None`` (the
             default).  Hot paths guard notifications with a single
             is-``None`` check, mirroring :meth:`trace_active`.
+        auditor: the attached invariant auditor, or ``None`` (the
+            default); same guarding discipline as ``telemetry``.
     """
 
     def __init__(
@@ -87,6 +89,9 @@ class Simulator:
         #: attached; None keeps every notification site to one attribute
         #: load and an is-None test.
         self.telemetry = None
+        #: An invariant auditor (repro.invariants.InvariantAuditor) when
+        #: one is attached; same is-None discipline as telemetry.
+        self.auditor = None
         self._running = False
         self._processed = 0
 

@@ -27,24 +27,13 @@ SCENARIOS = ("figure1", "loop")
 def figure1_scenario(seed: int = 42) -> Tuple[object, ProtocolHealth]:
     """The Section 6 / Figure-1 walkthrough with telemetry attached:
     home attach, roam to net D, pings, handoff to net E, more pings."""
-    from repro.workloads.topology import build_figure1
+    from repro.workloads.topology import build_figure1, drive_figure1
 
     topo = build_figure1(seed=seed)
-    sim, s, m = topo.sim, topo.s, topo.m
-    nodes = [s, topo.r1, topo.r2, topo.r3, topo.r4, topo.r5, m]
+    sim = topo.sim
+    nodes = [topo.s, topo.r1, topo.r2, topo.r3, topo.r4, topo.r5, topo.m]
     hub = ProtocolHealth().attach(sim, nodes=nodes)
-    m.attach_home(topo.net_b)
-    sim.run(until=5.0)
-    m.attach(topo.net_d)          # roam: discovery, registration, tunnels
-    sim.run(until=12.0)
-    s.ping(m.home_address)        # via home agent, then direct tunnels
-    sim.run(until=16.0)
-    s.ping(m.home_address)
-    sim.run(until=20.0)
-    m.attach(topo.net_e)          # handoff: the stale cache re-tunnels
-    sim.run(until=28.0)
-    s.ping(m.home_address)
-    sim.run(until=32.0)
+    drive_figure1(topo)
     return sim, hub
 
 

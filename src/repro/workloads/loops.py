@@ -34,6 +34,11 @@ class LoopRun:
                           # fell back to the tunnel-to-home path
     loop_bytes: int       # bytes the loop burned on the backbone
     updates_sent: int     # location updates (overflow + purge) emitted
+    resolved: bool = True # the packet reached *some* terminal — dissolve,
+                          # escape home, delivery attempt, or drop — and
+                          # stopped circulating (small bounds can collapse
+                          # a loop via the overflow fan-out alone, ending
+                          # in a delivery attempt with no formal detection)
 
 
 def build_loop(loop_size: int, max_list: int, seed: int = 3) -> CampusTopology:
@@ -87,6 +92,16 @@ def inject_and_measure(
     updates = sum(
         1 for e in sim.tracer.select("mhrp.update") if e.detail.get("event") == "sent"
     )
+    # A terminal besides dissolution/escape: a foreign agent attempted
+    # local delivery (the overflow fan-out pointed a cache at itself and
+    # the Section 5.2 recovery re-added the phantom), or the packet was
+    # dropped (ARP failure on that delivery, TTL expiry, ...).
+    ended = any(
+        (e.category == "mhrp.tunnel" and e.detail.get("event") == "fa-deliver"
+         and e.detail.get("uid") == packet.uid)
+        or (e.category == "ip.drop" and e.detail.get("uid") == packet.uid)
+        for e in sim.tracer
+    )
     return LoopRun(
         loop_size=loop_size,
         max_list=max_list,
@@ -95,6 +110,7 @@ def inject_and_measure(
         escaped_home=escaped_home,
         loop_bytes=topo.backbone.bytes_transmitted - bytes_before,
         updates_sent=updates,
+        resolved=detected or escaped_home or ended,
     )
 
 

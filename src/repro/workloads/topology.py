@@ -215,6 +215,30 @@ def build_figure1(
     )
 
 
+def drive_figure1(topo: Figure1Topology) -> None:
+    """Run the Section 6 walkthrough on a fresh Figure-1 topology: home
+    attach, roam to net D, pings, handoff to net E, more pings.
+
+    The timed schedule is shared verbatim by ``netstat``, the telemetry
+    panel, and the invariant auditor, so their numbers describe the same
+    run; it leaves the simulation at t=32s (drain any periodic
+    advertisers separately if needed).
+    """
+    sim, s, m = topo.sim, topo.s, topo.m
+    m.attach_home(topo.net_b)
+    sim.run(until=5.0)
+    m.attach(topo.net_d)          # roam: discovery, registration, tunnels
+    sim.run(until=12.0)
+    s.ping(m.home_address)        # via home agent, then direct tunnels
+    sim.run(until=16.0)
+    s.ping(m.home_address)
+    sim.run(until=20.0)
+    m.attach(topo.net_e)          # handoff: the stale cache re-tunnels
+    sim.run(until=28.0)
+    s.ping(m.home_address)
+    sim.run(until=32.0)
+
+
 @dataclass
 class CampusTopology:
     """A parameterized internetwork for the scalability experiments."""

@@ -75,6 +75,93 @@ class TestWireFormat:
         with pytest.raises(PacketError):
             MHRPHeader.from_bytes(b"\x06")
 
+    def test_trailing_bytes_rejected(self):
+        """Wire-format strictness: the header is self-delimiting via the
+        count field, so anything past it means a corrupt count or a
+        framing bug upstream — never silently ignored (the seed decoder
+        did, and the fuzzer's wire probe caught it)."""
+        for n in (0, 1, 3):
+            wire = make_header(n).to_bytes()
+            for tail in (b"\x00", b"\x00\x00\x00\x00", b"\xff"):
+                with pytest.raises(PacketError):
+                    MHRPHeader.from_bytes(wire + tail)
+
+
+class TestWireProperties:
+    """Seeded round-trip/corruption sweep over random headers."""
+
+    def random_header(self, rng):
+        return MHRPHeader(
+            orig_protocol=rng.randrange(256),
+            mobile_host=IPAddress(rng.randrange(1, 2**32)),
+            previous_sources=[
+                IPAddress(rng.randrange(1, 2**32))
+                for _ in range(rng.randrange(12))
+            ],
+        )
+
+    def test_round_trip_random_headers(self):
+        import random
+
+        rng = random.Random("mhrp-wire-roundtrip")
+        for _ in range(200):
+            header = self.random_header(rng)
+            parsed = MHRPHeader.from_bytes(header.to_bytes())
+            assert parsed.orig_protocol == header.orig_protocol
+            assert parsed.mobile_host == header.mobile_host
+            assert parsed.previous_sources == header.previous_sources
+
+    def test_every_truncation_rejected(self):
+        import random
+
+        rng = random.Random("mhrp-wire-truncation")
+        for _ in range(40):
+            wire = self.random_header(rng).to_bytes()
+            for cut in range(len(wire)):
+                with pytest.raises(PacketError):
+                    MHRPHeader.from_bytes(wire[:cut])
+
+    def test_every_single_bit_flip_in_checksum_rejected(self):
+        import random
+
+        rng = random.Random("mhrp-wire-checksum")
+        for _ in range(40):
+            wire = self.random_header(rng).to_bytes()
+            for byte in (2, 3):  # the checksum slot
+                for bit in range(8):
+                    corrupt = bytearray(wire)
+                    corrupt[byte] ^= 1 << bit
+                    with pytest.raises(PacketError):
+                        MHRPHeader.from_bytes(bytes(corrupt))
+
+    def test_count_larger_than_actual_rejected(self):
+        """A corrupted count claiming more sources than are present must
+        fail as truncation (never read past the buffer)."""
+        import random
+
+        rng = random.Random("mhrp-wire-count")
+        for _ in range(40):
+            wire = bytearray(self.random_header(rng).to_bytes())
+            wire[1] += rng.randrange(1, 10)  # claim extra sources
+            with pytest.raises(PacketError):
+                MHRPHeader.from_bytes(bytes(wire))
+
+    def test_count_smaller_than_actual_rejected(self):
+        """A corrupted count claiming fewer sources leaves trailing
+        bytes — rejected by the strictness fix (the seed accepted it and
+        silently mis-parsed the list)."""
+        import random
+
+        rng = random.Random("mhrp-wire-count-low")
+        for _ in range(40):
+            header = self.random_header(rng)
+            if header.count == 0:
+                continue
+            wire = bytearray(header.to_bytes())
+            wire[1] -= 1
+            with pytest.raises(PacketError):
+                MHRPHeader.from_bytes(bytes(wire))
+
 
 class TestSemantics:
     def test_original_sender(self):

@@ -1,0 +1,13 @@
+"""Fixtures for the invariant-auditor tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import build_figure1
+
+
+@pytest.fixture
+def figure1():
+    """The Figure 1 internetwork, fully converged, with M still detached."""
+    return build_figure1()

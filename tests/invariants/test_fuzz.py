@@ -1,0 +1,146 @@
+"""Tests for the seeded scenario fuzzer, the shrinker, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.invariants import fuzz
+from repro.invariants.cli import audit_main, fuzz_main
+
+
+class TestScenarioGeneration:
+    def test_same_seed_same_scenario(self):
+        assert fuzz.make_scenario(7) == fuzz.make_scenario(7)
+
+    def test_different_seeds_differ(self):
+        assert fuzz.make_scenario(1) != fuzz.make_scenario(2)
+
+    def test_profiles_are_distinct_streams(self):
+        assert fuzz.make_scenario(3, "quick") != fuzz.make_scenario(3, "default")
+
+    def test_schedules_are_sorted_and_bounded(self):
+        for seed in range(12):
+            scenario = fuzz.make_scenario(seed, "quick")
+            times = [m["t"] for m in scenario["moves"]]
+            assert times == sorted(times)
+            assert scenario["max_previous_sources"] in (1, 2, 4, 8)
+            # Probes live in the quiet tail, after moves and faults.
+            last_active = max(
+                [m["t"] for m in scenario["moves"]]
+                + [f["t"] for f in scenario["faults"]],
+                default=0.0,
+            )
+            for probe in scenario["probes"]:
+                assert probe["t"] > last_active
+
+    def test_scenario_is_json_serializable(self):
+        scenario = fuzz.make_scenario(5)
+        assert json.loads(json.dumps(scenario)) == scenario
+
+
+class TestExecution:
+    def test_quick_seeds_run_clean_at_head(self):
+        for seed in (0, 1):
+            auditor = fuzz.run_scenario(fuzz.make_scenario(seed, "quick"))
+            assert auditor.ok, f"seed {seed}:\n{auditor.render()}"
+            assert auditor.packets_tracked > 0
+
+    def test_fuzz_cell_returns_flat_metrics(self):
+        metrics = fuzz.fuzz_cell(seed=0, profile="quick")
+        assert metrics["violations"] == 0
+        assert metrics["violated_rules"] == ""
+        assert metrics["packets_tracked"] > 0
+
+
+class TestShrinking:
+    def make_fat_scenario(self):
+        scenario = fuzz.make_scenario(0, "quick")
+        scenario["moves"] = [
+            {"t": 1.0, "host": 0, "to": 0},
+            {"t": 2.0, "host": 0, "to": 1},
+            {"t": 3.0, "host": 0, "to": -1},
+        ]
+        scenario["faults"] = [
+            {"t": 4.0, "node": "HR", "kind": "crash"},
+            {"t": 6.0, "node": "HR", "kind": "reboot"},
+        ]
+        scenario["flows"] = [
+            {"start": 1.0, "src": 0, "host": 0, "interval": 1.0, "count": 3, "port": 1},
+            {"start": 2.0, "src": 1, "host": 0, "interval": 1.0, "count": 3, "port": 2},
+        ]
+        scenario["probes"] = [{"t": 30.0, "src": 0, "host": 0}]
+        return scenario
+
+    def test_shrinks_to_the_triggering_entries(self, monkeypatch):
+        """Greedy deletion keeps exactly the schedule entries the
+        violation needs: here, the crash fault and the second flow."""
+
+        def fake_rules(scenario):
+            has_crash = any(f["kind"] == "crash" for f in scenario["faults"])
+            has_flow2 = any(f["port"] == 2 for f in scenario["flows"])
+            return {"conservation"} if has_crash and has_flow2 else set()
+
+        monkeypatch.setattr(fuzz, "violated_rules", fake_rules)
+        minimal = fuzz.shrink_scenario(self.make_fat_scenario())
+        assert minimal["moves"] == []
+        assert minimal["probes"] == []
+        assert [f["kind"] for f in minimal["faults"]] == ["crash"]
+        assert [f["port"] for f in minimal["flows"]] == [2]
+
+    def test_clean_scenario_is_returned_unchanged(self, monkeypatch):
+        monkeypatch.setattr(fuzz, "violated_rules", lambda s: set())
+        scenario = self.make_fat_scenario()
+        assert fuzz.shrink_scenario(scenario) == scenario
+
+    def test_shrink_respects_max_runs(self, monkeypatch):
+        calls = []
+
+        def fake_rules(scenario):
+            calls.append(1)
+            return {"conservation"}
+
+        monkeypatch.setattr(fuzz, "violated_rules", fake_rules)
+        fuzz.shrink_scenario(self.make_fat_scenario(), rules={"conservation"},
+                             max_runs=5)
+        assert len(calls) <= 5
+
+
+class TestArtifacts:
+    def test_write_and_load_roundtrip(self, tmp_path):
+        scenario = fuzz.make_scenario(9, "quick")
+        path = fuzz.write_artifact(tmp_path, scenario, [], scenario)
+        assert path.name == "repro_seed9.json"
+        loaded = fuzz.load_scenario(path)
+        assert loaded == scenario
+
+    def test_load_rejects_non_scenario_json(self, tmp_path):
+        path = tmp_path / "nope.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(ValueError):
+            fuzz.load_scenario(path)
+
+
+class TestCLI:
+    def test_audit_figure1_exits_zero(self, capsys):
+        assert audit_main(["figure1"]) == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_audit_loop_exits_zero(self, capsys):
+        assert audit_main(["loop"]) == 0
+
+    def test_audit_unknown_scenario_exits_two(self, capsys):
+        assert audit_main(["no-such-scenario"]) == 2
+
+    def test_audit_replays_artifact(self, tmp_path, capsys):
+        scenario = fuzz.make_scenario(0, "quick")
+        path = fuzz.write_artifact(tmp_path, scenario, [], scenario)
+        assert audit_main([str(path)]) == 0
+
+    def test_fuzz_smoke_exits_zero(self, tmp_path, capsys):
+        code = fuzz_main(
+            ["--seeds", "2", "--quick", "--artifact-dir", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 seeds" in out and "0 with violations" in out
+        assert list(tmp_path.iterdir()) == []  # no repros on a clean run

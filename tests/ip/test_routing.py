@@ -151,3 +151,107 @@ class TestLookupCache:
         for value in range(LOOKUP_CACHE_MAX + 10):
             table.lookup(IPAddress((172 << 24) | value))
         assert len(table._lookup_cache) <= LOOKUP_CACHE_MAX
+
+
+class TestMemoChurnEquivalence:
+    """The memoized table must be *observationally identical* to an
+    unmemoized one under arbitrary route churn: every lookup is
+    cross-checked against a fresh table rebuilt from the same routes,
+    including memoized misses and the wholesale-reset-at-bound path."""
+
+    NETS = [
+        IPNetwork("10.0.0.0/8"),
+        IPNetwork("10.5.0.0/16"),
+        IPNetwork("10.5.3.0/24"),
+        IPNetwork("172.16.0.0/12"),
+        IPNetwork("0.0.0.0/0"),
+    ]
+
+    @staticmethod
+    def fresh_copy(table):
+        """An un-memoized oracle holding exactly the same routes."""
+        oracle = RoutingTable()
+        for route in table.routes():
+            oracle.add(
+                Route(
+                    network=route.network,
+                    interface_name=route.interface_name,
+                    next_hop=route.next_hop,
+                    metric=route.metric,
+                    tag=route.tag,
+                )
+            )
+        oracle._lookup_cache.clear()
+        return oracle
+
+    @staticmethod
+    def probe_addresses(rng):
+        pools = [
+            (10 << 24) | rng.randrange(1 << 24),          # inside 10/8
+            (10 << 24) | (5 << 16) | rng.randrange(1 << 16),
+            (10 << 24) | (5 << 16) | (3 << 8) | rng.randrange(256),
+            (172 << 24) | (16 << 16) | rng.randrange(1 << 16),
+            rng.randrange(1, 2**32),                      # anywhere
+        ]
+        return IPAddress(rng.choice(pools))
+
+    def check_equivalent(self, table, dst):
+        got = table.lookup(dst)
+        want = self.fresh_copy(table).lookup(dst)
+        if want is None:
+            assert got is None, f"{dst}: memoized {got}, oracle None"
+        else:
+            assert got is not None, f"{dst}: memoized None, oracle {want}"
+            assert got.network == want.network
+            assert got.next_hop == want.next_hop
+            assert got.interface_name == want.interface_name
+
+    def test_random_churn_matches_unmemoized_oracle(self):
+        import random
+
+        rng = random.Random("routing-memo-churn")
+        table = RoutingTable()
+        for step in range(600):
+            op = rng.random()
+            if op < 0.25:
+                net = rng.choice(self.NETS)
+                table.add(
+                    Route(
+                        network=net,
+                        interface_name=rng.choice(["e0", "e1"]),
+                        next_hop=IPAddress(rng.randrange(1, 2**32)),
+                        metric=rng.randrange(1, 4),
+                    )
+                )
+            elif op < 0.35:
+                table.remove(rng.choice(self.NETS))
+            elif op < 0.45:
+                host = IPAddress((10 << 24) | (5 << 16) | rng.randrange(256))
+                table.add_host_route(
+                    host, IPAddress(rng.randrange(1, 2**32)), "e0",
+                    tag="mhrp" if rng.random() < 0.5 else None,
+                )
+            elif op < 0.50:
+                table.remove_tagged("mhrp")
+            # Several lookups per step so repeats hit the memo (both
+            # positive entries and cached misses).
+            for _ in range(3):
+                self.check_equivalent(table, self.probe_addresses(rng))
+
+    def test_equivalence_across_wholesale_cache_reset(self):
+        """Fill the memo to its bound mid-churn so the clear-everything
+        path runs, then keep cross-checking."""
+        import random
+
+        from repro.ip.routing import LOOKUP_CACHE_MAX
+
+        rng = random.Random("routing-memo-reset")
+        table = RoutingTable()
+        table.add_next_hop(IPNetwork("10.0.0.0/8"), IPAddress("1.1.1.1"), "e0")
+        for value in range(LOOKUP_CACHE_MAX - 1):
+            table.lookup(IPAddress((10 << 24) | value))
+        assert len(table._lookup_cache) == LOOKUP_CACHE_MAX - 1
+        # These lookups cross the bound and trigger the wholesale reset.
+        for _ in range(40):
+            self.check_equivalent(table, self.probe_addresses(rng))
+        assert len(table._lookup_cache) < LOOKUP_CACHE_MAX - 1

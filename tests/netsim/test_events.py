@@ -143,3 +143,94 @@ class TestCompaction:
         queue.clear()
         assert queue.cancelled_pending == 0
         assert queue.heap_size == 0
+
+
+class _ReferenceQueue:
+    """A naive, obviously-correct queue: a plain list, no heap, no lazy
+    discard.  Events fire in ``(time, sequence)`` order; cancellation
+    removes the entry eagerly."""
+
+    def __init__(self):
+        self.entries = []  # (time, sequence) tuples, unordered
+        self.sequence = 0
+
+    def push(self, time):
+        entry = (time, self.sequence)
+        self.sequence += 1
+        self.entries.append(entry)
+        return entry
+
+    def cancel(self, entry):
+        self.entries.remove(entry)
+
+    def pop(self):
+        if not self.entries:
+            return None
+        entry = min(self.entries)
+        self.entries.remove(entry)
+        return entry
+
+
+class TestReferenceEquivalence:
+    """The lazy-cancel + compaction queue must behave exactly like the
+    naive reference under random schedule/cancel/pop interleavings —
+    same events, same order, same tie stability."""
+
+    def run_interleaving(self, rng, steps):
+        queue = EventQueue()
+        reference = _ReferenceQueue()
+        # id -> (Event, reference entry); ids in insertion order.
+        live = {}
+        next_id = 0
+        popped, popped_ref = [], []
+
+        def do_pop():
+            event = queue.pop()
+            entry = reference.pop()
+            if event is None:
+                assert entry is None
+                return
+            assert entry is not None
+            popped.append((event.time, event.label))
+            popped_ref.append((entry[0], f"ev{entry[1]}"))
+            live.pop(event.label, None)
+
+        for _ in range(steps):
+            op = rng.random()
+            if op < 0.5:
+                # Times drawn from a tiny pool so ties are the norm, not
+                # the exception — tie stability is the hard part.
+                time = float(rng.randrange(8))
+                label = f"ev{next_id}"
+                event = queue.push(time, lambda: None, label=label)
+                entry = reference.push(time)
+                assert entry[1] == event.sequence  # counters stay in step
+                live[label] = (event, entry)
+                next_id += 1
+            elif op < 0.75 and live:
+                label = rng.choice(list(live))
+                event, entry = live.pop(label)
+                _cancel(queue, event)
+                reference.cancel(entry)
+            else:
+                do_pop()
+        while queue or reference.entries:
+            do_pop()
+        assert popped == popped_ref
+        assert queue.pop() is None
+        return queue
+
+    def test_random_interleavings_match_reference(self):
+        import random
+
+        for seed in range(20):
+            rng = random.Random(("event-queue-reference", seed).__repr__())
+            self.run_interleaving(rng, steps=300)
+
+    def test_equivalence_holds_across_compactions(self):
+        import random
+
+        rng = random.Random("event-queue-compaction")
+        # Enough cancels to cross the compaction thresholds repeatedly.
+        queue = self.run_interleaving(rng, steps=4 * COMPACT_MIN_CANCELLED * 4)
+        assert queue.compactions >= 1
