@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""CI smoke test for warm-start sweeps (``--warm-start``).
+
+Runs the warmup-heavy ``registration-storm`` sweep twice in one process
+— cold, then with the scenario checkpoint cache enabled — and asserts
+the three properties the warm-start design guarantees:
+
+1. the aggregated result tables are **byte-identical** (forked sessions
+   are indistinguishable from cold runs);
+2. the warm sweep executes at least **3x fewer** simulated warm-up
+   events (cells sharing a prefix fork one checkpoint);
+3. the warm sweep is at least **2x faster** on the wall clock (the
+   ratio of two back-to-back in-process runs, so runner speed cancels).
+
+Usage: ``PYTHONPATH=src python benchmarks/warmstart_smoke.py``
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.harness.aggregate import aggregate, rows_json
+from repro.harness.runner import run_sweep
+from repro.harness.spec import get_experiment
+
+MIN_EVENT_RATIO = 3.0
+MIN_SPEEDUP = 2.0
+ROUNDS = 2  # best-of, to shrug off scheduler noise
+
+
+def _timed_sweep(spec, warm: bool):
+    best = None
+    report = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        report = run_sweep(spec, jobs=1, store=None, warm_start=warm)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return report, best
+
+
+def main() -> int:
+    spec = get_experiment("registration-storm")
+    cold_report, cold_wall = _timed_sweep(spec, warm=False)
+    warm_report, warm_wall = _timed_sweep(spec, warm=True)
+
+    for report, label in ((cold_report, "cold"), (warm_report, "warm")):
+        if report.failures:
+            first = report.failures[0]
+            print(f"FAIL: {label} sweep had failed cells: {first.error}")
+            return 1
+
+    cold_table = rows_json(aggregate(cold_report.results))
+    warm_table = rows_json(aggregate(warm_report.results))
+    stats = warm_report.warm_stats or {}
+    run = stats.get("warmup_events_run", 0)
+    saved = stats.get("warmup_events_saved", 0)
+    event_ratio = (run + saved) / max(run, 1)
+    speedup = cold_wall / warm_wall
+
+    print(
+        f"registration-storm: {len(cold_report.results)} cells; "
+        f"cold {cold_wall:.2f}s, warm {warm_wall:.2f}s ({speedup:.2f}x); "
+        f"warm-up events {run + saved} -> {run} ({event_ratio:.1f}x fewer); "
+        f"{stats.get('checkpoints_built', 0)} checkpoint(s), "
+        f"{stats.get('forks_served', 0)} fork(s)"
+    )
+
+    if cold_table != warm_table:
+        print("FAIL: warm-start table differs from cold table")
+        return 1
+    print("OK: warm and cold tables byte-identical")
+    if event_ratio < MIN_EVENT_RATIO:
+        print(f"FAIL: only {event_ratio:.2f}x fewer warm-up events "
+              f"(need >= {MIN_EVENT_RATIO}x)")
+        return 1
+    if speedup < MIN_SPEEDUP:
+        print(f"FAIL: only {speedup:.2f}x faster (need >= {MIN_SPEEDUP}x)")
+        return 1
+    print(f"OK: {event_ratio:.1f}x fewer warm-up events, {speedup:.2f}x faster")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

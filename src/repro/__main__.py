@@ -61,24 +61,37 @@ def _netstat(argv: list[str]) -> int:
     dataplane pipeline counters, grouped by stage."""
     import json
 
+    from repro.clibase import build_parser
     from repro.metrics.netstat import netstat_json, render_netstat
     from repro.workloads.topology import build_figure1, drive_figure1
 
-    as_json = "--json" in argv
-    include_idle = "--all" in argv
-    argv = [a for a in argv if a not in ("--json", "--all")]
-    seed = int(argv[0]) if argv else 42
+    parser = build_parser(
+        "netstat",
+        "per-node dataplane pipeline counters for the Figure-1 walkthrough",
+        seed_help="simulation seed (default 42)",
+    )
+    parser.add_argument("seed_pos", nargs="?", type=int, default=None,
+                        metavar="seed", help="positional alias for --seed")
+    parser.add_argument("--all", action="store_true", dest="include_idle",
+                        help="include interfaces/stages with zero counters")
+    args = parser.parse_args(argv)
+
+    seed = args.seed if args.seed is not None else (
+        args.seed_pos if args.seed_pos is not None else 42
+    )
     topo = build_figure1(seed=seed)
     sim = topo.sim
     drive_figure1(topo)
     nodes = [topo.s, topo.r1, topo.r2, topo.r3, topo.r4, topo.r5, topo.m]
-    if as_json:
-        print(json.dumps(netstat_json(nodes, include_idle=include_idle),
+    if args.as_json:
+        print(json.dumps(netstat_json(nodes, include_idle=args.include_idle),
                          indent=2, sort_keys=True))
         return 0
-    print(render_netstat(nodes, title=f"figure-1 walkthrough (seed {seed}) — "
-                                      f"dataplane counters at t={sim.now:g}s",
-                         include_idle=include_idle))
+    if not args.quiet:
+        print(render_netstat(nodes,
+                             title=f"figure-1 walkthrough (seed {seed}) — "
+                                   f"dataplane counters at t={sim.now:g}s",
+                             include_idle=args.include_idle))
     return 0
 
 

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.baselines.scenario_base import UDPProbeScenario
-from repro.baselines.startopo import StarTopology, build_star
+from repro.baselines.startopo import StarTopology
 from repro.core.registration import (
     ControlDispatcher,
     RegistrationMessage,
@@ -40,6 +40,7 @@ from repro.ip.packet import IPPacket, Payload
 from repro.ip.protocols import IPIP as PROTO_IPIP
 from repro.link.medium import Medium, WirelessCell
 from repro.netsim.simulator import Simulator
+from repro.scenario.world import build_world
 
 COL_GREET = "col-greet"     # mobile host -> new MSR (carries old MSR)
 COL_MOVED = "col-moved"     # new MSR -> old MSR
@@ -364,7 +365,10 @@ class ColumbiaScenario(UDPProbeScenario):
     ) -> None:
         sim = sim or Simulator(seed=seed)
         super().__init__(sim, n_cells)
-        self.topo: StarTopology = build_star(sim, n_cells)
+        world = build_world(sim, {"kind": "star", "n_cells": n_cells})
+        self.world = world
+        self.topo: StarTopology = world.topo
+        correspondent = world.correspondents[0]
         mobile_subnet = self.topo.home_net
         self.msrs: List[MSR] = [
             MSR(router, "cell", mobile_subnet) for router in self.topo.cell_routers
@@ -377,12 +381,6 @@ class ColumbiaScenario(UDPProbeScenario):
         self.topo.home_router.routing_table.add_next_hop(
             mobile_subnet, self.msrs[0].address, "bb"
         )
-        correspondent = Host(sim, "C")
-        correspondent.add_interface(
-            "eth0", self.topo.correspondent_address, self.topo.corr_net,
-            medium=self.topo.corr_lan,
-        )
-        correspondent.set_gateway(self.topo.corr_net.host(254))
         mobile = Host(sim, "M")
         mobile.add_interface("wifi0", self.topo.mobile_home_address, mobile_subnet)
         mobile.routing_table.remove(mobile_subnet)

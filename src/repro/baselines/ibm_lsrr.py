@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.baselines.scenario_base import UDPProbeScenario
-from repro.baselines.startopo import StarTopology, build_star
+from repro.baselines.startopo import StarTopology
 from repro.baselines.sunshine_postel import Forwarder
 from repro.core.registration import (
     RegistrationMessage,
@@ -40,6 +40,7 @@ from repro.ip.options import LSRROption
 from repro.ip.packet import IPPacket
 from repro.link.medium import Medium
 from repro.netsim.simulator import Simulator
+from repro.scenario.world import build_world
 
 IBM_ATTACH = "ibm-attach"
 IBM_DETACH = "ibm-detach"
@@ -164,17 +165,14 @@ class IBMLSRRScenario(UDPProbeScenario):
     ) -> None:
         sim = sim or Simulator(seed=seed)
         super().__init__(sim, n_cells)
-        self.topo: StarTopology = build_star(sim, n_cells)
+        world = build_world(sim, {"kind": "star", "n_cells": n_cells})
+        self.world = world
+        self.topo: StarTopology = world.topo
         self.base_stations: List[BaseStation] = [
             BaseStation(self.topo.home_router, "lan")
         ] + [BaseStation(router, "cell") for router in self.topo.cell_routers]
 
-        correspondent = Host(sim, "C")
-        correspondent.add_interface(
-            "eth0", self.topo.correspondent_address, self.topo.corr_net,
-            medium=self.topo.corr_lan,
-        )
-        correspondent.set_gateway(self.topo.corr_net.host(254))
+        correspondent = world.correspondents[0]
         self.correspondent_agent = LSRRCorrespondentAgent(
             correspondent, reverses_routes=correspondent_reverses
         )

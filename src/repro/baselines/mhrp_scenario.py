@@ -10,10 +10,11 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.baselines.scenario_base import UDPProbeScenario
-from repro.baselines.startopo import StarTopology, build_star
-from repro.core.agent_router import AgentRouter, make_agent_router
-from repro.core.mobile_host import MobileHost, StationaryCorrespondent
+from repro.baselines.startopo import StarTopology
+from repro.core.agent_router import AgentRouter
+from repro.core.mobile_host import MobileHost
 from repro.netsim.simulator import Simulator
+from repro.scenario.world import build_world
 
 
 class MHRPScenario(UDPProbeScenario):
@@ -31,33 +32,24 @@ class MHRPScenario(UDPProbeScenario):
     ) -> None:
         sim = sim or Simulator(seed=seed)
         super().__init__(sim, n_cells)
-        self.topo: StarTopology = build_star(sim, n_cells)
-        self.home_roles: AgentRouter = make_agent_router(
-            self.topo.home_router, home_iface="lan", **agent_kwargs
-        )
-        self.cell_roles: List[AgentRouter] = [
-            make_agent_router(router, foreign_iface="cell", **agent_kwargs)
-            for router in self.topo.cell_routers
-        ]
-        if sender_caches:
-            correspondent = StationaryCorrespondent(sim, "C")
-        else:
-            from repro.ip.host import Host
-
-            correspondent = Host(sim, "C")
-        correspondent.add_interface(
-            "eth0", self.topo.correspondent_address, self.topo.corr_net,
-            medium=self.topo.corr_lan,
-        )
-        correspondent.set_gateway(self.topo.corr_net.host(254))
-        self.mobile = MobileHost(
+        world = build_world(
             sim,
-            "M",
-            home_address=self.topo.mobile_home_address,
-            home_network=self.topo.home_net,
-            home_agent=self.topo.home_net.host(254),
+            {
+                "kind": "star",
+                "n_cells": n_cells,
+                "mhrp": True,
+                "sender_caches": sender_caches,
+                **agent_kwargs,
+            },
         )
-        self._init_probe(correspondent, self.mobile, self.topo.mobile_home_address)
+        self.world = world
+        self.topo: StarTopology = world.topo
+        self.home_roles: AgentRouter = world.home_roles
+        self.cell_roles: List[AgentRouter] = world.cell_roles
+        self.mobile: MobileHost = world.mobile_hosts[0]
+        self._init_probe(
+            world.correspondents[0], self.mobile, self.topo.mobile_home_address
+        )
         self._control_tracker_base = 0
         sim.tracer.subscribe(self._count_control)
 

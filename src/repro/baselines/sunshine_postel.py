@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from repro.baselines.scenario_base import UDPProbeScenario
-from repro.baselines.startopo import StarTopology, build_star
+from repro.baselines.startopo import StarTopology
 from repro.core.registration import (
     ControlDispatcher,
     RegistrationMessage,
@@ -39,6 +39,7 @@ from repro.ip.packet import IPPacket
 from repro.ip.router import Router
 from repro.link.medium import Medium
 from repro.netsim.simulator import Simulator
+from repro.scenario.world import build_world
 
 # Control message kinds (namespaced to coexist with other dispatchers).
 SP_REGISTER = "sp-register"   # mobile host -> global registry
@@ -304,7 +305,9 @@ class SunshinePostelScenario(UDPProbeScenario):
     ) -> None:
         sim = sim or Simulator(seed=seed)
         super().__init__(sim, n_cells)
-        self.topo: StarTopology = build_star(sim, n_cells)
+        world = build_world(sim, {"kind": "star", "n_cells": n_cells})
+        self.world = world
+        self.topo: StarTopology = world.topo
         # The global registry lives on a dedicated backbone host.
         registry_host = Host(sim, "REGISTRY")
         registry_host.add_interface(
@@ -318,12 +321,7 @@ class SunshinePostelScenario(UDPProbeScenario):
             Forwarder(self.topo.home_router, "lan")
         ] + [Forwarder(router, "cell") for router in self.topo.cell_routers]
 
-        correspondent = Host(sim, "C")
-        correspondent.add_interface(
-            "eth0", self.topo.correspondent_address, self.topo.corr_net,
-            medium=self.topo.corr_lan,
-        )
-        correspondent.set_gateway(self.topo.corr_net.host(254))
+        correspondent = world.correspondents[0]
         self.sender = SPSender(correspondent, self.registry.address)
 
         mobile = Host(sim, "M")

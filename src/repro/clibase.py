@@ -1,0 +1,56 @@
+"""Shared command-line plumbing for ``python -m repro <cmd>``.
+
+Every subcommand parser is built through :func:`build_parser`, which
+wires in the three flags all commands understand, spelled and
+documented once:
+
+- ``--seed N`` — the simulation seed (commands define their own
+  default; sweeps interpret it as "run only this seed").
+- ``--json`` — emit the machine-readable result on stdout instead of
+  the human panel/table (parsed into ``args.as_json``).
+- ``--quiet`` / ``-q`` — suppress informational chatter; results,
+  failures, and regressions still print.
+
+Commands add their own flags on top of the returned parser as usual.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+
+def common_parent(seed_help: str = "simulation seed") -> argparse.ArgumentParser:
+    """The parent parser carrying the uniform ``--seed/--json/--quiet``
+    trio.  Not usable standalone (``add_help=False``); pass it via
+    ``parents=[...]`` or use :func:`build_parser`."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("common options")
+    group.add_argument("--seed", type=int, default=None, metavar="N", help=seed_help)
+    group.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit machine-readable JSON on stdout instead of the human output",
+    )
+    group.add_argument(
+        "--quiet",
+        "-q",
+        action="store_true",
+        help="suppress informational output (results and failures still print)",
+    )
+    return parent
+
+
+def build_parser(
+    command: str,
+    description: str,
+    seed_help: Optional[str] = None,
+) -> argparse.ArgumentParser:
+    """An :class:`argparse.ArgumentParser` for ``python -m repro
+    <command>`` with the common flag trio pre-wired."""
+    return argparse.ArgumentParser(
+        prog=f"python -m repro {command}",
+        description=description,
+        parents=[common_parent(seed_help or "simulation seed")],
+    )

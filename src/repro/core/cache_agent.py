@@ -97,6 +97,43 @@ class LocationCache:
     def clear(self) -> None:
         self._entries.clear()
 
+    # ------------------------------------------------------------------
+    # Snapshot contract
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-able cache contents (LRU order preserved) + statistics."""
+        return {
+            "capacity": self.capacity,
+            "entries": {
+                str(mh): {"foreign_agent": str(e.foreign_agent), "cached_at": e.cached_at}
+                for mh, e in self._entries.items()
+            },
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore contents and statistics from :meth:`state_dict`.
+
+        Entry iteration order in the dict *is* the LRU order (oldest
+        first), matching how :meth:`state_dict` emits it.
+        """
+        self.capacity = int(state["capacity"])
+        self._entries = OrderedDict(
+            (
+                IPAddress(mh),
+                CacheEntry(
+                    foreign_agent=IPAddress(rec["foreign_agent"]),
+                    cached_at=rec["cached_at"],
+                ),
+            )
+            for mh, rec in state["entries"].items()
+        )
+        self.hits = int(state["hits"])
+        self.misses = int(state["misses"])
+        self.evictions = int(state["evictions"])
+
 
 class UpdateRateLimiter:
     """Per-destination rate limit on location update messages.
@@ -129,6 +166,27 @@ class UpdateRateLimiter:
             self._last_sent.popitem(last=False)
         self._last_sent[destination] = now
         return True
+
+    # ------------------------------------------------------------------
+    # Snapshot contract
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-able limiter state (LRU order preserved)."""
+        return {
+            "min_interval": self.min_interval,
+            "capacity": self.capacity,
+            "last_sent": {str(dst): t for dst, t in self._last_sent.items()},
+            "suppressed": self.suppressed,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore from :meth:`state_dict` (dict order = LRU order)."""
+        self.min_interval = state["min_interval"]
+        self.capacity = int(state["capacity"])
+        self._last_sent = OrderedDict(
+            (IPAddress(dst), t) for dst, t in state["last_sent"].items()
+        )
+        self.suppressed = int(state["suppressed"])
 
 
 class CacheAgent:
@@ -166,6 +224,25 @@ class CacheAgent:
         # The cache is soft state in RAM: a reboot loses it (consistency
         # is then re-established lazily by the Section 5.1 machinery).
         node.reboot_hooks.append(self.cache.clear)
+
+    # ------------------------------------------------------------------
+    # Snapshot contract
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-able role state for the session snapshot/diff contract."""
+        return {
+            "cache": self.cache.state_dict(),
+            "enabled": self.enabled,
+            "examine_forwarded": self.examine_forwarded,
+            "tunnels_built": self.tunnels_built,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore role state from :meth:`state_dict`."""
+        self.cache.load_state(state["cache"])
+        self.enabled = bool(state["enabled"])
+        self.examine_forwarded = bool(state["examine_forwarded"])
+        self.tunnels_built = int(state["tunnels_built"])
 
     # ------------------------------------------------------------------
     # Cache maintenance

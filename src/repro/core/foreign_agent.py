@@ -21,6 +21,7 @@ A foreign agent serves visiting mobile hosts on one of its networks:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, Optional, Tuple
 
 from repro.core.cache_agent import CacheAgent, UpdateRateLimiter, send_location_update
@@ -432,13 +433,17 @@ class ForeignAgent:
             self._readd_visitor(mobile_host)
             return
 
-        def check_result() -> None:
-            if arp.lookup(mobile_host) is not None:
-                self._readd_visitor(mobile_host)
-
         arp.resolve(mobile_host, probe)
         # ARP gives up after its retry schedule; look again just after.
-        self.node.sim.schedule(4.0, check_result, label="fa-verify-query")
+        self.node.sim.schedule(
+            4.0, partial(self._check_query_result, mobile_host),
+            label="fa-verify-query",
+        )
+
+    def _check_query_result(self, mobile_host: IPAddress) -> None:
+        arp = self.node.arp[self.local_iface_name]
+        if arp.lookup(mobile_host) is not None:
+            self._readd_visitor(mobile_host)
 
     # ------------------------------------------------------------------
     # Reboot (Section 5.2: the visitor list is volatile)
@@ -458,3 +463,52 @@ class ForeignAgent:
             # reconnection": a fresh boot id makes every visitor that
             # hears the next advertisement re-register.
             self.advertiser.restart_with_new_boot_id()
+
+    # ------------------------------------------------------------------
+    # Snapshot contract
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-able role state for the session snapshot/diff contract."""
+        return {
+            "visitors": {
+                str(mh): {"hw": rec.hw_value, "registered_at": rec.registered_at}
+                for mh, rec in sorted(
+                    self.visitors.items(), key=lambda kv: kv[0].value
+                )
+            },
+            "recent_departures": {
+                str(mh): t
+                for mh, t in sorted(
+                    self.recent_departures.items(), key=lambda kv: kv[0].value
+                )
+            },
+            "stale_filter": self.stale_filter.state_dict(),
+            "limiter": self.limiter.state_dict(),
+            "delivered_to_visitors": self.delivered_to_visitors,
+            "retunneled_forward": self.retunneled_forward,
+            "retunneled_home": self.retunneled_home,
+            "loops_detected": self.loops_detected,
+            "recoveries": self.recoveries,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore role state from :meth:`state_dict` (visitor listeners
+        are not re-notified; restoring is not a membership change)."""
+        self.visitors = {
+            IPAddress(mh): VisitorRecord(
+                mobile_host=IPAddress(mh),
+                hw_value=int(rec["hw"]),
+                registered_at=rec["registered_at"],
+            )
+            for mh, rec in state["visitors"].items()
+        }
+        self.recent_departures = {
+            IPAddress(mh): t for mh, t in state["recent_departures"].items()
+        }
+        self.stale_filter.load_state(state["stale_filter"])
+        self.limiter.load_state(state["limiter"])
+        self.delivered_to_visitors = int(state["delivered_to_visitors"])
+        self.retunneled_forward = int(state["retunneled_forward"])
+        self.retunneled_home = int(state["retunneled_home"])
+        self.loops_detected = int(state["loops_detected"])
+        self.recoveries = int(state["recoveries"])

@@ -367,3 +367,28 @@ class HomeAgent:
             self._start_interception(mobile_host)
         if self.advertiser is not None:
             self.advertiser.restart_with_new_boot_id()
+
+    # ------------------------------------------------------------------
+    # Snapshot contract
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-able role state for the session snapshot/diff contract."""
+        return {
+            "database": self.database.state_dict(),
+            "stale_filter": self.stale_filter.state_dict(),
+            "limiter": self.limiter.state_dict(),
+            "packets_intercepted": self.packets_intercepted,
+            "packets_retunneled": self.packets_retunneled,
+            "recoveries": self.recoveries,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore role state from :meth:`state_dict` (interception proxy
+        entries are not rebuilt here; they live in the ARP service and
+        are restored by its own contract)."""
+        self.database.load_state(state["database"])
+        self.stale_filter.load_state(state["stale_filter"])
+        self.limiter.load_state(state["limiter"])
+        self.packets_intercepted = int(state["packets_intercepted"])
+        self.packets_retunneled = int(state["packets_retunneled"])
+        self.recoveries = int(state["recoveries"])

@@ -29,6 +29,7 @@ Two optional behaviours from the paper are implemented:
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
 from repro.core.cache_agent import CacheAgent, UpdateRateLimiter, send_location_update
@@ -278,39 +279,52 @@ class MobileHost(Host):
             hw_value=self.iface.hw_address.value,
         )
         registration_started = self.sim.now
+        self.registrar.send(
+            agent,
+            message,
+            on_ack=partial(
+                self._fa_connect_acked, agent, old_fa, was_home, registration_started
+            ),
+            on_fail=self._fa_connect_failed,
+        )
 
-        def connected(ack: RegistrationMessage) -> None:
-            self._registering_with = None
-            if not ack.ok:
-                return
-            self.state = AWAY
-            self.current_foreign_agent = agent
-            self.temp_address = None
-            self.iface.alias_addresses = set()
-            self.registrations += 1
-            telemetry = self.sim.telemetry
-            if telemetry is not None:
-                telemetry.registration_complete(
-                    self.sim.now, self.name, agent,
-                    self.sim.now - registration_started,
-                )
-            self._last_fa_heard = self.sim.now
-            if self._fa_lifetime <= 0:
-                from repro.core.discovery import DEFAULT_ADVERT_LIFETIME
+    def _fa_connect_acked(
+        self,
+        agent: IPAddress,
+        old_fa: Optional[IPAddress],
+        was_home: bool,
+        registration_started: float,
+        ack: RegistrationMessage,
+    ) -> None:
+        self._registering_with = None
+        if not ack.ok:
+            return
+        self.state = AWAY
+        self.current_foreign_agent = agent
+        self.temp_address = None
+        self.iface.alias_addresses = set()
+        self.registrations += 1
+        telemetry = self.sim.telemetry
+        if telemetry is not None:
+            telemetry.registration_complete(
+                self.sim.now, self.name, agent,
+                self.sim.now - registration_started,
+            )
+        self._last_fa_heard = self.sim.now
+        if self._fa_lifetime <= 0:
+            from repro.core.discovery import DEFAULT_ADVERT_LIFETIME
 
-                self._fa_lifetime = DEFAULT_ADVERT_LIFETIME
-            self._watchdog.start(self._fa_lifetime)
-            # Step 2: the home agent.
-            self._register_with_home_agent(agent)
-            # Step 3: the old foreign agent (unless we came from home or
-            # already disconnected explicitly).
-            if old_fa is not None and old_fa != agent and not was_home:
-                self._notify_old_foreign_agent(old_fa, new_agent=agent)
+            self._fa_lifetime = DEFAULT_ADVERT_LIFETIME
+        self._watchdog.start(self._fa_lifetime)
+        # Step 2: the home agent.
+        self._register_with_home_agent(agent)
+        # Step 3: the old foreign agent (unless we came from home or
+        # already disconnected explicitly).
+        if old_fa is not None and old_fa != agent and not was_home:
+            self._notify_old_foreign_agent(old_fa, new_agent=agent)
 
-        def failed() -> None:
-            self._registering_with = None
-
-        self.registrar.send(agent, message, on_ack=connected, on_fail=failed)
+    def _fa_connect_failed(self) -> None:
+        self._registering_with = None
 
     def _register_with_home_agent(self, foreign_agent: IPAddress) -> None:
         message = RegistrationMessage(

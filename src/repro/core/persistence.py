@@ -139,3 +139,23 @@ class LocationDatabase:
     def clear_memory(self) -> None:
         """Simulate losing RAM contents (crash without disk recovery)."""
         self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Snapshot contract
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-able registration table for the session snapshot/diff
+        contract (the durable store, if any, persists itself)."""
+        return {
+            "entries": {
+                str(mh): str(fa)
+                for mh, fa in sorted(self._entries.items(), key=lambda kv: kv[0].value)
+            }
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore the in-memory table from :meth:`state_dict`."""
+        self._entries = {
+            IPAddress(mh): IPAddress(fa) for mh, fa in state["entries"].items()
+        }
+        self._persist()

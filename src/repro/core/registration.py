@@ -123,6 +123,26 @@ class StaleControlFilter:
         """Forget everything (the memory is volatile: reboot hook)."""
         self._high_water.clear()
 
+    # ------------------------------------------------------------------
+    # Snapshot contract
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-able high-water marks for the session snapshot/diff contract."""
+        return {
+            "high_water": {
+                str(host): seq
+                for host, seq in sorted(
+                    self._high_water.items(), key=lambda kv: kv[0].value
+                )
+            }
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore the high-water marks from :meth:`state_dict`."""
+        self._high_water = {
+            IPAddress(host): int(seq) for host, seq in state["high_water"].items()
+        }
+
 
 class ControlDispatcher:
     """Per-node demultiplexer for :data:`MOBILE_CONTROL` packets."""
@@ -193,6 +213,77 @@ class ControlDispatcher:
         ))
 
 
+class _ReliableTransmission:
+    """One in-flight reliable registration: retransmit state plus the
+    caller's completion callbacks, held together in an object whose
+    callbacks are bound methods (snapshot/fork requires every scheduled
+    callable to survive a deepcopy of the simulation graph — closures
+    would silently keep pointing at the pre-fork world)."""
+
+    def __init__(
+        self,
+        registrar: "ReliableRegistrar",
+        destination: IPAddress,
+        message: RegistrationMessage,
+        on_ack: Optional[Callable[[RegistrationMessage], None]],
+        on_fail: Optional[Callable[[], None]],
+    ) -> None:
+        self.registrar = registrar
+        self.destination = destination
+        self.message = message
+        self.on_ack = on_ack
+        self.on_fail = on_fail
+        self.attempts = 0
+        self.timer = registrar.node.sim.timer(
+            self._retry, label=f"reg-retry-{message.seq}"
+        )
+
+    def begin(self) -> None:
+        self.registrar.dispatcher.expect_ack(self.message.seq, self._acked)
+        self._transmit()
+        self.timer.start(REG_RETRY_INTERVAL)
+
+    def _transmit(self) -> None:
+        node = self.registrar.node
+        node.sim.trace(
+            "mhrp.register",
+            node.name,
+            event="send",
+            kind=self.message.kind,
+            to=str(self.destination),
+            attempt=self.attempts,
+        )
+        node.send(IPPacket(
+            src=node.primary_address,
+            dst=self.destination,
+            protocol=MOBILE_CONTROL,
+            payload=self.message,
+        ))
+
+    def _retry(self) -> None:
+        node = self.registrar.node
+        self.attempts += 1
+        if self.attempts > REG_MAX_RETRIES:
+            self.registrar.dispatcher.cancel_ack(self.message.seq)
+            node.sim.trace(
+                "mhrp.register",
+                node.name,
+                event="gave-up",
+                kind=self.message.kind,
+                to=str(self.destination),
+            )
+            if self.on_fail is not None:
+                self.on_fail()
+            return
+        self._transmit()
+        self.timer.start(REG_RETRY_INTERVAL)
+
+    def _acked(self, ack: RegistrationMessage) -> None:
+        self.timer.cancel()
+        if self.on_ack is not None:
+            self.on_ack(ack)
+
+
 class ReliableRegistrar:
     """Retransmits one registration until acknowledged or given up."""
 
@@ -208,48 +299,4 @@ class ReliableRegistrar:
         on_fail: Optional[Callable[[], None]] = None,
     ) -> None:
         """Send ``message`` to ``destination`` reliably."""
-        sim = self.node.sim
-        attempts = {"n": 0}
-        timer = sim.timer(lambda: retry(), label=f"reg-retry-{message.seq}")
-
-        def transmit() -> None:
-            self.node.sim.trace(
-                "mhrp.register",
-                self.node.name,
-                event="send",
-                kind=message.kind,
-                to=str(destination),
-                attempt=attempts["n"],
-            )
-            self.node.send(IPPacket(
-                src=self.node.primary_address,
-                dst=destination,
-                protocol=MOBILE_CONTROL,
-                payload=message,
-            ))
-
-        def retry() -> None:
-            attempts["n"] += 1
-            if attempts["n"] > REG_MAX_RETRIES:
-                self.dispatcher.cancel_ack(message.seq)
-                self.node.sim.trace(
-                    "mhrp.register",
-                    self.node.name,
-                    event="gave-up",
-                    kind=message.kind,
-                    to=str(destination),
-                )
-                if on_fail is not None:
-                    on_fail()
-                return
-            transmit()
-            timer.start(REG_RETRY_INTERVAL)
-
-        def acked(ack: RegistrationMessage) -> None:
-            timer.cancel()
-            if on_ack is not None:
-                on_ack(ack)
-
-        self.dispatcher.expect_ack(message.seq, acked)
-        transmit()
-        timer.start(REG_RETRY_INTERVAL)
+        _ReliableTransmission(self, destination, message, on_ack, on_fail).begin()

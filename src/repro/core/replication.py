@@ -56,6 +56,11 @@ HEARTBEAT_PERIOD = 1.0
 TAKEOVER_MISSES = 3
 
 
+def _discard_ack(ack) -> None:
+    """Heartbeat acks carry no information; module-level so forked
+    sessions never share a closure with their parent."""
+
+
 class HomeAgentReplica:
     """One member of a replicated home agent group."""
 
@@ -147,7 +152,7 @@ class HomeAgentReplica:
                 mobile_host=IPAddress.zero(), agent=self.iface_address,
             )
             # Heartbeats are fire-and-forget: a missed one is the signal.
-            self._dispatcher.expect_ack(beat.seq, lambda ack: None)
+            self._dispatcher.expect_ack(beat.seq, _discard_ack)
             from repro.ip.packet import IPPacket
             from repro.ip.protocols import MOBILE_CONTROL
 

@@ -46,3 +46,7 @@ class RegistrationError(ProtocolError):
 
 class ConfigurationError(ReproError):
     """A component was configured inconsistently."""
+
+
+class SnapshotError(ReproError):
+    """A scenario session could not be snapshotted or forked safely."""

@@ -12,7 +12,8 @@ serially, across 4 processes, or straight out of the cache.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 from fnmatch import fnmatch
 from typing import Dict, List, Optional, Sequence
 
@@ -111,6 +112,30 @@ def select_metrics(
             if name not in names and any(fnmatch(name, p) for p in patterns):
                 names.append(name)
     return names
+
+
+def rows_json(
+    rows: Sequence[AggregateRow], metrics: Optional[Sequence[str]] = None
+) -> str:
+    """Deterministic JSON of aggregate rows (the sweep ``--json``
+    output).  Identical results serialize to identical bytes no matter
+    how cells executed — serially, pooled, from the cache, or through a
+    warm-start fork — which is what the warm-vs-cold CI check diffs."""
+    payload = []
+    for row in rows:
+        names = list(row.metrics) if metrics is None else list(metrics)
+        payload.append(
+            {
+                "params": row.params,
+                "n_seeds": row.n_seeds,
+                "metrics": {
+                    name: asdict(row.metrics[name])
+                    for name in names
+                    if name in row.metrics
+                },
+            }
+        )
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def _fmt_stat(summary: MetricSummary) -> str:

@@ -18,7 +18,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.harness.aggregate import aggregate, select_metrics, summary_table
+from repro.clibase import build_parser
+from repro.harness.aggregate import aggregate, rows_json, select_metrics, summary_table
 from repro.harness.regress import (
     compare_to_baseline,
     default_baseline_path,
@@ -31,9 +32,10 @@ from repro.harness.store import ResultStore, default_store
 
 
 def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro sweep",
-        description="Run a multi-seed parameter sweep over the simulator.",
+    parser = build_parser(
+        "sweep",
+        "Run a multi-seed parameter sweep over the simulator.",
+        seed_help="run only this seed instead of the spec's seed list",
     )
     parser.add_argument("experiment", nargs="?", help="registered experiment name")
     parser.add_argument(
@@ -51,6 +53,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quick", action="store_true",
         help="sweep the reduced CI grid instead of the full one",
+    )
+    parser.add_argument(
+        "--warm-start", action="store_true",
+        help="share checkpointed warm-ups between cells with equal "
+             "scenario prefixes (results unchanged, wall clock smaller)",
     )
     parser.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
@@ -94,6 +101,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+    if args.seed is not None:
+        spec = spec.with_seeds([args.seed])
 
     if args.no_cache:
         store = None
@@ -109,6 +118,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         use_cache=not args.no_cache,
         timeout=args.timeout,
         quick=args.quick,
+        warm_start=args.warm_start,
     )
     rows = aggregate(report.results)
     n_seeds = max((r.n_seeds for r in rows), default=0)
@@ -118,19 +128,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         shown = select_metrics(rows, patterns)
         if not shown:
             print(f"no metrics match {args.metrics!r}", file=sys.stderr)
-    table = summary_table(
-        rows,
-        f"{spec.name} — across-seed aggregates ({n_seeds} seeds/point)",
-        metrics=shown,
-    )
-    table.print()
-    print()
-    print(
-        f"{len(report.results)} cells: {report.executed} executed, "
-        f"{report.cached} cached ({report.cache_hit_rate:.0%} hit rate), "
-        f"{len(report.failures)} failed; "
-        f"{report.wall_seconds:.2f}s wall at --jobs {report.jobs}"
-    )
+    if args.as_json:
+        print(rows_json(rows, metrics=shown))
+    elif not args.quiet:
+        table = summary_table(
+            rows,
+            f"{spec.name} — across-seed aggregates ({n_seeds} seeds/point)",
+            metrics=shown,
+        )
+        table.print()
+        print()
+    if not args.quiet:
+        print(
+            f"{len(report.results)} cells: {report.executed} executed, "
+            f"{report.cached} cached ({report.cache_hit_rate:.0%} hit rate), "
+            f"{len(report.failures)} failed; "
+            f"{report.wall_seconds:.2f}s wall at --jobs {report.jobs}"
+        )
+        if report.warm_stats is not None:
+            ws = report.warm_stats
+            print(
+                f"warm-start: {ws['checkpoints_built']} checkpoint(s) built, "
+                f"{ws['forks_served']} fork(s) served; "
+                f"{ws['warmup_events_saved']} warm-up events skipped "
+                f"({ws['warmup_events_run']} run)"
+            )
 
     status = 0
     for failure in report.failures:

@@ -20,7 +20,10 @@ Registered sweeps:
 - ``handoff-telemetry`` — Figure-1 under a continuous ping stream with
   a :class:`~repro.telemetry.health.ProtocolHealth` hub attached:
   end-to-end latency / path stretch / handoff blackout / registration
-  latency distributions vs wireless link latency.
+  latency distributions vs wireless link latency and ping rate.
+- ``registration-storm`` — a campus-wide relocation storm whose run is
+  ~98% shared warm-up; the showcase (and CI proof) for ``--warm-start``
+  checkpoint sharing.
 - ``invariant-fuzz`` — seeded random mobility/fault/traffic scenarios
   executed under the :mod:`repro.invariants` auditor; ``python -m
   repro fuzz`` drives it and shrinks violations to minimal repros.
@@ -281,6 +284,45 @@ def dataplane_cell(
 # ----------------------------------------------------------------------
 # handoff-telemetry (the PR 3 observability sweep)
 # ----------------------------------------------------------------------
+def handoff_telemetry_spec(
+    seed: int,
+    wireless_latency: float = 0.003,
+    ping_interval: float = 0.5,
+    duration: float = 40.0,
+):
+    """The Figure-1 handoff scenario as a :class:`ScenarioSpec`.
+
+    The attach-home + first-handoff warm-up (t < 4) is identical for
+    every ``ping_interval``, so all cells of one ``(wireless_latency,
+    seed)`` point share a prefix hash — under ``--warm-start`` they fork
+    one checkpoint instead of re-running the warm-up per cell.
+    """
+    from repro.scenario import ScenarioSpec
+
+    pings = []
+    t = 4.0
+    while t < duration - 1.0:
+        pings.append({"t": round(t, 6), "src": 0, "host": 0})
+        t += ping_interval
+    return ScenarioSpec(
+        name="handoff-telemetry",
+        seed=seed,
+        topology={"kind": "figure1", "wireless_latency": wireless_latency},
+        horizon=duration,
+        checkpoint=4.0,
+        # Bound trace storage: the hub's listeners see every entry anyway.
+        trace_limit=10_000,
+        instruments=[{"kind": "health", "max_completed_journeys": 256}],
+        moves=[
+            {"t": 0.0, "host": 0, "to": -1},
+            {"t": 2.0, "host": 0, "to": 0},
+            {"t": 15.0, "host": 0, "to": 1},
+            {"t": 28.0, "host": 0, "to": 0},
+        ],
+        pings=pings,
+    )
+
+
 def handoff_telemetry_cell(
     seed: int,
     wireless_latency: float = 0.003,
@@ -295,26 +337,14 @@ def handoff_telemetry_cell(
     (every value is simulation-time-derived, hence deterministic per
     seed).
     """
-    from repro.telemetry.health import ProtocolHealth
-    from repro.workloads.topology import build_figure1
+    from repro.scenario import warmstart
 
-    topo = build_figure1(seed=seed, wireless_latency=wireless_latency)
-    sim, s, m = topo.sim, topo.s, topo.m
-    # Bound trace storage: the hub's listeners see every entry anyway.
-    sim.tracer.limit(10_000)
-    nodes = [s, topo.r1, topo.r2, topo.r3, topo.r4, topo.r5, m]
-    hub = ProtocolHealth(max_completed_journeys=256).attach(sim, nodes=nodes)
-    m.attach_home(topo.net_b)
-    sim.run(until=2.0)
-    m.attach(topo.net_d)
-    sim.schedule_at(15.0, lambda: m.attach(topo.net_e))
-    sim.schedule_at(28.0, lambda: m.attach(topo.net_d))
-    t = 4.0
-    while t < duration - 1.0:
-        sim.schedule_at(t, lambda: s.ping(m.home_address))
-        t += ping_interval
-    sim.run(until=duration)
-    return hub.summary()
+    session = warmstart.session_at_checkpoint(
+        handoff_telemetry_spec(seed, wireless_latency, ping_interval, duration)
+    )
+    session.install_tail()
+    session.run()
+    return session.telemetry.summary()
 
 
 HANDOFF_TELEMETRY = register(
@@ -322,9 +352,13 @@ HANDOFF_TELEMETRY = register(
         name="handoff-telemetry",
         cell_fn="repro.harness.experiments:handoff_telemetry_cell",
         description="handoff latency/stretch/blackout distributions on Figure-1",
-        grid={"wireless_latency": [0.003, 0.01, 0.03]},
+        grid={
+            "wireless_latency": [0.003, 0.01, 0.03],
+            "ping_interval": [0.5, 0.25, 0.1],
+        },
         seeds=(42, 43, 44),
-        quick_grid={"wireless_latency": [0.003]},
+        version=2,  # cell rebuilt on the scenario-session API
+        quick_grid={"wireless_latency": [0.003], "ping_interval": [0.5]},
         quick_seeds=(42,),
         directions={
             "latency_ms_p95": "lower",
@@ -334,6 +368,92 @@ HANDOFF_TELEMETRY = register(
             "packets_delivered": "higher",
             "packets_dropped": "lower",
         },
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# registration-storm (the warm-start showcase)
+# ----------------------------------------------------------------------
+def registration_storm_spec(seed: int, probe_cell: int = 0, n_hosts: int = 30):
+    """A campus under a registration storm, with a tiny probe tail.
+
+    Thirty mobile hosts attach home, then move through three full
+    relocation waves — tens of thousands of registration / update / ARP
+    events, all before the checkpoint at t=15.  The tail (one extra
+    move wave into ``probe_cell`` plus two convergence probes) is a few
+    dozen events, so virtually the whole run is shareable warm-up: the
+    shape that makes warm-start sweeps pay.
+    """
+    from repro.scenario import ScenarioSpec
+
+    n_cells = 6
+    moves = [
+        {"t": round(0.2 + 0.1 * i, 3), "host": i, "to": -1} for i in range(n_hosts)
+    ]
+    for i in range(n_hosts):
+        moves.append({"t": round(4.0 + 0.1 * i, 3), "host": i, "to": i % n_cells})
+        moves.append(
+            {"t": round(8.0 + 0.1 * i, 3), "host": i, "to": (i + 1) % n_cells}
+        )
+        moves.append(
+            {"t": round(12.0 + 0.1 * i, 3), "host": i, "to": (i + 2) % n_cells}
+        )
+    # Tail: a short third wave of the first few hosts into probe_cell.
+    for i in range(4):
+        moves.append({"t": round(15.5 + 0.2 * i, 3), "host": i, "to": probe_cell})
+    return ScenarioSpec(
+        name="registration-storm",
+        seed=seed,
+        topology={
+            "kind": "campus",
+            "n_cells": n_cells,
+            "n_mobile_hosts": n_hosts,
+            "n_correspondents": 2,
+            "advertise": True,
+        },
+        horizon=20.0,
+        checkpoint=15.0,
+        trace_limit=10_000,
+        moves=moves,
+        probes=[{"t": 17.0, "src": 0, "host": 0}, {"t": 17.5, "src": 1, "host": 1}],
+    )
+
+
+def registration_storm_cell(
+    seed: int, probe_cell: int = 0, n_hosts: int = 30
+) -> Dict[str, object]:
+    """One storm cell: the deterministic packet/event accounting after
+    the probe tail.  Every metric is simulation-state-derived, so a
+    warm-started cell is byte-identical to a cold one."""
+    from repro.scenario import warmstart
+
+    session = warmstart.session_at_checkpoint(
+        registration_storm_spec(seed, probe_cell=probe_cell, n_hosts=n_hosts)
+    )
+    session.install_tail()
+    session.run()
+    counters = [node.dataplane.counters for node in session.world.nodes]
+    return {
+        "events": session.sim.events_processed,
+        "delivered": sum(c.delivered for c in counters),
+        "forwarded": sum(c.forwarded for c in counters),
+        "tunneled": sum(c.tunneled for c in counters),
+        "dropped": sum(c.dropped_total for c in counters),
+        "db_size": len(session.world.home_roles.home_agent.database),
+    }
+
+
+REGISTRATION_STORM = register(
+    ExperimentSpec(
+        name="registration-storm",
+        cell_fn="repro.harness.experiments:registration_storm_cell",
+        description="campus registration storm; warmup-heavy warm-start showcase",
+        grid={"probe_cell": [0, 1, 2, 3, 4, 5]},
+        seeds=(42, 43),
+        quick_grid={"probe_cell": [0, 1, 2, 3, 4, 5]},
+        quick_seeds=(42,),
+        directions={"delivered": "higher", "dropped": "lower", "events": "both"},
     )
 )
 

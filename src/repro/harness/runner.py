@@ -90,6 +90,10 @@ class SweepReport:
     cached: int = 0
     wall_seconds: float = 0.0
     jobs: int = 1
+    #: Warm-start cache counters (checkpoints built, forks served,
+    #: warm-up events run/saved); ``None`` unless the sweep ran with
+    #: ``warm_start=True`` in-process (``jobs<=1``).
+    warm_stats: Optional[Dict[str, int]] = None
 
     @property
     def failures(self) -> List[CellResult]:
@@ -147,6 +151,7 @@ def execute_cell(
     seed: int,
     cell_hash: str,
     timeout: Optional[float] = None,
+    warm: bool = False,
 ) -> dict:
     """Run one cell in the current process; never raises.
 
@@ -155,6 +160,11 @@ def execute_cell(
     workers the task runs on the process's main thread, so the alarm is
     deliverable; elsewhere (non-main thread, non-POSIX) it degrades to
     no timeout rather than failing.
+
+    ``warm`` toggles the per-process scenario warm-start cache for the
+    duration of the call.  It deliberately does not enter the cell hash:
+    warm-started results are byte-identical to cold ones, so the two
+    modes must share cache entries.
     """
     start = time.perf_counter()
     result = {
@@ -169,6 +179,9 @@ def execute_cell(
     }
     alarm_armed = False
     try:
+        from repro.scenario import warmstart
+
+        warmstart.configure(warm)
         fn = resolve_cell_fn(cell_fn)
         if timeout and hasattr(signal, "SIGALRM"):
             def _on_alarm(signum, frame):
@@ -211,6 +224,7 @@ def run_sweep(
     timeout: Optional[float] = None,
     quick: bool = False,
     progress: Optional[Callable[[CellResult], None]] = None,
+    warm_start: bool = False,
 ) -> SweepReport:
     """Execute every cell of ``spec`` and return a :class:`SweepReport`.
 
@@ -223,11 +237,21 @@ def run_sweep(
         quick: sweep the spec's reduced CI grid instead of the full one.
         progress: called with each :class:`CellResult` as it lands
             (execution order, not deterministic under ``jobs>1``).
+        warm_start: enable the scenario checkpoint cache, letting cells
+            that share a warm-up prefix fork one snapshot instead of
+            replaying it (results are unchanged — only the wall clock).
+            The cache is per process, so ``jobs=1`` shares best.
 
     The returned report lists results in spec order regardless of
     ``jobs``, so aggregation output is byte-identical for any job count.
     """
     started = time.perf_counter()
+    if warm_start:
+        from repro.scenario import warmstart
+
+        # Each sweep gets a fresh cache: predictable memory, and the
+        # reported stats describe exactly this sweep.
+        warmstart.clear()
     cells = spec.cells(quick=quick)
     cached_records = store.load(spec.name) if store is not None else {}
 
@@ -252,6 +276,7 @@ def run_sweep(
             cell.seed,
             cell.content_hash(),
             timeout,
+            warm_start,
         )
 
     def _land(record: dict) -> None:
@@ -305,6 +330,16 @@ def run_sweep(
         if fresh or not use_cache:
             store.save(spec.name, merged)
 
+    warm_stats = None
+    if warm_start and jobs <= 1:
+        from repro.scenario import warmstart
+
+        warm_stats = warmstart.stats()
+        # The cache is sweep-scoped: drop the snapshots and leave the
+        # process configured cold for whatever runs next.
+        warmstart.configure(False)
+        warmstart.clear()
+
     ordered = [results[c.content_hash()] for c in cells]
     return SweepReport(
         experiment=spec.name,
@@ -313,6 +348,7 @@ def run_sweep(
         cached=len(cells) - len(pending),
         wall_seconds=time.perf_counter() - started,
         jobs=max(jobs, 1),
+        warm_stats=warm_stats,
     )
 
 

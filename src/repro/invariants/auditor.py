@@ -103,24 +103,37 @@ class InvariantAuditor:
     # ------------------------------------------------------------------
     # Attachment
     # ------------------------------------------------------------------
+    #: Role attribute this instrument occupies on the simulator.
+    instrument_role = "auditor"
+
     def attach(self, sim) -> "InvariantAuditor":
         """Wire this auditor into ``sim`` and return it.
 
         Requires the ``mhrp.tunnel`` / ``mhrp.loop`` trace categories to
         be recordable (the default) for re-tunnel accounting; the
         dataplane and link hooks work regardless of tracer state.
+
+        Thin shim over :meth:`Simulator.attach
+        <repro.netsim.simulator.Simulator.attach>`.
         """
-        self.sim = sim
-        sim.auditor = self
-        sim.tracer.subscribe(self._on_trace)
+        sim.attach(self)
         return self
 
-    def detach(self) -> None:
-        if self.sim is not None and self.sim.auditor is self:
-            self.sim.auditor = None
-        # Tracer subscriptions are append-only; the listener becomes a
-        # no-op by virtue of the auditor simply ignoring further input.
+    def bind(self, sim) -> None:
+        """Instrument-registry hook: wire the trace listener into ``sim``."""
+        self.sim = sim
+        sim.tracer.subscribe(self._on_trace)
+
+    def unbind(self, sim) -> None:
+        """Instrument-registry hook: withdraw the trace listener."""
+        sim.tracer.unsubscribe(self._on_trace)
         self.sim = None
+
+    def detach(self) -> None:
+        if self.sim is not None and self in self.sim.instruments:
+            self.sim.detach(self)
+        else:
+            self.sim = None
 
     # ------------------------------------------------------------------
     # Violation recording

@@ -11,11 +11,12 @@ a minimal schedule, and writes the repro JSON artifact.
 
 from __future__ import annotations
 
-import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.clibase import build_parser
 from repro.invariants.auditor import InvariantAuditor
 
 DEFAULT_ARTIFACT_DIR = Path("benchmarks/results/fuzz")
@@ -27,7 +28,7 @@ def _audit_figure1(seed: int) -> InvariantAuditor:
     from repro.workloads.topology import build_figure1, drive_figure1
 
     topo = build_figure1(seed=seed)
-    auditor = InvariantAuditor().attach(topo.sim)
+    auditor = topo.sim.attach(InvariantAuditor())
     drive_figure1(topo)
     # Periodic agent advertisements keep the queue alive forever, so
     # drain on the clock: every packet born during the walkthrough gets
@@ -42,7 +43,7 @@ def _audit_loop(seed: int, loop_size: int = 6, max_list: int = 4) -> InvariantAu
     from repro.workloads.loops import build_loop, inject_and_measure
 
     topo = build_loop(loop_size, max_list, seed=seed)
-    auditor = InvariantAuditor(max_previous_sources=max_list).attach(topo.sim)
+    auditor = topo.sim.attach(InvariantAuditor(max_previous_sources=max_list))
     inject_and_measure(topo, loop_size, max_list)
     topo.sim.run_until_idle()
     auditor.finalize()
@@ -50,16 +51,15 @@ def _audit_loop(seed: int, loop_size: int = 6, max_list: int = 4) -> InvariantAu
 
 
 def audit_main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro audit",
-        description="run a scenario under the protocol-invariant auditor",
+    parser = build_parser(
+        "audit",
+        "run a scenario under the protocol-invariant auditor",
+        seed_help="simulation seed for named scenarios",
     )
     parser.add_argument(
         "scenario",
         help="a named scenario (figure1, loop) or the path of a fuzz repro JSON",
     )
-    parser.add_argument("--seed", type=int, default=None,
-                        help="simulation seed for named scenarios")
     args = parser.parse_args(argv)
 
     if args.scenario == "figure1":
@@ -82,22 +82,32 @@ def audit_main(argv: Optional[List[str]] = None) -> int:
             scenario["seed"] = args.seed
         auditor = run_scenario(scenario)
 
-    print(auditor.render())
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "ok": auditor.ok,
+                    "summary": auditor.summary(),
+                    "violations": [v.to_record() for v in auditor.violations],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    elif not args.quiet:
+        print(auditor.render())
     return 0 if auditor.ok else 1
 
 
 def fuzz_main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro fuzz",
-        description=(
-            "fuzz random mobility/fault/traffic scenarios under the "
-            "invariant auditor, shrinking any violation to a minimal repro"
-        ),
+    parser = build_parser(
+        "fuzz",
+        "fuzz random mobility/fault/traffic scenarios under the "
+        "invariant auditor, shrinking any violation to a minimal repro",
+        seed_help="first fuzz seed (default 0)",
     )
     parser.add_argument("--seeds", type=int, default=25,
                         help="number of seeds to run (default 25)")
-    parser.add_argument("--start-seed", type=int, default=0,
-                        help="first seed (default 0)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the sweep (default 1)")
     parser.add_argument("--quick", action="store_true",
@@ -120,8 +130,9 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
     from dataclasses import replace
 
     profile = "quick" if args.quick else "default"
+    start_seed = args.seed if args.seed is not None else 0
     spec = get_experiment("invariant-fuzz").with_seeds(
-        range(args.start_seed, args.start_seed + args.seeds)
+        range(start_seed, start_seed + args.seeds)
     )
     # Pin the grid to the chosen profile; seeds came from --seeds above.
     spec = replace(spec, grid={"profile": [profile]}, quick_grid=None, quick_seeds=None)
@@ -138,23 +149,40 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
             bad_seeds.append(result.seed)
 
     total = len(report.results)
-    print(
-        f"fuzz: {total} seeds ({profile} profile), "
-        f"{len(bad_seeds)} with violations, {errors} errored"
-    )
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "profile": profile,
+                    "seeds": total,
+                    "bad_seeds": bad_seeds,
+                    "errors": errors,
+                    "results": [r.to_record() for r in report.results],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    elif not args.quiet:
+        print(
+            f"fuzz: {total} seeds ({profile} profile), "
+            f"{len(bad_seeds)} with violations, {errors} errored"
+        )
 
     for seed in bad_seeds:
         scenario = make_scenario(seed, profile)
         auditor = run_scenario(scenario)
         rules = {v.rule for v in auditor.violations}
-        print(f"\nseed {seed}: {auditor.total_violations} violation(s) "
-              f"[{', '.join(sorted(rules))}]")
         minimal = scenario
         if args.shrink:
             minimal = shrink_scenario(scenario, rules)
             auditor = run_scenario(minimal)
         path = write_artifact(args.artifact_dir, minimal, auditor.violations, scenario)
-        print(auditor.render())
-        print(f"repro written to {path} (replay: python -m repro audit {path})")
+        if not args.as_json and not args.quiet:
+            print(f"\nseed {seed}: {auditor.total_violations} violation(s) "
+                  f"[{', '.join(sorted(rules))}]")
+            print(auditor.render())
+        if not args.as_json:
+            print(f"repro written to {path} (replay: python -m repro audit {path})")
 
     return 1 if bad_seeds or errors else 0

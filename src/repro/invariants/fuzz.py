@@ -41,18 +41,24 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.invariants.auditor import InvariantAuditor
+from repro.scenario import PROBE_GAP, PROBE_PROTOCOL, ScenarioSpec, Session
 
-#: IP protocol number used by convergence probes (MHRP=252 and the
-#: registration control protocol=253 are taken).
-PROBE_PROTOCOL = 254
+__all__ = [
+    "PROBE_GAP",
+    "PROBE_PROTOCOL",
+    "make_scenario",
+    "run_scenario",
+    "fuzz_cell",
+    "violated_rules",
+    "shrink_scenario",
+    "write_artifact",
+    "load_scenario",
+]
 
 #: Simulated seconds the run continues past the horizon so every packet
 #: born before it can reach a terminal (ARP retry exhaustion takes ~4s;
 #: nothing else in the stack waits longer).
 DRAIN_SECONDS = 10.0
-
-#: Seconds between a warm probe and its audited twin.
-PROBE_GAP = 2.0
 
 SCENARIO_VERSION = 1
 
@@ -143,115 +149,32 @@ def make_scenario(seed: int, profile: str = "default") -> dict:
 # ----------------------------------------------------------------------
 # Scenario execution
 # ----------------------------------------------------------------------
-def run_scenario(scenario: dict) -> InvariantAuditor:
-    """Build, audit, and drain one scenario; returns the auditor with
-    its recorded violations (conservation already finalized)."""
-    from repro.ip.packet import IPPacket, RawPayload
-    from repro.netsim.simulator import Simulator
-    from repro.workloads.topology import build_campus
-    from repro.workloads.traffic import CBRStream
-
-    sim = Simulator(seed=scenario["seed"])
-    topo = build_campus(
-        n_cells=scenario["n_cells"],
-        n_mobile_hosts=scenario["n_hosts"],
-        n_correspondents=2,
-        sim=sim,
-        advertise=True,
-        max_previous_sources=scenario["max_previous_sources"],
-    )
-    auditor = InvariantAuditor(
-        max_previous_sources=scenario["max_previous_sources"]
-    ).attach(sim)
-
-    for mh in topo.mobile_hosts:
-        mh.register_protocol(PROBE_PROTOCOL, lambda packet, iface: None)
-
-    # Everyone starts at home, slightly staggered.
-    for i, mh in enumerate(topo.mobile_hosts):
-        sim.schedule_at(0.2 + 0.1 * i, lambda m=mh: m.attach_home(topo.home_lan))
-
-    def apply_move(host: int, to: int) -> None:
-        mh = topo.mobile_hosts[host % len(topo.mobile_hosts)]
-        if to == -2:
-            if mh.iface.attached:
-                mh.disconnect()
-        elif to == -1:
-            mh.attach_home(topo.home_lan)
-        else:
-            mh.attach(topo.cells[to % len(topo.cells)])
-
-    for move in scenario["moves"]:
-        sim.schedule_at(
-            move["t"], lambda m=move: apply_move(m["host"], m["to"]), label="fuzz-move"
-        )
-
-    fault_nodes = {"HR": topo.home_router}
-    for i, router in enumerate(topo.cell_routers):
-        fault_nodes[f"FR{i}"] = router
-
-    def apply_fault(name: str, kind: str) -> None:
-        node = fault_nodes.get(name)
-        if node is None:
-            return
-        if kind == "crash":
-            node.crash()
-        else:
-            node.reboot()
-
-    for fault in scenario["faults"]:
-        sim.schedule_at(
-            fault["t"],
-            lambda f=fault: apply_fault(f["node"], f["kind"]),
-            label="fuzz-fault",
-        )
-
-    for flow in scenario["flows"]:
-        mh = topo.mobile_hosts[flow["host"] % len(topo.mobile_hosts)]
-        stream = CBRStream(
-            sender=topo.correspondents[flow["src"] % len(topo.correspondents)],
-            receiver=mh,
-            dst_address=mh.home_address,
-            interval=flow["interval"],
-            port=flow["port"],
-            start_at=flow["start"],
-            count=flow["count"],
-        )
-        stream.start()
-
-    def send_probe(src: int, host: int, watched: bool) -> None:
-        sender = topo.correspondents[src % len(topo.correspondents)]
-        mh = topo.mobile_hosts[host % len(topo.mobile_hosts)]
-        packet = IPPacket(
-            src=sender.primary_address,
-            dst=mh.home_address,
-            protocol=PROBE_PROTOCOL,
-            payload=RawPayload(b"convergence-probe"),
-        )
-        if watched:
-            auditor.expect_no_retunnels([packet.uid])
-        sender.send(packet)
-
-    for probe in scenario["probes"]:
-        sim.schedule_at(
-            probe["t"],
-            lambda p=probe: send_probe(p["src"], p["host"], watched=False),
-            label="fuzz-probe-warm",
-        )
-        sim.schedule_at(
-            probe["t"] + PROBE_GAP,
-            lambda p=probe: send_probe(p["src"], p["host"], watched=True),
-            label="fuzz-probe-audited",
-        )
-
-    horizon = scenario["horizon"]
-    sim.run(until=horizon)
+def _finish(session: Session) -> InvariantAuditor:
+    """Run an at-checkpoint fuzz session to its horizon, drain, and
+    finalize the auditor."""
+    session.install_tail()
+    horizon = session.spec.horizon
+    session.run()
     # Periodic advertisers never let the queue go idle, so drain on the
     # clock: everything born before the horizon gets DRAIN_SECONDS to
     # terminate, and younger flights are excluded from conservation.
-    sim.run(until=horizon + DRAIN_SECONDS)
+    session.run(until=horizon + DRAIN_SECONDS)
+    auditor = session.auditor
     auditor.finalize(ignore_after=horizon)
     return auditor
+
+
+def run_scenario(scenario: dict) -> InvariantAuditor:
+    """Build, audit, and drain one scenario; returns the auditor with
+    its recorded violations (conservation already finalized).
+
+    The v1 scenario dict is adapted onto the session API by
+    :meth:`ScenarioSpec.from_fuzz_v1`; the campus wiring, probe
+    delivery, and every schedule action live in
+    :class:`repro.scenario.session.Session` now.
+    """
+    spec = ScenarioSpec.from_fuzz_v1(scenario)
+    return _finish(Session(spec).run_to_checkpoint())
 
 
 # ----------------------------------------------------------------------
@@ -280,6 +203,22 @@ def violated_rules(scenario: dict) -> Set[str]:
     return {v.rule for v in auditor.violations}
 
 
+def _forked_rules(candidate: dict, cache: dict) -> Set[str]:
+    """Violated rules for one shrink trial, forking a cached checkpoint.
+
+    All trials vary only the schedule, never the topology, so they share
+    one prefix hash: the first call builds the world (plus auditor) and
+    snapshots it; later calls fork that snapshot instead of rebuilding.
+    The shrinker's deletion oracle routes through this seam.
+    """
+    spec = ScenarioSpec.from_fuzz_v1(candidate)
+    snapshot = cache.get("snapshot")
+    if snapshot is None or snapshot.prefix_hash != spec.prefix_hash():
+        snapshot = cache["snapshot"] = Session(spec).run_to_checkpoint().snapshot()
+    auditor = _finish(snapshot.fork(spec))
+    return {v.rule for v in auditor.violations}
+
+
 def shrink_scenario(
     scenario: dict,
     rules: Optional[Set[str]] = None,
@@ -291,9 +230,14 @@ def shrink_scenario(
     ``rules`` defaults to whatever the full scenario violates.  Bounded
     by ``max_runs`` replays so a pathological scenario cannot hang the
     CLI; the result is replayable either way.
+
+    Deletion trials replay through :func:`_forked_rules`, so the world is
+    built once and every candidate forks the shared checkpoint snapshot
+    instead of rebuilding from scratch.
     """
+    cache: dict = {}
     if rules is None:
-        rules = violated_rules(scenario)
+        rules = _forked_rules(scenario, cache)
     if not rules:
         return scenario
 
@@ -302,7 +246,7 @@ def shrink_scenario(
     def reproduces(candidate: dict) -> bool:
         nonlocal runs
         runs += 1
-        return bool(violated_rules(candidate) & rules)
+        return bool(_forked_rules(candidate, cache) & rules)
 
     current = json.loads(json.dumps(scenario))
     changed = True

@@ -61,6 +61,14 @@ class IPAddress:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("IPAddress is immutable")
 
+    # Immutable values are shared, not duplicated, by copy/deepcopy
+    # (session snapshots deepcopy whole object graphs through here).
+    def __copy__(self) -> "IPAddress":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "IPAddress":
+        return self
+
     # -- accessors ------------------------------------------------------
     @property
     def value(self) -> int:
@@ -159,6 +167,13 @@ class IPNetwork:
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("IPNetwork is immutable")
+
+    # Shared, not duplicated, by copy/deepcopy (immutable value type).
+    def __copy__(self) -> "IPNetwork":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "IPNetwork":
+        return self
 
     # -- accessors ------------------------------------------------------
     @property

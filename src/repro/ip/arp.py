@@ -18,6 +18,7 @@ when resolution succeeds or times out.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
 from repro.ip.address import IPAddress
@@ -139,6 +140,32 @@ class ARPService:
         self.cache.pop(ip, None)
 
     # ------------------------------------------------------------------
+    # Snapshot contract
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-able cache + proxy state for the snapshot/diff contract.
+
+        In-flight resolutions hold queued packets and timers (callables);
+        those ride the session deepcopy and appear here only as a count.
+        """
+        return {
+            "cache": {
+                str(ip): {"hw": entry.hw.value, "learned_at": entry.learned_at}
+                for ip, entry in sorted(self.cache.items(), key=lambda kv: kv[0].value)
+            },
+            "proxy_for": sorted(str(ip) for ip in self.proxy_for),
+            "pending": len(self._pending),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore the cache and proxy set from :meth:`state_dict`."""
+        self.cache = {
+            IPAddress(ip): ARPEntry(hw=HWAddress(rec["hw"]), learned_at=rec["learned_at"])
+            for ip, rec in state["cache"].items()
+        }
+        self.proxy_for = {IPAddress(ip) for ip in state["proxy_for"]}
+
+    # ------------------------------------------------------------------
     # Resolution
     # ------------------------------------------------------------------
     def resolve(self, ip: IPAddress, packet: "IPPacket") -> Optional[HWAddress]:
@@ -157,7 +184,7 @@ class ARPService:
         pending = _Pending(packets=[packet])
         self._pending[ip] = pending
         self._send_request(ip)
-        pending.timer = self.sim.timer(lambda: self._retry(ip), label=f"arp-retry-{ip}")
+        pending.timer = self.sim.timer(partial(self._retry, ip), label=f"arp-retry-{ip}")
         pending.timer.start(ARP_RETRY_INTERVAL)
         return None
 
@@ -200,7 +227,7 @@ class ARPService:
         for i in range(GRATUITOUS_REPEATS):
             self.sim.schedule(
                 i * 0.1,
-                lambda: self._send_gratuitous(ip, bind_hw),
+                partial(self._send_gratuitous, ip, bind_hw),
                 label="arp-gratuitous",
             )
 

@@ -162,6 +162,25 @@ class DataplaneCounters:
             else:
                 setattr(self, name, 0)
 
+    # ------------------------------------------------------------------
+    # Snapshot contract
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-able counter values for the session snapshot/diff contract."""
+        out: Dict[str, object] = {
+            name: getattr(self, name) for name in self.__slots__ if name != "dropped"
+        }
+        out["dropped"] = dict(sorted(self.dropped.items()))
+        return out
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore every counter from :meth:`state_dict`."""
+        for name in self.__slots__:
+            if name == "dropped":
+                self.dropped = dict(state["dropped"])  # type: ignore[arg-type]
+            else:
+                setattr(self, name, int(state[name]))  # type: ignore[arg-type]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = " ".join(f"{k}={v}" for k, v in self.snapshot().items() if v)
         return f"<DataplaneCounters {parts or 'idle'}>"

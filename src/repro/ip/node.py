@@ -23,6 +23,7 @@ egress).  Mobility protocols plug in through two seams:
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.errors import ConfigurationError, LinkError, RoutingError
@@ -160,8 +161,8 @@ class IPNode:
         self.interfaces[name] = iface
         self.arp[name] = ARPService(
             iface,
-            on_resolved=lambda ip, hw, pkts, i=iface: self._arp_resolved(i, ip, hw, pkts),
-            on_failed=lambda ip, pkts, i=iface: self._arp_failed(i, ip, pkts),
+            on_resolved=partial(self._arp_resolved, iface),
+            on_failed=partial(self._arp_failed, iface),
         )
         self.routing_table.add_connected(net, name)
         if medium is not None:

@@ -51,6 +51,10 @@ class Route:
         via = "connected" if self.is_connected else f"via {self.next_hop}"
         return f"{self.network} dev {self.interface_name} {via} metric {self.metric}"
 
+    # Frozen value type: shared, not duplicated, by session snapshots.
+    def __deepcopy__(self, memo: dict) -> "Route":
+        return self
+
 
 #: Bound on memoized lookup results; past it the memo is reset wholesale
 #: (workloads touch far fewer distinct destinations than this).
@@ -219,6 +223,39 @@ class RoutingTable:
 
     def host_routes(self) -> List[Route]:
         return [r for r in self.routes() if r.is_host_route]
+
+    # ------------------------------------------------------------------
+    # Snapshot contract
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-able table contents for the session snapshot/diff contract."""
+        return {
+            "routes": [
+                {
+                    "network": str(r.network),
+                    "interface": r.interface_name,
+                    "next_hop": str(r.next_hop) if r.next_hop is not None else None,
+                    "metric": r.metric,
+                    "tag": r.tag,
+                }
+                for r in self.routes()
+            ]
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Replace the table contents with those from :meth:`state_dict`."""
+        self.clear()
+        for entry in state["routes"]:
+            next_hop = entry["next_hop"]
+            self.add(
+                Route(
+                    network=IPNetwork(entry["network"]),
+                    interface_name=entry["interface"],
+                    next_hop=IPAddress(next_hop) if next_hop is not None else None,
+                    metric=entry["metric"],
+                    tag=entry["tag"],
+                )
+            )
 
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._by_prefix.values())

@@ -52,6 +52,14 @@ class HWAddress:
     def value(self) -> int:
         return self._value
 
+    # Value type: shared, not duplicated, by copy/deepcopy (session
+    # snapshots deepcopy whole object graphs through here).
+    def __copy__(self) -> "HWAddress":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "HWAddress":
+        return self
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, HWAddress) and self._value == other._value
 

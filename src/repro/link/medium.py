@@ -9,6 +9,7 @@ attached interface except the sender.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.errors import LinkError
@@ -134,7 +135,7 @@ class Medium:
             return
         self.sim.schedule(
             self.latency,
-            lambda: self._deliver(target, frame),
+            partial(self._deliver, target, frame),
             label=f"{self.name}-deliver",
         )
 

@@ -10,6 +10,7 @@ like everything else.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.netsim.simulator import Simulator
@@ -66,7 +67,7 @@ class ChaosMonkey:
         when = max(self.sim.now, self.start_at) + delay
         if self.stop_at is not None and when >= self.stop_at:
             return
-        self.sim.schedule_at(when, lambda: self._crash(node), label=f"chaos-crash-{node.name}")
+        self.sim.schedule_at(when, partial(self._crash, node), label=f"chaos-crash-{node.name}")
 
     def _crash(self, node: "IPNode") -> None:
         if not node.up:
@@ -77,7 +78,7 @@ class ChaosMonkey:
         self.sim.trace("baseline", node.name, protocol="chaos", event="crash")
         node.crash()
         repair = self.sim.rng.expovariate(1.0 / self.mttr)
-        self.sim.schedule(repair, lambda: self._reboot(node, record), label=f"chaos-reboot-{node.name}")
+        self.sim.schedule(repair, partial(self._reboot, node, record), label=f"chaos-reboot-{node.name}")
 
     def _reboot(self, node: "IPNode", record: FaultRecord) -> None:
         record.rebooted_at = self.sim.now

@@ -39,5 +39,17 @@ class SimClock:
             )
         self._now = float(when)
 
+    # ------------------------------------------------------------------
+    # Snapshot contract
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-able state for the session snapshot/diff contract."""
+        return {"now": self._now}
+
+    def load_state(self, state: dict) -> None:
+        """Restore from :meth:`state_dict` (monotonicity not enforced:
+        a restore may legitimately move time backwards)."""
+        self._now = float(state["now"])
+
     def __repr__(self) -> str:
         return f"SimClock(now={self._now:.6f})"

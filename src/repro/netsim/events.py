@@ -165,3 +165,25 @@ class EventQueue:
         self._heap.clear()
         self._live = 0
         self._cancelled_pending = 0
+
+    # ------------------------------------------------------------------
+    # Snapshot contract
+    # ------------------------------------------------------------------
+    @property
+    def sequence(self) -> int:
+        """The next sequence number this queue would assign."""
+        return self._counter.__reduce__()[1][0]
+
+    def state_dict(self) -> dict:
+        """JSON-able *diagnostic* state: the queue's counters, never its
+        callables.  Pending events ride a deepcopy of the whole graph in
+        session snapshots (see :mod:`repro.scenario.session`); this dict
+        exists so restored-vs-cold runs can be diffed field by field.
+        """
+        return {
+            "pending": self._live,
+            "heap_size": len(self._heap),
+            "cancelled_pending": self._cancelled_pending,
+            "compactions": self.compactions,
+            "sequence": self.sequence,
+        }

@@ -92,8 +92,47 @@ class Simulator:
         #: An invariant auditor (repro.invariants.InvariantAuditor) when
         #: one is attached; same is-None discipline as telemetry.
         self.auditor = None
+        #: Every instrument installed through :meth:`attach`, in
+        #: attachment order.  ``telemetry`` and ``auditor`` above are
+        #: role shortcuts into this list, kept as plain attributes so
+        #: the hot-path cost stays one load + is-None test.
+        self.instruments: list = []
         self._running = False
         self._processed = 0
+
+    # ------------------------------------------------------------------
+    # Instruments
+    # ------------------------------------------------------------------
+    def attach(self, instrument: Any, **kwargs: Any) -> Any:
+        """Install ``instrument`` on this simulator and return it.
+
+        An instrument implements ``bind(sim, **kwargs)`` (subscribe its
+        tracer listeners, remember the sim) and optionally ``unbind(sim)``
+        for :meth:`detach`.  If its class declares ``instrument_role``
+        (``"telemetry"`` or ``"auditor"``), the matching role attribute
+        on the simulator is pointed at it, which is what the guarded
+        hot-path notification sites read.
+        """
+        if instrument in self.instruments:
+            raise SimulationError(f"{instrument!r} is already attached")
+        instrument.bind(self, **kwargs)
+        self.instruments.append(instrument)
+        role = getattr(type(instrument), "instrument_role", None)
+        if role is not None:
+            setattr(self, role, instrument)
+        return instrument
+
+    def detach(self, instrument: Any) -> None:
+        """Remove an instrument installed by :meth:`attach`."""
+        if instrument not in self.instruments:
+            raise SimulationError(f"{instrument!r} is not attached")
+        unbind = getattr(instrument, "unbind", None)
+        if unbind is not None:
+            unbind(self)
+        self.instruments.remove(instrument)
+        role = getattr(type(instrument), "instrument_role", None)
+        if role is not None and getattr(self, role) is instrument:
+            setattr(self, role, None)
 
     # ------------------------------------------------------------------
     # Time
@@ -199,6 +238,38 @@ class Simulator:
                 f"({len(self.queue)} still queued at t={self.now:.6f})"
             )
         return executed
+
+    # ------------------------------------------------------------------
+    # Snapshot contract
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-able engine state for the session snapshot/diff contract.
+
+        The RNG state is captured exactly (``random.Random.getstate``
+        round-trips through plain lists), so two simulators with equal
+        state dicts draw identical future random sequences.  Pending
+        events are *not* here — they hold callables and ride the session
+        deepcopy; the queue contributes its diagnostic counters only.
+        """
+        version, internal, gauss = self.rng.getstate()
+        return {
+            "clock": self.clock.state_dict(),
+            "rng": {"version": version, "state": list(internal), "gauss": gauss},
+            "processed": self._processed,
+            "queue": self.queue.state_dict(),
+            "tracer": self.tracer.state_dict(),
+            "instruments": len(self.instruments),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore clock, RNG, tracer config, and counters.  The event
+        queue (callables) is intentionally untouched — full restoration
+        is the job of :class:`repro.scenario.session.Snapshot`."""
+        self.clock.load_state(state["clock"])
+        rng = state["rng"]
+        self.rng.setstate((rng["version"], tuple(rng["state"]), rng["gauss"]))
+        self._processed = int(state["processed"])
+        self.tracer.load_state(state["tracer"])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -45,6 +45,12 @@ class TraceEntry:
         parts = " ".join(f"{k}={v}" for k, v in self.detail.items())
         return f"[{self.time:10.6f}] {self.category:<14} {self.node:<12} {parts}"
 
+    # Entries are immutable once recorded (nothing may mutate ``detail``
+    # after the fact), so session snapshots share rather than duplicate
+    # them — copying the full history would dominate fork cost.
+    def __deepcopy__(self, memo: dict) -> "TraceEntry":
+        return self
+
 
 class Tracer:
     """Collects :class:`TraceEntry` records during a simulation run.
@@ -97,6 +103,19 @@ class Tracer:
     def subscribe(self, listener: Callable[[TraceEntry], None]) -> None:
         """Invoke ``listener`` for every recorded entry (after filtering)."""
         self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[TraceEntry], None]) -> bool:
+        """Remove a listener previously passed to :meth:`subscribe`.
+
+        Returns ``True`` if it was found.  Matching is by equality, which
+        for bound methods means "same method of the same object" — so an
+        instrument can unsubscribe the bound listener it subscribed with.
+        """
+        try:
+            self._listeners.remove(listener)
+            return True
+        except ValueError:
+            return False
 
     def active(self, category: str) -> bool:
         """Whether a :meth:`record` call for ``category`` would store an
@@ -174,3 +193,27 @@ class Tracer:
     def clear(self) -> None:
         self.entries.clear()
         self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Snapshot contract
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-able configuration + counters (entries excluded: they are
+        carried by the session snapshot's deepcopy, and diff tests compare
+        them separately as serialized traces)."""
+        return {
+            "enabled": self.enabled,
+            "dropped": self.dropped,
+            "max_entries": self._max_entries,
+            "allowed": sorted(self._allowed) if self._allowed is not None else None,
+            "n_entries": len(self.entries),
+            "n_listeners": len(self._listeners),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore configuration and counters from :meth:`state_dict`."""
+        self.enabled = bool(state["enabled"])
+        self.dropped = int(state["dropped"])
+        self.limit(state["max_entries"])
+        allowed = state["allowed"]
+        self.restrict(set(allowed) if allowed is not None else None)

@@ -1,0 +1,414 @@
+"""The scenario session kernel: build once, checkpoint, fork.
+
+A :class:`Session` instantiates a :class:`~repro.scenario.spec.ScenarioSpec`
+into a live simulator + world, installs the spec's *prefix* schedule,
+and runs to the checkpoint.  From there the caller either installs the
+tail and keeps running (a plain cold run), or takes a :class:`Snapshot`
+and forks it — each fork resumes from the shared checkpoint with its own
+tail, skipping the warm-up entirely while remaining byte-identical to a
+cold run of the same spec.
+
+Snapshots are a :func:`copy.deepcopy` of the whole session object graph.
+That is only sound because every scheduled callable in the library is a
+bound method, a :func:`functools.partial` over bound methods, or a plain
+module-level function: ``deepcopy`` remaps all of those onto the copied
+graph through its memo.  Lambdas and closures are the one hazard — they
+are copied *by reference*, so a closure captured over the old world
+would silently keep mutating it from inside the fork.
+:func:`validate_forkable` therefore walks every pending event (and trace
+listener) at snapshot time and rejects the snapshot loudly if any such
+callable is found.
+
+Determinism of the restored runs rests on three mechanisms:
+
+1. **Split installation** — tail entries are installed at checkpoint
+   time on the cold path too, so the event queue assigns the same
+   sequence numbers either way (ordering among same-time events is
+   ``(time, sequence)``).
+2. **Global counter capture** — the process-global ID counters (packet
+   uids, hardware addresses, registration sequence numbers) are reset
+   when a session is built and restored to their checkpoint values when
+   a snapshot is forked.
+3. **Engine state capture** — clock, RNG, and tracer ride the deepcopy;
+   :meth:`Session.state_dict` exposes all of it for field-by-field
+   diffing in the determinism tests.
+"""
+
+from __future__ import annotations
+
+import copy
+import functools
+import inspect
+import itertools
+from typing import Dict, List, Optional
+
+from repro.errors import SnapshotError
+from repro.netsim.simulator import Simulator, Timer
+from repro.scenario.spec import PROBE_GAP, ScenarioSpec
+from repro.scenario.world import World, build_world
+
+#: IP protocol number used by convergence probes (MHRP=252 and the
+#: registration control protocol=253 are taken).
+PROBE_PROTOCOL = 254
+
+
+# ----------------------------------------------------------------------
+# Process-global ID counters
+# ----------------------------------------------------------------------
+#: (module, attribute) of every global ``itertools.count`` whose values
+#: leak into traces: packet uids, locally-administered hardware
+#: addresses, and registration sequence numbers.
+_GLOBAL_COUNTERS = (
+    ("repro.ip.packet", "_packet_ids"),
+    ("repro.link.frame", "_hw_counter"),
+    ("repro.core.registration", "_seq_counter"),
+)
+
+
+def _counter_module(name: str):
+    import importlib
+
+    return importlib.import_module(name)
+
+
+def reset_global_counters() -> None:
+    """Rewind every global ID counter to 1 (fresh-process state)."""
+    for module_name, attr in _GLOBAL_COUNTERS:
+        setattr(_counter_module(module_name), attr, itertools.count(1))
+
+
+def capture_global_counters() -> Dict[str, int]:
+    """The next value each global counter would hand out."""
+    out: Dict[str, int] = {}
+    for module_name, attr in _GLOBAL_COUNTERS:
+        counter = getattr(_counter_module(module_name), attr)
+        out[f"{module_name}.{attr}"] = counter.__reduce__()[1][0]
+    return out
+
+
+def restore_global_counters(values: Dict[str, int]) -> None:
+    """Rewind every global counter to a :func:`capture_global_counters`."""
+    for module_name, attr in _GLOBAL_COUNTERS:
+        setattr(
+            _counter_module(module_name),
+            attr,
+            itertools.count(values[f"{module_name}.{attr}"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Forkability validation
+# ----------------------------------------------------------------------
+def _check_callable(fn: object, where: str) -> None:
+    if isinstance(fn, functools.partial):
+        _check_callable(fn.func, where)
+        return
+    if inspect.ismethod(fn):
+        if isinstance(fn.__self__, Timer) and fn.__func__ is Timer._fire:
+            # A timer firing: the real payload is the timer's action.
+            _check_callable(fn.__self__._action, where)
+            return
+        func = fn.__func__
+    elif inspect.isfunction(fn):
+        func = fn
+    else:
+        # Callable instances (e.g. workload objects) deepcopy fine.
+        return
+    if func.__name__ == "<lambda>" or func.__closure__ is not None:
+        raise SnapshotError(
+            f"{where} holds {func.__qualname__!r}, a lambda/closure; "
+            f"deepcopy shares those by reference, so a fork would keep "
+            f"mutating the original world.  Use a bound method or "
+            f"functools.partial instead."
+        )
+
+
+def validate_forkable(sim: Simulator) -> None:
+    """Reject the snapshot if any pending callable would not deepcopy.
+
+    Walks the live events in the queue and the tracer's listeners; see
+    the module docstring for why lambdas and closures are fatal here.
+    """
+    for event in sim.queue._heap:
+        if event.cancelled:
+            continue
+        _check_callable(
+            event.action, f"pending event {event.label or '?'} @t={event.time:.3f}"
+        )
+    for listener in sim.tracer._listeners:
+        _check_callable(listener, "tracer listener")
+
+
+# ----------------------------------------------------------------------
+# Schedule actions
+# ----------------------------------------------------------------------
+def _discard_probe(packet, iface) -> None:
+    """Protocol handler for convergence probes: delivery is the signal;
+    the payload is discarded."""
+
+
+class Session:
+    """A spec, instantiated: simulator + world + installed schedule.
+
+    Building a session resets the process-global ID counters, so at most
+    one session may be *live* per process at a time (running two
+    interleaved would interleave their uid sequences).  Sequential
+    sessions — including forks — are fully isolated.
+    """
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        reset_global_counters()
+        self.spec = spec
+        self.sim = Simulator(seed=spec.seed)
+        if spec.trace_limit is not None:
+            self.sim.tracer.limit(spec.trace_limit)
+        self.world: World = build_world(self.sim, spec.topology)
+        for mh in self.world.mobile_hosts:
+            mh.register_protocol(PROBE_PROTOCOL, _discard_probe)
+        for entry in spec.instruments:
+            self._attach_instrument(entry)
+        self._flows: List[object] = []
+        self._tail_installed = False
+        self._install(spec.prefix_entries())
+
+    # ------------------------------------------------------------------
+    # Instruments
+    # ------------------------------------------------------------------
+    def _attach_instrument(self, entry: Dict[str, object]) -> None:
+        params = dict(entry)
+        kind = params.pop("kind", None)
+        if kind == "health":
+            from repro.telemetry import ProtocolHealth
+
+            self.sim.attach(ProtocolHealth(**params), nodes=self.world.nodes)
+        elif kind == "auditor":
+            from repro.invariants import InvariantAuditor
+
+            self.sim.attach(InvariantAuditor(**params))
+        else:
+            raise ValueError(f"unknown instrument kind {kind!r}")
+
+    @property
+    def telemetry(self):
+        """The attached :class:`~repro.telemetry.ProtocolHealth`, if any."""
+        return self.sim.telemetry
+
+    @property
+    def auditor(self):
+        """The attached :class:`~repro.invariants.InvariantAuditor`, if any."""
+        return self.sim.auditor
+
+    # ------------------------------------------------------------------
+    # Schedule installation
+    # ------------------------------------------------------------------
+    def _install(self, entries) -> None:
+        for kind, entry in entries:
+            getattr(self, f"_install_{kind}")(entry)
+
+    def _install_move(self, entry: dict) -> None:
+        self.sim.schedule_at(
+            entry["t"],
+            functools.partial(self._apply_move, entry["host"], entry["to"]),
+            label="scenario-move",
+        )
+
+    def _install_fault(self, entry: dict) -> None:
+        self.sim.schedule_at(
+            entry["t"],
+            functools.partial(self._apply_fault, entry["node"], entry["kind"]),
+            label="scenario-fault",
+        )
+
+    def _install_flow(self, entry: dict) -> None:
+        from repro.workloads.traffic import CBRStream
+
+        mobile_hosts = self.world.mobile_hosts
+        mh = mobile_hosts[entry["host"] % len(mobile_hosts)]
+        correspondents = self.world.correspondents
+        stream = CBRStream(
+            sender=correspondents[entry["src"] % len(correspondents)],
+            receiver=mh,
+            dst_address=mh.home_address,
+            interval=entry["interval"],
+            port=entry["port"],
+            start_at=entry["start"],
+            count=entry["count"],
+        )
+        stream.start()
+        self._flows.append(stream)
+
+    def _install_probe(self, entry: dict) -> None:
+        self.sim.schedule_at(
+            entry["t"],
+            functools.partial(self._send_probe, entry["src"], entry["host"], False),
+            label="scenario-probe-warm",
+        )
+        self.sim.schedule_at(
+            entry["t"] + PROBE_GAP,
+            functools.partial(self._send_probe, entry["src"], entry["host"], True),
+            label="scenario-probe-audited",
+        )
+
+    def _install_ping(self, entry: dict) -> None:
+        self.sim.schedule_at(
+            entry["t"],
+            functools.partial(self._send_ping, entry["src"], entry["host"]),
+            label="scenario-ping",
+        )
+
+    # ------------------------------------------------------------------
+    # Schedule actions (bound methods: deepcopy-safe by construction)
+    # ------------------------------------------------------------------
+    def _apply_move(self, host: int, to: int) -> None:
+        mobile_hosts = self.world.mobile_hosts
+        mh = mobile_hosts[host % len(mobile_hosts)]
+        if to == -2:
+            if mh.iface.attached:
+                mh.disconnect()
+        elif to == -1:
+            mh.attach_home(self.world.home_medium)
+        else:
+            mh.attach(self.world.cells[to % len(self.world.cells)])
+
+    def _apply_fault(self, name: str, kind: str) -> None:
+        node = self.world.fault_nodes.get(name)
+        if node is None:
+            return
+        if kind == "crash":
+            node.crash()
+        else:
+            node.reboot()
+
+    def _send_probe(self, src: int, host: int, watched: bool) -> None:
+        from repro.ip.packet import IPPacket, RawPayload
+
+        correspondents = self.world.correspondents
+        sender = correspondents[src % len(correspondents)]
+        mobile_hosts = self.world.mobile_hosts
+        mh = mobile_hosts[host % len(mobile_hosts)]
+        packet = IPPacket(
+            src=sender.primary_address,
+            dst=mh.home_address,
+            protocol=PROBE_PROTOCOL,
+            payload=RawPayload(b"convergence-probe"),
+        )
+        if watched and self.sim.auditor is not None:
+            self.sim.auditor.expect_no_retunnels([packet.uid])
+        sender.send(packet)
+
+    def _send_ping(self, src: int, host: int) -> None:
+        correspondents = self.world.correspondents
+        sender = correspondents[src % len(correspondents)]
+        mobile_hosts = self.world.mobile_hosts
+        mh = mobile_hosts[host % len(mobile_hosts)]
+        sender.ping(mh.home_address)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_to_checkpoint(self) -> "Session":
+        """Execute the warm-up phase (no-op when ``checkpoint`` is 0)."""
+        if self.spec.checkpoint > 0.0:
+            self.sim.run(until=self.spec.checkpoint)
+        return self
+
+    def install_tail(self) -> "Session":
+        """Install the post-checkpoint schedule.  Must be called exactly
+        once, after :meth:`run_to_checkpoint` — on cold and forked
+        sessions alike, so event sequence numbers match."""
+        if self._tail_installed:
+            raise SnapshotError("tail schedule already installed")
+        self._tail_installed = True
+        self._install(self.spec.tail_entries())
+        return self
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Run to ``until`` (default: the spec's horizon)."""
+        return self.sim.run(until=self.spec.horizon if until is None else until)
+
+    def run_full(self) -> "Session":
+        """The whole cold path: warm-up, tail, horizon."""
+        self.run_to_checkpoint()
+        self.install_tail()
+        self.run()
+        return self
+
+    # ------------------------------------------------------------------
+    # Snapshot / fork
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "Snapshot":
+        """Freeze the session for forking.  Call at the checkpoint,
+        before :meth:`install_tail`."""
+        if self._tail_installed:
+            raise SnapshotError(
+                "snapshot must be taken before the tail schedule is installed"
+            )
+        return Snapshot(self)
+
+    # ------------------------------------------------------------------
+    # Diffable state
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Every component's explicit state, for restored-vs-cold diffs."""
+        nodes = {}
+        for node in self.world.nodes:
+            nodes[node.name] = {
+                "routing": node.routing_table.state_dict(),
+                "counters": node.dataplane.counters.state_dict(),
+                "arp": {
+                    name: svc.state_dict() for name, svc in sorted(node.arp.items())
+                },
+            }
+        roles = {}
+        if self.world.home_roles is not None and self.world.home_roles.home_agent:
+            roles["home"] = self.world.home_roles.home_agent.state_dict()
+        for i, cell_roles in enumerate(self.world.cell_roles):
+            if cell_roles.foreign_agent is not None:
+                roles[f"fa{i}"] = cell_roles.foreign_agent.state_dict()
+            if cell_roles.cache_agent is not None:
+                roles[f"cache{i}"] = cell_roles.cache_agent.state_dict()
+        return {
+            "engine": self.sim.state_dict(),
+            "counters": capture_global_counters(),
+            "nodes": nodes,
+            "roles": roles,
+        }
+
+
+class Snapshot:
+    """A frozen session at its checkpoint, forkable any number of times.
+
+    The constructor validates forkability, captures the global ID
+    counters, and deepcopies the session.  Each :meth:`fork` deepcopies
+    the frozen copy again (the original stays pristine) and rewinds the
+    global counters, so every fork continues from the checkpoint exactly
+    as the original would have.
+    """
+
+    def __init__(self, session: Session) -> None:
+        validate_forkable(session.sim)
+        self.prefix_hash = session.spec.prefix_hash()
+        self.checkpoint = session.spec.checkpoint
+        #: Events the warm-up executed — what each fork saves.
+        self.warmup_events = session.sim.events_processed
+        self._counters = capture_global_counters()
+        self._frozen = copy.deepcopy(session)
+
+    def fork(self, spec: Optional[ScenarioSpec] = None) -> Session:
+        """A fresh session resumed at the checkpoint.
+
+        ``spec`` (optional) swaps in another spec for the tail; it must
+        share this snapshot's prefix hash, i.e. agree on everything that
+        shaped the warm-up.
+        """
+        if spec is not None and spec.prefix_hash() != self.prefix_hash:
+            raise SnapshotError(
+                f"spec {spec.name!r} has prefix hash {spec.prefix_hash()[:12]}, "
+                f"snapshot was taken at {self.prefix_hash[:12]}; "
+                f"it cannot resume from this checkpoint"
+            )
+        session = copy.deepcopy(self._frozen)
+        restore_global_counters(self._counters)
+        if spec is not None:
+            session.spec = spec
+        return session

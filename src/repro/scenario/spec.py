@@ -1,0 +1,224 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is plain JSON-serializable data describing one
+complete experiment: a topology shape, the instruments to attach, and
+five timed event schedules (mobility moves, router faults, CBR traffic
+flows, cache-convergence probe pairs, and ICMP pings).  The spec is the
+*only* input to :class:`repro.scenario.session.Session`; everything a
+run does is derived from it, which is what makes runs reproducible,
+shrinkable, and — through the ``checkpoint`` split — warm-startable.
+
+The ``checkpoint`` time divides the schedule in two:
+
+- **prefix** entries (``t < checkpoint``) are installed when the session
+  is built and executed during warm-up;
+- **tail** entries (``t >= checkpoint``) are installed only once the
+  clock reaches the checkpoint, on the cold path and the forked path
+  alike, so both paths assign identical event sequence numbers and
+  produce byte-identical traces.
+
+Two specs that agree on :meth:`ScenarioSpec.prefix_hash` — topology,
+seed, instruments, and every prefix entry — can share one snapshotted
+checkpoint and differ freely in their tails, which is how a sweep grid
+amortizes warm-up across cells.
+
+Schedule encodings (shared with the fuzzer's v1 artifacts)
+----------------------------------------------------------
+
+- move: ``{"t": 5.0, "host": 0, "to": 1}`` — ``to`` is a cell index,
+  ``-1`` for the home network, ``-2`` for a planned disconnect.
+- fault: ``{"t": 12.0, "node": "FR0", "kind": "crash"}``.
+- flow: ``{"start": 1.0, "src": 0, "host": 0, "interval": 0.5,
+  "count": 40, "port": 40000}``.
+- probe: ``{"t": 44.0, "src": 0, "host": 0}`` — expands to a warm probe
+  at ``t`` and an audited probe :data:`PROBE_GAP` seconds later.
+- ping: ``{"t": 4.0, "src": 0, "host": 0}`` — correspondent ``src``
+  pings mobile host ``host``'s permanent address.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+SPEC_VERSION = 1
+
+#: Seconds between a warm probe and its audited twin.
+PROBE_GAP = 2.0
+
+#: Event kinds in canonical installation order.  Entries are installed
+#: kind by kind, list order within a kind; two entries at the same
+#: simulated time therefore fire in this deterministic order.
+EVENT_KINDS = ("move", "fault", "flow", "probe", "ping")
+
+#: Which field of an entry carries its schedule time, per kind.
+_TIME_FIELD = {"flow": "start"}
+
+
+def canonical_json(data: object) -> str:
+    """The canonical serialization hashes are computed over."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class ScenarioSpec:
+    """One experiment, as data.  See the module docstring."""
+
+    name: str
+    seed: int
+    #: Topology shape, e.g. ``{"kind": "figure1", "wireless_latency":
+    #: 0.003}`` — everything but ``kind`` is forwarded to the builder
+    #: (see :func:`repro.scenario.world.build_world`).
+    topology: Dict[str, object]
+    horizon: float
+    #: Warm-up boundary; ``0.0`` means "no warm-up" (every entry is tail).
+    checkpoint: float = 0.0
+    #: Ring-buffer bound installed on the tracer (``None`` = unbounded).
+    trace_limit: Optional[int] = None
+    #: Instruments attached at build time, e.g. ``[{"kind": "health",
+    #: "max_completed_journeys": 256}]`` or ``[{"kind": "auditor",
+    #: "max_previous_sources": 8}]``.
+    instruments: List[Dict[str, object]] = field(default_factory=list)
+    moves: List[dict] = field(default_factory=list)
+    faults: List[dict] = field(default_factory=list)
+    flows: List[dict] = field(default_factory=list)
+    probes: List[dict] = field(default_factory=list)
+    pings: List[dict] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Timeline
+    # ------------------------------------------------------------------
+    def entries(self) -> Iterator[Tuple[str, dict]]:
+        """Every schedule entry as ``(kind, entry)``, canonical order."""
+        for kind in EVENT_KINDS:
+            for entry in getattr(self, kind + "s"):
+                yield kind, entry
+
+    @staticmethod
+    def entry_time(kind: str, entry: dict) -> float:
+        return float(entry[_TIME_FIELD.get(kind, "t")])
+
+    def prefix_entries(self) -> List[Tuple[str, dict]]:
+        """Entries installed at build time (``t < checkpoint``)."""
+        return [
+            (kind, entry)
+            for kind, entry in self.entries()
+            if self.entry_time(kind, entry) < self.checkpoint
+        ]
+
+    def tail_entries(self) -> List[Tuple[str, dict]]:
+        """Entries installed when the clock reaches the checkpoint."""
+        return [
+            (kind, entry)
+            for kind, entry in self.entries()
+            if self.entry_time(kind, entry) >= self.checkpoint
+        ]
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def prefix_hash(self) -> str:
+        """Content hash of everything that shapes the warm-up phase.
+
+        Two specs with equal prefix hashes reach the checkpoint in the
+        exact same simulator state, so a snapshot taken under one can be
+        forked to run the other's tail.  The horizon, the name, and tail
+        entries are deliberately excluded.
+        """
+        payload = {
+            "version": SPEC_VERSION,
+            "seed": self.seed,
+            "topology": self.topology,
+            "checkpoint": self.checkpoint,
+            "trace_limit": self.trace_limit,
+            "instruments": self.instruments,
+            "prefix": [[kind, entry] for kind, entry in self.prefix_entries()],
+        }
+        return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "version": SPEC_VERSION,
+            "name": self.name,
+            "seed": self.seed,
+            "topology": self.topology,
+            "horizon": self.horizon,
+            "checkpoint": self.checkpoint,
+            "trace_limit": self.trace_limit,
+            "instruments": self.instruments,
+            "moves": self.moves,
+            "faults": self.faults,
+            "flows": self.flows,
+            "probes": self.probes,
+            "pings": self.pings,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        version = data.get("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ValueError(f"unsupported scenario spec version {version!r}")
+        return cls(
+            name=data["name"],
+            seed=int(data["seed"]),
+            topology=dict(data["topology"]),
+            horizon=float(data["horizon"]),
+            checkpoint=float(data.get("checkpoint", 0.0)),
+            trace_limit=data.get("trace_limit"),
+            instruments=list(data.get("instruments", [])),
+            moves=list(data.get("moves", [])),
+            faults=list(data.get("faults", [])),
+            flows=list(data.get("flows", [])),
+            probes=list(data.get("probes", [])),
+            pings=list(data.get("pings", [])),
+        )
+
+    # ------------------------------------------------------------------
+    # Fuzzer v1 compatibility
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_fuzz_v1(cls, scenario: dict) -> "ScenarioSpec":
+        """Adapt a fuzzer v1 scenario dict (the format saved in repro
+        artifacts) onto the session API.
+
+        The fuzzer's implicit behaviours become explicit spec entries:
+        the staggered initial attach-home of every mobile host turns
+        into ``move`` entries at ``0.2 + 0.1*i``, and the campus shape
+        becomes a ``topology`` dict.  ``checkpoint`` is 0 — a fuzz run
+        has no shared warm-up, but the zero-checkpoint snapshot (bare
+        topology + auditor) is what the shrinker forks per trial.
+        """
+        n_hosts = int(scenario["n_hosts"])
+        attaches = [
+            {"t": round(0.2 + 0.1 * i, 3), "host": i, "to": -1}
+            for i in range(n_hosts)
+        ]
+        return cls(
+            name=f"fuzz-seed{scenario['seed']}",
+            seed=int(scenario["seed"]),
+            topology={
+                "kind": "campus",
+                "n_cells": int(scenario["n_cells"]),
+                "n_mobile_hosts": n_hosts,
+                "n_correspondents": 2,
+                "advertise": True,
+                "max_previous_sources": int(scenario["max_previous_sources"]),
+            },
+            horizon=float(scenario["horizon"]),
+            checkpoint=0.0,
+            instruments=[
+                {
+                    "kind": "auditor",
+                    "max_previous_sources": int(scenario["max_previous_sources"]),
+                }
+            ],
+            moves=attaches + list(scenario.get("moves", [])),
+            faults=list(scenario.get("faults", [])),
+            flows=list(scenario.get("flows", [])),
+            probes=list(scenario.get("probes", [])),
+        )

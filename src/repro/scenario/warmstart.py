@@ -1,0 +1,75 @@
+"""Per-process warm-start cache: one checkpoint, many forks.
+
+The harness enables this module (``run_sweep(..., warm_start=True)`` /
+``python -m repro sweep --warm-start``); cell functions stay oblivious —
+they call :func:`session_at_checkpoint` unconditionally and receive
+either a freshly warmed-up session (cold path, cache disabled or first
+use) or a fork of a cached snapshot (every later cell sharing the same
+prefix hash).  Because forks are byte-identical to cold runs, enabling
+the cache can never change a result table, only the wall clock.
+
+The cache is keyed by :meth:`ScenarioSpec.prefix_hash` and lives for the
+process — under the harness's process pool that means one cache per
+worker.  Stats are reported out-of-band (:func:`stats`), never through
+cell metrics, so warm and cold tables stay comparable byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.scenario.session import Session, Snapshot
+from repro.scenario.spec import ScenarioSpec
+
+_enabled = False
+_snapshots: Dict[str, Snapshot] = {}
+_stats = {
+    "checkpoints_built": 0,
+    "forks_served": 0,
+    "warmup_events_run": 0,
+    "warmup_events_saved": 0,
+}
+
+
+def configure(enabled: bool) -> None:
+    """Turn the warm-start cache on or off for this process."""
+    global _enabled
+    _enabled = bool(enabled)
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def clear() -> None:
+    """Drop every cached snapshot and zero the stats."""
+    _snapshots.clear()
+    for key in _stats:
+        _stats[key] = 0
+
+
+def stats() -> Dict[str, int]:
+    """A copy of the per-process warm-start counters."""
+    return dict(_stats)
+
+
+def session_at_checkpoint(spec: ScenarioSpec) -> Session:
+    """A session stopped at ``spec.checkpoint``, tail not yet installed.
+
+    Disabled (or for a checkpoint-free spec): plain cold warm-up.
+    Enabled: the first spec per prefix hash pays the warm-up and leaves
+    a snapshot behind; every later spec gets a fork and skips it.
+    """
+    if not _enabled or spec.checkpoint <= 0.0:
+        return Session(spec).run_to_checkpoint()
+    key = spec.prefix_hash()
+    snap = _snapshots.get(key)
+    if snap is None:
+        session = Session(spec).run_to_checkpoint()
+        _snapshots[key] = session.snapshot()
+        _stats["checkpoints_built"] += 1
+        _stats["warmup_events_run"] += session.sim.events_processed
+        return session
+    _stats["forks_served"] += 1
+    _stats["warmup_events_saved"] += snap.warmup_events
+    return snap.fork(spec)

@@ -1,0 +1,186 @@
+"""Instantiate a spec's ``topology`` dict into live simulation objects.
+
+:func:`build_world` is the single dispatch point between declarative
+topology descriptions and the imperative builders in
+:mod:`repro.workloads.topology` and :mod:`repro.baselines.startopo`.
+The returned :class:`World` presents every shape through one vocabulary
+— a home medium, an ordered cell list, mobile hosts, correspondents,
+and named fault targets — which is what lets one session kernel drive
+Figure-1 walkthroughs, campus fuzz scenarios, and the comparison star
+alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.netsim.simulator import Simulator
+
+
+@dataclass
+class World:
+    """A built topology, normalized for the session kernel.
+
+    ``cells[i]`` is the medium a ``move`` entry with ``to == i``
+    attaches to; ``fault_nodes[name]`` is the node a ``fault`` entry
+    crashes or reboots; ``nodes`` is the roster instruments observe.
+    """
+
+    sim: Simulator
+    kind: str
+    #: The underlying builder's topology object, for shape-specific access.
+    topo: object
+    home_medium: object
+    cells: List[object] = field(default_factory=list)
+    mobile_hosts: List[object] = field(default_factory=list)
+    correspondents: List[object] = field(default_factory=list)
+    fault_nodes: Dict[str, object] = field(default_factory=dict)
+    nodes: List[object] = field(default_factory=list)
+    home_roles: Optional[object] = None
+    cell_roles: List[object] = field(default_factory=list)
+
+
+def _build_figure1(sim: Simulator, params: dict) -> World:
+    from repro.workloads.topology import build_figure1
+
+    topo = build_figure1(sim=sim, **params)
+    routers = [topo.r1, topo.r2, topo.r3, topo.r4, topo.r5]
+    return World(
+        sim=sim,
+        kind="figure1",
+        topo=topo,
+        home_medium=topo.net_b,
+        cells=[topo.net_d, topo.net_e],
+        mobile_hosts=[topo.m],
+        correspondents=[topo.s],
+        fault_nodes={f"R{i + 1}": router for i, router in enumerate(routers)},
+        nodes=[topo.s, *routers, topo.m],
+        home_roles=topo.r2_roles,
+        cell_roles=[topo.r4_roles, topo.r5_roles],
+    )
+
+
+def _build_campus(sim: Simulator, params: dict) -> World:
+    from repro.workloads.topology import build_campus
+
+    topo = build_campus(sim=sim, **params)
+    fault_nodes: Dict[str, object] = {"HR": topo.home_router}
+    for i, router in enumerate(topo.cell_routers):
+        fault_nodes[f"FR{i}"] = router
+    return World(
+        sim=sim,
+        kind="campus",
+        topo=topo,
+        home_medium=topo.home_lan,
+        cells=list(topo.cells),
+        mobile_hosts=list(topo.mobile_hosts),
+        correspondents=list(topo.correspondents),
+        fault_nodes=fault_nodes,
+        nodes=[
+            topo.home_router,
+            *topo.cell_routers,
+            *topo.correspondents,
+            *topo.mobile_hosts,
+        ],
+        home_roles=topo.home_roles,
+        cell_roles=list(topo.cell_roles),
+    )
+
+
+def _build_star(sim: Simulator, params: dict) -> World:
+    """The comparison star: shared by every baseline-protocol scenario.
+
+    Always builds the star routers plus the correspondent host ``C``
+    (the wiring previously copy-pasted across all six scenarios).  With
+    ``mhrp=True`` it also attaches the paper's agent roles to every
+    router and creates the mobile host ``M`` — the MHRP half the campus
+    and Figure-1 builders already know how to wire.  Baselines running a
+    *different* protocol pass ``mhrp=False`` and attach their own roles
+    and mobile client to the returned world.
+    """
+    from repro.baselines.startopo import build_star
+    from repro.ip.host import Host
+
+    params = dict(params)
+    n_cells = int(params.pop("n_cells", 3))
+    mhrp = bool(params.pop("mhrp", False))
+    sender_caches = bool(params.pop("sender_caches", False))
+    lan_latency = params.pop("lan_latency", 0.001)
+    wireless_latency = params.pop("wireless_latency", 0.003)
+
+    topo = build_star(
+        sim, n_cells, lan_latency=lan_latency, wireless_latency=wireless_latency
+    )
+
+    if sender_caches:
+        from repro.core.mobile_host import StationaryCorrespondent
+
+        correspondent: Host = StationaryCorrespondent(sim, "C")
+    else:
+        correspondent = Host(sim, "C")
+    correspondent.add_interface(
+        "eth0", topo.correspondent_address, topo.corr_net, medium=topo.corr_lan
+    )
+    correspondent.set_gateway(topo.corr_net.host(254))
+
+    world = World(
+        sim=sim,
+        kind="star",
+        topo=topo,
+        home_medium=topo.home_lan,
+        cells=list(topo.cells),
+        correspondents=[correspondent],
+        fault_nodes={
+            "HR": topo.home_router,
+            **{f"FR{i}": r for i, r in enumerate(topo.cell_routers)},
+        },
+        nodes=[correspondent, topo.home_router, *topo.cell_routers],
+    )
+
+    if mhrp:
+        from repro.core.agent_router import make_agent_router
+        from repro.core.mobile_host import MobileHost
+
+        world.home_roles = make_agent_router(
+            topo.home_router, home_iface="lan", **params
+        )
+        world.cell_roles = [
+            make_agent_router(router, foreign_iface="cell", **params)
+            for router in topo.cell_routers
+        ]
+        mobile = MobileHost(
+            sim,
+            "M",
+            home_address=topo.mobile_home_address,
+            home_network=topo.home_net,
+            home_agent=topo.home_net.host(254),
+        )
+        world.mobile_hosts = [mobile]
+        world.nodes.append(mobile)
+    elif params:
+        raise ConfigurationError(
+            f"unknown star topology parameters: {sorted(params)}"
+        )
+
+    return world
+
+
+_BUILDERS = {
+    "figure1": _build_figure1,
+    "campus": _build_campus,
+    "star": _build_star,
+}
+
+
+def build_world(sim: Simulator, topology: dict) -> World:
+    """Build the topology described by a spec's ``topology`` dict."""
+    params = dict(topology)
+    kind = params.pop("kind", None)
+    builder = _BUILDERS.get(kind)
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown topology kind {kind!r} (expected one of {sorted(_BUILDERS)})"
+        )
+    return builder(sim, params)

@@ -14,11 +14,11 @@ given.
 
 from __future__ import annotations
 
-import argparse
 import json
 import sys
 from typing import List, Optional, Tuple
 
+from repro.clibase import build_parser
 from repro.telemetry.health import ProtocolHealth
 
 SCENARIOS = ("figure1", "loop")
@@ -32,7 +32,7 @@ def figure1_scenario(seed: int = 42) -> Tuple[object, ProtocolHealth]:
     topo = build_figure1(seed=seed)
     sim = topo.sim
     nodes = [topo.s, topo.r1, topo.r2, topo.r3, topo.r4, topo.r5, topo.m]
-    hub = ProtocolHealth().attach(sim, nodes=nodes)
+    hub = sim.attach(ProtocolHealth(), nodes=nodes)
     drive_figure1(topo)
     return sim, hub
 
@@ -43,8 +43,9 @@ def loop_scenario(seed: int = 3, loop_size: int = 6, max_list: int = 4) -> Tuple
     from repro.workloads.loops import build_loop, inject_and_measure
 
     topo = build_loop(loop_size, max_list, seed=seed)
-    hub = ProtocolHealth().attach(
-        topo.sim, nodes=list(topo.routers) if hasattr(topo, "routers") else None
+    hub = topo.sim.attach(
+        ProtocolHealth(),
+        nodes=list(topo.routers) if hasattr(topo, "routers") else None,
     )
     inject_and_measure(topo, loop_size, max_list)
     return topo.sim, hub
@@ -76,16 +77,13 @@ def _check_against(summary: dict, golden_path: str) -> int:
 
 
 def health_main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro health",
-        description="run a demo scenario and render the protocol-health panel",
+    parser = build_parser(
+        "health",
+        "run a demo scenario and render the protocol-health panel",
+        seed_help="simulation seed (default: the scenario's own)",
     )
     parser.add_argument("scenario", nargs="?", default="figure1", choices=SCENARIOS,
                         help="which scenario to run (default: figure1)")
-    parser.add_argument("--seed", type=int, default=None,
-                        help="simulation seed (default: the scenario's own)")
-    parser.add_argument("--json", action="store_true", dest="as_json",
-                        help="emit the flat summary dict as JSON instead of the panel")
     parser.add_argument("--check", metavar="GOLDEN",
                         help="compare the summary against a committed golden JSON; exit 1 on drift")
     parser.add_argument("--perfetto", metavar="PATH",
@@ -115,36 +113,60 @@ def health_main(argv: Optional[List[str]] = None) -> int:
 
     if args.as_json:
         print(json.dumps(summary, indent=2, sort_keys=True))
-    elif not args.check:
+    elif not args.check and not args.quiet:
         title = f"{args.scenario} walkthrough (seed {seed}) — t={sim.now:g}s"
         print(hub.render(title))
     return status
 
 
 def trace_main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro trace",
-        description="follow one packet uid through the Figure-1 walkthrough",
+    parser = build_parser(
+        "trace",
+        "follow one packet uid through the Figure-1 walkthrough",
+        seed_help="simulation seed (default: the scenario's own)",
     )
     parser.add_argument("uid", nargs="?", type=int, default=None,
                         help="packet uid to follow (omit to list all journeys)")
     parser.add_argument("--scenario", default="figure1", choices=SCENARIOS)
-    parser.add_argument("--seed", type=int, default=None)
     args = parser.parse_args(argv)
+
+    def _steps_json(journey) -> list:
+        return [
+            {
+                "time": step.time,
+                "node": step.node,
+                "kind": step.kind,
+                "detail": {k: repr(v) for k, v in step.detail.items() if k != "uid"},
+            }
+            for step in journey.steps
+        ]
 
     seed = args.seed if args.seed is not None else (42 if args.scenario == "figure1" else 3)
     _, hub = run_scenario(args.scenario, seed)
     index = hub.index
     if args.uid is None:
+        if args.as_json:
+            print(json.dumps(
+                [{"uid": j.uid, "steps": _steps_json(j)} for j in index],
+                indent=2, sort_keys=True,
+            ))
+            return 0
         for journey in index:
             print(journey)
-        print(f"\n{len(index)} journeys; rerun with a uid to expand one")
+        if not args.quiet:
+            print(f"\n{len(index)} journeys; rerun with a uid to expand one")
         return 0
     journey = index.journey(args.uid)
     if journey is None:
         known = ", ".join(str(u) for u in index.uids())
         print(f"no journey for uid {args.uid}; known uids: {known}", file=sys.stderr)
         return 1
+    if args.as_json:
+        print(json.dumps(
+            {"uid": journey.uid, "steps": _steps_json(journey)},
+            indent=2, sort_keys=True,
+        ))
+        return 0
     print(journey)
     for step in journey.steps:
         extra = {k: v for k, v in step.detail.items() if k != "uid"}

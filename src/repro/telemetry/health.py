@@ -86,7 +86,7 @@ class ProtocolHealth:
 
     Typical use::
 
-        hub = ProtocolHealth().attach(sim, nodes=all_nodes)
+        hub = sim.attach(ProtocolHealth(), nodes=all_nodes)
         ... run the scenario ...
         print(hub.render("my scenario"))
         summary = hub.summary()          # flat dict for sweeps / JSON
@@ -141,18 +141,39 @@ class ProtocolHealth:
     # ------------------------------------------------------------------
     # Attachment
     # ------------------------------------------------------------------
+    #: Role attribute this instrument occupies on the simulator.
+    instrument_role = "telemetry"
+
     def attach(self, sim, nodes: Optional[list] = None, subscribe_trace: bool = True) -> "ProtocolHealth":
         """Install this hub on ``sim`` (as ``sim.telemetry``) and, by
-        default, subscribe to its tracer for the control-plane stream."""
+        default, subscribe to its tracer for the control-plane stream.
+
+        Thin shim over :meth:`Simulator.attach
+        <repro.netsim.simulator.Simulator.attach>`, kept for callers that
+        read more naturally instrument-first.
+        """
+        sim.attach(self, nodes=nodes, subscribe_trace=subscribe_trace)
+        return self
+
+    def bind(self, sim, nodes: Optional[list] = None, subscribe_trace: bool = True) -> None:
+        """Instrument-registry hook: wire listeners into ``sim``."""
         self.sim = sim
-        sim.telemetry = self
         if nodes is not None:
             self._nodes = list(nodes)
+        self._subscribed = subscribe_trace
         if subscribe_trace:
             sim.tracer.subscribe(self._on_trace)
             if self.index is not None:
                 self.index.attach(sim.tracer, replay=True)
-        return self
+
+    def unbind(self, sim) -> None:
+        """Instrument-registry hook: withdraw the tracer listeners."""
+        if getattr(self, "_subscribed", False):
+            sim.tracer.unsubscribe(self._on_trace)
+            if self.index is not None:
+                sim.tracer.unsubscribe(self.index.observe)
+        self._subscribed = False
+        self.sim = None
 
     # ------------------------------------------------------------------
     # Direct dataplane hooks (called through sim.telemetry)

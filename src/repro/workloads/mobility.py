@@ -9,6 +9,7 @@ protocol intends.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.mobile_host import MobileHost
@@ -45,9 +46,12 @@ class ScriptedMobility:
         for move in self.moves:
             sim.schedule_at(
                 move.time,
-                lambda m=move.medium: self.host.attach(m, solicit=self.solicit),
+                partial(self._apply, move.medium),
                 label=f"move-{self.host.name}",
             )
+
+    def _apply(self, medium: Medium) -> None:
+        self.host.attach(medium, solicit=self.solicit)
 
 
 class PingPongMobility:

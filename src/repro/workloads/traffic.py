@@ -100,6 +100,17 @@ class PoissonStream(CBRStream):
             self.sender.sim.schedule(gap, self._tick, label="poisson-send")
 
 
+class _UDPEcho:
+    """Echo handler as a deepcopy-safe callable (a closure would keep
+    referencing the pre-fork socket after a session fork)."""
+
+    def __init__(self, sock) -> None:
+        self.sock = sock
+
+    def __call__(self, data: bytes, src: IPAddress, src_port: int) -> None:
+        self.sock.send_to(data, src, src_port)
+
+
 class RequestResponseClient:
     """A UDP request/response pair measuring round-trip times.
 
@@ -124,9 +135,7 @@ class RequestResponseClient:
         self._sock = client.udp.bind()
         self._sock.on_receive = self._on_reply
         server_sock = server.udp.bind(port)
-        server_sock.on_receive = (
-            lambda data, src, sport: server_sock.send_to(data, src, sport)
-        )
+        server_sock.on_receive = _UDPEcho(server_sock)
 
     def send_request(self, size: int = 64) -> None:
         request_id = self._next_id

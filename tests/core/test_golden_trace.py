@@ -18,7 +18,6 @@ to paper over a behaviour change) with::
 
 from __future__ import annotations
 
-import itertools
 import json
 from pathlib import Path
 
@@ -28,13 +27,9 @@ GOLDEN_PATH = Path(__file__).parent / "golden" / "figure1_trace.json"
 def _reset_global_counters() -> None:
     """Pin the process-global ID counters so uids/hw addresses in trace
     reprs are independent of whatever ran earlier in this process."""
-    import repro.core.registration as registration_mod
-    import repro.ip.packet as packet_mod
-    import repro.link.frame as frame_mod
+    from repro.scenario import reset_global_counters
 
-    packet_mod._packet_ids = itertools.count(1)
-    frame_mod._hw_counter = itertools.count(1)
-    registration_mod._seq_counter = itertools.count(1)
+    reset_global_counters()
 
 
 def run_figure1_scenario():

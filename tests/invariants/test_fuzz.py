@@ -75,12 +75,12 @@ class TestShrinking:
         """Greedy deletion keeps exactly the schedule entries the
         violation needs: here, the crash fault and the second flow."""
 
-        def fake_rules(scenario):
+        def fake_rules(scenario, cache):
             has_crash = any(f["kind"] == "crash" for f in scenario["faults"])
             has_flow2 = any(f["port"] == 2 for f in scenario["flows"])
             return {"conservation"} if has_crash and has_flow2 else set()
 
-        monkeypatch.setattr(fuzz, "violated_rules", fake_rules)
+        monkeypatch.setattr(fuzz, "_forked_rules", fake_rules)
         minimal = fuzz.shrink_scenario(self.make_fat_scenario())
         assert minimal["moves"] == []
         assert minimal["probes"] == []
@@ -88,18 +88,18 @@ class TestShrinking:
         assert [f["port"] for f in minimal["flows"]] == [2]
 
     def test_clean_scenario_is_returned_unchanged(self, monkeypatch):
-        monkeypatch.setattr(fuzz, "violated_rules", lambda s: set())
+        monkeypatch.setattr(fuzz, "_forked_rules", lambda s, cache: set())
         scenario = self.make_fat_scenario()
         assert fuzz.shrink_scenario(scenario) == scenario
 
     def test_shrink_respects_max_runs(self, monkeypatch):
         calls = []
 
-        def fake_rules(scenario):
+        def fake_rules(scenario, cache):
             calls.append(1)
             return {"conservation"}
 
-        monkeypatch.setattr(fuzz, "violated_rules", fake_rules)
+        monkeypatch.setattr(fuzz, "_forked_rules", fake_rules)
         fuzz.shrink_scenario(self.make_fat_scenario(), rules={"conservation"},
                              max_runs=5)
         assert len(calls) <= 5

@@ -1,0 +1,44 @@
+"""Every ``python -m repro <cmd>`` CLI shares the clibase argparse
+parent, so ``--seed/--json/--quiet`` parse uniformly across commands."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.clibase import build_parser
+
+REPO = Path(__file__).resolve().parents[2]
+COMMANDS = ("sweep", "netstat", "health", "trace", "audit", "fuzz")
+
+
+class TestBuildParser:
+    def test_common_flags_parse(self):
+        parser = build_parser("demo", "demo command")
+        args = parser.parse_args(["--seed", "7", "--json", "--quiet"])
+        assert args.seed == 7 and args.as_json and args.quiet
+
+    def test_defaults(self):
+        args = build_parser("demo", "demo command").parse_args([])
+        assert args.seed is None and not args.as_json and not args.quiet
+
+    def test_short_quiet(self):
+        assert build_parser("demo", "demo command").parse_args(["-q"]).quiet
+
+    def test_prog_names_the_module_command(self):
+        assert build_parser("demo", "demo command").prog == "python -m repro demo"
+
+
+@pytest.mark.parametrize("command", COMMANDS)
+def test_every_cli_advertises_the_common_flags(command):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", command, "--help"],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stderr
+    for flag in ("--seed", "--json", "--quiet"):
+        assert flag in proc.stdout, f"{command} --help lacks {flag}"

@@ -1,0 +1,128 @@
+"""ScenarioSpec: serialization, the prefix/tail split, and identity."""
+
+import json
+
+import pytest
+
+from repro.invariants import fuzz
+from repro.scenario import ScenarioSpec
+
+
+def make_spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        name="spec-test",
+        seed=42,
+        topology={"kind": "figure1", "wireless_latency": 0.003},
+        horizon=30.0,
+        checkpoint=10.0,
+        trace_limit=5000,
+        instruments=[{"kind": "health", "max_completed_journeys": 64}],
+        moves=[
+            {"t": 0.0, "host": 0, "to": -1},
+            {"t": 5.0, "host": 0, "to": 0},
+            {"t": 15.0, "host": 0, "to": 1},
+        ],
+        faults=[{"t": 12.0, "node": "R4", "kind": "crash"}],
+        flows=[
+            {"start": 1.0, "src": 0, "host": 0, "interval": 0.5, "count": 10,
+             "port": 40000}
+        ],
+        probes=[{"t": 25.0, "src": 0, "host": 0}],
+        pings=[{"t": 4.0, "src": 0, "host": 0}, {"t": 20.0, "src": 0, "host": 0}],
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        spec = make_spec()
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_dict_is_json_serializable(self):
+        data = make_spec().to_dict()
+        assert json.loads(json.dumps(data)) == data
+
+    def test_unknown_version_is_rejected(self):
+        data = make_spec().to_dict()
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            ScenarioSpec.from_dict(data)
+
+    def test_optional_fields_default(self):
+        spec = ScenarioSpec.from_dict(
+            {"name": "bare", "seed": 1, "topology": {"kind": "figure1"},
+             "horizon": 10.0}
+        )
+        assert spec.checkpoint == 0.0
+        assert spec.moves == [] and spec.pings == []
+
+
+class TestPrefixTailSplit:
+    def test_split_partitions_every_entry(self):
+        spec = make_spec()
+        prefix, tail = spec.prefix_entries(), spec.tail_entries()
+        assert len(prefix) + len(tail) == len(list(spec.entries()))
+        assert all(spec.entry_time(k, e) < spec.checkpoint for k, e in prefix)
+        assert all(spec.entry_time(k, e) >= spec.checkpoint for k, e in tail)
+
+    def test_flow_uses_start_as_its_time(self):
+        spec = make_spec()
+        assert ("flow", spec.flows[0]) in spec.prefix_entries()
+
+    def test_zero_checkpoint_means_everything_is_tail(self):
+        spec = make_spec(checkpoint=0.0)
+        assert spec.prefix_entries() == []
+        assert len(spec.tail_entries()) == len(list(spec.entries()))
+
+
+class TestPrefixHash:
+    def test_stable_across_equal_specs(self):
+        assert make_spec().prefix_hash() == make_spec().prefix_hash()
+
+    def test_ignores_name_horizon_and_tail(self):
+        base = make_spec()
+        variant = make_spec(
+            name="other-name",
+            horizon=99.0,
+            probes=[],  # tail-only entries
+            pings=[p for p in base.pings if p["t"] < base.checkpoint],
+        )
+        assert variant.prefix_hash() == base.prefix_hash()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"seed": 43},
+            {"topology": {"kind": "figure1", "wireless_latency": 0.01}},
+            {"checkpoint": 11.0},
+            {"trace_limit": None},
+            {"instruments": []},
+            {"moves": [{"t": 0.0, "host": 0, "to": -1}]},
+        ],
+    )
+    def test_changes_when_the_warmup_changes(self, overrides):
+        assert make_spec(**overrides).prefix_hash() != make_spec().prefix_hash()
+
+
+class TestFuzzV1Compat:
+    def test_fuzz_scenario_adapts_onto_the_spec(self):
+        scenario = fuzz.make_scenario(5, "quick")
+        spec = ScenarioSpec.from_fuzz_v1(scenario)
+        assert spec.seed == scenario["seed"]
+        assert spec.topology["kind"] == "campus"
+        assert spec.topology["n_cells"] == scenario["n_cells"]
+        assert spec.checkpoint == 0.0
+        assert spec.instruments[0]["kind"] == "auditor"
+        # The fuzzer's implicit staggered attach-home becomes explicit.
+        attaches = [m for m in spec.moves if m["to"] == -1 and m["t"] < 1.0]
+        assert len(attaches) == scenario["n_hosts"]
+        assert spec.faults == scenario["faults"]
+        assert spec.flows == scenario["flows"]
+
+    def test_adaptation_is_deterministic(self):
+        scenario = fuzz.make_scenario(5, "quick")
+        assert (
+            ScenarioSpec.from_fuzz_v1(scenario).to_dict()
+            == ScenarioSpec.from_fuzz_v1(scenario).to_dict()
+        )

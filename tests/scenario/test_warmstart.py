@@ -1,0 +1,100 @@
+"""The per-process warm-start cache and its harness integration."""
+
+import pytest
+
+from repro.harness.aggregate import aggregate, rows_json
+from repro.harness.experiments import handoff_telemetry_spec
+from repro.harness.runner import run_sweep
+from repro.harness.spec import get_experiment
+from repro.scenario import warmstart
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    warmstart.configure(False)
+    warmstart.clear()
+    yield
+    warmstart.configure(False)
+    warmstart.clear()
+
+
+def spec(seed=42):
+    return handoff_telemetry_spec(seed=seed, duration=18.0)
+
+
+class TestCache:
+    def test_disabled_cache_never_snapshots(self):
+        warmstart.session_at_checkpoint(spec())
+        warmstart.session_at_checkpoint(spec())
+        assert warmstart.stats() == {
+            "checkpoints_built": 0,
+            "forks_served": 0,
+            "warmup_events_run": 0,
+            "warmup_events_saved": 0,
+        }
+
+    def test_first_call_builds_then_later_calls_fork(self):
+        warmstart.configure(True)
+        warmstart.session_at_checkpoint(spec())
+        stats = warmstart.stats()
+        assert stats["checkpoints_built"] == 1 and stats["forks_served"] == 0
+        warmstart.session_at_checkpoint(spec())
+        warmstart.session_at_checkpoint(spec())
+        stats = warmstart.stats()
+        assert stats["checkpoints_built"] == 1 and stats["forks_served"] == 2
+        assert stats["warmup_events_saved"] == 2 * stats["warmup_events_run"]
+
+    def test_different_prefixes_get_their_own_checkpoints(self):
+        warmstart.configure(True)
+        warmstart.session_at_checkpoint(spec(seed=42))
+        warmstart.session_at_checkpoint(spec(seed=43))
+        assert warmstart.stats()["checkpoints_built"] == 2
+
+    def test_checkpoint_free_specs_bypass_the_cache(self):
+        warmstart.configure(True)
+        s = spec()
+        s.checkpoint = 0.0
+        warmstart.session_at_checkpoint(s)
+        assert warmstart.stats()["checkpoints_built"] == 0
+
+    def test_forked_session_still_needs_its_tail(self):
+        warmstart.configure(True)
+        warmstart.session_at_checkpoint(spec())
+        forked = warmstart.session_at_checkpoint(spec())
+        assert not forked._tail_installed
+        forked.install_tail()
+        forked.run()
+        assert forked.sim.now == forked.spec.horizon
+
+    def test_clear_resets_snapshots_and_stats(self):
+        warmstart.configure(True)
+        warmstart.session_at_checkpoint(spec())
+        warmstart.clear()
+        assert warmstart.stats()["checkpoints_built"] == 0
+        warmstart.session_at_checkpoint(spec())
+        assert warmstart.stats()["checkpoints_built"] == 1
+
+
+class TestSweepIntegration:
+    def test_warm_sweep_rows_match_cold_byte_for_byte(self):
+        exp = get_experiment("registration-storm")
+        cold = run_sweep(exp, jobs=1, store=None, quick=True, warm_start=False)
+        warm = run_sweep(exp, jobs=1, store=None, quick=True, warm_start=True)
+        assert not cold.failures and not warm.failures
+        assert rows_json(aggregate(warm.results)) == rows_json(
+            aggregate(cold.results)
+        )
+        stats = warm.warm_stats
+        assert stats is not None and stats["forks_served"] > 0
+        assert stats["warmup_events_saved"] > stats["warmup_events_run"]
+
+    def test_cold_sweep_reports_no_warm_stats(self):
+        exp = get_experiment("handoff-telemetry")
+        report = run_sweep(exp, jobs=1, store=None, quick=True, warm_start=False)
+        assert report.warm_stats is None
+
+    def test_sweep_leaves_the_cache_disabled(self):
+        exp = get_experiment("handoff-telemetry")
+        run_sweep(exp, jobs=1, store=None, quick=True, warm_start=True)
+        assert not warmstart.is_enabled()
+        assert warmstart.stats()["checkpoints_built"] == 0
