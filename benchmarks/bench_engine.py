@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""The engine-backend perf trajectory (``BENCH_engine.json``).
+
+Measures the sans-io engine stack end to end and records two kinds of
+numbers:
+
+- **deterministic** — event/datagram counts from fixed-seed scenario
+  runs.  CI regenerates these and fails on any drift (a changed count
+  means changed protocol behaviour, not a slower runner).
+- **perf** — events/sec through the simulator core and the engine
+  driver, packets/sec with health tracing on and off, and scenario
+  fork latency from the PR 5 snapshot machinery.  These vary with the
+  runner, so CI prints the delta against the committed trajectory
+  instead of gating on it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py            # print
+    PYTHONPATH=src python benchmarks/bench_engine.py --write    # update golden
+    PYTHONPATH=src python benchmarks/bench_engine.py --check    # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+GOLDEN = Path(__file__).parent / "results" / "BENCH_engine.json"
+
+#: Ping storm used for the pps measurements: large enough to time, small
+#: enough to keep the bench under a couple of seconds.
+PPS_PINGS = 400
+PPS_HORIZON = 120.0
+FORK_ROUNDS = 20
+
+
+def _pps_spec():
+    from repro.wire.conformance import figure1_walkthrough_spec
+
+    spec = figure1_walkthrough_spec()
+    spec.name = "figure1-ping-storm"
+    spec.horizon = PPS_HORIZON
+    # Steady-state storm: M sits in netD from t=5; pings every 0.25 s.
+    spec.moves = [
+        {"t": 0.0, "host": 0, "to": -1},
+        {"t": 5.0, "host": 0, "to": 0},
+    ]
+    spec.pings = [
+        {"t": 10.0 + 0.25 * i, "src": 0, "host": 0} for i in range(PPS_PINGS)
+    ]
+    return spec
+
+
+def _run_engine(spec, with_health):
+    from repro.telemetry.health import ProtocolHealth
+    from repro.wire.driver import run_engine_spec
+
+    health = ProtocolHealth() if with_health else None
+    start = time.perf_counter()
+    driver = run_engine_spec(spec, health=health)
+    elapsed = time.perf_counter() - start
+    return driver, elapsed
+
+
+def _sim_events_per_sec():
+    from repro.netsim import Simulator
+
+    sim = Simulator(seed=1)
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < 50_000:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.0, tick)
+    start = time.perf_counter()
+    sim.run_until_idle(max_events=60_000)
+    return count[0] / (time.perf_counter() - start)
+
+
+def _fork_latency_ms():
+    from repro.scenario.spec import ScenarioSpec
+    from repro.scenario.session import Session
+
+    spec = ScenarioSpec.from_fuzz_v1({
+        "seed": 9, "n_cells": 2, "n_hosts": 2,
+        "max_previous_sources": 4, "horizon": 10.0,
+        "moves": [], "pings": [],
+    })
+    session = Session(spec)
+    session.run_to_checkpoint()
+    snapshot = session.snapshot()
+    start = time.perf_counter()
+    for _ in range(FORK_ROUNDS):
+        snapshot.fork()
+    return (time.perf_counter() - start) / FORK_ROUNDS * 1000.0
+
+
+def measure() -> dict:
+    from repro.wire.conformance import figure1_walkthrough_spec
+
+    walkthrough, walk_elapsed = _run_engine(figure1_walkthrough_spec(), False)
+    storm_off, off_elapsed = _run_engine(_pps_spec(), False)
+    storm_on, on_elapsed = _run_engine(_pps_spec(), True)
+
+    deterministic = {
+        "figure1_engine_events": len(walkthrough.events),
+        "figure1_engine_datagrams": walkthrough.datagrams_delivered,
+        "pingstorm_engine_datagrams": storm_off.datagrams_delivered,
+        "pingstorm_tracing_invariant":
+            storm_on.datagrams_delivered == storm_off.datagrams_delivered,
+    }
+    perf = {
+        "sim_events_per_sec": round(_sim_events_per_sec()),
+        "engine_events_per_sec": round(len(walkthrough.events) / walk_elapsed),
+        "engine_pps_tracing_off": round(storm_off.datagrams_delivered / off_elapsed),
+        "engine_pps_tracing_on": round(storm_on.datagrams_delivered / on_elapsed),
+        "fork_latency_ms": round(_fork_latency_ms(), 3),
+    }
+    return {"schema": 1, "deterministic": deterministic, "perf": perf}
+
+
+def render(trajectory: dict) -> str:
+    det, perf = trajectory["deterministic"], trajectory["perf"]
+    return "\n".join([
+        "engine perf trajectory",
+        f"  figure-1 walkthrough: {det['figure1_engine_events']} events, "
+        f"{det['figure1_engine_datagrams']} datagrams "
+        f"({perf['engine_events_per_sec']} events/s)",
+        f"  simulator core: {perf['sim_events_per_sec']} events/s",
+        f"  ping storm: {perf['engine_pps_tracing_off']} pps tracing off, "
+        f"{perf['engine_pps_tracing_on']} pps tracing on "
+        f"({det['pingstorm_engine_datagrams']} datagrams)",
+        f"  scenario fork: {perf['fork_latency_ms']} ms",
+    ])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--write", action="store_true",
+                        help=f"update {GOLDEN}")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on deterministic drift vs the golden; "
+                             "print the perf delta")
+    args = parser.parse_args(argv)
+
+    trajectory = measure()
+    print(render(trajectory))
+
+    if args.write:
+        GOLDEN.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {GOLDEN}")
+        return 0
+
+    if args.check:
+        if not GOLDEN.exists():
+            print(f"FAIL: no committed trajectory at {GOLDEN}", file=sys.stderr)
+            return 1
+        golden = json.loads(GOLDEN.read_text())
+        if golden.get("deterministic") != trajectory["deterministic"]:
+            print("FAIL: deterministic counts drifted from the committed "
+                  "trajectory:", file=sys.stderr)
+            print(f"  committed: {golden.get('deterministic')}", file=sys.stderr)
+            print(f"  measured:  {trajectory['deterministic']}", file=sys.stderr)
+            print(f"  (regenerate with: python {sys.argv[0]} --write)",
+                  file=sys.stderr)
+            return 1
+        print("perf delta vs committed trajectory:")
+        for key, old in golden["perf"].items():
+            new = trajectory["perf"][key]
+            if old:
+                print(f"  {key}: {old} -> {new} ({(new - old) / old:+.0%})")
+        print("deterministic counts: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

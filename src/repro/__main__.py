@@ -22,6 +22,9 @@
     python -m repro fuzz [--seeds N] [--shrink] [--quick]
                                        # fuzz random scenarios; shrink any
                                        # violation to a minimal repro
+    python -m repro live [scenario] [--speed X] [--conformance]
+                                       # run a scenario over real loopback
+                                       # UDP sockets (the sans-io engines)
 """
 
 from __future__ import annotations
@@ -53,6 +56,7 @@ _COMMANDS = {
     "sweep": "run a multi-seed experiment sweep (see `sweep --help`)",
     "audit": "check protocol invariants over a scenario (see `audit --help`)",
     "fuzz": "fuzz scenarios under the invariant auditor (see `fuzz --help`)",
+    "live": "run a scenario over loopback UDP sockets (see `live --help`)",
 }
 
 
@@ -133,6 +137,10 @@ def main(argv: list[str]) -> int:
         from repro.invariants.cli import fuzz_main
 
         return fuzz_main(argv[1:])
+    if name == "live":
+        from repro.live.cli import live_main
+
+        return live_main(argv[1:])
     entry = _DEMOS.get(name)
     if entry is None:
         print(f"unknown command {name!r}\n", file=sys.stderr)

@@ -27,9 +27,8 @@ from repro.ip.icmp import LocationUpdate, TYPE_LOCATION_UPDATE
 from repro.ip.node import IPNode
 from repro.ip.packet import IPPacket
 from repro.ip.protocols import ICMP as PROTO_ICMP
-from repro.ip.protocols import MHRP as PROTO_MHRP
-from repro.ip.protocols import MOBILE_CONTROL
 from repro.link.interface import NetworkInterface
+from repro.wire.logic import is_control_traffic, may_send_update
 
 #: Default cache capacity (entries); the cache is finite by design and
 #: any replacement policy is allowed (Section 2) — this one is LRU.
@@ -274,9 +273,7 @@ class CacheAgent:
     # Dataplane stage hooks
     # ------------------------------------------------------------------
     def outbound_hook(self, packet: IPPacket):
-        if not self.enabled or packet.protocol in (PROTO_MHRP, MOBILE_CONTROL):
-            return None
-        if packet.protocol == PROTO_ICMP and isinstance(packet.payload, LocationUpdate):
+        if not self.enabled or is_control_traffic(packet.protocol, packet.payload):
             return None  # never tunnel the control traffic itself
         foreign_agent = self.cache.get(packet.dst)
         telemetry = self.node.sim.telemetry
@@ -315,9 +312,7 @@ class CacheAgent:
             else:
                 self.learn(message.mobile_host, message.foreign_agent)
             return None  # keep forwarding the update itself
-        if packet.protocol in (PROTO_MHRP, MOBILE_CONTROL):
-            return None
-        if packet.protocol == PROTO_ICMP and isinstance(packet.payload, LocationUpdate):
+        if is_control_traffic(packet.protocol, packet.payload):
             return None  # the control traffic itself is never tunneled
         foreign_agent = self.cache.get(packet.dst)
         telemetry = self.node.sim.telemetry
@@ -352,7 +347,7 @@ def send_location_update(
     Returns whether the update was actually sent.  Updates are never sent
     to ourselves, to the zero address, or to the mobile host itself.
     """
-    if destination.is_zero or node.has_address(destination) or destination == mobile_host:
+    if not may_send_update(destination, mobile_host, node.has_address(destination)):
         return False
     if limiter is not None and not limiter.allow(destination, node.sim.now):
         return False

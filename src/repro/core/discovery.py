@@ -114,12 +114,11 @@ class AgentAdvertiser:
             lifetime=self.lifetime,
             is_home_agent=self.is_home_agent,
             is_foreign_agent=self.is_foreign_agent,
+            boot_id=self.boot_id,
         )
-        # The boot id rides in the reserved code field of our modelled
-        # message object; a real implementation would add an extension.
+        # The low byte also rides in the reserved code field, mirroring
+        # how an extension-less RFC 1256 implementation would smuggle it.
         advert.code = self.boot_id & 0xFF
-        advert_boot_full = self.boot_id
-        advert.boot_id = advert_boot_full  # type: ignore[attr-defined]
         self.node.send_broadcast(self.iface_name, PROTO_ICMP, advert)
 
 
@@ -152,7 +151,7 @@ class AgentDiscovery:
             agent=message.router_address,
             is_home_agent=message.is_home_agent,
             is_foreign_agent=message.is_foreign_agent,
-            boot_id=getattr(message, "boot_id", message.code),
+            boot_id=message.boot_id or message.code,
             heard_at=self.node.sim.now,
             lifetime=message.lifetime,
         )

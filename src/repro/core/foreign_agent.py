@@ -43,10 +43,15 @@ from repro.ip.packet import IPPacket
 from repro.ip.protocols import MHRP as PROTO_MHRP
 from repro.link.frame import HWAddress
 from repro.link.interface import NetworkInterface
+from repro.wire.logic import (
+    DEPARTURE_GRACE,
+    forwarding_pointer_target,
+    retunnel_target,
+    should_recover_visitor,
+    stale_chain,
+)
 
-
-#: How long an explicit disconnect outranks location updates (seconds).
-DEPARTURE_GRACE = 30.0
+__all__ = ["DEPARTURE_GRACE", "ForeignAgent", "VisitorRecord"]
 
 
 @dataclass
@@ -188,15 +193,16 @@ class ForeignAgent:
                 listener(mobile_host, False)
         self.recent_departures[mobile_host] = self.node.sim.now
         new_foreign_agent = message.agent
-        if (
-            self.keep_forwarding_pointers
-            and self.cache_agent is not None
-            and not new_foreign_agent.is_zero
-            and new_foreign_agent != self.address
-        ):
+        pointer = forwarding_pointer_target(
+            self.keep_forwarding_pointers,
+            self.cache_agent is not None,
+            new_foreign_agent,
+            self.address,
+        )
+        if pointer is not None:
             # Section 2: the cache entry becomes a "forwarding pointer";
             # it is an ordinary cache entry from here on.
-            self.cache_agent.learn(mobile_host, new_foreign_agent)
+            self.cache_agent.learn(mobile_host, pointer)
         self.node.sim.trace(
             "mhrp.register",
             self.node.name,
@@ -271,16 +277,12 @@ class ForeignAgent:
         """The visitor left (Section 4.4): forward along, or send home."""
         header = packet.payload.header
         mobile_host = header.mobile_host
-        target: Optional[IPAddress] = None
+        cached: Optional[IPAddress] = None
         if self.cache_agent is not None:
             cached = self.cache_agent.cache.get(mobile_host)
-            if cached is not None and cached != self.address:
-                target = cached
-        going_home = target is None
-        if going_home:
-            # No forwarding pointer: tunnel to the mobile host's home
-            # address; the home agent intercepts it there.
-            target = mobile_host
+        # No usable forwarding pointer: tunnel to the mobile host's home
+        # address; the home agent intercepts it there.
+        target, going_home = retunnel_target(cached, self.address, mobile_host)
         result = retunnel(
             packet,
             new_destination=target,
@@ -322,7 +324,7 @@ class ForeignAgent:
         # The list names every head the packet passed through except the
         # most recent one, which sits in the IP source field — include it
         # so the *whole* loop is dissolved in one step.
-        members = list(header.previous_sources) + [packet.src]
+        members = stale_chain(header.previous_sources, packet.src)
         self.node.sim.trace(
             "mhrp.loop",
             self.node.name,
@@ -381,19 +383,20 @@ class ForeignAgent:
     def _on_location_update(self, packet: IPPacket, message) -> None:
         if not isinstance(message, LocationUpdate):
             return
-        if message.clears_entry or message.foreign_agent != self.address:
-            return
         mobile_host = message.mobile_host
-        if mobile_host in self.visitors:
-            return
-        departed_at = self.recent_departures.get(mobile_host)
-        if (
-            departed_at is not None
-            and self.node.sim.now - departed_at < DEPARTURE_GRACE
+        if not should_recover_visitor(
+            message.clears_entry,
+            message.foreign_agent,
+            self.address,
+            mobile_host in self.visitors,
+            self.recent_departures.get(mobile_host),
+            self.node.sim.now,
+            DEPARTURE_GRACE,
         ):
-            # The host told us it left more recently than whatever this
-            # update is based on; re-adding it would black-hole traffic
-            # until the handoff notifications land everywhere.
+            # Among the refusals: the host told us it *left* more
+            # recently than whatever this update is based on; re-adding
+            # it would black-hole traffic until the handoff notifications
+            # land everywhere.
             return
         if self.believe_home_agent:
             self._readd_visitor(mobile_host)

@@ -43,13 +43,15 @@ from repro.ip.node import CONSUMED, IPNode
 from repro.ip.packet import IPPacket
 from repro.ip.protocols import MHRP as PROTO_MHRP
 from repro.link.interface import NetworkInterface
+from repro.wire.logic import (
+    DISCONNECTED_ADDRESS,
+    HOME_DROP_DISCONNECTED,
+    HOME_PASS,
+    HOME_RECOVER,
+    decide_home_tunneled_arrival,
+)
 
-#: Registered as a mobile host's "foreign agent" during a *planned*
-#: disconnection (Section 3): the host is away but reachable nowhere, so
-#: the home agent keeps intercepting and answers with host-unreachable
-#: instead of tunneling.  The limited-broadcast address can never be a
-#: real agent, making it a safe in-band sentinel.
-DISCONNECTED_ADDRESS = IPAddress("255.255.255.255")
+__all__ = ["DISCONNECTED_ADDRESS", "HomeAgent"]
 
 
 class HomeAgent:
@@ -256,27 +258,28 @@ class HomeAgent:
             return None
         header = payload.header
         mobile_host = header.mobile_host
-        current_fa = self.database.foreign_agent_of(mobile_host)
-        if current_fa is None or current_fa.is_zero:
+        decision = decide_home_tunneled_arrival(
+            self.database.foreign_agent_of(mobile_host),
+            header.previous_sources,
+            packet.src,
+        )
+        if decision.action == HOME_PASS:
             # Raced with a return home; let normal forwarding deliver the
             # still-encapsulated packet to the host itself (Section 6.3).
             return None
-        # Everyone who handled this packet is a stale (or soon-to-be
-        # refreshed) cache: the previous-source list plus the last tunnel
-        # head in the IP source field (Section 5.1).
-        stale = list(header.previous_sources) + [packet.src]
-        if current_fa == DISCONNECTED_ADDRESS:
+        if decision.action == HOME_DROP_DISCONNECTED:
             # Planned disconnection: purge the stale caches and report
             # the host unreachable to the original sender.
-            for address in stale:
+            for address in decision.stale:
                 send_location_update(
-                    self.node, address, mobile_host, IPAddress.zero(),
+                    self.node, address, mobile_host, decision.report,
                     self.limiter, purge=True,
                 )
             self.node.dataplane.drop(packet, "mh-disconnected")
             self.node._send_error(ICMPError.unreachable(packet))
             return CONSUMED
-        if current_fa in stale:
+        current_fa = decision.report
+        if decision.action == HOME_RECOVER:
             # Section 5.2: the "stale" agent *is* the current one — it
             # rebooted and forgot the host.  Update everyone (the foreign
             # agent re-learns its own visitor from the update) and discard
@@ -290,13 +293,13 @@ class HomeAgent:
                 foreign_agent=str(current_fa),
                 uid=packet.uid,
             )
-            for address in stale:
+            for address in decision.stale:
                 send_location_update(
                     self.node, address, mobile_host, current_fa, self.limiter
                 )
             self.node.dataplane.drop(packet, "mhrp-recovery")
             return CONSUMED
-        for address in stale:
+        for address in decision.stale:
             send_location_update(
                 self.node, address, mobile_host, current_fa, self.limiter
             )
@@ -309,11 +312,7 @@ class HomeAgent:
         if result.loop_detected:
             # A loop that runs through the home agent itself; dissolve it
             # (Section 5.3) and drop the packet.
-            self._dissolve_loop(
-                list(header.previous_sources) + [packet.src],
-                mobile_host,
-                uid=packet.uid,
-            )
+            self._dissolve_loop(list(decision.stale), mobile_host, uid=packet.uid)
             self.node.dataplane.drop(packet, "mhrp-loop-dissolved")
             return CONSUMED
         for address in result.flushed:

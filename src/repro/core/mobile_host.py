@@ -53,11 +53,15 @@ from repro.link.interface import NetworkInterface
 from repro.link.medium import Medium
 from repro.netsim.simulator import Simulator
 
-# Connection states.
-AT_HOME = "AT_HOME"
-AWAY = "AWAY"
-AWAY_SELF_AGENT = "AWAY_SELF_AGENT"
-DISCONNECTED = "DISCONNECTED"
+# Connection states (canonical definitions live with the shared logic).
+from repro.wire.logic import (  # noqa: F401  (re-exported)
+    AT_HOME,
+    AWAY,
+    AWAY_SELF_AGENT,
+    DISCONNECTED,
+    mh_reported_location,
+    stale_chain,
+)
 
 
 class MobileHost(Host):
@@ -385,18 +389,14 @@ class MobileHost(Host):
         header = payload.header
         if header.mobile_host != self.home_address:
             return  # tunneled to us by mistake; nothing useful to do
-        if self.state == AT_HOME or self.state == DISCONNECTED:
-            # Section 6.3: "indicating that it is currently connected to
-            # its home network and that S's cache entry ... should be
-            # deleted" — the zero foreign agent means exactly that.
-            location = IPAddress.zero()
-        elif self.state == AWAY_SELF_AGENT and self.temp_address is not None:
-            location = self.temp_address
-        elif self.current_foreign_agent is not None:
-            location = self.current_foreign_agent
-        else:
-            location = IPAddress.zero()
-        stale = list(header.previous_sources) + [packet.src]
+        # Section 6.3: while at home (or disconnected) the reported
+        # location is zero — "indicating that it is currently connected
+        # to its home network and that S's cache entry ... should be
+        # deleted".
+        location = mh_reported_location(
+            self.state, self.temp_address, self.current_foreign_agent
+        )
+        stale = stale_chain(header.previous_sources, packet.src)
         for address in stale:
             send_location_update(
                 self, address, self.home_address, location, self.limiter

@@ -25,7 +25,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
-from repro.errors import RegistrationError
+from repro.errors import PacketError, RegistrationError
 from repro.ip.address import IPAddress
 from repro.ip.node import IPNode
 from repro.ip.packet import IPPacket
@@ -36,6 +36,15 @@ FA_CONNECT = "fa-connect"
 FA_DISCONNECT = "fa-disconnect"
 HA_REGISTER = "ha-register"
 ACK = "ack"
+
+#: Wire codes for the message kinds (shared by serialization and the
+#: sans-io codec in :mod:`repro.wire.codec`).
+KIND_CODES = {FA_CONNECT: 1, FA_DISCONNECT: 2, HA_REGISTER: 3, ACK: 4}
+_CODE_KINDS = {code: kind for kind, code in KIND_CODES.items()}
+
+#: Exact encoded size of a registration message (see
+#: :meth:`RegistrationMessage.to_bytes`).
+REG_MESSAGE_LEN = 18
 
 #: Retransmission schedule for reliable registrations.
 REG_RETRY_INTERVAL = 1.0
@@ -66,15 +75,46 @@ class RegistrationMessage:
         return 18
 
     def to_bytes(self) -> bytes:
-        kind_codes = {FA_CONNECT: 1, FA_DISCONNECT: 2, HA_REGISTER: 3, ACK: 4}
         out = bytearray()
-        out.append(kind_codes.get(self.kind, 0))
+        out.append(KIND_CODES.get(self.kind, 0))
         out.append(1 if self.ok else 0)
         out += (self.seq & 0xFFFF).to_bytes(2, "big")
         out += self.mobile_host.to_bytes()
         out += self.agent.to_bytes()
         out += (self.hw_value & ((1 << 48) - 1)).to_bytes(6, "big")
         return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "RegistrationMessage":
+        """Exact inverse of :meth:`to_bytes`.
+
+        Strict by the same rule the MHRP header follows (PR 4): the
+        message is fixed-size and self-describing, so a bad kind code or
+        trailing bytes mean corruption or a framing bug — never ignore
+        them silently.
+        """
+        if len(data) < REG_MESSAGE_LEN:
+            raise PacketError(
+                f"registration message truncated ({len(data)} bytes)"
+            )
+        if len(data) > REG_MESSAGE_LEN:
+            raise PacketError(
+                f"registration message has {len(data) - REG_MESSAGE_LEN} "
+                f"trailing byte(s)"
+            )
+        kind = _CODE_KINDS.get(data[0])
+        if kind is None:
+            raise PacketError(f"unknown registration kind code {data[0]}")
+        if data[1] not in (0, 1):
+            raise PacketError(f"bad registration ok flag {data[1]}")
+        return cls(
+            kind=kind,
+            ok=bool(data[1]),
+            seq=int.from_bytes(data[2:4], "big"),
+            mobile_host=IPAddress.from_bytes(data[4:8]),
+            agent=IPAddress.from_bytes(data[8:12]),
+            hw_value=int.from_bytes(data[12:18], "big"),
+        )
 
     def __repr__(self) -> str:
         return (

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.errors import PacketError
 from repro.ip.address import IPAddress
 from repro.ip.packet import IPPacket
 
@@ -78,6 +79,22 @@ class EchoMessage(ICMPMessage):
         head[4:6] = (self.identifier & 0xFFFF).to_bytes(2, "big")
         head[6:8] = (self.sequence & 0xFFFF).to_bytes(2, "big")
         return bytes(head) + self.data
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EchoMessage":
+        """Exact inverse of :meth:`to_bytes` (trailing bytes are the
+        echo data by definition, so anything parses)."""
+        if len(data) < _ICMP_HEADER_LEN:
+            raise PacketError(f"echo message truncated ({len(data)} bytes)")
+        if data[0] not in (TYPE_ECHO_REQUEST, TYPE_ECHO_REPLY):
+            raise PacketError(f"not an echo message (type {data[0]})")
+        return cls(
+            icmp_type=data[0],
+            code=data[1],
+            identifier=int.from_bytes(data[4:6], "big"),
+            sequence=int.from_bytes(data[6:8], "big"),
+            data=bytes(data[_ICMP_HEADER_LEN:]),
+        )
 
     @classmethod
     def request(cls, identifier: int, sequence: int, data: bytes = b"") -> "EchoMessage":
@@ -195,6 +212,26 @@ class LocationUpdate(ICMPMessage):
         head[0], head[1] = self.icmp_type, 1 if self.purge else 0
         return bytes(head) + self.mobile_host.to_bytes() + self.foreign_agent.to_bytes()
 
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LocationUpdate":
+        """Exact inverse of :meth:`to_bytes` (strict: fixed size)."""
+        if len(data) < _ICMP_HEADER_LEN + 8:
+            raise PacketError(f"location update truncated ({len(data)} bytes)")
+        if len(data) > _ICMP_HEADER_LEN + 8:
+            raise PacketError(
+                f"location update has {len(data) - _ICMP_HEADER_LEN - 8} "
+                f"trailing byte(s)"
+            )
+        if data[0] != TYPE_LOCATION_UPDATE:
+            raise PacketError(f"not a location update (type {data[0]})")
+        if data[1] not in (0, 1):
+            raise PacketError(f"bad location-update purge flag {data[1]}")
+        return cls(
+            mobile_host=IPAddress.from_bytes(data[8:12]),
+            foreign_agent=IPAddress.from_bytes(data[12:16]),
+            purge=bool(data[1]),
+        )
+
     def __repr__(self) -> str:
         if self.purge:
             return f"<LocationUpdate PURGE {self.mobile_host}>"
@@ -214,6 +251,10 @@ class RouterAdvertisement(ICMPMessage):
     lifetime: float = 30.0
     is_home_agent: bool = False
     is_foreign_agent: bool = False
+    #: Chosen afresh each advertiser (re)start; rides the RFC 1256
+    #: preference word on the wire so reboot detection (Section 5.2)
+    #: survives serialization.
+    boot_id: int = 0
 
     def __post_init__(self) -> None:
         self.icmp_type = TYPE_ROUTER_ADVERTISEMENT
@@ -225,17 +266,41 @@ class RouterAdvertisement(ICMPMessage):
 
     def to_bytes(self) -> bytes:
         head = bytearray(_ICMP_HEADER_LEN)
-        head[0] = self.icmp_type
+        head[0], head[1] = self.icmp_type, self.code & 0xFF
         head[4] = 1  # num addrs
         head[5] = 2  # addr entry size (words): address + preference
         head[6:8] = int(self.lifetime).to_bytes(2, "big")
-        preference = 0
+        preference = self.boot_id & 0xFFFFFFFF
         flags = (1 if self.is_home_agent else 0) | (2 if self.is_foreign_agent else 0)
         return (
             bytes(head)
             + self.router_address.to_bytes()
             + preference.to_bytes(4, "big")
             + flags.to_bytes(4, "big")
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "RouterAdvertisement":
+        """Exact inverse of :meth:`to_bytes` (strict: fixed size)."""
+        if len(data) < _ICMP_HEADER_LEN + 12:
+            raise PacketError(f"advertisement truncated ({len(data)} bytes)")
+        if len(data) > _ICMP_HEADER_LEN + 12:
+            raise PacketError(
+                f"advertisement has {len(data) - _ICMP_HEADER_LEN - 12} "
+                f"trailing byte(s)"
+            )
+        if data[0] != TYPE_ROUTER_ADVERTISEMENT:
+            raise PacketError(f"not an advertisement (type {data[0]})")
+        flags = int.from_bytes(data[16:20], "big")
+        if flags > 3:
+            raise PacketError(f"bad agent-role flags {flags}")
+        return cls(
+            code=data[1],
+            router_address=IPAddress.from_bytes(data[8:12]),
+            lifetime=float(int.from_bytes(data[6:8], "big")),
+            is_home_agent=bool(flags & 1),
+            is_foreign_agent=bool(flags & 2),
+            boot_id=int.from_bytes(data[12:16], "big"),
         )
 
     def __repr__(self) -> str:

@@ -1,0 +1,251 @@
+"""The live backend: sans-io engines on real UDP sockets.
+
+Topology becomes a *port directory*: one loopback UDP socket per
+``(node, interface)``, bound to an OS-assigned port.  A medium is the
+set of member endpoints; unicast resolves the engine's requested
+next-hop address to a member's port, broadcast fans out to every other
+member.  Time is a :class:`VirtualClock` — wall seconds scaled by a
+speed factor — so a 32-virtual-second scenario finishes in under two
+wall seconds at the default speed while every engine-visible duration
+(advertisement periods, registration retries, departure grace) keeps
+its simulated value.
+
+Known simplifications versus the simulator (documented in PROTOCOL.md):
+no ARP (address resolution is the directory lookup), no link-layer
+loss, and timer/datagram timing carries real scheduler jitter — which
+is exactly why the conformance projections compare per-node event
+*order* and timing-free counts, not timestamps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from functools import partial
+from typing import Dict, List, Optional, Tuple
+
+from repro.wire.driver import HealthFeed, ScheduleActions
+from repro.wire.engine import Datagram, EngineEvent, EngineOutput, NodeEngine
+from repro.wire.topo import EngineTopology, build_engine_world
+
+#: Default virtual-seconds-per-wall-second factor.  20x runs the 32 s
+#: Figure-1 walkthrough in 1.6 s of wall clock while leaving ~50 ms of
+#: wall time per virtual second — orders of magnitude above loopback
+#: RTT and scheduler jitter.
+DEFAULT_SPEED = 20.0
+
+LOOPBACK = "127.0.0.1"
+
+
+class VirtualClock:
+    """Wall time scaled into virtual scenario time.
+
+    ``now()`` is virtual seconds since :meth:`start`; ``wall_delay``
+    converts a virtual delay into the wall-clock delay to hand to the
+    event loop.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, speed: float = DEFAULT_SPEED) -> None:
+        if speed <= 0:
+            raise ValueError("speed factor must be positive")
+        self._loop = loop
+        self.speed = speed
+        self._start = loop.time()
+
+    def start(self) -> None:
+        self._start = self._loop.time()
+
+    def now(self) -> float:
+        return (self._loop.time() - self._start) * self.speed
+
+    def wall_delay(self, virtual_delay: float) -> float:
+        return max(0.0, virtual_delay / self.speed)
+
+
+class _IfaceEndpoint(asyncio.DatagramProtocol):
+    """The datagram protocol behind one (node, interface) socket."""
+
+    def __init__(self, run: "LiveRun", node_name: str, iface_name: str) -> None:
+        self.run = run
+        self.node_name = node_name
+        self.iface_name = iface_name
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self.run._on_datagram(self.node_name, self.iface_name, data)
+
+    def error_received(self, exc) -> None:  # pragma: no cover - OS-dependent
+        pass
+
+
+class LiveRun(ScheduleActions):
+    """One scenario executed over loopback UDP.
+
+    Build, then ``asyncio.run(run.main())`` — or use
+    :func:`run_live_spec`, which does both.  After the run, ``events``
+    holds the full time-stamped protocol-event log in the same shape
+    the deterministic driver produces, so the conformance harness can
+    diff the two backends directly.
+    """
+
+    def __init__(
+        self,
+        spec,
+        speed: float = DEFAULT_SPEED,
+        health=None,
+    ) -> None:
+        self._check_spec_schedule(spec)
+        self.spec = spec
+        self.speed = speed
+        self.topo: EngineTopology = build_engine_world(spec.topology)
+        self.world = self.topo.world
+        self.horizon = float(spec.horizon)
+        self.events: List[Tuple[float, EngineEvent]] = []
+        self.feed = HealthFeed(health) if health is not None else None
+        self.clock: Optional[VirtualClock] = None
+        #: (node, iface) -> (transport, port); the medium directory
+        #: resolves engine next-hops onto these.
+        self._endpoints: Dict[Tuple[str, str], Tuple[asyncio.DatagramTransport, int]] = {}
+        self._timer_gen: Dict[Tuple[str, str], int] = {}
+        self._handles: List[asyncio.TimerHandle] = []
+        self._closed = False
+        self.datagrams_sent = 0
+        self.datagrams_received = 0
+        self.datagrams_unresolved = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return 0.0 if self.clock is None else min(self.clock.now(), self.horizon)
+
+    def port_of(self, node_name: str, iface_name: str) -> int:
+        return self._endpoints[(node_name, iface_name)][1]
+
+    # ------------------------------------------------------------------
+    # Engine output processing
+    # ------------------------------------------------------------------
+    def process(self, node: NodeEngine, output: EngineOutput) -> None:
+        now = self.now
+        for event in output.events:
+            self.events.append((now, event))
+            if self.feed is not None:
+                self.feed.consume(now, event)
+        for op in output.timers:
+            slot = (node.name, op.key)
+            generation = self._timer_gen.get(slot, 0) + 1
+            self._timer_gen[slot] = generation
+            if op.delay is not None:
+                loop = asyncio.get_running_loop()
+                handle = loop.call_later(
+                    self.clock.wall_delay(op.delay),
+                    partial(self._fire_timer, node.name, op.key, generation),
+                )
+                self._handles.append(handle)
+        for datagram in output.datagrams:
+            self._transmit(node, datagram)
+
+    def _transmit(self, node: NodeEngine, datagram: Datagram) -> None:
+        medium = self.world.medium_of(node.name, datagram.iface)
+        if medium is None:
+            self.datagrams_unresolved += 1
+            return
+        transport = self._endpoints[(node.name, datagram.iface)][0]
+        if datagram.broadcast:
+            for member_node, member_iface in self.world.media[medium]:
+                if member_node == node.name and member_iface == datagram.iface:
+                    continue
+                port = self.port_of(member_node, member_iface)
+                transport.sendto(datagram.data, (LOOPBACK, port))
+                self.datagrams_sent += 1
+            return
+        target = self.world.resolve(medium, datagram.next_hop)
+        if target is None:
+            self.datagrams_unresolved += 1
+            return
+        transport.sendto(datagram.data, (LOOPBACK, self.port_of(*target)))
+        self.datagrams_sent += 1
+
+    # ------------------------------------------------------------------
+    # Inbound paths
+    # ------------------------------------------------------------------
+    def _on_datagram(self, node_name: str, iface_name: str, data: bytes) -> None:
+        if self._closed or self.clock.now() > self.horizon:
+            return
+        # The socket outlives medium membership; bits that arrive after
+        # the interface left its medium are lost, like the driver's.
+        if self.world.medium_of(node_name, iface_name) is None:
+            self.datagrams_unresolved += 1
+            return
+        self.datagrams_received += 1
+        node = self.world.nodes[node_name]
+        self.process(node, node.datagram_received(self.now, data, iface_name))
+
+    def _fire_timer(self, node_name: str, key: str, generation: int) -> None:
+        if self._closed or self.clock.now() > self.horizon:
+            return
+        if self._timer_gen.get((node_name, key)) != generation:
+            return
+        node = self.world.nodes[node_name]
+        self.process(node, node.timer_fired(self.now, key))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def _open_endpoints(self) -> None:
+        loop = asyncio.get_running_loop()
+        for node in self.world.nodes.values():
+            for iface_name in node.interfaces:
+                transport, _ = await loop.create_datagram_endpoint(
+                    partial(_IfaceEndpoint, self, node.name, iface_name),
+                    local_addr=(LOOPBACK, 0),
+                )
+                port = transport.get_extra_info("sockname")[1]
+                self._endpoints[(node.name, iface_name)] = (transport, port)
+
+    def _install_schedule(self) -> None:
+        loop = asyncio.get_running_loop()
+        entries = (
+            [("move", e["t"], (e["host"], e["to"])) for e in self.spec.moves]
+            + [("fault", e["t"], (e["node"], e["kind"])) for e in self.spec.faults]
+            + [("ping", e["t"], (e["src"], e["host"])) for e in self.spec.pings]
+        )
+        actions = {
+            "move": self._apply_move,
+            "fault": self._apply_fault,
+            "ping": self._apply_ping,
+        }
+        for kind, t, args in entries:
+            handle = loop.call_later(
+                self.clock.wall_delay(float(t)), partial(actions[kind], *args)
+            )
+            self._handles.append(handle)
+
+    async def main(self) -> "LiveRun":
+        """Open sockets, boot the engines, run the schedule to the
+        horizon, tear down."""
+        loop = asyncio.get_running_loop()
+        self.clock = VirtualClock(loop, self.speed)
+        await self._open_endpoints()
+        self.clock.start()
+        for node in self.world.nodes.values():
+            self.process(node, node.start(self.now))
+        self._install_schedule()
+        await asyncio.sleep(self.clock.wall_delay(self.horizon))
+        # Drain one scheduler beat so in-flight datagrams at the horizon
+        # are observed (or rejected by the horizon gate), then close.
+        await asyncio.sleep(0)
+        self._closed = True
+        for handle in self._handles:
+            handle.cancel()
+        for transport, _ in self._endpoints.values():
+            transport.close()
+        await asyncio.sleep(0)
+        return self
+
+
+def run_live_spec(spec, speed: float = DEFAULT_SPEED, health=None) -> LiveRun:
+    """Execute a ScenarioSpec over loopback UDP and return the finished
+    :class:`LiveRun` (its ``events`` log feeds the conformance diff)."""
+    run = LiveRun(spec, speed=speed, health=health)
+    asyncio.run(run.main())
+    return run

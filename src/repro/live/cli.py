@@ -1,0 +1,159 @@
+"""``python -m repro live`` — run a scenario over real UDP sockets.
+
+Boots a ScenarioSpec topology as sans-io engines on loopback UDP (one
+socket per node interface), runs the schedule against the wall clock at
+a configurable speed factor, and reports the protocol-health summary.
+``--conformance`` additionally runs the same spec on the discrete-event
+simulator and diffs the two observations (per-node protocol-event
+sequences plus the timing-free health fingerprint), exiting 1 on any
+divergence — the same gate the CI ``live-smoke`` job runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.clibase import build_parser
+
+LIVE_SCENARIOS = ("figure1", "fuzz-1101", "fuzz-1102", "fuzz-1103")
+
+
+def _resolve_spec(name: str):
+    """A corpus name, or the path of a scenario JSON (spec v1 or fuzzer
+    v1 format)."""
+    from repro.scenario.spec import ScenarioSpec
+    from repro.wire.conformance import (
+        conformance_specs,
+        figure1_walkthrough_spec,
+    )
+
+    if name in ("figure1", "walkthrough"):
+        return figure1_walkthrough_spec()
+    for spec in conformance_specs():
+        if name in (spec.name, spec.name.replace("conformance-", "")):
+            return spec
+    path = Path(name)
+    if not path.exists():
+        raise FileNotFoundError(
+            f"unknown scenario {name!r}: not one of {LIVE_SCENARIOS} "
+            f"and no such file"
+        )
+    data = json.loads(path.read_text())
+    if "topology" in data:
+        return ScenarioSpec.from_dict(data)
+    return ScenarioSpec.from_fuzz_v1(data)
+
+
+def _render_summary(run, summary: dict, report) -> str:
+    lines = [
+        f"live run {run.spec.name!r}: horizon {run.horizon:g}s at "
+        f"{run.speed:g}x ({run.horizon / run.speed:.2f}s wall)",
+        f"  sockets: {len(run._endpoints)}  datagrams: "
+        f"{run.datagrams_sent} sent, {run.datagrams_received} received, "
+        f"{run.datagrams_unresolved} unresolved",
+        f"  health: {summary.get('moves', 0)} moves, "
+        f"{summary.get('registrations', 0)} registrations, "
+        f"{summary.get('loops_dissolved', 0)} loops dissolved, "
+        f"{summary.get('packets_delivered', 0)} packets delivered",
+    ]
+    if report is not None:
+        lines.append("  " + report.render().replace("\n", "\n  "))
+    return "\n".join(lines)
+
+
+def live_main(argv: Optional[List[str]] = None) -> int:
+    from repro.live.backend import DEFAULT_SPEED
+
+    parser = build_parser(
+        "live",
+        "run a scenario on the live asyncio-UDP backend "
+        "(sans-io engines over loopback sockets)",
+        seed_help="override the scenario's seed",
+    )
+    parser.add_argument(
+        "scenario", nargs="?", default="figure1",
+        help="a corpus scenario (%s) or a scenario JSON path "
+             "(default figure1)" % ", ".join(LIVE_SCENARIOS),
+    )
+    parser.add_argument(
+        "--speed", type=float, default=DEFAULT_SPEED,
+        help=f"virtual seconds per wall second (default {DEFAULT_SPEED:g})",
+    )
+    parser.add_argument(
+        "--conformance", action="store_true",
+        help="also run the simulator reference and diff the protocol-"
+             "event projections; exit 1 on divergence",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="hard wall-clock cap in seconds "
+             "(default: horizon/speed + 30)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        spec = _resolve_spec(args.scenario)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.seed is not None:
+        spec.seed = args.seed
+
+    from repro.live.backend import LiveRun
+    from repro.telemetry.health import ProtocolHealth
+    from repro.wire.conformance import (
+        backend_run_from_events,
+        check_spec,
+    )
+
+    health = ProtocolHealth()
+    run = LiveRun(spec, speed=args.speed, health=health)
+    timeout = (
+        args.timeout if args.timeout is not None
+        else run.horizon / run.speed + 30.0
+    )
+
+    async def _bounded():
+        await asyncio.wait_for(run.main(), timeout=timeout)
+
+    try:
+        asyncio.run(_bounded())
+    except asyncio.TimeoutError:
+        print(
+            f"live run exceeded the {timeout:g}s wall-clock cap",
+            file=sys.stderr,
+        )
+        return 1
+
+    summary = health.summary()
+    report = None
+    if args.conformance:
+        candidate = backend_run_from_events(
+            "live", (event for _, event in run.events), health=health
+        )
+        report = check_spec(spec, candidate=candidate)
+
+    if args.as_json:
+        payload = {
+            "scenario": spec.name,
+            "speed": run.speed,
+            "horizon": run.horizon,
+            "sockets": len(run._endpoints),
+            "datagrams_sent": run.datagrams_sent,
+            "datagrams_received": run.datagrams_received,
+            "datagrams_unresolved": run.datagrams_unresolved,
+            "summary": summary,
+        }
+        if report is not None:
+            payload["conformance"] = {
+                "ok": report.ok,
+                "mismatches": report.mismatches,
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif not args.quiet:
+        print(_render_summary(run, summary, report))
+    return 0 if report is None or report.ok else 1

@@ -1,0 +1,1955 @@
+"""Sans-io MHRP protocol engines.
+
+Each engine is a pure state machine: it consumes ``(now, inbound
+datagram bytes | timer fire | local command)`` and emits an
+:class:`EngineOutput` — outbound datagrams (already serialized through
+:mod:`repro.wire.codec`), timer requests, and protocol events.  Nothing
+here touches a socket, a simulator, or a wall clock; drivers own all IO:
+
+- :mod:`repro.wire.driver` executes an :class:`EngineWorld` inside a
+  deterministic in-process event loop (the discrete-event backend);
+- :mod:`repro.live` executes the same world over real asyncio UDP
+  sockets on loopback, one port per interface.
+
+The protocol decisions are the *same code* the simulator-bound agents in
+:mod:`repro.core` run: both import :mod:`repro.wire.logic` and reuse the
+pure structures (:class:`~repro.core.persistence.LocationDatabase`,
+:class:`~repro.core.cache_agent.LocationCache`,
+:class:`~repro.core.registration.StaleControlFilter`,
+:func:`~repro.core.encapsulation.retunnel`, ...).  The engines mirror
+the agents' trace-event vocabulary exactly so the cross-backend
+conformance harness (:mod:`repro.wire.conformance`) can diff a live run
+against a simulator run event-for-event.
+
+Two deliberate simplifications versus the full simulated link layer,
+documented in ``PROTOCOL.md``:
+
+- **no ARP** — drivers map IP addresses to endpoints directly; home
+  agents rely on being on-path (their routers sit between the backbone
+  and the home LAN in every shipped topology), and foreign agents learn
+  visitors from connect notifications alone;
+- **believe_home_agent only** — the Section 5.2 local-query variant
+  needs ARP, so engine foreign agents always take the home agent's word.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.cache_agent import (
+    DEFAULT_CACHE_CAPACITY,
+    LocationCache,
+    UpdateRateLimiter,
+)
+from repro.core.discovery import (
+    AgentAdvertisementInfo,
+    DEFAULT_ADVERT_LIFETIME,
+    DEFAULT_ADVERT_PERIOD,
+)
+from repro.core.encapsulation import MHRPPayload, decapsulate, encapsulate, retunnel
+from repro.core.header import DEFAULT_MAX_PREVIOUS_SOURCES
+from repro.core.persistence import LocationDatabase, LocationStore
+from repro.core.registration import (
+    ACK,
+    FA_CONNECT,
+    FA_DISCONNECT,
+    HA_REGISTER,
+    REG_MAX_RETRIES,
+    REG_RETRY_INTERVAL,
+    RegistrationMessage,
+    StaleControlFilter,
+)
+from repro.errors import PacketError, RegistrationError
+from repro.ip.address import IPAddress, IPNetwork
+from repro.ip.icmp import (
+    EchoMessage,
+    ICMPError,
+    LocationUpdate,
+    RouterAdvertisement,
+    RouterSolicitation,
+    TYPE_ECHO_REPLY,
+    TYPE_ECHO_REQUEST,
+    TYPE_LOCATION_UPDATE,
+    TYPE_ROUTER_ADVERTISEMENT,
+    TYPE_ROUTER_SOLICITATION,
+)
+from repro.ip.packet import IPPacket
+from repro.ip.protocols import ICMP as PROTO_ICMP
+from repro.ip.protocols import MHRP as PROTO_MHRP
+from repro.ip.protocols import MOBILE_CONTROL
+from repro.ip.routing import RoutingTable
+from repro.wire.codec import OpaqueICMP, decode_packet, encode_packet
+from repro.wire.logic import (
+    AT_HOME,
+    AWAY,
+    AWAY_SELF_AGENT,
+    DEPARTURE_GRACE,
+    DISCONNECTED,
+    DISCONNECTED_ADDRESS,
+    HOME_DROP_DISCONNECTED,
+    HOME_PASS,
+    HOME_RECOVER,
+    decide_home_tunneled_arrival,
+    forwarding_pointer_target,
+    is_control_traffic,
+    may_send_update,
+    mh_reported_location,
+    retunnel_target,
+    should_recover_visitor,
+    stale_chain,
+)
+
+LIMITED_BROADCAST = IPAddress("255.255.255.255")
+
+#: Sentinel returned by a hook that fully consumed the packet.
+CONSUMED = object()
+
+
+# ----------------------------------------------------------------------
+# Engine IO vocabulary
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Datagram:
+    """One serialized IP datagram the engine wants transmitted.
+
+    ``next_hop`` is the link-layer destination the driver must resolve to
+    an endpoint on the interface's medium; for a broadcast the driver
+    fans out to every other member instead.
+    """
+
+    data: bytes
+    iface: str
+    next_hop: IPAddress
+    broadcast: bool = False
+
+
+@dataclass(frozen=True)
+class TimerOp:
+    """Arm (``delay`` seconds from now) or cancel (``delay is None``) the
+    node-scoped timer named ``key``."""
+
+    key: str
+    delay: Optional[float]
+
+
+@dataclass
+class EngineEvent:
+    """One protocol event.
+
+    ``category`` uses the simulator tracer's vocabulary (``mhrp.register``,
+    ``mhrp.tunnel``, ``mhrp.update``, ``mhrp.loop``) for protocol events,
+    ``packet.*`` for packet lifecycle (these carry the decoded packet so a
+    driver can feed :class:`~repro.telemetry.health.ProtocolHealth`), and
+    ``health.*`` for direct telemetry feeds with no tracer equivalent.
+    """
+
+    category: str
+    node: str
+    detail: Dict[str, object] = field(default_factory=dict)
+    packet: Optional[IPPacket] = None
+
+
+class EngineOutput:
+    """Everything one engine turn produced."""
+
+    __slots__ = ("datagrams", "timers", "events")
+
+    def __init__(self) -> None:
+        self.datagrams: List[Datagram] = []
+        self.timers: List[TimerOp] = []
+        self.events: List[EngineEvent] = []
+
+    def extend(self, other: "EngineOutput") -> None:
+        self.datagrams.extend(other.datagrams)
+        self.timers.extend(other.timers)
+        self.events.extend(other.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<EngineOutput {len(self.datagrams)} datagrams "
+            f"{len(self.timers)} timers {len(self.events)} events>"
+        )
+
+
+@dataclass
+class EngineInterface:
+    """One attachment point: a name, an address, a prefix."""
+
+    name: str
+    ip_address: IPAddress
+    network: IPNetwork
+    #: Extra addresses accepted as "mine" (the own-foreign-agent
+    #: temporary address rides here, mirroring interface aliases).
+    alias_addresses: set = field(default_factory=set)
+
+
+# ----------------------------------------------------------------------
+# The node engine
+# ----------------------------------------------------------------------
+
+class NodeEngine:
+    """The IP layer of one node as a sans-io state machine.
+
+    Mirrors :class:`repro.ip.node.IPNode`'s observable behaviour —
+    protocol dispatch, ICMP echo auto-reply (with RFC 1122 silent discard
+    of unhandled types), hookable outbound/transit stages, TTL handling,
+    ICMP error suppression rules — minus ARP and the link layer, which
+    drivers own.
+
+    Entry points (each returns the :class:`EngineOutput` of the turn):
+
+    - :meth:`datagram_received` — bytes arrived on an interface;
+    - :meth:`timer_fired` — a previously requested timer expired;
+    - :meth:`command` — a local instruction ("ping", "attach", ...).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        forwarding: bool = False,
+        rng: Optional[random.Random] = None,
+        ident_allocator: Optional[Callable[[], int]] = None,
+    ) -> None:
+        self.name = name
+        self.forwarding = forwarding
+        self.up = True
+        self.now = 0.0
+        self.rng = rng or random.Random(0)
+        self._ident = ident_allocator or _wrapping_counter()
+        self.interfaces: Dict[str, EngineInterface] = {}
+        self.routing_table = RoutingTable()
+        self.counters: Dict[str, int] = {
+            "originated": 0, "forwarded": 0, "delivered": 0,
+            "dropped": 0, "tunneled": 0, "diverted": 0,
+        }
+        self._protocol_handlers: Dict[int, Callable] = {
+            PROTO_ICMP: self._handle_icmp,
+        }
+        self._icmp_listeners: Dict[int, List[Callable]] = {}
+        self._error_listeners: List[Callable] = []
+        #: RFC 1812 routers quote as much of the offending packet as fits
+        #: (the sim's IPNode defaults to the same) — required for
+        #: Section 4.5 tunnel-error reversal to work over real bytes.
+        self.icmp_quote_full = True
+        self._timers: Dict[str, Callable[[], None]] = {}
+        self._commands: Dict[str, Callable] = {
+            "crash": self._cmd_crash,
+            "reboot": self._cmd_reboot,
+        }
+        self.outbound_hooks: List[Callable] = []
+        self.transit_hooks: List[Callable] = []
+        self.reboot_hooks: List[Callable[[], None]] = []
+        #: Run once inside the driver's boot turn (periodic advertisers
+        #: start here — the simulator starts them at construction, but an
+        #: engine constructor runs outside any turn, so its emissions
+        #: would land in an output nobody collects).
+        self.start_hooks: List[Callable[[], None]] = []
+        #: Role engines attached to this node, in attach order (the
+        #: snapshot contract walks this).
+        self.roles: Dict[str, object] = {}
+        self._out: EngineOutput = EngineOutput()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add_interface(
+        self, name: str, address: IPAddress | str, network: IPNetwork | str
+    ) -> EngineInterface:
+        iface = EngineInterface(
+            name=name,
+            ip_address=IPAddress(address),
+            network=network if isinstance(network, IPNetwork) else IPNetwork(network),
+        )
+        self.interfaces[name] = iface
+        self.routing_table.add_connected(iface.network, name)
+        return iface
+
+    def set_gateway(self, gateway: IPAddress | str, iface_name: Optional[str] = None) -> None:
+        name = iface_name or next(iter(self.interfaces))
+        self.routing_table.set_default(IPAddress(gateway), name)
+
+    @property
+    def primary_interface(self) -> EngineInterface:
+        return next(iter(self.interfaces.values()))
+
+    @property
+    def primary_address(self) -> IPAddress:
+        return self.primary_interface.ip_address
+
+    def has_address(self, address: IPAddress) -> bool:
+        for iface in self.interfaces.values():
+            if iface.ip_address == address or address in iface.alias_addresses:
+                return True
+        return False
+
+    def register_protocol(self, protocol: int, handler: Callable) -> None:
+        if protocol in self._protocol_handlers and protocol != PROTO_ICMP:
+            raise RegistrationError(
+                f"{self.name}: protocol {protocol} already handled"
+            )
+        self._protocol_handlers[protocol] = handler
+
+    def on_icmp(self, icmp_type: int, listener: Callable) -> None:
+        self._icmp_listeners.setdefault(icmp_type, []).append(listener)
+
+    def on_icmp_error(self, listener: Callable) -> None:
+        self._error_listeners.append(listener)
+
+    def on_command(self, name: str, handler: Callable) -> None:
+        self._commands[name] = handler
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def _begin(self, now: float) -> EngineOutput:
+        self.now = now
+        self._out = EngineOutput()
+        return self._out
+
+    def datagram_received(self, now: float, data: bytes, iface_name: str) -> EngineOutput:
+        out = self._begin(now)
+        if not self.up or iface_name not in self.interfaces:
+            return out
+        try:
+            packet = decode_packet(data)
+        except PacketError as exc:
+            self.counters["dropped"] += 1
+            self._out.events.append(EngineEvent(
+                category="packet.dropped", node=self.name,
+                detail={"reason": "decode-error", "error": str(exc)},
+            ))
+            return out
+        # Flight continuity: the origin stamped its uid into the IP
+        # identification field, so telemetry can follow the packet across
+        # hops even though every hop decodes a fresh object.
+        if packet.identification:
+            packet.uid = packet.identification
+        self._ingress(packet, iface_name)
+        return out
+
+    def timer_fired(self, now: float, key: str) -> EngineOutput:
+        out = self._begin(now)
+        if not self.up:
+            return out
+        callback = self._timers.pop(key, None)
+        if callback is not None:
+            callback()
+        return out
+
+    def command(self, now: float, name: str, **kwargs) -> EngineOutput:
+        out = self._begin(now)
+        handler = self._commands.get(name)
+        if handler is None:
+            raise RegistrationError(f"{self.name}: unknown command {name!r}")
+        handler(**kwargs)
+        return out
+
+    def start(self, now: float = 0.0) -> EngineOutput:
+        """The boot turn: run everything that the simulator runs at
+        construction time (periodic advertisers, initial broadcasts)."""
+        out = self._begin(now)
+        for hook in list(self.start_hooks):
+            hook()
+        return out
+
+    # ------------------------------------------------------------------
+    # Timers (requested from, and delivered by, the driver)
+    # ------------------------------------------------------------------
+    def set_timer(self, key: str, delay: float, callback: Callable[[], None]) -> None:
+        """Arm a one-shot node timer; re-arm by calling again."""
+        self._timers[key] = callback
+        self._out.timers.append(TimerOp(key=key, delay=delay))
+
+    def cancel_timer(self, key: str) -> None:
+        if self._timers.pop(key, None) is not None:
+            self._out.timers.append(TimerOp(key=key, delay=None))
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def trace(self, category: str, **detail) -> None:
+        """Emit a protocol event in the simulator tracer's vocabulary."""
+        self._out.events.append(
+            EngineEvent(category=category, node=self.name, detail=detail)
+        )
+
+    def health(self, kind: str, **detail) -> None:
+        """Emit a direct telemetry feed (no tracer equivalent)."""
+        self._out.events.append(
+            EngineEvent(category=f"health.{kind}", node=self.name, detail=detail)
+        )
+
+    def _packet_event(self, kind: str, packet: IPPacket, **detail) -> None:
+        self._out.events.append(EngineEvent(
+            category=f"packet.{kind}", node=self.name,
+            detail=detail, packet=packet,
+        ))
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def _ingress(self, packet: IPPacket, iface_name: str) -> None:
+        if packet.dst == LIMITED_BROADCAST or self.has_address(packet.dst):
+            self._deliver_local(packet, iface_name)
+            return
+        if not self.forwarding:
+            self.drop(packet, "not-for-me")
+            return
+        current = packet
+        for hook in list(self.transit_hooks):
+            result = hook(current, iface_name)
+            if result is CONSUMED:
+                return
+            if result is not None:
+                current = result
+        self.forward(current)
+
+    def _deliver_local(self, packet: IPPacket, iface_name: Optional[str]) -> None:
+        self.counters["delivered"] += 1
+        self._packet_event("delivered", packet)
+        handler = self._protocol_handlers.get(packet.protocol)
+        if handler is not None:
+            handler(packet, iface_name)
+
+    def forward(self, packet: IPPacket) -> None:
+        """The TTL/route stage (also the re-injection point: a packet
+        sent here keeps its remaining TTL, matching
+        ``IPNode.forward_injected``)."""
+        packet.ttl -= 1
+        if packet.ttl <= 0:
+            self.drop(packet, "ttl-expired")
+            self.send_error(
+                ICMPError.time_exceeded(packet, quote_full=self.icmp_quote_full)
+            )
+            return
+        self._route_and_transmit(packet, transit=True)
+
+    # Alias kept for symmetry with the IPNode API the agents use.
+    forward_injected = forward
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+    def send(self, packet: IPPacket) -> None:
+        """Originate a packet (runs the outbound hook stage)."""
+        self._stamp(packet)
+        self.counters["originated"] += 1
+        self._packet_event("sent", packet)
+        current = packet
+        for hook in list(self.outbound_hooks):
+            result = hook(current)
+            if result is CONSUMED:
+                return
+            if result is not None:
+                current = result
+        self._route_and_transmit(current, transit=False)
+
+    def send_icmp(self, dst: IPAddress, message) -> None:
+        self.send(IPPacket(
+            src=self.primary_address, dst=IPAddress(dst),
+            protocol=PROTO_ICMP, payload=message,
+        ))
+
+    def send_broadcast(self, iface_name: str, protocol: int, payload) -> None:
+        """Limited broadcast on one link (TTL 1, bypasses routing and the
+        outbound hooks, like ``IPNode.send_broadcast``)."""
+        iface = self.interfaces[iface_name]
+        packet = IPPacket(
+            src=iface.ip_address, dst=LIMITED_BROADCAST,
+            protocol=protocol, payload=payload, ttl=1,
+        )
+        self._stamp(packet)
+        self.counters["originated"] += 1
+        self._transmit(iface_name, LIMITED_BROADCAST, packet, broadcast=True)
+
+    def transmit_on_link(self, iface_name: str, dst: IPAddress, packet: IPPacket) -> None:
+        """Hand a packet straight to one link, bypassing route lookup
+        (the foreign agent's last hop to a visitor)."""
+        self._packet_event("forwarded", packet)
+        self._transmit(iface_name, dst, packet)
+
+    def _route_and_transmit(self, packet: IPPacket, transit: bool) -> None:
+        route = self.routing_table.lookup(packet.dst)
+        if route is None:
+            self.drop(packet, "no-route")
+            if transit:
+                self.send_error(
+                    ICMPError.unreachable(packet, quote_full=self.icmp_quote_full)
+                )
+            return
+        if transit:
+            self.counters["forwarded"] += 1
+            self._packet_event("forwarded", packet)
+        next_hop = route.next_hop if route.next_hop is not None else packet.dst
+        self._transmit(route.interface_name, next_hop, packet)
+
+    def _transmit(
+        self, iface_name: str, next_hop: IPAddress, packet: IPPacket,
+        broadcast: bool = False,
+    ) -> None:
+        self._out.datagrams.append(Datagram(
+            data=encode_packet(packet), iface=iface_name,
+            next_hop=next_hop, broadcast=broadcast,
+        ))
+
+    def _stamp(self, packet: IPPacket) -> None:
+        if not packet.identification:
+            packet.identification = self._ident()
+        packet.uid = packet.identification
+
+    def drop(self, packet: IPPacket, reason: str) -> None:
+        self.counters["dropped"] += 1
+        self._packet_event("dropped", packet, reason=reason)
+
+    # ------------------------------------------------------------------
+    # ICMP
+    # ------------------------------------------------------------------
+    def _handle_icmp(self, packet: IPPacket, iface_name: Optional[str]) -> None:
+        message = packet.payload
+        icmp_type = getattr(message, "icmp_type", None)
+        if icmp_type == TYPE_ECHO_REQUEST and self.has_address(packet.dst):
+            reply = EchoMessage.reply_to(message)
+            self.send(IPPacket(
+                src=packet.dst, dst=packet.src,
+                protocol=PROTO_ICMP, payload=reply,
+            ))
+        if isinstance(message, ICMPError) or (
+            isinstance(message, OpaqueICMP) and message.is_error
+        ):
+            for error_listener in list(self._error_listeners):
+                error_listener(packet, message)
+        for listener in self._icmp_listeners.get(icmp_type, []):
+            listener(packet, message)
+        # Unknown types without listeners: silent discard (RFC 1122).
+
+    def send_error(self, error: ICMPError) -> None:
+        """Send an ICMP error about ``error.quoted``, with the standard
+        suppressions (never about ICMP errors, broadcasts, or packets
+        without a valid unicast source)."""
+        quoted = error.quoted
+        if quoted is None:
+            return
+        # Same cap the sim's _quote_cap computes for 1500-byte media:
+        # min(1500, 576) - 28.  The engine has no MTU knowledge, so it
+        # assumes the shipped topologies' uniform Ethernet-class links.
+        error.max_quote = 548
+        if quoted.src.is_zero or quoted.src == LIMITED_BROADCAST:
+            return
+        if isinstance(quoted.payload, ICMPError):
+            return
+        if quoted.dst == LIMITED_BROADCAST:
+            return
+        self.send_icmp(quoted.src, error)
+
+    # ------------------------------------------------------------------
+    # Faults
+    # ------------------------------------------------------------------
+    def _cmd_crash(self) -> None:
+        self.up = False
+        for key in list(self._timers):
+            self.cancel_timer(key)
+        self.trace("fault", event="crash")
+
+    def _cmd_reboot(self) -> None:
+        self.up = True
+        self.trace("fault", event="reboot")
+        for hook in list(self.reboot_hooks):
+            hook()
+
+    # ------------------------------------------------------------------
+    # Snapshot contract
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-able protocol state: node flags, routes, counters, and
+        every attached role (timers are driver state, not engine state —
+        a restored engine re-arms them through its roles)."""
+        return {
+            "up": self.up,
+            "now": self.now,
+            "counters": dict(self.counters),
+            "routing_table": self.routing_table.state_dict(),
+            "roles": {
+                name: role.state_dict() for name, role in self.roles.items()
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.up = bool(state["up"])
+        self.now = float(state["now"])
+        self.counters.update({k: int(v) for k, v in state["counters"].items()})
+        self.routing_table.load_state(state["routing_table"])
+        for name, role_state in state["roles"].items():
+            self.roles[name].load_state(role_state)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NodeEngine {self.name} {'up' if self.up else 'down'}>"
+
+
+def _wrapping_counter(start: int = 1) -> Callable[[], int]:
+    """A 16-bit wrapping allocator for the IP identification field (zero
+    is skipped: it means "unstamped")."""
+    counter = itertools.count(start)
+
+    def alloc() -> int:
+        value = next(counter) & 0xFFFF
+        return value if value else next(counter) & 0xFFFF
+
+    return alloc
+
+
+# ----------------------------------------------------------------------
+# Control-plane plumbing (dispatcher, reliable registrar, advertiser)
+# ----------------------------------------------------------------------
+
+class EngineControlDispatcher:
+    """Per-engine demultiplexer for :data:`MOBILE_CONTROL` packets
+    (mirrors :class:`repro.core.registration.ControlDispatcher`)."""
+
+    def __init__(self, node: NodeEngine) -> None:
+        self.node = node
+        self._handlers: Dict[str, Callable] = {}
+        self._ack_waiters: Dict[int, Callable] = {}
+        node.register_protocol(MOBILE_CONTROL, self._handle)
+
+    @classmethod
+    def for_node(cls, node: NodeEngine) -> "EngineControlDispatcher":
+        dispatcher = getattr(node, "_control_dispatcher", None)
+        if dispatcher is None:
+            dispatcher = cls(node)
+            node._control_dispatcher = dispatcher
+        return dispatcher
+
+    def on(self, kind: str, handler: Callable) -> None:
+        if kind in self._handlers:
+            raise RegistrationError(
+                f"{self.node.name}: control kind {kind!r} already handled"
+            )
+        self._handlers[kind] = handler
+
+    def expect_ack(self, seq: int, callback: Callable) -> None:
+        self._ack_waiters[seq] = callback
+
+    def cancel_ack(self, seq: int) -> None:
+        self._ack_waiters.pop(seq, None)
+
+    def _handle(self, packet: IPPacket, iface_name) -> None:
+        message = packet.payload
+        if not isinstance(message, RegistrationMessage):
+            return
+        if message.kind == ACK:
+            waiter = self._ack_waiters.pop(message.seq, None)
+            if waiter is not None:
+                waiter(message)
+            return
+        handler = self._handlers.get(message.kind)
+        if handler is not None:
+            handler(packet, message)
+
+    def send_ack(
+        self, to: IPAddress, request: RegistrationMessage,
+        agent: Optional[IPAddress] = None, ok: bool = True,
+    ) -> None:
+        ack = RegistrationMessage(
+            kind=ACK, seq=request.seq, mobile_host=request.mobile_host,
+            agent=agent if agent is not None else IPAddress.zero(), ok=ok,
+        )
+        self.node.send(IPPacket(
+            src=self.node.primary_address, dst=to,
+            protocol=MOBILE_CONTROL, payload=ack,
+        ))
+
+
+class EngineRegistrar:
+    """Reliable registration sender: retransmits each message on a
+    per-sequence node timer until acknowledged or given up (same schedule
+    as :class:`repro.core.registration.ReliableRegistrar`)."""
+
+    def __init__(self, node: NodeEngine) -> None:
+        self.node = node
+        self.dispatcher = EngineControlDispatcher.for_node(node)
+        self._pending: Dict[int, dict] = {}
+
+    def send(
+        self, destination: IPAddress, message: RegistrationMessage,
+        on_ack: Optional[Callable] = None, on_fail: Optional[Callable] = None,
+    ) -> None:
+        self._pending[message.seq] = {
+            "destination": destination, "message": message,
+            "on_ack": on_ack, "on_fail": on_fail, "attempts": 0,
+        }
+        self.dispatcher.expect_ack(message.seq, partial(self._acked, message.seq))
+        self._transmit(message.seq)
+        self.node.set_timer(
+            f"reg-retry-{message.seq}", REG_RETRY_INTERVAL,
+            partial(self._retry, message.seq),
+        )
+
+    def _transmit(self, seq: int) -> None:
+        entry = self._pending[seq]
+        self.node.trace(
+            "mhrp.register", event="send", kind=entry["message"].kind,
+            to=str(entry["destination"]), attempt=entry["attempts"],
+        )
+        self.node.send(IPPacket(
+            src=self.node.primary_address, dst=entry["destination"],
+            protocol=MOBILE_CONTROL, payload=entry["message"],
+        ))
+
+    def _retry(self, seq: int) -> None:
+        entry = self._pending.get(seq)
+        if entry is None:
+            return
+        entry["attempts"] += 1
+        if entry["attempts"] > REG_MAX_RETRIES:
+            self._pending.pop(seq, None)
+            self.dispatcher.cancel_ack(seq)
+            self.node.trace(
+                "mhrp.register", event="gave-up",
+                kind=entry["message"].kind, to=str(entry["destination"]),
+            )
+            if entry["on_fail"] is not None:
+                entry["on_fail"]()
+            return
+        self._transmit(seq)
+        self.node.set_timer(
+            f"reg-retry-{seq}", REG_RETRY_INTERVAL, partial(self._retry, seq)
+        )
+
+    def _acked(self, seq: int, ack: RegistrationMessage) -> None:
+        entry = self._pending.pop(seq, None)
+        if entry is None:
+            return
+        self.node.cancel_timer(f"reg-retry-{seq}")
+        if entry["on_ack"] is not None:
+            entry["on_ack"](ack)
+
+
+class EngineAdvertiser:
+    """Periodic agent advertisements on one interface, answering
+    solicitations immediately (mirrors
+    :class:`repro.core.discovery.AgentAdvertiser`)."""
+
+    def __init__(
+        self, node: NodeEngine, iface_name: str,
+        is_home_agent: bool, is_foreign_agent: bool,
+        period: float = DEFAULT_ADVERT_PERIOD,
+        lifetime: float = DEFAULT_ADVERT_LIFETIME,
+    ) -> None:
+        self.node = node
+        self.iface_name = iface_name
+        self.is_home_agent = is_home_agent
+        self.is_foreign_agent = is_foreign_agent
+        self.period = period
+        self.lifetime = lifetime
+        self.boot_id = node.rng.randrange(1, 2**31)
+        self.running = False
+        self._timer_key = f"advert-{iface_name}"
+        node.on_icmp(TYPE_ROUTER_SOLICITATION, self._on_solicitation)
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self._advertise()
+
+    def stop(self) -> None:
+        self.running = False
+        self.node.cancel_timer(self._timer_key)
+
+    def restart_with_new_boot_id(self) -> None:
+        self.boot_id = self.node.rng.randrange(1, 2**31)
+        self.running = False
+        self.start()
+
+    def _advertise(self) -> None:
+        if not self.running or not self.node.up:
+            return
+        self._broadcast()
+        jitter = self.node.rng.uniform(0, self.period * 0.05)
+        self.node.set_timer(self._timer_key, self.period + jitter, self._advertise)
+
+    def _on_solicitation(self, packet: IPPacket, message) -> None:
+        if self.running and self.node.up:
+            self._broadcast()
+
+    def _broadcast(self) -> None:
+        iface = self.node.interfaces[self.iface_name]
+        advert = RouterAdvertisement(
+            router_address=iface.ip_address, lifetime=self.lifetime,
+            is_home_agent=self.is_home_agent,
+            is_foreign_agent=self.is_foreign_agent, boot_id=self.boot_id,
+        )
+        advert.code = self.boot_id & 0xFF
+        self.node.send_broadcast(self.iface_name, PROTO_ICMP, advert)
+
+    def state_dict(self) -> dict:
+        return {"boot_id": self.boot_id, "running": self.running}
+
+    def load_state(self, state: dict) -> None:
+        self.boot_id = int(state["boot_id"])
+        self.running = bool(state["running"])
+
+
+def engine_send_location_update(
+    node: NodeEngine,
+    destination: IPAddress,
+    mobile_host: IPAddress,
+    foreign_agent: IPAddress,
+    limiter: Optional[UpdateRateLimiter] = None,
+    purge: bool = False,
+) -> bool:
+    """Engine twin of :func:`repro.core.cache_agent.send_location_update`
+    — same eligibility and rate-limit rules, same trace event."""
+    if not may_send_update(destination, mobile_host, node.has_address(destination)):
+        return False
+    if limiter is not None and not limiter.allow(destination, node.now):
+        return False
+    message = LocationUpdate(
+        mobile_host=mobile_host, foreign_agent=foreign_agent, purge=purge
+    )
+    node.trace(
+        "mhrp.update", event="sent", to=str(destination),
+        mobile_host=str(mobile_host), foreign_agent=str(foreign_agent),
+        purge=purge,
+    )
+    node.send_icmp(destination, message)
+    return True
+
+
+# ----------------------------------------------------------------------
+# Role engines
+# ----------------------------------------------------------------------
+
+class CacheAgentEngine:
+    """The cache-agent role on a :class:`NodeEngine` (mirrors
+    :class:`repro.core.cache_agent.CacheAgent`)."""
+
+    def __init__(
+        self, node: NodeEngine, capacity: int = DEFAULT_CACHE_CAPACITY,
+        examine_forwarded: bool = False, enabled: bool = True,
+    ) -> None:
+        self.node = node
+        self.cache = LocationCache(capacity)
+        self.examine_forwarded = examine_forwarded
+        self.enabled = enabled
+        self.tunnels_built = 0
+        node.roles["cache_agent"] = self
+        node.outbound_hooks.append(self.outbound_hook)
+        node.transit_hooks.append(self.transit_hook)
+        node.on_icmp(TYPE_LOCATION_UPDATE, self._on_location_update)
+        node.reboot_hooks.append(self.cache.clear)
+
+    def learn(self, mobile_host: IPAddress, foreign_agent: IPAddress) -> None:
+        if foreign_agent.is_zero:
+            self.cache.delete(mobile_host)
+            return
+        self.cache.put(mobile_host, foreign_agent, now=self.node.now)
+
+    def _on_location_update(self, packet: IPPacket, message) -> None:
+        if not isinstance(message, LocationUpdate) or not self.enabled:
+            return
+        self.node.trace(
+            "mhrp.update", event="received",
+            mobile_host=str(message.mobile_host),
+            foreign_agent=str(message.foreign_agent), purge=message.purge,
+        )
+        if message.clears_entry:
+            self.cache.delete(message.mobile_host)
+        else:
+            self.learn(message.mobile_host, message.foreign_agent)
+
+    def outbound_hook(self, packet: IPPacket):
+        if not self.enabled or is_control_traffic(packet.protocol, packet.payload):
+            return None
+        foreign_agent = self.cache.get(packet.dst)
+        self.node.health("cache_lookup", hit=foreign_agent is not None)
+        if foreign_agent is None:
+            return None
+        if self.node.has_address(foreign_agent):
+            return None
+        self.tunnels_built += 1
+        self.node.counters["diverted"] += 1
+        self.node.trace(
+            "mhrp.tunnel", event="sender-encapsulate",
+            mobile_host=str(packet.dst), foreign_agent=str(foreign_agent),
+            uid=packet.uid,
+        )
+        return encapsulate(packet, foreign_agent, agent_address=None)
+
+    def transit_hook(self, packet: IPPacket, iface_name):
+        if not self.enabled:
+            return None
+        if (
+            self.examine_forwarded
+            and packet.protocol == PROTO_ICMP
+            and isinstance(packet.payload, LocationUpdate)
+        ):
+            message = packet.payload
+            if message.clears_entry:
+                self.cache.delete(message.mobile_host)
+            else:
+                self.learn(message.mobile_host, message.foreign_agent)
+            return None
+        if is_control_traffic(packet.protocol, packet.payload):
+            return None
+        foreign_agent = self.cache.get(packet.dst)
+        self.node.health("cache_lookup", hit=foreign_agent is not None)
+        if foreign_agent is None or self.node.has_address(foreign_agent):
+            return None
+        self.tunnels_built += 1
+        self.node.counters["diverted"] += 1
+        self.node.trace(
+            "mhrp.tunnel", event="agent-encapsulate",
+            mobile_host=str(packet.dst), foreign_agent=str(foreign_agent),
+            uid=packet.uid,
+        )
+        return encapsulate(
+            packet, foreign_agent, agent_address=self.node.primary_address
+        )
+
+    def state_dict(self) -> dict:
+        return {
+            "cache": self.cache.state_dict(),
+            "enabled": self.enabled,
+            "examine_forwarded": self.examine_forwarded,
+            "tunnels_built": self.tunnels_built,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.cache.load_state(state["cache"])
+        self.enabled = bool(state["enabled"])
+        self.examine_forwarded = bool(state["examine_forwarded"])
+        self.tunnels_built = int(state["tunnels_built"])
+
+
+class HomeAgentEngine:
+    """The home-agent role on a :class:`NodeEngine` (mirrors
+    :class:`repro.core.home_agent.HomeAgent`, minus proxy ARP: the
+    engine's interception relies on the agent router being on-path)."""
+
+    def __init__(
+        self, node: NodeEngine, home_iface_name: str,
+        store: Optional[LocationStore] = None, advertise: bool = True,
+        max_previous_sources: int = DEFAULT_MAX_PREVIOUS_SOURCES,
+    ) -> None:
+        if home_iface_name not in node.interfaces:
+            raise RegistrationError(
+                f"{node.name} has no interface {home_iface_name!r}"
+            )
+        self.node = node
+        self.home_iface_name = home_iface_name
+        self.database = LocationDatabase(store)
+        self._store = store
+        self.max_previous_sources = max_previous_sources
+        self.limiter = UpdateRateLimiter()
+        self.stale_filter = StaleControlFilter()
+        self.packets_intercepted = 0
+        self.packets_retunneled = 0
+        self.recoveries = 0
+        #: Called with (mobile_host, foreign_agent) on every accepted
+        #: registration (co-located caches, replication).
+        self.location_listeners: List[Callable] = []
+        node.roles["home_agent"] = self
+        node.outbound_hooks.append(self.outbound_hook)
+        node.transit_hooks.append(self.transit_hook)
+        self._dispatcher = EngineControlDispatcher.for_node(node)
+        self._dispatcher.on(HA_REGISTER, self._on_register)
+        self.advertiser: Optional[EngineAdvertiser] = None
+        if advertise:
+            self.advertiser = EngineAdvertiser(
+                node, home_iface_name, is_home_agent=True, is_foreign_agent=False
+            )
+            node.start_hooks.append(self.advertiser.start)
+        node.reboot_hooks.append(self._on_node_reboot)
+
+    @property
+    def address(self) -> IPAddress:
+        return self.node.interfaces[self.home_iface_name].ip_address
+
+    @property
+    def home_network(self) -> IPNetwork:
+        return self.node.interfaces[self.home_iface_name].network
+
+    # -- registration (Section 3) --------------------------------------
+    def _on_register(self, packet: IPPacket, message: RegistrationMessage) -> None:
+        mobile_host = message.mobile_host
+        if not self.home_network.contains(mobile_host):
+            self._dispatcher.send_ack(packet.src, message, ok=False)
+            return
+        if self.stale_filter.is_stale(message):
+            self.node.trace(
+                "mhrp.register", event="stale-ignored", kind=message.kind,
+                mobile_host=str(mobile_host), seq=message.seq,
+            )
+            self._dispatcher.send_ack(mobile_host, message, ok=False)
+            return
+        foreign_agent = message.agent
+        self.node.trace(
+            "mhrp.register", event="ha-register",
+            mobile_host=str(mobile_host), foreign_agent=str(foreign_agent),
+        )
+        self.database.record(mobile_host, foreign_agent)
+        for listener in list(self.location_listeners):
+            listener(mobile_host, foreign_agent)
+        # No proxy-ARP start/stop here: the engine home agent is on-path
+        # (transit hooks see all home-bound traffic), so interception
+        # needs no link-layer claim.
+        self._dispatcher.send_ack(mobile_host, message, agent=self.address)
+
+    # -- interception hooks --------------------------------------------
+    def outbound_hook(self, packet: IPPacket):
+        return self._maybe_intercept(packet)
+
+    def transit_hook(self, packet: IPPacket, iface_name):
+        return self._maybe_intercept(packet)
+
+    def _maybe_intercept(self, packet: IPPacket):
+        mobile_host = packet.dst
+        if not self.database.is_away(mobile_host):
+            return None
+        if packet.protocol == PROTO_MHRP:
+            return self._tunneled_arrival(packet)
+        return self._intercept_plain(packet)
+
+    def _intercept_plain(self, packet: IPPacket):
+        mobile_host = packet.dst
+        foreign_agent = self.database.foreign_agent_of(mobile_host)
+        assert foreign_agent is not None
+        if foreign_agent == DISCONNECTED_ADDRESS:
+            self.node.drop(packet, "mh-disconnected")
+            self.node.send_error(ICMPError.unreachable(packet))
+            return CONSUMED
+        self.packets_intercepted += 1
+        self.node.counters["tunneled"] += 1
+        original_sender = packet.src
+        self.node.trace(
+            "mhrp.tunnel", event="home-intercept",
+            mobile_host=str(mobile_host), foreign_agent=str(foreign_agent),
+            uid=packet.uid,
+        )
+        tunneled = encapsulate(packet, foreign_agent, agent_address=self.address)
+        engine_send_location_update(
+            self.node, original_sender, mobile_host, foreign_agent, self.limiter
+        )
+        return tunneled
+
+    # -- packets tunneled back home (Sections 5.1, 5.2) -----------------
+    def _tunneled_arrival(self, packet: IPPacket):
+        payload = packet.payload
+        if not isinstance(payload, MHRPPayload):
+            return None
+        header = payload.header
+        mobile_host = header.mobile_host
+        decision = decide_home_tunneled_arrival(
+            self.database.foreign_agent_of(mobile_host),
+            header.previous_sources, packet.src,
+        )
+        if decision.action == HOME_PASS:
+            return None
+        if decision.action == HOME_DROP_DISCONNECTED:
+            for address in decision.stale:
+                engine_send_location_update(
+                    self.node, address, mobile_host, decision.report,
+                    self.limiter, purge=True,
+                )
+            self.node.drop(packet, "mh-disconnected")
+            self.node.send_error(ICMPError.unreachable(packet))
+            return CONSUMED
+        current_fa = decision.report
+        if decision.action == HOME_RECOVER:
+            self.recoveries += 1
+            self.node.trace(
+                "mhrp.tunnel", event="fa-recovery",
+                mobile_host=str(mobile_host), foreign_agent=str(current_fa),
+                uid=packet.uid,
+            )
+            for address in decision.stale:
+                engine_send_location_update(
+                    self.node, address, mobile_host, current_fa, self.limiter
+                )
+            self.node.drop(packet, "mhrp-recovery")
+            return CONSUMED
+        for address in decision.stale:
+            engine_send_location_update(
+                self.node, address, mobile_host, current_fa, self.limiter
+            )
+        result = retunnel(
+            packet, new_destination=current_fa, my_address=self.address,
+            max_previous_sources=self.max_previous_sources,
+        )
+        if result.loop_detected:
+            self._dissolve_loop(list(decision.stale), mobile_host, uid=packet.uid)
+            self.node.drop(packet, "mhrp-loop-dissolved")
+            return CONSUMED
+        for address in result.flushed:
+            engine_send_location_update(
+                self.node, address, mobile_host, current_fa, self.limiter
+            )
+        self.packets_retunneled += 1
+        self.node.counters["tunneled"] += 1
+        self.node.trace(
+            "mhrp.tunnel", event="home-retunnel",
+            mobile_host=str(mobile_host), foreign_agent=str(current_fa),
+            uid=packet.uid,
+        )
+        return packet
+
+    def _dissolve_loop(
+        self, members: List[IPAddress], mobile_host: IPAddress,
+        uid: Optional[int] = None,
+    ) -> None:
+        self.node.trace(
+            "mhrp.loop", event="dissolve", mobile_host=str(mobile_host),
+            members=[str(a) for a in members], uid=uid,
+        )
+        for address in members:
+            engine_send_location_update(
+                self.node, address, mobile_host, IPAddress.zero(),
+                limiter=None, purge=True,
+            )
+
+    # -- reboot ---------------------------------------------------------
+    def _on_node_reboot(self) -> None:
+        self.stale_filter.reset()
+        if self._store is not None:
+            self.database.reload()
+        else:
+            self.database.clear_memory()
+        if self.advertiser is not None:
+            self.advertiser.restart_with_new_boot_id()
+
+    # -- snapshot contract ----------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "database": self.database.state_dict(),
+            "stale_filter": self.stale_filter.state_dict(),
+            "limiter": self.limiter.state_dict(),
+            "packets_intercepted": self.packets_intercepted,
+            "packets_retunneled": self.packets_retunneled,
+            "recoveries": self.recoveries,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.database.load_state(state["database"])
+        self.stale_filter.load_state(state["stale_filter"])
+        self.limiter.load_state(state["limiter"])
+        self.packets_intercepted = int(state["packets_intercepted"])
+        self.packets_retunneled = int(state["packets_retunneled"])
+        self.recoveries = int(state["recoveries"])
+
+
+@dataclass
+class EngineVisitorRecord:
+    mobile_host: IPAddress
+    registered_at: float
+
+
+class ForeignAgentEngine:
+    """The foreign-agent role on a :class:`NodeEngine` (mirrors
+    :class:`repro.core.foreign_agent.ForeignAgent`; always
+    believe-home-agent — the query variant needs ARP)."""
+
+    def __init__(
+        self, node: NodeEngine, local_iface_name: str,
+        cache_agent: Optional[CacheAgentEngine] = None,
+        keep_forwarding_pointers: bool = True, advertise: bool = True,
+        max_previous_sources: int = DEFAULT_MAX_PREVIOUS_SOURCES,
+    ) -> None:
+        if local_iface_name not in node.interfaces:
+            raise RegistrationError(
+                f"{node.name} has no interface {local_iface_name!r}"
+            )
+        self.node = node
+        self.local_iface_name = local_iface_name
+        self.cache_agent = cache_agent
+        self.keep_forwarding_pointers = keep_forwarding_pointers
+        self.max_previous_sources = max_previous_sources
+        self.limiter = UpdateRateLimiter()
+        self.visitors: Dict[IPAddress, EngineVisitorRecord] = {}
+        self.recent_departures: Dict[IPAddress, float] = {}
+        self.stale_filter = StaleControlFilter()
+        self.delivered_to_visitors = 0
+        self.retunneled_forward = 0
+        self.retunneled_home = 0
+        self.loops_detected = 0
+        self.recoveries = 0
+        #: Called with (mobile_host, arrived: bool) on visitor changes.
+        self.visitor_listeners: List[Callable] = []
+        node.roles["foreign_agent"] = self
+        node.outbound_hooks.append(self.outbound_hook)
+        node.transit_hooks.append(self.transit_hook)
+        node.register_protocol(PROTO_MHRP, self._on_mhrp_packet)
+        self._dispatcher = EngineControlDispatcher.for_node(node)
+        self._dispatcher.on(FA_CONNECT, self._on_connect)
+        self._dispatcher.on(FA_DISCONNECT, self._on_disconnect)
+        node.on_icmp(TYPE_LOCATION_UPDATE, self._on_location_update)
+        self.advertiser: Optional[EngineAdvertiser] = None
+        if advertise:
+            self.advertiser = EngineAdvertiser(
+                node, local_iface_name, is_home_agent=False, is_foreign_agent=True
+            )
+            node.start_hooks.append(self.advertiser.start)
+        node.reboot_hooks.append(self._on_node_reboot)
+
+    @property
+    def address(self) -> IPAddress:
+        return self.node.interfaces[self.local_iface_name].ip_address
+
+    def is_serving(self, mobile_host: IPAddress) -> bool:
+        return mobile_host in self.visitors
+
+    # -- registration (Section 3) --------------------------------------
+    def _on_connect(self, packet: IPPacket, message: RegistrationMessage) -> None:
+        mobile_host = message.mobile_host
+        if self._ignore_stale(message):
+            return
+        self.recent_departures.pop(mobile_host, None)
+        self.visitors[mobile_host] = EngineVisitorRecord(
+            mobile_host=mobile_host, registered_at=self.node.now
+        )
+        for listener in list(self.visitor_listeners):
+            listener(mobile_host, True)
+        self.node.trace(
+            "mhrp.register", event="fa-connect", mobile_host=str(mobile_host)
+        )
+        self._dispatcher.send_ack(mobile_host, message, agent=self.address)
+
+    def _on_disconnect(self, packet: IPPacket, message: RegistrationMessage) -> None:
+        mobile_host = message.mobile_host
+        if self._ignore_stale(message):
+            return
+        if self.visitors.pop(mobile_host, None) is not None:
+            for listener in list(self.visitor_listeners):
+                listener(mobile_host, False)
+        self.recent_departures[mobile_host] = self.node.now
+        new_foreign_agent = message.agent
+        pointer = forwarding_pointer_target(
+            self.keep_forwarding_pointers, self.cache_agent is not None,
+            new_foreign_agent, self.address,
+        )
+        if pointer is not None:
+            self.cache_agent.learn(mobile_host, pointer)
+        self.node.trace(
+            "mhrp.register", event="fa-disconnect",
+            mobile_host=str(mobile_host),
+            new_foreign_agent=str(new_foreign_agent),
+        )
+        self._dispatcher.send_ack(mobile_host, message, agent=self.address)
+
+    def _ignore_stale(self, message: RegistrationMessage) -> bool:
+        if not self.stale_filter.is_stale(message):
+            return False
+        self.node.trace(
+            "mhrp.register", event="stale-ignored", kind=message.kind,
+            mobile_host=str(message.mobile_host), seq=message.seq,
+        )
+        self._dispatcher.send_ack(message.mobile_host, message, ok=False)
+        return True
+
+    # -- tunneled packets addressed to this agent ------------------------
+    def _on_mhrp_packet(self, packet: IPPacket, iface_name) -> None:
+        payload = packet.payload
+        if not isinstance(payload, MHRPPayload):
+            self.node.drop(packet, "malformed-mhrp")
+            return
+        header = payload.header
+        if header.mobile_host in self.visitors:
+            self._deliver_to_visitor(packet, header.previous_sources)
+            return
+        self._retunnel_elsewhere(packet)
+
+    def _deliver_to_visitor(self, packet: IPPacket, previous_sources) -> None:
+        mobile_host = packet.payload.header.mobile_host
+        for address in list(previous_sources):
+            engine_send_location_update(
+                self.node, address, mobile_host, self.address, self.limiter
+            )
+        self.node.health(
+            "tunnel_delivery", mobile_host=str(mobile_host),
+            n_previous_sources=len(previous_sources),
+        )
+        decapsulate(packet)
+        self.delivered_to_visitors += 1
+        self.node.trace(
+            "mhrp.tunnel", event="fa-deliver",
+            mobile_host=str(mobile_host), uid=packet.uid,
+        )
+        self.node.transmit_on_link(self.local_iface_name, mobile_host, packet)
+
+    def _retunnel_elsewhere(self, packet: IPPacket) -> None:
+        header = packet.payload.header
+        mobile_host = header.mobile_host
+        cached: Optional[IPAddress] = None
+        if self.cache_agent is not None:
+            cached = self.cache_agent.cache.get(mobile_host)
+        target, going_home = retunnel_target(cached, self.address, mobile_host)
+        result = retunnel(
+            packet, new_destination=target, my_address=self.address,
+            max_previous_sources=self.max_previous_sources,
+        )
+        if result.loop_detected:
+            self._dissolve_loop(packet)
+            return
+        for address in result.flushed:
+            engine_send_location_update(
+                self.node, address, mobile_host, target, self.limiter
+            )
+        if going_home:
+            self.retunneled_home += 1
+        else:
+            self.retunneled_forward += 1
+        self.node.counters["tunneled"] += 1
+        self.node.trace(
+            "mhrp.tunnel", event="fa-retunnel", mobile_host=str(mobile_host),
+            target=str(target), going_home=going_home, uid=packet.uid,
+        )
+        self.node.forward_injected(packet)
+
+    def _dissolve_loop(self, packet: IPPacket) -> None:
+        header = packet.payload.header
+        mobile_host = header.mobile_host
+        self.loops_detected += 1
+        members = stale_chain(header.previous_sources, packet.src)
+        self.node.trace(
+            "mhrp.loop", event="dissolve", mobile_host=str(mobile_host),
+            members=[str(a) for a in members], uid=packet.uid,
+        )
+        for address in members:
+            engine_send_location_update(
+                self.node, address, mobile_host, IPAddress.zero(),
+                limiter=None, purge=True,
+            )
+        if self.cache_agent is not None:
+            self.cache_agent.cache.delete(mobile_host)
+        del header.previous_sources[1:]
+        packet.src = self.address
+        packet.dst = mobile_host
+        self.node.forward_injected(packet)
+
+    # -- local delivery shortcuts ---------------------------------------
+    def outbound_hook(self, packet: IPPacket):
+        return self._maybe_deliver_plain(packet)
+
+    def transit_hook(self, packet: IPPacket, iface_name):
+        return self._maybe_deliver_plain(packet)
+
+    def _maybe_deliver_plain(self, packet: IPPacket):
+        if packet.protocol == PROTO_MHRP:
+            return None
+        if packet.dst not in self.visitors:
+            return None
+        self.node.counters["diverted"] += 1
+        self.node.trace(
+            "mhrp.tunnel", event="fa-local-delivery",
+            mobile_host=str(packet.dst), uid=packet.uid,
+        )
+        self.node.transmit_on_link(self.local_iface_name, packet.dst, packet)
+        return CONSUMED
+
+    # -- state recovery (Section 5.2) -----------------------------------
+    def _on_location_update(self, packet: IPPacket, message) -> None:
+        if not isinstance(message, LocationUpdate):
+            return
+        mobile_host = message.mobile_host
+        if not should_recover_visitor(
+            message.clears_entry, message.foreign_agent, self.address,
+            mobile_host in self.visitors,
+            self.recent_departures.get(mobile_host),
+            self.node.now, DEPARTURE_GRACE,
+        ):
+            return
+        self.recoveries += 1
+        self.visitors[mobile_host] = EngineVisitorRecord(
+            mobile_host=mobile_host, registered_at=self.node.now
+        )
+        for listener in list(self.visitor_listeners):
+            listener(mobile_host, True)
+        self.node.trace(
+            "mhrp.register", event="fa-recover-visitor",
+            mobile_host=str(mobile_host),
+        )
+
+    # -- reboot ----------------------------------------------------------
+    def _on_node_reboot(self) -> None:
+        for mobile_host in list(self.visitors):
+            for listener in list(self.visitor_listeners):
+                listener(mobile_host, False)
+        self.visitors.clear()
+        self.recent_departures.clear()
+        self.stale_filter.reset()
+        if self.advertiser is not None:
+            self.advertiser.restart_with_new_boot_id()
+
+    # -- snapshot contract ------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "visitors": {
+                str(mh): {"registered_at": rec.registered_at}
+                for mh, rec in sorted(
+                    self.visitors.items(), key=lambda kv: kv[0].value
+                )
+            },
+            "recent_departures": {
+                str(mh): t
+                for mh, t in sorted(
+                    self.recent_departures.items(), key=lambda kv: kv[0].value
+                )
+            },
+            "stale_filter": self.stale_filter.state_dict(),
+            "limiter": self.limiter.state_dict(),
+            "delivered_to_visitors": self.delivered_to_visitors,
+            "retunneled_forward": self.retunneled_forward,
+            "retunneled_home": self.retunneled_home,
+            "loops_detected": self.loops_detected,
+            "recoveries": self.recoveries,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.visitors = {
+            IPAddress(mh): EngineVisitorRecord(
+                mobile_host=IPAddress(mh),
+                registered_at=rec["registered_at"],
+            )
+            for mh, rec in state["visitors"].items()
+        }
+        self.recent_departures = {
+            IPAddress(mh): t for mh, t in state["recent_departures"].items()
+        }
+        self.stale_filter.load_state(state["stale_filter"])
+        self.limiter.load_state(state["limiter"])
+        self.delivered_to_visitors = int(state["delivered_to_visitors"])
+        self.retunneled_forward = int(state["retunneled_forward"])
+        self.retunneled_home = int(state["retunneled_home"])
+        self.loops_detected = int(state["loops_detected"])
+        self.recoveries = int(state["recoveries"])
+
+
+class MobileHostEngine(NodeEngine):
+    """A mobile host as a sans-io engine (mirrors
+    :class:`repro.core.mobile_host.MobileHost`).
+
+    Movement is a driver concern (re-pointing the interface at a new
+    medium); the engine sees it as the ``attach`` / ``attach_home`` /
+    ``disconnect`` commands and reacts exactly like the simulated host:
+    solicit, hear an advertisement, run the Section 3 notification
+    sequence through its reliable registrar.
+    """
+
+    WIFI = "wifi0"
+
+    def __init__(
+        self,
+        name: str,
+        home_address: IPAddress | str,
+        home_network: IPNetwork | str,
+        home_agent: IPAddress | str,
+        home_gateway: IPAddress | str | None = None,
+        use_sender_cache: bool = True,
+        seq_allocator: Optional[Callable[[], int]] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(name, forwarding=False, **kwargs)
+        self.home_address = IPAddress(home_address)
+        self.home_network = (
+            home_network if isinstance(home_network, IPNetwork)
+            else IPNetwork(home_network)
+        )
+        self.home_agent = IPAddress(home_agent)
+        self.home_gateway = IPAddress(
+            home_gateway if home_gateway is not None else home_agent
+        )
+        self.iface = self.add_interface(self.WIFI, self.home_address, self.home_network)
+        self.state = DISCONNECTED
+        self.current_foreign_agent: Optional[IPAddress] = None
+        self.temp_address: Optional[IPAddress] = None
+        self._fa_boot_ids: Dict[IPAddress, int] = {}
+        self._registering_with: Optional[IPAddress] = None
+        self._next_seq = seq_allocator or itertools.count(1).__next__
+        self.limiter = UpdateRateLimiter()
+        self.registrar = EngineRegistrar(self)
+        self.cache_agent: Optional[CacheAgentEngine] = (
+            CacheAgentEngine(self) if use_sender_cache else None
+        )
+        self.register_protocol(PROTO_MHRP, self._on_mhrp_packet)
+        self.on_icmp(TYPE_ROUTER_ADVERTISEMENT, self._on_advertisement)
+        self._last_fa_heard = 0.0
+        self._fa_lifetime = 0.0
+        self._watchdog_key = "mh-watchdog"
+        self.on_command("attach", self._cmd_attach)
+        self.on_command("attach_home", partial(self._cmd_attach, home=True))
+        self.on_command("disconnect", self._cmd_disconnect)
+        self.on_command("solicit", self._cmd_solicit)
+        self.moves = 0
+        self.registrations = 0
+        self.silence_disconnects = 0
+        self.roles["mobile_host"] = _MobileHostRoleState(self)
+
+    @property
+    def at_home(self) -> bool:
+        return self.state == AT_HOME
+
+    # -- movement commands (the driver moved the medium already) ---------
+    def _cmd_attach(self, home: bool = False, solicit: bool = True) -> None:
+        self.moves += 1
+        self.health("mh_moved")
+        if solicit:
+            self._solicit()
+
+    def _cmd_solicit(self) -> None:
+        self._solicit()
+
+    def _solicit(self) -> None:
+        self.send_broadcast(self.WIFI, PROTO_ICMP, RouterSolicitation())
+
+    def _cmd_disconnect(self) -> None:
+        old_fa = self.current_foreign_agent
+        if self.state != AT_HOME:
+            self._register_with_home_agent(DISCONNECTED_ADDRESS)
+        if old_fa is not None:
+            self._notify_old_foreign_agent(old_fa, new_agent=IPAddress.zero())
+        self.current_foreign_agent = None
+        self.temp_address = None
+        self.state = DISCONNECTED
+        self.cancel_timer(self._watchdog_key)
+
+    # -- routing while away vs at home -----------------------------------
+    def _set_away_routing(self, gateway: IPAddress) -> None:
+        self.routing_table.remove(self.home_network)
+        self.set_gateway(gateway, self.WIFI)
+
+    def _set_home_routing(self) -> None:
+        self.routing_table.add_connected(self.home_network, self.WIFI)
+        self.set_gateway(self.home_gateway, self.WIFI)
+
+    # -- agent discovery reactions (Section 3) ---------------------------
+    def _on_advertisement(self, packet: IPPacket, message) -> None:
+        if not isinstance(message, RouterAdvertisement):
+            return
+        info = AgentAdvertisementInfo(
+            agent=message.router_address,
+            is_home_agent=message.is_home_agent,
+            is_foreign_agent=message.is_foreign_agent,
+            boot_id=message.boot_id or message.code,
+            heard_at=self.now,
+            lifetime=message.lifetime,
+        )
+        self._on_agent_heard(info)
+
+    def _on_agent_heard(self, info: AgentAdvertisementInfo) -> None:
+        if info.agent == self.home_agent:
+            self._heard_home_agent(info)
+            return
+        if info.is_foreign_agent:
+            self._heard_foreign_agent(info)
+
+    def _heard_home_agent(self, info: AgentAdvertisementInfo) -> None:
+        if self.state == AT_HOME:
+            return
+        old_fa = self.current_foreign_agent
+        self.state = AT_HOME
+        self.cancel_timer(self._watchdog_key)
+        self.current_foreign_agent = None
+        self.temp_address = None
+        self.iface.alias_addresses = set()
+        self._set_home_routing()
+        self._register_with_home_agent(IPAddress.zero())
+        if old_fa is not None:
+            self._notify_old_foreign_agent(old_fa, new_agent=IPAddress.zero())
+
+    def _heard_foreign_agent(self, info: AgentAdvertisementInfo) -> None:
+        agent = info.agent
+        previous_boot = self._fa_boot_ids.get(agent)
+        self._fa_boot_ids[agent] = info.boot_id
+        if agent == self.current_foreign_agent and self.state == AWAY:
+            self._last_fa_heard = self.now
+            self._fa_lifetime = info.lifetime
+            if previous_boot is not None and previous_boot != info.boot_id:
+                self._connect_to_foreign_agent(agent, rebind_only=True)
+            return
+        if agent == self._registering_with:
+            return
+        self._connect_to_foreign_agent(agent)
+
+    # -- registration sequence (Section 3 ordering) ----------------------
+    def _connect_to_foreign_agent(self, agent: IPAddress, rebind_only: bool = False) -> None:
+        old_fa = self.current_foreign_agent if not rebind_only else None
+        was_home = self.state == AT_HOME
+        self._registering_with = agent
+        self._set_away_routing(agent)
+        message = RegistrationMessage(
+            kind=FA_CONNECT, seq=self._next_seq(),
+            mobile_host=self.home_address, agent=agent,
+        )
+        registration_started = self.now
+        self.registrar.send(
+            agent, message,
+            on_ack=partial(
+                self._fa_connect_acked, agent, old_fa, was_home, registration_started
+            ),
+            on_fail=self._fa_connect_failed,
+        )
+
+    def _fa_connect_acked(
+        self, agent: IPAddress, old_fa: Optional[IPAddress], was_home: bool,
+        registration_started: float, ack: RegistrationMessage,
+    ) -> None:
+        self._registering_with = None
+        if not ack.ok:
+            return
+        self.state = AWAY
+        self.current_foreign_agent = agent
+        self.temp_address = None
+        self.iface.alias_addresses = set()
+        self.registrations += 1
+        self.health(
+            "registration_complete", agent=str(agent),
+            latency=self.now - registration_started,
+        )
+        self._last_fa_heard = self.now
+        if self._fa_lifetime <= 0:
+            self._fa_lifetime = DEFAULT_ADVERT_LIFETIME
+        self.set_timer(self._watchdog_key, self._fa_lifetime, self._check_agent_silence)
+        self._register_with_home_agent(agent)
+        if old_fa is not None and old_fa != agent and not was_home:
+            self._notify_old_foreign_agent(old_fa, new_agent=agent)
+
+    def _fa_connect_failed(self) -> None:
+        self._registering_with = None
+
+    def _register_with_home_agent(self, foreign_agent: IPAddress) -> None:
+        message = RegistrationMessage(
+            kind=HA_REGISTER, seq=self._next_seq(),
+            mobile_host=self.home_address, agent=foreign_agent,
+        )
+        self.registrar.send(self.home_agent, message)
+
+    def _notify_old_foreign_agent(self, old_fa: IPAddress, new_agent: IPAddress) -> None:
+        message = RegistrationMessage(
+            kind=FA_DISCONNECT, seq=self._next_seq(),
+            mobile_host=self.home_address, agent=new_agent,
+        )
+        self.registrar.send(old_fa, message)
+
+    # -- foreign agent silence watchdog ----------------------------------
+    def _check_agent_silence(self) -> None:
+        if self.state != AWAY or self._fa_lifetime <= 0:
+            return
+        silent_for = self.now - self._last_fa_heard
+        if silent_for >= 2 * self._fa_lifetime:
+            self.trace(
+                "mhrp.register", event="mh-silence-disconnect",
+                agent=str(self.current_foreign_agent),
+            )
+            self.silence_disconnects += 1
+            self.current_foreign_agent = None
+            self.state = DISCONNECTED
+            return
+        if silent_for >= self._fa_lifetime:
+            self._solicit()
+        self.set_timer(
+            self._watchdog_key, self._fa_lifetime / 2, self._check_agent_silence
+        )
+
+    # -- MHRP packets addressed to this host -----------------------------
+    def _on_mhrp_packet(self, packet: IPPacket, iface_name) -> None:
+        payload = packet.payload
+        if not isinstance(payload, MHRPPayload):
+            return
+        header = payload.header
+        if header.mobile_host != self.home_address:
+            return
+        location = mh_reported_location(
+            self.state, self.temp_address, self.current_foreign_agent
+        )
+        stale = stale_chain(header.previous_sources, packet.src)
+        for address in stale:
+            engine_send_location_update(
+                self, address, self.home_address, location, self.limiter
+            )
+        self.health(
+            "tunnel_delivery", mobile_host=str(header.mobile_host),
+            n_previous_sources=len(header.previous_sources),
+        )
+        decapsulate(packet)
+        self.trace("mhrp.tunnel", event="mh-self-deliver", uid=packet.uid)
+        self._deliver_local(packet, iface_name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MobileHostEngine {self.name} {self.home_address} ({self.state})>"
+
+
+class _MobileHostRoleState:
+    """Snapshot adapter exposing the mobile host's protocol variables
+    through the role state_dict contract."""
+
+    def __init__(self, host: MobileHostEngine) -> None:
+        self.host = host
+
+    def state_dict(self) -> dict:
+        h = self.host
+        return {
+            "state": h.state,
+            "current_foreign_agent": (
+                str(h.current_foreign_agent)
+                if h.current_foreign_agent is not None else None
+            ),
+            "temp_address": str(h.temp_address) if h.temp_address is not None else None,
+            "fa_boot_ids": {str(a): b for a, b in h._fa_boot_ids.items()},
+            "limiter": h.limiter.state_dict(),
+            "last_fa_heard": h._last_fa_heard,
+            "fa_lifetime": h._fa_lifetime,
+            "moves": h.moves,
+            "registrations": h.registrations,
+            "silence_disconnects": h.silence_disconnects,
+        }
+
+    def load_state(self, state: dict) -> None:
+        h = self.host
+        h.state = state["state"]
+        h.current_foreign_agent = (
+            IPAddress(state["current_foreign_agent"])
+            if state["current_foreign_agent"] else None
+        )
+        h.temp_address = (
+            IPAddress(state["temp_address"]) if state["temp_address"] else None
+        )
+        h._fa_boot_ids = {
+            IPAddress(a): int(b) for a, b in state["fa_boot_ids"].items()
+        }
+        h.limiter.load_state(state["limiter"])
+        h._last_fa_heard = float(state["last_fa_heard"])
+        h._fa_lifetime = float(state["fa_lifetime"])
+        h.moves = int(state["moves"])
+        h.registrations = int(state["registrations"])
+        h.silence_disconnects = int(state["silence_disconnects"])
+
+
+class CorrespondentEngine(NodeEngine):
+    """A stationary MHRP-capable correspondent: a host plus a sender-side
+    cache agent and a ``ping`` command (mirrors
+    :class:`repro.core.mobile_host.StationaryCorrespondent`)."""
+
+    def __init__(self, name: str, use_cache: bool = True, **kwargs) -> None:
+        super().__init__(name, forwarding=False, **kwargs)
+        self.cache_agent: Optional[CacheAgentEngine] = (
+            CacheAgentEngine(self) if use_cache else None
+        )
+        self._echo_seq = 0
+        self.echo_replies = 0
+        self.on_command("ping", self._cmd_ping)
+        self.on_icmp(TYPE_ECHO_REPLY, self._on_echo_reply)
+
+    def _cmd_ping(self, dst: IPAddress | str, data: bytes = b"") -> None:
+        self._echo_seq += 1
+        # Deterministic identifier (the simulated Host uses id(self),
+        # which never appears in traces or conformance projections).
+        identifier = sum(ord(c) for c in self.name) & 0xFFFF
+        request = EchoMessage.request(
+            identifier=identifier, sequence=self._echo_seq, data=data
+        )
+        self.send_icmp(IPAddress(dst), request)
+
+    def _on_echo_reply(self, packet: IPPacket, message) -> None:
+        self.echo_replies += 1
+        self.trace(
+            "icmp.echo", event="reply-received",
+            src=str(packet.src), sequence=getattr(message, "sequence", None),
+        )
+
+
+class EngineTunnelErrorHandler:
+    """Section 4.5 over real bytes (mirrors
+    :class:`repro.core.icmp_handling.TunnelErrorHandler`).
+
+    Unlike the simulator, where the quoted packet is always a full Python
+    object and truncation is *modeled*, the live wire genuinely truncates:
+    a partial quote decodes as :class:`~repro.wire.codec.OpaqueICMP`, so
+    the "too little quoted" branch here reads the mobile-host address
+    straight out of the quoted MHRP header bytes — which is exactly all
+    the paper says can be salvaged ("little can be done ... beyond
+    deleting its cache entry").
+    """
+
+    def __init__(
+        self, node: NodeEngine, cache_agent: Optional[CacheAgentEngine] = None,
+        delete_cache_on_unreachable: bool = True,
+    ) -> None:
+        self.node = node
+        self.cache_agent = cache_agent
+        self.delete_cache_on_unreachable = delete_cache_on_unreachable
+        self.errors_reversed = 0
+        self.errors_unparseable = 0
+        node.on_icmp_error(self._on_error)
+
+    def _on_error(self, packet: IPPacket, error) -> None:
+        if isinstance(error, OpaqueICMP):
+            self._on_opaque_error(error)
+            return
+        if not isinstance(error, ICMPError):
+            return
+        quoted = error.quoted
+        if quoted is None or quoted.protocol != PROTO_MHRP:
+            return
+        payload = quoted.payload
+        if not isinstance(payload, MHRPPayload):
+            return
+        header = payload.header
+        mobile_host = header.mobile_host
+        self._maybe_delete_cache(error.icmp_type, mobile_host)
+        if not error.quote_covers_mhrp(header.byte_length):
+            self.errors_unparseable += 1
+            self.node.trace(
+                "mhrp.tunnel", event="error-unparseable",
+                mobile_host=str(mobile_host),
+            )
+            return
+        if not header.previous_sources:
+            _reverse_encapsulation(quoted, original_sender=quoted.src)
+            self.errors_reversed += 1
+            return
+        popped = header.previous_sources.pop()
+        if not header.previous_sources:
+            _reverse_encapsulation(quoted, original_sender=popped)
+        else:
+            quoted.src = popped
+            quoted.dst = (
+                packet.dst if self.node.has_address(packet.dst)
+                else self.node.primary_address
+            )
+        self.errors_reversed += 1
+        self.node.trace(
+            "mhrp.tunnel", event="error-reversed",
+            to=str(popped), mobile_host=str(mobile_host),
+        )
+        resend = ICMPError(
+            icmp_type=error.icmp_type, code=error.code, quoted=quoted,
+            quote_full=error.quote_full, max_quote=error.max_quote,
+        )
+        self.node.send_icmp(popped, resend)
+
+    def _on_opaque_error(self, error: OpaqueICMP) -> None:
+        """A truncated quote: recover the mobile host from the MHRP fixed
+        header bytes if the quote reaches that far (IP header 20 + fixed
+        MHRP header 8)."""
+        if not error.is_error:
+            return
+        body = error.body
+        if len(body) < 28 or (body[0] >> 4) != 4 or body[9] != PROTO_MHRP:
+            return
+        mobile_host = IPAddress.from_bytes(body[24:28])
+        self._maybe_delete_cache(error.icmp_type, mobile_host)
+        self.errors_unparseable += 1
+        self.node.trace(
+            "mhrp.tunnel", event="error-unparseable",
+            mobile_host=str(mobile_host),
+        )
+
+    def _maybe_delete_cache(self, icmp_type: int, mobile_host: IPAddress) -> None:
+        from repro.ip.icmp import TYPE_DEST_UNREACHABLE
+
+        if (
+            self.delete_cache_on_unreachable
+            and icmp_type == TYPE_DEST_UNREACHABLE
+            and self.cache_agent is not None
+        ):
+            self.cache_agent.cache.delete(mobile_host)
+
+
+def _reverse_encapsulation(quoted: IPPacket, original_sender: IPAddress) -> None:
+    payload = quoted.payload
+    assert isinstance(payload, MHRPPayload)
+    header = payload.header
+    quoted.src = original_sender
+    quoted.dst = header.mobile_host
+    quoted.protocol = header.orig_protocol
+    quoted.payload = payload.inner
+
+
+# ----------------------------------------------------------------------
+# The engine world
+# ----------------------------------------------------------------------
+
+class EngineWorld:
+    """A set of node engines plus everything a driver needs to connect
+    them: media membership, an address directory, and the shared
+    allocators that keep identifiers unique across the world."""
+
+    def __init__(self, seed: int = 42) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.nodes: Dict[str, NodeEngine] = {}
+        #: medium name -> list of (node name, iface name) attachments.
+        self.media: Dict[str, List[Tuple[str, str]]] = {}
+        self._ident = _wrapping_counter()
+        self._seq = itertools.count(1)
+
+    # -- allocators shared by every node ---------------------------------
+    def ident_allocator(self) -> Callable[[], int]:
+        return self._ident
+
+    def seq_allocator(self) -> Callable[[], int]:
+        return self._seq.__next__
+
+    def node_rng(self, name: str) -> random.Random:
+        """A per-node rng derived deterministically from the world seed
+        (string seeding is stable across processes, unlike ``hash``)."""
+        return random.Random(f"{self.seed}:{name}")
+
+    # -- construction ----------------------------------------------------
+    def add_node(self, node: NodeEngine) -> NodeEngine:
+        if node.name in self.nodes:
+            raise RegistrationError(f"duplicate node {node.name!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def attach(self, medium: str, node_name: str, iface_name: str) -> None:
+        """Join ``node_name``'s interface to ``medium`` (idempotent)."""
+        members = self.media.setdefault(medium, [])
+        entry = (node_name, iface_name)
+        if entry not in members:
+            members.append(entry)
+
+    def detach(self, node_name: str, iface_name: str) -> None:
+        """Remove the interface from whatever medium it is on."""
+        for members in self.media.values():
+            if (node_name, iface_name) in members:
+                members.remove((node_name, iface_name))
+
+    def medium_of(self, node_name: str, iface_name: str) -> Optional[str]:
+        for medium, members in self.media.items():
+            if (node_name, iface_name) in members:
+                return medium
+        return None
+
+    def resolve(
+        self, medium: str, address: IPAddress
+    ) -> Optional[Tuple[str, str]]:
+        """The (node, iface) on ``medium`` that owns ``address``."""
+        for node_name, iface_name in self.media.get(medium, []):
+            node = self.nodes[node_name]
+            iface = node.interfaces.get(iface_name)
+            if iface is None:
+                continue
+            if iface.ip_address == address or address in iface.alias_addresses:
+                return node_name, iface_name
+        return None
+
+    def state_dict(self) -> dict:
+        """JSON-able world state: every node plus medium membership."""
+        return {
+            "seed": self.seed,
+            "media": {m: list(map(list, v)) for m, v in self.media.items()},
+            "nodes": {name: node.state_dict() for name, node in self.nodes.items()},
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.media = {
+            m: [tuple(e) for e in v] for m, v in state["media"].items()
+        }
+        for name, node_state in state["nodes"].items():
+            self.nodes[name].load_state(node_state)

@@ -1,0 +1,227 @@
+"""Pure MHRP decision logic, shared by both backends.
+
+Every function here is a *decision*, not an action: inputs are plain
+values (addresses, lists, clock readings), outputs say what the protocol
+requires, and nothing touches a node, a socket, or a simulator.  The
+simulator-bound agents in :mod:`repro.core` call these to decide and then
+act through the node layer; the sans-io engines in
+:mod:`repro.wire.engine` call the same functions and act by emitting
+datagrams.  A behaviour fix lands in one place and both backends pick it
+up — which is the whole point of the refactor (ROADMAP: "refactor the
+agents into sans-io state machines").
+
+Paper-section references live here with the decisions they implement so
+the agents' own docstrings can stay about mechanics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.ip.address import IPAddress
+
+#: Registered as a mobile host's "foreign agent" during a *planned*
+#: disconnection (Section 3): the host is away but reachable nowhere, so
+#: the home agent keeps intercepting and answers with host-unreachable
+#: instead of tunneling.  The limited-broadcast address can never be a
+#: real agent, making it a safe in-band sentinel.
+DISCONNECTED_ADDRESS = IPAddress("255.255.255.255")
+
+# Mobile-host connection states (Sections 2, 3, 6).
+AT_HOME = "AT_HOME"
+AWAY = "AWAY"
+AWAY_SELF_AGENT = "AWAY_SELF_AGENT"
+DISCONNECTED = "DISCONNECTED"
+
+
+def stale_chain(
+    previous_sources: Sequence[IPAddress], packet_src: IPAddress
+) -> List[IPAddress]:
+    """Everyone whose cache this tunneled packet proves out of date.
+
+    Section 5.1: the previous-source list names every tunnel head the
+    packet consulted *except* the most recent one, which sits in the IP
+    source field — include it so one pass updates (or, for loop
+    dissolution, purges) the whole chain.
+    """
+    return list(previous_sources) + [packet_src]
+
+
+# ----------------------------------------------------------------------
+# Home agent (Sections 5.1, 5.2)
+# ----------------------------------------------------------------------
+
+#: A tunneled packet reached the home network but the host is home (or
+#: unknown): let normal forwarding deliver it (Section 6.3).
+HOME_PASS = "pass-through"
+#: The host disconnected on purpose: purge the chain, drop, unreachable.
+HOME_DROP_DISCONNECTED = "drop-disconnected"
+#: Section 5.2: the "stale" agent IS the current one — it rebooted.
+HOME_RECOVER = "fa-recovery"
+#: Section 5.1: update the chain and re-tunnel to the current agent.
+HOME_RETUNNEL = "retunnel"
+
+
+@dataclass(frozen=True)
+class HomeArrivalDecision:
+    """What a home agent must do with a packet tunneled back home."""
+
+    action: str
+    #: Addresses owed a location update (or purge), in protocol order.
+    stale: tuple = ()
+    #: The location those updates report (None for :data:`HOME_PASS`).
+    report: Optional[IPAddress] = None
+
+
+def decide_home_tunneled_arrival(
+    current_fa: Optional[IPAddress],
+    previous_sources: Sequence[IPAddress],
+    packet_src: IPAddress,
+) -> HomeArrivalDecision:
+    """Classify an MHRP packet that arrived back at the home network.
+
+    ``current_fa`` is the location database's answer for the packet's
+    mobile host (None/zero when the host is at home or unknown).
+    """
+    if current_fa is None or current_fa.is_zero:
+        return HomeArrivalDecision(action=HOME_PASS)
+    stale = tuple(stale_chain(previous_sources, packet_src))
+    if current_fa == DISCONNECTED_ADDRESS:
+        return HomeArrivalDecision(
+            action=HOME_DROP_DISCONNECTED, stale=stale, report=IPAddress.zero()
+        )
+    if current_fa in stale:
+        return HomeArrivalDecision(
+            action=HOME_RECOVER, stale=stale, report=current_fa
+        )
+    return HomeArrivalDecision(action=HOME_RETUNNEL, stale=stale, report=current_fa)
+
+
+# ----------------------------------------------------------------------
+# Foreign agent (Sections 2, 4.4, 5.2)
+# ----------------------------------------------------------------------
+
+#: How long an explicit disconnect outranks location updates (seconds).
+DEPARTURE_GRACE = 30.0
+
+
+def forwarding_pointer_target(
+    keep_forwarding_pointers: bool,
+    has_cache: bool,
+    new_foreign_agent: IPAddress,
+    my_address: IPAddress,
+) -> Optional[IPAddress]:
+    """Where a departing visitor's forwarding pointer should point.
+
+    Section 2: the disconnect notification carries the new foreign agent
+    so the old one "may" cache a forwarding pointer.  None when no entry
+    should be created: pointers disabled, no cache to hold one, the host
+    went home (zero), or the "new" agent is this very node.
+    """
+    if not keep_forwarding_pointers or not has_cache:
+        return None
+    if new_foreign_agent.is_zero or new_foreign_agent == my_address:
+        return None
+    return new_foreign_agent
+
+
+def retunnel_target(
+    cached: Optional[IPAddress],
+    my_address: IPAddress,
+    mobile_host: IPAddress,
+) -> tuple:
+    """``(target, going_home)`` for a packet whose visitor left.
+
+    Section 4.4: forward to the newer foreign agent when a forwarding
+    pointer survives (and does not point back at ourselves), otherwise
+    tunnel to the mobile host's *home address* so the home agent
+    intercepts and fixes it up.
+    """
+    if cached is not None and cached != my_address:
+        return cached, False
+    return mobile_host, True
+
+
+def should_recover_visitor(
+    clears_entry: bool,
+    update_foreign_agent: IPAddress,
+    my_address: IPAddress,
+    is_visitor: bool,
+    departed_at: Optional[float],
+    now: float,
+    departure_grace: float,
+) -> bool:
+    """Whether a location update should re-add a forgotten visitor.
+
+    Section 5.2: the home agent's update names this agent as the host's
+    location, but the (rebooted) agent has no such visitor.  Re-adding is
+    wrong when the update is a purge/clear, names someone else, the
+    visitor is in fact present, or the host *explicitly disconnected*
+    more recently than the update's information (the departure-grace
+    window) — resurrecting it then would black-hole the handoff.
+    """
+    if clears_entry or update_foreign_agent != my_address:
+        return False
+    if is_visitor:
+        return False
+    if departed_at is not None and now - departed_at < departure_grace:
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Cache agents and location updates (Sections 2, 4.3)
+# ----------------------------------------------------------------------
+
+def is_control_traffic(protocol: int, payload: object) -> bool:
+    """Traffic a cache agent must never divert into a tunnel.
+
+    MHRP packets are already tunneled; registration messages and
+    location updates *are* the control plane — tunneling them would let
+    a stale cache entry reroute its own correction (Section 4.3).
+    """
+    from repro.ip.icmp import LocationUpdate
+    from repro.ip.protocols import ICMP, MHRP, MOBILE_CONTROL
+
+    if protocol in (MHRP, MOBILE_CONTROL):
+        return True
+    return protocol == ICMP and isinstance(payload, LocationUpdate)
+
+
+def may_send_update(
+    destination: IPAddress, mobile_host: IPAddress, is_own_address: bool
+) -> bool:
+    """Basic eligibility for a location update (before rate limiting).
+
+    Never to the zero address, never to ourselves, never to the mobile
+    host itself (it knows where it is).
+    """
+    return not (
+        destination.is_zero or is_own_address or destination == mobile_host
+    )
+
+
+# ----------------------------------------------------------------------
+# Mobile host (Sections 2, 6.3)
+# ----------------------------------------------------------------------
+
+def mh_reported_location(
+    state: str,
+    temp_address: Optional[IPAddress],
+    current_foreign_agent: Optional[IPAddress],
+) -> IPAddress:
+    """The location a mobile host reports in its own stale-cache updates.
+
+    A host receiving a tunneled packet directly (re-tunneled to it at
+    home, or serving as its own foreign agent) answers the stale chain
+    itself: zero means "I am home, delete your entry" (Section 6.3); the
+    temporary address or current agent otherwise.
+    """
+    if state in (AT_HOME, DISCONNECTED):
+        return IPAddress.zero()
+    if state == AWAY_SELF_AGENT and temp_address is not None:
+        return temp_address
+    if current_foreign_agent is not None:
+        return current_foreign_agent
+    return IPAddress.zero()

@@ -1,0 +1,114 @@
+"""The live asyncio-UDP backend: unit pieces plus the loopback smoke.
+
+The full-corpus live conformance run is the CI ``live-smoke`` job
+(``python -m repro live <scenario> --conformance``); tier-1 keeps one
+real end-to-end run — the Figure-1 walkthrough over actual loopback
+sockets, diffed against the simulator — plus fast unit tests for the
+clock and the port directory.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.live.backend import DEFAULT_SPEED, LiveRun, VirtualClock, run_live_spec
+from repro.telemetry.health import ProtocolHealth
+from repro.wire.conformance import (
+    backend_run_from_events,
+    check_spec,
+    figure1_walkthrough_spec,
+)
+
+
+class TestVirtualClock:
+    def test_speed_must_be_positive(self):
+        loop = asyncio.new_event_loop()
+        try:
+            with pytest.raises(ValueError):
+                VirtualClock(loop, speed=0)
+            with pytest.raises(ValueError):
+                VirtualClock(loop, speed=-1)
+        finally:
+            loop.close()
+
+    def test_wall_delay_scales_and_clamps(self):
+        loop = asyncio.new_event_loop()
+        try:
+            clock = VirtualClock(loop, speed=20.0)
+            assert clock.wall_delay(2.0) == pytest.approx(0.1)
+            assert clock.wall_delay(-5.0) == 0.0  # never negative
+        finally:
+            loop.close()
+
+    def test_now_advances_with_wall_time(self):
+        loop = asyncio.new_event_loop()
+        try:
+            clock = VirtualClock(loop, speed=100.0)
+
+            async def probe():
+                clock.start()
+                first = clock.now()
+                await asyncio.sleep(0.01)
+                return first, clock.now()
+
+            first, later = loop.run_until_complete(probe())
+            assert first < later
+            assert later >= 1.0  # 0.01 s wall at 100x
+        finally:
+            loop.close()
+
+
+class TestLiveRun:
+    def test_flows_rejected_up_front(self):
+        spec = figure1_walkthrough_spec()
+        spec.flows = [{"t": 1.0, "src": 0, "host": 0}]
+        with pytest.raises(ConfigurationError):
+            LiveRun(spec)
+
+    def test_clock_is_zero_before_start(self):
+        run = LiveRun(figure1_walkthrough_spec())
+        assert run.now == 0.0
+
+
+class TestLoopbackSmoke:
+    """One real run over loopback UDP, shared across the assertions."""
+
+    @pytest.fixture(scope="class")
+    def finished(self):
+        health = ProtocolHealth()
+        run = run_live_spec(
+            figure1_walkthrough_spec(), speed=DEFAULT_SPEED, health=health
+        )
+        return run, health
+
+    def test_every_interface_got_its_own_port(self, finished):
+        run, _ = finished
+        ports = [port for _, port in run._endpoints.values()]
+        assert len(ports) == len(set(ports))
+        assert len(ports) >= 12  # the Figure-1 world's interfaces
+
+    def test_datagrams_actually_crossed_sockets(self, finished):
+        run, _ = finished
+        assert run.datagrams_sent > 0
+        assert run.datagrams_received == run.datagrams_sent
+
+    def test_clock_is_capped_at_the_horizon(self, finished):
+        run, _ = finished
+        assert run.now == run.horizon
+        assert all(t <= run.horizon for t, _ in run.events)
+
+    def test_walkthrough_conforms_to_simulator(self, finished):
+        run, health = finished
+        candidate = backend_run_from_events(
+            "live", (event for _, event in run.events), health=health
+        )
+        report = check_spec(run.spec, candidate=candidate)
+        assert report.ok, report.render()
+
+    def test_health_counts_match_the_walkthrough(self, finished):
+        _, health = finished
+        summary = health.summary()
+        assert summary["moves"] == 3
+        assert summary["registrations"] == 2
+        assert summary["loops_dissolved"] == 0

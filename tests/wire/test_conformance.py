@@ -1,0 +1,126 @@
+"""Cross-backend conformance: simulator vs the sans-io engine driver.
+
+The corpus (Figure-1 walkthrough + three fuzz-derived campus scenarios)
+must produce the same per-node protocol-event sequences and the same
+timing-free health fingerprint on both backends.  The live UDP backend
+runs the same corpus in tests/live/.
+"""
+
+import pytest
+
+from repro.wire.conformance import (
+    BackendRun,
+    PROJECTED_CATEGORIES,
+    ROBUST_HEALTH_KEYS,
+    check_spec,
+    compare_runs,
+    conformance_specs,
+    health_fingerprint,
+    project_events,
+)
+
+
+class _Entry:
+    def __init__(self, category, node, detail):
+        self.category = category
+        self.node = node
+        self.detail = detail
+
+
+class TestProjection:
+    def test_only_protocol_categories_kept(self):
+        entries = [
+            _Entry("mhrp.register", "HA", {"event": "registered", "kind": "ha-register"}),
+            _Entry("packet.sent", "S", {}),
+            _Entry("mhrp.update", "R1", {"event": "sent"}),
+            _Entry("icmp.echo", "S", {"event": "reply-received"}),
+        ]
+        projection = project_events(entries)
+        assert list(projection) == ["HA"]
+
+    def test_retransmits_collapse(self):
+        """Consecutive identical tuples are one protocol step — a
+        retransmitted registration is a timing artifact, not a
+        divergence."""
+        send = {"event": "send", "kind": "ha-register", "to": "10.2.0.254",
+                "mobile_host": "10.2.0.10"}
+        entries = [
+            _Entry("mhrp.register", "M", dict(send, attempt=i))
+            for i in range(3)
+        ]
+        projection = project_events(entries)
+        assert len(projection["M"]) == 1
+
+    def test_attempt_and_timestamps_dropped(self):
+        a = _Entry("mhrp.register", "M", {"event": "send", "kind": "ha-register",
+                                          "attempt": 0, "seq": 7})
+        b = _Entry("mhrp.register", "M", {"event": "send", "kind": "ha-register",
+                                          "attempt": 4, "seq": 12})
+        pa = project_events([a])["M"][0]
+        pb = project_events([b])["M"][0]
+        assert pa == pb
+
+    def test_fingerprint_is_the_robust_subset(self):
+        summary = {key: i for i, key in enumerate(ROBUST_HEALTH_KEYS)}
+        summary["registration_ms_p95"] = 123.0  # timing metric: excluded
+        fingerprint = health_fingerprint(summary)
+        assert set(fingerprint) == set(ROBUST_HEALTH_KEYS)
+
+
+class TestComparison:
+    def run(self, projection, fingerprint, backend="x"):
+        return BackendRun(backend=backend, projection=projection,
+                          fingerprint=fingerprint)
+
+    def test_identical_runs_conform(self):
+        proj = {"M": [("mhrp.register", "send")]}
+        fp = {key: 0 for key in ROBUST_HEALTH_KEYS}
+        report = compare_runs(self.run(proj, fp, "sim"), self.run(proj, fp, "eng"))
+        assert report.ok
+        assert "OK" in report.render()
+
+    def test_sequence_divergence_detected(self):
+        fp = {key: 0 for key in ROBUST_HEALTH_KEYS}
+        a = self.run({"M": [("mhrp.register", "send"), ("mhrp.register", "registered")]}, fp)
+        b = self.run({"M": [("mhrp.register", "send")]}, fp)
+        report = compare_runs(a, b)
+        assert not report.ok
+        assert any("diverge at #1" in m for m in report.mismatches)
+
+    def test_health_divergence_detected(self):
+        proj = {}
+        a = self.run(proj, {key: 0 for key in ROBUST_HEALTH_KEYS})
+        fp = {key: 0 for key in ROBUST_HEALTH_KEYS}
+        fp["loops_dissolved"] = 2
+        report = compare_runs(a, self.run(proj, fp))
+        assert not report.ok
+        assert any("loops_dissolved" in m for m in report.mismatches)
+
+    def test_extra_node_detected(self):
+        fp = {key: 0 for key in ROBUST_HEALTH_KEYS}
+        a = self.run({}, fp)
+        b = self.run({"FR0": [("mhrp.loop", "dissolve")]}, fp)
+        assert not compare_runs(a, b).ok
+
+
+class TestCorpus:
+    """The real thing: every corpus scenario, simulator vs engines."""
+
+    @pytest.mark.parametrize(
+        "spec", conformance_specs(), ids=lambda s: s.name
+    )
+    def test_engine_conforms_to_simulator(self, spec):
+        report = check_spec(spec)
+        assert report.ok, report.render()
+
+    def test_corpus_shape(self):
+        specs = conformance_specs()
+        assert len(specs) >= 4  # walkthrough + >=3 fuzz-derived
+        names = [spec.name for spec in specs]
+        assert names[0] == "figure1-walkthrough"
+        assert all(name.startswith("fuzz-conformance-") for name in names[1:])
+
+    def test_projection_categories_are_protocol_events(self):
+        assert set(PROJECTED_CATEGORIES) == {
+            "mhrp.register", "mhrp.tunnel", "mhrp.loop",
+        }

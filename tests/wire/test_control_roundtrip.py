@@ -1,0 +1,228 @@
+"""Every MHRP control-message type, through the wire and the engines.
+
+Extends the PR 4 trailing-bytes strictness suite (tests/core/
+test_header.py) from the MHRP header to the *whole* control vocabulary:
+each message type is round-tripped through ``encode_packet`` /
+``decode_packet``, and then pushed through a live engine node under
+seeded corruption — bit flips, truncations, trailing bytes — where the
+contract is that an engine turn never raises: undetectable corruption
+is processed as a (different but valid) message, detectable corruption
+becomes a ``packet.dropped`` event with reason ``decode-error``.
+"""
+
+import random
+
+import pytest
+
+from repro.core.encapsulation import MHRPPayload
+from repro.core.header import MHRPHeader
+from repro.core.registration import (
+    ACK,
+    FA_CONNECT,
+    FA_DISCONNECT,
+    HA_REGISTER,
+    RegistrationMessage,
+)
+from repro.errors import PacketError
+from repro.ip.address import IPAddress
+from repro.ip.icmp import (
+    EchoMessage,
+    ICMPError,
+    LocationUpdate,
+    RouterAdvertisement,
+    RouterSolicitation,
+    TYPE_DEST_UNREACHABLE,
+    TYPE_TIME_EXCEEDED,
+)
+from repro.ip.packet import IPPacket, RawPayload
+from repro.ip.protocols import ICMP, MHRP, MOBILE_CONTROL, TCP, UDP
+from repro.wire.codec import decode_packet, encode_packet
+from repro.wire.engine import EngineOutput
+from repro.wire.topo import build_engine_world
+
+
+def _ip(rng):
+    return IPAddress(rng.randrange(1, 2**32))
+
+
+def control_packets(rng):
+    """One representative packet per control-message type (labelled)."""
+    quoted = IPPacket(
+        src=_ip(rng), dst=_ip(rng), protocol=UDP,
+        payload=RawPayload(bytes(rng.randrange(256) for _ in range(12))),
+        identification=rng.randrange(1, 2**16),
+    )
+    packets = []
+    for kind in (FA_CONNECT, FA_DISCONNECT, HA_REGISTER, ACK):
+        packets.append((f"registration-{kind}", IPPacket(
+            src=_ip(rng), dst=_ip(rng), protocol=MOBILE_CONTROL,
+            payload=RegistrationMessage(
+                kind=kind, seq=rng.randrange(2**16),
+                mobile_host=_ip(rng), agent=_ip(rng),
+                hw_value=rng.randrange(2**48), ok=bool(rng.randrange(2)),
+            ),
+        )))
+    packets.append(("location-update", IPPacket(
+        src=_ip(rng), dst=_ip(rng), protocol=ICMP,
+        payload=LocationUpdate(mobile_host=_ip(rng), foreign_agent=_ip(rng)),
+    )))
+    packets.append(("location-update-purge", IPPacket(
+        src=_ip(rng), dst=_ip(rng), protocol=ICMP,
+        payload=LocationUpdate(mobile_host=_ip(rng), purge=True),
+    )))
+    packets.append(("router-advertisement", IPPacket(
+        src=_ip(rng), dst=IPAddress("255.255.255.255"), protocol=ICMP,
+        payload=RouterAdvertisement(
+            router_address=_ip(rng), lifetime=30.0,
+            is_home_agent=True, is_foreign_agent=bool(rng.randrange(2)),
+            boot_id=rng.randrange(2**32),
+        ),
+    )))
+    packets.append(("router-solicitation", IPPacket(
+        src=_ip(rng), dst=IPAddress("255.255.255.255"), protocol=ICMP,
+        payload=RouterSolicitation(),
+    )))
+    packets.append(("echo-request", IPPacket(
+        src=_ip(rng), dst=_ip(rng), protocol=ICMP,
+        payload=EchoMessage.request(
+            identifier=rng.randrange(2**16), sequence=rng.randrange(2**16),
+            data=bytes(rng.randrange(256) for _ in range(8)),
+        ),
+    )))
+    packets.append(("icmp-error-full-quote", IPPacket(
+        src=_ip(rng), dst=_ip(rng), protocol=ICMP,
+        payload=ICMPError(
+            icmp_type=rng.choice([TYPE_DEST_UNREACHABLE, TYPE_TIME_EXCEEDED]),
+            code=1, quoted=quoted, quote_full=True,
+        ),
+    )))
+    packets.append(("mhrp-tunnel", IPPacket(
+        src=_ip(rng), dst=_ip(rng), protocol=MHRP,
+        payload=MHRPPayload(
+            header=MHRPHeader(
+                orig_protocol=TCP, mobile_host=_ip(rng),
+                previous_sources=[_ip(rng) for _ in range(rng.randrange(5))],
+            ),
+            inner=RawPayload(bytes(rng.randrange(256) for _ in range(16))),
+        ),
+    )))
+    return packets
+
+
+class TestCodecRoundTrip:
+    """decode(encode(p)) reproduces the wire image for every type."""
+
+    def test_reencode_is_byte_identical(self):
+        rng = random.Random("control-roundtrip")
+        for _ in range(25):
+            for label, packet in control_packets(rng):
+                wire = encode_packet(packet)
+                again = encode_packet(decode_packet(wire))
+                assert again == wire, label
+
+    def test_protocol_fields_survive(self):
+        rng = random.Random("control-fields")
+        for label, packet in control_packets(rng):
+            parsed = decode_packet(encode_packet(packet))
+            assert parsed.src == packet.src, label
+            assert parsed.dst == packet.dst, label
+            assert parsed.protocol == packet.protocol, label
+            assert parsed.ttl == packet.ttl, label
+            assert type(parsed.payload) is type(packet.payload), label
+
+    def test_every_truncation_rejected(self):
+        rng = random.Random("control-truncation")
+        for label, packet in control_packets(rng):
+            wire = encode_packet(packet)
+            for cut in range(len(wire)):
+                with pytest.raises(PacketError):
+                    decode_packet(wire[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        rng = random.Random("control-trailing")
+        for label, packet in control_packets(rng):
+            wire = encode_packet(packet)
+            for tail in (b"\x00", b"\x00\x00\x00\x00", b"\xff"):
+                with pytest.raises(PacketError):
+                    decode_packet(wire + tail)
+
+
+class TestEngineIngestion:
+    """The same messages pushed through a real engine node."""
+
+    def node(self):
+        # R3 is a plain forwarding router in the Figure-1 world: any
+        # destination gets routed, so every message type exercises the
+        # full ingress path.
+        topo = build_engine_world({"kind": "figure1"})
+        return topo.world.nodes["R3"]
+
+    def test_clean_messages_never_decode_error(self):
+        rng = random.Random("engine-clean")
+        node = self.node()
+        for label, packet in control_packets(rng):
+            out = node.datagram_received(1.0, encode_packet(packet), "lan")
+            assert isinstance(out, EngineOutput)
+            for event in out.events:
+                detail = event.detail
+                assert detail.get("reason") != "decode-error", label
+
+    def test_truncation_drops_with_decode_error(self):
+        rng = random.Random("engine-truncation")
+        node = self.node()
+        for label, packet in control_packets(rng):
+            wire = encode_packet(packet)
+            for cut in (0, 1, len(wire) // 2, len(wire) - 1):
+                before = node.counters["dropped"]
+                out = node.datagram_received(1.0, wire[:cut], "lan")
+                assert node.counters["dropped"] == before + 1, label
+                assert any(
+                    e.category == "packet.dropped"
+                    and e.detail.get("reason") == "decode-error"
+                    for e in out.events
+                ), label
+
+    def test_trailing_bytes_drop_with_decode_error(self):
+        rng = random.Random("engine-trailing")
+        node = self.node()
+        for label, packet in control_packets(rng):
+            wire = encode_packet(packet)
+            out = node.datagram_received(1.0, wire + b"\x00", "lan")
+            assert any(
+                e.detail.get("reason") == "decode-error" for e in out.events
+            ), label
+
+    def test_seeded_bit_flips_never_raise(self):
+        """Single-bit corruption anywhere in the datagram: the turn must
+        complete.  Detectable flips (IP/ICMP/MHRP checksums, strict
+        fixed-size formats) become decode-error drops; undetectable ones
+        (e.g. a registration seq bit) parse as a different valid message
+        and take the normal protocol path."""
+        rng = random.Random("engine-bitflip")
+        node = self.node()
+        decode_errors = 0
+        turns = 0
+        for label, packet in control_packets(rng):
+            wire = encode_packet(packet)
+            for _ in range(40):
+                corrupt = bytearray(wire)
+                bit = rng.randrange(len(wire) * 8)
+                corrupt[bit // 8] ^= 1 << (bit % 8)
+                out = node.datagram_received(1.0, bytes(corrupt), "lan")
+                turns += 1
+                if any(
+                    e.detail.get("reason") == "decode-error"
+                    for e in out.events
+                ):
+                    decode_errors += 1
+        # Header flips alone guarantee a detectable fraction; if nothing
+        # was ever rejected the checksums are not being verified.
+        assert 0 < decode_errors < turns
+
+    def test_random_noise_never_raises(self):
+        rng = random.Random("engine-noise")
+        node = self.node()
+        for _ in range(200):
+            blob = bytes(rng.randrange(256) for _ in range(rng.randrange(64)))
+            out = node.datagram_received(1.0, blob, "lan")
+            assert isinstance(out, EngineOutput)

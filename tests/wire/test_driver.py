@@ -1,0 +1,137 @@
+"""Unit tests for the deterministic engine driver."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ip.address import IPAddress
+from repro.telemetry.health import ProtocolHealth
+from repro.wire.conformance import figure1_walkthrough_spec
+from repro.wire.driver import EngineDriver, run_engine_spec
+from repro.wire.engine import Datagram, EngineOutput
+from repro.wire.topo import build_engine_world
+
+
+def figure1_driver(**kwargs):
+    return EngineDriver(build_engine_world({"kind": "figure1"}), **kwargs)
+
+
+class TestBootAndScheduling:
+    def test_boot_turn_starts_the_advertisers(self):
+        """The simulator starts periodic advertisers at construction; the
+        driver's boot turn must reproduce that (first broadcasts go out
+        immediately, the periodic timers are armed)."""
+        driver = figure1_driver()
+        # The periodic advertiser timers (R2's HA, R4/R5's FAs) are armed
+        # by the boot turn itself.
+        assert sorted(a[1] for _, _, a in driver._heap if a[0] == "timer") == [
+            "R2", "R4", "R5",
+        ]
+        # Once someone is listening on the home cell, adverts arrive.
+        driver.schedule_move(0.0, 0, -1)
+        driver.run(until=5.0)
+        assert driver.datagrams_delivered > 0
+
+    def test_run_lands_exactly_on_until(self):
+        driver = figure1_driver()
+        driver.run(until=3.5)
+        assert driver.now == 3.5
+        driver.run(until=3.5)  # idempotent when nothing is due
+        assert driver.now == 3.5
+
+    def test_clock_never_goes_backwards(self):
+        driver = figure1_driver()
+        driver.run(until=2.0)
+        stamps = [t for t, _ in driver.events]
+        assert stamps == sorted(stamps)
+
+    def test_detached_interface_send_is_unresolved(self):
+        """Bits sent out a detached interface go nowhere (a retransmit
+        racing a disconnect) — counted, never raised."""
+        driver = figure1_driver()
+        mh = driver.topo.mobile_host(0)  # M starts detached
+        out = EngineOutput()
+        out.datagrams.append(Datagram(
+            data=b"\x00", iface=mh.WIFI, next_hop=IPAddress("10.2.0.254"),
+        ))
+        before = driver.datagrams_unresolved
+        driver.process(mh, out)
+        assert driver.datagrams_unresolved == before + 1
+
+    def test_stale_timer_generation_is_discarded(self):
+        """Re-arming a (node, key) timer invalidates queued fires."""
+        driver = figure1_driver()
+        node = next(iter(driver.world.nodes.values()))
+        fired = []
+        from repro.wire.engine import TimerOp
+
+        def arm(delay):
+            out = EngineOutput()
+            node._timers["unit-test"] = lambda: fired.append(driver.now)
+            out.timers.append(TimerOp(key="unit-test", delay=delay))
+            driver.process(node, out)
+
+        arm(1.0)
+        arm(2.0)  # supersedes: the 1.0 s fire must be discarded
+        driver.run(until=5.0)
+        assert fired == [2.0]
+
+    def test_spec_with_flows_is_rejected(self):
+        spec = figure1_walkthrough_spec()
+        spec.flows = [{"t": 1.0, "src": 0, "host": 0}]
+        driver = figure1_driver()
+        with pytest.raises(ConfigurationError):
+            driver.install_spec(spec)
+
+
+class TestWalkthrough:
+    def test_figure1_health_counts(self):
+        health = ProtocolHealth()
+        run_engine_spec(figure1_walkthrough_spec(), health=health)
+        summary = health.summary()
+        assert summary["moves"] == 3          # home, netD, netE
+        assert summary["registrations"] == 2  # one per foreign cell
+        assert summary["loops_dissolved"] == 0
+        assert summary["packets_delivered"] > 0
+
+    def test_figure1_echo_replies_observed(self):
+        driver = run_engine_spec(figure1_walkthrough_spec())
+        replies = [
+            event for _, event in driver.events
+            if event.category == "icmp.echo"
+            and event.detail.get("event") == "reply-received"
+        ]
+        assert len(replies) == 3  # the three scheduled pings round-trip
+
+    def test_two_runs_are_identical(self):
+        """Same spec, two drivers: byte-identical event streams (the
+        (time, sequence) heap tiebreak makes execution deterministic)."""
+        def fingerprint():
+            driver = run_engine_spec(figure1_walkthrough_spec())
+            return [
+                (t, e.category, e.node, sorted(
+                    (k, str(v)) for k, v in e.detail.items()
+                ))
+                for t, e in driver.events
+            ]
+
+        assert fingerprint() == fingerprint()
+
+
+class TestSnapshots:
+    def test_role_state_round_trips(self):
+        """state_dict()/load_state() (the PR 5 snapshot contract) still
+        round-trips on the engine roles mid-scenario."""
+        driver = run_engine_spec(figure1_walkthrough_spec())
+        fresh = build_engine_world({"kind": "figure1"})
+        checked = 0
+        for name, router in driver.topo.roles.items():
+            for role in ("cache_agent", "foreign_agent", "home_agent"):
+                agent = getattr(router, role)
+                if agent is None:
+                    continue
+                twin = getattr(fresh.roles[name], role)
+                state = agent.state_dict()
+                twin.load_state(state)
+                assert twin.state_dict() == state, (name, role)
+                checked += 1
+        assert checked > 0
