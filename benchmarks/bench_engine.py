@@ -1,23 +1,31 @@
 #!/usr/bin/env python
-"""The engine-backend perf trajectory (``BENCH_engine.json``).
+"""The engine-backend perf trajectory (repo-root ``BENCH_engine.json``).
 
 Measures the sans-io engine stack end to end and records two kinds of
-numbers:
+numbers, appended per PR to a committed *trajectory* (a list of
+entries, one per PR that re-measured):
 
 - **deterministic** — event/datagram counts from fixed-seed scenario
-  runs.  CI regenerates these and fails on any drift (a changed count
-  means changed protocol behaviour, not a slower runner).
+  runs.  CI regenerates these and fails on any drift against the last
+  committed entry (a changed count means changed protocol behaviour,
+  not a slower runner).
 - **perf** — events/sec through the simulator core and the engine
   driver, packets/sec with health tracing on and off, and scenario
-  fork latency from the PR 5 snapshot machinery.  These vary with the
-  runner, so CI prints the delta against the committed trajectory
-  instead of gating on it.
+  fork latency from the PR 5 snapshot machinery.  Absolute values vary
+  with the runner, so CI prints the delta against the last committed
+  entry instead of gating on it.  What *is* gated is the
+  **adapter-overhead ratio** between the last two committed entries:
+  each entry's ``engine_events_per_sec / sim_events_per_sec`` was
+  measured on one machine in one process, so the ratio is
+  runner-independent — the gate fails if the newest committed entry's
+  ratio fell more than 5% below its predecessor's (the PR 7 thin-
+  adapter refactor must not tax the engines).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_engine.py            # print
-    PYTHONPATH=src python benchmarks/bench_engine.py --write    # update golden
-    PYTHONPATH=src python benchmarks/bench_engine.py --check    # CI gate
+    PYTHONPATH=src python benchmarks/bench_engine.py               # print
+    PYTHONPATH=src python benchmarks/bench_engine.py --write --pr 7  # append
+    PYTHONPATH=src python benchmarks/bench_engine.py --check       # CI gate
 """
 
 from __future__ import annotations
@@ -28,7 +36,11 @@ import sys
 import time
 from pathlib import Path
 
-GOLDEN = Path(__file__).parent / "results" / "BENCH_engine.json"
+GOLDEN = Path(__file__).parent.parent / "BENCH_engine.json"
+
+#: Committed-entries perf gate: the newest entry's engine/sim ratio may
+#: not fall below this fraction of the previous entry's.
+OVERHEAD_GATE = 0.95
 
 #: Ping storm used for the pps measurements: large enough to time, small
 #: enough to keep the bench under a couple of seconds.
@@ -121,11 +133,21 @@ def measure() -> dict:
         "engine_pps_tracing_on": round(storm_on.datagrams_delivered / on_elapsed),
         "fork_latency_ms": round(_fork_latency_ms(), 3),
     }
-    return {"schema": 1, "deterministic": deterministic, "perf": perf}
+    return {"deterministic": deterministic, "perf": perf}
 
 
-def render(trajectory: dict) -> str:
-    det, perf = trajectory["deterministic"], trajectory["perf"]
+def _load_trajectory() -> dict:
+    if not GOLDEN.exists():
+        return {"schema": 2, "trajectory": []}
+    return json.loads(GOLDEN.read_text())
+
+
+def _adapter_ratio(entry: dict) -> float:
+    return entry["perf"]["engine_events_per_sec"] / entry["perf"]["sim_events_per_sec"]
+
+
+def render(entry: dict) -> str:
+    det, perf = entry["deterministic"], entry["perf"]
     return "\n".join([
         "engine perf trajectory",
         f"  figure-1 walkthrough: {det['figure1_engine_events']} events, "
@@ -142,39 +164,69 @@ def render(trajectory: dict) -> str:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--write", action="store_true",
-                        help=f"update {GOLDEN}")
+                        help=f"append/replace this PR's entry in {GOLDEN}")
+    parser.add_argument("--pr", type=int, default=None,
+                        help="PR number the --write entry belongs to")
     parser.add_argument("--check", action="store_true",
-                        help="fail on deterministic drift vs the golden; "
-                             "print the perf delta")
+                        help="fail on deterministic drift vs the last "
+                             "committed entry and on committed adapter-"
+                             "overhead regression; print the perf delta")
     args = parser.parse_args(argv)
 
-    trajectory = measure()
-    print(render(trajectory))
+    entry = measure()
+    print(render(entry))
 
     if args.write:
-        GOLDEN.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
-        print(f"wrote {GOLDEN}")
+        if args.pr is None:
+            print("FAIL: --write needs --pr <number> to label the entry",
+                  file=sys.stderr)
+            return 1
+        data = _load_trajectory()
+        entries = [e for e in data["trajectory"] if e.get("pr") != args.pr]
+        entries.append({"pr": args.pr, **entry})
+        data["trajectory"] = sorted(entries, key=lambda e: e["pr"])
+        GOLDEN.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {GOLDEN} (entry pr={args.pr}, "
+              f"{len(data['trajectory'])} entries)")
         return 0
 
     if args.check:
         if not GOLDEN.exists():
             print(f"FAIL: no committed trajectory at {GOLDEN}", file=sys.stderr)
             return 1
-        golden = json.loads(GOLDEN.read_text())
-        if golden.get("deterministic") != trajectory["deterministic"]:
-            print("FAIL: deterministic counts drifted from the committed "
-                  "trajectory:", file=sys.stderr)
-            print(f"  committed: {golden.get('deterministic')}", file=sys.stderr)
-            print(f"  measured:  {trajectory['deterministic']}", file=sys.stderr)
-            print(f"  (regenerate with: python {sys.argv[0]} --write)",
-                  file=sys.stderr)
+        data = _load_trajectory()
+        if not data.get("trajectory"):
+            print(f"FAIL: empty trajectory at {GOLDEN}", file=sys.stderr)
             return 1
-        print("perf delta vs committed trajectory:")
-        for key, old in golden["perf"].items():
-            new = trajectory["perf"][key]
+        last = data["trajectory"][-1]
+        if last["deterministic"] != entry["deterministic"]:
+            print("FAIL: deterministic counts drifted from the last "
+                  f"committed entry (pr={last.get('pr')}):", file=sys.stderr)
+            print(f"  committed: {last['deterministic']}", file=sys.stderr)
+            print(f"  measured:  {entry['deterministic']}", file=sys.stderr)
+            print(f"  (regenerate with: python {sys.argv[0]} --write "
+                  f"--pr {last.get('pr')})", file=sys.stderr)
+            return 1
+        print(f"perf delta vs last committed entry (pr={last.get('pr')}):")
+        for key, old in last["perf"].items():
+            new = entry["perf"][key]
             if old:
                 print(f"  {key}: {old} -> {new} ({(new - old) / old:+.0%})")
         print("deterministic counts: OK")
+        if len(data["trajectory"]) >= 2:
+            prev = data["trajectory"][-2]
+            prev_ratio, last_ratio = _adapter_ratio(prev), _adapter_ratio(last)
+            print(f"committed adapter overhead (engine/sim events ratio): "
+                  f"pr={prev.get('pr')} {prev_ratio:.4f} -> "
+                  f"pr={last.get('pr')} {last_ratio:.4f} "
+                  f"({(last_ratio - prev_ratio) / prev_ratio:+.1%})")
+            if last_ratio < OVERHEAD_GATE * prev_ratio:
+                print(f"FAIL: committed engine/sim ratio regressed more "
+                      f"than {1 - OVERHEAD_GATE:.0%} between pr="
+                      f"{prev.get('pr')} and pr={last.get('pr')}",
+                      file=sys.stderr)
+                return 1
+            print("committed adapter overhead: OK")
     return 0
 
 

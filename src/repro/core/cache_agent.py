@@ -1,14 +1,16 @@
-"""Cache agents (paper Sections 2 and 4.3).
+"""Cache agents (paper Sections 2 and 4.3) — simulator adapter.
+
+The protocol behaviour lives in :class:`repro.wire.roles.CacheAgentRole`
+(one implementation shared with the sans-io engines); this module binds
+it to a simulator :class:`~repro.ip.node.IPNode` via
+:class:`~repro.wire.roles.SimRolePort` and re-exports the cache data
+structures under their historical names.
 
 Any host or router may cache mobile-host locations and tunnel packets
 directly to the current foreign agent, skipping the home network.  The
 cache is *only* an optimization: every test in
 ``tests/core/test_cache_agent.py`` also passes with caching disabled,
 and the A2 ablation bench quantifies exactly what the caches buy.
-
-In a real stack the cache would share the host-specific table already
-used for ICMP redirects (Section 4.3), so lookups cost nothing extra on
-the send path; here it is its own LRU structure with the same semantics.
 
 Routers expose ``examine_forwarded`` (the paper's configuration option to
 "enable or disable the capability to become a cache agent"): when on, the
@@ -17,192 +19,34 @@ router snoops location update messages it forwards and caches them too.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
-from repro.core.encapsulation import encapsulate
 from repro.ip.address import IPAddress
-from repro.ip.icmp import LocationUpdate, TYPE_LOCATION_UPDATE
 from repro.ip.node import IPNode
-from repro.ip.packet import IPPacket
-from repro.ip.protocols import ICMP as PROTO_ICMP
-from repro.link.interface import NetworkInterface
-from repro.wire.logic import is_control_traffic, may_send_update
+from repro.wire.roles import (
+    CacheAgentRole,
+    CacheEntry,
+    DEFAULT_CACHE_CAPACITY,
+    DEFAULT_UPDATE_MIN_INTERVAL,
+    LocationCache,
+    SimRolePort,
+    UpdateRateLimiter,
+)
+from repro.wire.roles import send_location_update as _send_location_update
 
-#: Default cache capacity (entries); the cache is finite by design and
-#: any replacement policy is allowed (Section 2) — this one is LRU.
-DEFAULT_CACHE_CAPACITY = 256
-
-#: Minimum spacing between location updates to one destination
-#: (Section 4.3 requires *some* rate limit, like the ARP request limit).
-DEFAULT_UPDATE_MIN_INTERVAL = 1.0
-
-
-@dataclass
-class CacheEntry:
-    foreign_agent: IPAddress
-    cached_at: float
-
-
-class LocationCache:
-    """A finite LRU cache of mobile-host locations."""
-
-    def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
-        if capacity < 1:
-            raise ValueError("cache capacity must be positive")
-        self.capacity = capacity
-        self._entries: "OrderedDict[IPAddress, CacheEntry]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-
-    def get(self, mobile_host: IPAddress) -> Optional[IPAddress]:
-        entry = self._entries.get(mobile_host)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(mobile_host)
-        self.hits += 1
-        return entry.foreign_agent
-
-    def put(self, mobile_host: IPAddress, foreign_agent: IPAddress, now: float = 0.0) -> None:
-        if mobile_host in self._entries:
-            self._entries.move_to_end(mobile_host)
-        elif len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-        self._entries[mobile_host] = CacheEntry(
-            foreign_agent=IPAddress(foreign_agent), cached_at=now
-        )
-
-    def delete(self, mobile_host: IPAddress) -> bool:
-        return self._entries.pop(mobile_host, None) is not None
-
-    def peek(self, mobile_host: IPAddress) -> Optional[IPAddress]:
-        """Like :meth:`get` but with no LRU/stat side effects (for tests)."""
-        entry = self._entries.get(mobile_host)
-        return entry.foreign_agent if entry else None
-
-    def __contains__(self, mobile_host: IPAddress) -> bool:
-        return mobile_host in self._entries
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def entries(self) -> Dict[IPAddress, IPAddress]:
-        return {mh: e.foreign_agent for mh, e in self._entries.items()}
-
-    def clear(self) -> None:
-        self._entries.clear()
-
-    # ------------------------------------------------------------------
-    # Snapshot contract
-    # ------------------------------------------------------------------
-    def state_dict(self) -> dict:
-        """JSON-able cache contents (LRU order preserved) + statistics."""
-        return {
-            "capacity": self.capacity,
-            "entries": {
-                str(mh): {"foreign_agent": str(e.foreign_agent), "cached_at": e.cached_at}
-                for mh, e in self._entries.items()
-            },
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
-
-    def load_state(self, state: dict) -> None:
-        """Restore contents and statistics from :meth:`state_dict`.
-
-        Entry iteration order in the dict *is* the LRU order (oldest
-        first), matching how :meth:`state_dict` emits it.
-        """
-        self.capacity = int(state["capacity"])
-        self._entries = OrderedDict(
-            (
-                IPAddress(mh),
-                CacheEntry(
-                    foreign_agent=IPAddress(rec["foreign_agent"]),
-                    cached_at=rec["cached_at"],
-                ),
-            )
-            for mh, rec in state["entries"].items()
-        )
-        self.hits = int(state["hits"])
-        self.misses = int(state["misses"])
-        self.evictions = int(state["evictions"])
+__all__ = [
+    "CacheAgent",
+    "CacheEntry",
+    "DEFAULT_CACHE_CAPACITY",
+    "DEFAULT_UPDATE_MIN_INTERVAL",
+    "LocationCache",
+    "UpdateRateLimiter",
+    "send_location_update",
+]
 
 
-class UpdateRateLimiter:
-    """Per-destination rate limit on location update messages.
-
-    Section 4.3: "any host or router that sends location update messages
-    must provide some mechanism for limiting the rate at which it sends
-    these messages to any single IP address", with LRU replacement of the
-    tracking entries — mirrored here.
-    """
-
-    def __init__(
-        self,
-        min_interval: float = DEFAULT_UPDATE_MIN_INTERVAL,
-        capacity: int = 1024,
-    ) -> None:
-        self.min_interval = min_interval
-        self.capacity = capacity
-        self._last_sent: "OrderedDict[IPAddress, float]" = OrderedDict()
-        self.suppressed = 0
-
-    def allow(self, destination: IPAddress, now: float) -> bool:
-        """Whether an update to ``destination`` may be sent at ``now``."""
-        last = self._last_sent.get(destination)
-        if last is not None and now - last < self.min_interval:
-            self.suppressed += 1
-            return False
-        if destination in self._last_sent:
-            self._last_sent.move_to_end(destination)
-        elif len(self._last_sent) >= self.capacity:
-            self._last_sent.popitem(last=False)
-        self._last_sent[destination] = now
-        return True
-
-    # ------------------------------------------------------------------
-    # Snapshot contract
-    # ------------------------------------------------------------------
-    def state_dict(self) -> dict:
-        """JSON-able limiter state (LRU order preserved)."""
-        return {
-            "min_interval": self.min_interval,
-            "capacity": self.capacity,
-            "last_sent": {str(dst): t for dst, t in self._last_sent.items()},
-            "suppressed": self.suppressed,
-        }
-
-    def load_state(self, state: dict) -> None:
-        """Restore from :meth:`state_dict` (dict order = LRU order)."""
-        self.min_interval = state["min_interval"]
-        self.capacity = int(state["capacity"])
-        self._last_sent = OrderedDict(
-            (IPAddress(dst), t) for dst, t in state["last_sent"].items()
-        )
-        self.suppressed = int(state["suppressed"])
-
-
-class CacheAgent:
-    """The cache-agent role, attachable to any host or router.
-
-    Registers itself as ``outbound`` and ``transit`` stage hooks on the
-    node's dataplane:
-
-    - On *outbound* packets (this node is the original sender): a cache
-      hit builds a sender-style MHRP header (empty previous-source list,
-      8 bytes — Section 4.2).
-    - On *transit* packets (this node is a router): a cache hit builds an
-      agent-style header (the original source moves onto the list,
-      12 bytes).
-    - Inbound location updates install or delete entries; with
-      ``examine_forwarded`` a router also snoops updates it forwards.
-    """
+class CacheAgent(CacheAgentRole):
+    """The simulator-facing cache agent: role + port derived from the node."""
 
     def __init__(
         self,
@@ -211,127 +55,13 @@ class CacheAgent:
         examine_forwarded: bool = False,
         enabled: bool = True,
     ) -> None:
-        self.node = node
-        self.cache = LocationCache(capacity)
-        self.examine_forwarded = examine_forwarded
-        self.enabled = enabled
-        self.tunnels_built = 0
-        node.extensions.append(self)
-        node.dataplane.register("outbound", self.outbound_hook, name="CacheAgent")
-        node.dataplane.register("transit", self.transit_hook, name="CacheAgent")
-        node.on_icmp(TYPE_LOCATION_UPDATE, self._on_location_update)
-        # The cache is soft state in RAM: a reboot loses it (consistency
-        # is then re-established lazily by the Section 5.1 machinery).
-        node.reboot_hooks.append(self.cache.clear)
-
-    # ------------------------------------------------------------------
-    # Snapshot contract
-    # ------------------------------------------------------------------
-    def state_dict(self) -> dict:
-        """JSON-able role state for the session snapshot/diff contract."""
-        return {
-            "cache": self.cache.state_dict(),
-            "enabled": self.enabled,
-            "examine_forwarded": self.examine_forwarded,
-            "tunnels_built": self.tunnels_built,
-        }
-
-    def load_state(self, state: dict) -> None:
-        """Restore role state from :meth:`state_dict`."""
-        self.cache.load_state(state["cache"])
-        self.enabled = bool(state["enabled"])
-        self.examine_forwarded = bool(state["examine_forwarded"])
-        self.tunnels_built = int(state["tunnels_built"])
-
-    # ------------------------------------------------------------------
-    # Cache maintenance
-    # ------------------------------------------------------------------
-    def learn(self, mobile_host: IPAddress, foreign_agent: IPAddress) -> None:
-        """Install a location (used by updates and by agents directly)."""
-        if foreign_agent.is_zero:
-            self.cache.delete(mobile_host)
-            return
-        self.cache.put(mobile_host, foreign_agent, now=self.node.sim.now)
-
-    def _on_location_update(self, packet: IPPacket, message) -> None:
-        if not isinstance(message, LocationUpdate) or not self.enabled:
-            return
-        self.node.sim.trace(
-            "mhrp.update",
-            self.node.name,
-            event="received",
-            mobile_host=str(message.mobile_host),
-            foreign_agent=str(message.foreign_agent),
-            purge=message.purge,
+        super().__init__(
+            SimRolePort.of(node),
+            node,
+            capacity=capacity,
+            examine_forwarded=examine_forwarded,
+            enabled=enabled,
         )
-        if message.clears_entry:
-            self.cache.delete(message.mobile_host)
-        else:
-            self.learn(message.mobile_host, message.foreign_agent)
-
-    # ------------------------------------------------------------------
-    # Dataplane stage hooks
-    # ------------------------------------------------------------------
-    def outbound_hook(self, packet: IPPacket):
-        if not self.enabled or is_control_traffic(packet.protocol, packet.payload):
-            return None  # never tunnel the control traffic itself
-        foreign_agent = self.cache.get(packet.dst)
-        telemetry = self.node.sim.telemetry
-        if telemetry is not None:
-            telemetry.cache_lookup(self.node.name, foreign_agent is not None)
-        if foreign_agent is None:
-            return None
-        if self.node.has_address(foreign_agent):
-            # The cache points at *this* node (e.g. we were the foreign
-            # agent and the visitor left): handing the packet to the
-            # MHRP handler is the agents' job, not the cache's.
-            return None
-        self.tunnels_built += 1
-        self.node.dataplane.counters.diverted += 1
-        self.node.sim.trace(
-            "mhrp.tunnel",
-            self.node.name,
-            event="sender-encapsulate",
-            mobile_host=str(packet.dst),
-            foreign_agent=str(foreign_agent),
-            uid=packet.uid,
-        )
-        return encapsulate(packet, foreign_agent, agent_address=None)
-
-    def transit_hook(self, packet: IPPacket, in_iface: NetworkInterface):
-        if not self.enabled:
-            return None
-        if (
-            self.examine_forwarded
-            and packet.protocol == PROTO_ICMP
-            and isinstance(packet.payload, LocationUpdate)
-        ):
-            message = packet.payload
-            if message.clears_entry:
-                self.cache.delete(message.mobile_host)
-            else:
-                self.learn(message.mobile_host, message.foreign_agent)
-            return None  # keep forwarding the update itself
-        if is_control_traffic(packet.protocol, packet.payload):
-            return None  # the control traffic itself is never tunneled
-        foreign_agent = self.cache.get(packet.dst)
-        telemetry = self.node.sim.telemetry
-        if telemetry is not None:
-            telemetry.cache_lookup(self.node.name, foreign_agent is not None)
-        if foreign_agent is None or self.node.has_address(foreign_agent):
-            return None
-        self.tunnels_built += 1
-        self.node.dataplane.counters.diverted += 1
-        self.node.sim.trace(
-            "mhrp.tunnel",
-            self.node.name,
-            event="agent-encapsulate",
-            mobile_host=str(packet.dst),
-            foreign_agent=str(foreign_agent),
-            uid=packet.uid,
-        )
-        agent_address = self.node.primary_address
-        return encapsulate(packet, foreign_agent, agent_address=agent_address)
 
 
 def send_location_update(
@@ -342,26 +72,13 @@ def send_location_update(
     limiter: Optional[UpdateRateLimiter] = None,
     purge: bool = False,
 ) -> bool:
-    """Send one location update message, honouring the rate limit.
-
-    Returns whether the update was actually sent.  Updates are never sent
-    to ourselves, to the zero address, or to the mobile host itself.
-    """
-    if not may_send_update(destination, mobile_host, node.has_address(destination)):
-        return False
-    if limiter is not None and not limiter.allow(destination, node.sim.now):
-        return False
-    message = LocationUpdate(
-        mobile_host=mobile_host, foreign_agent=foreign_agent, purge=purge
-    )
-    node.sim.trace(
-        "mhrp.update",
-        node.name,
-        event="sent",
-        to=str(destination),
-        mobile_host=str(mobile_host),
-        foreign_agent=str(foreign_agent),
+    """Send one location update from ``node`` (simulator calling style)."""
+    return _send_location_update(
+        SimRolePort.of(node),
+        node,
+        destination,
+        mobile_host,
+        foreign_agent,
+        limiter=limiter,
         purge=purge,
     )
-    node.send_icmp(destination, message)
-    return True

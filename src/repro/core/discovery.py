@@ -1,4 +1,4 @@
-"""Agent discovery (paper Section 3).
+"""Agent discovery (paper Section 3) — simulator adapter.
 
 "Foreign agents and home agents periodically multicast an agent
 advertisement message on their local networks; mobile hosts may wait to
@@ -6,6 +6,12 @@ hear the next periodic advertisement message, or may optionally multicast
 an agent solicitation message."  Modelled directly on RFC 1256 router
 discovery, as the paper says, with the advertisement extended by the
 home-agent/foreign-agent capability bits.
+
+The advertiser itself lives in :mod:`repro.wire.roles` (one
+implementation shared with the sans-io engines); this module re-exports
+it under its historical names and keeps the mobile host's listening side
+(:class:`AgentDiscovery`), which is simulator-specific only in where it
+reads the clock.
 
 Advertisements also carry a ``boot_id`` (chosen afresh each time the
 advertiser starts): a mobile host that sees its current foreign agent's
@@ -16,110 +22,32 @@ broadcast ... a query for all mobile hosts to initiate reconnection").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.ip.address import IPAddress
 from repro.ip.icmp import (
     RouterAdvertisement,
     RouterSolicitation,
     TYPE_ROUTER_ADVERTISEMENT,
-    TYPE_ROUTER_SOLICITATION,
 )
 from repro.ip.node import IPNode
 from repro.ip.packet import IPPacket
 from repro.ip.protocols import ICMP as PROTO_ICMP
+from repro.wire.roles import (
+    Advertiser,
+    AgentAdvertiser,
+    AgentAdvertisementInfo,
+    DEFAULT_ADVERT_LIFETIME,
+    DEFAULT_ADVERT_PERIOD,
+)
 
-#: Default advertisement period in seconds (RFC 1256 allows 3..1800;
-#: mobility wants it snappy).
-DEFAULT_ADVERT_PERIOD = 2.0
-#: Advertised lifetime: a silent agent is presumed gone after this long.
-DEFAULT_ADVERT_LIFETIME = 6.0
-
-
-@dataclass
-class AgentAdvertisementInfo:
-    """What a mobile host learned from one advertisement."""
-
-    agent: IPAddress
-    is_home_agent: bool
-    is_foreign_agent: bool
-    boot_id: int
-    heard_at: float
-    lifetime: float = DEFAULT_ADVERT_LIFETIME
-
-
-class AgentAdvertiser:
-    """Periodically broadcasts agent advertisements on one interface."""
-
-    def __init__(
-        self,
-        node: IPNode,
-        iface_name: str,
-        is_home_agent: bool,
-        is_foreign_agent: bool,
-        period: float = DEFAULT_ADVERT_PERIOD,
-        lifetime: float = DEFAULT_ADVERT_LIFETIME,
-        advertised_address=None,
-    ) -> None:
-        self.node = node
-        self.iface_name = iface_name
-        #: Address put into the advertisement; defaults to the interface
-        #: address.  A replicated home agent group advertises its shared
-        #: *service* address instead, whichever replica is active.
-        self.advertised_address = advertised_address
-        self.is_home_agent = is_home_agent
-        self.is_foreign_agent = is_foreign_agent
-        self.period = period
-        self.lifetime = lifetime
-        self.boot_id = node.sim.rng.randrange(1, 2**31)
-        self._timer = node.sim.timer(self._advertise, label=f"advert-{node.name}")
-        self.running = False
-        # Answer solicitations immediately rather than waiting a period.
-        node.on_icmp(TYPE_ROUTER_SOLICITATION, self._on_solicitation)
-
-    def start(self) -> None:
-        """Begin periodic advertising (first advert goes out immediately)."""
-        if self.running:
-            return
-        self.running = True
-        self._advertise()
-
-    def stop(self) -> None:
-        self.running = False
-        self._timer.cancel()
-
-    def restart_with_new_boot_id(self) -> None:
-        """Called after a reboot so mobile hosts notice and re-register."""
-        self.boot_id = self.node.sim.rng.randrange(1, 2**31)
-        self.running = False
-        self.start()
-
-    def _advertise(self) -> None:
-        if not self.running or not self.node.up:
-            return
-        self._broadcast()
-        # Small jitter decorrelates advertisers that started together.
-        jitter = self.node.sim.rng.uniform(0, self.period * 0.05)
-        self._timer.start(self.period + jitter)
-
-    def _on_solicitation(self, packet: IPPacket, message: object) -> None:
-        if self.running and self.node.up:
-            self._broadcast()
-
-    def _broadcast(self) -> None:
-        iface = self.node.interfaces[self.iface_name]
-        advert = RouterAdvertisement(
-            router_address=self.advertised_address or iface.ip_address,
-            lifetime=self.lifetime,
-            is_home_agent=self.is_home_agent,
-            is_foreign_agent=self.is_foreign_agent,
-            boot_id=self.boot_id,
-        )
-        # The low byte also rides in the reserved code field, mirroring
-        # how an extension-less RFC 1256 implementation would smuggle it.
-        advert.code = self.boot_id & 0xFF
-        self.node.send_broadcast(self.iface_name, PROTO_ICMP, advert)
+__all__ = [
+    "Advertiser",
+    "AgentAdvertiser",
+    "AgentAdvertisementInfo",
+    "AgentDiscovery",
+    "DEFAULT_ADVERT_LIFETIME",
+    "DEFAULT_ADVERT_PERIOD",
+]
 
 
 class AgentDiscovery:

@@ -1,4 +1,10 @@
-"""The foreign agent (paper Sections 2, 4.4, 5.1, 5.2, 5.3).
+"""The foreign agent (paper Sections 2, 4.4, 5.1, 5.2, 5.3) — simulator
+adapter.
+
+The protocol behaviour lives in :class:`repro.wire.roles.ForeignAgentRole`
+(one implementation shared with the sans-io engines); this module binds
+it to a simulator :class:`~repro.ip.node.IPNode` via
+:class:`~repro.wire.roles.SimRolePort`.
 
 A foreign agent serves visiting mobile hosts on one of its networks:
 
@@ -20,51 +26,20 @@ A foreign agent serves visiting mobile hosts on one of its networks:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from functools import partial
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
-from repro.core.cache_agent import CacheAgent, UpdateRateLimiter, send_location_update
-from repro.core.discovery import AgentAdvertiser
-from repro.core.encapsulation import MHRPPayload, decapsulate, retunnel
+from repro.core.cache_agent import CacheAgent, UpdateRateLimiter
 from repro.core.header import DEFAULT_MAX_PREVIOUS_SOURCES
-from repro.core.registration import (
-    ControlDispatcher,
-    FA_CONNECT,
-    FA_DISCONNECT,
-    RegistrationMessage,
-    StaleControlFilter,
-)
-from repro.errors import RegistrationError
-from repro.ip.address import IPAddress
-from repro.ip.icmp import LocationUpdate, TYPE_LOCATION_UPDATE
-from repro.ip.node import CONSUMED, IPNode
-from repro.ip.packet import IPPacket
-from repro.ip.protocols import MHRP as PROTO_MHRP
-from repro.link.frame import HWAddress
-from repro.link.interface import NetworkInterface
-from repro.wire.logic import (
-    DEPARTURE_GRACE,
-    forwarding_pointer_target,
-    retunnel_target,
-    should_recover_visitor,
-    stale_chain,
-)
+from repro.ip.node import IPNode
+from repro.wire.logic import DEPARTURE_GRACE
+from repro.wire.roles import ForeignAgentRole, SimRolePort, VisitorRecord
 
 __all__ = ["DEPARTURE_GRACE", "ForeignAgent", "VisitorRecord"]
 
 
-@dataclass
-class VisitorRecord:
-    """One entry in the visitor list."""
-
-    mobile_host: IPAddress
-    hw_value: int
-    registered_at: float
-
-
-class ForeignAgent:
-    """The foreign-agent role for one local network.
+class ForeignAgent(ForeignAgentRole):
+    """The simulator-facing foreign agent: role + port derived from the
+    node.
 
     Args:
         node: the router or support host providing the service.
@@ -75,7 +50,7 @@ class ForeignAgent:
             visitor moves away (optional per the paper; E6 measures it).
         believe_home_agent: Section 5.2 gives the rebooted agent a
             choice — re-add a visitor on the home agent's word (True), or
-            first verify with a local query (False).
+            first verify with a local query (False; ARP on this backend).
     """
 
     def __init__(
@@ -89,429 +64,21 @@ class ForeignAgent:
         max_previous_sources: int = DEFAULT_MAX_PREVIOUS_SOURCES,
         update_limiter: Optional[UpdateRateLimiter] = None,
     ) -> None:
-        if local_iface_name not in node.interfaces:
-            raise RegistrationError(f"{node.name} has no interface {local_iface_name!r}")
-        self.node = node
-        self.local_iface_name = local_iface_name
-        self.cache_agent = cache_agent
-        self.keep_forwarding_pointers = keep_forwarding_pointers
-        self.believe_home_agent = believe_home_agent
-        self.max_previous_sources = max_previous_sources
-        self.limiter = update_limiter or UpdateRateLimiter()
-        self.visitors: Dict[IPAddress, VisitorRecord] = {}
-        #: Hosts that explicitly disconnected recently, with the time.
-        #: A location update claiming such a host is *here* is stale
-        #: information racing with the handoff (the home agent tunneled
-        #: and advertised before it processed the new registration) and
-        #: must not resurrect the visitor entry.
-        self.recent_departures: Dict[IPAddress, float] = {}
-        #: Callbacks invoked as ``f(mobile_host, present)`` when a visitor
-        #: is added (True) or removed (False); the host-route variant
-        #: (Section 3) subscribes here.
-        self.visitor_listeners: list = []
-        #: Rejects connect/disconnect notifications older than the
-        #: newest one processed per host (late retransmissions).
-        self.stale_filter = StaleControlFilter()
-        self.advertiser: Optional[AgentAdvertiser] = None
-        self._dispatcher: Optional[ControlDispatcher] = None
-        self._advertise = advertise
-        # Stats for the benches.
-        self.delivered_to_visitors = 0
-        self.retunneled_forward = 0
-        self.retunneled_home = 0
-        self.loops_detected = 0
-        self.recoveries = 0
+        super().__init__(
+            SimRolePort.of(node),
+            node,
+            local_iface_name,
+            cache_agent=cache_agent,
+            keep_forwarding_pointers=keep_forwarding_pointers,
+            believe_home_agent=believe_home_agent,
+            advertise=advertise,
+            max_previous_sources=max_previous_sources,
+            update_limiter=update_limiter,
+        )
 
     @classmethod
     def attach(cls, node: IPNode, local_iface_name: str, **kwargs) -> "ForeignAgent":
         """Create the role and wire it into the node."""
         agent = cls(node, local_iface_name, **kwargs)
-        node.extensions.append(agent)
-        node.dataplane.register("outbound", agent.outbound_hook, name="ForeignAgent")
-        node.dataplane.register("transit", agent.transit_hook, name="ForeignAgent")
-        node.register_protocol(PROTO_MHRP, agent._on_mhrp_packet)
-        dispatcher = ControlDispatcher.for_node(node)
-        dispatcher.on(FA_CONNECT, agent._on_connect)
-        dispatcher.on(FA_DISCONNECT, agent._on_disconnect)
-        agent._dispatcher = dispatcher
-        node.on_icmp(TYPE_LOCATION_UPDATE, agent._on_location_update)
-        if agent._advertise:
-            agent.advertiser = AgentAdvertiser(
-                node, local_iface_name, is_home_agent=False, is_foreign_agent=True
-            )
-            agent.advertiser.start()
-        node.reboot_hooks.append(agent._on_node_reboot)
+        agent._wire()
         return agent
-
-    # ------------------------------------------------------------------
-    # Introspection
-    # ------------------------------------------------------------------
-    @property
-    def address(self) -> IPAddress:
-        """The agent's own address — the tunnel endpoint mobile hosts
-        register with their home agents."""
-        return self.node.interfaces[self.local_iface_name].ip_address
-
-    def is_serving(self, mobile_host: IPAddress) -> bool:
-        return mobile_host in self.visitors
-
-    # ------------------------------------------------------------------
-    # Registration (Section 3)
-    # ------------------------------------------------------------------
-    def _on_connect(self, packet: IPPacket, message: RegistrationMessage) -> None:
-        mobile_host = message.mobile_host
-        if self._ignore_stale(message):
-            return
-        self.recent_departures.pop(mobile_host, None)
-        self.visitors[mobile_host] = VisitorRecord(
-            mobile_host=mobile_host,
-            hw_value=message.hw_value,
-            registered_at=self.node.sim.now,
-        )
-        for listener in list(self.visitor_listeners):
-            listener(mobile_host, True)
-        if message.hw_value:
-            # Section 2: "the physical network address may be saved from
-            # the connection notification message".
-            self.node.arp[self.local_iface_name].learn(
-                mobile_host, HWAddress(message.hw_value)
-            )
-        self.node.sim.trace(
-            "mhrp.register",
-            self.node.name,
-            event="fa-connect",
-            mobile_host=str(mobile_host),
-        )
-        self._dispatcher.send_ack(mobile_host, message, agent=self.address)
-
-    def _on_disconnect(self, packet: IPPacket, message: RegistrationMessage) -> None:
-        mobile_host = message.mobile_host
-        if self._ignore_stale(message):
-            return
-        if self.visitors.pop(mobile_host, None) is not None:
-            for listener in list(self.visitor_listeners):
-                listener(mobile_host, False)
-        self.recent_departures[mobile_host] = self.node.sim.now
-        new_foreign_agent = message.agent
-        pointer = forwarding_pointer_target(
-            self.keep_forwarding_pointers,
-            self.cache_agent is not None,
-            new_foreign_agent,
-            self.address,
-        )
-        if pointer is not None:
-            # Section 2: the cache entry becomes a "forwarding pointer";
-            # it is an ordinary cache entry from here on.
-            self.cache_agent.learn(mobile_host, pointer)
-        self.node.sim.trace(
-            "mhrp.register",
-            self.node.name,
-            event="fa-disconnect",
-            mobile_host=str(mobile_host),
-            new_foreign_agent=str(new_foreign_agent),
-        )
-        self._dispatcher.send_ack(mobile_host, message, agent=self.address)
-
-    def _ignore_stale(self, message: RegistrationMessage) -> bool:
-        """Drop a late retransmission of an *older* notification — a
-        delayed ``fa-disconnect`` from move *k* must not de-register the
-        visitor that move *k+1* just connected.  The negative ack stops
-        the sender's retransmit timer without acting on the message."""
-        if not self.stale_filter.is_stale(message):
-            return False
-        self.node.sim.trace(
-            "mhrp.register",
-            self.node.name,
-            event="stale-ignored",
-            kind=message.kind,
-            mobile_host=str(message.mobile_host),
-            seq=message.seq,
-        )
-        self._dispatcher.send_ack(message.mobile_host, message, ok=False)
-        return True
-
-    # ------------------------------------------------------------------
-    # Tunneled packets addressed to this agent (Sections 4.4, 5.1, 5.3)
-    # ------------------------------------------------------------------
-    def _on_mhrp_packet(self, packet: IPPacket, iface: Optional[NetworkInterface]) -> None:
-        payload = packet.payload
-        if not isinstance(payload, MHRPPayload):
-            # Route the discard through the dataplane so it is counted
-            # and attributed, not just traced.
-            self.node.dataplane.drop(packet, "malformed-mhrp")
-            return
-        header = payload.header
-        mobile_host = header.mobile_host
-        if mobile_host in self.visitors:
-            self._deliver_to_visitor(packet, header.previous_sources)
-            return
-        self._retunnel_elsewhere(packet)
-
-    def _deliver_to_visitor(self, packet: IPPacket, previous_sources) -> None:
-        """Correct delivery: update stale caches, reconstruct, last hop."""
-        mobile_host = packet.payload.header.mobile_host
-        # Section 5.1: every address on the list is an out-of-date cache
-        # (the IP source — the last tunnel head — already points here).
-        for address in list(previous_sources):
-            send_location_update(
-                self.node, address, mobile_host, self.address, self.limiter
-            )
-        sim = self.node.sim
-        telemetry = sim.telemetry
-        if telemetry is not None:
-            telemetry.tunnel_delivery(
-                sim.now, self.node.name, str(mobile_host), len(previous_sources)
-            )
-        decapsulate(packet)
-        self.delivered_to_visitors += 1
-        self.node.sim.trace(
-            "mhrp.tunnel",
-            self.node.name,
-            event="fa-deliver",
-            mobile_host=str(mobile_host),
-            uid=packet.uid,
-        )
-        self.node.transmit_on_link(self.local_iface_name, mobile_host, packet)
-
-    def _retunnel_elsewhere(self, packet: IPPacket) -> None:
-        """The visitor left (Section 4.4): forward along, or send home."""
-        header = packet.payload.header
-        mobile_host = header.mobile_host
-        cached: Optional[IPAddress] = None
-        if self.cache_agent is not None:
-            cached = self.cache_agent.cache.get(mobile_host)
-        # No usable forwarding pointer: tunnel to the mobile host's home
-        # address; the home agent intercepts it there.
-        target, going_home = retunnel_target(cached, self.address, mobile_host)
-        result = retunnel(
-            packet,
-            new_destination=target,
-            my_address=self.address,
-            max_previous_sources=self.max_previous_sources,
-        )
-        if result.loop_detected:
-            self._dissolve_loop(packet)
-            return
-        for address in result.flushed:
-            # Section 4.4 overflow: point every flushed cache at the
-            # destination we are about to use ourselves.
-            send_location_update(
-                self.node, address, mobile_host, target, self.limiter
-            )
-        if going_home:
-            self.retunneled_home += 1
-        else:
-            self.retunneled_forward += 1
-        self.node.dataplane.counters.tunneled += 1
-        self.node.sim.trace(
-            "mhrp.tunnel",
-            self.node.name,
-            event="fa-retunnel",
-            mobile_host=str(mobile_host),
-            target=str(target),
-            going_home=going_home,
-            uid=packet.uid,
-        )
-        self.node.forward_injected(packet)
-
-    def _dissolve_loop(self, packet: IPPacket) -> None:
-        """Section 5.3: purge every cache on the list, then send the
-        packet to the mobile host's home (keeping only the original
-        sender on the list, which decapsulation needs)."""
-        header = packet.payload.header
-        mobile_host = header.mobile_host
-        self.loops_detected += 1
-        # The list names every head the packet passed through except the
-        # most recent one, which sits in the IP source field — include it
-        # so the *whole* loop is dissolved in one step.
-        members = stale_chain(header.previous_sources, packet.src)
-        self.node.sim.trace(
-            "mhrp.loop",
-            self.node.name,
-            event="dissolve",
-            mobile_host=str(mobile_host),
-            members=[str(a) for a in members],
-            uid=packet.uid,
-        )
-        for address in members:
-            send_location_update(
-                self.node, address, mobile_host, IPAddress.zero(),
-                limiter=None, purge=True,
-            )
-        if self.cache_agent is not None:
-            self.cache_agent.cache.delete(mobile_host)
-        # Keep the original sender (first entry) so the foreign agent or
-        # mobile host can still reconstruct the original IP header.
-        del header.previous_sources[1:]
-        packet.src = self.address
-        packet.dst = mobile_host
-        self.node.forward_injected(packet)
-
-    # ------------------------------------------------------------------
-    # Local delivery shortcuts (dataplane stage hooks)
-    # ------------------------------------------------------------------
-    def outbound_hook(self, packet: IPPacket):
-        return self._maybe_deliver_plain(packet)
-
-    def transit_hook(self, packet: IPPacket, in_iface: NetworkInterface):
-        return self._maybe_deliver_plain(packet)
-
-    def _maybe_deliver_plain(self, packet: IPPacket):
-        """A non-tunneled packet addressed to a visitor's home address
-        (from a host on this network, or via a host-specific route) is
-        transmitted locally — the foreign agent "recognize[s] that a
-        packet that it is routing must be transmitted locally to a
-        visiting mobile host" (Section 4.3)."""
-        if packet.protocol == PROTO_MHRP:
-            return None
-        if packet.dst not in self.visitors:
-            return None
-        self.node.dataplane.counters.diverted += 1
-        self.node.sim.trace(
-            "mhrp.tunnel",
-            self.node.name,
-            event="fa-local-delivery",
-            mobile_host=str(packet.dst),
-            uid=packet.uid,
-        )
-        self.node.transmit_on_link(self.local_iface_name, packet.dst, packet)
-        return CONSUMED
-
-    # ------------------------------------------------------------------
-    # State recovery (Section 5.2)
-    # ------------------------------------------------------------------
-    def _on_location_update(self, packet: IPPacket, message) -> None:
-        if not isinstance(message, LocationUpdate):
-            return
-        mobile_host = message.mobile_host
-        if not should_recover_visitor(
-            message.clears_entry,
-            message.foreign_agent,
-            self.address,
-            mobile_host in self.visitors,
-            self.recent_departures.get(mobile_host),
-            self.node.sim.now,
-            DEPARTURE_GRACE,
-        ):
-            # Among the refusals: the host told us it *left* more
-            # recently than whatever this update is based on; re-adding
-            # it would black-hole traffic until the handoff notifications
-            # land everywhere.
-            return
-        if self.believe_home_agent:
-            self._readd_visitor(mobile_host)
-        else:
-            self._verify_with_query(mobile_host)
-
-    def _readd_visitor(self, mobile_host: IPAddress) -> None:
-        self.recoveries += 1
-        self.visitors[mobile_host] = VisitorRecord(
-            mobile_host=mobile_host,
-            hw_value=0,  # re-learned via ARP on the next delivery
-            registered_at=self.node.sim.now,
-        )
-        for listener in list(self.visitor_listeners):
-            listener(mobile_host, True)
-        self.node.sim.trace(
-            "mhrp.register",
-            self.node.name,
-            event="fa-recover-visitor",
-            mobile_host=str(mobile_host),
-        )
-
-    def _verify_with_query(self, mobile_host: IPAddress) -> None:
-        """Section 5.2's alternative: "send a 'query' message onto its
-        local network to verify that the mobile host is actually
-        connected" — an ARP query whose answer proves presence."""
-        probe = IPPacket(
-            src=self.address,
-            dst=mobile_host,
-            protocol=PROTO_MHRP,  # never actually parsed; the ARP matters
-        )
-        arp = self.node.arp[self.local_iface_name]
-        previous = arp.lookup(mobile_host)
-        if previous is not None:
-            # Hardware address already known: the host answered ARP on
-            # this segment recently; trust it.
-            self._readd_visitor(mobile_host)
-            return
-
-        arp.resolve(mobile_host, probe)
-        # ARP gives up after its retry schedule; look again just after.
-        self.node.sim.schedule(
-            4.0, partial(self._check_query_result, mobile_host),
-            label="fa-verify-query",
-        )
-
-    def _check_query_result(self, mobile_host: IPAddress) -> None:
-        arp = self.node.arp[self.local_iface_name]
-        if arp.lookup(mobile_host) is not None:
-            self._readd_visitor(mobile_host)
-
-    # ------------------------------------------------------------------
-    # Reboot (Section 5.2: the visitor list is volatile)
-    # ------------------------------------------------------------------
-    def _on_node_reboot(self) -> None:
-        for mobile_host in list(self.visitors):
-            for listener in list(self.visitor_listeners):
-                listener(mobile_host, False)
-        self.visitors.clear()
-        # Departure memory is volatile too; after a reboot the Section
-        # 5.2 recovery must be able to re-add anyone.
-        self.recent_departures.clear()
-        self.stale_filter.reset()
-        if self.advertiser is not None:
-            # "To speed the state recovery ... broadcast over its local
-            # network a query for all mobile hosts to initiate
-            # reconnection": a fresh boot id makes every visitor that
-            # hears the next advertisement re-register.
-            self.advertiser.restart_with_new_boot_id()
-
-    # ------------------------------------------------------------------
-    # Snapshot contract
-    # ------------------------------------------------------------------
-    def state_dict(self) -> dict:
-        """JSON-able role state for the session snapshot/diff contract."""
-        return {
-            "visitors": {
-                str(mh): {"hw": rec.hw_value, "registered_at": rec.registered_at}
-                for mh, rec in sorted(
-                    self.visitors.items(), key=lambda kv: kv[0].value
-                )
-            },
-            "recent_departures": {
-                str(mh): t
-                for mh, t in sorted(
-                    self.recent_departures.items(), key=lambda kv: kv[0].value
-                )
-            },
-            "stale_filter": self.stale_filter.state_dict(),
-            "limiter": self.limiter.state_dict(),
-            "delivered_to_visitors": self.delivered_to_visitors,
-            "retunneled_forward": self.retunneled_forward,
-            "retunneled_home": self.retunneled_home,
-            "loops_detected": self.loops_detected,
-            "recoveries": self.recoveries,
-        }
-
-    def load_state(self, state: dict) -> None:
-        """Restore role state from :meth:`state_dict` (visitor listeners
-        are not re-notified; restoring is not a membership change)."""
-        self.visitors = {
-            IPAddress(mh): VisitorRecord(
-                mobile_host=IPAddress(mh),
-                hw_value=int(rec["hw"]),
-                registered_at=rec["registered_at"],
-            )
-            for mh, rec in state["visitors"].items()
-        }
-        self.recent_departures = {
-            IPAddress(mh): t for mh, t in state["recent_departures"].items()
-        }
-        self.stale_filter.load_state(state["stale_filter"])
-        self.limiter.load_state(state["limiter"])
-        self.delivered_to_visitors = int(state["delivered_to_visitors"])
-        self.retunneled_forward = int(state["retunneled_forward"])
-        self.retunneled_home = int(state["retunneled_home"])
-        self.loops_detected = int(state["loops_detected"])
-        self.recoveries = int(state["recoveries"])

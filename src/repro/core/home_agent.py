@@ -1,4 +1,9 @@
-"""The home agent (paper Sections 2, 3, 5.1, 5.2).
+"""The home agent (paper Sections 2, 3, 5.1, 5.2) — simulator adapter.
+
+The protocol behaviour lives in :class:`repro.wire.roles.HomeAgentRole`
+(one implementation shared with the sans-io engines); this module binds
+it to a simulator :class:`~repro.ip.node.IPNode` via
+:class:`~repro.wire.roles.SimRolePort`.
 
 A home agent lives on a mobile host's home network and:
 
@@ -23,39 +28,20 @@ changes, matching the paper's deployment story.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
-from repro.core.cache_agent import UpdateRateLimiter, send_location_update
-from repro.core.discovery import AgentAdvertiser
-from repro.core.encapsulation import MHRPPayload, encapsulate, retunnel
+from repro.core.cache_agent import UpdateRateLimiter
 from repro.core.header import DEFAULT_MAX_PREVIOUS_SOURCES
-from repro.core.persistence import LocationDatabase, LocationStore
-from repro.core.registration import (
-    ControlDispatcher,
-    HA_REGISTER,
-    RegistrationMessage,
-    StaleControlFilter,
-)
-from repro.errors import RegistrationError
-from repro.ip.address import IPAddress
-from repro.ip.icmp import ICMPError
-from repro.ip.node import CONSUMED, IPNode
-from repro.ip.packet import IPPacket
-from repro.ip.protocols import MHRP as PROTO_MHRP
-from repro.link.interface import NetworkInterface
-from repro.wire.logic import (
-    DISCONNECTED_ADDRESS,
-    HOME_DROP_DISCONNECTED,
-    HOME_PASS,
-    HOME_RECOVER,
-    decide_home_tunneled_arrival,
-)
+from repro.core.persistence import LocationStore
+from repro.ip.node import CONSUMED, IPNode  # noqa: F401  (CONSUMED re-exported)
+from repro.wire.logic import DISCONNECTED_ADDRESS
+from repro.wire.roles import HomeAgentRole, SimRolePort
 
 __all__ = ["DISCONNECTED_ADDRESS", "HomeAgent"]
 
 
-class HomeAgent:
-    """The home-agent role for one home network.
+class HomeAgent(HomeAgentRole):
+    """The simulator-facing home agent: role + port derived from the node.
 
     Args:
         node: the router or host providing the service.
@@ -63,7 +49,6 @@ class HomeAgent:
         store: durable storage for the location database; without one the
             database is volatile and lost on reboot (the paper recommends
             a disk copy; the E5 bench demonstrates why).
-        advertise: whether to run periodic agent advertisements.
         max_previous_sources: bound on the MHRP previous-source list used
             when re-tunneling.
     """
@@ -77,30 +62,15 @@ class HomeAgent:
         max_previous_sources: int = DEFAULT_MAX_PREVIOUS_SOURCES,
         update_limiter: Optional[UpdateRateLimiter] = None,
     ) -> None:
-        if home_iface_name not in node.interfaces:
-            raise RegistrationError(
-                f"{node.name} has no interface {home_iface_name!r}"
-            )
-        self.node = node
-        self.home_iface_name = home_iface_name
-        self.database = LocationDatabase(store)
-        self._store = store
-        self.max_previous_sources = max_previous_sources
-        self.limiter = update_limiter or UpdateRateLimiter()
-        self.advertiser: Optional[AgentAdvertiser] = None
-        self._dispatcher: Optional[ControlDispatcher] = None
-        #: Callbacks invoked as ``f(mobile_host, foreign_agent)`` whenever
-        #: a registration changes the database; the host-route variant
-        #: (Section 3) subscribes here.
-        self.location_listeners: list = []
-        #: Rejects registrations older than the newest processed per
-        #: host — a delayed ``ha-register`` retransmission must not
-        #: revert the database to a previous foreign agent.
-        self.stale_filter = StaleControlFilter()
-        # Stats for the benches.
-        self.packets_intercepted = 0
-        self.packets_retunneled = 0
-        self.recoveries = 0
+        super().__init__(
+            SimRolePort.of(node),
+            node,
+            home_iface_name,
+            store=store,
+            max_previous_sources=max_previous_sources,
+            update_limiter=update_limiter,
+        )
+        self._should_advertise = advertise
 
     @classmethod
     def attach(
@@ -121,273 +91,5 @@ class HomeAgent:
             max_previous_sources=max_previous_sources,
             update_limiter=update_limiter,
         )
-        node.extensions.append(agent)
-        node.dataplane.register("outbound", agent.outbound_hook, name="HomeAgent")
-        node.dataplane.register("transit", agent.transit_hook, name="HomeAgent")
-        dispatcher = ControlDispatcher.for_node(node)
-        dispatcher.on(HA_REGISTER, agent._on_register)
-        agent._dispatcher = dispatcher
-        if advertise:
-            agent.advertiser = AgentAdvertiser(
-                node, home_iface_name, is_home_agent=True, is_foreign_agent=False
-            )
-            agent.advertiser.start()
-        node.reboot_hooks.append(agent._on_node_reboot)
+        agent._wire(advertise=advertise)
         return agent
-
-    # ------------------------------------------------------------------
-    # Introspection
-    # ------------------------------------------------------------------
-    @property
-    def address(self) -> IPAddress:
-        """The agent's own address (head of tunnels it builds)."""
-        return self.node.interfaces[self.home_iface_name].ip_address
-
-    @property
-    def home_network(self):
-        return self.node.interfaces[self.home_iface_name].network
-
-    # ------------------------------------------------------------------
-    # Registration (Section 3)
-    # ------------------------------------------------------------------
-    def _on_register(self, packet: IPPacket, message: RegistrationMessage) -> None:
-        mobile_host = message.mobile_host
-        if not self.home_network.contains(mobile_host):
-            # Not one of ours: refuse, so a misconfigured host finds out.
-            self._dispatcher.send_ack(packet.src, message, ok=False)
-            return
-        if self.stale_filter.is_stale(message):
-            # A late retransmission of an older registration: reverting
-            # the database would re-point tunnels at a previous foreign
-            # agent.  Negative-ack so the sender stops retrying.
-            self.node.sim.trace(
-                "mhrp.register",
-                self.node.name,
-                event="stale-ignored",
-                kind=message.kind,
-                mobile_host=str(mobile_host),
-                seq=message.seq,
-            )
-            self._dispatcher.send_ack(mobile_host, message, ok=False)
-            return
-        foreign_agent = message.agent
-        self.node.sim.trace(
-            "mhrp.register",
-            self.node.name,
-            event="ha-register",
-            mobile_host=str(mobile_host),
-            foreign_agent=str(foreign_agent),
-        )
-        self.database.record(mobile_host, foreign_agent)
-        for listener in list(self.location_listeners):
-            listener(mobile_host, foreign_agent)
-        if foreign_agent.is_zero:
-            self._stop_interception(mobile_host)
-        else:
-            self._start_interception(mobile_host)
-        # The ack to an away host is itself intercepted below and tunneled
-        # to the (just recorded) foreign agent.
-        self._dispatcher.send_ack(mobile_host, message, agent=self.address)
-
-    def _start_interception(self, mobile_host: IPAddress) -> None:
-        """Claim the mobile host's address on the home LAN (Section 2)."""
-        arp = self.node.arp[self.home_iface_name]
-        arp.add_proxy(mobile_host)
-        arp.announce(mobile_host)  # gratuitous ARP binding MH -> our hw
-
-    def _stop_interception(self, mobile_host: IPAddress) -> None:
-        arp = self.node.arp[self.home_iface_name]
-        arp.remove_proxy(mobile_host)
-        # The returning host broadcasts its own gratuitous ARP to reclaim
-        # the address (Section 2); nothing more for us to do.
-
-    # ------------------------------------------------------------------
-    # Interception hooks (dataplane stage hooks)
-    # ------------------------------------------------------------------
-    def outbound_hook(self, packet: IPPacket):
-        return self._maybe_intercept(packet)
-
-    def transit_hook(self, packet: IPPacket, in_iface: NetworkInterface):
-        return self._maybe_intercept(packet)
-
-    def _maybe_intercept(self, packet: IPPacket):
-        mobile_host = packet.dst
-        if not self.database.is_away(mobile_host):
-            return None
-        if packet.protocol == PROTO_MHRP:
-            return self._tunneled_arrival(packet)
-        return self._intercept_plain(packet)
-
-    def _intercept_plain(self, packet: IPPacket):
-        """A normal packet for an away host: tunnel it (Section 6.1)."""
-        mobile_host = packet.dst
-        foreign_agent = self.database.foreign_agent_of(mobile_host)
-        assert foreign_agent is not None  # guarded by is_away above
-        if foreign_agent == DISCONNECTED_ADDRESS:
-            # Planned disconnection: the host told us it is unreachable.
-            # Route the discard through the dataplane so the packet gets
-            # a counted, attributed terminal (conservation invariant).
-            self.node.dataplane.drop(packet, "mh-disconnected")
-            self.node._send_error(ICMPError.unreachable(packet))
-            return CONSUMED
-        self.packets_intercepted += 1
-        self.node.dataplane.counters.tunneled += 1
-        original_sender = packet.src
-        self.node.sim.trace(
-            "mhrp.tunnel",
-            self.node.name,
-            event="home-intercept",
-            mobile_host=str(mobile_host),
-            foreign_agent=str(foreign_agent),
-            uid=packet.uid,
-        )
-        tunneled = encapsulate(packet, foreign_agent, agent_address=self.address)
-        # Tell the sender where the host is, so its own cache agent (if
-        # any) tunnels future packets directly.
-        send_location_update(
-            self.node, original_sender, mobile_host, foreign_agent, self.limiter
-        )
-        return tunneled
-
-    # ------------------------------------------------------------------
-    # Packets tunneled back to the home network (Sections 5.1, 5.2)
-    # ------------------------------------------------------------------
-    def _tunneled_arrival(self, packet: IPPacket):
-        payload = packet.payload
-        if not isinstance(payload, MHRPPayload):
-            return None
-        header = payload.header
-        mobile_host = header.mobile_host
-        decision = decide_home_tunneled_arrival(
-            self.database.foreign_agent_of(mobile_host),
-            header.previous_sources,
-            packet.src,
-        )
-        if decision.action == HOME_PASS:
-            # Raced with a return home; let normal forwarding deliver the
-            # still-encapsulated packet to the host itself (Section 6.3).
-            return None
-        if decision.action == HOME_DROP_DISCONNECTED:
-            # Planned disconnection: purge the stale caches and report
-            # the host unreachable to the original sender.
-            for address in decision.stale:
-                send_location_update(
-                    self.node, address, mobile_host, decision.report,
-                    self.limiter, purge=True,
-                )
-            self.node.dataplane.drop(packet, "mh-disconnected")
-            self.node._send_error(ICMPError.unreachable(packet))
-            return CONSUMED
-        current_fa = decision.report
-        if decision.action == HOME_RECOVER:
-            # Section 5.2: the "stale" agent *is* the current one — it
-            # rebooted and forgot the host.  Update everyone (the foreign
-            # agent re-learns its own visitor from the update) and discard
-            # the packet; end-to-end retransmission recovers the data.
-            self.recoveries += 1
-            self.node.sim.trace(
-                "mhrp.tunnel",
-                self.node.name,
-                event="fa-recovery",
-                mobile_host=str(mobile_host),
-                foreign_agent=str(current_fa),
-                uid=packet.uid,
-            )
-            for address in decision.stale:
-                send_location_update(
-                    self.node, address, mobile_host, current_fa, self.limiter
-                )
-            self.node.dataplane.drop(packet, "mhrp-recovery")
-            return CONSUMED
-        for address in decision.stale:
-            send_location_update(
-                self.node, address, mobile_host, current_fa, self.limiter
-            )
-        result = retunnel(
-            packet,
-            new_destination=current_fa,
-            my_address=self.address,
-            max_previous_sources=self.max_previous_sources,
-        )
-        if result.loop_detected:
-            # A loop that runs through the home agent itself; dissolve it
-            # (Section 5.3) and drop the packet.
-            self._dissolve_loop(list(decision.stale), mobile_host, uid=packet.uid)
-            self.node.dataplane.drop(packet, "mhrp-loop-dissolved")
-            return CONSUMED
-        for address in result.flushed:
-            send_location_update(
-                self.node, address, mobile_host, current_fa, self.limiter
-            )
-        self.packets_retunneled += 1
-        self.node.dataplane.counters.tunneled += 1
-        self.node.sim.trace(
-            "mhrp.tunnel",
-            self.node.name,
-            event="home-retunnel",
-            mobile_host=str(mobile_host),
-            foreign_agent=str(current_fa),
-            uid=packet.uid,
-        )
-        return packet
-
-    def _dissolve_loop(
-        self,
-        members: List[IPAddress],
-        mobile_host: IPAddress,
-        uid: Optional[int] = None,
-    ) -> None:
-        self.node.sim.trace(
-            "mhrp.loop",
-            self.node.name,
-            event="dissolve",
-            mobile_host=str(mobile_host),
-            members=[str(a) for a in members],
-            uid=uid,
-        )
-        for address in members:
-            send_location_update(
-                self.node, address, mobile_host, IPAddress.zero(), limiter=None,
-                purge=True,
-            )
-
-    # ------------------------------------------------------------------
-    # Reboot recovery (Section 2: database on disk)
-    # ------------------------------------------------------------------
-    def _on_node_reboot(self) -> None:
-        # Sequence memory is RAM-resident, unlike the database.
-        self.stale_filter.reset()
-        if self._store is not None:
-            self.database.reload()
-        else:
-            self.database.clear_memory()
-        # Re-establish interception for everything the disk remembers.
-        for mobile_host in self.database.away_hosts():
-            self._start_interception(mobile_host)
-        if self.advertiser is not None:
-            self.advertiser.restart_with_new_boot_id()
-
-    # ------------------------------------------------------------------
-    # Snapshot contract
-    # ------------------------------------------------------------------
-    def state_dict(self) -> dict:
-        """JSON-able role state for the session snapshot/diff contract."""
-        return {
-            "database": self.database.state_dict(),
-            "stale_filter": self.stale_filter.state_dict(),
-            "limiter": self.limiter.state_dict(),
-            "packets_intercepted": self.packets_intercepted,
-            "packets_retunneled": self.packets_retunneled,
-            "recoveries": self.recoveries,
-        }
-
-    def load_state(self, state: dict) -> None:
-        """Restore role state from :meth:`state_dict` (interception proxy
-        entries are not rebuilt here; they live in the ARP service and
-        are restored by its own contract)."""
-        self.database.load_state(state["database"])
-        self.stale_filter.load_state(state["stale_filter"])
-        self.limiter.load_state(state["limiter"])
-        self.packets_intercepted = int(state["packets_intercepted"])
-        self.packets_retunneled = int(state["packets_retunneled"])
-        self.recoveries = int(state["recoveries"])

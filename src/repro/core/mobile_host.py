@@ -1,9 +1,16 @@
-"""The mobile host (paper Sections 1–3, 6).
+"""The mobile host (paper Sections 1–3, 6) — simulator adapter.
 
 A mobile host is an ordinary :class:`~repro.ip.host.Host` plus a thin
 network-level module — the paper requires "no changes to mobile hosts
 above the network level", and indeed the transport stacks and
 applications on this class are exactly the ones stationary hosts use.
+
+The protocol behaviour (the Section 3 notification sequence, the agent
+silence watchdog, self-delivery of tunneled packets) lives in
+:class:`repro.wire.roles.MobileHostRole`, shared with the sans-io
+engines; this class supplies the physical side — interface attachment,
+ARP, the link-layer hardware address — via
+:class:`~repro.wire.roles.SimRolePort`.
 
 The host always uses its permanent *home* address.  Movement is modelled
 as re-attaching its interface to a different medium; the host then hears
@@ -29,22 +36,12 @@ Two optional behaviours from the paper are implemented:
 
 from __future__ import annotations
 
-from functools import partial
 from typing import Optional
 
-from repro.core.cache_agent import CacheAgent, UpdateRateLimiter, send_location_update
-from repro.core.discovery import AgentAdvertisementInfo, AgentDiscovery
-from repro.core.encapsulation import MHRPPayload, decapsulate
-from repro.core.home_agent import DISCONNECTED_ADDRESS
-from repro.core.registration import (
-    FA_CONNECT,
-    FA_DISCONNECT,
-    HA_REGISTER,
-    RegistrationMessage,
-    ReliableRegistrar,
-    next_seq,
-)
-from repro.errors import ProtocolError
+from repro.core.cache_agent import CacheAgent
+from repro.core.discovery import AgentDiscovery
+from repro.core.home_agent import DISCONNECTED_ADDRESS  # noqa: F401  (re-exported)
+from repro.core.registration import next_seq
 from repro.ip.address import IPAddress, IPNetwork
 from repro.ip.host import Host
 from repro.ip.packet import IPPacket
@@ -52,6 +49,7 @@ from repro.ip.protocols import MHRP as PROTO_MHRP
 from repro.link.interface import NetworkInterface
 from repro.link.medium import Medium
 from repro.netsim.simulator import Simulator
+from repro.wire.roles import MobileHostRole, ReliableRegistrar, SimRolePort
 
 # Connection states (canonical definitions live with the shared logic).
 from repro.wire.logic import (  # noqa: F401  (re-exported)
@@ -64,7 +62,7 @@ from repro.wire.logic import (  # noqa: F401  (re-exported)
 )
 
 
-class MobileHost(Host):
+class MobileHost(MobileHostRole, Host):
     """A host that may move between networks at any time.
 
     Args:
@@ -98,14 +96,10 @@ class MobileHost(Host):
         self.home_agent = IPAddress(home_agent)
         self.home_gateway = IPAddress(home_gateway if home_gateway is not None else home_agent)
         self.iface: NetworkInterface = self.add_interface(
-            "wifi0", self.home_address, self.home_network
+            self.WIFI, self.home_address, self.home_network
         )
-        self.state = DISCONNECTED
-        self.current_foreign_agent: Optional[IPAddress] = None
-        self.temp_address: Optional[IPAddress] = None
-        self._fa_boot_ids: dict[IPAddress, int] = {}
-        self._registering_with: Optional[IPAddress] = None
-        self.limiter = UpdateRateLimiter()
+        self._init_mobile_state(SimRolePort.of(self))
+        self._next_seq = next_seq
         self.registrar = ReliableRegistrar(self)
         self.discovery = AgentDiscovery(self, self._on_agent_heard)
         self.cache_agent: Optional[CacheAgent] = (
@@ -115,25 +109,19 @@ class MobileHost(Host):
 
         self.error_handler = TunnelErrorHandler.attach(self, cache_agent=self.cache_agent)
         self.register_protocol(PROTO_MHRP, self._on_mhrp_packet)
-        # Advertisement-lifetime watchdog (Section 3's implicit-move
-        # detection turned inward): while away, if the serving foreign
-        # agent falls silent past its advertised lifetime, solicit; past
-        # twice the lifetime, consider the connection gone.
-        self._last_fa_heard = 0.0
-        self._fa_lifetime = 0.0
-        self._watchdog = sim.timer(self._check_agent_silence, label=f"mh-watchdog-{name}")
-        # Stats for the benches.
-        self.moves = 0
-        self.registrations = 0
-        self.silence_disconnects = 0
+
+    # ------------------------------------------------------------------
+    # Substrate hooks for the role
+    # ------------------------------------------------------------------
+    def _wifi_hw_value(self) -> int:
+        return self.iface.hw_address.value
+
+    def _redeliver_local(self, packet: IPPacket, iface) -> None:
+        self.packet_received(packet, iface)
 
     # ------------------------------------------------------------------
     # Movement API (driven by mobility models or directly by tests)
     # ------------------------------------------------------------------
-    @property
-    def at_home(self) -> bool:
-        return self.state == AT_HOME
-
     def attach(self, medium: Medium, solicit: bool = True) -> None:
         """Physically attach to a network (implicitly leaving the old one).
 
@@ -141,13 +129,10 @@ class MobileHost(Host):
         ``solicit=True`` (the default) to ask for one immediately rather
         than waiting out the advertisement period (Section 3 allows both).
         """
-        self.moves += 1
-        telemetry = self.sim.telemetry
-        if telemetry is not None:
-            telemetry.mh_moved(self.sim.now, self.name)
+        self._record_move()
         self.iface.attach_to(medium)
         if solicit:
-            self.discovery.solicit("wifi0")
+            self._solicit()
 
     def attach_home(self, medium: Medium, solicit: bool = True) -> None:
         """Attach directly to the home network."""
@@ -156,15 +141,7 @@ class MobileHost(Host):
     def disconnect(self) -> None:
         """Planned disconnection (Section 3): notify the home agent first,
         then the old foreign agent, then detach."""
-        old_fa = self.current_foreign_agent
-        if self.state != AT_HOME:
-            self._register_with_home_agent(DISCONNECTED_ADDRESS)
-        if old_fa is not None:
-            self._notify_old_foreign_agent(old_fa, new_agent=IPAddress.zero())
-        self.current_foreign_agent = None
-        self.temp_address = None
-        self.state = DISCONNECTED
-        self._watchdog.cancel()
+        self._disconnect_protocol()
         self.iface.detach()
 
     def connect_as_own_foreign_agent(
@@ -180,10 +157,7 @@ class MobileHost(Host):
         address.  ``gateway`` is the foreign network's ordinary router.
         """
         old_fa = self.current_foreign_agent
-        self.moves += 1
-        telemetry = self.sim.telemetry
-        if telemetry is not None:
-            telemetry.mh_moved(self.sim.now, self.name)
+        self._record_move()
         self.iface.attach_to(medium)
         temp = IPAddress(temp_address)
         self.iface.alias_addresses = {temp}
@@ -194,227 +168,6 @@ class MobileHost(Host):
         self._register_with_home_agent(temp)
         if old_fa is not None and old_fa != temp:
             self._notify_old_foreign_agent(old_fa, new_agent=temp)
-
-    # ------------------------------------------------------------------
-    # Routing while away vs at home
-    # ------------------------------------------------------------------
-    def _set_away_routing(self, gateway: IPAddress) -> None:
-        """Route everything via the foreign agent (or foreign gateway).
-
-        The connected route for the home network must be withdrawn: the
-        home prefix is *not* on-link while visiting a foreign network,
-        and leaving the route in place would ARP for home-network
-        addresses (the home agent included) on the foreign medium.
-        """
-        self.routing_table.remove(self.home_network)
-        self.set_gateway(gateway)
-
-    def _set_home_routing(self) -> None:
-        self.routing_table.add_connected(self.home_network, "wifi0")
-        self.set_gateway(self.home_gateway)
-
-    # ------------------------------------------------------------------
-    # Agent discovery reactions (Section 3)
-    # ------------------------------------------------------------------
-    def _on_agent_heard(self, info: AgentAdvertisementInfo) -> None:
-        if info.agent == self.home_agent:
-            # Hearing our own home agent on-link means we are on the home
-            # network, whichever role bits this particular advertisement
-            # carries (a combined router advertises both roles and may
-            # emit them in separate messages).
-            self._heard_home_agent(info)
-            return
-        if info.is_foreign_agent:
-            self._heard_foreign_agent(info)
-
-    def _heard_home_agent(self, info: AgentAdvertisementInfo) -> None:
-        """We are (back) on the home network."""
-        if self.state == AT_HOME:
-            return
-        old_fa = self.current_foreign_agent
-        self.state = AT_HOME
-        self._watchdog.cancel()
-        self.current_foreign_agent = None
-        self.temp_address = None
-        self.iface.alias_addresses = set()
-        self._set_home_routing()
-        # Reclaim the home address on the home LAN (Section 2): other
-        # hosts' ARP caches still bind it to the home agent.
-        self.arp["wifi0"].announce(self.home_address)
-        # "The mobile host registers a special foreign agent address of
-        # zero with its home agent when reconnecting to its home network."
-        self._register_with_home_agent(IPAddress.zero())
-        if old_fa is not None:
-            # Section 6.3: the old foreign agent deletes the visitor and
-            # does NOT create a forwarding pointer (zero new agent).
-            self._notify_old_foreign_agent(old_fa, new_agent=IPAddress.zero())
-
-    def _heard_foreign_agent(self, info: AgentAdvertisementInfo) -> None:
-        agent = info.agent
-        previous_boot = self._fa_boot_ids.get(agent)
-        self._fa_boot_ids[agent] = info.boot_id
-        if agent == self.current_foreign_agent and self.state == AWAY:
-            self._last_fa_heard = self.sim.now
-            self._fa_lifetime = info.lifetime
-            if previous_boot is not None and previous_boot != info.boot_id:
-                # Our agent rebooted and lost its visitor list
-                # (Section 5.2): re-register proactively.
-                self._connect_to_foreign_agent(agent, rebind_only=True)
-            return
-        if agent == self._registering_with:
-            return  # registration already in flight
-        self._connect_to_foreign_agent(agent)
-
-    # ------------------------------------------------------------------
-    # Registration sequence (Section 3 ordering)
-    # ------------------------------------------------------------------
-    def _connect_to_foreign_agent(self, agent: IPAddress, rebind_only: bool = False) -> None:
-        old_fa = self.current_foreign_agent if not rebind_only else None
-        was_home = self.state == AT_HOME
-        self._registering_with = agent
-        # Route our own traffic via the new agent immediately; the
-        # registration itself (and everything after it) needs this.
-        self._set_away_routing(agent)
-        message = RegistrationMessage(
-            kind=FA_CONNECT,
-            seq=next_seq(),
-            mobile_host=self.home_address,
-            agent=agent,
-            hw_value=self.iface.hw_address.value,
-        )
-        registration_started = self.sim.now
-        self.registrar.send(
-            agent,
-            message,
-            on_ack=partial(
-                self._fa_connect_acked, agent, old_fa, was_home, registration_started
-            ),
-            on_fail=self._fa_connect_failed,
-        )
-
-    def _fa_connect_acked(
-        self,
-        agent: IPAddress,
-        old_fa: Optional[IPAddress],
-        was_home: bool,
-        registration_started: float,
-        ack: RegistrationMessage,
-    ) -> None:
-        self._registering_with = None
-        if not ack.ok:
-            return
-        self.state = AWAY
-        self.current_foreign_agent = agent
-        self.temp_address = None
-        self.iface.alias_addresses = set()
-        self.registrations += 1
-        telemetry = self.sim.telemetry
-        if telemetry is not None:
-            telemetry.registration_complete(
-                self.sim.now, self.name, agent,
-                self.sim.now - registration_started,
-            )
-        self._last_fa_heard = self.sim.now
-        if self._fa_lifetime <= 0:
-            from repro.core.discovery import DEFAULT_ADVERT_LIFETIME
-
-            self._fa_lifetime = DEFAULT_ADVERT_LIFETIME
-        self._watchdog.start(self._fa_lifetime)
-        # Step 2: the home agent.
-        self._register_with_home_agent(agent)
-        # Step 3: the old foreign agent (unless we came from home or
-        # already disconnected explicitly).
-        if old_fa is not None and old_fa != agent and not was_home:
-            self._notify_old_foreign_agent(old_fa, new_agent=agent)
-
-    def _fa_connect_failed(self) -> None:
-        self._registering_with = None
-
-    def _register_with_home_agent(self, foreign_agent: IPAddress) -> None:
-        message = RegistrationMessage(
-            kind=HA_REGISTER,
-            seq=next_seq(),
-            mobile_host=self.home_address,
-            agent=foreign_agent,
-        )
-        self.registrar.send(self.home_agent, message)
-
-    def _notify_old_foreign_agent(self, old_fa: IPAddress, new_agent: IPAddress) -> None:
-        message = RegistrationMessage(
-            kind=FA_DISCONNECT,
-            seq=next_seq(),
-            mobile_host=self.home_address,
-            agent=new_agent,
-        )
-        self.registrar.send(old_fa, message)
-
-    # ------------------------------------------------------------------
-    # Foreign agent silence watchdog
-    # ------------------------------------------------------------------
-    def _check_agent_silence(self) -> None:
-        if self.state != AWAY or self._fa_lifetime <= 0:
-            return
-        silent_for = self.sim.now - self._last_fa_heard
-        if silent_for >= 2 * self._fa_lifetime:
-            # The agent is gone (crashed, or we drifted out of range
-            # without hearing anyone new): the connection is dead.
-            self.sim.trace(
-                "mhrp.register", self.name, event="mh-silence-disconnect",
-                agent=str(self.current_foreign_agent),
-            )
-            self.silence_disconnects += 1
-            self.current_foreign_agent = None
-            self.state = DISCONNECTED
-            return
-        if silent_for >= self._fa_lifetime:
-            # Past the advertised lifetime: ask before giving up.
-            self.discovery.solicit("wifi0")
-        self._watchdog.start(self._fa_lifetime / 2)
-
-    # ------------------------------------------------------------------
-    # MHRP packets addressed to this host
-    # ------------------------------------------------------------------
-    def _on_mhrp_packet(self, packet: IPPacket, iface: Optional[NetworkInterface]) -> None:
-        """A tunneled packet reached the host itself.
-
-        Two legitimate cases: the host is at home and a stale chain
-        re-tunneled the packet to the home address (Section 6.3), or the
-        host is its own foreign agent and this is a normal tunnel
-        delivery (Section 2).  Either way the host updates the stale
-        caches recorded in the packet and delivers the payload to itself.
-        """
-        payload = packet.payload
-        if not isinstance(payload, MHRPPayload):
-            return
-        header = payload.header
-        if header.mobile_host != self.home_address:
-            return  # tunneled to us by mistake; nothing useful to do
-        # Section 6.3: while at home (or disconnected) the reported
-        # location is zero — "indicating that it is currently connected
-        # to its home network and that S's cache entry ... should be
-        # deleted".
-        location = mh_reported_location(
-            self.state, self.temp_address, self.current_foreign_agent
-        )
-        stale = stale_chain(header.previous_sources, packet.src)
-        for address in stale:
-            send_location_update(
-                self, address, self.home_address, location, self.limiter
-            )
-        telemetry = self.sim.telemetry
-        if telemetry is not None:
-            telemetry.tunnel_delivery(
-                self.sim.now, self.name, str(header.mobile_host),
-                len(header.previous_sources),
-            )
-        decapsulate(packet)
-        self.sim.trace(
-            "mhrp.tunnel",
-            self.name,
-            event="mh-self-deliver",
-            uid=packet.uid,
-        )
-        self.packet_received(packet, iface)
 
     def __repr__(self) -> str:
         where = {

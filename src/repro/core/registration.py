@@ -23,13 +23,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Dict
 
-from repro.errors import PacketError, RegistrationError
+from repro.errors import PacketError
 from repro.ip.address import IPAddress
-from repro.ip.node import IPNode
-from repro.ip.packet import IPPacket
-from repro.ip.protocols import MOBILE_CONTROL
 
 # Message kinds.
 FA_CONNECT = "fa-connect"
@@ -184,159 +181,12 @@ class StaleControlFilter:
         }
 
 
-class ControlDispatcher:
-    """Per-node demultiplexer for :data:`MOBILE_CONTROL` packets."""
+def __getattr__(name: str):
+    # ControlDispatcher and ReliableRegistrar moved to repro.wire.roles
+    # (one implementation for the simulator and the sans-io engines).
+    # Resolved lazily: roles imports this module at import time.
+    if name in ("ControlDispatcher", "ReliableRegistrar"):
+        from repro.wire import roles
 
-    _ATTR = "_mhrp_control_dispatcher"
-
-    def __init__(self, node: IPNode) -> None:
-        self.node = node
-        self._handlers: Dict[str, Callable[[IPPacket, RegistrationMessage], None]] = {}
-        self._ack_waiters: Dict[int, Callable[[RegistrationMessage], None]] = {}
-        node.register_protocol(MOBILE_CONTROL, self._handle)
-
-    @classmethod
-    def for_node(cls, node: IPNode) -> "ControlDispatcher":
-        """The node's dispatcher, created on first use."""
-        dispatcher = getattr(node, cls._ATTR, None)
-        if dispatcher is None:
-            dispatcher = cls(node)
-            setattr(node, cls._ATTR, dispatcher)
-        return dispatcher
-
-    def on(self, kind: str, handler: Callable[[IPPacket, RegistrationMessage], None]) -> None:
-        if kind in self._handlers:
-            raise RegistrationError(
-                f"{self.node.name}: control kind {kind!r} already handled"
-            )
-        self._handlers[kind] = handler
-
-    def expect_ack(self, seq: int, callback: Callable[[RegistrationMessage], None]) -> None:
-        self._ack_waiters[seq] = callback
-
-    def cancel_ack(self, seq: int) -> None:
-        self._ack_waiters.pop(seq, None)
-
-    def _handle(self, packet: IPPacket, iface: object) -> None:
-        message = packet.payload
-        if not isinstance(message, RegistrationMessage):
-            return
-        if message.kind == ACK:
-            waiter = self._ack_waiters.pop(message.seq, None)
-            if waiter is not None:
-                waiter(message)
-            return
-        handler = self._handlers.get(message.kind)
-        if handler is not None:
-            handler(packet, message)
-
-    def send_ack(
-        self,
-        to: IPAddress,
-        request: RegistrationMessage,
-        agent: Optional[IPAddress] = None,
-        ok: bool = True,
-    ) -> None:
-        """Acknowledge ``request`` back to ``to``."""
-        ack = RegistrationMessage(
-            kind=ACK,
-            seq=request.seq,
-            mobile_host=request.mobile_host,
-            agent=agent if agent is not None else IPAddress.zero(),
-            ok=ok,
-        )
-        self.node.send(IPPacket(
-            src=self.node.primary_address,
-            dst=to,
-            protocol=MOBILE_CONTROL,
-            payload=ack,
-        ))
-
-
-class _ReliableTransmission:
-    """One in-flight reliable registration: retransmit state plus the
-    caller's completion callbacks, held together in an object whose
-    callbacks are bound methods (snapshot/fork requires every scheduled
-    callable to survive a deepcopy of the simulation graph — closures
-    would silently keep pointing at the pre-fork world)."""
-
-    def __init__(
-        self,
-        registrar: "ReliableRegistrar",
-        destination: IPAddress,
-        message: RegistrationMessage,
-        on_ack: Optional[Callable[[RegistrationMessage], None]],
-        on_fail: Optional[Callable[[], None]],
-    ) -> None:
-        self.registrar = registrar
-        self.destination = destination
-        self.message = message
-        self.on_ack = on_ack
-        self.on_fail = on_fail
-        self.attempts = 0
-        self.timer = registrar.node.sim.timer(
-            self._retry, label=f"reg-retry-{message.seq}"
-        )
-
-    def begin(self) -> None:
-        self.registrar.dispatcher.expect_ack(self.message.seq, self._acked)
-        self._transmit()
-        self.timer.start(REG_RETRY_INTERVAL)
-
-    def _transmit(self) -> None:
-        node = self.registrar.node
-        node.sim.trace(
-            "mhrp.register",
-            node.name,
-            event="send",
-            kind=self.message.kind,
-            to=str(self.destination),
-            attempt=self.attempts,
-        )
-        node.send(IPPacket(
-            src=node.primary_address,
-            dst=self.destination,
-            protocol=MOBILE_CONTROL,
-            payload=self.message,
-        ))
-
-    def _retry(self) -> None:
-        node = self.registrar.node
-        self.attempts += 1
-        if self.attempts > REG_MAX_RETRIES:
-            self.registrar.dispatcher.cancel_ack(self.message.seq)
-            node.sim.trace(
-                "mhrp.register",
-                node.name,
-                event="gave-up",
-                kind=self.message.kind,
-                to=str(self.destination),
-            )
-            if self.on_fail is not None:
-                self.on_fail()
-            return
-        self._transmit()
-        self.timer.start(REG_RETRY_INTERVAL)
-
-    def _acked(self, ack: RegistrationMessage) -> None:
-        self.timer.cancel()
-        if self.on_ack is not None:
-            self.on_ack(ack)
-
-
-class ReliableRegistrar:
-    """Retransmits one registration until acknowledged or given up."""
-
-    def __init__(self, node: IPNode) -> None:
-        self.node = node
-        self.dispatcher = ControlDispatcher.for_node(node)
-
-    def send(
-        self,
-        destination: IPAddress,
-        message: RegistrationMessage,
-        on_ack: Optional[Callable[[RegistrationMessage], None]] = None,
-        on_fail: Optional[Callable[[], None]] = None,
-    ) -> None:
-        """Send ``message`` to ``destination`` reliably."""
-        _ReliableTransmission(self, destination, message, on_ack, on_fail).begin()
+        return getattr(roles, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -25,6 +25,9 @@ MHRP = 252
 #: Registration/control messages for baseline protocols that used bespoke
 #: UDP-like control channels; kept distinct for trace clarity.
 MOBILE_CONTROL = 253
+#: Cache-convergence probes (scenario schedule ``probe`` entries):
+#: delivery is the signal, the payload is discarded.
+CONVERGENCE_PROBE = 254
 
 _NAMES = {
     ICMP: "ICMP",
@@ -35,6 +38,7 @@ _NAMES = {
     IPTP: "IPTP",
     MHRP: "MHRP",
     MOBILE_CONTROL: "MOBILE_CONTROL",
+    CONVERGENCE_PROBE: "CONVERGENCE_PROBE",
 }
 
 

@@ -92,7 +92,6 @@ class LiveRun(ScheduleActions):
         speed: float = DEFAULT_SPEED,
         health=None,
     ) -> None:
-        self._check_spec_schedule(spec)
         self.spec = spec
         self.speed = speed
         self.topo: EngineTopology = build_engine_world(spec.topology)
@@ -203,15 +202,23 @@ class LiveRun(ScheduleActions):
                 self._endpoints[(node.name, iface_name)] = (transport, port)
 
     def _install_schedule(self) -> None:
+        from repro.scenario.spec import PROBE_GAP
+
         loop = asyncio.get_running_loop()
         entries = (
             [("move", e["t"], (e["host"], e["to"])) for e in self.spec.moves]
             + [("fault", e["t"], (e["node"], e["kind"])) for e in self.spec.faults]
+            + [("flow", e["start"], (i, e)) for i, e in enumerate(self.spec.flows)]
+            + [("probe", e["t"], (e["src"], e["host"])) for e in self.spec.probes]
+            + [("probe", e["t"] + PROBE_GAP, (e["src"], e["host"]))
+               for e in self.spec.probes]
             + [("ping", e["t"], (e["src"], e["host"])) for e in self.spec.pings]
         )
         actions = {
             "move": self._apply_move,
             "fault": self._apply_fault,
+            "flow": self._apply_flow,
+            "probe": self._apply_probe,
             "ping": self._apply_ping,
         }
         for kind, t, args in entries:

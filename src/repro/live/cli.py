@@ -19,7 +19,9 @@ from typing import List, Optional
 
 from repro.clibase import build_parser
 
-LIVE_SCENARIOS = ("figure1", "fuzz-1101", "fuzz-1102", "fuzz-1103")
+LIVE_SCENARIOS = (
+    "figure1", "fuzz-1101", "fuzz-1102", "fuzz-1103", "local-query-1104",
+)
 
 
 def _resolve_spec(name: str):

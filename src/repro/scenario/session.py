@@ -47,9 +47,10 @@ from repro.netsim.simulator import Simulator, Timer
 from repro.scenario.spec import PROBE_GAP, ScenarioSpec
 from repro.scenario.world import World, build_world
 
-#: IP protocol number used by convergence probes (MHRP=252 and the
-#: registration control protocol=253 are taken).
-PROBE_PROTOCOL = 254
+#: IP protocol number used by convergence probes (canonical definition
+#: lives with the other protocol numbers; re-exported here for the
+#: session/fuzzer API).
+from repro.ip.protocols import CONVERGENCE_PROBE as PROBE_PROTOCOL
 
 
 # ----------------------------------------------------------------------

@@ -353,7 +353,53 @@ def fuzz_conformance_specs():
     return specs
 
 
+def local_query_spec():
+    """The Section 5.2 local-query variant (``believe_home_agent=False``)
+    under a foreign-agent reboot.
+
+    The rebooted foreign agent does *not* take the home agent's recovery
+    update at its word: it queries the local link for the claimed
+    visitor's presence — an ARP request in the simulator, an ICMP echo
+    probe on the ARP-less engines — and re-adds the visitor only after
+    :data:`~repro.wire.roles.QUERY_VERIFY_DELAY` confirms an answer.
+    Shape mirrors the fuzz-1103 reboot scenario so the recovery schedule
+    (crash at 9, reboot at 10, stale tunnel at 13, verified re-add at
+    17) is identical on both substrates; the query/answer exchange
+    itself is invisible to the conformance projection, which is exactly
+    the point — the *observable* protocol sequence must not change.
+    """
+    from repro.scenario.spec import ScenarioSpec
+
+    scenario = {
+        "seed": 1104, "n_cells": 2, "n_hosts": 1,
+        "max_previous_sources": 4, "horizon": 26.0,
+        "moves": [
+            {"t": 2.0, "host": 0, "to": 0},
+        ],
+        "faults": [
+            {"t": 9.0, "node": "FR0", "kind": "crash"},
+            {"t": 10.0, "node": "FR0", "kind": "reboot"},
+        ],
+        "pings": [
+            {"t": 6.0, "src": 0, "host": 0},
+            {"t": 13.0, "src": 0, "host": 0},
+            {"t": 20.0, "src": 1, "host": 0},
+        ],
+    }
+    spec = ScenarioSpec.from_fuzz_v1(scenario)
+    spec.pings = list(scenario["pings"])
+    spec.topology["believe_home_agent"] = False
+    spec.name = "local-query-1104"
+    spec.instruments = []
+    return spec
+
+
 def conformance_specs():
-    """The full cross-backend corpus: the Figure-1 walkthrough plus the
-    fuzz-derived campus scenarios."""
-    return [figure1_walkthrough_spec()] + fuzz_conformance_specs()
+    """The full cross-backend corpus: the Figure-1 walkthrough, the
+    fuzz-derived campus scenarios, and the Section 5.2 local-query
+    variant."""
+    return (
+        [figure1_walkthrough_spec()]
+        + fuzz_conformance_specs()
+        + [local_query_spec()]
+    )

@@ -138,12 +138,30 @@ class ScheduleActions:
             sender, sender.command(self.now, "ping", dst=mh.home_address)
         )
 
-    def _check_spec_schedule(self, spec) -> None:
-        if spec.flows or spec.probes:
-            raise ConfigurationError(
-                "engine backends run moves/faults/pings only; "
-                "flows and probes are simulator-only schedule entries"
-            )
+    def _apply_flow(self, flow_id: int, entry: dict) -> None:
+        """A scenario ``flow`` entry: start a CBR UDP stream on the
+        correspondent engine (the engines' transport endpoints — the
+        simulator runs :class:`repro.workloads.traffic.CBRStream`)."""
+        topo = self.topo
+        sender = topo.correspondent(entry["src"] % len(topo.correspondents))
+        mh = topo.mobile_host(entry["host"] % len(topo.mobile_hosts))
+        self.process(sender, sender.command(
+            self.now, "flow",
+            dst=mh.home_address,
+            interval=entry["interval"],
+            count=entry["count"],
+            port=entry.get("port", 40000),
+            payload_size=entry.get("payload_size", 64),
+            flow_id=flow_id,
+        ))
+
+    def _apply_probe(self, src_index: int, host_index: int) -> None:
+        topo = self.topo
+        sender = topo.correspondent(src_index % len(topo.correspondents))
+        mh = topo.mobile_host(host_index % len(topo.mobile_hosts))
+        self.process(
+            sender, sender.command(self.now, "probe", dst=mh.home_address)
+        )
 
 
 class EngineDriver(ScheduleActions):
@@ -207,17 +225,33 @@ class EngineDriver(ScheduleActions):
     def schedule_ping(self, t: float, src_index: int, host_index: int) -> None:
         self._push(t, ("ping", src_index, host_index))
 
+    def schedule_flow(self, t: float, flow_id: int, entry: dict) -> None:
+        self._push(t, ("flow", flow_id, entry))
+
+    def schedule_probe(self, t: float, src_index: int, host_index: int) -> None:
+        self._push(t, ("probe", src_index, host_index))
+
     def install_spec(self, spec) -> None:
         """Install a ScenarioSpec schedule.
 
-        Flows and probes need transport endpoints the engines do not
-        model; a spec using them is simulator-only.
-        """
-        self._check_spec_schedule(spec)
+        Every spec entry kind runs here: flows and probes execute on the
+        engines' own transport endpoints (a probe entry expands to a
+        warm probe at ``t`` and a second one :data:`PROBE_GAP` seconds
+        later, mirroring the session scheduler; the auditor watch on the
+        second probe is a simulator-only instrument)."""
+        from repro.scenario.spec import PROBE_GAP
+
         for entry in spec.moves:
             self.schedule_move(entry["t"], entry["host"], entry["to"])
         for entry in spec.faults:
             self.schedule_fault(entry["t"], entry["node"], entry["kind"])
+        for flow_id, entry in enumerate(spec.flows):
+            self.schedule_flow(entry["start"], flow_id, entry)
+        for entry in spec.probes:
+            self.schedule_probe(entry["t"], entry["src"], entry["host"])
+            self.schedule_probe(
+                entry["t"] + PROBE_GAP, entry["src"], entry["host"]
+            )
         for entry in spec.pings:
             self.schedule_ping(entry["t"], entry["src"], entry["host"])
 
@@ -300,6 +334,10 @@ class EngineDriver(ScheduleActions):
             self._apply_move(action[1], action[2])
         elif kind == "fault":
             self._apply_fault(action[1], action[2])
+        elif kind == "flow":
+            self._apply_flow(action[1], action[2])
+        elif kind == "probe":
+            self._apply_probe(action[1], action[2])
         elif kind == "ping":
             self._apply_ping(action[1], action[2])
         else:  # pragma: no cover - defensive

@@ -11,25 +11,24 @@ here touches a socket, a simulator, or a wall clock; drivers own all IO:
 - :mod:`repro.live` executes the same world over real asyncio UDP
   sockets on loopback, one port per interface.
 
-The protocol decisions are the *same code* the simulator-bound agents in
-:mod:`repro.core` run: both import :mod:`repro.wire.logic` and reuse the
-pure structures (:class:`~repro.core.persistence.LocationDatabase`,
-:class:`~repro.core.cache_agent.LocationCache`,
-:class:`~repro.core.registration.StaleControlFilter`,
-:func:`~repro.core.encapsulation.retunnel`, ...).  The engines mirror
-the agents' trace-event vocabulary exactly so the cross-backend
-conformance harness (:mod:`repro.wire.conformance`) can diff a live run
-against a simulator run event-for-event.
+The protocol decisions are literally the *same code* the simulator-bound
+agents in :mod:`repro.core` run: every role engine below subclasses its
+role from :mod:`repro.wire.roles` over an
+:class:`~repro.wire.roles.EngineRolePort`, so the per-message MHRP
+behaviour has exactly one implementation.  The trace-event vocabulary is
+shared by construction, and the cross-backend conformance harness
+(:mod:`repro.wire.conformance`) can diff a live run against a simulator
+run event-for-event.
 
-Two deliberate simplifications versus the full simulated link layer,
-documented in ``PROTOCOL.md``:
-
-- **no ARP** — drivers map IP addresses to endpoints directly; home
-  agents rely on being on-path (their routers sit between the backbone
-  and the home LAN in every shipped topology), and foreign agents learn
-  visitors from connect notifications alone;
-- **believe_home_agent only** — the Section 5.2 local-query variant
-  needs ARP, so engine foreign agents always take the home agent's word.
+One deliberate difference versus the full simulated link layer,
+documented in ``PROTOCOL.md``: there is **no ARP** — drivers map IP
+addresses to endpoints directly, home agents rely on being on-path
+(their routers sit between the backbone and the home LAN in every
+shipped topology), and foreign agents learn visitors from connect
+notifications alone.  The Section 5.2 local-query variant
+(``believe_home_agent=False``) still works here: the presence query is
+an ICMP echo probe instead of an ARP request (see
+:meth:`repro.wire.roles.EngineRolePort.probe_neighbor`).
 """
 
 from __future__ import annotations
@@ -40,73 +39,44 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.cache_agent import (
-    DEFAULT_CACHE_CAPACITY,
-    LocationCache,
-    UpdateRateLimiter,
-)
-from repro.core.discovery import (
-    AgentAdvertisementInfo,
-    DEFAULT_ADVERT_LIFETIME,
-    DEFAULT_ADVERT_PERIOD,
-)
-from repro.core.encapsulation import MHRPPayload, decapsulate, encapsulate, retunnel
+from repro.core.encapsulation import MHRPPayload
 from repro.core.header import DEFAULT_MAX_PREVIOUS_SOURCES
-from repro.core.persistence import LocationDatabase, LocationStore
-from repro.core.registration import (
-    ACK,
-    FA_CONNECT,
-    FA_DISCONNECT,
-    HA_REGISTER,
-    REG_MAX_RETRIES,
-    REG_RETRY_INTERVAL,
-    RegistrationMessage,
-    StaleControlFilter,
-)
+from repro.core.persistence import LocationStore
 from repro.errors import PacketError, RegistrationError
 from repro.ip.address import IPAddress, IPNetwork
+
+# The hook-consumed sentinel is the IPNode's own: the roles return it and
+# both substrates' dataplanes compare against it by identity.
+from repro.ip.node import CONSUMED
 from repro.ip.icmp import (
     EchoMessage,
     ICMPError,
-    LocationUpdate,
     RouterAdvertisement,
-    RouterSolicitation,
     TYPE_ECHO_REPLY,
     TYPE_ECHO_REQUEST,
-    TYPE_LOCATION_UPDATE,
     TYPE_ROUTER_ADVERTISEMENT,
-    TYPE_ROUTER_SOLICITATION,
 )
-from repro.ip.packet import IPPacket
+from repro.ip.packet import IPPacket, RawPayload
+from repro.ip.protocols import CONVERGENCE_PROBE
 from repro.ip.protocols import ICMP as PROTO_ICMP
 from repro.ip.protocols import MHRP as PROTO_MHRP
-from repro.ip.protocols import MOBILE_CONTROL
+from repro.ip.protocols import UDP as PROTO_UDP
 from repro.ip.routing import RoutingTable
+from repro.transport.segments import UDPDatagram
 from repro.wire.codec import OpaqueICMP, decode_packet, encode_packet
-from repro.wire.logic import (
-    AT_HOME,
-    AWAY,
-    AWAY_SELF_AGENT,
-    DEPARTURE_GRACE,
-    DISCONNECTED,
-    DISCONNECTED_ADDRESS,
-    HOME_DROP_DISCONNECTED,
-    HOME_PASS,
-    HOME_RECOVER,
-    decide_home_tunneled_arrival,
-    forwarding_pointer_target,
-    is_control_traffic,
-    may_send_update,
-    mh_reported_location,
-    retunnel_target,
-    should_recover_visitor,
-    stale_chain,
+from repro.wire.roles import (
+    AgentAdvertisementInfo,
+    CacheAgentRole,
+    DEFAULT_CACHE_CAPACITY,
+    EngineRolePort,
+    ForeignAgentRole,
+    HomeAgentRole,
+    MobileHostRole,
+    Registrar,
+    UpdateRateLimiter,
 )
 
 LIMITED_BROADCAST = IPAddress("255.255.255.255")
-
-#: Sentinel returned by a hook that fully consumed the packet.
-CONSUMED = object()
 
 
 # ----------------------------------------------------------------------
@@ -603,835 +573,83 @@ def _wrapping_counter(start: int = 1) -> Callable[[], int]:
 
 
 # ----------------------------------------------------------------------
-# Control-plane plumbing (dispatcher, reliable registrar, advertiser)
+# Role engines — the repro.wire.roles roles over an EngineRolePort
 # ----------------------------------------------------------------------
 
-class EngineControlDispatcher:
-    """Per-engine demultiplexer for :data:`MOBILE_CONTROL` packets
-    (mirrors :class:`repro.core.registration.ControlDispatcher`)."""
-
-    def __init__(self, node: NodeEngine) -> None:
-        self.node = node
-        self._handlers: Dict[str, Callable] = {}
-        self._ack_waiters: Dict[int, Callable] = {}
-        node.register_protocol(MOBILE_CONTROL, self._handle)
-
-    @classmethod
-    def for_node(cls, node: NodeEngine) -> "EngineControlDispatcher":
-        dispatcher = getattr(node, "_control_dispatcher", None)
-        if dispatcher is None:
-            dispatcher = cls(node)
-            node._control_dispatcher = dispatcher
-        return dispatcher
-
-    def on(self, kind: str, handler: Callable) -> None:
-        if kind in self._handlers:
-            raise RegistrationError(
-                f"{self.node.name}: control kind {kind!r} already handled"
-            )
-        self._handlers[kind] = handler
-
-    def expect_ack(self, seq: int, callback: Callable) -> None:
-        self._ack_waiters[seq] = callback
-
-    def cancel_ack(self, seq: int) -> None:
-        self._ack_waiters.pop(seq, None)
-
-    def _handle(self, packet: IPPacket, iface_name) -> None:
-        message = packet.payload
-        if not isinstance(message, RegistrationMessage):
-            return
-        if message.kind == ACK:
-            waiter = self._ack_waiters.pop(message.seq, None)
-            if waiter is not None:
-                waiter(message)
-            return
-        handler = self._handlers.get(message.kind)
-        if handler is not None:
-            handler(packet, message)
-
-    def send_ack(
-        self, to: IPAddress, request: RegistrationMessage,
-        agent: Optional[IPAddress] = None, ok: bool = True,
-    ) -> None:
-        ack = RegistrationMessage(
-            kind=ACK, seq=request.seq, mobile_host=request.mobile_host,
-            agent=agent if agent is not None else IPAddress.zero(), ok=ok,
-        )
-        self.node.send(IPPacket(
-            src=self.node.primary_address, dst=to,
-            protocol=MOBILE_CONTROL, payload=ack,
-        ))
-
-
-class EngineRegistrar:
-    """Reliable registration sender: retransmits each message on a
-    per-sequence node timer until acknowledged or given up (same schedule
-    as :class:`repro.core.registration.ReliableRegistrar`)."""
-
-    def __init__(self, node: NodeEngine) -> None:
-        self.node = node
-        self.dispatcher = EngineControlDispatcher.for_node(node)
-        self._pending: Dict[int, dict] = {}
-
-    def send(
-        self, destination: IPAddress, message: RegistrationMessage,
-        on_ack: Optional[Callable] = None, on_fail: Optional[Callable] = None,
-    ) -> None:
-        self._pending[message.seq] = {
-            "destination": destination, "message": message,
-            "on_ack": on_ack, "on_fail": on_fail, "attempts": 0,
-        }
-        self.dispatcher.expect_ack(message.seq, partial(self._acked, message.seq))
-        self._transmit(message.seq)
-        self.node.set_timer(
-            f"reg-retry-{message.seq}", REG_RETRY_INTERVAL,
-            partial(self._retry, message.seq),
-        )
-
-    def _transmit(self, seq: int) -> None:
-        entry = self._pending[seq]
-        self.node.trace(
-            "mhrp.register", event="send", kind=entry["message"].kind,
-            to=str(entry["destination"]), attempt=entry["attempts"],
-        )
-        self.node.send(IPPacket(
-            src=self.node.primary_address, dst=entry["destination"],
-            protocol=MOBILE_CONTROL, payload=entry["message"],
-        ))
-
-    def _retry(self, seq: int) -> None:
-        entry = self._pending.get(seq)
-        if entry is None:
-            return
-        entry["attempts"] += 1
-        if entry["attempts"] > REG_MAX_RETRIES:
-            self._pending.pop(seq, None)
-            self.dispatcher.cancel_ack(seq)
-            self.node.trace(
-                "mhrp.register", event="gave-up",
-                kind=entry["message"].kind, to=str(entry["destination"]),
-            )
-            if entry["on_fail"] is not None:
-                entry["on_fail"]()
-            return
-        self._transmit(seq)
-        self.node.set_timer(
-            f"reg-retry-{seq}", REG_RETRY_INTERVAL, partial(self._retry, seq)
-        )
-
-    def _acked(self, seq: int, ack: RegistrationMessage) -> None:
-        entry = self._pending.pop(seq, None)
-        if entry is None:
-            return
-        self.node.cancel_timer(f"reg-retry-{seq}")
-        if entry["on_ack"] is not None:
-            entry["on_ack"](ack)
-
-
-class EngineAdvertiser:
-    """Periodic agent advertisements on one interface, answering
-    solicitations immediately (mirrors
-    :class:`repro.core.discovery.AgentAdvertiser`)."""
-
-    def __init__(
-        self, node: NodeEngine, iface_name: str,
-        is_home_agent: bool, is_foreign_agent: bool,
-        period: float = DEFAULT_ADVERT_PERIOD,
-        lifetime: float = DEFAULT_ADVERT_LIFETIME,
-    ) -> None:
-        self.node = node
-        self.iface_name = iface_name
-        self.is_home_agent = is_home_agent
-        self.is_foreign_agent = is_foreign_agent
-        self.period = period
-        self.lifetime = lifetime
-        self.boot_id = node.rng.randrange(1, 2**31)
-        self.running = False
-        self._timer_key = f"advert-{iface_name}"
-        node.on_icmp(TYPE_ROUTER_SOLICITATION, self._on_solicitation)
-
-    def start(self) -> None:
-        if self.running:
-            return
-        self.running = True
-        self._advertise()
-
-    def stop(self) -> None:
-        self.running = False
-        self.node.cancel_timer(self._timer_key)
-
-    def restart_with_new_boot_id(self) -> None:
-        self.boot_id = self.node.rng.randrange(1, 2**31)
-        self.running = False
-        self.start()
-
-    def _advertise(self) -> None:
-        if not self.running or not self.node.up:
-            return
-        self._broadcast()
-        jitter = self.node.rng.uniform(0, self.period * 0.05)
-        self.node.set_timer(self._timer_key, self.period + jitter, self._advertise)
-
-    def _on_solicitation(self, packet: IPPacket, message) -> None:
-        if self.running and self.node.up:
-            self._broadcast()
-
-    def _broadcast(self) -> None:
-        iface = self.node.interfaces[self.iface_name]
-        advert = RouterAdvertisement(
-            router_address=iface.ip_address, lifetime=self.lifetime,
-            is_home_agent=self.is_home_agent,
-            is_foreign_agent=self.is_foreign_agent, boot_id=self.boot_id,
-        )
-        advert.code = self.boot_id & 0xFF
-        self.node.send_broadcast(self.iface_name, PROTO_ICMP, advert)
-
-    def state_dict(self) -> dict:
-        return {"boot_id": self.boot_id, "running": self.running}
-
-    def load_state(self, state: dict) -> None:
-        self.boot_id = int(state["boot_id"])
-        self.running = bool(state["running"])
-
-
-def engine_send_location_update(
-    node: NodeEngine,
-    destination: IPAddress,
-    mobile_host: IPAddress,
-    foreign_agent: IPAddress,
-    limiter: Optional[UpdateRateLimiter] = None,
-    purge: bool = False,
-) -> bool:
-    """Engine twin of :func:`repro.core.cache_agent.send_location_update`
-    — same eligibility and rate-limit rules, same trace event."""
-    if not may_send_update(destination, mobile_host, node.has_address(destination)):
-        return False
-    if limiter is not None and not limiter.allow(destination, node.now):
-        return False
-    message = LocationUpdate(
-        mobile_host=mobile_host, foreign_agent=foreign_agent, purge=purge
-    )
-    node.trace(
-        "mhrp.update", event="sent", to=str(destination),
-        mobile_host=str(mobile_host), foreign_agent=str(foreign_agent),
-        purge=purge,
-    )
-    node.send_icmp(destination, message)
-    return True
-
-
-# ----------------------------------------------------------------------
-# Role engines
-# ----------------------------------------------------------------------
-
-class CacheAgentEngine:
-    """The cache-agent role on a :class:`NodeEngine` (mirrors
-    :class:`repro.core.cache_agent.CacheAgent`)."""
+class CacheAgentEngine(CacheAgentRole):
+    """The cache-agent role on a :class:`NodeEngine` — the same
+    :class:`~repro.wire.roles.CacheAgentRole` the simulator's
+    :class:`repro.core.cache_agent.CacheAgent` runs, over the engine
+    port."""
 
     def __init__(
         self, node: NodeEngine, capacity: int = DEFAULT_CACHE_CAPACITY,
         examine_forwarded: bool = False, enabled: bool = True,
     ) -> None:
-        self.node = node
-        self.cache = LocationCache(capacity)
-        self.examine_forwarded = examine_forwarded
-        self.enabled = enabled
-        self.tunnels_built = 0
-        node.roles["cache_agent"] = self
-        node.outbound_hooks.append(self.outbound_hook)
-        node.transit_hooks.append(self.transit_hook)
-        node.on_icmp(TYPE_LOCATION_UPDATE, self._on_location_update)
-        node.reboot_hooks.append(self.cache.clear)
-
-    def learn(self, mobile_host: IPAddress, foreign_agent: IPAddress) -> None:
-        if foreign_agent.is_zero:
-            self.cache.delete(mobile_host)
-            return
-        self.cache.put(mobile_host, foreign_agent, now=self.node.now)
-
-    def _on_location_update(self, packet: IPPacket, message) -> None:
-        if not isinstance(message, LocationUpdate) or not self.enabled:
-            return
-        self.node.trace(
-            "mhrp.update", event="received",
-            mobile_host=str(message.mobile_host),
-            foreign_agent=str(message.foreign_agent), purge=message.purge,
-        )
-        if message.clears_entry:
-            self.cache.delete(message.mobile_host)
-        else:
-            self.learn(message.mobile_host, message.foreign_agent)
-
-    def outbound_hook(self, packet: IPPacket):
-        if not self.enabled or is_control_traffic(packet.protocol, packet.payload):
-            return None
-        foreign_agent = self.cache.get(packet.dst)
-        self.node.health("cache_lookup", hit=foreign_agent is not None)
-        if foreign_agent is None:
-            return None
-        if self.node.has_address(foreign_agent):
-            return None
-        self.tunnels_built += 1
-        self.node.counters["diverted"] += 1
-        self.node.trace(
-            "mhrp.tunnel", event="sender-encapsulate",
-            mobile_host=str(packet.dst), foreign_agent=str(foreign_agent),
-            uid=packet.uid,
-        )
-        return encapsulate(packet, foreign_agent, agent_address=None)
-
-    def transit_hook(self, packet: IPPacket, iface_name):
-        if not self.enabled:
-            return None
-        if (
-            self.examine_forwarded
-            and packet.protocol == PROTO_ICMP
-            and isinstance(packet.payload, LocationUpdate)
-        ):
-            message = packet.payload
-            if message.clears_entry:
-                self.cache.delete(message.mobile_host)
-            else:
-                self.learn(message.mobile_host, message.foreign_agent)
-            return None
-        if is_control_traffic(packet.protocol, packet.payload):
-            return None
-        foreign_agent = self.cache.get(packet.dst)
-        self.node.health("cache_lookup", hit=foreign_agent is not None)
-        if foreign_agent is None or self.node.has_address(foreign_agent):
-            return None
-        self.tunnels_built += 1
-        self.node.counters["diverted"] += 1
-        self.node.trace(
-            "mhrp.tunnel", event="agent-encapsulate",
-            mobile_host=str(packet.dst), foreign_agent=str(foreign_agent),
-            uid=packet.uid,
-        )
-        return encapsulate(
-            packet, foreign_agent, agent_address=self.node.primary_address
+        super().__init__(
+            EngineRolePort.of(node), node, capacity=capacity,
+            examine_forwarded=examine_forwarded, enabled=enabled,
         )
 
-    def state_dict(self) -> dict:
-        return {
-            "cache": self.cache.state_dict(),
-            "enabled": self.enabled,
-            "examine_forwarded": self.examine_forwarded,
-            "tunnels_built": self.tunnels_built,
-        }
 
-    def load_state(self, state: dict) -> None:
-        self.cache.load_state(state["cache"])
-        self.enabled = bool(state["enabled"])
-        self.examine_forwarded = bool(state["examine_forwarded"])
-        self.tunnels_built = int(state["tunnels_built"])
+class HomeAgentEngine(HomeAgentRole):
+    """The home-agent role on a :class:`NodeEngine`.
 
-
-class HomeAgentEngine:
-    """The home-agent role on a :class:`NodeEngine` (mirrors
-    :class:`repro.core.home_agent.HomeAgent`, minus proxy ARP: the
-    engine's interception relies on the agent router being on-path)."""
+    Interception needs no link-layer claim on this substrate: the engine
+    home agent is on-path (its router sits between the backbone and the
+    home LAN in every shipped topology), so the role's proxy-ARP calls
+    land on the port's no-ops.
+    """
 
     def __init__(
         self, node: NodeEngine, home_iface_name: str,
         store: Optional[LocationStore] = None, advertise: bool = True,
         max_previous_sources: int = DEFAULT_MAX_PREVIOUS_SOURCES,
+        update_limiter: Optional[UpdateRateLimiter] = None,
     ) -> None:
-        if home_iface_name not in node.interfaces:
-            raise RegistrationError(
-                f"{node.name} has no interface {home_iface_name!r}"
-            )
-        self.node = node
-        self.home_iface_name = home_iface_name
-        self.database = LocationDatabase(store)
-        self._store = store
-        self.max_previous_sources = max_previous_sources
-        self.limiter = UpdateRateLimiter()
-        self.stale_filter = StaleControlFilter()
-        self.packets_intercepted = 0
-        self.packets_retunneled = 0
-        self.recoveries = 0
-        #: Called with (mobile_host, foreign_agent) on every accepted
-        #: registration (co-located caches, replication).
-        self.location_listeners: List[Callable] = []
-        node.roles["home_agent"] = self
-        node.outbound_hooks.append(self.outbound_hook)
-        node.transit_hooks.append(self.transit_hook)
-        self._dispatcher = EngineControlDispatcher.for_node(node)
-        self._dispatcher.on(HA_REGISTER, self._on_register)
-        self.advertiser: Optional[EngineAdvertiser] = None
-        if advertise:
-            self.advertiser = EngineAdvertiser(
-                node, home_iface_name, is_home_agent=True, is_foreign_agent=False
-            )
-            node.start_hooks.append(self.advertiser.start)
-        node.reboot_hooks.append(self._on_node_reboot)
-
-    @property
-    def address(self) -> IPAddress:
-        return self.node.interfaces[self.home_iface_name].ip_address
-
-    @property
-    def home_network(self) -> IPNetwork:
-        return self.node.interfaces[self.home_iface_name].network
-
-    # -- registration (Section 3) --------------------------------------
-    def _on_register(self, packet: IPPacket, message: RegistrationMessage) -> None:
-        mobile_host = message.mobile_host
-        if not self.home_network.contains(mobile_host):
-            self._dispatcher.send_ack(packet.src, message, ok=False)
-            return
-        if self.stale_filter.is_stale(message):
-            self.node.trace(
-                "mhrp.register", event="stale-ignored", kind=message.kind,
-                mobile_host=str(mobile_host), seq=message.seq,
-            )
-            self._dispatcher.send_ack(mobile_host, message, ok=False)
-            return
-        foreign_agent = message.agent
-        self.node.trace(
-            "mhrp.register", event="ha-register",
-            mobile_host=str(mobile_host), foreign_agent=str(foreign_agent),
+        super().__init__(
+            EngineRolePort.of(node), node, home_iface_name, store=store,
+            max_previous_sources=max_previous_sources,
+            update_limiter=update_limiter,
         )
-        self.database.record(mobile_host, foreign_agent)
-        for listener in list(self.location_listeners):
-            listener(mobile_host, foreign_agent)
-        # No proxy-ARP start/stop here: the engine home agent is on-path
-        # (transit hooks see all home-bound traffic), so interception
-        # needs no link-layer claim.
-        self._dispatcher.send_ack(mobile_host, message, agent=self.address)
-
-    # -- interception hooks --------------------------------------------
-    def outbound_hook(self, packet: IPPacket):
-        return self._maybe_intercept(packet)
-
-    def transit_hook(self, packet: IPPacket, iface_name):
-        return self._maybe_intercept(packet)
-
-    def _maybe_intercept(self, packet: IPPacket):
-        mobile_host = packet.dst
-        if not self.database.is_away(mobile_host):
-            return None
-        if packet.protocol == PROTO_MHRP:
-            return self._tunneled_arrival(packet)
-        return self._intercept_plain(packet)
-
-    def _intercept_plain(self, packet: IPPacket):
-        mobile_host = packet.dst
-        foreign_agent = self.database.foreign_agent_of(mobile_host)
-        assert foreign_agent is not None
-        if foreign_agent == DISCONNECTED_ADDRESS:
-            self.node.drop(packet, "mh-disconnected")
-            self.node.send_error(ICMPError.unreachable(packet))
-            return CONSUMED
-        self.packets_intercepted += 1
-        self.node.counters["tunneled"] += 1
-        original_sender = packet.src
-        self.node.trace(
-            "mhrp.tunnel", event="home-intercept",
-            mobile_host=str(mobile_host), foreign_agent=str(foreign_agent),
-            uid=packet.uid,
-        )
-        tunneled = encapsulate(packet, foreign_agent, agent_address=self.address)
-        engine_send_location_update(
-            self.node, original_sender, mobile_host, foreign_agent, self.limiter
-        )
-        return tunneled
-
-    # -- packets tunneled back home (Sections 5.1, 5.2) -----------------
-    def _tunneled_arrival(self, packet: IPPacket):
-        payload = packet.payload
-        if not isinstance(payload, MHRPPayload):
-            return None
-        header = payload.header
-        mobile_host = header.mobile_host
-        decision = decide_home_tunneled_arrival(
-            self.database.foreign_agent_of(mobile_host),
-            header.previous_sources, packet.src,
-        )
-        if decision.action == HOME_PASS:
-            return None
-        if decision.action == HOME_DROP_DISCONNECTED:
-            for address in decision.stale:
-                engine_send_location_update(
-                    self.node, address, mobile_host, decision.report,
-                    self.limiter, purge=True,
-                )
-            self.node.drop(packet, "mh-disconnected")
-            self.node.send_error(ICMPError.unreachable(packet))
-            return CONSUMED
-        current_fa = decision.report
-        if decision.action == HOME_RECOVER:
-            self.recoveries += 1
-            self.node.trace(
-                "mhrp.tunnel", event="fa-recovery",
-                mobile_host=str(mobile_host), foreign_agent=str(current_fa),
-                uid=packet.uid,
-            )
-            for address in decision.stale:
-                engine_send_location_update(
-                    self.node, address, mobile_host, current_fa, self.limiter
-                )
-            self.node.drop(packet, "mhrp-recovery")
-            return CONSUMED
-        for address in decision.stale:
-            engine_send_location_update(
-                self.node, address, mobile_host, current_fa, self.limiter
-            )
-        result = retunnel(
-            packet, new_destination=current_fa, my_address=self.address,
-            max_previous_sources=self.max_previous_sources,
-        )
-        if result.loop_detected:
-            self._dissolve_loop(list(decision.stale), mobile_host, uid=packet.uid)
-            self.node.drop(packet, "mhrp-loop-dissolved")
-            return CONSUMED
-        for address in result.flushed:
-            engine_send_location_update(
-                self.node, address, mobile_host, current_fa, self.limiter
-            )
-        self.packets_retunneled += 1
-        self.node.counters["tunneled"] += 1
-        self.node.trace(
-            "mhrp.tunnel", event="home-retunnel",
-            mobile_host=str(mobile_host), foreign_agent=str(current_fa),
-            uid=packet.uid,
-        )
-        return packet
-
-    def _dissolve_loop(
-        self, members: List[IPAddress], mobile_host: IPAddress,
-        uid: Optional[int] = None,
-    ) -> None:
-        self.node.trace(
-            "mhrp.loop", event="dissolve", mobile_host=str(mobile_host),
-            members=[str(a) for a in members], uid=uid,
-        )
-        for address in members:
-            engine_send_location_update(
-                self.node, address, mobile_host, IPAddress.zero(),
-                limiter=None, purge=True,
-            )
-
-    # -- reboot ---------------------------------------------------------
-    def _on_node_reboot(self) -> None:
-        self.stale_filter.reset()
-        if self._store is not None:
-            self.database.reload()
-        else:
-            self.database.clear_memory()
-        if self.advertiser is not None:
-            self.advertiser.restart_with_new_boot_id()
-
-    # -- snapshot contract ----------------------------------------------
-    def state_dict(self) -> dict:
-        return {
-            "database": self.database.state_dict(),
-            "stale_filter": self.stale_filter.state_dict(),
-            "limiter": self.limiter.state_dict(),
-            "packets_intercepted": self.packets_intercepted,
-            "packets_retunneled": self.packets_retunneled,
-            "recoveries": self.recoveries,
-        }
-
-    def load_state(self, state: dict) -> None:
-        self.database.load_state(state["database"])
-        self.stale_filter.load_state(state["stale_filter"])
-        self.limiter.load_state(state["limiter"])
-        self.packets_intercepted = int(state["packets_intercepted"])
-        self.packets_retunneled = int(state["packets_retunneled"])
-        self.recoveries = int(state["recoveries"])
+        self._wire(advertise=advertise)
 
 
-@dataclass
-class EngineVisitorRecord:
-    mobile_host: IPAddress
-    registered_at: float
+class ForeignAgentEngine(ForeignAgentRole):
+    """The foreign-agent role on a :class:`NodeEngine`.
 
-
-class ForeignAgentEngine:
-    """The foreign-agent role on a :class:`NodeEngine` (mirrors
-    :class:`repro.core.foreign_agent.ForeignAgent`; always
-    believe-home-agent — the query variant needs ARP)."""
+    ``believe_home_agent=False`` (the Section 5.2 local-query variant)
+    works on this substrate too: the presence query is an ICMP echo
+    probe on the local interface — the engine's stand-in for the
+    simulator's ARP query, with the same give-up-then-look-again
+    schedule.
+    """
 
     def __init__(
         self, node: NodeEngine, local_iface_name: str,
         cache_agent: Optional[CacheAgentEngine] = None,
-        keep_forwarding_pointers: bool = True, advertise: bool = True,
+        keep_forwarding_pointers: bool = True,
+        believe_home_agent: bool = True, advertise: bool = True,
         max_previous_sources: int = DEFAULT_MAX_PREVIOUS_SOURCES,
+        update_limiter: Optional[UpdateRateLimiter] = None,
     ) -> None:
-        if local_iface_name not in node.interfaces:
-            raise RegistrationError(
-                f"{node.name} has no interface {local_iface_name!r}"
-            )
-        self.node = node
-        self.local_iface_name = local_iface_name
-        self.cache_agent = cache_agent
-        self.keep_forwarding_pointers = keep_forwarding_pointers
-        self.max_previous_sources = max_previous_sources
-        self.limiter = UpdateRateLimiter()
-        self.visitors: Dict[IPAddress, EngineVisitorRecord] = {}
-        self.recent_departures: Dict[IPAddress, float] = {}
-        self.stale_filter = StaleControlFilter()
-        self.delivered_to_visitors = 0
-        self.retunneled_forward = 0
-        self.retunneled_home = 0
-        self.loops_detected = 0
-        self.recoveries = 0
-        #: Called with (mobile_host, arrived: bool) on visitor changes.
-        self.visitor_listeners: List[Callable] = []
-        node.roles["foreign_agent"] = self
-        node.outbound_hooks.append(self.outbound_hook)
-        node.transit_hooks.append(self.transit_hook)
-        node.register_protocol(PROTO_MHRP, self._on_mhrp_packet)
-        self._dispatcher = EngineControlDispatcher.for_node(node)
-        self._dispatcher.on(FA_CONNECT, self._on_connect)
-        self._dispatcher.on(FA_DISCONNECT, self._on_disconnect)
-        node.on_icmp(TYPE_LOCATION_UPDATE, self._on_location_update)
-        self.advertiser: Optional[EngineAdvertiser] = None
-        if advertise:
-            self.advertiser = EngineAdvertiser(
-                node, local_iface_name, is_home_agent=False, is_foreign_agent=True
-            )
-            node.start_hooks.append(self.advertiser.start)
-        node.reboot_hooks.append(self._on_node_reboot)
-
-    @property
-    def address(self) -> IPAddress:
-        return self.node.interfaces[self.local_iface_name].ip_address
-
-    def is_serving(self, mobile_host: IPAddress) -> bool:
-        return mobile_host in self.visitors
-
-    # -- registration (Section 3) --------------------------------------
-    def _on_connect(self, packet: IPPacket, message: RegistrationMessage) -> None:
-        mobile_host = message.mobile_host
-        if self._ignore_stale(message):
-            return
-        self.recent_departures.pop(mobile_host, None)
-        self.visitors[mobile_host] = EngineVisitorRecord(
-            mobile_host=mobile_host, registered_at=self.node.now
+        super().__init__(
+            EngineRolePort.of(node), node, local_iface_name,
+            cache_agent=cache_agent,
+            keep_forwarding_pointers=keep_forwarding_pointers,
+            believe_home_agent=believe_home_agent, advertise=advertise,
+            max_previous_sources=max_previous_sources,
+            update_limiter=update_limiter,
         )
-        for listener in list(self.visitor_listeners):
-            listener(mobile_host, True)
-        self.node.trace(
-            "mhrp.register", event="fa-connect", mobile_host=str(mobile_host)
-        )
-        self._dispatcher.send_ack(mobile_host, message, agent=self.address)
-
-    def _on_disconnect(self, packet: IPPacket, message: RegistrationMessage) -> None:
-        mobile_host = message.mobile_host
-        if self._ignore_stale(message):
-            return
-        if self.visitors.pop(mobile_host, None) is not None:
-            for listener in list(self.visitor_listeners):
-                listener(mobile_host, False)
-        self.recent_departures[mobile_host] = self.node.now
-        new_foreign_agent = message.agent
-        pointer = forwarding_pointer_target(
-            self.keep_forwarding_pointers, self.cache_agent is not None,
-            new_foreign_agent, self.address,
-        )
-        if pointer is not None:
-            self.cache_agent.learn(mobile_host, pointer)
-        self.node.trace(
-            "mhrp.register", event="fa-disconnect",
-            mobile_host=str(mobile_host),
-            new_foreign_agent=str(new_foreign_agent),
-        )
-        self._dispatcher.send_ack(mobile_host, message, agent=self.address)
-
-    def _ignore_stale(self, message: RegistrationMessage) -> bool:
-        if not self.stale_filter.is_stale(message):
-            return False
-        self.node.trace(
-            "mhrp.register", event="stale-ignored", kind=message.kind,
-            mobile_host=str(message.mobile_host), seq=message.seq,
-        )
-        self._dispatcher.send_ack(message.mobile_host, message, ok=False)
-        return True
-
-    # -- tunneled packets addressed to this agent ------------------------
-    def _on_mhrp_packet(self, packet: IPPacket, iface_name) -> None:
-        payload = packet.payload
-        if not isinstance(payload, MHRPPayload):
-            self.node.drop(packet, "malformed-mhrp")
-            return
-        header = payload.header
-        if header.mobile_host in self.visitors:
-            self._deliver_to_visitor(packet, header.previous_sources)
-            return
-        self._retunnel_elsewhere(packet)
-
-    def _deliver_to_visitor(self, packet: IPPacket, previous_sources) -> None:
-        mobile_host = packet.payload.header.mobile_host
-        for address in list(previous_sources):
-            engine_send_location_update(
-                self.node, address, mobile_host, self.address, self.limiter
-            )
-        self.node.health(
-            "tunnel_delivery", mobile_host=str(mobile_host),
-            n_previous_sources=len(previous_sources),
-        )
-        decapsulate(packet)
-        self.delivered_to_visitors += 1
-        self.node.trace(
-            "mhrp.tunnel", event="fa-deliver",
-            mobile_host=str(mobile_host), uid=packet.uid,
-        )
-        self.node.transmit_on_link(self.local_iface_name, mobile_host, packet)
-
-    def _retunnel_elsewhere(self, packet: IPPacket) -> None:
-        header = packet.payload.header
-        mobile_host = header.mobile_host
-        cached: Optional[IPAddress] = None
-        if self.cache_agent is not None:
-            cached = self.cache_agent.cache.get(mobile_host)
-        target, going_home = retunnel_target(cached, self.address, mobile_host)
-        result = retunnel(
-            packet, new_destination=target, my_address=self.address,
-            max_previous_sources=self.max_previous_sources,
-        )
-        if result.loop_detected:
-            self._dissolve_loop(packet)
-            return
-        for address in result.flushed:
-            engine_send_location_update(
-                self.node, address, mobile_host, target, self.limiter
-            )
-        if going_home:
-            self.retunneled_home += 1
-        else:
-            self.retunneled_forward += 1
-        self.node.counters["tunneled"] += 1
-        self.node.trace(
-            "mhrp.tunnel", event="fa-retunnel", mobile_host=str(mobile_host),
-            target=str(target), going_home=going_home, uid=packet.uid,
-        )
-        self.node.forward_injected(packet)
-
-    def _dissolve_loop(self, packet: IPPacket) -> None:
-        header = packet.payload.header
-        mobile_host = header.mobile_host
-        self.loops_detected += 1
-        members = stale_chain(header.previous_sources, packet.src)
-        self.node.trace(
-            "mhrp.loop", event="dissolve", mobile_host=str(mobile_host),
-            members=[str(a) for a in members], uid=packet.uid,
-        )
-        for address in members:
-            engine_send_location_update(
-                self.node, address, mobile_host, IPAddress.zero(),
-                limiter=None, purge=True,
-            )
-        if self.cache_agent is not None:
-            self.cache_agent.cache.delete(mobile_host)
-        del header.previous_sources[1:]
-        packet.src = self.address
-        packet.dst = mobile_host
-        self.node.forward_injected(packet)
-
-    # -- local delivery shortcuts ---------------------------------------
-    def outbound_hook(self, packet: IPPacket):
-        return self._maybe_deliver_plain(packet)
-
-    def transit_hook(self, packet: IPPacket, iface_name):
-        return self._maybe_deliver_plain(packet)
-
-    def _maybe_deliver_plain(self, packet: IPPacket):
-        if packet.protocol == PROTO_MHRP:
-            return None
-        if packet.dst not in self.visitors:
-            return None
-        self.node.counters["diverted"] += 1
-        self.node.trace(
-            "mhrp.tunnel", event="fa-local-delivery",
-            mobile_host=str(packet.dst), uid=packet.uid,
-        )
-        self.node.transmit_on_link(self.local_iface_name, packet.dst, packet)
-        return CONSUMED
-
-    # -- state recovery (Section 5.2) -----------------------------------
-    def _on_location_update(self, packet: IPPacket, message) -> None:
-        if not isinstance(message, LocationUpdate):
-            return
-        mobile_host = message.mobile_host
-        if not should_recover_visitor(
-            message.clears_entry, message.foreign_agent, self.address,
-            mobile_host in self.visitors,
-            self.recent_departures.get(mobile_host),
-            self.node.now, DEPARTURE_GRACE,
-        ):
-            return
-        self.recoveries += 1
-        self.visitors[mobile_host] = EngineVisitorRecord(
-            mobile_host=mobile_host, registered_at=self.node.now
-        )
-        for listener in list(self.visitor_listeners):
-            listener(mobile_host, True)
-        self.node.trace(
-            "mhrp.register", event="fa-recover-visitor",
-            mobile_host=str(mobile_host),
-        )
-
-    # -- reboot ----------------------------------------------------------
-    def _on_node_reboot(self) -> None:
-        for mobile_host in list(self.visitors):
-            for listener in list(self.visitor_listeners):
-                listener(mobile_host, False)
-        self.visitors.clear()
-        self.recent_departures.clear()
-        self.stale_filter.reset()
-        if self.advertiser is not None:
-            self.advertiser.restart_with_new_boot_id()
-
-    # -- snapshot contract ------------------------------------------------
-    def state_dict(self) -> dict:
-        return {
-            "visitors": {
-                str(mh): {"registered_at": rec.registered_at}
-                for mh, rec in sorted(
-                    self.visitors.items(), key=lambda kv: kv[0].value
-                )
-            },
-            "recent_departures": {
-                str(mh): t
-                for mh, t in sorted(
-                    self.recent_departures.items(), key=lambda kv: kv[0].value
-                )
-            },
-            "stale_filter": self.stale_filter.state_dict(),
-            "limiter": self.limiter.state_dict(),
-            "delivered_to_visitors": self.delivered_to_visitors,
-            "retunneled_forward": self.retunneled_forward,
-            "retunneled_home": self.retunneled_home,
-            "loops_detected": self.loops_detected,
-            "recoveries": self.recoveries,
-        }
-
-    def load_state(self, state: dict) -> None:
-        self.visitors = {
-            IPAddress(mh): EngineVisitorRecord(
-                mobile_host=IPAddress(mh),
-                registered_at=rec["registered_at"],
-            )
-            for mh, rec in state["visitors"].items()
-        }
-        self.recent_departures = {
-            IPAddress(mh): t for mh, t in state["recent_departures"].items()
-        }
-        self.stale_filter.load_state(state["stale_filter"])
-        self.limiter.load_state(state["limiter"])
-        self.delivered_to_visitors = int(state["delivered_to_visitors"])
-        self.retunneled_forward = int(state["retunneled_forward"])
-        self.retunneled_home = int(state["retunneled_home"])
-        self.loops_detected = int(state["loops_detected"])
-        self.recoveries = int(state["recoveries"])
+        self._wire()
 
 
-class MobileHostEngine(NodeEngine):
-    """A mobile host as a sans-io engine (mirrors
-    :class:`repro.core.mobile_host.MobileHost`).
+class MobileHostEngine(MobileHostRole, NodeEngine):
+    """A mobile host as a sans-io engine: the
+    :class:`~repro.wire.roles.MobileHostRole` mixin over
+    :class:`NodeEngine`, exactly how
+    :class:`repro.core.mobile_host.MobileHost` mixes it over the
+    simulator's ``Host``.
 
     Movement is a driver concern (re-pointing the interface at a new
     medium); the engine sees it as the ``attach`` / ``attach_home`` /
@@ -1439,8 +657,6 @@ class MobileHostEngine(NodeEngine):
     solicit, hear an advertisement, run the Section 3 notification
     sequence through its reliable registrar.
     """
-
-    WIFI = "wifi0"
 
     def __init__(
         self,
@@ -1464,69 +680,51 @@ class MobileHostEngine(NodeEngine):
             home_gateway if home_gateway is not None else home_agent
         )
         self.iface = self.add_interface(self.WIFI, self.home_address, self.home_network)
-        self.state = DISCONNECTED
-        self.current_foreign_agent: Optional[IPAddress] = None
-        self.temp_address: Optional[IPAddress] = None
-        self._fa_boot_ids: Dict[IPAddress, int] = {}
-        self._registering_with: Optional[IPAddress] = None
+        self._init_mobile_state(EngineRolePort.of(self))
         self._next_seq = seq_allocator or itertools.count(1).__next__
-        self.limiter = UpdateRateLimiter()
-        self.registrar = EngineRegistrar(self)
+        self.registrar = Registrar(self.port, self)
         self.cache_agent: Optional[CacheAgentEngine] = (
             CacheAgentEngine(self) if use_sender_cache else None
         )
         self.register_protocol(PROTO_MHRP, self._on_mhrp_packet)
+        #: Transport sinks, mirroring the session's per-host receivers:
+        #: flow datagrams and convergence probes count as received and
+        #: are otherwise discarded (delivery is the signal).
+        self.flow_datagrams = 0
+        self.probes_received = 0
+        self.register_protocol(PROTO_UDP, self._on_flow_datagram)
+        self.register_protocol(CONVERGENCE_PROBE, self._on_probe)
         self.on_icmp(TYPE_ROUTER_ADVERTISEMENT, self._on_advertisement)
-        self._last_fa_heard = 0.0
-        self._fa_lifetime = 0.0
-        self._watchdog_key = "mh-watchdog"
         self.on_command("attach", self._cmd_attach)
         self.on_command("attach_home", partial(self._cmd_attach, home=True))
         self.on_command("disconnect", self._cmd_disconnect)
         self.on_command("solicit", self._cmd_solicit)
-        self.moves = 0
-        self.registrations = 0
-        self.silence_disconnects = 0
         self.roles["mobile_host"] = _MobileHostRoleState(self)
 
-    @property
-    def at_home(self) -> bool:
-        return self.state == AT_HOME
+    # -- substrate hooks for the role ------------------------------------
+    def _redeliver_local(self, packet: IPPacket, iface) -> None:
+        self._deliver_local(packet, iface)
+
+    # -- transport sinks -------------------------------------------------
+    def _on_flow_datagram(self, packet: IPPacket, iface) -> None:
+        self.flow_datagrams += 1
+
+    def _on_probe(self, packet: IPPacket, iface) -> None:
+        self.probes_received += 1
 
     # -- movement commands (the driver moved the medium already) ---------
     def _cmd_attach(self, home: bool = False, solicit: bool = True) -> None:
-        self.moves += 1
-        self.health("mh_moved")
+        self._record_move()
         if solicit:
             self._solicit()
 
     def _cmd_solicit(self) -> None:
         self._solicit()
 
-    def _solicit(self) -> None:
-        self.send_broadcast(self.WIFI, PROTO_ICMP, RouterSolicitation())
-
     def _cmd_disconnect(self) -> None:
-        old_fa = self.current_foreign_agent
-        if self.state != AT_HOME:
-            self._register_with_home_agent(DISCONNECTED_ADDRESS)
-        if old_fa is not None:
-            self._notify_old_foreign_agent(old_fa, new_agent=IPAddress.zero())
-        self.current_foreign_agent = None
-        self.temp_address = None
-        self.state = DISCONNECTED
-        self.cancel_timer(self._watchdog_key)
+        self._disconnect_protocol()
 
-    # -- routing while away vs at home -----------------------------------
-    def _set_away_routing(self, gateway: IPAddress) -> None:
-        self.routing_table.remove(self.home_network)
-        self.set_gateway(gateway, self.WIFI)
-
-    def _set_home_routing(self) -> None:
-        self.routing_table.add_connected(self.home_network, self.WIFI)
-        self.set_gateway(self.home_gateway, self.WIFI)
-
-    # -- agent discovery reactions (Section 3) ---------------------------
+    # -- agent discovery (advertisements arrive as decoded ICMP) ---------
     def _on_advertisement(self, packet: IPPacket, message) -> None:
         if not isinstance(message, RouterAdvertisement):
             return
@@ -1539,145 +737,6 @@ class MobileHostEngine(NodeEngine):
             lifetime=message.lifetime,
         )
         self._on_agent_heard(info)
-
-    def _on_agent_heard(self, info: AgentAdvertisementInfo) -> None:
-        if info.agent == self.home_agent:
-            self._heard_home_agent(info)
-            return
-        if info.is_foreign_agent:
-            self._heard_foreign_agent(info)
-
-    def _heard_home_agent(self, info: AgentAdvertisementInfo) -> None:
-        if self.state == AT_HOME:
-            return
-        old_fa = self.current_foreign_agent
-        self.state = AT_HOME
-        self.cancel_timer(self._watchdog_key)
-        self.current_foreign_agent = None
-        self.temp_address = None
-        self.iface.alias_addresses = set()
-        self._set_home_routing()
-        self._register_with_home_agent(IPAddress.zero())
-        if old_fa is not None:
-            self._notify_old_foreign_agent(old_fa, new_agent=IPAddress.zero())
-
-    def _heard_foreign_agent(self, info: AgentAdvertisementInfo) -> None:
-        agent = info.agent
-        previous_boot = self._fa_boot_ids.get(agent)
-        self._fa_boot_ids[agent] = info.boot_id
-        if agent == self.current_foreign_agent and self.state == AWAY:
-            self._last_fa_heard = self.now
-            self._fa_lifetime = info.lifetime
-            if previous_boot is not None and previous_boot != info.boot_id:
-                self._connect_to_foreign_agent(agent, rebind_only=True)
-            return
-        if agent == self._registering_with:
-            return
-        self._connect_to_foreign_agent(agent)
-
-    # -- registration sequence (Section 3 ordering) ----------------------
-    def _connect_to_foreign_agent(self, agent: IPAddress, rebind_only: bool = False) -> None:
-        old_fa = self.current_foreign_agent if not rebind_only else None
-        was_home = self.state == AT_HOME
-        self._registering_with = agent
-        self._set_away_routing(agent)
-        message = RegistrationMessage(
-            kind=FA_CONNECT, seq=self._next_seq(),
-            mobile_host=self.home_address, agent=agent,
-        )
-        registration_started = self.now
-        self.registrar.send(
-            agent, message,
-            on_ack=partial(
-                self._fa_connect_acked, agent, old_fa, was_home, registration_started
-            ),
-            on_fail=self._fa_connect_failed,
-        )
-
-    def _fa_connect_acked(
-        self, agent: IPAddress, old_fa: Optional[IPAddress], was_home: bool,
-        registration_started: float, ack: RegistrationMessage,
-    ) -> None:
-        self._registering_with = None
-        if not ack.ok:
-            return
-        self.state = AWAY
-        self.current_foreign_agent = agent
-        self.temp_address = None
-        self.iface.alias_addresses = set()
-        self.registrations += 1
-        self.health(
-            "registration_complete", agent=str(agent),
-            latency=self.now - registration_started,
-        )
-        self._last_fa_heard = self.now
-        if self._fa_lifetime <= 0:
-            self._fa_lifetime = DEFAULT_ADVERT_LIFETIME
-        self.set_timer(self._watchdog_key, self._fa_lifetime, self._check_agent_silence)
-        self._register_with_home_agent(agent)
-        if old_fa is not None and old_fa != agent and not was_home:
-            self._notify_old_foreign_agent(old_fa, new_agent=agent)
-
-    def _fa_connect_failed(self) -> None:
-        self._registering_with = None
-
-    def _register_with_home_agent(self, foreign_agent: IPAddress) -> None:
-        message = RegistrationMessage(
-            kind=HA_REGISTER, seq=self._next_seq(),
-            mobile_host=self.home_address, agent=foreign_agent,
-        )
-        self.registrar.send(self.home_agent, message)
-
-    def _notify_old_foreign_agent(self, old_fa: IPAddress, new_agent: IPAddress) -> None:
-        message = RegistrationMessage(
-            kind=FA_DISCONNECT, seq=self._next_seq(),
-            mobile_host=self.home_address, agent=new_agent,
-        )
-        self.registrar.send(old_fa, message)
-
-    # -- foreign agent silence watchdog ----------------------------------
-    def _check_agent_silence(self) -> None:
-        if self.state != AWAY or self._fa_lifetime <= 0:
-            return
-        silent_for = self.now - self._last_fa_heard
-        if silent_for >= 2 * self._fa_lifetime:
-            self.trace(
-                "mhrp.register", event="mh-silence-disconnect",
-                agent=str(self.current_foreign_agent),
-            )
-            self.silence_disconnects += 1
-            self.current_foreign_agent = None
-            self.state = DISCONNECTED
-            return
-        if silent_for >= self._fa_lifetime:
-            self._solicit()
-        self.set_timer(
-            self._watchdog_key, self._fa_lifetime / 2, self._check_agent_silence
-        )
-
-    # -- MHRP packets addressed to this host -----------------------------
-    def _on_mhrp_packet(self, packet: IPPacket, iface_name) -> None:
-        payload = packet.payload
-        if not isinstance(payload, MHRPPayload):
-            return
-        header = payload.header
-        if header.mobile_host != self.home_address:
-            return
-        location = mh_reported_location(
-            self.state, self.temp_address, self.current_foreign_agent
-        )
-        stale = stale_chain(header.previous_sources, packet.src)
-        for address in stale:
-            engine_send_location_update(
-                self, address, self.home_address, location, self.limiter
-            )
-        self.health(
-            "tunnel_delivery", mobile_host=str(header.mobile_host),
-            n_previous_sources=len(header.previous_sources),
-        )
-        decapsulate(packet)
-        self.trace("mhrp.tunnel", event="mh-self-deliver", uid=packet.uid)
-        self._deliver_local(packet, iface_name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<MobileHostEngine {self.name} {self.home_address} ({self.state})>"
@@ -1731,8 +790,15 @@ class _MobileHostRoleState:
 
 class CorrespondentEngine(NodeEngine):
     """A stationary MHRP-capable correspondent: a host plus a sender-side
-    cache agent and a ``ping`` command (mirrors
-    :class:`repro.core.mobile_host.StationaryCorrespondent`)."""
+    cache agent and the transport-side scenario commands — ``ping``,
+    constant-bit-rate UDP ``flow``, and cache-convergence ``probe``
+    (mirrors :class:`repro.core.mobile_host.StationaryCorrespondent`
+    driving :class:`repro.workloads.traffic.CBRStream` and the session's
+    probe sender)."""
+
+    #: First source port handed to flows (the simulator's UDP stack
+    #: allocates its ephemeral ports from the same base).
+    FLOW_PORT_BASE = 49152
 
     def __init__(self, name: str, use_cache: bool = True, **kwargs) -> None:
         super().__init__(name, forwarding=False, **kwargs)
@@ -1741,7 +807,12 @@ class CorrespondentEngine(NodeEngine):
         )
         self._echo_seq = 0
         self.echo_replies = 0
+        self.probes_sent = 0
+        #: flow id -> mutable flow state (dst/interval/count/port/sent).
+        self._flow_state: Dict[int, dict] = {}
         self.on_command("ping", self._cmd_ping)
+        self.on_command("flow", self._cmd_flow)
+        self.on_command("probe", self._cmd_probe)
         self.on_icmp(TYPE_ECHO_REPLY, self._on_echo_reply)
 
     def _cmd_ping(self, dst: IPAddress | str, data: bytes = b"") -> None:
@@ -1760,6 +831,63 @@ class CorrespondentEngine(NodeEngine):
             "icmp.echo", event="reply-received",
             src=str(packet.src), sequence=getattr(message, "sequence", None),
         )
+
+    # -- transport flows (scenario ``flow`` entries) ---------------------
+    def _cmd_flow(
+        self,
+        dst: IPAddress | str,
+        interval: float,
+        count: int,
+        port: int = 40000,
+        payload_size: int = 64,
+        flow_id: int = 0,
+    ) -> None:
+        """Start a CBR UDP flow: ``count`` datagrams, one every
+        ``interval`` seconds, sequence numbers in the payload — the wire
+        image of :class:`~repro.workloads.traffic.CBRStream`."""
+        self._flow_state[flow_id] = {
+            "dst": IPAddress(dst),
+            "interval": float(interval),
+            "count": int(count),
+            "port": int(port),
+            "payload_size": max(int(payload_size), 8),
+            "sent": 0,
+        }
+        self._flow_tick(flow_id)
+
+    def _flow_tick(self, flow_id: int) -> None:
+        flow = self._flow_state.get(flow_id)
+        if flow is None or flow["sent"] >= flow["count"]:
+            return
+        seq = flow["sent"]
+        flow["sent"] += 1
+        payload = seq.to_bytes(8, "big") + b"\x00" * (flow["payload_size"] - 8)
+        self.send(IPPacket(
+            src=self.primary_address,
+            dst=flow["dst"],
+            protocol=PROTO_UDP,
+            payload=UDPDatagram(
+                src_port=self.FLOW_PORT_BASE + flow_id,
+                dst_port=flow["port"],
+                data=payload,
+            ),
+        ))
+        if flow["sent"] < flow["count"]:
+            self.set_timer(
+                f"flow-{flow_id}", flow["interval"],
+                partial(self._flow_tick, flow_id),
+            )
+
+    def _cmd_probe(self, dst: IPAddress | str) -> None:
+        """One cache-convergence probe (scenario ``probe`` entries):
+        delivery is the signal, the payload is discarded."""
+        self.probes_sent += 1
+        self.send(IPPacket(
+            src=self.primary_address,
+            dst=IPAddress(dst),
+            protocol=CONVERGENCE_PROBE,
+            payload=RawPayload(b"convergence-probe"),
+        ))
 
 
 class EngineTunnelErrorHandler:

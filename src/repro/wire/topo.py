@@ -60,14 +60,7 @@ def make_engine_agent_router(
     foreign_agent: Optional[ForeignAgentEngine] = None
     home_agent: Optional[HomeAgentEngine] = None
 
-    fa_only = {"keep_forwarding_pointers"}
-    # believe_home_agent is accepted for signature parity but the engine
-    # foreign agent has no ARP to verify with; only True is supported.
-    believe = agent_kwargs.pop("believe_home_agent", True)
-    if believe is not True:
-        raise ConfigurationError(
-            "engine foreign agents only support believe_home_agent=True"
-        )
+    fa_only = {"keep_forwarding_pointers", "believe_home_agent"}
     fa_kwargs = {k: v for k, v in agent_kwargs.items()}
     ha_kwargs = {k: v for k, v in agent_kwargs.items() if k not in fa_only}
 

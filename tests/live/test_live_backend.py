@@ -11,7 +11,6 @@ import asyncio
 
 import pytest
 
-from repro.errors import ConfigurationError
 from repro.live.backend import DEFAULT_SPEED, LiveRun, VirtualClock, run_live_spec
 from repro.telemetry.health import ProtocolHealth
 from repro.wire.conformance import (
@@ -60,15 +59,33 @@ class TestVirtualClock:
 
 
 class TestLiveRun:
-    def test_flows_rejected_up_front(self):
-        spec = figure1_walkthrough_spec()
-        spec.flows = [{"t": 1.0, "src": 0, "host": 0}]
-        with pytest.raises(ConfigurationError):
-            LiveRun(spec)
-
     def test_clock_is_zero_before_start(self):
         run = LiveRun(figure1_walkthrough_spec())
         assert run.now == 0.0
+
+
+class TestLiveFlowSmoke:
+    """Transport flows and convergence probes over the live backend (the
+    PR 6 ROADMAP follow-up): a CBR flow and a probe pair ride the
+    Figure-1 walkthrough over real loopback sockets, and every datagram
+    lands in the mobile host's transport sinks."""
+
+    def test_flow_and_probe_datagrams_delivered_live(self):
+        spec = figure1_walkthrough_spec()
+        # M sits registered on net D from t=5 to t=20: the flow's five
+        # datagrams (8.0..10.0) and none of the walkthrough's moves
+        # overlap, so any loss would be a transport-path bug, not a
+        # handoff race.  The probe pair (24.0 and 24.0 + PROBE_GAP)
+        # lands while M is settled on net E.
+        spec.flows = [
+            {"start": 8.0, "src": 0, "host": 0, "interval": 0.5, "count": 5},
+        ]
+        spec.probes = [{"t": 24.0, "src": 0, "host": 0}]
+        run = run_live_spec(spec, speed=DEFAULT_SPEED)
+        mh = run.topo.mobile_host(0)
+        assert mh.flow_datagrams == 5
+        assert mh.probes_received == 2
+        assert run.topo.correspondent(0).probes_sent == 2
 
 
 class TestLoopbackSmoke:

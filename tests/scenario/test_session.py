@@ -106,6 +106,53 @@ class TestForkDeterminism:
         assert trace_json(forked) == trace_json(cold_run(variant))
 
 
+class TestAdapterStateContract:
+    """The core/ agents are thin adapters over the ``repro.wire`` role
+    engines (PR 7); the PR 5 snapshot contract must survive that
+    indirection — forks stay byte-identical to cold runs, and role
+    state round-trips through ``state_dict``/``load_state`` on the
+    adapter-backed agents."""
+
+    def test_local_query_campus_fork_is_byte_identical_to_cold(self):
+        """A fuzzed campus with ``believe_home_agent=False`` (the
+        Section 5.2 local-query mode, newly threaded through the
+        topology builders): fork-vs-cold byte identity holds with the
+        query/verify timers in play."""
+        spec = fuzzed_campus_spec(seed=5)
+        spec.topology["believe_home_agent"] = False
+        cold = cold_run(spec)
+        forked = forked_run(spec)
+        for roles in cold.world.cell_roles:
+            assert roles.foreign_agent.believe_home_agent is False
+        assert trace_json(forked) == trace_json(cold)
+        assert forked.state_dict() == cold.state_dict()
+
+    def test_role_state_round_trips_through_adapters(self):
+        """Mid-scenario role state loads into a fresh world's twin
+        agent and reads back identically."""
+        spec = fuzzed_campus_spec(seed=3)
+        session = cold_run(spec)
+        fresh = Session(fuzzed_campus_spec(seed=3))
+
+        def agents(world):
+            found = {}
+            if world.home_roles is not None and world.home_roles.home_agent:
+                found["home"] = world.home_roles.home_agent
+            for i, cell in enumerate(world.cell_roles):
+                if cell.foreign_agent is not None:
+                    found[f"fa{i}"] = cell.foreign_agent
+                if cell.cache_agent is not None:
+                    found[f"cache{i}"] = cell.cache_agent
+            return found
+
+        ran, twins = agents(session.world), agents(fresh.world)
+        assert set(ran) == set(twins) and ran
+        for key, agent in ran.items():
+            state = agent.state_dict()
+            twins[key].load_state(state)
+            assert twins[key].state_dict() == state, key
+
+
 class TestSnapshotContract:
     def test_fork_rejects_a_mismatched_prefix(self):
         spec = handoff_telemetry_spec(seed=42, duration=18.0)

@@ -115,10 +115,15 @@ class TestCorpus:
 
     def test_corpus_shape(self):
         specs = conformance_specs()
-        assert len(specs) >= 4  # walkthrough + >=3 fuzz-derived
+        assert len(specs) >= 5  # walkthrough + >=3 fuzz-derived + local-query
         names = [spec.name for spec in specs]
         assert names[0] == "figure1-walkthrough"
-        assert all(name.startswith("fuzz-conformance-") for name in names[1:])
+        assert all(
+            name.startswith("fuzz-conformance-") or name.startswith("local-query-")
+            for name in names[1:]
+        )
+        # The Section 5.2 local-query variant rides in the pinned corpus.
+        assert any(name.startswith("local-query-") for name in names)
 
     def test_projection_categories_are_protocol_events(self):
         assert set(PROJECTED_CATEGORIES) == {

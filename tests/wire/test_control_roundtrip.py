@@ -89,6 +89,13 @@ def control_packets(rng):
             data=bytes(rng.randrange(256) for _ in range(8)),
         ),
     )))
+    packets.append(("echo-reply", IPPacket(
+        src=_ip(rng), dst=_ip(rng), protocol=ICMP,
+        payload=EchoMessage.reply_to(EchoMessage.request(
+            identifier=rng.randrange(2**16), sequence=rng.randrange(2**16),
+            data=bytes(rng.randrange(256) for _ in range(8)),
+        )),
+    )))
     packets.append(("icmp-error-full-quote", IPPacket(
         src=_ip(rng), dst=_ip(rng), protocol=ICMP,
         payload=ICMPError(
@@ -226,3 +233,122 @@ class TestEngineIngestion:
             blob = bytes(rng.randrange(256) for _ in range(rng.randrange(64)))
             out = node.datagram_received(1.0, blob, "lan")
             assert isinstance(out, EngineOutput)
+
+
+class TestLocalQueryCorruption:
+    """Section 5.2 ``believe_home_agent=False`` query/response traffic
+    under seeded corruption.
+
+    A location update at a foreign agent that has forgotten the visitor
+    makes it *query* the local cell (an ICMP echo request on the wire
+    backends) instead of trusting the home agent.  The contract under
+    corruption is the ingestion suite's, specialized to this exchange:
+    corrupted replies never raise and never prove presence; only a
+    clean reply re-adds the visitor when the verify timer looks."""
+
+    M = IPAddress("10.2.0.10")       # M's home address
+    HA = IPAddress("10.2.0.254")     # R2's home-agent address
+    FA = IPAddress("10.4.0.254")     # R4's cell-side (FA) address
+
+    def query_fa(self):
+        """R4's foreign agent in local-query mode, plus the echo query
+        it emits when the home agent's update names a visitor it does
+        not have."""
+        topo = build_engine_world({
+            "kind": "figure1", "believe_home_agent": False,
+        })
+        r4 = topo.world.nodes["R4"]
+        fa = topo.roles["R4"].foreign_agent
+        update = IPPacket(
+            src=self.HA, dst=self.FA, protocol=ICMP,
+            payload=LocationUpdate(mobile_host=self.M, foreign_agent=self.FA),
+        )
+        out = r4.datagram_received(1.0, encode_packet(update), "lan")
+        queries = [
+            d for d in out.datagrams
+            if d.iface == "cell" and not d.broadcast
+        ]
+        return r4, fa, queries
+
+    def clean_reply(self, query_datagram):
+        request = decode_packet(query_datagram.data)
+        return encode_packet(IPPacket(
+            src=self.M, dst=self.FA, protocol=ICMP,
+            payload=EchoMessage.reply_to(request.payload),
+        ))
+
+    def fire_verify_timer(self, r4, at=10.0):
+        return r4.timer_fired(at, f"fa-verify-{self.M}")
+
+    def test_update_is_answered_with_a_query_not_belief(self):
+        r4, fa, queries = self.query_fa()
+        assert not fa.is_serving(self.M)  # did not believe the update
+        assert len(queries) == 1
+        probe = decode_packet(queries[0].data)
+        assert probe.dst == self.M
+        assert isinstance(probe.payload, EchoMessage)
+
+    def test_clean_reply_proves_presence_and_readds(self):
+        r4, fa, queries = self.query_fa()
+        r4.datagram_received(2.0, self.clean_reply(queries[0]), "cell")
+        assert fa.port.neighbor_known(fa.local_iface_name, self.M)
+        out = self.fire_verify_timer(r4)
+        assert fa.is_serving(self.M)
+        assert any(
+            e.detail.get("event") == "fa-recover-visitor" for e in out.events
+        )
+
+    def test_corrupted_replies_never_raise_or_invent_neighbours(self):
+        """Bit flips anywhere in the reply: the turn completes, a
+        detectable fraction is dropped, and — because the source
+        address sits under the IP header checksum — no flip can
+        fabricate the presence of a host other than the real replier
+        (flips outside the header may still count as M's answer: the
+        reply genuinely came from M, with a damaged echo body)."""
+        rng = random.Random("query-bitflip")
+        r4, fa, queries = self.query_fa()
+        wire = self.clean_reply(queries[0])
+        decode_errors = 0
+        for _ in range(200):
+            corrupt = bytearray(wire)
+            bit = rng.randrange(len(wire) * 8)
+            corrupt[bit // 8] ^= 1 << (bit % 8)
+            out = r4.datagram_received(2.0, bytes(corrupt), "cell")
+            assert isinstance(out, EngineOutput)
+            if any(
+                e.detail.get("reason") == "decode-error" for e in out.events
+            ):
+                decode_errors += 1
+        assert decode_errors > 0
+        assert fa.port._heard_neighbors <= {self.M}
+
+    def test_source_corruption_never_proves_presence(self):
+        """Every single-bit flip of the reply's source address (bytes
+        12..16 of the IP header) is caught by the header checksum, so a
+        reply cannot be mis-attributed: M stays unproven and the verify
+        timer refuses to re-add it."""
+        r4, fa, queries = self.query_fa()
+        wire = self.clean_reply(queries[0])
+        for offset in range(12, 16):
+            for bit in range(8):
+                corrupt = bytearray(wire)
+                corrupt[offset] ^= 1 << bit
+                out = r4.datagram_received(2.0, bytes(corrupt), "cell")
+                assert any(
+                    e.detail.get("reason") == "decode-error"
+                    for e in out.events
+                ), (offset, bit)
+        assert not fa.port.neighbor_known(fa.local_iface_name, self.M)
+        self.fire_verify_timer(r4)
+        assert not fa.is_serving(self.M)
+
+    def test_truncated_replies_are_dropped(self):
+        r4, fa, queries = self.query_fa()
+        wire = self.clean_reply(queries[0])
+        for cut in (0, 1, len(wire) // 2, len(wire) - 1):
+            out = r4.datagram_received(2.0, wire[:cut], "cell")
+            assert any(
+                e.detail.get("reason") == "decode-error" for e in out.events
+            ), cut
+        self.fire_verify_timer(r4)
+        assert not fa.is_serving(self.M)

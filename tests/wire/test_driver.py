@@ -1,8 +1,5 @@
 """Unit tests for the deterministic engine driver."""
 
-import pytest
-
-from repro.errors import ConfigurationError
 from repro.ip.address import IPAddress
 from repro.telemetry.health import ProtocolHealth
 from repro.wire.conformance import figure1_walkthrough_spec
@@ -75,12 +72,29 @@ class TestBootAndScheduling:
         driver.run(until=5.0)
         assert fired == [2.0]
 
-    def test_spec_with_flows_is_rejected(self):
+    def test_spec_flow_reaches_the_mobile_host(self):
+        """A scenario ``flow`` entry drives the correspondent engine's
+        CBR endpoint; every datagram lands in the mobile host's UDP
+        sink."""
         spec = figure1_walkthrough_spec()
-        spec.flows = [{"t": 1.0, "src": 0, "host": 0}]
+        spec.flows = [
+            {"start": 8.0, "src": 0, "host": 0, "interval": 0.5, "count": 6},
+        ]
         driver = figure1_driver()
-        with pytest.raises(ConfigurationError):
-            driver.install_spec(spec)
+        driver.install_spec(spec)
+        driver.run(until=spec.horizon)
+        assert driver.topo.mobile_host(0).flow_datagrams == 6
+
+    def test_spec_probe_reaches_the_mobile_host(self):
+        """A ``probe`` entry sends the warm probe at t and the audited
+        one at t + PROBE_GAP, both landing in the probe sink."""
+        spec = figure1_walkthrough_spec()
+        spec.probes = [{"t": 8.0, "src": 0, "host": 0}]
+        driver = figure1_driver()
+        driver.install_spec(spec)
+        driver.run(until=spec.horizon)
+        assert driver.topo.correspondent(0).probes_sent == 2
+        assert driver.topo.mobile_host(0).probes_received == 2
 
 
 class TestWalkthrough:
@@ -135,3 +149,74 @@ class TestSnapshots:
                 assert twin.state_dict() == state, (name, role)
                 checked += 1
         assert checked > 0
+
+
+class TestLocalQueryRecovery:
+    """Section 5.2 in ``believe_home_agent=False`` mode, on the engine
+    substrate: the rebooted foreign agent refuses to trust the home
+    agent's update and instead proves the host's presence with a local
+    query (an ICMP echo probe on the wire backends) before re-adding
+    the visitor.  Mirrors tests/core's ``test_verify_with_query_mode``
+    with the advertisement-driven recovery suppressed, so the
+    data-driven path is what we observe."""
+
+    def test_engine_fa_verifies_with_local_query(self):
+        topo = build_engine_world({
+            "kind": "figure1", "believe_home_agent": False,
+        })
+        driver = EngineDriver(topo)
+        mh = topo.mobile_host(0)
+        sender = topo.correspondent(0)
+        r4 = topo.world.nodes["R4"]
+        fa = topo.roles["R4"].foreign_agent
+        assert fa.believe_home_agent is False
+        # Attach M to net D and prime S's cache so it keeps tunneling
+        # to R4 after the crash.
+        driver.schedule_move(0.0, 0, 0)
+        driver.schedule_ping(5.0, 0, 0)
+        driver.run(until=10.0)
+        assert fa.is_serving(mh.home_address)
+        # Crash/reboot R4 with the advertiser muted (the reboot turn's
+        # fresh-boot-id broadcast is dropped before transmission) so
+        # the advertisement-driven half of Section 5.2 cannot race the
+        # data-driven one.
+        fa.advertiser.stop()
+        driver.process(r4, r4.command(driver.now, "crash"))
+        driver.run(until=12.0)
+        reboot_out = r4.command(driver.now, "reboot")
+        reboot_out.datagrams.clear()
+        fa.advertiser.stop()
+        driver.process(r4, reboot_out)
+        assert not fa.is_serving(mh.home_address)
+        # S tunnels into the void: R4 bounces to the home agent, the
+        # update comes back, and the FA probes instead of believing it.
+        driver.process(
+            sender, sender.command(driver.now, "ping", dst=mh.home_address)
+        )
+        driver.run(until=30.0)
+        assert topo.roles["R2"].home_agent.recoveries >= 1
+        # The probe's echo reply proved presence on net D...
+        assert fa.port.neighbor_known(fa.local_iface_name, mh.home_address)
+        # ...so the visitor came back, via the query path.
+        assert fa.is_serving(mh.home_address)
+        recovered = [
+            event for _, event in driver.events
+            if event.detail.get("event") == "fa-recover-visitor"
+        ]
+        assert len(recovered) == 1
+        # And the next packet is delivered normally end-to-end.
+        replies_before = len([
+            e for _, e in driver.events
+            if e.category == "icmp.echo"
+            and e.detail.get("event") == "reply-received"
+        ])
+        driver.process(
+            sender, sender.command(driver.now, "ping", dst=mh.home_address)
+        )
+        driver.run(until=35.0)
+        replies_after = len([
+            e for _, e in driver.events
+            if e.category == "icmp.echo"
+            and e.detail.get("event") == "reply-received"
+        ])
+        assert replies_after == replies_before + 1
