@@ -10,8 +10,9 @@ entries, one per PR that re-measured):
   committed entry (a changed count means changed protocol behaviour,
   not a slower runner).
 - **perf** — events/sec through the simulator core and the engine
-  driver, packets/sec with health tracing on and off, and scenario
-  fork latency from the PR 5 snapshot machinery.  Absolute values vary
+  driver, packets/sec with health tracing on and off, packets/sec with
+  the ``repro.obs`` span-tracing plane attached and detached, and
+  scenario fork latency from the PR 5 snapshot machinery.  Absolute values vary
   with the runner, so CI prints the delta against the last committed
   entry instead of gating on it.  What *is* gated is the
   **adapter-overhead ratio** between the last two committed entries:
@@ -66,15 +67,20 @@ def _pps_spec():
     return spec
 
 
-def _run_engine(spec, with_health):
+def _run_engine(spec, with_health, with_obs=False):
     from repro.telemetry.health import ProtocolHealth
     from repro.wire.driver import run_engine_spec
 
     health = ProtocolHealth() if with_health else None
+    obs = None
+    if with_obs:
+        from repro.obs import ObsPlane
+
+        obs = ObsPlane()
     start = time.perf_counter()
-    driver = run_engine_spec(spec, health=health)
+    driver = run_engine_spec(spec, health=health, obs=obs)
     elapsed = time.perf_counter() - start
-    return driver, elapsed
+    return driver, elapsed, obs
 
 
 def _sim_events_per_sec():
@@ -115,22 +121,37 @@ def _fork_latency_ms():
 def measure() -> dict:
     from repro.wire.conformance import figure1_walkthrough_spec
 
-    walkthrough, walk_elapsed = _run_engine(figure1_walkthrough_spec(), False)
-    storm_off, off_elapsed = _run_engine(_pps_spec(), False)
-    storm_on, on_elapsed = _run_engine(_pps_spec(), True)
+    walkthrough, walk_elapsed, _ = _run_engine(figure1_walkthrough_spec(), False)
+    _, fig_obs_elapsed, fig_obs = _run_engine(
+        figure1_walkthrough_spec(), False, with_obs=True
+    )
+    storm_off, off_elapsed, _ = _run_engine(_pps_spec(), False)
+    storm_on, on_elapsed, _ = _run_engine(_pps_spec(), True)
+    storm_spans, spans_elapsed, storm_obs = _run_engine(
+        _pps_spec(), False, with_obs=True
+    )
 
     deterministic = {
         "figure1_engine_events": len(walkthrough.events),
         "figure1_engine_datagrams": walkthrough.datagrams_delivered,
+        "figure1_span_count": len(fig_obs.spans),
         "pingstorm_engine_datagrams": storm_off.datagrams_delivered,
         "pingstorm_tracing_invariant":
             storm_on.datagrams_delivered == storm_off.datagrams_delivered,
+        "pingstorm_spans_invariant":
+            storm_spans.datagrams_delivered == storm_off.datagrams_delivered,
     }
     perf = {
         "sim_events_per_sec": round(_sim_events_per_sec()),
         "engine_events_per_sec": round(len(walkthrough.events) / walk_elapsed),
         "engine_pps_tracing_off": round(storm_off.datagrams_delivered / off_elapsed),
         "engine_pps_tracing_on": round(storm_on.datagrams_delivered / on_elapsed),
+        # Span-tracing overhead: the same storm with the obs plane
+        # attached (spans + per-category counters) vs fully detached.
+        "engine_pps_spans_off": round(storm_off.datagrams_delivered / off_elapsed),
+        "engine_pps_spans_on": round(
+            storm_spans.datagrams_delivered / spans_elapsed
+        ),
         "fork_latency_ms": round(_fork_latency_ms(), 3),
     }
     return {"deterministic": deterministic, "perf": perf}
@@ -157,6 +178,9 @@ def render(entry: dict) -> str:
         f"  ping storm: {perf['engine_pps_tracing_off']} pps tracing off, "
         f"{perf['engine_pps_tracing_on']} pps tracing on "
         f"({det['pingstorm_engine_datagrams']} datagrams)",
+        f"  span tracing: {perf['engine_pps_spans_off']} pps detached, "
+        f"{perf['engine_pps_spans_on']} pps with the obs plane "
+        f"({det['figure1_span_count']} figure-1 spans)",
         f"  scenario fork: {perf['fork_latency_ms']} ms",
     ])
 

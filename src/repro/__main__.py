@@ -25,6 +25,9 @@
     python -m repro live [scenario] [--speed X] [--conformance]
                                        # run a scenario over real loopback
                                        # UDP sockets (the sans-io engines)
+    python -m repro top [source] [--backend sim|driver|live] [--dag]
+                                       # protocol health + runtime stats
+                                       # panel; tails live snapshot streams
 """
 
 from __future__ import annotations
@@ -57,6 +60,7 @@ _COMMANDS = {
     "audit": "check protocol invariants over a scenario (see `audit --help`)",
     "fuzz": "fuzz scenarios under the invariant auditor (see `fuzz --help`)",
     "live": "run a scenario over loopback UDP sockets (see `live --help`)",
+    "top": "health + runtime stats panel / snapshot tail (see `top --help`)",
 }
 
 
@@ -141,6 +145,10 @@ def main(argv: list[str]) -> int:
         from repro.live.cli import live_main
 
         return live_main(argv[1:])
+    if name == "top":
+        from repro.obs.cli import top_main
+
+        return top_main(argv[1:])
     entry = _DEMOS.get(name)
     if entry is None:
         print(f"unknown command {name!r}\n", file=sys.stderr)

@@ -38,6 +38,7 @@ scanned through a bespoke extension interface.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import RoutingError
@@ -251,13 +252,32 @@ class Dataplane:
         auditor = sim.auditor
         if auditor is not None:
             auditor.packet_sent(sim.now, node.name, packet)
-        for hook in self._outbound_hooks:
-            result = hook(packet)
-            if result is CONSUMED:
+        obs = sim.obs
+        if obs is None:
+            for hook in self._outbound_hooks:
+                result = hook(packet)
+                if result is CONSUMED:
+                    return
+                if result is not None:
+                    packet = result
+                    break
+        else:
+            # Stage timing around the MHRP seam — only ever entered
+            # with an obs plane attached, so the detached hot path
+            # never reads a wall clock.
+            started = perf_counter()
+            consumed = False
+            for hook in self._outbound_hooks:
+                result = hook(packet)
+                if result is CONSUMED:
+                    consumed = True
+                    break
+                if result is not None:
+                    packet = result
+                    break
+            obs.time_stage("sim", "outbound-hooks", perf_counter() - started)
+            if consumed:
                 return
-            if result is not None:
-                packet = result
-                break
         self.route(packet, transit=False)
 
     # ------------------------------------------------------------------
@@ -292,14 +312,31 @@ class Dataplane:
         # (Section 2 allows the agent to be "a separate support host").
         rewritten = False
         if iface is not None:
-            for hook in self._transit_hooks:
-                result = hook(packet, iface)
-                if result is CONSUMED:
+            obs = node.sim.obs
+            if obs is None:
+                for hook in self._transit_hooks:
+                    result = hook(packet, iface)
+                    if result is CONSUMED:
+                        return
+                    if result is not None:
+                        packet = result
+                        rewritten = True
+                        break
+            else:
+                started = perf_counter()
+                consumed = False
+                for hook in self._transit_hooks:
+                    result = hook(packet, iface)
+                    if result is CONSUMED:
+                        consumed = True
+                        break
+                    if result is not None:
+                        packet = result
+                        rewritten = True
+                        break
+                obs.time_stage("sim", "transit-hooks", perf_counter() - started)
+                if consumed:
                     return
-                if result is not None:
-                    packet = result
-                    rewritten = True
-                    break
         if not node.forwarding and not rewritten:
             self.drop(packet, "not-a-router")
             return

@@ -95,6 +95,26 @@ def live_main(argv: Optional[List[str]] = None) -> int:
         help="hard wall-clock cap in seconds "
              "(default: horizon/speed + 30)",
     )
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="attach the repro.obs plane (causal spans + runtime metrics)",
+    )
+    parser.add_argument(
+        "--metrics-dump", metavar="PATH", default=None,
+        help="serve /metrics over loopback HTTP during the run, scrape "
+             "it mid-run over a real socket, and write the exposition "
+             "body to PATH (implies --obs)",
+    )
+    parser.add_argument(
+        "--snapshots", metavar="PATH", default=None,
+        help="append one JSONL runtime snapshot per sampler tick to "
+             "PATH (implies --obs)",
+    )
+    parser.add_argument(
+        "--dag", action="store_true",
+        help="print the normalized causal span DAG as JSON after the "
+             "run (implies --obs)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -112,24 +132,57 @@ def live_main(argv: Optional[List[str]] = None) -> int:
         check_spec,
     )
 
+    want_obs = args.obs or args.dag or bool(args.metrics_dump or args.snapshots)
+    obs = None
+    if want_obs:
+        from repro.obs import ObsPlane
+
+        obs = ObsPlane()
     health = ProtocolHealth()
-    run = LiveRun(spec, speed=args.speed, health=health)
+    run = LiveRun(
+        spec, speed=args.speed, health=health, obs=obs,
+        serve_metrics=bool(args.metrics_dump),
+        snapshot_path=args.snapshots,
+    )
     timeout = (
         args.timeout if args.timeout is not None
         else run.horizon / run.speed + 30.0
     )
 
+    async def _self_scrape() -> str:
+        # Scrape our own /metrics endpoint over a real TCP connection
+        # halfway through the run — proving the exposition path works
+        # while the scenario is in flight, exactly as an external
+        # scraper would see it.
+        from repro.obs.server import scrape
+
+        while run.metrics_port is None:
+            await asyncio.sleep(0.01)
+        await asyncio.sleep(0.5 * run.horizon / run.speed)
+        return await scrape(run.metrics_port)
+
     async def _bounded():
-        await asyncio.wait_for(run.main(), timeout=timeout)
+        scraper = (
+            asyncio.ensure_future(_self_scrape())
+            if args.metrics_dump else None
+        )
+        try:
+            await asyncio.wait_for(run.main(), timeout=timeout)
+        finally:
+            if scraper is not None and not scraper.done():
+                scraper.cancel()
+        return await scraper if scraper is not None else None
 
     try:
-        asyncio.run(_bounded())
+        exposition = asyncio.run(_bounded())
     except asyncio.TimeoutError:
         print(
             f"live run exceeded the {timeout:g}s wall-clock cap",
             file=sys.stderr,
         )
         return 1
+    if args.metrics_dump and exposition is not None:
+        Path(args.metrics_dump).write_text(exposition)
 
     summary = health.summary()
     report = None
@@ -138,6 +191,12 @@ def live_main(argv: Optional[List[str]] = None) -> int:
             "live", (event for _, event in run.events), health=health
         )
         report = check_spec(spec, candidate=candidate)
+
+    dag = None
+    if args.dag:
+        from repro.obs import normalized_dag
+
+        dag = normalized_dag(obs.spans)
 
     if args.as_json:
         payload = {
@@ -150,6 +209,15 @@ def live_main(argv: Optional[List[str]] = None) -> int:
             "datagrams_unresolved": run.datagrams_unresolved,
             "summary": summary,
         }
+        if obs is not None:
+            payload["obs"] = {
+                "spans": obs.spans.summary(),
+                "runtime_samples": run.runtime_samples,
+                "drift_warnings": run.drift_warnings,
+                "max_drift_virtual": round(run.clock.max_drift_virtual, 6),
+            }
+        if dag is not None:
+            payload["dag"] = dag
         if report is not None:
             payload["conformance"] = {
                 "ok": report.ok,
@@ -158,4 +226,15 @@ def live_main(argv: Optional[List[str]] = None) -> int:
         print(json.dumps(payload, indent=2, sort_keys=True))
     elif not args.quiet:
         print(_render_summary(run, summary, report))
+        if obs is not None:
+            spans = obs.spans.summary()
+            print(
+                f"  obs: {spans['spans']} spans in {spans['traces']} "
+                f"traces ({spans['merged']} retransmits merged); "
+                f"max drift {run.clock.max_drift_virtual:.3f}s virtual "
+                f"over {run.runtime_samples} samples, "
+                f"{run.drift_warnings} drift warnings"
+            )
+        if dag is not None:
+            print(json.dumps(dag, indent=2))
     return 0 if report is None or report.ok else 1

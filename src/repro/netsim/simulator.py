@@ -73,6 +73,9 @@ class Simulator:
             is-``None`` check, mirroring :meth:`trace_active`.
         auditor: the attached invariant auditor, or ``None`` (the
             default); same guarding discipline as ``telemetry``.
+        obs: the attached observability plane
+            (:class:`repro.obs.ObsPlane`), or ``None`` (the default);
+            same guarding discipline as ``telemetry``.
     """
 
     def __init__(
@@ -92,6 +95,9 @@ class Simulator:
         #: An invariant auditor (repro.invariants.InvariantAuditor) when
         #: one is attached; same is-None discipline as telemetry.
         self.auditor = None
+        #: An observability plane (repro.obs.ObsPlane) when one is
+        #: attached; same is-None discipline as telemetry.
+        self.obs = None
         #: Every instrument installed through :meth:`attach`, in
         #: attachment order.  ``telemetry`` and ``auditor`` above are
         #: role shortcuts into this list, kept as plain attributes so
@@ -109,9 +115,9 @@ class Simulator:
         An instrument implements ``bind(sim, **kwargs)`` (subscribe its
         tracer listeners, remember the sim) and optionally ``unbind(sim)``
         for :meth:`detach`.  If its class declares ``instrument_role``
-        (``"telemetry"`` or ``"auditor"``), the matching role attribute
-        on the simulator is pointed at it, which is what the guarded
-        hot-path notification sites read.
+        (``"telemetry"``, ``"auditor"``, or ``"obs"``), the matching
+        role attribute on the simulator is pointed at it, which is what
+        the guarded hot-path notification sites read.
         """
         if instrument in self.instruments:
             raise SimulationError(f"{instrument!r} is already attached")

@@ -1,0 +1,43 @@
+"""``repro.obs`` — the cross-backend observability plane.
+
+One plane, three backends.  The MHRP roles narrate the protocol through
+a single tracer vocabulary (``mhrp.register`` / ``mhrp.tunnel`` /
+``mhrp.update`` / ``mhrp.loop``) regardless of whether they run inside
+the discrete-event simulator, the deterministic engine driver, or the
+live asyncio-UDP backend.  This package turns that shared narration
+into shared observability:
+
+- :mod:`repro.obs.spans` — causal span tracing: every MHRP-triggered
+  action gets a trace/span id and a causal parent, so a packet's
+  journey (home intercept → pop-up tunnel hops → foreign-agent
+  delivery, or a loop's dissolution) becomes a DAG.  The DAG has a
+  backend-independent normalized form used by the cross-backend
+  identity tests.
+- :mod:`repro.obs.registry` — a runtime metrics registry
+  (counter/gauge/histogram families over the PR 3
+  :mod:`repro.telemetry.instruments` primitives) with Prometheus-style
+  text exposition and flat JSON snapshots.
+- :mod:`repro.obs.plane` — :class:`ObsPlane`, the attachable
+  instrument: ``sim.attach(ObsPlane())`` on the simulator (instrument
+  role ``"obs"``), ``obs=`` keyword on the engine driver and the live
+  backend.  Detached, every hot path pays one attribute load and an
+  is-``None`` test — the ``Tracer.active`` discipline.
+- :mod:`repro.obs.server` — a stdlib-only asyncio HTTP endpoint
+  serving the exposition (``/metrics``, ``/metrics.json``) plus the
+  matching scrape client; the live backend serves it during a run.
+- :mod:`repro.obs.cli` — ``python -m repro top``: tail a live JSONL
+  snapshot stream, or run a scenario and render protocol-health plus
+  runtime stats (and the span DAG).
+"""
+
+from repro.obs.plane import ObsPlane
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import Span, SpanRecorder, normalized_dag
+
+__all__ = [
+    "MetricsRegistry",
+    "ObsPlane",
+    "Span",
+    "SpanRecorder",
+    "normalized_dag",
+]

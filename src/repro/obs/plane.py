@@ -1,0 +1,154 @@
+""":class:`ObsPlane` — the attachable observability instrument.
+
+One object, three attachment points:
+
+- **Simulator** (PR 5 instrument registry): ``sim.attach(ObsPlane())``
+  subscribes the plane to the tracer (a bound method, so sessions stay
+  forkable) and points ``sim.obs`` at it via the ``"obs"`` instrument
+  role.  Hot paths guard with ``obs = sim.obs; if obs is not None:`` —
+  the same zero-cost-when-detached discipline as ``sim.telemetry``.
+- **Engine driver**: ``EngineDriver(topo, obs=plane)`` calls
+  :meth:`consume_event` for every engine event and
+  :meth:`time_stage` around its dispatch loop.
+- **Live backend**: ``LiveRun(spec, obs=plane)`` does the same over
+  real sockets, and additionally feeds the runtime metrics (event-loop
+  lag, clock drift, timer-wheel depth, per-endpoint datagram counters)
+  into :attr:`metrics`.
+
+The plane owns a :class:`~repro.obs.spans.SpanRecorder` (the causal
+DAG) and a :class:`~repro.obs.registry.MetricsRegistry` (runtime
+stats); per-event instrument lookups are cached so the attached cost is
+one dict hit plus the span bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanRecorder, normalized_dag, render_spans
+
+
+class ObsPlane:
+    """Causal span tracing + runtime metrics, attachable anywhere the
+    MHRP roles run."""
+
+    #: Simulator attach() points ``sim.obs`` here (see Simulator docs).
+    instrument_role = "obs"
+
+    def __init__(
+        self,
+        max_spans: int = 65536,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.spans = SpanRecorder(max_spans=max_spans)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._event_counters: Dict[str, object] = {}
+        self._stage_timers: Dict[Tuple[str, str], object] = {}
+        self._sims: list = []
+
+    # ------------------------------------------------------------------
+    # Simulator attachment (instrument contract)
+    # ------------------------------------------------------------------
+    def bind(self, sim, nodes=None) -> None:
+        """Instrument contract: subscribe to the simulator's tracer.
+
+        ``nodes`` is accepted for signature parity with the other
+        instruments; the span vocabulary arrives via the tracer, so no
+        per-node hookup is needed.
+        """
+        sim.tracer.subscribe(self._on_trace)
+        self._sims.append(sim)
+
+    def unbind(self, sim) -> None:
+        sim.tracer.unsubscribe(self._on_trace)
+        if sim in self._sims:
+            self._sims.remove(sim)
+
+    def _on_trace(self, entry) -> None:
+        """Tracer listener (bound method: snapshot/fork safe)."""
+        self._absorb(entry.time, entry.category, entry.node, entry.detail)
+
+    # ------------------------------------------------------------------
+    # Engine attachment (driver / live hooks)
+    # ------------------------------------------------------------------
+    def consume_event(self, time: float, event) -> None:
+        """Engine-backend hook: one
+        :class:`~repro.wire.engine.EngineEvent` at ``time``."""
+        self._absorb(time, event.category, event.node, event.detail)
+
+    # ------------------------------------------------------------------
+    # Shared ingestion
+    # ------------------------------------------------------------------
+    def _absorb(self, time, category, node, detail) -> None:
+        counter = self._event_counters.get(category)
+        if counter is None:
+            counter = self.metrics.counter(
+                "obs_events_total", "events consumed by the obs plane",
+                category=category,
+            )
+            self._event_counters[category] = counter
+        counter.inc()
+        self.spans.consume(time, category, node, detail)
+
+    # ------------------------------------------------------------------
+    # Hot-path stage timing
+    # ------------------------------------------------------------------
+    def time_stage(self, backend: str, stage: str, seconds: float) -> None:
+        """Record one hot-path stage duration (wall seconds).
+
+        Callers guard the surrounding ``perf_counter`` pair with an
+        is-``None`` test on the plane itself, so a detached run never
+        reads a clock.
+        """
+        timer = self._stage_timers.get((backend, stage))
+        if timer is None:
+            timer = self.metrics.histogram(
+                "stage_seconds", "hot-path stage wall time",
+                backend=backend, stage=stage,
+            )
+            self._stage_timers[(backend, stage)] = timer
+        timer.record(seconds)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def dag(self, categories=None):
+        """The normalized cross-backend span DAG (see
+        :func:`repro.obs.spans.normalized_dag`)."""
+        if categories is None:
+            return normalized_dag(self.spans)
+        return normalized_dag(self.spans, categories=categories)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "spans": self.spans.summary(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def render(self, title: str = "observability plane") -> str:
+        spans = self.spans.summary()
+        lines = [
+            title,
+            f"  spans: {spans['spans']} in {spans['traces']} traces "
+            f"({spans['merged']} retransmits collapsed, "
+            f"{spans['evicted_spans']} evicted)",
+        ]
+        for category, n in spans["by_category"].items():
+            lines.append(f"    {category:16s} {n}")
+        snapshot = self.metrics.snapshot()
+        if snapshot["histograms"]:
+            lines.append("  stage timing (us):")
+            for key, summary in sorted(snapshot["histograms"].items()):
+                if not key.startswith("stage_seconds"):
+                    continue
+                lines.append(
+                    f"    {key[len('stage_seconds'):]:40s} "
+                    f"n={summary['n']:<7d} p50={summary['p50'] * 1e6:8.1f} "
+                    f"p95={summary['p95'] * 1e6:8.1f} "
+                    f"max={summary['max'] * 1e6:8.1f}"
+                )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ObsPlane {len(self.spans)} spans, {len(self.metrics)} series>"

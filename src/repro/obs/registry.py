@@ -1,0 +1,198 @@
+"""The runtime metrics registry: named, labelled instrument families.
+
+:mod:`repro.telemetry.instruments` provides the streaming primitives
+(:class:`~repro.telemetry.instruments.Counter`,
+:class:`~repro.telemetry.instruments.Gauge`,
+:class:`~repro.telemetry.instruments.Histogram`); this module organizes
+them into *families* — one metric name, many label combinations — and
+renders the whole registry two ways:
+
+- :meth:`MetricsRegistry.render_prometheus` — Prometheus text
+  exposition (histograms as summaries with quantile series), the body
+  the live backend's ``/metrics`` endpoint serves;
+- :meth:`MetricsRegistry.snapshot` — a flat JSON-able dict, the payload
+  of the periodic JSONL snapshots ``python -m repro top`` tails.
+
+Get-or-create is one dict lookup, so hot paths may call
+``registry.counter(...)`` directly — though the
+:class:`~repro.obs.plane.ObsPlane` caches the returned instruments and
+never re-resolves per event.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.telemetry.instruments import Counter, Gauge, Histogram
+
+#: Quantiles reported for histogram families (exposition + snapshots).
+SUMMARY_QUANTILES = (50, 95, 99)
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _series_suffix(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+class _Family:
+    """One metric name: a kind, a help string, and a series per label
+    combination (sorted label items are the series key)."""
+
+    __slots__ = ("name", "kind", "help", "series")
+
+    def __init__(self, name: str, kind: str, help: str = "") -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.series: Dict[Tuple[Tuple[str, str], ...], object] = {}
+
+
+class MetricsRegistry:
+    """Named counter/gauge/histogram families with labels.
+
+    ``namespace`` prefixes every exposed metric name (default
+    ``repro``), keeping the exposition greppable next to other
+    producers.  Instruments are created on first use and returned
+    as-is afterwards; a kind clash on a name raises ``ValueError``
+    rather than silently mixing types.
+    """
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        self._families: Dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------
+    # Get-or-create
+    # ------------------------------------------------------------------
+    def _series(self, kind: str, name: str, help: str, labels: Dict[str, str]):
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, "
+                f"requested {kind}"
+            )
+        key = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+        instrument = family.series.get(key)
+        if instrument is None:
+            if kind == "counter":
+                instrument = Counter()
+            elif kind == "gauge":
+                instrument = Gauge()
+            else:
+                instrument = Histogram()
+            family.series[key] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._series("counter", name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._series("gauge", name, help, labels)
+
+    def histogram(self, name: str, help: str = "", **labels: str) -> Histogram:
+        return self._series("histogram", name, help, labels)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def families(self) -> List[str]:
+        return sorted(self._families)
+
+    def __len__(self) -> int:
+        return sum(len(f.series) for f in self._families.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MetricsRegistry {len(self._families)} families, "
+            f"{len(self)} series>"
+        )
+
+    # ------------------------------------------------------------------
+    # Exposition
+    # ------------------------------------------------------------------
+    def render_prometheus(self) -> str:
+        """The registry as Prometheus text exposition format.
+
+        Counters and gauges are one sample per series; histograms are
+        rendered as summaries — ``{quantile="..."}`` samples plus the
+        conventional ``_sum`` and ``_count`` series.
+        """
+        lines: List[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            full = f"{self.namespace}_{name}"
+            if family.help:
+                lines.append(f"# HELP {full} {family.help}")
+            kind = "summary" if family.kind == "histogram" else family.kind
+            lines.append(f"# TYPE {full} {kind}")
+            for key in sorted(family.series):
+                instrument = family.series[key]
+                if family.kind == "counter":
+                    lines.append(f"{full}{_series_suffix(key)} {instrument.value}")
+                elif family.kind == "gauge":
+                    lines.append(f"{full}{_series_suffix(key)} {instrument.value:g}")
+                else:
+                    for q in SUMMARY_QUANTILES:
+                        qkey = key + (("quantile", f"{q / 100:g}"),)
+                        lines.append(
+                            f"{full}{_series_suffix(qkey)} "
+                            f"{instrument.quantile(q):g}"
+                        )
+                    lines.append(
+                        f"{full}_sum{_series_suffix(key)} {instrument.total:g}"
+                    )
+                    lines.append(
+                        f"{full}_count{_series_suffix(key)} {instrument.count}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A flat JSON-able view: ``{kind: {series_key: value}}``.
+
+        Counter series map to their integer value, gauges to
+        ``{value, min, max, n}``, histograms to their
+        :meth:`~repro.telemetry.instruments.Histogram.summary` dict.
+        Series keys are ``name{k=v,...}`` (no namespace prefix).
+        """
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        for name in sorted(self._families):
+            family = self._families[name]
+            for key in sorted(family.series):
+                instrument = family.series[key]
+                series_key = name + (
+                    "{" + ",".join(f"{k}={v}" for k, v in key) + "}"
+                    if key else ""
+                )
+                if family.kind == "counter":
+                    out["counters"][series_key] = instrument.value
+                elif family.kind == "gauge":
+                    out["gauges"][series_key] = {
+                        "value": instrument.value,
+                        "min": instrument.min if instrument.n else 0.0,
+                        "max": instrument.max if instrument.n else 0.0,
+                        "n": instrument.n,
+                    }
+                else:
+                    out["histograms"][series_key] = instrument.summary()
+        return out

@@ -1,0 +1,134 @@
+"""A stdlib-only asyncio HTTP endpoint for the metrics exposition.
+
+The live backend serves its :class:`~repro.obs.registry.MetricsRegistry`
+while a run is in flight:
+
+- ``GET /metrics`` — Prometheus text exposition;
+- ``GET /metrics.json`` — the flat snapshot dict as JSON;
+- ``GET /healthz`` — liveness (``ok``).
+
+No third-party HTTP stack: one ``asyncio.start_server`` handler that
+reads a request line, drains headers, and writes an ``HTTP/1.1``
+response with ``Connection: close``.  :func:`scrape` is the matching
+client, used by the live CLI's ``--metrics-dump`` self-scrape and by
+the CI live-smoke job's assertion that the endpoint answers mid-run
+with non-empty counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable, Optional
+
+LOOPBACK = "127.0.0.1"
+
+_MAX_REQUEST_LINE = 4096
+
+
+class MetricsServer:
+    """Serve one registry provider over loopback HTTP.
+
+    ``provider`` is either the live
+    :class:`~repro.obs.registry.MetricsRegistry` itself or a
+    zero-argument callable returning one — the callable form lets the
+    owner swap or rebuild the registry between requests.
+    """
+
+    def __init__(
+        self, provider: Callable[[], object],
+        host: str = LOOPBACK, port: int = 0,
+    ) -> None:
+        self._provider = provider if callable(provider) else (lambda: provider)
+        self.host = host
+        self.port: Optional[int] = port or None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.requests_served = 0
+
+    async def start(self) -> int:
+        """Bind (an ephemeral port when ``port=0``) and return the
+        bound port."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port or 0
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def _respond(self, path: str):
+        """(status, content-type, body) for one request path."""
+        registry = self._provider()
+        if path in ("/metrics", "/"):
+            return 200, "text/plain; version=0.0.4", registry.render_prometheus()
+        if path == "/metrics.json":
+            return (
+                200, "application/json",
+                json.dumps(registry.snapshot(), sort_keys=True) + "\n",
+            )
+        if path == "/healthz":
+            return 200, "text/plain", "ok\n"
+        return 404, "text/plain", f"no such path {path!r}\n"
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            if len(request_line) > _MAX_REQUEST_LINE or not request_line:
+                return
+            parts = request_line.decode("latin-1").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            while True:  # drain headers up to the blank line
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            status, content_type, body = self._respond(path)
+            payload = body.encode("utf-8")
+            reason = {200: "OK", 404: "Not Found"}.get(status, "OK")
+            writer.write(
+                f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n".encode("latin-1")
+            )
+            writer.write(payload)
+            await writer.drain()
+            self.requests_served += 1
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to clean up
+        finally:
+            writer.close()
+
+
+async def scrape(
+    port: int, path: str = "/metrics",
+    host: str = LOOPBACK, timeout: float = 5.0,
+) -> str:
+    """Fetch one path from a :class:`MetricsServer` and return the body."""
+
+    async def _fetch() -> str:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+                f"Connection: close\r\n\r\n".encode("latin-1")
+            )
+            await writer.drain()
+            raw = await reader.read()
+        finally:
+            writer.close()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+        if " 200 " not in f"{status_line} ":
+            raise RuntimeError(f"scrape of {path} failed: {status_line}")
+        return body.decode("utf-8")
+
+    return await asyncio.wait_for(_fetch(), timeout=timeout)

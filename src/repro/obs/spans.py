@@ -1,0 +1,449 @@
+"""Causal span tracing for MHRP actions, backend-independent.
+
+Every MHRP-triggered action already narrates itself through the shared
+tracer vocabulary — registration attempts (``mhrp.register``), location
+updates (``mhrp.update``), pop-up tunnel hops (``mhrp.tunnel``), loop
+dissolution (``mhrp.loop``) — on all three backends.  A
+:class:`SpanRecorder` consumes that stream and assigns each event a
+**span id** and a **trace id**, inferring causal parents from what the
+protocol itself carries on the wire:
+
+- **Tunnel and loop events chain on the packet uid** — MHRP rewrites
+  packets in place, so the IP identification field *is* the causal id
+  that crosses node (and socket) boundaries.  ``home-intercept →
+  fa-retunnel → fa-deliver`` becomes one trace; a ``mhrp.loop
+  dissolve`` joins the uid chain of the packet that exposed the loop.
+- **Registration operations pair sends with agent processing** by
+  message kind: a ``send kind=fa-connect`` opens an operation span, the
+  foreign agent's ``fa-connect`` (or the home agent's ``ha-register``,
+  or a ``stale-ignored`` nack, or the sender's own ``gave-up``) attaches
+  as its child.  Operations are matched oldest-unserved-first, which is
+  exact for the at-most-one-in-flight-per-kind traffic MHRP generates.
+- **Location updates pair ``sent`` with ``received``** on the
+  ``(mobile_host, foreign_agent, purge)`` triple, FIFO.
+- **Retransmits collapse**: a repeated send (``attempt > 0``) or a
+  duplicate agent-side processing merges into the existing span,
+  bumping its ``count`` — so wall-clock jitter on the live backend
+  changes span counts, never span structure.
+
+Memory is bounded (``max_spans``): when exceeded, the oldest whole
+traces are evicted, mirroring the journey index's discipline.
+
+:func:`normalized_dag` renders the recorded DAG in a
+backend-independent form — ids and timestamps stripped, event labels
+normalized exactly as the conformance projection normalizes them,
+children and traces structurally ordered — which is what the
+sim/driver/live identity test pins.  ``mhrp.update`` traces are
+excluded from the normalized form by default for the same reason
+conformance excludes them: the update rate limiter is clock-keyed, so
+millisecond skew can legitimately add or suppress an update.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Categories the recorder consumes; everything else passes through.
+SPAN_CATEGORIES = ("mhrp.register", "mhrp.tunnel", "mhrp.update", "mhrp.loop")
+
+#: Categories included in the normalized cross-backend DAG (updates are
+#: rate-limiter-timed; see module docstring).
+DAG_CATEGORIES = ("mhrp.register", "mhrp.tunnel", "mhrp.loop")
+
+#: Register events whose event name doubles as the message kind they
+#: process (agent side of a registration operation).
+_AGENT_EVENT_KINDS = frozenset({"ha-register", "fa-connect", "fa-disconnect"})
+
+#: Open registration operations remembered per kind (and pending
+#: location updates per key): enough for every concurrent in-flight
+#: operation MHRP produces, bounded against pathological streams.
+_PENDING_CAP = 16
+
+#: Packet uids whose chain tip is remembered; oldest forgotten first.
+_UID_CAP = 4096
+
+
+def span_label(category: str, detail: Dict[str, object]) -> Tuple:
+    """The backend-independent label of one event.
+
+    Reuses the conformance projection's normalizer (timestamps, uids,
+    attempt counters, and registration seqs stripped) for the
+    categories it covers, and extends it with the update fields the
+    projection deliberately ignores.
+    """
+    from repro.wire.conformance import _normalize
+
+    if category == "mhrp.update":
+        return (
+            category, detail.get("event"), detail.get("mobile_host"),
+            detail.get("foreign_agent"), detail.get("purge"),
+        )
+    return _normalize(category, detail)
+
+
+@dataclass
+class Span:
+    """One MHRP action: an id, a causal parent, and the raw event."""
+
+    span_id: int
+    trace_id: int
+    parent_id: Optional[int]
+    time: float
+    category: str
+    node: str
+    detail: Dict[str, object]
+    #: Collapsed repeats (retransmissions / duplicate processing).
+    count: int = 1
+    #: Registration-operation spans: an agent-side child arrived.
+    served: bool = False
+    children: List[int] = field(default_factory=list)
+
+    @property
+    def event(self) -> object:
+        return self.detail.get("event")
+
+    def label(self) -> Tuple:
+        return span_label(self.category, self.detail)
+
+
+class SpanRecorder:
+    """Builds the causal span DAG from a (time, category, node, detail)
+    stream — simulator trace entries and engine events both qualify.
+
+    Feed it with :meth:`consume`; the :class:`~repro.obs.plane.ObsPlane`
+    wires that to ``tracer.subscribe`` on the simulator and to the
+    engine backends' event hooks.
+    """
+
+    def __init__(self, max_spans: int = 65536) -> None:
+        if max_spans < 2:
+            raise ValueError(f"max_spans must be >= 2, got {max_spans}")
+        self.max_spans = max_spans
+        #: span_id -> Span, creation (= (time, seq)) order.
+        self.spans: Dict[int, Span] = {}
+        self._next_id = 1
+        #: Root span ids in creation order (eviction walks from the front).
+        self._root_order: List[int] = []
+        #: packet uid -> span id of the chain tip, insertion-ordered.
+        self._tip_by_uid: Dict[int, int] = {}
+        #: registration kind -> open operation span ids, oldest first.
+        self._reg_ops: Dict[str, List[int]] = {}
+        #: (mobile_host, foreign_agent, purge) -> pending update span ids.
+        self._upd_pending: Dict[Tuple, List[int]] = {}
+        self.events_seen = 0
+        self.merged = 0
+        self.evicted_spans = 0
+        self.evicted_traces = 0
+
+    # ------------------------------------------------------------------
+    # Span creation / merging
+    # ------------------------------------------------------------------
+    def _new_span(
+        self,
+        time: float,
+        category: str,
+        node: str,
+        detail: Dict[str, object],
+        parent: Optional[Span],
+    ) -> Span:
+        span_id = self._next_id
+        self._next_id += 1
+        if parent is None:
+            span = Span(span_id, span_id, None, time, category, node, dict(detail))
+            self._root_order.append(span_id)
+        else:
+            span = Span(
+                span_id, parent.trace_id, parent.span_id,
+                time, category, node, dict(detail),
+            )
+            parent.children.append(span_id)
+        self.spans[span_id] = span
+        if len(self.spans) > self.max_spans:
+            self._evict()
+        return span
+
+    def _merge(self, span: Span, detail: Dict[str, object]) -> Span:
+        span.count += 1
+        span.detail.update(detail)
+        self.merged += 1
+        return span
+
+    def _evict(self) -> None:
+        """Drop the oldest whole traces until back under the bound."""
+        while len(self.spans) > self.max_spans and self._root_order:
+            root_id = self._root_order.pop(0)
+            stack = [root_id]
+            while stack:
+                span = self.spans.pop(stack.pop(), None)
+                if span is None:
+                    continue
+                stack.extend(span.children)
+                self.evicted_spans += 1
+            self.evicted_traces += 1
+
+    def _live(self, span_id: Optional[int]) -> Optional[Span]:
+        return None if span_id is None else self.spans.get(span_id)
+
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
+    def consume(
+        self, time: float, category: str, node: str, detail: Dict[str, object]
+    ) -> Optional[Span]:
+        """Absorb one event; returns its span (or ``None`` if the
+        category is not span-traced)."""
+        if category == "mhrp.tunnel" or category == "mhrp.loop":
+            self.events_seen += 1
+            return self._consume_uid_chain(time, category, node, detail)
+        if category == "mhrp.register":
+            self.events_seen += 1
+            return self._consume_register(time, category, node, detail)
+        if category == "mhrp.update":
+            self.events_seen += 1
+            return self._consume_update(time, category, node, detail)
+        return None
+
+    # -- tunnel / loop: the packet uid is the causal thread -------------
+    def _consume_uid_chain(
+        self, time: float, category: str, node: str, detail: Dict[str, object]
+    ) -> Span:
+        uid = detail.get("uid")
+        prev = self._live(self._tip_by_uid.get(uid)) if uid is not None else None
+        if (
+            prev is not None
+            and prev.node == node
+            and prev.category == category
+            and prev.label() == span_label(category, detail)
+        ):
+            return self._merge(prev, detail)
+        span = self._new_span(time, category, node, detail, prev)
+        if uid is not None:
+            self._tip_by_uid.pop(uid, None)
+            self._tip_by_uid[uid] = span.span_id
+            while len(self._tip_by_uid) > _UID_CAP:
+                self._tip_by_uid.pop(next(iter(self._tip_by_uid)))
+        return span
+
+    # -- registration operations ---------------------------------------
+    def _consume_register(
+        self, time: float, category: str, node: str, detail: Dict[str, object]
+    ) -> Span:
+        event = detail.get("event")
+        if event == "send":
+            return self._register_send(time, category, node, detail)
+        kind = detail.get("kind")
+        if kind is None and event in _AGENT_EVENT_KINDS:
+            kind = event
+        if kind is None:
+            # Not part of a send/process operation (fa-recover-visitor,
+            # mh-silence-disconnect, replica events): its own trace.
+            return self._new_span(time, category, node, detail, None)
+        if event == "gave-up":
+            return self._register_gave_up(time, category, node, detail, str(kind))
+        return self._register_processing(time, category, node, detail, str(kind))
+
+    def _register_send(
+        self, time: float, category: str, node: str, detail: Dict[str, object]
+    ) -> Span:
+        kind = str(detail.get("kind"))
+        ops = self._reg_ops.setdefault(kind, [])
+        if detail.get("attempt"):
+            # A retransmission: collapse into the newest open operation
+            # this node has for the kind.
+            for op_id in reversed(ops):
+                op = self._live(op_id)
+                if op is not None and op.node == node:
+                    return self._merge(op, detail)
+        span = self._new_span(time, category, node, detail, None)
+        ops.append(span.span_id)
+        if len(ops) > _PENDING_CAP:
+            ops.pop(0)
+        return span
+
+    def _register_gave_up(
+        self, time: float, category: str, node: str,
+        detail: Dict[str, object], kind: str,
+    ) -> Span:
+        ops = self._reg_ops.get(kind, [])
+        for op_id in reversed(ops):
+            op = self._live(op_id)
+            if op is not None and op.node == node:
+                ops.remove(op_id)
+                return self._new_span(time, category, node, detail, op)
+        return self._new_span(time, category, node, detail, None)
+
+    def _register_processing(
+        self, time: float, category: str, node: str,
+        detail: Dict[str, object], kind: str,
+    ) -> Span:
+        """Agent-side processing (``ha-register`` / ``fa-connect`` /
+        ``fa-disconnect`` / ``stale-ignored``): child of the oldest
+        unserved operation of the kind; duplicates collapse."""
+        ops = self._reg_ops.get(kind, [])
+        label = span_label(category, detail)
+        for op_id in ops:
+            op = self._live(op_id)
+            if op is None:
+                continue
+            for child_id in op.children:
+                child = self.spans.get(child_id)
+                if (
+                    child is not None and child.node == node
+                    and child.label() == label
+                ):
+                    return self._merge(child, detail)
+        parent = None
+        for op_id in ops:
+            op = self._live(op_id)
+            if op is not None and not op.served:
+                parent = op
+                break
+        if parent is not None:
+            parent.served = True
+        return self._new_span(time, category, node, detail, parent)
+
+    # -- location updates ----------------------------------------------
+    def _consume_update(
+        self, time: float, category: str, node: str, detail: Dict[str, object]
+    ) -> Span:
+        key = (
+            detail.get("mobile_host"), detail.get("foreign_agent"),
+            detail.get("purge"),
+        )
+        if detail.get("event") == "sent":
+            span = self._new_span(time, category, node, detail, None)
+            pending = self._upd_pending.setdefault(key, [])
+            pending.append(span.span_id)
+            if len(pending) > _PENDING_CAP:
+                pending.pop(0)
+            while len(self._upd_pending) > _PENDING_CAP:
+                self._upd_pending.pop(next(iter(self._upd_pending)))
+            return span
+        pending = self._upd_pending.get(key, [])
+        parent = None
+        while pending:
+            parent = self._live(pending.pop(0))
+            if parent is not None:
+                break
+        return self._new_span(time, category, node, detail, parent)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def traces(self) -> List[List[Span]]:
+        """Retained traces, each as its spans in creation order (which
+        is (time, seq) order within a backend)."""
+        grouped: Dict[int, List[Span]] = {}
+        for span_id in sorted(self.spans):
+            span = self.spans[span_id]
+            grouped.setdefault(span.trace_id, []).append(span)
+        return [grouped[trace_id] for trace_id in sorted(grouped)]
+
+    def summary(self) -> Dict[str, object]:
+        by_category: Dict[str, int] = {}
+        for span in self.spans.values():
+            by_category[span.category] = by_category.get(span.category, 0) + 1
+        return {
+            "events_seen": self.events_seen,
+            "spans": len(self.spans),
+            "traces": len([s for s in self.spans.values() if s.parent_id is None]),
+            "merged": self.merged,
+            "evicted_spans": self.evicted_spans,
+            "evicted_traces": self.evicted_traces,
+            "by_category": dict(sorted(by_category.items())),
+        }
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SpanRecorder {len(self.spans)} spans, "
+            f"{self.merged} merged, {self.evicted_spans} evicted>"
+        )
+
+
+# ----------------------------------------------------------------------
+# Normalized DAG (cross-backend identity form)
+# ----------------------------------------------------------------------
+def _jsonable(value):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+def _normalized_tree(recorder: SpanRecorder, span: Span) -> Dict[str, object]:
+    children = [
+        _normalized_tree(recorder, recorder.spans[child_id])
+        for child_id in span.children
+        if child_id in recorder.spans
+    ]
+    children.sort(key=lambda tree: json.dumps(tree, sort_keys=True))
+    node = {
+        "label": [_jsonable(v) for v in span.label()],
+        "node": span.node,
+    }
+    if children:
+        node["children"] = children
+    return node
+
+
+def normalized_dag(
+    recorder: SpanRecorder, categories=DAG_CATEGORIES
+) -> List[Dict[str, object]]:
+    """The recorded DAG with everything backend-dependent stripped.
+
+    Ids, timestamps, and collapse counts are gone; labels are the
+    conformance-normalized tuples; children are ordered structurally
+    (by their serialized subtree) so cross-node scheduler skew cannot
+    reorder them; traces are ordered the same way.  Two backends that
+    executed the same protocol produce the *same* value here — the
+    property ``tests/obs/test_cross_backend.py`` pins for Figure 1
+    across simulator, deterministic driver, and live UDP.
+    """
+    trees = []
+    for trace in recorder.traces():
+        root = trace[0]
+        if root.category not in categories:
+            continue
+        trees.append(_normalized_tree(recorder, root))
+    trees.sort(key=lambda tree: json.dumps(tree, sort_keys=True))
+    return trees
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_spans(recorder: SpanRecorder, max_traces: Optional[int] = None) -> str:
+    """An indented ASCII view of the recorded traces (CLI / docs)."""
+    lines: List[str] = []
+    traces = recorder.traces()
+    shown = traces if max_traces is None else traces[:max_traces]
+    for trace in shown:
+        root = trace[0]
+        lines.append(
+            f"trace {root.trace_id} [{root.category}] "
+            f"({len(trace)} span{'s' if len(trace) != 1 else ''})"
+        )
+        depth = {root.span_id: 1}
+        for span in trace:
+            indent = depth.get(span.span_id, 1)
+            for child in span.children:
+                depth[child] = indent + 1
+            times = f"t={span.time:.3f}"
+            repeat = f" x{span.count}" if span.count > 1 else ""
+            fields = " ".join(
+                f"{k}={v}" for k, v in span.detail.items()
+                if k not in ("event", "uid")
+            )
+            lines.append(
+                f"{'  ' * indent}{times} {span.node}: "
+                f"{span.event}{repeat}{'  ' + fields if fields else ''}"
+            )
+    if max_traces is not None and len(traces) > max_traces:
+        lines.append(f"... {len(traces) - max_traces} more traces")
+    return "\n".join(lines)

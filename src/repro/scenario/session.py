@@ -186,6 +186,10 @@ class Session:
             from repro.invariants import InvariantAuditor
 
             self.sim.attach(InvariantAuditor(**params))
+        elif kind == "obs":
+            from repro.obs import ObsPlane
+
+            self.sim.attach(ObsPlane(**params))
         else:
             raise ValueError(f"unknown instrument kind {kind!r}")
 
@@ -198,6 +202,11 @@ class Session:
     def auditor(self):
         """The attached :class:`~repro.invariants.InvariantAuditor`, if any."""
         return self.sim.auditor
+
+    @property
+    def obs(self):
+        """The attached :class:`~repro.obs.ObsPlane`, if any."""
+        return self.sim.obs
 
     # ------------------------------------------------------------------
     # Schedule installation

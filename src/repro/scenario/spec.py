@@ -78,8 +78,9 @@ class ScenarioSpec:
     #: Ring-buffer bound installed on the tracer (``None`` = unbounded).
     trace_limit: Optional[int] = None
     #: Instruments attached at build time, e.g. ``[{"kind": "health",
-    #: "max_completed_journeys": 256}]`` or ``[{"kind": "auditor",
-    #: "max_previous_sources": 8}]``.
+    #: "max_completed_journeys": 256}]``, ``[{"kind": "auditor",
+    #: "max_previous_sources": 8}]``, or ``[{"kind": "obs"}]`` (the
+    #: :class:`repro.obs.ObsPlane` span/metrics plane).
     instruments: List[Dict[str, object]] = field(default_factory=list)
     moves: List[dict] = field(default_factory=list)
     faults: List[dict] = field(default_factory=list)

@@ -59,6 +59,24 @@ def run_scenario(name: str, seed: int) -> Tuple[object, ProtocolHealth]:
     raise ValueError(f"unknown scenario {name!r}; expected one of {SCENARIOS}")
 
 
+#: Exit status for "the run completed but produced no telemetry" —
+#: distinct from 1 (divergence) and 2 (bad usage) so scripts can tell
+#: an empty run from a failed check.
+NO_DATA_EXIT = 3
+
+
+def _no_telemetry(hub: ProtocolHealth) -> bool:
+    """True when a finished run observed nothing the panel could
+    report: no journeys, no traffic, no mobility, no registrations."""
+    summary = hub.summary()
+    return (
+        len(hub.index) == 0
+        and not summary.get("packets_sent")
+        and not summary.get("moves")
+        and not summary.get("registrations")
+    )
+
+
 def _check_against(summary: dict, golden_path: str) -> int:
     """Compare ``summary`` to a committed golden dict; 0 iff equal."""
     with open(golden_path) as handle:
@@ -94,6 +112,14 @@ def health_main(argv: Optional[List[str]] = None) -> int:
 
     seed = args.seed if args.seed is not None else (42 if args.scenario == "figure1" else 3)
     sim, hub = run_scenario(args.scenario, seed)
+    if _no_telemetry(hub):
+        print(
+            f"scenario {args.scenario!r} (seed {seed}) produced no "
+            "telemetry data: no packets, moves, or registrations were "
+            "observed — nothing to report",
+            file=sys.stderr,
+        )
+        return NO_DATA_EXIT
     summary = hub.summary()
 
     status = 0
@@ -144,6 +170,13 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
     seed = args.seed if args.seed is not None else (42 if args.scenario == "figure1" else 3)
     _, hub = run_scenario(args.scenario, seed)
     index = hub.index
+    if len(index) == 0:
+        print(
+            f"scenario {args.scenario!r} (seed {seed}) produced no "
+            "packet journeys — nothing to trace",
+            file=sys.stderr,
+        )
+        return NO_DATA_EXIT
     if args.uid is None:
         if args.as_json:
             print(json.dumps(

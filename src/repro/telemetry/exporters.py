@@ -108,3 +108,96 @@ def export_chrome_trace(index: JourneyIndex, out: Union[str, IO[str]]) -> int:
     else:
         json.dump(document, out)
     return len(document["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# Causal span DAG → Chrome trace events (repro.obs)
+# ----------------------------------------------------------------------
+
+def _span_subtree_end(span, spans_by_id) -> float:
+    """Latest timestamp anywhere in a span's subtree — the "X" event
+    duration that keeps parent/child spans properly nested."""
+    end = span.time
+    for child_id in span.children:
+        child = spans_by_id.get(child_id)
+        if child is None:
+            continue
+        child_end = _span_subtree_end(child, spans_by_id)
+        if child_end > end:
+            end = child_end
+    return end
+
+
+def span_chrome_trace(recorder) -> Dict[str, object]:
+    """Build a Chrome trace-event document from a causal span recorder
+    (:class:`repro.obs.SpanRecorder`).
+
+    Layout: one process (``pid`` 2, "mhrp causal spans"), one "thread"
+    per trace (``tid`` = trace id, named for the root span's event).
+    Each span is a complete ("X") event lasting until its latest
+    descendant, so causality renders as nesting; every parent→child
+    edge additionally carries a flow arrow (``"s"``/``"f"`` events
+    keyed by the child's span id), which Perfetto draws as an arrow
+    from cause to effect even across tracks.
+    """
+    events: List[Dict[str, object]] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 2,
+        "args": {"name": "mhrp causal spans"},
+    }]
+    for spans in recorder.traces():
+        root = spans[0]
+        trace_id = root.trace_id
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 2,
+            "tid": trace_id,
+            "args": {"name": f"trace {trace_id}: {root.category} {root.event}"},
+        })
+        for span in spans:
+            args = {str(k): str(v) for k, v in span.detail.items()}
+            if span.count > 1:
+                args["repeats"] = str(span.count)
+            events.append({
+                "name": f"{span.event} @ {span.node}",
+                "cat": span.category,
+                "ph": "X",
+                "pid": 2,
+                "tid": trace_id,
+                "ts": span.time * _US,
+                "dur": max(
+                    0.0,
+                    (_span_subtree_end(span, recorder.spans) - span.time) * _US,
+                ),
+                "args": args,
+            })
+            for child_id in span.children:
+                child = recorder.spans.get(child_id)
+                if child is None:
+                    continue
+                flow = {
+                    "name": "causes",
+                    "cat": span.category,
+                    "pid": 2,
+                    "tid": trace_id,
+                    "id": child.span_id,
+                }
+                events.append({**flow, "ph": "s", "ts": span.time * _US})
+                events.append({
+                    **flow, "ph": "f", "bp": "e", "ts": child.time * _US,
+                })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_span_chrome_trace(recorder, out: Union[str, IO[str]]) -> int:
+    """Write the span DAG as a Chrome/Perfetto trace; returns the
+    event count."""
+    document = span_chrome_trace(recorder)
+    if isinstance(out, str):
+        with open(out, "w") as handle:
+            json.dump(document, handle)
+    else:
+        json.dump(document, out)
+    return len(document["traceEvents"])

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
@@ -182,6 +183,7 @@ class EngineDriver(ScheduleActions):
         self,
         topo: EngineTopology,
         health=None,
+        obs=None,
         lan_latency: float = LAN_LATENCY,
         wireless_latency: float = WIRELESS_LATENCY,
     ) -> None:
@@ -198,6 +200,10 @@ class EngineDriver(ScheduleActions):
         #: conformance harness projects its comparisons out of this.
         self.events: List[Tuple[float, EngineEvent]] = []
         self.feed = HealthFeed(health) if health is not None else None
+        #: The observability plane (:class:`repro.obs.ObsPlane`) when
+        #: one is attached; every notification site is is-None guarded,
+        #: so a detached run pays one attribute load per turn.
+        self.obs = obs
         self.datagrams_delivered = 0
         self.datagrams_unresolved = 0
         # Boot turn: what the simulator runs at construction time
@@ -259,10 +265,13 @@ class EngineDriver(ScheduleActions):
     # Engine output processing
     # ------------------------------------------------------------------
     def process(self, node: NodeEngine, output: EngineOutput) -> None:
+        obs = self.obs
         for event in output.events:
             self.events.append((self.now, event))
             if self.feed is not None:
                 self.feed.consume(self.now, event)
+            if obs is not None:
+                obs.consume_event(self.now, event)
         for op in output.timers:
             slot = (node.name, op.key)
             generation = self._timer_gen.get(slot, 0) + 1
@@ -345,13 +354,29 @@ class EngineDriver(ScheduleActions):
 
     def run(self, until: float) -> int:
         """Process every queued action with ``time <= until``; the clock
-        lands exactly on ``until``.  Returns the number processed."""
+        lands exactly on ``until``.  Returns the number processed.
+
+        Per-action stage timing only exists when an obs plane is
+        attached: the detached loop never reads a wall clock (the
+        ``Tracer.active`` zero-cost discipline).
+        """
         processed = 0
-        while self._heap and self._heap[0][0] <= until:
-            time, _, action = heapq.heappop(self._heap)
-            self.now = max(self.now, time)
-            self._dispatch(action)
-            processed += 1
+        obs = self.obs
+        if obs is None:
+            while self._heap and self._heap[0][0] <= until:
+                time, _, action = heapq.heappop(self._heap)
+                self.now = max(self.now, time)
+                self._dispatch(action)
+                processed += 1
+        else:
+            perf = perf_counter
+            while self._heap and self._heap[0][0] <= until:
+                time, _, action = heapq.heappop(self._heap)
+                self.now = max(self.now, time)
+                started = perf()
+                self._dispatch(action)
+                obs.time_stage("driver", action[0], perf() - started)
+                processed += 1
         self.now = max(self.now, until)
         return processed
 
@@ -359,6 +384,7 @@ class EngineDriver(ScheduleActions):
 def run_engine_spec(
     spec,
     health=None,
+    obs=None,
     lan_latency: float = LAN_LATENCY,
     wireless_latency: float = WIRELESS_LATENCY,
 ) -> EngineDriver:
@@ -367,7 +393,7 @@ def run_engine_spec(
     harness and the CLI share."""
     topo = build_engine_world(spec.topology)
     driver = EngineDriver(
-        topo, health=health,
+        topo, health=health, obs=obs,
         lan_latency=lan_latency, wireless_latency=wireless_latency,
     )
     driver.install_spec(spec)

@@ -129,3 +129,76 @@ class TestLoopbackSmoke:
         assert summary["moves"] == 3
         assert summary["registrations"] == 2
         assert summary["loops_dissolved"] == 0
+
+
+class TestVirtualClockDrift:
+    def test_note_lag_converts_to_virtual_seconds(self):
+        loop = asyncio.new_event_loop()
+        try:
+            clock = VirtualClock(loop, speed=20.0)
+            assert clock.note_lag(0.05) == pytest.approx(1.0)
+            assert clock.drift_virtual == pytest.approx(1.0)
+            clock.note_lag(0.01)
+            assert clock.drift_virtual == pytest.approx(0.2)
+            assert clock.max_drift_virtual == pytest.approx(1.0)
+            assert clock.note_lag(-0.5) == 0.0  # early is not drift
+        finally:
+            loop.close()
+
+
+class TestRuntimeSampler:
+    def test_sampler_runs_and_prunes_timer_wheel(self):
+        run = run_live_spec(figure1_walkthrough_spec(), speed=40.0)
+        assert run.runtime_samples >= 2
+        assert run.drift_warnings == 0
+        # The sampler pruned fired handles; the wheel never holds the
+        # full schedule's worth of dead entries at the end.
+        assert len(run._handles) < 30
+
+    def test_sustained_drift_logs_a_warning(self, caplog):
+        import logging
+
+        spec = figure1_walkthrough_spec()
+        run = LiveRun(spec, speed=40.0, drift_warn_virtual=0.0,
+                      drift_warn_samples=2)
+        with caplog.at_level(logging.WARNING, logger="repro.live"):
+            asyncio.run(run.main())
+        assert run.drift_warnings >= 1
+        assert any(
+            "virtual clock slipping" in record.message
+            for record in caplog.records
+        )
+
+    def test_snapshot_stream_rows_are_monotonic(self, tmp_path):
+        import json
+
+        from repro.obs import ObsPlane
+
+        path = tmp_path / "snap.jsonl"
+        run = run_live_spec(
+            figure1_walkthrough_spec(), speed=40.0, obs=ObsPlane(),
+            snapshot_path=str(path),
+        )
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(rows) == run.runtime_samples
+        times = [row["t_virtual"] for row in rows]
+        assert times == sorted(times)
+        assert rows[-1]["datagrams_sent"] > 0
+        assert rows[-1]["spans"] == 41
+
+    def test_endpoint_counters_only_when_attached(self):
+        from repro.obs import ObsPlane
+
+        detached = run_live_spec(figure1_walkthrough_spec(), speed=40.0)
+        assert detached._endpoint_counters == {}
+        obs = ObsPlane()
+        attached = run_live_spec(
+            figure1_walkthrough_spec(), speed=40.0, obs=obs
+        )
+        assert attached._endpoint_counters
+        snapshot = obs.metrics.snapshot()
+        rx = sum(
+            v for k, v in snapshot["counters"].items()
+            if k.startswith("live_datagrams_total") and "direction=rx" in k
+        )
+        assert rx == attached.datagrams_received

@@ -1,0 +1,95 @@
+"""MetricsRegistry: get-or-create semantics, Prometheus exposition,
+and the flat JSON snapshot."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+
+
+class TestSeries:
+    def test_counter_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        a = registry.counter("requests", "total requests", route="/metrics")
+        b = registry.counter("requests", route="/metrics")
+        assert a is b
+        a.inc(3)
+        assert b.value == 3
+
+    def test_label_sets_create_distinct_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("requests", node="A")
+        b = registry.counter("requests", node="B")
+        assert a is not b
+        assert len(registry) == 2
+
+    def test_kind_clash_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_gauge_and_histogram(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(4)
+        gauge.set(7)
+        assert gauge.value == 7
+        hist = registry.histogram("lat", backend="live")
+        for v in (1.0, 2.0, 3.0):
+            hist.record(v)
+        assert hist.count == 3
+
+
+class TestPrometheusExposition:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("events", "events seen", category="mhrp.tunnel").inc(5)
+        registry.gauge("drift", "clock drift").set(0.25)
+        hist = registry.histogram("stage", "stage timing", stage="timer")
+        for v in (0.001, 0.002, 0.004):
+            hist.record(v)
+        return registry
+
+    def test_render_has_help_type_and_samples(self):
+        text = self._registry().render_prometheus()
+        assert "# HELP repro_events events seen" in text
+        assert "# TYPE repro_events counter" in text
+        assert 'repro_events{category="mhrp.tunnel"} 5' in text
+        assert "# TYPE repro_drift gauge" in text
+        assert "repro_drift 0.25" in text
+
+    def test_histogram_renders_as_summary(self):
+        text = self._registry().render_prometheus()
+        assert "# TYPE repro_stage summary" in text
+        assert 'quantile="0.5"' in text
+        assert 'quantile="0.95"' in text
+        assert 'repro_stage_count{stage="timer"} 3' in text
+        assert 'repro_stage_sum{stage="timer"}' in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", label='quo"te\nline\\slash').inc()
+        text = registry.render_prometheus()
+        assert '\\"' in text and "\\n" in text and "\\\\" in text
+        # Exactly one non-comment sample line, and it stays one line.
+        samples = [
+            line for line in text.splitlines() if not line.startswith("#")
+        ]
+        assert len(samples) == 1
+
+    def test_exposition_ends_with_newline(self):
+        assert self._registry().render_prometheus().endswith("\n")
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_safe_and_keyed_by_series(self):
+        registry = MetricsRegistry()
+        registry.counter("events", category="a").inc(2)
+        registry.gauge("drift").set(1.5)
+        registry.histogram("stage", stage="t").record(0.5)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert snapshot["counters"]["events{category=a}"] == 2
+        assert snapshot["gauges"]["drift"]["value"] == 1.5
+        assert snapshot["histograms"]["stage{stage=t}"]["n"] == 1

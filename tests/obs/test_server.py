@@ -1,0 +1,97 @@
+"""MetricsServer: the loopback HTTP exposition endpoint and its
+matching scrape client."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.server import MetricsServer, scrape
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.counter("events", "events", category="mhrp.tunnel").inc(7)
+    registry.gauge("drift").set(0.5)
+    return registry
+
+
+def _roundtrip(path):
+    async def go():
+        server = MetricsServer(_registry())
+        port = await server.start()
+        try:
+            return await scrape(port, path=path)
+        finally:
+            await server.stop()
+
+    return asyncio.run(go())
+
+
+def test_metrics_path_serves_prometheus_text():
+    body = _roundtrip("/metrics")
+    assert 'repro_events{category="mhrp.tunnel"} 7' in body
+    assert "# TYPE repro_drift gauge" in body
+
+
+def test_metrics_json_path_serves_snapshot():
+    body = _roundtrip("/metrics.json")
+    snapshot = json.loads(body)
+    assert snapshot["counters"]["events{category=mhrp.tunnel}"] == 7
+
+
+def test_healthz():
+    assert _roundtrip("/healthz").strip() == "ok"
+
+
+def test_unknown_path_is_an_error():
+    with pytest.raises(RuntimeError, match="404"):
+        _roundtrip("/nope")
+
+
+def test_provider_callable_form_sees_registry_swaps():
+    async def go():
+        registries = [_registry()]
+        server = MetricsServer(lambda: registries[0])
+        port = await server.start()
+        try:
+            before = await scrape(port)
+            replacement = MetricsRegistry()
+            replacement.counter("events", category="mhrp.tunnel").inc(1)
+            registries[0] = replacement
+            after = await scrape(port)
+        finally:
+            await server.stop()
+        return before, after
+
+    before, after = asyncio.run(go())
+    assert "} 7" in before and "} 1" in after
+
+
+def test_serves_while_a_live_run_is_in_flight():
+    """The CI live-smoke shape: scrape mid-run, counters non-empty."""
+    from repro.obs import ObsPlane
+    from repro.live.backend import LiveRun
+    from repro.wire.conformance import figure1_walkthrough_spec
+
+    obs = ObsPlane()
+    run = LiveRun(
+        figure1_walkthrough_spec(), speed=40.0, obs=obs, serve_metrics=True
+    )
+
+    async def go():
+        async def mid_run_scrape():
+            while run.metrics_port is None:
+                await asyncio.sleep(0.01)
+            await asyncio.sleep(0.5 * run.horizon / run.speed)
+            return await scrape(run.metrics_port)
+
+        scraper = asyncio.ensure_future(mid_run_scrape())
+        await run.main()
+        return await scraper
+
+    body = asyncio.run(go())
+    assert "repro_obs_events_total" in body
+    assert "repro_live_datagrams_total" in body
+    assert run._metrics_server.requests_served >= 1

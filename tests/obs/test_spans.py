@@ -1,0 +1,215 @@
+"""SpanRecorder: causal linkage rules, retransmit collapse, bounded
+memory, and the normalized cross-backend DAG."""
+
+from repro.obs import SpanRecorder, normalized_dag
+from repro.obs.spans import render_spans
+
+
+def _reg_send(rec, t, node, kind, attempt=0, to="R2"):
+    return rec.consume(t, "mhrp.register", node, {
+        "event": "send", "kind": kind, "to": to, "attempt": attempt,
+    })
+
+
+class TestTunnelChains:
+    def test_uid_links_spans_across_nodes(self):
+        rec = SpanRecorder()
+        a = rec.consume(1.0, "mhrp.tunnel", "S", {
+            "event": "sender-encapsulate", "uid": 9,
+        })
+        b = rec.consume(1.1, "mhrp.tunnel", "R2", {
+            "event": "home-intercept", "uid": 9,
+        })
+        c = rec.consume(1.2, "mhrp.tunnel", "R4", {
+            "event": "fa-deliver", "uid": 9,
+        })
+        assert a.parent_id is None
+        assert b.parent_id == a.span_id and b.trace_id == a.trace_id
+        assert c.parent_id == b.span_id
+
+    def test_different_uids_are_different_traces(self):
+        rec = SpanRecorder()
+        a = rec.consume(1.0, "mhrp.tunnel", "S", {
+            "event": "sender-encapsulate", "uid": 1,
+        })
+        b = rec.consume(1.0, "mhrp.tunnel", "S", {
+            "event": "sender-encapsulate", "uid": 2,
+        })
+        assert a.trace_id != b.trace_id
+
+    def test_same_node_same_label_merges(self):
+        rec = SpanRecorder()
+        rec.consume(1.0, "mhrp.tunnel", "R4", {
+            "event": "fa-retunnel", "uid": 3, "mobile_host": "M",
+            "target": "R5", "going_home": False,
+        })
+        again = rec.consume(1.1, "mhrp.tunnel", "R4", {
+            "event": "fa-retunnel", "uid": 3, "mobile_host": "M",
+            "target": "R5", "going_home": False,
+        })
+        assert again.count == 2
+        assert rec.merged == 1
+        assert len(rec) == 1
+
+    def test_loop_dissolve_joins_the_packet_trace(self):
+        rec = SpanRecorder()
+        root = rec.consume(1.0, "mhrp.tunnel", "S", {
+            "event": "sender-encapsulate", "uid": 5,
+        })
+        dissolve = rec.consume(1.5, "mhrp.loop", "R3", {
+            "event": "dissolve", "uid": 5, "mobile_host": "M",
+            "members": ("R3", "R4"),
+        })
+        assert dissolve.trace_id == root.trace_id
+
+
+class TestRegistrationOps:
+    def test_retransmits_collapse_into_the_operation(self):
+        rec = SpanRecorder()
+        op = _reg_send(rec, 1.0, "M", "ha-register", attempt=0)
+        _reg_send(rec, 2.0, "M", "ha-register", attempt=1)
+        _reg_send(rec, 4.0, "M", "ha-register", attempt=2)
+        assert len(rec) == 1
+        assert op.count == 3
+        assert rec.merged == 2
+
+    def test_agent_processing_serves_oldest_unserved_op(self):
+        rec = SpanRecorder()
+        first = _reg_send(rec, 1.0, "M", "ha-register")
+        second = _reg_send(rec, 2.0, "N", "ha-register")
+        a = rec.consume(1.1, "mhrp.register", "R2", {
+            "event": "ha-register", "mobile_host": "M",
+            "foreign_agent": "R4",
+        })
+        b = rec.consume(2.1, "mhrp.register", "R2", {
+            "event": "ha-register", "mobile_host": "N",
+            "foreign_agent": "R4",
+        })
+        assert a.parent_id == first.span_id
+        assert b.parent_id == second.span_id
+
+    def test_gave_up_closes_the_operation(self):
+        rec = SpanRecorder()
+        op = _reg_send(rec, 1.0, "M", "fa-connect")
+        gave_up = rec.consume(9.0, "mhrp.register", "M", {
+            "event": "gave-up", "kind": "fa-connect", "to": "R4",
+        })
+        assert gave_up.parent_id == op.span_id
+        # The op is closed: a later send starts a fresh operation.
+        fresh = _reg_send(rec, 10.0, "M", "fa-connect", attempt=1)
+        assert fresh.parent_id is None
+
+    def test_kindless_events_are_their_own_traces(self):
+        rec = SpanRecorder()
+        span = rec.consume(1.0, "mhrp.register", "R4", {
+            "event": "fa-recover-visitor", "mobile_host": "M",
+        })
+        assert span.parent_id is None
+
+
+class TestUpdatePairing:
+    def test_sent_received_pair_fifo(self):
+        rec = SpanRecorder()
+        sent = rec.consume(1.0, "mhrp.update", "R2", {
+            "event": "sent", "to": "S", "mobile_host": "M",
+            "foreign_agent": "R4", "purge": False,
+        })
+        received = rec.consume(1.1, "mhrp.update", "S", {
+            "event": "received", "mobile_host": "M",
+            "foreign_agent": "R4", "purge": False,
+        })
+        assert received.parent_id == sent.span_id
+
+    def test_unmatched_received_is_a_root(self):
+        rec = SpanRecorder()
+        received = rec.consume(1.0, "mhrp.update", "S", {
+            "event": "received", "mobile_host": "M",
+            "foreign_agent": "R4", "purge": False,
+        })
+        assert received.parent_id is None
+
+
+class TestBoundedMemory:
+    def test_eviction_drops_whole_oldest_traces(self):
+        rec = SpanRecorder(max_spans=4)
+        for uid in range(1, 5):
+            rec.consume(uid * 1.0, "mhrp.tunnel", "S", {
+                "event": "sender-encapsulate", "uid": uid,
+            })
+            rec.consume(uid * 1.0 + 0.1, "mhrp.tunnel", "R4", {
+                "event": "fa-deliver", "uid": uid,
+            })
+        assert len(rec) <= 4
+        assert rec.evicted_traces >= 2
+        # Surviving traces are complete chains, never orphaned children.
+        for spans in rec.traces():
+            assert spans[0].parent_id is None
+
+    def test_summary_counts(self):
+        rec = SpanRecorder()
+        _reg_send(rec, 1.0, "M", "ha-register")
+        summary = rec.summary()
+        assert summary["spans"] == summary["traces"] == 1
+        assert summary["by_category"] == {"mhrp.register": 1}
+
+
+class TestNormalizedDag:
+    def _two_backend_runs(self):
+        """The same logical history consumed in two different orders
+        with different timestamps, as two backends would see it."""
+        first, second = SpanRecorder(), SpanRecorder()
+        events = [
+            (1.0, "mhrp.tunnel", "S",
+             {"event": "sender-encapsulate", "uid": 11}),
+            (1.2, "mhrp.tunnel", "R4", {"event": "fa-deliver", "uid": 11}),
+            (2.0, "mhrp.tunnel", "S",
+             {"event": "sender-encapsulate", "uid": 12}),
+            (2.2, "mhrp.tunnel", "R5", {"event": "fa-deliver", "uid": 12}),
+        ]
+        for t, c, n, d in events:
+            first.consume(t, c, n, d)
+        # Second backend: traces interleaved, shifted times, uids offset.
+        reordered = [
+            (5.0, "mhrp.tunnel", "S",
+             {"event": "sender-encapsulate", "uid": 107}),
+            (5.1, "mhrp.tunnel", "S",
+             {"event": "sender-encapsulate", "uid": 103}),
+            (5.2, "mhrp.tunnel", "R5", {"event": "fa-deliver", "uid": 107}),
+            (5.3, "mhrp.tunnel", "R4", {"event": "fa-deliver", "uid": 103}),
+        ]
+        for t, c, n, d in reordered:
+            second.consume(t, c, n, d)
+        return first, second
+
+    def test_dag_is_invariant_to_time_ids_and_interleaving(self):
+        first, second = self._two_backend_runs()
+        assert normalized_dag(first) == normalized_dag(second)
+
+    def test_dag_strips_ids_and_timestamps(self):
+        first, _ = self._two_backend_runs()
+        dumped = repr(normalized_dag(first))
+        assert "uid" not in dumped
+        assert "span_id" not in dumped and "1.2" not in dumped
+
+    def test_update_category_excluded_by_default(self):
+        rec = SpanRecorder()
+        rec.consume(1.0, "mhrp.update", "R2", {
+            "event": "sent", "to": "S", "mobile_host": "M",
+            "foreign_agent": "R4", "purge": False,
+        })
+        assert normalized_dag(rec) == []
+        assert normalized_dag(rec, categories=("mhrp.update",)) != []
+
+
+class TestRendering:
+    def test_render_spans_shows_tree_and_repeats(self):
+        rec = SpanRecorder()
+        _reg_send(rec, 1.0, "M", "ha-register", attempt=0)
+        _reg_send(rec, 2.0, "M", "ha-register", attempt=1)
+        rec.consume(2.1, "mhrp.register", "R2", {
+            "event": "ha-register", "mobile_host": "M",
+            "foreign_agent": "R4",
+        })
+        text = render_spans(rec)
+        assert "send" in text and "ha-register" in text
+        assert "x2" in text  # the collapsed retransmit
