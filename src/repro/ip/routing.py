@@ -87,6 +87,22 @@ class RoutingTable:
         self._prefix_order = sorted(self._by_prefix, reverse=True)
         self._lookup_cache.clear()
 
+    def __deepcopy__(self, memo: dict) -> "RoutingTable":
+        # Routes and the networks/addresses keying them are immutable
+        # value types (identity-deepcopied), so a table copy is two
+        # levels of fresh dicts over shared values.  The lookup memo is
+        # *derived* data — rebuilt on demand, deterministically — so a
+        # fork starts with it empty instead of paying to duplicate up to
+        # LOOKUP_CACHE_MAX entries per table.
+        clone = RoutingTable.__new__(RoutingTable)
+        memo[id(self)] = clone
+        clone._by_prefix = {
+            plen: dict(bucket) for plen, bucket in self._by_prefix.items()
+        }
+        clone._prefix_order = list(self._prefix_order)
+        clone._lookup_cache = {}
+        return clone
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------

@@ -103,9 +103,45 @@ class Medium:
                 uid=getattr(frame.payload, "uid", None),
             )
         if frame.is_broadcast:
+            # Coalesced fan-out: one delivery event carries the whole
+            # receiver set instead of one event per receiver.  This is
+            # order-preserving: the per-receiver events used to get
+            # adjacent sequence numbers from this synchronous loop, so
+            # nothing could ever interleave between them — running them
+            # back to back inside one event executes the identical
+            # global (time, sequence) order.  Loss is still drawn here,
+            # per receiver, in attachment order (same rng stream), and
+            # the is-attached re-check stays at delivery time, per
+            # receiver (see :meth:`_deliver_batch`).
+            survivors = []
             for iface in list(self._interfaces.values()):
-                if iface is not sender:
-                    self._schedule_delivery(iface, frame)
+                if iface is sender:
+                    continue
+                if self.loss_rate and self.sim.rng.random() < self.loss_rate:
+                    self.sim.trace(
+                        "link.drop", iface.node_name, medium=self.name, reason="loss"
+                    )
+                    auditor = self.sim.auditor
+                    if auditor is not None:
+                        auditor.frame_lost(
+                            self.sim.now, iface.node_name, frame.payload, "loss"
+                        )
+                    continue
+                survivors.append(iface)
+            if not survivors:
+                return
+            if len(survivors) == 1:
+                self.sim.schedule(
+                    self.latency,
+                    partial(self._deliver, survivors[0], frame),
+                    label=f"{self.name}-deliver",
+                )
+            else:
+                self.sim.schedule(
+                    self.latency,
+                    partial(self._deliver_batch, survivors, frame),
+                    label=f"{self.name}-deliver",
+                )
         else:
             target = self._interfaces.get(frame.dst)
             if target is None or target is sender:
@@ -138,6 +174,18 @@ class Medium:
             partial(self._deliver, target, frame),
             label=f"{self.name}-deliver",
         )
+
+    def _deliver_batch(self, targets: list, frame: Frame) -> None:
+        """Deliver one broadcast frame to every coalesced receiver.
+
+        Runs the same per-receiver pipeline :meth:`_deliver` runs —
+        including the at-delivery is-attached re-check, so a receiver
+        detached by an *earlier* delivery in this very batch still loses
+        the frame exactly as it would have under one-event-per-receiver
+        scheduling."""
+        deliver = self._deliver
+        for target in targets:
+            deliver(target, frame)
 
     def _deliver(self, target: "NetworkInterface", frame: Frame) -> None:
         # The target may have detached (mobile host moved) while the frame

@@ -4,19 +4,27 @@ Events are ordered by ``(time, sequence)`` where ``sequence`` is a global
 insertion counter.  Two events scheduled for the same instant therefore
 fire in the order they were scheduled, which keeps simulations
 deterministic and makes protocol races reproducible.
+
+The queue's heap holds ``(time, sequence, payload)`` tuples rather than
+bare :class:`Event` objects: tuple comparison runs entirely in C and the
+``(time, sequence)`` prefix is unique, so heap sifting never calls back
+into Python.  ``payload`` is the :class:`Event` for normally scheduled
+work, or a bare callable for *bulk* entries (:meth:`EventQueue.push_bulk`
+/ :meth:`EventQueue.push_many`) — pre-planned workload traffic that is
+never cancelled or relabelled and therefore does not pay for an Event
+object at all.  :meth:`EventQueue.pop` wraps bulk payloads lazily so the
+public contract (``pop`` returns an :class:`Event`) is unchanged.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from itertools import repeat
+from typing import Any, Callable, Iterable, Iterator, Optional, Tuple
 
 from repro.errors import SimulationError
 
 
-@dataclass(order=True, slots=True)
 class Event:
     """A single scheduled callback.
 
@@ -26,23 +34,78 @@ class Event:
         action: zero-argument callable invoked when the event fires.
         label: optional human-readable description used in traces.
         cancelled: set via :meth:`cancel`; cancelled events are skipped.
+
+    Ordering compares ``(time, sequence)`` only — the same total order
+    the old ``dataclass(order=True)`` generated, hand-rolled because the
+    generated methods build two tuples per comparison and this type sits
+    on the hottest path in the repo.
     """
 
-    time: float
-    sequence: int
-    action: Callable[[], Any] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "sequence", "action", "label", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        action: Callable[[], Any],
+        label: str = "",
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.action = action
+        self.label = label
+        self.cancelled = cancelled
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when popped."""
         self.cancelled = True
+
+    # Ordering: identical to the previous dataclass(order=True, eq=True)
+    # semantics, including unhashability (eq without hash).
+    def __eq__(self, other: object) -> Any:
+        if other.__class__ is Event:
+            return self.time == other.time and self.sequence == other.sequence
+        return NotImplemented
+
+    def __lt__(self, other: "Event") -> Any:
+        if other.__class__ is Event:
+            if self.time != other.time:
+                return self.time < other.time
+            return self.sequence < other.sequence
+        return NotImplemented
+
+    def __le__(self, other: "Event") -> Any:
+        if other.__class__ is Event:
+            if self.time != other.time:
+                return self.time < other.time
+            return self.sequence <= other.sequence
+        return NotImplemented
+
+    def __gt__(self, other: "Event") -> Any:
+        if other.__class__ is Event:
+            if self.time != other.time:
+                return self.time > other.time
+            return self.sequence > other.sequence
+        return NotImplemented
+
+    def __ge__(self, other: "Event") -> Any:
+        if other.__class__ is Event:
+            if self.time != other.time:
+                return self.time > other.time
+            return self.sequence >= other.sequence
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self.cancelled else ""
         label = f" {self.label!r}" if self.label else ""
         return f"<Event t={self.time:.6f} #{self.sequence}{label}{state}>"
 
+
+#: Label reported for bulk entries (which carry no per-event label).
+BULK_LABEL = "bulk"
 
 #: Compaction trigger: at least this many cancelled events must be
 #: pending before a compaction is considered at all.
@@ -54,7 +117,7 @@ COMPACT_MIN_FRACTION = 0.5
 
 
 class EventQueue:
-    """A priority queue of :class:`Event` objects.
+    """A priority queue of scheduled callbacks.
 
     The queue assigns the insertion sequence number itself so callers can
     never violate the FIFO-among-ties invariant.
@@ -72,8 +135,10 @@ class EventQueue:
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        #: ``(time, sequence, payload)`` tuples; payload is an Event or,
+        #: for bulk entries, a bare callable (see the module docstring).
+        self._heap: list = []
+        self._seq = 0
         self._live = 0
         #: Estimate of cancelled events still sitting in the heap.
         self._cancelled_pending = 0
@@ -90,39 +155,109 @@ class EventQueue:
         """Schedule ``action`` at absolute time ``time`` and return the event."""
         if time < 0:
             raise SimulationError(f"cannot schedule event at negative time {time!r}")
-        event = Event(time=time, sequence=next(self._counter), action=action, label=label)
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        time = float(time)
+        event = Event(time, seq, action, label)
+        heapq.heappush(self._heap, (time, seq, event))
         self._live += 1
         return event
+
+    def push_bulk(self, time: float, actions: Iterable[Callable[[], Any]]) -> int:
+        """Schedule many same-time actions as lightweight *bulk* entries.
+
+        Bulk entries carry no :class:`Event` object, no label, and cannot
+        be cancelled — they are meant for pre-planned workload traffic
+        (CBR batches, storm generators) where the per-event bookkeeping
+        is pure overhead.  FIFO-among-ties still holds: each action gets
+        its own sequence number, in iteration order.
+
+        Returns the number of entries scheduled.
+        """
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time!r}")
+        time = float(time)
+        if not isinstance(actions, (list, tuple)):
+            actions = list(actions)
+        n = len(actions)
+        seq = self._seq
+        # zip over repeat/range builds the tuples entirely in C.
+        entries = list(zip(repeat(time, n), range(seq, seq + n), actions))
+        self._seq = seq + n
+        self._insert_entries(entries)
+        return n
+
+    def push_many(self, pairs: Iterable[Tuple[float, Callable[[], Any]]]) -> int:
+        """Schedule many ``(time, action)`` pairs as bulk entries.
+
+        Same contract as :meth:`push_bulk` but each entry brings its own
+        fire time; sequence numbers follow iteration order, so two pairs
+        at the same time fire in the order given.
+        """
+        seq = self._seq
+        entries = []
+        for time, action in pairs:
+            if time < 0:
+                raise SimulationError(
+                    f"cannot schedule event at negative time {time!r}"
+                )
+            entries.append((float(time), seq, action))
+            seq += 1
+        self._seq = seq
+        self._insert_entries(entries)
+        return len(entries)
+
+    def _insert_entries(self, entries: list) -> None:
+        # For large batches a single O(n) heapify beats n O(log n)
+        # pushes; for a handful of entries into a big heap the pushes
+        # win.  The crossover is roughly where the batch stops being
+        # small relative to the heap.
+        heap = self._heap
+        if len(entries) >= 4 and len(entries) * 8 >= len(heap):
+            heap.extend(entries)
+            heapq.heapify(heap)
+        else:
+            for entry in entries:
+                heapq.heappush(heap, entry)
+        self._live += len(entries)
 
     def pop(self) -> Optional[Event]:
         """Remove and return the next non-cancelled event, or ``None`` if empty.
 
         Cancelled events are lazily discarded here rather than removed from
-        the heap at cancel time, keeping :meth:`Event.cancel` O(1).
+        the heap at cancel time, keeping :meth:`Event.cancel` O(1).  Bulk
+        entries are wrapped in a transient :class:`Event` so callers see
+        one uniform type.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                if self._cancelled_pending > 0:
-                    self._cancelled_pending -= 1
-                continue
+        heap = self._heap
+        while heap:
+            time, seq, payload = heapq.heappop(heap)
+            if payload.__class__ is Event:
+                if payload.cancelled:
+                    if self._cancelled_pending > 0:
+                        self._cancelled_pending -= 1
+                    continue
+                self._live -= 1
+                return payload
             self._live -= 1
-            return event
+            return Event(time, seq, payload, BULK_LABEL)
         self._live = 0
         self._cancelled_pending = 0
         return None
 
     def peek_time(self) -> Optional[float]:
         """Return the fire time of the next live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-            if self._cancelled_pending > 0:
-                self._cancelled_pending -= 1
-        if not self._heap:
-            self._live = 0
-            return None
-        return self._heap[0].time
+        heap = self._heap
+        while heap:
+            payload = heap[0][2]
+            if payload.__class__ is Event and payload.cancelled:
+                heapq.heappop(heap)
+                if self._cancelled_pending > 0:
+                    self._cancelled_pending -= 1
+                continue
+            return heap[0][0]
+        self._live = 0
+        return None
 
     def note_cancelled(self) -> None:
         """Inform the queue that one pushed event was cancelled.
@@ -155,7 +290,11 @@ class EventQueue:
         """Drop every cancelled event from the heap now (O(n))."""
         if self._cancelled_pending == 0:
             return
-        self._heap = [event for event in self._heap if not event.cancelled]
+        self._heap = [
+            entry
+            for entry in self._heap
+            if entry[2].__class__ is not Event or not entry[2].cancelled
+        ]
         heapq.heapify(self._heap)
         self._cancelled_pending = 0
         self.compactions += 1
@@ -166,13 +305,26 @@ class EventQueue:
         self._live = 0
         self._cancelled_pending = 0
 
+    def iter_pending(self) -> Iterator[Event]:
+        """Yield every live pending event, in arbitrary (heap) order.
+
+        Bulk entries are wrapped in transient :class:`Event` views, so
+        consumers (snapshot validation, diagnostics) see one type.
+        """
+        for time, seq, payload in self._heap:
+            if payload.__class__ is Event:
+                if not payload.cancelled:
+                    yield payload
+            else:
+                yield Event(time, seq, payload, BULK_LABEL)
+
     # ------------------------------------------------------------------
     # Snapshot contract
     # ------------------------------------------------------------------
     @property
     def sequence(self) -> int:
         """The next sequence number this queue would assign."""
-        return self._counter.__reduce__()[1][0]
+        return self._seq
 
     def state_dict(self) -> dict:
         """JSON-able *diagnostic* state: the queue's counters, never its
@@ -185,5 +337,20 @@ class EventQueue:
             "heap_size": len(self._heap),
             "cancelled_pending": self._cancelled_pending,
             "compactions": self.compactions,
-            "sequence": self.sequence,
+            "sequence": self._seq,
         }
+
+    def load_state(self, state: dict) -> None:
+        """Restore the queue's counters from :meth:`state_dict`.
+
+        The heap itself (callables) rides the session deepcopy and is
+        intentionally untouched; what this restores is the bookkeeping
+        that is *not* derivable from the heap — the sequence counter and
+        the cancelled-pending estimate that drives compaction.  Before
+        this existed a restored queue silently kept whatever estimate it
+        happened to have, so a restored run could compact earlier or
+        later than the run it was diffed against.
+        """
+        self._seq = int(state["sequence"])
+        self._cancelled_pending = int(state["cancelled_pending"])
+        self.compactions = int(state["compactions"])

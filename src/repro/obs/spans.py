@@ -83,7 +83,7 @@ def span_label(category: str, detail: Dict[str, object]) -> Tuple:
     return _normalize(category, detail)
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One MHRP action: an id, a causal parent, and the raw event."""
 

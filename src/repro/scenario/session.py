@@ -130,9 +130,7 @@ def validate_forkable(sim: Simulator) -> None:
     Walks the live events in the queue and the tracer's listeners; see
     the module docstring for why lambdas and closures are fatal here.
     """
-    for event in sim.queue._heap:
-        if event.cancelled:
-            continue
+    for event in sim.queue.iter_pending():
         _check_callable(
             event.action, f"pending event {event.label or '?'} @t={event.time:.3f}"
         )

@@ -83,7 +83,7 @@ LIMITED_BROADCAST = IPAddress("255.255.255.255")
 # Engine IO vocabulary
 # ----------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Datagram:
     """One serialized IP datagram the engine wants transmitted.
 
@@ -98,7 +98,7 @@ class Datagram:
     broadcast: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TimerOp:
     """Arm (``delay`` seconds from now) or cancel (``delay is None``) the
     node-scoped timer named ``key``."""
@@ -107,7 +107,7 @@ class TimerOp:
     delay: Optional[float]
 
 
-@dataclass
+@dataclass(slots=True)
 class EngineEvent:
     """One protocol event.
 

@@ -119,6 +119,8 @@ class SimRolePort:
     single per-node namespace exactly like the engine's ``set_timer``.
     """
 
+    __slots__ = ("node", "_timers", "_callbacks")
+
     _ATTR = "_mhrp_role_port"
 
     def __init__(self, node) -> None:
@@ -256,6 +258,8 @@ class EngineRolePort:
     the candidate visitor auto-answers echo requests, and the reply
     lands in a per-node heard-neighbour set this port maintains.
     """
+
+    __slots__ = ("node", "_heard_neighbors", "_probe_listener_installed", "_probe_seq")
 
     _ATTR = "_mhrp_role_port"
 
@@ -548,9 +552,12 @@ class ReliableRegistrar(Registrar):
 # Agent advertisement (Section 3)
 # ----------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class AgentAdvertisementInfo:
-    """What a mobile host learned from one advertisement."""
+    """What a mobile host learned from one advertisement.
+
+    A value record: holders replace it wholesale, never mutate fields,
+    so session snapshots share it instead of duplicating it."""
 
     agent: IPAddress
     is_home_agent: bool
@@ -558,6 +565,9 @@ class AgentAdvertisementInfo:
     boot_id: int
     heard_at: float
     lifetime: float = DEFAULT_ADVERT_LIFETIME
+
+    def __deepcopy__(self, memo: dict) -> "AgentAdvertisementInfo":
+        return self
 
 
 class Advertiser:
@@ -675,10 +685,16 @@ class AgentAdvertiser(Advertiser):
 # Location caching structures + updates (Sections 2, 4.3)
 # ----------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class CacheEntry:
+    """A value record (see :class:`AgentAdvertisementInfo`): replaced,
+    never mutated, so snapshots share it."""
+
     foreign_agent: IPAddress
     cached_at: float
+
+    def __deepcopy__(self, memo: dict) -> "CacheEntry":
+        return self
 
 
 class LocationCache:
@@ -1327,13 +1343,18 @@ class HomeAgentRole:
 # The foreign-agent role (Sections 2, 4.4, 5.1, 5.2, 5.3)
 # ----------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class VisitorRecord:
-    """One entry in the visitor list."""
+    """One entry in the visitor list — a value record (see
+    :class:`AgentAdvertisementInfo`): replaced, never mutated, so
+    snapshots share it."""
 
     mobile_host: IPAddress
     hw_value: int
     registered_at: float
+
+    def __deepcopy__(self, memo: dict) -> "VisitorRecord":
+        return self
 
 
 class ForeignAgentRole:

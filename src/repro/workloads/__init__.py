@@ -19,7 +19,12 @@ from repro.workloads.topology import (
     build_campus,
     build_figure1,
 )
-from repro.workloads.traffic import CBRStream, PoissonStream, RequestResponseClient
+from repro.workloads.traffic import (
+    CBRStream,
+    PoissonStream,
+    RequestResponseClient,
+    VectorCBRStream,
+)
 
 __all__ = [
     "CBRStream",
@@ -33,6 +38,7 @@ __all__ = [
     "RandomWaypointMobility",
     "RequestResponseClient",
     "ScriptedMobility",
+    "VectorCBRStream",
     "build_campus",
     "build_figure1",
     "build_loop",

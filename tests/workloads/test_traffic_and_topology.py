@@ -8,6 +8,7 @@ from repro.workloads import (
     CBRStream,
     PoissonStream,
     RequestResponseClient,
+    VectorCBRStream,
     build_campus,
     build_figure1,
 )
@@ -67,6 +68,60 @@ class TestCBRStream:
         stream.start()
         topo.sim.run(until=10.0)
         assert stream.log.count == 1  # the 8-byte floor kept the seq intact
+
+
+class TestVectorCBRStream:
+    def _stream(self, cls, **kwargs):
+        topo = build_figure1()
+        topo.m.attach(topo.net_d)
+        topo.sim.run(until=5.0)
+        stream = cls(
+            sender=topo.s, receiver=topo.m, dst_address=topo.m.home_address,
+            **kwargs,
+        )
+        stream.start()
+        topo.sim.run(until=30.0)
+        return stream
+
+    def test_requires_explicit_count(self, topo):
+        with pytest.raises(ValueError):
+            VectorCBRStream(
+                sender=topo.s, receiver=topo.m,
+                dst_address=topo.m.home_address, interval=0.5,
+            )
+
+    def test_deliveries_bit_equal_to_serial_stream(self):
+        """The bulk-installed schedule performs the same float additions
+        the serial stream's rescheduling performs, so the receiver log
+        (arrival times and sequence numbers) must match exactly."""
+        params = dict(interval=0.37, count=30, start_at=6.0)
+        serial = self._stream(CBRStream, **params)
+        vector = self._stream(VectorCBRStream, **params)
+        assert serial.sent == vector.sent == 30
+        assert vector.log.received == serial.log.received
+        assert vector.lost_sequences() == serial.lost_sequences() == []
+
+    def test_arrival_stats_numpy_matches_pure_python(self, monkeypatch):
+        stream = self._stream(
+            VectorCBRStream, interval=0.25, count=20, start_at=6.0
+        )
+        from repro.workloads import traffic
+
+        vectorized = stream.log.arrival_stats()
+        monkeypatch.setattr(traffic, "_np", None)
+        fallback = stream.log.arrival_stats()
+        assert vectorized == fallback
+        assert vectorized["count"] == 20 and vectorized["reordered"] == 0
+
+    def test_arrival_stats_empty_and_single(self):
+        from repro.workloads.traffic import DeliveryLog
+
+        empty = DeliveryLog()
+        assert empty.arrival_stats()["count"] == 0
+        single = DeliveryLog(received=[(1.5, 0)])
+        stats = single.arrival_stats()
+        assert stats == {"count": 1, "first": 1.5, "last": 1.5,
+                         "mean_gap": None, "reordered": 0}
 
 
 class TestPoissonStream:
