@@ -28,6 +28,9 @@
     python -m repro top [source] [--backend sim|driver|live] [--dag]
                                        # protocol health + runtime stats
                                        # panel; tails live snapshot streams
+    python -m repro run [scenario] [--backend sim|batched|engine|live|partitioned]
+                                       # any scenario on any execution
+                                       # backend, one uniform result
 """
 
 from __future__ import annotations
@@ -61,6 +64,7 @@ _COMMANDS = {
     "fuzz": "fuzz scenarios under the invariant auditor (see `fuzz --help`)",
     "live": "run a scenario over loopback UDP sockets (see `live --help`)",
     "top": "health + runtime stats panel / snapshot tail (see `top --help`)",
+    "run": "run a scenario on any execution backend (see `run --help`)",
 }
 
 
@@ -149,6 +153,10 @@ def main(argv: list[str]) -> int:
         from repro.obs.cli import top_main
 
         return top_main(argv[1:])
+    if name == "run":
+        from repro.backend import run_main
+
+        return run_main(argv[1:])
     entry = _DEMOS.get(name)
     if entry is None:
         print(f"unknown command {name!r}\n", file=sys.stderr)

@@ -1,0 +1,84 @@
+"""Cooperative per-cell deadlines for nested-worker execution.
+
+The sweep runner's original per-cell timeout was a ``SIGALRM`` interval
+timer.  That works for single-process cells but is unsound the moment a
+cell spawns its own worker pool (the partitioned backend does): the
+alarm only fires in the parent's main thread while the real work is in
+children, a retriggered alarm can interrupt ``multiprocessing``'s
+internal locks mid-acquire, and a cell that forks *inherits* the
+pending alarm into every worker.
+
+This module replaces the signal with a plain wall-clock deadline that
+well-behaved long-running loops *poll*: :func:`set_deadline` arms it,
+:func:`check` raises :class:`DeadlineExceeded` once it has passed, and
+:func:`clear` disarms it.  The runner arms the deadline around each
+cell; cooperative execution kernels (the partition engine's window loop,
+any cell marked ``cooperative_timeout``) call :func:`check` at natural
+barriers.  Workers forked *after* the deadline is armed inherit the
+armed value, which is exactly right — a child of a timed cell shares
+the cell's budget.
+
+The deadline is process-global (one cell runs per process at a time,
+matching the runner's execution model) and monotonic-clock based.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = [
+    "DeadlineExceeded",
+    "set_deadline",
+    "clear_deadline",
+    "active_deadline",
+    "remaining",
+    "check",
+]
+
+
+class DeadlineExceeded(Exception):
+    """Raised by :func:`check` when the armed deadline has passed."""
+
+
+#: Monotonic-clock instant the current cell must finish by, or ``None``.
+_deadline: Optional[float] = None
+
+
+def set_deadline(seconds: float) -> float:
+    """Arm a deadline ``seconds`` from now; returns the absolute instant."""
+    global _deadline
+    _deadline = time.monotonic() + float(seconds)
+    return _deadline
+
+
+def clear_deadline() -> None:
+    """Disarm the deadline (idempotent)."""
+    global _deadline
+    _deadline = None
+
+
+def active_deadline() -> Optional[float]:
+    """The armed absolute deadline (monotonic clock), or ``None``."""
+    return _deadline
+
+
+def remaining() -> Optional[float]:
+    """Seconds left before the deadline, or ``None`` when disarmed.
+
+    May be negative once the deadline has passed."""
+    if _deadline is None:
+        return None
+    return _deadline - time.monotonic()
+
+
+def check() -> None:
+    """Raise :class:`DeadlineExceeded` if an armed deadline has passed.
+
+    Cheap enough to call at every cooperative barrier (one clock read);
+    a no-op when no deadline is armed.
+    """
+    if _deadline is not None and time.monotonic() > _deadline:
+        raise DeadlineExceeded(
+            f"cooperative deadline exceeded by {-remaining():.3f}s"
+        )

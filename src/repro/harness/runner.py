@@ -12,7 +12,9 @@ Failure containment:
 - a cell function that raises records a failed :class:`CellResult`
   instead of killing the sweep;
 - a cell that overruns the per-cell timeout is recorded as timed out
-  (SIGALRM-based, skipped on platforms without it);
+  (SIGALRM-based, skipped on platforms without it; specs that spawn
+  nested worker pools set ``cooperative_timeout`` and get a polled
+  deadline instead — see :mod:`repro.harness.deadline`);
 - failed cells are never cached, so the next run retries them.
 """
 
@@ -152,6 +154,7 @@ def execute_cell(
     cell_hash: str,
     timeout: Optional[float] = None,
     warm: bool = False,
+    cooperative: bool = False,
 ) -> dict:
     """Run one cell in the current process; never raises.
 
@@ -161,11 +164,22 @@ def execute_cell(
     deliverable; elsewhere (non-main thread, non-POSIX) it degrades to
     no timeout rather than failing.
 
+    ``cooperative=True`` swaps the alarm for a polled wall-clock
+    deadline (:mod:`repro.harness.deadline`): the cell's execution
+    kernel calls :func:`repro.harness.deadline.check` at its own safe
+    points and we translate :class:`DeadlineExceeded` into a timeout
+    result.  This is the only sound option for cells that run nested
+    worker pools (the partitioned backend): a SIGALRM would fire in the
+    parent while the work is in children, and an alarm inherited across
+    ``fork`` can interrupt multiprocessing internals mid-lock.
+
     ``warm`` toggles the per-process scenario warm-start cache for the
-    duration of the call.  It deliberately does not enter the cell hash:
-    warm-started results are byte-identical to cold ones, so the two
-    modes must share cache entries.
+    duration of the call.  Neither it nor ``cooperative`` enters the
+    cell hash: both modes produce byte-identical results, so they must
+    share cache entries.
     """
+    from repro.harness import deadline as _deadline
+
     start = time.perf_counter()
     result = {
         "experiment": experiment,
@@ -183,7 +197,9 @@ def execute_cell(
 
         warmstart.configure(warm)
         fn = resolve_cell_fn(cell_fn)
-        if timeout and hasattr(signal, "SIGALRM"):
+        if timeout and cooperative:
+            _deadline.set_deadline(timeout)
+        elif timeout and hasattr(signal, "SIGALRM"):
             def _on_alarm(signum, frame):
                 raise _CellTimeout()
 
@@ -194,7 +210,7 @@ def execute_cell(
             except ValueError:  # not the main thread
                 alarm_armed = False
         result["metrics"] = _check_metrics(fn(seed=seed, **params))
-    except _CellTimeout:
+    except (_CellTimeout, _deadline.DeadlineExceeded):
         result["status"] = STATUS_TIMEOUT
         result["error"] = f"cell exceeded {timeout}s timeout"
     except BaseException as exc:  # crash isolation: the sweep survives
@@ -202,6 +218,7 @@ def execute_cell(
         tail = traceback.format_exc(limit=4)
         result["error"] = f"{type(exc).__name__}: {exc}\n{tail}"
     finally:
+        _deadline.clear_deadline()
         if alarm_armed:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, signal.SIG_DFL)
@@ -277,6 +294,7 @@ def run_sweep(
             cell.content_hash(),
             timeout,
             warm_start,
+            spec.cooperative_timeout,
         )
 
     def _land(record: dict) -> None:

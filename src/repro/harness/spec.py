@@ -104,6 +104,14 @@ class ExperimentSpec:
     #: Metric -> "lower" | "higher" | "both": which direction of drift
     #: counts as a regression when gating against a baseline.
     directions: Mapping[str, str] = field(default_factory=dict)
+    #: Enforce per-cell timeouts cooperatively (a polled wall-clock
+    #: deadline, :mod:`repro.harness.deadline`) instead of ``SIGALRM``.
+    #: Required for cells that spawn worker pools of their own — e.g.
+    #: partitioned-backend cells — where an alarm signal would fire in
+    #: the wrong process or interrupt multiprocessing internals; the
+    #: trade-off is that the cell only times out at its next deadline
+    #: poll.  Does not enter the cell content hash.
+    cooperative_timeout: bool = False
 
     def __post_init__(self) -> None:
         for grid in self._as_grids(self.grid):

@@ -69,6 +69,12 @@ class IPAddress:
     def __deepcopy__(self, memo: dict) -> "IPAddress":
         return self
 
+    # Slotted + immutable needs an explicit pickle path (the default
+    # one restores state through the blocked ``__setattr__``); packets
+    # cross partition-worker boundaries pickled.
+    def __reduce__(self):
+        return (IPAddress, (self._value,))
+
     # -- accessors ------------------------------------------------------
     @property
     def value(self) -> int:
@@ -174,6 +180,10 @@ class IPNetwork:
 
     def __deepcopy__(self, memo: dict) -> "IPNetwork":
         return self
+
+    # Explicit pickle path for the same reason as :class:`IPAddress`.
+    def __reduce__(self):
+        return (IPNetwork, (f"{self._address}/{self._prefix_len}",))
 
     # -- accessors ------------------------------------------------------
     @property

@@ -465,7 +465,7 @@ class LiveRun(ScheduleActions):
         return self
 
 
-def run_live_spec(
+def _run_live_spec(
     spec,
     speed: float = DEFAULT_SPEED,
     health=None,
@@ -474,10 +474,35 @@ def run_live_spec(
     snapshot_path: Optional[str] = None,
 ) -> LiveRun:
     """Execute a ScenarioSpec over loopback UDP and return the finished
-    :class:`LiveRun` (its ``events`` log feeds the conformance diff)."""
+    :class:`LiveRun` (its ``events`` log feeds the conformance diff).
+    Internal entry point behind :func:`repro.backend.run`."""
     run = LiveRun(
         spec, speed=speed, health=health, obs=obs,
         serve_metrics=serve_metrics, snapshot_path=snapshot_path,
     )
     asyncio.run(run.main())
     return run
+
+
+def run_live_spec(
+    spec,
+    speed: float = DEFAULT_SPEED,
+    health=None,
+    obs=None,
+    serve_metrics: bool = False,
+    snapshot_path: Optional[str] = None,
+) -> LiveRun:
+    """Deprecated one-call entry point; use ``repro.backend.run(spec,
+    backend="live")`` instead.  Kept (warning) for one release."""
+    import warnings
+
+    warnings.warn(
+        "run_live_spec() is deprecated; use "
+        "repro.backend.run(spec, backend='live') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_live_spec(
+        spec, speed=speed, health=health, obs=obs,
+        serve_metrics=serve_metrics, snapshot_path=snapshot_path,
+    )

@@ -83,6 +83,9 @@ class Simulator:
     #: attribute so the byte-identity tests can force every simulator in
     #: a scenario — including ones built deep inside session/world code —
     #: through the batched kernel without plumbing a flag everywhere.
+    #: :meth:`run` reads it through ``self``, so a single simulator can
+    #: also opt in per instance (the ``batched`` backend of
+    #: :func:`repro.backend.run` does exactly that).
     default_batched = False
 
     def __init__(
@@ -245,7 +248,7 @@ class Simulator:
         and pay a method call per event).  The observable semantics are
         identical; the netsim test suite pins them.
         """
-        if Simulator.default_batched:
+        if self.default_batched:
             return self.run_batched(until=until, max_events=max_events)
         if self._running:
             raise SimulationError("run() called re-entrantly from inside an event")
@@ -295,6 +298,67 @@ class Simulator:
             self._running = False
         if until is not None and until > self.clock.now:
             self.clock.advance_to(until)
+        return executed
+
+    def run_before(
+        self,
+        barrier: float,
+        inclusive: bool = False,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run events scheduled strictly before ``barrier`` (or up to and
+        including it with ``inclusive=True``) and return how many ran.
+
+        Unlike :meth:`run`, the clock is **not** advanced to the barrier
+        when the queue empties out early: it stays at the last executed
+        event.  That is the contract the conservative-synchronization
+        partition engine needs — events injected from another partition
+        at exactly the barrier time must still be schedulable with
+        :meth:`schedule_at` (which requires ``when >= now``), and the
+        next window picks the clock up from wherever this one stopped.
+
+        ``inclusive=True`` is the degenerate zero-lookahead (global
+        barrier) mode: the engine computes the minimum next-event time
+        across all partitions and lets every partition execute exactly
+        that instant, so zero-delay inter-partition links make progress
+        one timestamp at a time instead of deadlocking.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly from inside an event")
+        self._running = True
+        executed = 0
+        queue = self.queue
+        heap = queue._heap
+        clock = self.clock
+        try:
+            while heap:
+                if max_events is not None and executed >= max_events:
+                    break
+                when, _, payload = heap[0]
+                if payload.__class__ is Event and payload.cancelled:
+                    heappop(heap)
+                    if queue._cancelled_pending > 0:
+                        queue._cancelled_pending -= 1
+                    continue
+                if (when > barrier) if inclusive else (when >= barrier):
+                    break
+                heappop(heap)
+                queue._live -= 1
+                if when > clock._now:
+                    clock._now = when
+                elif when < clock._now:
+                    clock.advance_to(when)  # raises: clock cannot move backwards
+                self._processed += 1
+                executed += 1
+                if payload.__class__ is Event:
+                    payload.action()
+                else:
+                    payload()
+            else:
+                queue._live = 0
+                queue._cancelled_pending = 0
+        finally:
+            self._running = False
         return executed
 
     def run_batched(

@@ -55,13 +55,13 @@ def _run_backend(spec, backend: str, speed: float):
     health = ProtocolHealth()
     obs = ObsPlane()
     if backend == "driver":
-        from repro.wire.driver import run_engine_spec
+        from repro.wire.driver import _run_engine_spec
 
-        run_engine_spec(spec, health=health, obs=obs)
+        _run_engine_spec(spec, health=health, obs=obs)
         return health, obs, []
-    from repro.live.backend import run_live_spec
+    from repro.live.backend import _run_live_spec
 
-    run = run_live_spec(spec, speed=speed, health=health, obs=obs)
+    run = _run_live_spec(spec, speed=speed, health=health, obs=obs)
     extra = [
         f"  runtime: {run.runtime_samples} samples, max drift "
         f"{run.clock.max_drift_virtual:.3f}s virtual, "

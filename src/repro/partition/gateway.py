@@ -1,0 +1,71 @@
+"""Border gateways: where packets leave and enter a partition.
+
+Each partition's campus owns the ``{10+i}.0.0.0/8`` supernet (see
+:mod:`repro.workloads.hierarchy`), so classification is by first octet.
+The gateway is a real :class:`~repro.ip.node.Router` on the campus
+backbone: the campus home router routes every *other* campus's supernet
+at it, and a transit hook on its dataplane intercepts anything bound
+off-campus — the packet is pickled and handed to the partition runtime
+for export instead of being forwarded.  Using an ordinary router (and
+not monkeypatching ``forward``) means originated, transited *and*
+re-tunneled packets all funnel through the same interception point,
+because they all reach the gateway via normal routing.
+
+Inbound, the engine delivers the pickled packet at its cross-partition
+arrival time and the runtime calls :meth:`BorderGateway.inject`, which
+re-enters the local campus through
+:meth:`~repro.ip.node.Node.forward_injected` — the forward/route stage
+directly, deliberately *skipping* the transit hooks so an injected
+packet can never bounce straight back out through its own entry wound.
+"""
+
+from __future__ import annotations
+
+from repro.ip.address import IPNetwork
+from repro.ip.dataplane import CONSUMED
+from repro.ip.router import Router
+from repro.workloads.hierarchy import campus_of_address_value
+
+#: Backbone host number reserved for the border gateway (campus routers
+#: use 1, 2 and 10..159; see ``build_campus``'s address plan).
+GATEWAY_HOST = 250
+
+
+class BorderGateway:
+    """One campus's connection to the rest of the partitioned world."""
+
+    def __init__(
+        self,
+        runtime,
+        campus: int,
+        backbone,
+        backbone_net: IPNetwork,
+        n_campuses: int,
+    ) -> None:
+        self.runtime = runtime
+        self.campus = campus
+        self.n_campuses = n_campuses
+        self.router = Router(runtime.sim, f"c{campus}.GW")
+        self.router.add_interface(
+            "bb", backbone_net.host(GATEWAY_HOST), backbone_net, medium=backbone
+        )
+        # Everything campus-internal goes back via the home router, which
+        # knows every local prefix.
+        self.router.routing_table.set_default(backbone_net.host(1), "bb")
+        self.router.dataplane.register(
+            "transit", self._transit, name="partition-border"
+        )
+
+    # -- outbound ------------------------------------------------------
+    def _transit(self, packet, iface):
+        """Transit hook: export off-campus packets, pass local ones."""
+        dst_campus = campus_of_address_value(packet.dst.value)
+        if dst_campus == self.campus or not 0 <= dst_campus < self.n_campuses:
+            return None  # local (or not in the plan): forward normally
+        self.runtime.export_packet(dst_campus, packet)
+        return CONSUMED
+
+    # -- inbound -------------------------------------------------------
+    def inject(self, packet) -> None:
+        """Re-enter the campus with a packet from another partition."""
+        self.router.forward_injected(packet)

@@ -43,7 +43,14 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
-SPEC_VERSION = 1
+#: Current schema version.  Version 2 adds the optional ``partitions``
+#: and ``hierarchy`` fields for the partitioned parallel engine; specs
+#: that don't use them serialize as version 1, byte-identical to what
+#: PR 5 wrote, so old JSON specs and fuzz artifacts round-trip exactly.
+SPEC_VERSION = 2
+
+#: Versions :meth:`ScenarioSpec.from_dict` accepts.
+_SUPPORTED_VERSIONS = (1, 2)
 
 #: Seconds between a warm probe and its audited twin.
 PROBE_GAP = 2.0
@@ -87,6 +94,14 @@ class ScenarioSpec:
     flows: List[dict] = field(default_factory=list)
     probes: List[dict] = field(default_factory=list)
     pings: List[dict] = field(default_factory=list)
+    #: Number of partitions the world is sharded into (schema v2);
+    #: ``None`` means an ordinary unpartitioned scenario.
+    partitions: Optional[int] = None
+    #: Inter-partition hierarchy (schema v2), e.g. ``{"depth": 2,
+    #: "branching": 2, "hop_delay": 0.01}`` — the campus→region→backbone
+    #: tree the lookahead/delay model is derived from.  ``None`` for
+    #: unpartitioned scenarios.
+    hierarchy: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # Timeline
@@ -129,7 +144,7 @@ class ScenarioSpec:
         entries are deliberately excluded.
         """
         payload = {
-            "version": SPEC_VERSION,
+            "version": self.wire_version(),
             "seed": self.seed,
             "topology": self.topology,
             "checkpoint": self.checkpoint,
@@ -137,14 +152,22 @@ class ScenarioSpec:
             "instruments": self.instruments,
             "prefix": [[kind, entry] for kind, entry in self.prefix_entries()],
         }
+        if self.wire_version() >= 2:
+            payload["partitions"] = self.partitions
+            payload["hierarchy"] = self.hierarchy
         return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
 
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
+    def wire_version(self) -> int:
+        """The schema version this spec serializes as: 1 unless a v2-only
+        field is used, so pre-v2 specs round-trip byte-identically."""
+        return 1 if self.partitions is None and self.hierarchy is None else 2
+
     def to_dict(self) -> dict:
-        return {
-            "version": SPEC_VERSION,
+        out = {
+            "version": self.wire_version(),
             "name": self.name,
             "seed": self.seed,
             "topology": self.topology,
@@ -158,12 +181,22 @@ class ScenarioSpec:
             "probes": self.probes,
             "pings": self.pings,
         }
+        if self.wire_version() >= 2:
+            out["partitions"] = self.partitions
+            out["hierarchy"] = self.hierarchy
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioSpec":
-        version = data.get("version", SPEC_VERSION)
-        if version != SPEC_VERSION:
+        version = data.get("version", 1)
+        if version not in _SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported scenario spec version {version!r}")
+        partitions = data.get("partitions")
+        hierarchy = data.get("hierarchy")
+        if version < 2 and (partitions is not None or hierarchy is not None):
+            raise ValueError(
+                "partitions/hierarchy fields require scenario spec version 2"
+            )
         return cls(
             name=data["name"],
             seed=int(data["seed"]),
@@ -177,6 +210,8 @@ class ScenarioSpec:
             flows=list(data.get("flows", [])),
             probes=list(data.get("probes", [])),
             pings=list(data.get("pings", [])),
+            partitions=int(partitions) if partitions is not None else None,
+            hierarchy=dict(hierarchy) if hierarchy is not None else None,
         )
 
     # ------------------------------------------------------------------

@@ -33,7 +33,7 @@ from repro.telemetry.exporters import (
     export_jsonl,
     timeline_records,
 )
-from repro.telemetry.health import ProtocolHealth
+from repro.telemetry.health import ProtocolHealth, merge_health_summaries
 from repro.telemetry.instruments import Counter, Gauge, Histogram, TimeSeries
 from repro.telemetry.journeys import Journey, JourneyIndex, JourneyStep
 
@@ -49,5 +49,6 @@ __all__ = [
     "chrome_trace",
     "export_chrome_trace",
     "export_jsonl",
+    "merge_health_summaries",
     "timeline_records",
 ]

@@ -428,3 +428,89 @@ class ProtocolHealth:
 
 def _round(value: float, digits: int = 9) -> float:
     return round(float(value), digits)
+
+
+# ----------------------------------------------------------------------
+# Merging (the partitioned backend: one summary per partition)
+# ----------------------------------------------------------------------
+#: Count-valued summary keys that add exactly across partitions.
+_MERGE_COUNT_KEYS = (
+    "packets_sent",
+    "packets_forwarded",
+    "packets_delivered",
+    "packets_control_delivered",
+    "packets_dropped",
+    "moves",
+    "registrations",
+    "loops_dissolved",
+    "cache_hits",
+    "cache_misses",
+)
+
+#: Distribution prefixes produced by :meth:`ProtocolHealth.summary`.
+_MERGE_DIST_PREFIXES = (
+    "latency_ms",
+    "stretch",
+    "hops",
+    "tunnel_chain",
+    "prev_sources",
+    "blackout_ms",
+    "registration_ms",
+    "loop_dissolution_ms",
+)
+
+
+def merge_health_summaries(summaries) -> Dict[str, object]:
+    """Combine per-partition :meth:`ProtocolHealth.summary` dicts into
+    one fleet-wide view.
+
+    Counters — including the per-reason ``dropped[...]`` keys — add
+    exactly, and the cache hit ratio is recomputed from the merged
+    counts.  Distribution statistics cannot be reconstructed from
+    summaries alone: ``*_n`` adds and ``*_max`` takes the maximum
+    (both exact), while mean and percentiles are n-weighted averages
+    of the per-partition values — an approximation, flagged here so
+    nobody gates on a merged p99.  The exact per-partition summaries
+    stay available on ``PartitionedResult.results``.
+    """
+    summaries = [s for s in summaries if s]
+    if not summaries:
+        return {}
+    out: Dict[str, object] = {}
+    count_keys = list(_MERGE_COUNT_KEYS) + sorted(
+        {k for s in summaries for k in s if k.startswith("dropped[")}
+    )
+    for key in count_keys:
+        out[key] = sum(int(s.get(key, 0)) for s in summaries)
+    lookups = out["cache_hits"] + out["cache_misses"]
+    out["cache_hit_ratio"] = (
+        _round(out["cache_hits"] / lookups) if lookups else 0.0
+    )
+    # Peak deliveries per bin: the max of per-partition peaks (a lower
+    # bound on the true global peak; bins are not aligned across
+    # partitions, so summing would overstate it).
+    out["delivery_peak_per_bin"] = _round(
+        max(float(s.get("delivery_peak_per_bin", 0.0)) for s in summaries)
+    )
+    for prefix in _MERGE_DIST_PREFIXES:
+        weights = [int(s.get(f"{prefix}_n", 0)) for s in summaries]
+        total = sum(weights)
+        out[f"{prefix}_n"] = total
+        for stat in ("mean", "p50", "p95", "p99"):
+            out[f"{prefix}_{stat}"] = (
+                _round(
+                    sum(
+                        float(s.get(f"{prefix}_{stat}", 0.0)) * n
+                        for s, n in zip(summaries, weights)
+                    )
+                    / total
+                )
+                if total
+                else 0.0
+            )
+        out[f"{prefix}_max"] = (
+            _round(max(float(s.get(f"{prefix}_max", 0.0)) for s in summaries))
+            if total
+            else 0.0
+        )
+    return out

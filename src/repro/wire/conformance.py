@@ -119,37 +119,37 @@ class BackendRun:
 
 
 def run_simulator_reference(spec) -> BackendRun:
-    """Run the spec on the simulator and project its observations."""
-    from repro.scenario.session import Session
+    """Run the spec on the simulator (via the unified backend facade)
+    and project its observations."""
+    from repro import backend
     from repro.scenario.spec import ScenarioSpec
 
     reference = ScenarioSpec.from_dict(spec.to_dict())
-    reference.instruments = [{"kind": "health"}]
-    session = Session(reference)
-    collected = []
-    session.sim.tracer.subscribe(collected.append)
-    session.run_to_checkpoint()
-    session.install_tail()
-    session.run()
-    summary = session.telemetry.summary()
+    # The auditor instrument is simulator-only; conformance compares
+    # under the health instrument alone (the facade appends it).
+    reference.instruments = [
+        entry for entry in reference.instruments if entry.get("kind") == "health"
+    ]
+    result = backend.run(reference, backend="sim")
+    summary = result.health
     return BackendRun(
         backend="simulator",
-        projection=project_events(collected),
+        projection=project_events(result.trace.entries),
         fingerprint=health_fingerprint(summary),
         summary=summary,
     )
 
 
 def run_engine_reference(spec) -> BackendRun:
-    """Run the spec on the deterministic in-process engine driver."""
-    from repro.wire.driver import run_engine_spec
+    """Run the spec on the deterministic in-process engine driver (via
+    the unified backend facade)."""
+    from repro import backend
 
-    health = ProtocolHealth()
-    driver = run_engine_spec(spec, health=health)
-    summary = health.summary()
+    result = backend.run(spec, backend="engine")
+    summary = result.health
     return BackendRun(
         backend="engine",
-        projection=project_events(event for _, event in driver.events),
+        projection=project_events(event for _, event in result.trace),
         fingerprint=health_fingerprint(summary),
         summary=summary,
     )

@@ -381,6 +381,27 @@ class EngineDriver(ScheduleActions):
         return processed
 
 
+def _run_engine_spec(
+    spec,
+    health=None,
+    obs=None,
+    until=None,
+    lan_latency: float = LAN_LATENCY,
+    wireless_latency: float = WIRELESS_LATENCY,
+) -> EngineDriver:
+    """Boot the spec's topology as engines, install its schedule, and
+    run to ``until`` (default: the spec's horizon).  Internal entry
+    point behind :func:`repro.backend.run`."""
+    topo = build_engine_world(spec.topology)
+    driver = EngineDriver(
+        topo, health=health, obs=obs,
+        lan_latency=lan_latency, wireless_latency=wireless_latency,
+    )
+    driver.install_spec(spec)
+    driver.run(until=spec.horizon if until is None else until)
+    return driver
+
+
 def run_engine_spec(
     spec,
     health=None,
@@ -388,14 +409,17 @@ def run_engine_spec(
     lan_latency: float = LAN_LATENCY,
     wireless_latency: float = WIRELESS_LATENCY,
 ) -> EngineDriver:
-    """Boot the spec's topology as engines, install its schedule, and
-    run to the horizon.  The one-call entry point the conformance
-    harness and the CLI share."""
-    topo = build_engine_world(spec.topology)
-    driver = EngineDriver(
-        topo, health=health, obs=obs,
+    """Deprecated one-call entry point; use ``repro.backend.run(spec,
+    backend="engine")`` instead.  Kept (warning) for one release."""
+    import warnings
+
+    warnings.warn(
+        "run_engine_spec() is deprecated; use "
+        "repro.backend.run(spec, backend='engine') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_engine_spec(
+        spec, health=health, obs=obs,
         lan_latency=lan_latency, wireless_latency=wireless_latency,
     )
-    driver.install_spec(spec)
-    driver.run(until=spec.horizon)
-    return driver

@@ -2091,3 +2091,63 @@ class MobileHostRole:
             uid=packet.uid,
         )
         self._redeliver_local(packet, iface)
+
+    # ------------------------------------------------------------------
+    # Snapshot contract (PR 5) — also the cross-partition migration format
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-able protocol state of the mobile host module.
+
+        This is what travels when a host crosses a partition boundary in
+        :mod:`repro.partition`: the destination partition materializes a
+        visitor host and :meth:`load_state`\\ s this record before
+        re-attaching it.  Pending registrar retransmissions are captured
+        as their sequence numbers only — their timers belong to the old
+        partition's event queue and are *not* migrated; the re-attach at
+        the destination starts a fresh Section 3 notification sequence.
+        """
+        return {
+            "state": self.state,
+            "current_foreign_agent": (
+                str(self.current_foreign_agent)
+                if self.current_foreign_agent is not None else None
+            ),
+            "temp_address": (
+                str(self.temp_address) if self.temp_address is not None else None
+            ),
+            "fa_boot_ids": {
+                str(agent): boot_id
+                for agent, boot_id in sorted(
+                    self._fa_boot_ids.items(), key=lambda kv: str(kv[0])
+                )
+            },
+            "last_fa_heard": self._last_fa_heard,
+            "fa_lifetime": self._fa_lifetime,
+            "moves": self.moves,
+            "registrations": self.registrations,
+            "silence_disconnects": self.silence_disconnects,
+            "limiter": self.limiter.state_dict(),
+            "registrar": self.registrar.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` protocol state onto this host.
+
+        ``registrar`` pending entries are informational — retransmission
+        timers are not recreated (see :meth:`state_dict`)."""
+        self.state = state["state"]
+        cfa = state["current_foreign_agent"]
+        self.current_foreign_agent = IPAddress(cfa) if cfa is not None else None
+        temp = state["temp_address"]
+        self.temp_address = IPAddress(temp) if temp is not None else None
+        self._fa_boot_ids = {
+            IPAddress(agent): int(boot_id)
+            for agent, boot_id in state["fa_boot_ids"].items()
+        }
+        self._registering_with = None
+        self._last_fa_heard = float(state["last_fa_heard"])
+        self._fa_lifetime = float(state["fa_lifetime"])
+        self.moves = int(state["moves"])
+        self.registrations = int(state["registrations"])
+        self.silence_disconnects = int(state["silence_disconnects"])
+        self.limiter.load_state(state["limiter"])

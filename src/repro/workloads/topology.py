@@ -270,6 +270,8 @@ def build_campus(
     advertise: bool = False,
     lan_latency: float = 0.001,
     wireless_latency: float = 0.003,
+    address_base: int = 10,
+    name_prefix: str = "",
     **agent_kwargs,
 ) -> CampusTopology:
     """A star internetwork: one home network, ``n_cells`` foreign cells.
@@ -279,33 +281,45 @@ def build_campus(
     :class:`~repro.workloads.mobility.ScriptedMobility` soliciting after
     each attach — or simply enable advertising for small runs.
 
-    Address plan: backbone ``10.0.0.0/16``; home ``10.1.0.0/16`` (so the
-    scalability sweeps can register thousands of hosts); cell *i* uses
-    ``10.{100+i}.0.0/24``; correspondents live on ``10.2.0.0/24``.
+    Address plan: backbone ``{B}.0.0.0/16``; home ``{B}.1.0.0/16`` (so
+    the scalability sweeps can register thousands of hosts); cell *i*
+    uses ``{B}.{100+i}.0.0/24``; correspondents live on
+    ``{B}.2.0.0/24`` — where ``B`` is ``address_base`` (default 10, the
+    historical plan).  A hierarchical world gives each campus its own
+    base, so every campus owns the ``{B}.0.0.0/8`` supernet and a border
+    gateway can classify local-vs-remote destinations by first octet.
+
+    ``name_prefix`` is prepended to every node and medium name (e.g.
+    ``"c3."``), keeping names unique when several campuses' traces and
+    health summaries are merged into one plane.
     """
     if n_cells < 1:
         raise ValueError("need at least one cell")
     if n_cells > 150:
         raise ValueError("address plan supports at most 150 cells")
+    if not 1 <= address_base <= 223:
+        raise ValueError("address_base must be a valid unicast first octet")
     sim = sim or Simulator(seed=seed)
+    base = address_base
+    pre = name_prefix
 
-    backbone_net = IPNetwork("10.0.0.0/16")
-    backbone = LAN(sim, "backbone", latency=lan_latency)
+    backbone_net = IPNetwork(f"{base}.0.0.0/16")
+    backbone = LAN(sim, f"{pre}backbone", latency=lan_latency)
 
     # /16 home network: the scalability bench registers up to tens of
     # thousands of mobile hosts on one home agent.
-    home_prefix = IPNetwork("10.1.0.0/16")
-    home_lan = LAN(sim, "home", latency=lan_latency)
-    home_router = Router(sim, "HR")
+    home_prefix = IPNetwork(f"{base}.1.0.0/16")
+    home_lan = LAN(sim, f"{pre}home", latency=lan_latency)
+    home_router = Router(sim, f"{pre}HR")
     home_router.add_interface("bb", backbone_net.host(1), backbone_net, medium=backbone)
     home_router.add_interface("lan", home_prefix.host(65534), home_prefix, medium=home_lan)
     home_roles = make_agent_router(
         home_router, home_iface="lan", advertise=advertise, **agent_kwargs
     )
 
-    corr_prefix = IPNetwork("10.2.0.0/24")
-    corr_lan = LAN(sim, "corr", latency=lan_latency)
-    corr_router = Router(sim, "CR")
+    corr_prefix = IPNetwork(f"{base}.2.0.0/24")
+    corr_lan = LAN(sim, f"{pre}corr", latency=lan_latency)
+    corr_router = Router(sim, f"{pre}CR")
     corr_router.add_interface("bb", backbone_net.host(2), backbone_net, medium=backbone)
     corr_router.add_interface("lan", corr_prefix.host(254), corr_prefix, medium=corr_lan)
     corr_router.routing_table.set_default(backbone_net.host(1), "bb")
@@ -326,9 +340,9 @@ def build_campus(
     corr_router.routing_table.add_next_hop(home_prefix, backbone_net.host(1), "bb")
 
     for i in range(n_cells):
-        prefix = IPNetwork(f"10.{100 + i}.0.0/24")
-        cell = WirelessCell(sim, f"cell{i}", latency=wireless_latency)
-        router = Router(sim, f"FR{i}")
+        prefix = IPNetwork(f"{base}.{100 + i}.0.0/24")
+        cell = WirelessCell(sim, f"{pre}cell{i}", latency=wireless_latency)
+        router = Router(sim, f"{pre}FR{i}")
         router.add_interface(
             "bb", backbone_net.host(10 + i), backbone_net, medium=backbone
         )
@@ -352,7 +366,7 @@ def build_campus(
     for i in range(n_mobile_hosts):
         mh = MobileHost(
             sim,
-            f"M{i}",
+            f"{pre}M{i}",
             home_address=home_prefix.host(1 + i),
             home_network=home_prefix,
             home_agent=home_prefix.host(65534),
@@ -360,7 +374,7 @@ def build_campus(
         topo.mobile_hosts.append(mh)
 
     for i in range(n_correspondents):
-        host = StationaryCorrespondent(sim, f"C{i}")
+        host = StationaryCorrespondent(sim, f"{pre}C{i}")
         host.add_interface("eth0", corr_prefix.host(1 + i), corr_prefix, medium=corr_lan)
         host.set_gateway(corr_prefix.host(254))
         topo.correspondents.append(host)

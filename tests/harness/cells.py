@@ -24,3 +24,32 @@ def slow_cell(seed: int, delay: float) -> Dict[str, object]:
 
 def bad_return_cell(seed: int, x: int):
     return [x]  # not a dict: the runner must flag it, not crash
+
+
+def polling_cell(seed: int, duration: float) -> Dict[str, object]:
+    """Busy-waits ``duration`` seconds, polling the cooperative deadline
+    the way the partitioned engine does at its window boundaries."""
+    from repro.harness import deadline
+
+    start = time.monotonic()
+    while time.monotonic() - start < duration:
+        deadline.check()
+        time.sleep(0.005)
+    return {"done": 1}
+
+
+def pool_spawning_cell(seed: int, duration: float) -> Dict[str, object]:
+    """Runs its work inside a nested worker pool — the shape that made
+    SIGALRM timeouts unsound — while polling the cooperative deadline
+    in the parent between waits."""
+    import multiprocessing
+    from repro.harness import deadline
+
+    ctx = multiprocessing.get_context("fork")
+    start = time.monotonic()
+    while time.monotonic() - start < duration:
+        deadline.check()
+        child = ctx.Process(target=time.sleep, args=(0.01,))
+        child.start()
+        child.join()
+    return {"done": 1}

@@ -1,0 +1,126 @@
+"""The cooperative (polled-deadline) cell timeout.
+
+Regression coverage for the SIGALRM-vs-nested-pools unsoundness: a cell
+that spawns its own worker processes (the partitioned backend) cannot
+be timed out by an alarm signal — the alarm fires in the parent while
+the work sits in children, and a pending itimer inherited across
+``fork`` can interrupt multiprocessing internals mid-lock.  Specs set
+``cooperative_timeout=True`` and the runner arms a monotonic deadline
+the cell polls at its own safe points instead.
+"""
+
+import signal
+import time
+
+import pytest
+
+from repro.harness import deadline
+from repro.harness.runner import (
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    execute_cell,
+    run_sweep,
+)
+from repro.harness.spec import ExperimentSpec
+
+
+class TestDeadlineModule:
+    def teardown_method(self):
+        deadline.clear_deadline()
+
+    def test_disarmed_check_is_a_noop(self):
+        deadline.clear_deadline()
+        assert deadline.active_deadline() is None
+        deadline.check()  # must not raise
+
+    def test_armed_deadline_raises_after_expiry(self):
+        deadline.set_deadline(0.01)
+        assert deadline.remaining() <= 0.01
+        time.sleep(0.02)
+        with pytest.raises(deadline.DeadlineExceeded):
+            deadline.check()
+
+    def test_clear_disarms(self):
+        deadline.set_deadline(0.01)
+        deadline.clear_deadline()
+        time.sleep(0.02)
+        deadline.check()  # disarmed: no raise
+
+
+class TestCooperativeExecuteCell:
+    def test_polling_cell_times_out_without_sigalrm(self, monkeypatch):
+        armed = []
+        monkeypatch.setattr(
+            signal, "setitimer", lambda *a: armed.append(a), raising=False
+        )
+        record = execute_cell(
+            "coop", "tests.harness.cells:polling_cell",
+            {"duration": 10.0}, seed=1, cell_hash="h",
+            timeout=0.1, cooperative=True,
+        )
+        assert record["status"] == STATUS_TIMEOUT
+        assert "timeout" in record["error"]
+        assert record["duration"] < 5.0
+        assert not armed  # the alarm path was never touched
+
+    def test_deadline_is_cleared_after_the_cell(self):
+        execute_cell(
+            "coop", "tests.harness.cells:polling_cell",
+            {"duration": 10.0}, seed=1, cell_hash="h",
+            timeout=0.05, cooperative=True,
+        )
+        assert deadline.active_deadline() is None
+
+    def test_fast_cell_passes_under_cooperative_timeout(self):
+        record = execute_cell(
+            "coop", "tests.harness.cells:polling_cell",
+            {"duration": 0.02}, seed=1, cell_hash="h",
+            timeout=5.0, cooperative=True,
+        )
+        assert record["status"] == STATUS_OK
+        assert record["metrics"] == {"done": 1}
+
+    def test_nested_pool_cell_times_out_cleanly(self):
+        # The regression shape itself: children forked mid-cell, parent
+        # polls the deadline between joins.  Must time out via the
+        # cooperative path, not hang or die on a stray alarm.
+        record = execute_cell(
+            "coop", "tests.harness.cells:pool_spawning_cell",
+            {"duration": 30.0}, seed=1, cell_hash="h",
+            timeout=0.3, cooperative=True,
+        )
+        assert record["status"] == STATUS_TIMEOUT
+        assert record["duration"] < 10.0
+
+
+class TestSweepIntegration:
+    def test_spec_flag_reaches_the_workers(self):
+        spec = ExperimentSpec(
+            name="coop-sweep",
+            cell_fn="tests.harness.cells:polling_cell",
+            grid={"duration": [0.02, 30.0]},
+            seeds=[1],
+            cooperative_timeout=True,
+        )
+        report = run_sweep(spec, jobs=1, store=None, timeout=0.3)
+        by_duration = {r.params["duration"]: r for r in report.results}
+        assert by_duration[0.02].status == STATUS_OK
+        assert by_duration[30.0].status == STATUS_TIMEOUT
+
+    def test_flag_does_not_change_the_cell_hash(self):
+        base = ExperimentSpec(
+            name="coop-hash",
+            cell_fn="tests.harness.cells:polling_cell",
+            grid={"duration": [0.02]},
+            seeds=[1],
+        )
+        coop = ExperimentSpec(
+            name="coop-hash",
+            cell_fn="tests.harness.cells:polling_cell",
+            grid={"duration": [0.02]},
+            seeds=[1],
+            cooperative_timeout=True,
+        )
+        assert (
+            base.cells()[0].content_hash() == coop.cells()[0].content_hash()
+        )

@@ -105,6 +105,45 @@ class TestPrefixHash:
         assert make_spec(**overrides).prefix_hash() != make_spec().prefix_hash()
 
 
+class TestSchemaV2:
+    """The ``partitions``/``hierarchy`` fields are versioned: specs not
+    using them must keep writing version-1 JSON byte-identically."""
+
+    def test_unpartitioned_specs_still_write_version_1(self):
+        data = make_spec().to_dict()
+        assert data["version"] == 1
+        assert "partitions" not in data and "hierarchy" not in data
+
+    def test_v1_json_round_trips_byte_identically(self):
+        data = make_spec().to_dict()
+        text = json.dumps(data, sort_keys=True)
+        again = ScenarioSpec.from_dict(json.loads(text)).to_dict()
+        assert json.dumps(again, sort_keys=True) == text
+
+    def test_partitioned_spec_round_trips_as_v2(self):
+        spec = make_spec(
+            partitions=4,
+            hierarchy={"depth": 2, "branching": 2, "hop_delay": 0.01},
+        )
+        data = spec.to_dict()
+        assert data["version"] == 2
+        assert data["partitions"] == 4
+        clone = ScenarioSpec.from_dict(data)
+        assert clone == spec
+        assert clone.to_dict() == data
+
+    def test_v1_payload_with_v2_fields_is_rejected(self):
+        data = make_spec().to_dict()
+        data["partitions"] = 4
+        with pytest.raises(ValueError, match="version 2"):
+            ScenarioSpec.from_dict(data)
+
+    def test_hierarchy_alone_promotes_to_v2(self):
+        spec = make_spec(hierarchy={"depth": 1})
+        assert spec.wire_version() == 2
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
 class TestFuzzV1Compat:
     def test_fuzz_scenario_adapts_onto_the_spec(self):
         scenario = fuzz.make_scenario(5, "quick")
